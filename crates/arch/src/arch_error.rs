@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the architecture model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// Malformed assembly text.
+    Parse(String),
+    /// Structurally invalid program (loops, barriers).
+    InvalidProgram(String),
+    /// Invalid architecture configuration.
+    InvalidConfig(String),
+    /// A network cannot be mapped onto the configuration.
+    UnmappableLayer(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ArchError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+            ArchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ArchError::UnmappableLayer(msg) => write!(f, "unmappable layer: {msg}"),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ArchError::Parse("x".into()).to_string().contains("parse"));
+        assert!(ArchError::UnmappableLayer("y".into())
+            .to_string()
+            .contains("y"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

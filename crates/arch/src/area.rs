@@ -1,0 +1,301 @@
+//! Component area model (Fig. 5 a/b).
+//!
+//! Stand-in for the paper's TSMC 28 nm + Synopsys Design Compiler flow: each
+//! component is a unit count (derived from the [`ArchConfig`] hierarchy)
+//! times a per-unit area calibrated to 28 nm gate-equivalents, plus
+//! CACTI-style SRAM macros ([`crate::sram`]). Constants are calibrated so
+//! the LP variant lands at the published ~12 mm² with a MAC-array- and
+//! weight-buffer-dominated breakdown, and the ULP variant at ~0.18 mm²
+//! dominated by its memories (§IV-C).
+
+use crate::config::ArchConfig;
+use crate::sram::SramMacro;
+
+/// Routed 28 nm area of one 96-wide AND/OR MAC unit, µm² (≈520 NAND2-eq).
+pub const MAC_UNIT_AREA_UM2: f64 = 312.0;
+/// One SNG: 8-bit comparator plus its share of a shared LFSR, µm².
+pub const SNG_AREA_UM2: f64 = 15.0;
+/// One buffer bit (scan flop), µm².
+pub const BUFFER_BIT_AREA_UM2: f64 = 2.0;
+/// One output counter: 16-bit up/down, ReLU gating, 2–3× pooling
+/// pre-counter (§II-C: +2.7–8.7 % on the counter), µm².
+pub const COUNTER_AREA_UM2: f64 = 140.0;
+/// Fixed overhead factor for clock tree, routing channels and control.
+pub const OVERHEAD_FACTOR: f64 = 1.09;
+
+/// The nine Fig.-5 components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // names mirror the figure legend
+pub enum Component {
+    InstMem,
+    ActMem,
+    WgtMem,
+    ActBuf,
+    ActSng,
+    WgtBuf,
+    WgtSng,
+    ActCounter,
+    MacArray,
+}
+
+impl Component {
+    /// All components in Fig. 5 legend order.
+    pub const ALL: [Component; 9] = [
+        Component::InstMem,
+        Component::ActMem,
+        Component::WgtMem,
+        Component::ActBuf,
+        Component::ActSng,
+        Component::WgtBuf,
+        Component::WgtSng,
+        Component::ActCounter,
+        Component::MacArray,
+    ];
+
+    /// Legend label as printed in the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::InstMem => "Inst Mem",
+            Component::ActMem => "Act Mem",
+            Component::WgtMem => "Wgt Mem",
+            Component::ActBuf => "Act Buf",
+            Component::ActSng => "Act SNG",
+            Component::WgtBuf => "Wgt Buf",
+            Component::WgtSng => "Wgt SNG",
+            Component::ActCounter => "Act Counter",
+            Component::MacArray => "MAC Array",
+        }
+    }
+}
+
+/// Per-component breakdown of a scalar quantity (area or power).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    entries: Vec<(Component, f64)>,
+}
+
+impl Breakdown {
+    /// Builds a breakdown from (component, value) pairs.
+    pub fn new(entries: Vec<(Component, f64)>) -> Self {
+        Breakdown { entries }
+    }
+
+    /// Value of one component (0.0 if absent).
+    pub fn get(&self, c: Component) -> f64 {
+        self.entries
+            .iter()
+            .find(|(cc, _)| *cc == c)
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    /// Sum over all components.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Component shares as fractions of the total.
+    pub fn shares(&self) -> Vec<(Component, f64)> {
+        let t = self.total();
+        self.entries
+            .iter()
+            .map(|&(c, v)| (c, if t > 0.0 { v / t } else { 0.0 }))
+            .collect()
+    }
+
+    /// Iterates over (component, value) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+/// Unit counts of the switching components, shared by the area and power
+/// models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitCounts {
+    /// 96-wide MAC units.
+    pub mac_units: usize,
+    /// Weight SNGs: weights are shared by the M MACs of an array, so one
+    /// set of `mac_width` SNGs per array.
+    pub wgt_sngs: usize,
+    /// Activation SNGs: activations are shared across all R rows and, for
+    /// stride-1 kernels, across the adjacent output positions computed by
+    /// one pass (M·A positions reuse all but one kernel column), so one
+    /// halo'd set of `mac_width` streams per position group.
+    pub act_sngs: usize,
+    /// Weight buffer bits (8-bit value per weight SNG, double-buffered).
+    pub wgt_buf_bits: usize,
+    /// Activation buffer bits (8-bit value per activation SNG).
+    pub act_buf_bits: usize,
+    /// Output counters.
+    pub counters: usize,
+}
+
+impl UnitCounts {
+    /// Derives unit counts from a configuration.
+    pub fn for_config(cfg: &ArchConfig) -> Self {
+        let wgt_sngs = cfg.rows * cfg.subrows_per_row * cfg.arrays_per_subrow * cfg.mac_width;
+        let act_sngs = cfg.mac_width * (cfg.positions_per_pass() + 2);
+        UnitCounts {
+            mac_units: cfg.mac_units(),
+            wgt_sngs,
+            act_sngs,
+            wgt_buf_bits: wgt_sngs * 16, // double-buffered 8-bit values
+            act_buf_bits: act_sngs * 8,
+            counters: cfg.counter_count(),
+        }
+    }
+}
+
+/// Computes the Fig.-5-style area breakdown of a configuration, in mm².
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_arch::area::area_breakdown;
+/// use acoustic_arch::config::ArchConfig;
+///
+/// let lp = area_breakdown(&ArchConfig::lp());
+/// assert!((10.0..14.0).contains(&lp.total()));
+/// ```
+pub fn area_breakdown(cfg: &ArchConfig) -> Breakdown {
+    let u = UnitCounts::for_config(cfg);
+    let um2 = 1e-6; // µm² → mm²
+    let entries = vec![
+        (
+            Component::InstMem,
+            SramMacro::new(cfg.inst_mem_bytes).area_mm2(),
+        ),
+        (
+            Component::ActMem,
+            SramMacro::new(cfg.act_mem_bytes).area_mm2(),
+        ),
+        (
+            Component::WgtMem,
+            SramMacro::new(cfg.weight_mem_bytes).area_mm2(),
+        ),
+        (
+            Component::ActBuf,
+            u.act_buf_bits as f64 * BUFFER_BIT_AREA_UM2 * um2,
+        ),
+        (Component::ActSng, u.act_sngs as f64 * SNG_AREA_UM2 * um2),
+        (
+            Component::WgtBuf,
+            u.wgt_buf_bits as f64 * BUFFER_BIT_AREA_UM2 * um2,
+        ),
+        (Component::WgtSng, u.wgt_sngs as f64 * SNG_AREA_UM2 * um2),
+        (
+            Component::ActCounter,
+            u.counters as f64 * COUNTER_AREA_UM2 * um2,
+        ),
+        (
+            Component::MacArray,
+            u.mac_units as f64 * MAC_UNIT_AREA_UM2 * um2,
+        ),
+    ];
+    let scaled = entries
+        .into_iter()
+        .map(|(c, v)| (c, v * OVERHEAD_FACTOR))
+        .collect();
+    Breakdown::new(scaled)
+}
+
+/// Area of one 8-bit fixed-point MAC (multiplier + adder + pipeline) in
+/// µm² — the conventional-binary reference for the §III-A density claim
+/// ("SC MACs can be 47X smaller than 8-bit fixed-point MACs").
+pub const FIXED8_MAC_AREA_UM2: f64 = 153.0;
+
+/// Area of one *logical* SC MAC lane: a 96-wide unit amortised over its 96
+/// lanes (§III-A counts a lane as one MAC's worth of throughput per pass).
+pub fn sc_mac_lane_area_um2() -> f64 {
+    MAC_UNIT_AREA_UM2 / 96.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_total_matches_published_12mm2() {
+        let a = area_breakdown(&ArchConfig::lp());
+        assert!(
+            (10.0..14.0).contains(&a.total()),
+            "LP area {} mm²",
+            a.total()
+        );
+    }
+
+    #[test]
+    fn ulp_total_matches_published_018mm2() {
+        let a = area_breakdown(&ArchConfig::ulp());
+        assert!(
+            (0.10..0.30).contains(&a.total()),
+            "ULP area {} mm²",
+            a.total()
+        );
+    }
+
+    #[test]
+    fn lp_is_mac_array_and_weight_buffer_dominated() {
+        // §IV-C: "MAC arrays are the major contributors to both area and
+        // power"; "Weight buffers ... major contributors to area".
+        let a = area_breakdown(&ArchConfig::lp());
+        let shares = a.shares();
+        let mac = shares
+            .iter()
+            .find(|(c, _)| *c == Component::MacArray)
+            .unwrap()
+            .1;
+        let wbuf = shares
+            .iter()
+            .find(|(c, _)| *c == Component::WgtBuf)
+            .unwrap()
+            .1;
+        assert!(mac > 0.25, "MAC array share {mac}");
+        assert!(wbuf > 0.15, "weight buffer share {wbuf}");
+        // MAC array is the single largest component.
+        let max = shares.iter().map(|(_, s)| *s).fold(0.0, f64::max);
+        assert!((mac - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ulp_is_memory_dominated() {
+        // §IV-C: "The area ... of the ULP variant is dominated by activation
+        // and weight memories."
+        let ulp = area_breakdown(&ArchConfig::ulp());
+        let mem_share = |b: &Breakdown| {
+            (b.get(Component::ActMem) + b.get(Component::WgtMem) + b.get(Component::InstMem))
+                / b.total()
+        };
+        let ulp_share = mem_share(&ulp);
+        assert!(ulp_share > 0.18, "ULP memory share {ulp_share}");
+        // Memories matter far more on ULP than on LP (§IV-C).
+        let lp_share = mem_share(&area_breakdown(&ArchConfig::lp()));
+        assert!(
+            ulp_share > 1.8 * lp_share,
+            "ULP {ulp_share} vs LP {lp_share}"
+        );
+    }
+
+    #[test]
+    fn sc_density_advantage_is_about_47x() {
+        let ratio = FIXED8_MAC_AREA_UM2 / sc_mac_lane_area_um2();
+        assert!(
+            (35.0..60.0).contains(&ratio),
+            "density ratio {ratio} (paper: 47x)"
+        );
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let a = area_breakdown(&ArchConfig::lp());
+        let sum: f64 = a.shares().iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_get_missing_is_zero() {
+        let b = Breakdown::new(vec![(Component::MacArray, 1.0)]);
+        assert_eq!(b.get(Component::ActMem), 0.0);
+        assert_eq!(b.total(), 1.0);
+    }
+}

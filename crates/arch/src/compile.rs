@@ -1,0 +1,630 @@
+//! Compiler: maps a [`NetworkShape`] onto an [`ArchConfig`], emitting the
+//! ISA program the dispatcher executes (§III-B/III-C).
+//!
+//! Mapping rules (Fig. 3):
+//!
+//! * A convolution processes `R` kernels × `A·M` output positions per pass;
+//!   kernel fan-in beyond `S·mac_width` lanes takes multiple passes whose
+//!   partial results accumulate in the (never-reset) output counters.
+//! * Fused average pooling applies computation skipping: only pooled output
+//!   positions are iterated, each as `window²` shortened segments
+//!   (`FORP`/`ENDP`).
+//! * Weights resident in (half of) the weight memory are prefetched during
+//!   the previous layer (`WGTLD` issued before the compute loop, barrier at
+//!   the layer boundary); larger layers stream weights in double-buffered
+//!   chunks.
+//! * Fully-connected layers use one MAC per array (`fc_utilization`,
+//!   §III-B's 87.5 % under-utilisation).
+
+use acoustic_nn::zoo::{LayerShape, NetworkShape};
+
+use crate::config::ArchConfig;
+use crate::isa::{Instruction, LoopKind, Module, ModuleMask};
+use crate::program::Program;
+use crate::ArchError;
+
+/// One compiled layer: its program fragment plus bookkeeping the energy
+/// model needs.
+#[derive(Debug, Clone)]
+pub struct CompiledLayer {
+    /// Layer name (from the network shape).
+    pub name: String,
+    /// Prefetch fragment — the `WGTLD` for this layer, issued during the
+    /// *previous* layer's compute (empty when weights are streamed).
+    pub prefetch: Program,
+    /// Compute fragment, ending in a full barrier.
+    pub body: Program,
+    /// Fraction of MAC lanes doing useful work during this layer's passes.
+    pub utilization: f64,
+    /// MAC passes of this layer.
+    pub passes: u64,
+    /// Weight bytes moved from external memory for this layer.
+    pub weight_bytes: u64,
+    /// Activation bytes spilled to/from external memory (0 when the layer
+    /// fits on-chip).
+    pub spill_bytes: u64,
+}
+
+/// A whole network compiled for one configuration.
+#[derive(Debug, Clone)]
+pub struct CompiledNetwork {
+    /// Network name.
+    pub network: String,
+    /// Configuration name.
+    pub config: String,
+    /// Input activation bytes loaded at the start.
+    pub input_bytes: u64,
+    /// Output bytes stored at the end.
+    pub output_bytes: u64,
+    /// Per-layer fragments, in execution order.
+    pub layers: Vec<CompiledLayer>,
+}
+
+impl CompiledNetwork {
+    /// Flattens the compiled network into a single executable program
+    /// (prologue + interleaved prefetch/body fragments), including the
+    /// cold-start load of every resident layer's weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidProgram`] if fragment concatenation is
+    /// structurally invalid (should not happen for compiler output).
+    pub fn to_program(&self) -> Result<Program, ArchError> {
+        self.assemble(true)
+    }
+
+    /// Like [`CompiledNetwork::to_program`], but for steady-state repeated
+    /// inference: weights that are resident in the weight memory were
+    /// loaded once before the first frame and are *not* refetched per frame
+    /// (streamed weights still reload every frame). Per-frame input load
+    /// and output store remain.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledNetwork::to_program`].
+    pub fn to_program_steady_state(&self) -> Result<Program, ArchError> {
+        self.assemble(false)
+    }
+
+    fn assemble(&self, cold_start: bool) -> Result<Program, ArchError> {
+        let mut instrs: Vec<Instruction> = Vec::new();
+        instrs.push(Instruction::ActLd {
+            bytes: self.input_bytes,
+        });
+        // First layer's weights must be on-chip before compute starts.
+        if cold_start {
+            if let Some(first) = self.layers.first() {
+                instrs.extend(first.prefetch.instructions().iter().copied());
+            }
+        }
+        instrs.push(Instruction::Barr {
+            mask: ModuleMask::empty().with(Module::Dma),
+        });
+        for (i, layer) in self.layers.iter().enumerate() {
+            // Prefetch the *next* layer's weights while this one computes.
+            if cold_start {
+                if let Some(next) = self.layers.get(i + 1) {
+                    instrs.extend(next.prefetch.instructions().iter().copied());
+                }
+            }
+            instrs.extend(layer.body.instructions().iter().copied());
+            instrs.push(Instruction::Barr {
+                mask: ModuleMask::all(),
+            });
+        }
+        instrs.push(Instruction::ActSt {
+            bytes: self.output_bytes,
+        });
+        instrs.push(Instruction::Barr {
+            mask: ModuleMask::empty().with(Module::Dma),
+        });
+        Program::new(instrs)
+    }
+
+    /// Total MAC passes across the network.
+    pub fn total_passes(&self) -> u64 {
+        self.layers.iter().map(|l| l.passes).sum()
+    }
+
+    /// Total weight traffic from external memory.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_bytes).sum()
+    }
+}
+
+/// Compiles `net` for `cfg`.
+///
+/// # Errors
+///
+/// * [`ArchError::InvalidConfig`] if `cfg` fails validation.
+/// * [`ArchError::UnmappableLayer`] if a layer cannot be mapped (e.g. zero
+///   output positions).
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_arch::compile::compile;
+/// use acoustic_arch::config::ArchConfig;
+/// use acoustic_nn::zoo::lenet5;
+///
+/// # fn main() -> Result<(), acoustic_arch::ArchError> {
+/// let compiled = compile(&lenet5(), &ArchConfig::lp())?;
+/// assert_eq!(compiled.layers.len(), 5);
+/// let program = compiled.to_program()?;
+/// assert!(program.len() > 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile(net: &NetworkShape, cfg: &ArchConfig) -> Result<CompiledNetwork, ArchError> {
+    cfg.validate()?;
+    // If the whole network's weights fit on-chip they are all permanently
+    // resident; otherwise a layer is resident when it fits half the weight
+    // memory (the other half holds the next layer's prefetch).
+    let all_resident = net.total_weights() <= cfg.weight_mem_bytes;
+    let batch = cfg.batch_size as u64;
+    let mut layers = Vec::new();
+    for shape in net.layers() {
+        let mut layer = compile_layer(shape, cfg, all_resident)?;
+        // §III-D: when a layer's activations exceed the on-chip activation
+        // memory, "outputs are offloaded to external memory and fetched
+        // back when necessary for the next layer, which is supported by
+        // ACOUSTIC ISA". Spilled bytes are stored after this layer and
+        // reloaded by the next one.
+        let act_bytes = (shape.input_count() + shape.output_count()) * batch;
+        if act_bytes > cfg.act_mem_bytes {
+            let spill = shape.output_count() * batch;
+            let mut body = layer.body.instructions().to_vec();
+            body.push(Instruction::ActSt { bytes: spill });
+            body.push(Instruction::ActLd { bytes: spill });
+            layer.body = Program::new(body)?;
+            layer.spill_bytes = 2 * spill;
+        }
+        layers.push(layer);
+    }
+    let (ic, ih, iw) = net.input_shape();
+    let batch = cfg.batch_size as u64;
+    let output_bytes = net.layers().last().map_or(0, |l| l.output_count()) * batch;
+    Ok(CompiledNetwork {
+        network: net.name().to_string(),
+        config: cfg.name.clone(),
+        input_bytes: (ic * ih * iw) as u64 * batch,
+        output_bytes,
+        layers,
+    })
+}
+
+fn compile_layer(
+    shape: &LayerShape,
+    cfg: &ArchConfig,
+    all_resident: bool,
+) -> Result<CompiledLayer, ArchError> {
+    match shape {
+        LayerShape::Conv { .. } => compile_conv(shape, cfg, all_resident),
+        LayerShape::Fc { .. } => compile_fc(shape, cfg, all_resident),
+    }
+}
+
+fn compile_conv(
+    shape: &LayerShape,
+    cfg: &ArchConfig,
+    all_resident: bool,
+) -> Result<CompiledLayer, ArchError> {
+    let LayerShape::Conv {
+        name,
+        in_c,
+        out_c,
+        k,
+        out_h,
+        out_w,
+        pool,
+        ..
+    } = shape
+    else {
+        unreachable!("compile_conv called on a non-conv layer");
+    };
+    let n = cfg.stream_len as u64;
+
+    // Computation skipping: iterate pooled positions only; each is computed
+    // as window² shortened segments (§II-C). Pooling with stride < window
+    // (overlapping) skips by the stride factor.
+    let (positions, segments) = match pool {
+        Some(p) => {
+            let ph = (out_h - p.window) / p.stride + 1;
+            let pw = (out_w - p.window) / p.stride + 1;
+            (ph * pw, (p.stride * p.stride) as u64)
+        }
+        None => (out_h * out_w, 1),
+    };
+    if positions == 0 {
+        return Err(ArchError::UnmappableLayer(format!(
+            "{name}: zero output positions"
+        )));
+    }
+    let fan_in = in_c * k * k;
+    let kernel_batches = out_c.div_ceil(cfg.rows) as u64;
+    let pos_groups = positions.div_ceil(cfg.positions_per_pass()) as u64;
+    let fan_in_passes = fan_in.div_ceil(cfg.fan_in_per_pass()) as u64;
+    let passes = kernel_batches * pos_groups * fan_in_passes;
+
+    // Lane utilisation: products actually computed vs lanes × passes.
+    let computed_macs = (positions * out_c * fan_in) as f64;
+    let utilization =
+        (computed_macs / (passes as f64 * cfg.total_lanes() as f64)).min(1.0);
+
+    let weight_bytes = shape.weight_count();
+    let resident = all_resident || weight_bytes <= cfg.weight_mem_bytes / 2;
+    let outputs = (positions * out_c) as u64;
+
+    let mut body: Vec<Instruction> = Vec::new();
+    let seg_cycles = (n / segments).max(1);
+    let rng_vals = cfg.positions_per_pass() as u32;
+    let wgt_vals = (cfg.rows * cfg.fan_in_per_pass()).min(out_c * fan_in) as u32;
+
+    if !resident {
+        // Stream weights in double-buffered chunks (per kernel batch).
+        let chunk = weight_bytes.div_ceil(kernel_batches);
+        body.push(Instruction::WgtLd { bytes: chunk });
+        body.push(Instruction::Barr {
+            mask: ModuleMask::empty().with(Module::Dma),
+        });
+        body.push(Instruction::For {
+            kind: LoopKind::Kernel,
+            count: kernel_batches as u32,
+        });
+        body.push(Instruction::WgtLd { bytes: chunk });
+    } else {
+        body.push(Instruction::For {
+            kind: LoopKind::Kernel,
+            count: kernel_batches as u32,
+        });
+    }
+    body.push(Instruction::WgtRng { values: wgt_vals });
+    let batch = cfg.batch_size as u64;
+    if batch > 1 {
+        // Frames of a batch reuse the loaded weights (§III-D batching).
+        body.push(Instruction::For {
+            kind: LoopKind::Batch,
+            count: batch as u32,
+        });
+    }
+    body.push(Instruction::For {
+        kind: LoopKind::Row,
+        count: (pos_groups * fan_in_passes) as u32,
+    });
+    body.push(Instruction::ActRng { values: rng_vals });
+    if segments > 1 {
+        // The last segment absorbs the division remainder so each pooled
+        // pass totals exactly the stream length.
+        let rem_cycles = n - seg_cycles * (segments - 1);
+        body.push(Instruction::For {
+            kind: LoopKind::Pool,
+            count: (segments - 1) as u32,
+        });
+        body.push(Instruction::Mac { cycles: seg_cycles });
+        body.push(Instruction::End {
+            kind: LoopKind::Pool,
+        });
+        body.push(Instruction::Mac { cycles: rem_cycles });
+    } else {
+        body.push(Instruction::Mac { cycles: n });
+    }
+    body.push(Instruction::Barr {
+        mask: ModuleMask::empty().with(Module::Mac).with(Module::ActRng),
+    });
+    body.push(Instruction::End {
+        kind: LoopKind::Row,
+    });
+    if batch > 1 {
+        body.push(Instruction::End {
+            kind: LoopKind::Batch,
+        });
+    }
+    if !resident {
+        body.push(Instruction::Barr {
+            mask: ModuleMask::empty().with(Module::Dma).with(Module::Mac),
+        });
+    }
+    body.push(Instruction::End {
+        kind: LoopKind::Kernel,
+    });
+    body.push(Instruction::CntSt {
+        values: (outputs * batch).min(u64::from(u32::MAX)) as u32,
+    });
+
+    let prefetch = if resident {
+        Program::new(vec![Instruction::WgtLd {
+            bytes: weight_bytes,
+        }])?
+    } else {
+        Program::new(vec![])?
+    };
+
+    Ok(CompiledLayer {
+        name: name.clone(),
+        prefetch,
+        body: Program::new(body)?,
+        utilization,
+        passes: passes * batch,
+        weight_bytes,
+        spill_bytes: 0,
+    })
+}
+
+fn compile_fc(
+    shape: &LayerShape,
+    cfg: &ArchConfig,
+    all_resident: bool,
+) -> Result<CompiledLayer, ArchError> {
+    let LayerShape::Fc {
+        name,
+        in_features,
+        out_features,
+    } = shape
+    else {
+        unreachable!("compile_fc called on a non-fc layer");
+    };
+    let n = cfg.stream_len as u64;
+    let macs = (in_features * out_features) as u64;
+    let eff_lanes = ((cfg.total_lanes() as f64) * cfg.fc_utilization).max(1.0) as u64;
+    let mut passes = macs.div_ceil(eff_lanes);
+    let utilization = (macs as f64 / (passes as f64 * cfg.total_lanes() as f64)).min(1.0);
+
+    let weight_bytes = macs; // one byte per weight
+    let resident = all_resident || weight_bytes <= cfg.weight_mem_bytes / 2;
+
+    let batch = cfg.batch_size as u64;
+    let mut body: Vec<Instruction> = Vec::new();
+    if resident {
+        body.push(Instruction::For {
+            kind: LoopKind::Row,
+            count: (passes * batch).min(u64::from(u32::MAX)) as u32,
+        });
+        body.push(Instruction::WgtRng {
+            values: eff_lanes.min(macs).min(u64::from(u32::MAX)) as u32,
+        });
+        body.push(Instruction::ActRng {
+            values: (*in_features).min(u32::MAX as usize) as u32,
+        });
+        body.push(Instruction::Mac { cycles: n });
+        body.push(Instruction::Barr {
+            mask: ModuleMask::empty()
+                .with(Module::Mac)
+                .with(Module::ActRng)
+                .with(Module::WgtRng),
+        });
+        body.push(Instruction::End {
+            kind: LoopKind::Row,
+        });
+    } else {
+        // §III-D: "for large fully-connected layers, a new batch of weights
+        // is fetched while the current one is being processed." With
+        // batch_size > 1, every fetched chunk serves all frames of the
+        // batch before the next chunk loads.
+        let chunks = weight_bytes.div_ceil(cfg.weight_mem_bytes / 2).max(1);
+        let passes_per_chunk =
+            ((passes.div_ceil(chunks).max(1)) * batch).min(u64::from(u32::MAX)) as u32;
+        // With more chunks than logical passes, each chunk still runs one
+        // MAC pass: account the executed count, not the logical one.
+        passes = chunks * u64::from(passes_per_chunk) / batch;
+        let chunk_bytes = weight_bytes.div_ceil(chunks);
+        body.push(Instruction::WgtLd { bytes: chunk_bytes });
+        body.push(Instruction::Barr {
+            mask: ModuleMask::empty().with(Module::Dma),
+        });
+        body.push(Instruction::For {
+            kind: LoopKind::Batch,
+            count: chunks as u32,
+        });
+        body.push(Instruction::WgtLd { bytes: chunk_bytes });
+        body.push(Instruction::WgtRng {
+            values: chunk_bytes.min(u64::from(u32::MAX)) as u32,
+        });
+        body.push(Instruction::For {
+            kind: LoopKind::Row,
+            count: passes_per_chunk,
+        });
+        body.push(Instruction::ActRng {
+            values: (*in_features).min(u32::MAX as usize) as u32,
+        });
+        body.push(Instruction::Mac { cycles: n });
+        body.push(Instruction::Barr {
+            mask: ModuleMask::empty().with(Module::Mac).with(Module::ActRng),
+        });
+        body.push(Instruction::End {
+            kind: LoopKind::Row,
+        });
+        body.push(Instruction::Barr {
+            mask: ModuleMask::empty().with(Module::Dma).with(Module::Mac),
+        });
+        body.push(Instruction::End {
+            kind: LoopKind::Batch,
+        });
+    }
+    body.push(Instruction::CntSt {
+        values: (*out_features as u64 * batch).min(u64::from(u32::MAX)) as u32,
+    });
+
+    let prefetch = if resident {
+        Program::new(vec![Instruction::WgtLd {
+            bytes: weight_bytes,
+        }])?
+    } else {
+        Program::new(vec![])?
+    };
+
+    Ok(CompiledLayer {
+        name: name.clone(),
+        prefetch,
+        body: Program::new(body)?,
+        utilization,
+        passes: passes * batch,
+        weight_bytes,
+        spill_bytes: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acoustic_nn::zoo::{alexnet, cifar10_cnn, lenet5, NetworkShapeBuilder};
+
+    #[test]
+    fn fig4_layer_pass_count() {
+        // The Fig. 4 layer: 16×16×512 inputs, 512 3×3×512 kernels, padded.
+        let net = NetworkShapeBuilder::new("fig4", 512, 16, 16)
+            .conv(512, 3, 1, 1)
+            .unwrap()
+            .build();
+        let compiled = compile(&net, &ArchConfig::lp()).unwrap();
+        // ceil(512/32)=16 kernels × ceil(256/128)=2 positions ×
+        // ceil(4608/288)=16 fan-in = 512 passes.
+        assert_eq!(compiled.layers[0].passes, 512);
+    }
+
+    #[test]
+    fn pooled_conv_skips_computation() {
+        let pooled = NetworkShapeBuilder::new("p", 64, 16, 16)
+            .conv(64, 3, 1, 1)
+            .unwrap()
+            .pool(2, 2, true)
+            .unwrap()
+            .build();
+        let unpooled = NetworkShapeBuilder::new("u", 64, 16, 16)
+            .conv(64, 3, 1, 1)
+            .unwrap()
+            .build();
+        let cfg = ArchConfig::lp();
+        let p = compile(&pooled, &cfg).unwrap();
+        let u = compile(&unpooled, &cfg).unwrap();
+        // 2×2 pooling quarters the positions → fewer passes.
+        assert!(p.layers[0].passes < u.layers[0].passes);
+        // But the MAC instructions inside run shortened segments: three in
+        // the pool loop plus the remainder segment.
+        let text = p.layers[0].body.to_string();
+        assert!(text.contains("FORP 3"), "{text}");
+        assert!(
+            text.contains(&format!("MAC {}", cfg.stream_len / 4)),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn small_weights_are_prefetched() {
+        let compiled = compile(&lenet5(), &ArchConfig::lp()).unwrap();
+        for layer in &compiled.layers {
+            assert!(
+                !layer.prefetch.is_empty(),
+                "{} should be resident in 147.5 KB",
+                layer.name
+            );
+        }
+    }
+
+    #[test]
+    fn alexnet_fc_streams_weights() {
+        let compiled = compile(&alexnet(), &ArchConfig::lp()).unwrap();
+        let fc6 = compiled
+            .layers
+            .iter()
+            .find(|l| l.name == "fc1")
+            .expect("alexnet has fc layers");
+        assert!(fc6.prefetch.is_empty(), "37 MB cannot be prefetched");
+        assert!(fc6.body.to_string().contains("FORB"));
+        assert_eq!(fc6.weight_bytes, 9216 * 4096);
+    }
+
+    #[test]
+    fn utilization_is_in_unit_range_and_sane() {
+        for net in [lenet5(), cifar10_cnn(), alexnet()] {
+            let compiled = compile(&net, &ArchConfig::lp()).unwrap();
+            for layer in &compiled.layers {
+                assert!(
+                    layer.utilization > 0.0 && layer.utilization <= 1.0,
+                    "{}: util {}",
+                    layer.name,
+                    layer.utilization
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_program_is_structurally_valid() {
+        for net in [lenet5(), cifar10_cnn(), alexnet()] {
+            let compiled = compile(&net, &ArchConfig::lp()).unwrap();
+            let program = compiled.to_program().unwrap();
+            assert!(!program.is_empty());
+            // Round-trips through the assembler.
+            let text = program.to_string();
+            assert_eq!(Program::parse(&text).unwrap(), program);
+        }
+    }
+
+    #[test]
+    fn ulp_has_more_passes_than_lp() {
+        let net = cifar10_cnn();
+        let lp = compile(&net, &ArchConfig::lp()).unwrap();
+        let ulp = compile(&net, &ArchConfig::ulp()).unwrap();
+        assert!(ulp.total_passes() > lp.total_passes());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = ArchConfig::lp();
+        cfg.rows = 0;
+        assert!(compile(&lenet5(), &cfg).is_err());
+    }
+}
+
+#[cfg(test)]
+mod spill_tests {
+    use super::*;
+    use acoustic_nn::zoo::{cifar10_cnn, vgg16};
+
+    #[test]
+    fn oversized_activations_spill_to_dram() {
+        // VGG-16's early 224x224x64 feature maps (3.2 MB) exceed the LP's
+        // 600 KB activation memory and must spill (§III-D).
+        let compiled = compile(&vgg16(), &ArchConfig::lp()).unwrap();
+        let spilled: Vec<&str> = compiled
+            .layers
+            .iter()
+            .filter(|l| l.spill_bytes > 0)
+            .map(|l| l.name.as_str())
+            .collect();
+        assert!(spilled.contains(&"conv1"), "spilled: {spilled:?}");
+        // Late layers fit on-chip again.
+        let last_conv = compiled
+            .layers
+            .iter()
+            .rev()
+            .find(|l| l.name.starts_with("conv"))
+            .unwrap();
+        assert_eq!(last_conv.spill_bytes, 0);
+    }
+
+    #[test]
+    fn small_networks_never_spill_on_lp() {
+        let compiled = compile(&cifar10_cnn(), &ArchConfig::lp()).unwrap();
+        assert!(compiled.layers.iter().all(|l| l.spill_bytes == 0));
+    }
+
+    #[test]
+    fn spill_shows_up_as_dram_traffic() {
+        use crate::perf::PerfSimulator;
+        let cfg = ArchConfig::lp();
+        let compiled = compile(&vgg16(), &cfg).unwrap();
+        let spill_total: u64 = compiled.layers.iter().map(|l| l.spill_bytes).sum();
+        assert!(spill_total > 1_000_000);
+        let report = PerfSimulator::new(cfg)
+            .unwrap()
+            .run(&compiled.to_program_steady_state().unwrap())
+            .unwrap();
+        // Reads cover weights + input + spill reloads.
+        assert!(
+            report.dram_read_bytes
+                > compiled.total_weight_bytes() + spill_total / 2
+        );
+        assert!(report.dram_write_bytes >= spill_total / 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! Architecture configurations (§III-D): the evaluated LP and ULP variants
+//! plus a general parameterisation of the compute-engine hierarchy.
+
+use crate::dram::DramInterface;
+use crate::ArchError;
+
+/// Parameters of an ACOUSTIC accelerator instance.
+///
+/// Hierarchy (Fig. 3): a MAC unit is a 96:1 AND/OR multiply-accumulate;
+/// `macs_per_array` (M) MACs with shared weights form an array;
+/// `arrays_per_subrow` (A) arrays form a sub-row sharing one activation
+/// scratchpad; `subrows_per_row` (S = 3) sub-rows form a row computing one
+/// kernel; `rows` (R) rows compute kernels in parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// Configuration name (`"LP"` / `"ULP"` for the paper's variants).
+    pub name: String,
+    /// Kernel rows computed in parallel (R).
+    pub rows: usize,
+    /// Sub-rows per row (S; 3 in the paper, matching 3×3 kernels).
+    pub subrows_per_row: usize,
+    /// MAC arrays per sub-row (A).
+    pub arrays_per_subrow: usize,
+    /// MAC units per array (M).
+    pub macs_per_array: usize,
+    /// Products accumulated by one MAC unit's OR tree (96 in the paper).
+    pub mac_width: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// On-chip weight memory in bytes (LP: 147.5 KB).
+    pub weight_mem_bytes: u64,
+    /// On-chip activation memory in bytes (LP: 600 KB, three scratchpads).
+    pub act_mem_bytes: u64,
+    /// Instruction memory in bytes.
+    pub inst_mem_bytes: u64,
+    /// External memory interface; `None` is rejected — DRAM-less variants
+    /// use [`DramInterface::HostLink`].
+    pub dram: DramInterface,
+    /// Total split-unipolar stream length per MAC pass (e.g. 256 = 128×2).
+    pub stream_len: usize,
+    /// Effective MAC-lane utilisation for fully-connected layers
+    /// (§III-B: one MAC per array usable ⇒ 12.5 %, i.e. 87.5 %
+    /// under-utilisation).
+    pub fc_utilization: f64,
+    /// Inference batch size. Batching reuses each loaded weight chunk
+    /// across `batch_size` frames, amortising FC weight streaming (§III-D:
+    /// "activation memory can be sized up to support larger batch sizes if
+    /// desired"). The paper's headline numbers use batch size 1.
+    pub batch_size: usize,
+}
+
+impl ArchConfig {
+    /// The low-power (LP) variant of Table III: 12 mm² / 0.35 W @ 200 MHz,
+    /// 147.5 KB weight and 600 KB activation memory, DDR3-class DRAM.
+    pub fn lp() -> Self {
+        ArchConfig {
+            name: "LP".to_string(),
+            rows: 32,
+            subrows_per_row: 3,
+            arrays_per_subrow: 8,
+            macs_per_array: 16,
+            mac_width: 96,
+            clock_hz: 200e6,
+            weight_mem_bytes: (147.5 * 1024.0) as u64,
+            act_mem_bytes: 600 * 1024,
+            inst_mem_bytes: 16 * 1024,
+            dram: DramInterface::Ddr3_2133,
+            stream_len: 256,
+            fc_utilization: 0.125,
+            batch_size: 1,
+        }
+    }
+
+    /// The ultra-low-power (ULP) variant of Table IV: ~0.18 mm² / 3 mW,
+    /// 3 KB weight and 2 KB activation memory, no DRAM (weights stream over
+    /// a slow host link when they do not fit on-chip).
+    pub fn ulp() -> Self {
+        ArchConfig {
+            name: "ULP".to_string(),
+            rows: 4,
+            subrows_per_row: 3,
+            arrays_per_subrow: 1,
+            macs_per_array: 16,
+            mac_width: 96,
+            clock_hz: 200e6,
+            weight_mem_bytes: 3 * 1024,
+            act_mem_bytes: 2 * 1024,
+            inst_mem_bytes: 2 * 1024,
+            dram: DramInterface::HostLink,
+            stream_len: 128,
+            fc_utilization: 0.125,
+            batch_size: 1,
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] for zero-sized dimensions, an
+    /// odd stream length, or an FC utilisation outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.rows == 0
+            || self.subrows_per_row == 0
+            || self.arrays_per_subrow == 0
+            || self.macs_per_array == 0
+            || self.mac_width == 0
+        {
+            return Err(ArchError::InvalidConfig(
+                "all hierarchy dimensions must be positive".into(),
+            ));
+        }
+        if self.stream_len == 0 || !self.stream_len.is_multiple_of(2) {
+            return Err(ArchError::InvalidConfig(format!(
+                "stream length {} must be positive and even",
+                self.stream_len
+            )));
+        }
+        if !(self.fc_utilization > 0.0 && self.fc_utilization <= 1.0) {
+            return Err(ArchError::InvalidConfig(format!(
+                "fc utilisation {} outside (0, 1]",
+                self.fc_utilization
+            )));
+        }
+        if self.clock_hz <= 0.0 {
+            return Err(ArchError::InvalidConfig("clock must be positive".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(ArchError::InvalidConfig(
+                "batch size must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total 96:1 MAC units.
+    pub fn mac_units(&self) -> usize {
+        self.rows * self.subrows_per_row * self.arrays_per_subrow * self.macs_per_array
+    }
+
+    /// Total multiplier lanes (`mac_units × mac_width`).
+    pub fn total_lanes(&self) -> usize {
+        self.mac_units() * self.mac_width
+    }
+
+    /// Output positions computed per pass per kernel (A × M).
+    pub fn positions_per_pass(&self) -> usize {
+        self.arrays_per_subrow * self.macs_per_array
+    }
+
+    /// Fan-in lanes available to one kernel per pass (S × mac_width).
+    pub fn fan_in_per_pass(&self) -> usize {
+        self.subrows_per_row * self.mac_width
+    }
+
+    /// Output counters (one per concurrently-computed output position).
+    pub fn counter_count(&self) -> usize {
+        self.rows * self.positions_per_pass()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_matches_paper_hierarchy() {
+        let lp = ArchConfig::lp();
+        lp.validate().unwrap();
+        // Fig. 3: 16 × 8 × 3 × 32 MACs of width 96.
+        assert_eq!(lp.mac_units(), 12_288);
+        assert_eq!(lp.total_lanes(), 1_179_648);
+        assert_eq!(lp.positions_per_pass(), 128);
+        assert_eq!(lp.fan_in_per_pass(), 288);
+        // §III-B: "32 kernels can be computed in parallel".
+        assert_eq!(lp.rows, 32);
+    }
+
+    #[test]
+    fn ulp_is_much_smaller_than_lp() {
+        let (lp, ulp) = (ArchConfig::lp(), ArchConfig::ulp());
+        ulp.validate().unwrap();
+        assert!(ulp.total_lanes() * 10 < lp.total_lanes());
+        assert!(ulp.weight_mem_bytes < lp.weight_mem_bytes / 10);
+        assert_eq!(ulp.dram, DramInterface::HostLink);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = ArchConfig::lp();
+        c.rows = 0;
+        assert!(c.validate().is_err());
+        let mut c = ArchConfig::lp();
+        c.stream_len = 255;
+        assert!(c.validate().is_err());
+        let mut c = ArchConfig::lp();
+        c.fc_utilization = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ArchConfig::lp();
+        c.clock_hz = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn counters_match_parallel_outputs() {
+        let lp = ArchConfig::lp();
+        assert_eq!(lp.counter_count(), 32 * 128);
+    }
+}
+
+impl ArchConfig {
+    /// Bits required by an output counter: it must hold the worst-case
+    /// magnitude accumulated over one output's full computation — every
+    /// cycle of every fan-in pass can add ±1, so the range is
+    /// `±(fan_in_passes × per-phase cycles)` plus a sign bit. The LP default
+    /// (256-long streams, up to 16 fan-in passes for 3×3×512 kernels) needs
+    /// 12 bits; the area model budgets 16-bit counters.
+    pub fn counter_bits(&self, fan_in_passes: usize) -> u32 {
+        let max_count = (fan_in_passes.max(1) as u64) * (self.stream_len as u64 / 2);
+        // ceil(log2(max_count + 1)) magnitude bits + 1 sign bit.
+        (u64::BITS - max_count.leading_zeros()) + 1
+    }
+}
+
+#[cfg(test)]
+mod counter_bits_tests {
+    use super::*;
+
+    #[test]
+    fn lp_counters_fit_sixteen_bits() {
+        let lp = ArchConfig::lp();
+        // Deepest Table III accumulation: 3x3x512 kernel = 16 fan-in passes.
+        let bits = lp.counter_bits(16);
+        assert!(bits <= 16, "LP counters need {bits} bits");
+        assert!(bits >= 11, "suspiciously small: {bits}");
+    }
+
+    #[test]
+    fn counter_bits_grow_with_depth_and_stream() {
+        let lp = ArchConfig::lp();
+        assert!(lp.counter_bits(16) > lp.counter_bits(1));
+        let mut long = ArchConfig::lp();
+        long.stream_len = 1024;
+        assert!(long.counter_bits(16) > lp.counter_bits(16));
+    }
+
+    #[test]
+    fn single_pass_counter_is_compact() {
+        let ulp = ArchConfig::ulp();
+        // 128-long streams, one pass: ±64 fits in 8 bits comfortably.
+        assert!(ulp.counter_bits(1) <= 8);
+    }
+}

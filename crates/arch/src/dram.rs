@@ -1,0 +1,140 @@
+//! External memory interface models (Fig. 4 sweeps DDR3-800…2133 and HBM).
+//!
+//! The performance simulator only needs sustainable bandwidth (to convert
+//! transfer sizes into cycles at a given core clock) and access energy
+//! (pJ/bit, reported separately from accelerator energy — see
+//! EXPERIMENTS.md on energy accounting).
+
+/// An external memory interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DramInterface {
+    /// DDR3-800: 6.4 GB/s peak per 64-bit channel.
+    Ddr3_800,
+    /// DDR3-1066: 8.533 GB/s.
+    Ddr3_1066,
+    /// DDR3-1333: 10.667 GB/s.
+    Ddr3_1333,
+    /// DDR3-1600: 12.8 GB/s.
+    Ddr3_1600,
+    /// DDR3-1866: 14.933 GB/s.
+    Ddr3_1866,
+    /// DDR3-2133: 17.066 GB/s.
+    Ddr3_2133,
+    /// First-generation HBM: 128 GB/s per stack.
+    Hbm,
+    /// A slow host/flash link for DRAM-less ULP deployments (§III-D: "all
+    /// the support for DRAM can be omitted"); weights stream in at
+    /// ~128 MB/s.
+    HostLink,
+}
+
+impl DramInterface {
+    /// All interfaces swept by Fig. 4, in paper order.
+    pub fn fig4_sweep() -> [DramInterface; 7] {
+        [
+            DramInterface::Ddr3_800,
+            DramInterface::Ddr3_1066,
+            DramInterface::Ddr3_1333,
+            DramInterface::Ddr3_1600,
+            DramInterface::Ddr3_1866,
+            DramInterface::Ddr3_2133,
+            DramInterface::Hbm,
+        ]
+    }
+
+    /// Peak bandwidth in bytes per second.
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        match self {
+            DramInterface::Ddr3_800 => 6.4e9,
+            DramInterface::Ddr3_1066 => 8.533e9,
+            DramInterface::Ddr3_1333 => 10.667e9,
+            DramInterface::Ddr3_1600 => 12.8e9,
+            DramInterface::Ddr3_1866 => 14.933e9,
+            DramInterface::Ddr3_2133 => 17.066e9,
+            DramInterface::Hbm => 128.0e9,
+            DramInterface::HostLink => 128.0e6,
+        }
+    }
+
+    /// Access energy in picojoules per bit (device + PHY, 28 nm-era
+    /// figures: DDR3 ≈ 20 pJ/bit, HBM ≈ 4 pJ/bit, host link ≈ 40 pJ/bit).
+    pub fn energy_pj_per_bit(&self) -> f64 {
+        match self {
+            DramInterface::Hbm => 4.0,
+            DramInterface::HostLink => 40.0,
+            _ => 20.0,
+        }
+    }
+
+    /// Cycles to transfer `bytes` at a core clock of `clock_hz`.
+    pub fn transfer_cycles(&self, bytes: u64, clock_hz: f64) -> u64 {
+        let seconds = bytes as f64 / self.bandwidth_bytes_per_sec();
+        (seconds * clock_hz).ceil() as u64
+    }
+
+    /// Short display name matching the paper's legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DramInterface::Ddr3_800 => "DDR3-800",
+            DramInterface::Ddr3_1066 => "DDR3-1066",
+            DramInterface::Ddr3_1333 => "DDR3-1333",
+            DramInterface::Ddr3_1600 => "DDR3-1600",
+            DramInterface::Ddr3_1866 => "DDR3-1866",
+            DramInterface::Ddr3_2133 => "DDR3-2133",
+            DramInterface::Hbm => "HBM",
+            DramInterface::HostLink => "HostLink",
+        }
+    }
+}
+
+impl std::fmt::Display for DramInterface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_is_monotone_across_ddr3_grades() {
+        let sweep = DramInterface::fig4_sweep();
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[0].bandwidth_bytes_per_sec() < pair[1].bandwidth_bytes_per_sec(),
+                "{} !< {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_cycles_scale_with_clock() {
+        let d = DramInterface::Ddr3_800;
+        // 6.4 GB in one second; 6.4 MB takes 1 ms = 200k cycles at 200 MHz.
+        let c = d.transfer_cycles(6_400_000, 200e6);
+        assert_eq!(c, 200_000);
+        // Doubling the clock doubles the cycle count for the same bytes.
+        assert_eq!(d.transfer_cycles(6_400_000, 400e6), 400_000);
+    }
+
+    #[test]
+    fn hbm_is_an_order_faster_than_ddr3() {
+        let r = DramInterface::Hbm.bandwidth_bytes_per_sec()
+            / DramInterface::Ddr3_2133.bandwidth_bytes_per_sec();
+        assert!(r > 7.0);
+    }
+
+    #[test]
+    fn zero_bytes_take_zero_cycles() {
+        assert_eq!(DramInterface::Hbm.transfer_cycles(0, 200e6), 0);
+    }
+
+    #[test]
+    fn labels_roundtrip_display() {
+        assert_eq!(DramInterface::Ddr3_1600.to_string(), "DDR3-1600");
+    }
+}

@@ -1,0 +1,455 @@
+//! The ACOUSTIC restricted instruction set (Table I).
+//!
+//! | Module   | Instruction      | Description                                 |
+//! |----------|------------------|---------------------------------------------|
+//! | DMA      | `ACTLD`/`ACTST`  | Load/store activations from/to DRAM         |
+//! |          | `WGTLD`          | Load weights from DRAM                      |
+//! | MAC      | `MAC`            | Compute                                     |
+//! | ACTRNG   | `ACTRNG`         | Load activations into SNGs                  |
+//! | WGTRNG   | `WGTRNG`         | Load weights into SNGs                      |
+//! |          | `WGTSHIFT`       | Shift weight SNG buffers                    |
+//! | CNT      | `CNTLD`/`CNTST`  | Load/store activations from/to counter/ReLU |
+//! | DISPATCH | `FOR*`/`END*`    | Kernel/batch/row/pooling loops (K/B/R/P)    |
+//! |          | `BARR`           | Barrier                                     |
+//!
+//! Instructions carry the operand sizes the performance simulator needs to
+//! assign durations (bytes for DMA, cycles for MAC, element counts for
+//! buffer loads). A plain text assembly format round-trips through
+//! [`Instruction::parse`] / `Display`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ArchError;
+
+/// A control module of the distributed control scheme (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Module {
+    /// Direct-memory-access controller.
+    Dma,
+    /// The MAC compute engine.
+    Mac,
+    /// Activation SNG loader.
+    ActRng,
+    /// Weight SNG loader/shifter.
+    WgtRng,
+    /// Counter/ReLU unit.
+    Cnt,
+    /// The dispatcher itself (loops and barriers).
+    Dispatch,
+}
+
+impl Module {
+    /// All barrier-maskable modules (everything but the dispatcher).
+    pub const MASKABLE: [Module; 5] = [
+        Module::Dma,
+        Module::Mac,
+        Module::ActRng,
+        Module::WgtRng,
+        Module::Cnt,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            Module::Dma => 1 << 0,
+            Module::Mac => 1 << 1,
+            Module::ActRng => 1 << 2,
+            Module::WgtRng => 1 << 3,
+            Module::Cnt => 1 << 4,
+            Module::Dispatch => 1 << 5,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Module::Dma => "DMA",
+            Module::Mac => "MAC",
+            Module::ActRng => "ACTRNG",
+            Module::WgtRng => "WGTRNG",
+            Module::Cnt => "CNT",
+            Module::Dispatch => "DISPATCH",
+        }
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Module {
+    type Err = ArchError;
+
+    fn from_str(s: &str) -> Result<Self, ArchError> {
+        match s {
+            "DMA" => Ok(Module::Dma),
+            "MAC" => Ok(Module::Mac),
+            "ACTRNG" => Ok(Module::ActRng),
+            "WGTRNG" => Ok(Module::WgtRng),
+            "CNT" => Ok(Module::Cnt),
+            "DISPATCH" => Ok(Module::Dispatch),
+            _ => Err(ArchError::Parse(format!("unknown module '{s}'"))),
+        }
+    }
+}
+
+/// A barrier mask over control modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ModuleMask(u8);
+
+impl ModuleMask {
+    /// The empty mask.
+    pub fn empty() -> Self {
+        ModuleMask(0)
+    }
+
+    /// Mask covering every maskable module (a full barrier).
+    pub fn all() -> Self {
+        Module::MASKABLE
+            .iter()
+            .fold(ModuleMask::empty(), |m, &x| m.with(x))
+    }
+
+    /// Returns the mask with `module` added.
+    #[must_use]
+    pub fn with(self, module: Module) -> Self {
+        ModuleMask(self.0 | module.bit())
+    }
+
+    /// `true` if the mask contains `module`.
+    pub fn contains(&self, module: Module) -> bool {
+        self.0 & module.bit() != 0
+    }
+
+    /// `true` if no module is masked.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the masked modules.
+    pub fn iter(&self) -> impl Iterator<Item = Module> + '_ {
+        Module::MASKABLE
+            .into_iter()
+            .chain([Module::Dispatch])
+            .filter(|m| self.contains(*m))
+    }
+}
+
+impl fmt::Display for ModuleMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("NONE");
+        }
+        let mut first = true;
+        for m in self.iter() {
+            if !first {
+                f.write_str("|")?;
+            }
+            write!(f, "{m}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ModuleMask {
+    type Err = ArchError;
+
+    fn from_str(s: &str) -> Result<Self, ArchError> {
+        if s == "NONE" {
+            return Ok(ModuleMask::empty());
+        }
+        let mut mask = ModuleMask::empty();
+        for part in s.split('|') {
+            mask = mask.with(part.parse()?);
+        }
+        Ok(mask)
+    }
+}
+
+/// Loop kinds of the dispatcher (`FOR*`/`END*`, K/B/R/P in Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopKind {
+    /// Kernel loop (over kernel batches of R).
+    Kernel,
+    /// Batch loop (over input images).
+    Batch,
+    /// Row loop (over output-position groups).
+    Row,
+    /// Pooling loop (over skipped-pooling segments).
+    Pool,
+}
+
+impl LoopKind {
+    fn suffix(self) -> char {
+        match self {
+            LoopKind::Kernel => 'K',
+            LoopKind::Batch => 'B',
+            LoopKind::Row => 'R',
+            LoopKind::Pool => 'P',
+        }
+    }
+
+    fn from_suffix(c: char) -> Result<Self, ArchError> {
+        match c {
+            'K' => Ok(LoopKind::Kernel),
+            'B' => Ok(LoopKind::Batch),
+            'R' => Ok(LoopKind::Row),
+            'P' => Ok(LoopKind::Pool),
+            _ => Err(ArchError::Parse(format!("unknown loop kind '{c}'"))),
+        }
+    }
+}
+
+/// One ACOUSTIC instruction (Table I) with simulator-relevant operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// DMA: load `bytes` of activations from external memory.
+    ActLd {
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// DMA: store `bytes` of activations to external memory.
+    ActSt {
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// DMA: load `bytes` of weights from external memory.
+    WgtLd {
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// MAC engine: one compute pass of `cycles` cycles (the stream length,
+    /// or a pooling-shortened segment).
+    Mac {
+        /// Pass duration in cycles.
+        cycles: u64,
+    },
+    /// Load `values` activations into the activation SNG buffers.
+    ActRng {
+        /// Number of 8-bit values loaded.
+        values: u32,
+    },
+    /// Load `values` weights into the weight SNG buffers.
+    WgtRng {
+        /// Number of 8-bit values loaded.
+        values: u32,
+    },
+    /// Shift the weight SNG buffers (padding support, §III-B).
+    WgtShift,
+    /// Counter unit: load `values` activations into counters.
+    CntLd {
+        /// Number of values.
+        values: u32,
+    },
+    /// Counter unit: store `values` counter/ReLU results to the scratchpad.
+    CntSt {
+        /// Number of values.
+        values: u32,
+    },
+    /// Dispatcher: begin a loop of `count` iterations.
+    For {
+        /// Loop kind (K/B/R/P).
+        kind: LoopKind,
+        /// Iteration count.
+        count: u32,
+    },
+    /// Dispatcher: end the innermost loop of `kind`.
+    End {
+        /// Loop kind (K/B/R/P).
+        kind: LoopKind,
+    },
+    /// Dispatcher: stall until every module in `mask` is idle.
+    Barr {
+        /// Modules whose IDLE signals gate progress.
+        mask: ModuleMask,
+    },
+}
+
+impl Instruction {
+    /// The module that executes this instruction.
+    pub fn module(&self) -> Module {
+        match self {
+            Instruction::ActLd { .. } | Instruction::ActSt { .. } | Instruction::WgtLd { .. } => {
+                Module::Dma
+            }
+            Instruction::Mac { .. } => Module::Mac,
+            Instruction::ActRng { .. } => Module::ActRng,
+            Instruction::WgtRng { .. } | Instruction::WgtShift => Module::WgtRng,
+            Instruction::CntLd { .. } | Instruction::CntSt { .. } => Module::Cnt,
+            Instruction::For { .. } | Instruction::End { .. } | Instruction::Barr { .. } => {
+                Module::Dispatch
+            }
+        }
+    }
+
+    /// Parses one line of assembly text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::Parse`] on malformed input.
+    pub fn parse(line: &str) -> Result<Self, ArchError> {
+        let mut parts = line.split_whitespace();
+        let op = parts
+            .next()
+            .ok_or_else(|| ArchError::Parse("empty instruction".into()))?;
+        let arg = parts.next();
+        if parts.next().is_some() {
+            return Err(ArchError::Parse(format!("trailing tokens in '{line}'")));
+        }
+        let need_u64 = |what: &str| -> Result<u64, ArchError> {
+            arg.ok_or_else(|| ArchError::Parse(format!("{op} needs a {what}")))?
+                .parse::<u64>()
+                .map_err(|e| ArchError::Parse(format!("bad {what} in '{line}': {e}")))
+        };
+        let need_u32 = |what: &str| -> Result<u32, ArchError> {
+            arg.ok_or_else(|| ArchError::Parse(format!("{op} needs a {what}")))?
+                .parse::<u32>()
+                .map_err(|e| ArchError::Parse(format!("bad {what} in '{line}': {e}")))
+        };
+        let no_arg = |i: Instruction| -> Result<Instruction, ArchError> {
+            if arg.is_some() {
+                Err(ArchError::Parse(format!("{op} takes no operand")))
+            } else {
+                Ok(i)
+            }
+        };
+        match op {
+            "ACTLD" => Ok(Instruction::ActLd { bytes: need_u64("byte count")? }),
+            "ACTST" => Ok(Instruction::ActSt { bytes: need_u64("byte count")? }),
+            "WGTLD" => Ok(Instruction::WgtLd { bytes: need_u64("byte count")? }),
+            "MAC" => Ok(Instruction::Mac { cycles: need_u64("cycle count")? }),
+            "ACTRNG" => Ok(Instruction::ActRng { values: need_u32("value count")? }),
+            "WGTRNG" => Ok(Instruction::WgtRng { values: need_u32("value count")? }),
+            "WGTSHIFT" => no_arg(Instruction::WgtShift),
+            "CNTLD" => Ok(Instruction::CntLd { values: need_u32("value count")? }),
+            "CNTST" => Ok(Instruction::CntSt { values: need_u32("value count")? }),
+            "BARR" => Ok(Instruction::Barr {
+                mask: arg
+                    .ok_or_else(|| ArchError::Parse("BARR needs a module mask".into()))?
+                    .parse()?,
+            }),
+            _ => {
+                if let Some(kind) = op.strip_prefix("FOR").and_then(|s| s.chars().next()) {
+                    if op.len() == 4 {
+                        return Ok(Instruction::For {
+                            kind: LoopKind::from_suffix(kind)?,
+                            count: need_u32("iteration count")?,
+                        });
+                    }
+                }
+                if let Some(kind) = op.strip_prefix("END").and_then(|s| s.chars().next()) {
+                    if op.len() == 4 {
+                        return no_arg(Instruction::End {
+                            kind: LoopKind::from_suffix(kind)?,
+                        });
+                    }
+                }
+                Err(ArchError::Parse(format!("unknown opcode '{op}'")))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::ActLd { bytes } => write!(f, "ACTLD {bytes}"),
+            Instruction::ActSt { bytes } => write!(f, "ACTST {bytes}"),
+            Instruction::WgtLd { bytes } => write!(f, "WGTLD {bytes}"),
+            Instruction::Mac { cycles } => write!(f, "MAC {cycles}"),
+            Instruction::ActRng { values } => write!(f, "ACTRNG {values}"),
+            Instruction::WgtRng { values } => write!(f, "WGTRNG {values}"),
+            Instruction::WgtShift => write!(f, "WGTSHIFT"),
+            Instruction::CntLd { values } => write!(f, "CNTLD {values}"),
+            Instruction::CntSt { values } => write!(f, "CNTST {values}"),
+            Instruction::For { kind, count } => write!(f, "FOR{} {count}", kind.suffix()),
+            Instruction::End { kind } => write!(f, "END{}", kind.suffix()),
+            Instruction::Barr { mask } => write!(f, "BARR {mask}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_assignment_matches_table1() {
+        assert_eq!(Instruction::ActLd { bytes: 1 }.module(), Module::Dma);
+        assert_eq!(Instruction::WgtLd { bytes: 1 }.module(), Module::Dma);
+        assert_eq!(Instruction::Mac { cycles: 1 }.module(), Module::Mac);
+        assert_eq!(Instruction::ActRng { values: 1 }.module(), Module::ActRng);
+        assert_eq!(Instruction::WgtShift.module(), Module::WgtRng);
+        assert_eq!(Instruction::CntSt { values: 1 }.module(), Module::Cnt);
+        assert_eq!(
+            Instruction::Barr { mask: ModuleMask::all() }.module(),
+            Module::Dispatch
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let instrs = [
+            Instruction::ActLd { bytes: 1024 },
+            Instruction::ActSt { bytes: 77 },
+            Instruction::WgtLd { bytes: 2_400_000 },
+            Instruction::Mac { cycles: 256 },
+            Instruction::ActRng { values: 128 },
+            Instruction::WgtRng { values: 96 },
+            Instruction::WgtShift,
+            Instruction::CntLd { values: 4 },
+            Instruction::CntSt { values: 4096 },
+            Instruction::For { kind: LoopKind::Kernel, count: 16 },
+            Instruction::End { kind: LoopKind::Pool },
+            Instruction::Barr {
+                mask: ModuleMask::empty().with(Module::Dma).with(Module::Mac),
+            },
+        ];
+        for i in instrs {
+            let text = i.to_string();
+            let back = Instruction::parse(&text).unwrap();
+            assert_eq!(back, i, "roundtrip failed for '{text}'");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Instruction::parse("").is_err());
+        assert!(Instruction::parse("NOP").is_err());
+        assert!(Instruction::parse("MAC").is_err());
+        assert!(Instruction::parse("MAC abc").is_err());
+        assert!(Instruction::parse("MAC 1 2").is_err());
+        assert!(Instruction::parse("WGTSHIFT 3").is_err());
+        assert!(Instruction::parse("FORX 3").is_err());
+        assert!(Instruction::parse("BARR").is_err());
+        assert!(Instruction::parse("BARR FOO").is_err());
+    }
+
+    #[test]
+    fn mask_operations() {
+        let m = ModuleMask::empty().with(Module::Dma).with(Module::Cnt);
+        assert!(m.contains(Module::Dma));
+        assert!(!m.contains(Module::Mac));
+        assert_eq!(m.to_string(), "DMA|CNT");
+        assert_eq!("DMA|CNT".parse::<ModuleMask>().unwrap(), m);
+        assert_eq!("NONE".parse::<ModuleMask>().unwrap(), ModuleMask::empty());
+        assert!(ModuleMask::all().contains(Module::WgtRng));
+        assert!(!ModuleMask::all().contains(Module::Dispatch));
+    }
+
+    #[test]
+    fn loop_suffixes_cover_kbrp() {
+        for (k, c) in [
+            (LoopKind::Kernel, 'K'),
+            (LoopKind::Batch, 'B'),
+            (LoopKind::Row, 'R'),
+            (LoopKind::Pool, 'P'),
+        ] {
+            assert_eq!(k.suffix(), c);
+            assert_eq!(LoopKind::from_suffix(c).unwrap(), k);
+        }
+        assert!(LoopKind::from_suffix('Z').is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! The ACOUSTIC accelerator architecture model (§III–IV of the paper).
+//!
+//! This crate is the *performance* half of the paper's decoupled evaluation
+//! methodology (the functional half lives in `acoustic-simfunc`):
+//!
+//! * [`config`] — the compute-engine hierarchy (Fig. 3) and the evaluated
+//!   LP / ULP variants (§III-D),
+//! * [`isa`] / [`program`] — the restricted instruction set of Table I with
+//!   a text assembler,
+//! * [`compile`] — maps a network's layer shapes onto the engine, emitting
+//!   ISA programs with weight-prefetch overlap and computation-skipping
+//!   pooling loops,
+//! * [`perf`] — the dispatcher/module-FIFO performance simulator (§III-C),
+//! * [`dram`] / [`sram`] — external-memory and CACTI-style SRAM models,
+//! * [`area`] / [`power`] — the Fig.-5 component area/energy breakdowns,
+//! * [`estimate`] — one-call latency/throughput/energy estimation (the
+//!   Fr/s and Fr/J entries of Tables III/IV).
+//!
+//! # Example: reproduce one Table III cell
+//!
+//! ```
+//! use acoustic_arch::config::ArchConfig;
+//! use acoustic_arch::estimate::estimate;
+//! use acoustic_nn::zoo::alexnet;
+//!
+//! # fn main() -> Result<(), acoustic_arch::ArchError> {
+//! let e = estimate(&alexnet(), &ArchConfig::lp())?;
+//! println!("AlexNet on LP: {:.1} frames/s, {:.0} frames/J",
+//!          e.frames_per_s, e.frames_per_j);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod compile;
+pub mod config;
+pub mod dram;
+pub mod estimate;
+pub mod isa;
+pub mod perf;
+pub mod power;
+pub mod program;
+pub mod sram;
+
+mod arch_error;
+
+pub use arch_error::ArchError;
+pub use config::ArchConfig;

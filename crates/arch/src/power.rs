@@ -1,0 +1,232 @@
+//! Component energy model (Fig. 5 c/d and the Fr/J columns of Tables
+//! III/IV).
+//!
+//! Dynamic energy is activity-based: switching components (MAC lanes, SNGs,
+//! counters) charge per *active* cycle, scaled by the layer's lane
+//! utilisation — §III-B: "unused MACs and SNGs do not contribute to dynamic
+//! energy consumption... AND-based multipliers perform operand gating".
+//! Buffer and SRAM energies charge per value moved; leakage charges per
+//! wall-clock second. External-memory energy is reported separately (the
+//! paper's Fr/J numbers are accelerator-side — see EXPERIMENTS.md).
+
+use crate::area::{area_breakdown, Breakdown, Component, UnitCounts};
+use crate::compile::CompiledNetwork;
+use crate::config::ArchConfig;
+use crate::perf::PerfReport;
+use crate::sram::SramMacro;
+
+/// Energy of one MAC lane (AND + OR-tree share) per active cycle, joules.
+pub const MAC_LANE_ENERGY_J: f64 = 0.58e-15;
+/// Energy of one activation SNG (LFSR share + comparator) per active cycle.
+pub const ACT_SNG_ENERGY_J: f64 = 10.0e-15;
+/// Energy of one weight SNG per active cycle (lower switching activity).
+pub const WGT_SNG_ENERGY_J: f64 = 2.0e-15;
+/// Energy of one output counter per active cycle.
+pub const COUNTER_ENERGY_J: f64 = 50e-15;
+/// Energy to load one 8-bit value into an SNG/counter buffer.
+pub const BUFFER_LOAD_ENERGY_J: f64 = 0.2e-12;
+/// Energy per instruction fetch/dispatch.
+pub const INST_FETCH_ENERGY_J: f64 = 5e-12;
+/// Logic leakage density at 28 nm HVT, watts per mm².
+pub const LOGIC_LEAKAGE_W_PER_MM2: f64 = 2e-3;
+
+/// Energy accounting of one simulated inference.
+#[derive(Debug, Clone)]
+pub struct EnergyReport {
+    /// Dynamic energy per Fig.-5 component, joules.
+    pub dynamic: Breakdown,
+    /// On-chip leakage energy, joules.
+    pub leakage_j: f64,
+    /// External-memory (DRAM / host-link) energy, joules — reported
+    /// separately from the accelerator energy.
+    pub dram_j: f64,
+    /// Wall-clock seconds of the run.
+    pub seconds: f64,
+}
+
+impl EnergyReport {
+    /// Total on-chip energy (dynamic + leakage), joules.
+    pub fn onchip_j(&self) -> f64 {
+        self.dynamic.total() + self.leakage_j
+    }
+
+    /// Total including external memory, joules.
+    pub fn total_j(&self) -> f64 {
+        self.onchip_j() + self.dram_j
+    }
+
+    /// Average on-chip power over the run, watts.
+    pub fn average_power_w(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.onchip_j() / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Peak on-chip power of a configuration (all switching components active
+/// at full utilisation plus leakage) — the paper's "Power" rows (LP 0.35 W,
+/// ULP 3 mW).
+pub fn peak_power_w(cfg: &ArchConfig) -> f64 {
+    let u = UnitCounts::for_config(cfg);
+    let dynamic_per_cycle = u.mac_units as f64 * 96.0 * MAC_LANE_ENERGY_J
+        + u.act_sngs as f64 * ACT_SNG_ENERGY_J
+        + u.wgt_sngs as f64 * WGT_SNG_ENERGY_J
+        + u.counters as f64 * COUNTER_ENERGY_J;
+    dynamic_per_cycle * cfg.clock_hz + leakage_w(cfg)
+}
+
+/// Total leakage power of a configuration, watts.
+pub fn leakage_w(cfg: &ArchConfig) -> f64 {
+    let srams = SramMacro::new(cfg.act_mem_bytes).leakage_w()
+        + SramMacro::new(cfg.weight_mem_bytes).leakage_w()
+        + SramMacro::new(cfg.inst_mem_bytes).leakage_w();
+    let logic_mm2: f64 = area_breakdown(cfg)
+        .iter()
+        .filter(|(c, _)| {
+            !matches!(
+                c,
+                Component::ActMem | Component::WgtMem | Component::InstMem
+            )
+        })
+        .map(|(_, a)| a)
+        .sum();
+    srams + logic_mm2 * LOGIC_LEAKAGE_W_PER_MM2
+}
+
+/// Computes the energy of one simulated inference.
+///
+/// `report` is the performance-simulation result for `compiled`'s program;
+/// per-layer lane utilisations come from the compiler.
+pub fn energy_report(
+    cfg: &ArchConfig,
+    compiled: &CompiledNetwork,
+    report: &PerfReport,
+) -> EnergyReport {
+    let u = UnitCounts::for_config(cfg);
+    let n = cfg.stream_len as f64;
+
+    // Switching energy: per-layer MAC busy cycles × utilisation.
+    let mut mac_j = 0.0;
+    let mut act_sng_j = 0.0;
+    let mut wgt_sng_j = 0.0;
+    let mut counter_j = 0.0;
+    for layer in &compiled.layers {
+        let active_cycles = layer.passes as f64 * n * layer.utilization;
+        mac_j += active_cycles * u.mac_units as f64 * 96.0 * MAC_LANE_ENERGY_J;
+        act_sng_j += active_cycles * u.act_sngs as f64 * ACT_SNG_ENERGY_J;
+        wgt_sng_j += active_cycles * u.wgt_sngs as f64 * WGT_SNG_ENERGY_J;
+        counter_j += active_cycles * u.counters as f64 * COUNTER_ENERGY_J;
+    }
+
+    // Buffer loads (8-bit values into SNG / counter staging).
+    let act_buf_j = report.act_rng_values as f64 * BUFFER_LOAD_ENERGY_J;
+    let wgt_buf_j = report.wgt_rng_values as f64 * BUFFER_LOAD_ENERGY_J;
+
+    // SRAM traffic: activation memory serves SNG loads (reads) and counter
+    // stores (writes); weight memory serves SNG loads and DMA refills.
+    let act_mem = SramMacro::new(cfg.act_mem_bytes);
+    let wgt_mem = SramMacro::new(cfg.weight_mem_bytes);
+    let act_mem_j = act_mem.transfer_energy_j(report.act_rng_values + report.counter_values);
+    let wgt_mem_j =
+        wgt_mem.transfer_energy_j(report.wgt_rng_values + report.dram_read_bytes);
+    let total_instrs: u64 = report.activity.values().map(|a| a.instructions).sum();
+    let inst_j = total_instrs as f64 * INST_FETCH_ENERGY_J;
+
+    let seconds = report.seconds(cfg);
+    let dynamic = Breakdown::new(vec![
+        (Component::InstMem, inst_j),
+        (Component::ActMem, act_mem_j),
+        (Component::WgtMem, wgt_mem_j),
+        (Component::ActBuf, act_buf_j),
+        (Component::ActSng, act_sng_j),
+        (Component::WgtBuf, wgt_buf_j),
+        (Component::WgtSng, wgt_sng_j),
+        (Component::ActCounter, counter_j),
+        (Component::MacArray, mac_j),
+    ]);
+    let dram_bits = (report.dram_read_bytes + report.dram_write_bytes) as f64 * 8.0;
+    EnergyReport {
+        dynamic,
+        leakage_j: leakage_w(cfg) * seconds,
+        dram_j: dram_bits * cfg.dram.energy_pj_per_bit() * 1e-12,
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::perf::PerfSimulator;
+    use acoustic_nn::zoo::{alexnet, cifar10_cnn};
+
+    #[test]
+    fn lp_peak_power_matches_published_035w() {
+        let p = peak_power_w(&ArchConfig::lp());
+        assert!((0.2..0.5).contains(&p), "LP peak power {p} W");
+    }
+
+    #[test]
+    fn ulp_peak_power_matches_published_3mw() {
+        let p = peak_power_w(&ArchConfig::ulp());
+        assert!((0.001..0.01).contains(&p), "ULP peak power {p} W");
+    }
+
+    fn run(net: &acoustic_nn::zoo::NetworkShape, cfg: &ArchConfig) -> EnergyReport {
+        let compiled = compile(net, cfg).unwrap();
+        let prog = compiled.to_program().unwrap();
+        let report = PerfSimulator::new(cfg.clone()).unwrap().run(&prog).unwrap();
+        energy_report(cfg, &compiled, &report)
+    }
+
+    #[test]
+    fn alexnet_energy_near_published_04mj() {
+        // Abstract: "4ms/0.4mJ per image using AlexNet".
+        let e = run(&alexnet(), &ArchConfig::lp());
+        let mj = e.onchip_j() * 1e3;
+        assert!((0.1..1.2).contains(&mj), "AlexNet on-chip energy {mj} mJ");
+    }
+
+    #[test]
+    fn average_power_below_peak() {
+        let cfg = ArchConfig::lp();
+        let e = run(&alexnet(), &cfg);
+        assert!(e.average_power_w() < peak_power_w(&cfg));
+        assert!(e.average_power_w() > 0.0);
+    }
+
+    #[test]
+    fn mac_array_dominates_lp_dynamic_energy() {
+        // §IV-C: MAC arrays are the major power contributor on LP; weight
+        // buffers have much lower relative power than their area share.
+        let cfg = ArchConfig::lp();
+        let e = run(&cifar10_cnn(), &cfg);
+        let mac_share = e.dynamic.get(Component::MacArray) / e.dynamic.total();
+        let wbuf_share = e.dynamic.get(Component::WgtBuf) / e.dynamic.total();
+        assert!(mac_share > 0.25, "MAC dynamic share {mac_share}");
+        assert!(wbuf_share < 0.10, "weight buffer dynamic share {wbuf_share}");
+        let area = crate::area::area_breakdown(&cfg);
+        let wbuf_area_share = area.get(Component::WgtBuf) / area.total();
+        assert!(wbuf_share < wbuf_area_share);
+    }
+
+    #[test]
+    fn dram_energy_reported_separately() {
+        let e = run(&alexnet(), &ArchConfig::lp());
+        // AlexNet streams ~58 MB of FC weights: DRAM energy must exceed the
+        // on-chip energy, which is exactly why it is reported separately.
+        assert!(e.dram_j > e.onchip_j());
+        assert!(e.total_j() > e.dram_j);
+    }
+
+    #[test]
+    fn leakage_scales_with_time() {
+        let cfg = ArchConfig::lp();
+        let alex = run(&alexnet(), &cfg);
+        let cifar = run(&cifar10_cnn(), &cfg);
+        assert!(alex.seconds > cifar.seconds);
+        assert!(alex.leakage_j > cifar.leakage_j);
+    }
+}

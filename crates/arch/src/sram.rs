@@ -1,0 +1,105 @@
+//! CACTI-flavoured on-chip SRAM model.
+//!
+//! The paper models SRAM/DRAM with CACTI 6.5; we use a small analytic fit of
+//! 28 nm CACTI outputs: area and energy scale sub-linearly with capacity
+//! (peripheral overheads dominate small arrays), which is what makes the ULP
+//! variant memory-dominated even at 5 KB total.
+
+/// An on-chip SRAM macro of a given capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramMacro {
+    capacity_bytes: u64,
+}
+
+impl SramMacro {
+    /// Creates a macro of `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        SramMacro { capacity_bytes }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Area in mm². Fit: ~1.05 mm²/MB of cells for large arrays, a
+    /// square-root peripheral term (decoders, sense amps scale with the
+    /// array edge) and a fixed per-macro floor — small macros are
+    /// disproportionately expensive, which is what makes the ULP variant
+    /// memory-dominated at only 5 KB of storage.
+    pub fn area_mm2(&self) -> f64 {
+        let mb = self.capacity_bytes as f64 / (1024.0 * 1024.0);
+        0.012 + 1.05 * mb + 0.09 * mb.sqrt()
+    }
+
+    /// Dynamic read/write energy per 8-byte access, in picojoules.
+    /// Fit: grows with the square root of capacity (bitline length).
+    pub fn access_energy_pj(&self) -> f64 {
+        let kb = self.capacity_bytes as f64 / 1024.0;
+        1.5 + 0.45 * kb.sqrt()
+    }
+
+    /// Leakage power in watts (≈9 µW/KB at 28 nm HVT).
+    pub fn leakage_w(&self) -> f64 {
+        let kb = self.capacity_bytes as f64 / 1024.0;
+        9.0e-6 * kb
+    }
+
+    /// Energy to move `bytes` through this macro (reads or writes), in
+    /// joules.
+    pub fn transfer_energy_j(&self, bytes: u64) -> f64 {
+        let accesses = bytes.div_ceil(8);
+        accesses as f64 * self.access_energy_pj() * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_sublinearly() {
+        let small = SramMacro::new(2 * 1024);
+        let large = SramMacro::new(512 * 1024);
+        // 256x the capacity should cost well below 256x the area.
+        let ratio = large.area_mm2() / small.area_mm2();
+        assert!(ratio < 256.0 && ratio > 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn lp_memories_have_plausible_area() {
+        // 600 KB activation memory ≈ 0.7–2 mm² at 28 nm.
+        let act = SramMacro::new(600 * 1024);
+        assert!(
+            (0.5..2.5).contains(&act.area_mm2()),
+            "600 KB area {}",
+            act.area_mm2()
+        );
+        let wgt = SramMacro::new(151 * 1024);
+        assert!((0.1..0.8).contains(&wgt.area_mm2()), "{}", wgt.area_mm2());
+    }
+
+    #[test]
+    fn access_energy_grows_with_capacity() {
+        assert!(
+            SramMacro::new(600 * 1024).access_energy_pj()
+                > SramMacro::new(2 * 1024).access_energy_pj()
+        );
+    }
+
+    #[test]
+    fn transfer_energy_counts_word_accesses() {
+        let m = SramMacro::new(1024);
+        let one = m.transfer_energy_j(8);
+        let many = m.transfer_energy_j(80);
+        assert!((many / one - 10.0).abs() < 1e-9);
+        assert_eq!(m.transfer_energy_j(0), 0.0);
+    }
+
+    #[test]
+    fn leakage_proportional_to_capacity() {
+        let a = SramMacro::new(1024).leakage_w();
+        let b = SramMacro::new(2048).leakage_w();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the architecture-model invariants.
+
+use proptest::prelude::*;
+
+use acoustic_arch::compile::compile;
+use acoustic_arch::config::ArchConfig;
+use acoustic_arch::dram::DramInterface;
+use acoustic_arch::isa::{Instruction, LoopKind, Module, ModuleMask};
+use acoustic_arch::perf::PerfSimulator;
+use acoustic_arch::program::Program;
+use acoustic_nn::zoo::NetworkShapeBuilder;
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (1u64..1_000_000).prop_map(|bytes| Instruction::ActLd { bytes }),
+        (1u64..1_000_000).prop_map(|bytes| Instruction::ActSt { bytes }),
+        (1u64..1_000_000).prop_map(|bytes| Instruction::WgtLd { bytes }),
+        (1u64..100_000).prop_map(|cycles| Instruction::Mac { cycles }),
+        (1u32..100_000).prop_map(|values| Instruction::ActRng { values }),
+        (1u32..100_000).prop_map(|values| Instruction::WgtRng { values }),
+        Just(Instruction::WgtShift),
+        (1u32..100_000).prop_map(|values| Instruction::CntLd { values }),
+        (1u32..100_000).prop_map(|values| Instruction::CntSt { values }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_instruction_roundtrips(instr in arb_instruction()) {
+        let text = instr.to_string();
+        prop_assert_eq!(Instruction::parse(&text).unwrap(), instr);
+    }
+
+    #[test]
+    fn straightline_programs_never_deadlock(
+        body in proptest::collection::vec(arb_instruction(), 1..40)
+    ) {
+        let mut instrs = body;
+        instrs.push(Instruction::Barr { mask: ModuleMask::all() });
+        let program = Program::new(instrs).unwrap();
+        let sim = PerfSimulator::new(ArchConfig::lp()).unwrap();
+        let report = sim.run(&program).unwrap();
+        prop_assert!(report.total_cycles > 0);
+    }
+
+    #[test]
+    fn busy_cycles_never_exceed_total(
+        body in proptest::collection::vec(arb_instruction(), 1..30),
+        count in 1u32..6
+    ) {
+        let mut instrs = vec![Instruction::For { kind: LoopKind::Row, count }];
+        instrs.extend(body);
+        instrs.push(Instruction::Barr { mask: ModuleMask::all() });
+        instrs.push(Instruction::End { kind: LoopKind::Row });
+        let program = Program::new(instrs).unwrap();
+        let sim = PerfSimulator::new(ArchConfig::lp()).unwrap();
+        let report = sim.run(&program).unwrap();
+        for (name, act) in &report.activity {
+            prop_assert!(
+                act.busy_cycles <= report.total_cycles,
+                "{name} busy {} > total {}", act.busy_cycles, report.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn loop_iterations_scale_dynamic_counts(count in 1u32..20, cycles in 1u64..1000) {
+        let program = Program::new(vec![
+            Instruction::For { kind: LoopKind::Kernel, count },
+            Instruction::Mac { cycles },
+            Instruction::Barr { mask: ModuleMask::empty().with(Module::Mac) },
+            Instruction::End { kind: LoopKind::Kernel },
+        ]).unwrap();
+        let sim = PerfSimulator::new(ArchConfig::lp()).unwrap();
+        let report = sim.run(&program).unwrap();
+        prop_assert_eq!(report.mac_passes, u64::from(count));
+        prop_assert_eq!(report.busy(Module::Mac), u64::from(count) * cycles);
+    }
+
+    #[test]
+    fn faster_dram_never_increases_latency(
+        kernels in 1usize..128,
+        channels in 1usize..64
+    ) {
+        let net = NetworkShapeBuilder::new("t", channels.max(1), 16, 16)
+            .conv(kernels.max(1), 3, 1, 1)
+            .unwrap()
+            .build();
+        let mut slow = ArchConfig::lp();
+        slow.dram = DramInterface::Ddr3_800;
+        let mut fast = slow.clone();
+        fast.dram = DramInterface::Hbm;
+        let run = |cfg: &ArchConfig| {
+            let compiled = compile(&net, cfg).unwrap();
+            PerfSimulator::new(cfg.clone())
+                .unwrap()
+                .run(&compiled.to_program().unwrap())
+                .unwrap()
+                .total_cycles
+        };
+        prop_assert!(run(&fast) <= run(&slow));
+    }
+
+    #[test]
+    fn more_rows_never_increase_passes(
+        kernels in 1usize..256,
+        hw in 4usize..32
+    ) {
+        let net = NetworkShapeBuilder::new("t", 16, hw, hw)
+            .conv(kernels.max(1), 3, 1, 1)
+            .unwrap()
+            .build();
+        let mut small = ArchConfig::lp();
+        small.rows = 8;
+        let mut big = ArchConfig::lp();
+        big.rows = 32;
+        let passes = |cfg: &ArchConfig| compile(&net, cfg).unwrap().total_passes();
+        prop_assert!(passes(&big) <= passes(&small));
+    }
+
+    #[test]
+    fn compiled_conv_mac_cycles_match_passes(
+        kernels in 1usize..96,
+        channels in 1usize..48,
+        hw in 4usize..24
+    ) {
+        let cfg = ArchConfig::lp();
+        let net = NetworkShapeBuilder::new("t", channels.max(1), hw, hw)
+            .conv(kernels.max(1), 3, 1, 1)
+            .unwrap()
+            .build();
+        let compiled = compile(&net, &cfg).unwrap();
+        let report = PerfSimulator::new(cfg.clone())
+            .unwrap()
+            .run(&compiled.to_program().unwrap())
+            .unwrap();
+        // Every pass is one full-stream MAC occupancy.
+        prop_assert_eq!(
+            report.busy(Module::Mac),
+            compiled.total_passes() * cfg.stream_len as u64
+        );
+    }
+
+    #[test]
+    fn mask_roundtrip(bits in proptest::collection::vec(any::<bool>(), 5)) {
+        let mut mask = ModuleMask::empty();
+        for (m, &on) in Module::MASKABLE.iter().zip(&bits) {
+            if on {
+                mask = mask.with(*m);
+            }
+        }
+        if !mask.is_empty() {
+            let text = mask.to_string();
+            prop_assert_eq!(text.parse::<ModuleMask>().unwrap(), mask);
+        }
+    }
+}

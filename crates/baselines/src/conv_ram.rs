@@ -1,0 +1,48 @@
+//! Conv-RAM \[36\] — the analog in-SRAM comparator of Table IV.
+//!
+//! An energy-efficient SRAM with embedded analog convolution, 6-bit
+//! activations and binarized weights. Anchored to the published numbers
+//! scaled to 28 nm, as in the paper.
+
+use crate::BaselineEstimate;
+
+/// Die area at 28 nm, mm² (Table IV).
+pub const AREA_MM2: f64 = 0.02;
+/// Power, W (Table IV: 0.016 mW).
+pub const POWER_W: f64 = 0.016e-3;
+/// Clock, Hz (Table IV: 364 MHz).
+pub const CLOCK_HZ: f64 = 364e6;
+/// Precision: activations/weights.
+pub const PRECISION: &str = "6b/1b";
+
+/// Published LeNet-5 conv-layer performance (Table IV): 15,200 Fr/s,
+/// 40 MFr/J.
+pub fn lenet5_conv() -> BaselineEstimate {
+    BaselineEstimate {
+        accelerator: "Conv-RAM".to_string(),
+        network: "LeNet-5 (conv only)".to_string(),
+        frames_per_s: 15_200.0,
+        frames_per_j: 40.0e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_table4() {
+        let e = lenet5_conv();
+        assert_eq!(e.frames_per_s, 15_200.0);
+        assert_eq!(e.frames_per_j, 40.0e6);
+    }
+
+    #[test]
+    fn conv_ram_is_tiny_but_slow_compared_to_paper_ulp() {
+        // Table IV shape: ACOUSTIC ULP has 8.2x the throughput at similar
+        // energy efficiency.
+        let e = lenet5_conv();
+        assert!(AREA_MM2 < 0.1);
+        assert!(e.frames_per_s < 125_000.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Baseline accelerators and SC-accumulation comparators for the ACOUSTIC
+//! evaluation (§IV).
+//!
+//! Two kinds of baselines appear in the paper:
+//!
+//! * **First-principles models** — [`eyeriss`] (row-stationary fixed-point
+//!   spatial accelerator, modelled per-network from layer shapes the way
+//!   the paper uses the TETRIS simulator), and the stochastic accumulation
+//!   alternatives [`mux_tree`] (MUX scaled adder trees) and [`apc`]
+//!   (accumulative parallel counters of SC-DCNN \[12\]) plus the per-product
+//!   binary-conversion scheme of \[21\], all with a shared gate-area model
+//!   ([`gates`]).
+//! * **Published-anchor models** — [`scope`], [`mdl_cnn`] and [`conv_ram`],
+//!   reproduced from their publications and scaled to 28 nm, exactly as the
+//!   paper does ("SCOPE numbers are reproduced from [14, 35] and scaled to
+//!   28nm").
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apc;
+pub mod bipolar_mac;
+pub mod conv_ram;
+pub mod eyeriss;
+pub mod gates;
+pub mod mdl_cnn;
+pub mod mux_tree;
+pub mod scope;
+
+/// Throughput/efficiency estimate of a baseline on one network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEstimate {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Network name.
+    pub network: String,
+    /// Inference throughput, frames per second.
+    pub frames_per_s: f64,
+    /// Energy efficiency, frames per joule (accelerator-side energy).
+    pub frames_per_j: f64,
+}

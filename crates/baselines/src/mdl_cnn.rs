@@ -1,0 +1,57 @@
+//! MDL-CNN \[32\] — the all-digital time-domain comparator of Table IV.
+//!
+//! A bidirectional-memory-delay-line CNN engine with 8-bit activations and
+//! binarized (1-bit) weights. Anchored to the published numbers scaled to
+//! 28 nm, as in the paper.
+
+use crate::BaselineEstimate;
+
+/// Die area at 28 nm, mm² (Table IV).
+pub const AREA_MM2: f64 = 0.124;
+/// Power, W (Table IV: 0.03 mW).
+pub const POWER_W: f64 = 0.03e-3;
+/// Clock, Hz (Table IV: 24 MHz).
+pub const CLOCK_HZ: f64 = 24e6;
+/// Precision: activations/weights.
+pub const PRECISION: &str = "8b/1b";
+
+/// Published LeNet-5 conv-layer performance (Table IV, non-accelerated MDL
+/// so that no accuracy is sacrificed): 1009 Fr/s, 33.6 MFr/J.
+pub fn lenet5_conv() -> BaselineEstimate {
+    BaselineEstimate {
+        accelerator: "MDL-CNN".to_string(),
+        network: "LeNet-5 (conv only)".to_string(),
+        frames_per_s: 1009.0,
+        frames_per_j: 33.6e6,
+    }
+}
+
+/// Binarized weights cost accuracy: the paper cites a 1–3 % MNIST drop vs
+/// ACOUSTIC's 8-bit weights (§IV-D). Returned as (min, max) percentage
+/// points.
+pub fn binarization_accuracy_drop_pct() -> (f64, f64) {
+    (1.0, 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_table4() {
+        let e = lenet5_conv();
+        assert_eq!(e.frames_per_s, 1009.0);
+        assert_eq!(e.frames_per_j, 33.6e6);
+        assert!(AREA_MM2 < 0.2);
+    }
+
+    #[test]
+    fn implied_energy_is_consistent_with_power() {
+        // 1009 Fr/s at 0.03 mW ⇒ ~30 nJ/frame ⇒ ~33.6 MFr/J. The published
+        // trio should be self-consistent within rounding.
+        let e = lenet5_conv();
+        let implied_fpj = e.frames_per_s / POWER_W;
+        let ratio = implied_fpj / e.frames_per_j;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation studies over ACOUSTIC's design choices (beyond the paper's own
+//! tables): stream length, OR grouping, RNG sharing, computation skipping,
+//! and pooling style.
+
+use acoustic_bench::experiments::ablations;
+use acoustic_bench::table::Table;
+use acoustic_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Ablations — design-choice sensitivity (digit CNN + CIFAR-like)\n");
+
+    let t = ablations::train_digit_net(scale).expect("digit training succeeds");
+    println!(
+        "shared digit network: float accuracy {:.1}%\n",
+        100.0 * t.float_acc
+    );
+
+    println!("Stochastic accuracy vs stream length:");
+    let mut tab = Table::new(["variant", "accuracy"]);
+    for p in ablations::stream_length_sweep(&t).expect("simulation succeeds") {
+        tab.row([p.label.clone(), format!("{:.1}%", 100.0 * p.accuracy)]);
+    }
+    println!("{tab}");
+
+    println!("Datapath variants at 128-bit streams:");
+    let mut tab = Table::new(["variant", "accuracy"]);
+    for p in ablations::datapath_variants(&t).expect("simulation succeeds") {
+        tab.row([p.label.clone(), format!("{:.1}%", 100.0 * p.accuracy)]);
+    }
+    println!("{tab}");
+
+    println!("Accuracy-gap decomposition (value-domain limit vs bit-level):");
+    let g = ablations::gap_decomposition(&t).expect("simulation succeeds");
+    let mut tab = Table::new(["quantity", "accuracy"]);
+    tab.row(["float (trained model)".to_string(), format!("{:.1}%", 100.0 * g.float_acc)]);
+    tab.row([
+        "value-domain limit (quantization + OR model)".to_string(),
+        format!("{:.1}%", 100.0 * g.expected_acc),
+    ]);
+    for (stream, acc) in &g.sc_acc {
+        tab.row([
+            format!("bit-level SC @ {stream}"),
+            format!("{:.1}%", 100.0 * acc),
+        ]);
+    }
+    println!("{tab}");
+
+    println!("Average vs max pooling (paper §II-C: <0.3% difference):");
+    let mut tab = Table::new(["variant", "accuracy"]);
+    for p in ablations::avg_vs_max_pooling(scale).expect("training succeeds") {
+        tab.row([p.label.clone(), format!("{:.1}%", 100.0 * p.accuracy)]);
+    }
+    println!("{tab}");
+}

@@ -1,0 +1,26 @@
+//! E3 (§II-B / §III-A): MAC area comparisons.
+
+use acoustic_bench::experiments::mac_area;
+use acoustic_bench::table::{fnum, Table};
+
+fn main() {
+    println!("E3 — MAC area comparison at 128-wide accumulation (paper §II-B)");
+    println!("Paper: OR is 4.2x smaller than APC [12], 23.8x smaller than");
+    println!("per-product binary conversion [21].\n");
+    let mut t = Table::new(["scheme", "gate-eq", "area (um^2)", "ratio vs OR"]);
+    for r in mac_area::run(128) {
+        t.row([
+            r.scheme.clone(),
+            fnum(r.gates, 0),
+            fnum(r.area_um2, 0),
+            fnum(r.ratio_to_or, 1),
+        ]);
+    }
+    println!("{t}");
+
+    let (sc_um2, fixed_um2, ratio) = mac_area::density_comparison();
+    println!("Density (paper §III-A: \"SC MACs can be 47X smaller\"):");
+    println!("  SC lane (incl. SNG/buffer/counter share): {sc_um2:.1} um^2");
+    println!("  8-bit fixed-point MAC:                    {fixed_um2:.1} um^2");
+    println!("  ratio: {ratio:.1}x");
+}

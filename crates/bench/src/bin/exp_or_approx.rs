@@ -1,0 +1,40 @@
+//! E5 (§II-D / Eq. 1): OR-sum approximation accuracy and training speedup.
+
+use acoustic_bench::experiments::or_approx;
+use acoustic_bench::table::{fnum, Table};
+use acoustic_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("E5 — OR-sum training approximation (paper §II-D, Eq. 1)\n");
+
+    println!("Approximation error of 1 - e^-s vs exact 1 - prod(1 - v_i)");
+    println!("(paper: <5% on real training runs):");
+    let mut t = Table::new(["fan-in", "sum", "relative error"]);
+    for r in or_approx::approx_error_sweep() {
+        t.row([
+            r.fan_in.to_string(),
+            fnum(r.sum, 2),
+            format!("{:.2}%", 100.0 * r.relative_error),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Training-epoch wall-clock (paper: exact OR ~15x slower than");
+    println!("conventional; the approximation wins back ~10x):");
+    let s = or_approx::training_speedup(scale).expect("training on synthetic digits");
+    let mut t = Table::new(["accumulation", "s/epoch", "vs linear"]);
+    t.row([
+        "exact OR".to_string(),
+        fnum(s.exact_s, 3),
+        format!("{:.1}x", s.exact_s / s.linear_s),
+    ]);
+    t.row([
+        "approx OR (Eq. 1)".to_string(),
+        fnum(s.approx_s, 3),
+        format!("{:.1}x", s.approx_s / s.linear_s),
+    ]);
+    t.row(["linear".to_string(), fnum(s.linear_s, 3), "1.0x".to_string()]);
+    println!("{t}");
+    println!("Exact-OR / approx-OR speedup: {:.1}x", s.speedup);
+}

@@ -1,0 +1,27 @@
+//! E2 (§II-B): OR vs MUX accumulation error Monte-Carlo.
+
+use acoustic_bench::experiments::or_vs_mux;
+use acoustic_bench::table::{fnum, Table};
+use acoustic_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = or_vs_mux::run(scale).expect("static sweep parameters are valid");
+    println!("E2 — OR vs MUX accumulation error (paper §II-B)");
+    println!("Paper: at 3x3x256 = 2304-wide accumulation, OR has ~8x less");
+    println!("absolute error than MUX-based accumulation.\n");
+    let mut t = Table::new([
+        "fan-in", "stream", "OR MAE", "MUX MAE", "APC MAE", "MUX/OR ratio",
+    ]);
+    for r in &rows {
+        t.row([
+            r.fan_in.to_string(),
+            r.n.to_string(),
+            fnum(r.or_mae, 5),
+            fnum(r.mux_mae, 5),
+            fnum(r.apc_mae, 5),
+            fnum(r.mux_to_or_ratio, 1),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,50 @@
+//! E1 (§II-A): unipolar vs bipolar RMS representation error.
+
+use acoustic_bench::experiments::repr_error;
+use acoustic_bench::table::{fnum, Table};
+use acoustic_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = repr_error::run(scale).expect("static sweep parameters are valid");
+    println!("E1 — Representation error (paper §II-A)");
+    println!("RMS error of encoding a value at stream length n; bipolar needs");
+    println!(">=2x the stream length of unipolar for equal error.\n");
+    let mut t = Table::new([
+        "value", "n", "uni RMS (analytic)", "uni RMS (measured)",
+        "bip RMS (analytic)", "bip RMS (measured)", "bip/uni length ratio",
+    ]);
+    for r in &rows {
+        t.row([
+            fnum(r.value, 2),
+            r.n.to_string(),
+            fnum(r.unipolar_analytic, 4),
+            fnum(r.unipolar_measured, 4),
+            fnum(r.bipolar_analytic, 4),
+            fnum(r.bipolar_measured, 4),
+            fnum(r.length_ratio, 2),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Minimum bipolar/unipolar length ratio across sweep: {:.2} (paper: \"at least 2X\")\n",
+        repr_error::min_length_ratio(&rows)
+    );
+
+    println!("MAC-level comparison at equal total stream length (8-wide dot product):");
+    let mut t = Table::new([
+        "total stream",
+        "split-unipolar OR RMS",
+        "bipolar XNOR/MUX RMS",
+        "ratio",
+    ]);
+    for r in repr_error::mac_level_comparison(scale).expect("static datapaths") {
+        t.row([
+            r.total_n.to_string(),
+            fnum(r.split_unipolar_rms, 4),
+            fnum(r.bipolar_rms, 4),
+            format!("{:.1}x", r.bipolar_rms / r.split_unipolar_rms),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,46 @@
+//! E4 (§II-C): computation-skipping stochastic average pooling.
+
+use acoustic_bench::experiments::skip_pooling;
+use acoustic_bench::table::{fnum, Table};
+use acoustic_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("E4 — Computation-skipping average pooling (paper §II-C)\n");
+
+    println!("Conv-layer latency reduction (paper: 4x-9x, proportional to window):");
+    let mut t = Table::new(["window", "baseline cycles", "skipped cycles", "reduction", "paper"]);
+    for r in skip_pooling::latency_reduction(scale).expect("static shapes map") {
+        t.row([
+            format!("{0}x{0}", r.window),
+            r.baseline_cycles.to_string(),
+            r.skipped_cycles.to_string(),
+            format!("{:.1}x", r.reduction),
+            format!("{}x", r.expected),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Pooled-value error vs true mean (skip == MUX in expectation):");
+    let mut t = Table::new(["window area", "stream", "skip MAE", "MUX MAE"]);
+    for r in skip_pooling::pooling_accuracy(scale).expect("static sweep") {
+        t.row([
+            r.k.to_string(),
+            r.n.to_string(),
+            fnum(r.skip_mae, 4),
+            fnum(r.mux_mae, 4),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Counter area overhead (paper: 2.7%-8.7% of the counter, <1% of chip):");
+    let mut t = Table::new(["window", "counter overhead", "accelerator overhead"]);
+    for r in skip_pooling::counter_overhead() {
+        t.row([
+            format!("{0}x{0}", r.window),
+            format!("{:.1}%", 100.0 * r.counter_overhead),
+            format!("{:.3}%", 100.0 * r.accelerator_overhead),
+        ]);
+    }
+    println!("{t}");
+}

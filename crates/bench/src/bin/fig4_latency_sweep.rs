@@ -1,0 +1,35 @@
+//! E6 (Fig. 4): conv-layer latency vs clock for each DRAM interface.
+
+use acoustic_arch::dram::DramInterface;
+use acoustic_bench::experiments::fig4;
+use acoustic_bench::table::{fnum, Table};
+
+fn main() {
+    println!("Fig. 4 — Latency of the 16x16x512-input / 512 3x3x512-kernel conv");
+    println!("layer (with next-layer kernel preload) vs clock frequency, per");
+    println!("external memory interface. 256-long split-unipolar streams.\n");
+
+    let points = fig4::run().expect("static sweep parameters are valid");
+    let sweep = DramInterface::fig4_sweep();
+    let mut header = vec!["clock (MHz)".to_string()];
+    header.extend(sweep.iter().map(|d| format!("{d} (ms)")));
+    let mut t = Table::new(header);
+    for clock in (1..=10).map(|i| (i * 100) as f64) {
+        let mut row = vec![fnum(clock, 0)];
+        for d in sweep {
+            let p = points
+                .iter()
+                .find(|p| p.dram == d && p.clock_mhz == clock)
+                .expect("full grid");
+            row.push(fnum(p.latency_ms, 3));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+
+    for d in [DramInterface::Ddr3_800, DramInterface::Ddr3_1600] {
+        if let Some(knee) = fig4::memory_bound_knee(&points, d) {
+            println!("{d}: memory-bound above ~{knee:.0} MHz (paper: ~300 MHz for DDR3)");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! E8 (Fig. 5): area and power breakdowns for LP and ULP.
+
+use acoustic_bench::experiments::fig5;
+use acoustic_bench::table::Table;
+
+fn main() {
+    println!("Fig. 5 — Component breakdowns for ACOUSTIC LP and ULP\n");
+    let f = fig5::run().expect("static configurations compile and simulate");
+
+    let mut t = Table::new([
+        "component",
+        "a) LP area %",
+        "b) ULP area %",
+        "c) LP power %",
+        "d) ULP power %",
+    ]);
+    let lp_a = fig5::percent_rows(&f.lp_area);
+    let ulp_a = fig5::percent_rows(&f.ulp_area);
+    let lp_p = fig5::percent_rows(&f.lp_power);
+    let ulp_p = fig5::percent_rows(&f.ulp_power);
+    for i in 0..lp_a.len() {
+        t.row([
+            lp_a[i].0.to_string(),
+            format!("{:.1}", lp_a[i].1),
+            format!("{:.1}", ulp_a[i].1),
+            format!("{:.1}", lp_p[i].1),
+            format!("{:.1}", ulp_p[i].1),
+        ]);
+    }
+    println!("{t}");
+    println!("Totals: LP {:.1} mm² (paper: 12.0), ULP {:.2} mm² (paper: 0.18)",
+        f.lp_area.total(), f.ulp_area.total());
+    println!("Paper qualitative claims: LP dominated by MAC arrays (area & power),");
+    println!("weight buffers large in area but cheap in power; ULP dominated by");
+    println!("activation and weight memories.");
+}

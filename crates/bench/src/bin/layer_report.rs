@@ -1,0 +1,71 @@
+//! Per-layer latency/energy report for any zoo network on any built-in
+//! configuration — the drill-down view behind Tables III/IV.
+//!
+//! Usage: `layer_report [alexnet|vgg16|resnet18|cifar|lenet] [lp|ulp]`
+
+use acoustic_arch::compile::compile;
+use acoustic_arch::config::ArchConfig;
+use acoustic_arch::estimate::estimate;
+use acoustic_bench::table::{fnum, Table};
+use acoustic_nn::zoo::{self, NetworkShape};
+
+fn pick_network(name: &str) -> NetworkShape {
+    match name {
+        "alexnet" => zoo::alexnet(),
+        "vgg16" => zoo::vgg16(),
+        "resnet18" => zoo::resnet18(),
+        "googlenet" => zoo::googlenet(),
+        "lenet" => zoo::lenet5(),
+        _ => zoo::cifar10_cnn(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let net = pick_network(args.get(1).map(String::as_str).unwrap_or("cifar"));
+    let cfg = match args.get(2).map(String::as_str) {
+        Some("ulp") => ArchConfig::ulp(),
+        _ => ArchConfig::lp(),
+    };
+
+    let compiled = compile(&net, &cfg).expect("zoo networks map onto built-in configs");
+    let est = estimate(&net, &cfg).expect("zoo networks estimate");
+
+    println!(
+        "{} on ACOUSTIC {} @ {:.0} MHz — {:.3} ms/frame, {:.0} frames/s, {:.2} µJ/frame\n",
+        net.name(),
+        cfg.name,
+        cfg.clock_hz / 1e6,
+        est.latency_s * 1e3,
+        est.frames_per_s,
+        est.onchip_j * 1e6
+    );
+
+    let mut t = Table::new([
+        "layer", "MACs", "weights", "passes", "util", "cycles", "share",
+    ]);
+    let total: u64 = est.layers.iter().map(|l| l.cycles).sum();
+    for ((shape, layer), cl) in net
+        .layers()
+        .iter()
+        .zip(&est.layers)
+        .zip(&compiled.layers)
+    {
+        t.row([
+            layer.name.clone(),
+            format!("{:.1}M", shape.macs() as f64 / 1e6),
+            format!("{:.1}K", shape.weight_count() as f64 / 1e3),
+            cl.passes.to_string(),
+            fnum(cl.utilization, 2),
+            layer.cycles.to_string(),
+            format!("{:.1}%", 100.0 * layer.cycles as f64 / total.max(1) as f64),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "DRAM traffic: {:.2} MB read, {:.2} MB written; external-memory energy {:.3} mJ (reported separately)",
+        est.perf.dram_read_bytes as f64 / 1e6,
+        est.perf.dram_write_bytes as f64 / 1e6,
+        est.energy.dram_j * 1e3
+    );
+}

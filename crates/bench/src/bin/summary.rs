@@ -1,0 +1,119 @@
+//! One-page reproduction scorecard: runs every cheap experiment and prints
+//! paper-vs-measured for the headline claims. (Table II's training runs are
+//! excluded — run `table2_accuracy` for those.)
+
+use acoustic_arch::area::area_breakdown;
+use acoustic_arch::config::ArchConfig;
+use acoustic_arch::estimate::{estimate, estimate_conv_only};
+use acoustic_arch::power::peak_power_w;
+use acoustic_bench::experiments::{mac_area, or_approx, repr_error, table3};
+use acoustic_bench::table::Table;
+use acoustic_bench::Scale;
+use acoustic_nn::zoo;
+
+fn main() {
+    println!("ACOUSTIC reproduction scorecard (see EXPERIMENTS.md for detail)\n");
+    let mut t = Table::new(["claim", "paper", "measured"]);
+
+    // §II-A: representation.
+    let rows = repr_error::run(Scale::Quick).expect("static sweep");
+    t.row([
+        "bipolar/unipolar stream-length ratio".to_string(),
+        ">= 2x".to_string(),
+        format!("{:.2}x min", repr_error::min_length_ratio(&rows)),
+    ]);
+
+    // §II-B / §III-A: area.
+    let areas = mac_area::run(128);
+    let ratio = |name: &str| {
+        areas
+            .iter()
+            .find(|r| r.scheme.starts_with(name))
+            .map(|r| r.ratio_to_or)
+            .unwrap_or(f64::NAN)
+    };
+    t.row([
+        "APC [12] vs OR MAC area (128-wide)".to_string(),
+        "4.2x".to_string(),
+        format!("{:.1}x", ratio("APC")),
+    ]);
+    t.row([
+        "per-product convert [21] vs OR".to_string(),
+        "23.8x".to_string(),
+        format!("{:.1}x", ratio("per-product")),
+    ]);
+    let (_, _, density) = mac_area::density_comparison();
+    t.row([
+        "8-bit fixed MAC vs SC lane".to_string(),
+        "47x".to_string(),
+        format!("{density:.1}x"),
+    ]);
+
+    // §II-D: Eq. 1.
+    let worst = or_approx::approx_error_sweep()
+        .into_iter()
+        .map(|r| r.relative_error)
+        .fold(0.0, f64::max);
+    t.row([
+        "OR-approx error (Eq. 1)".to_string(),
+        "< 5%".to_string(),
+        format!("{:.1}% worst", 100.0 * worst),
+    ]);
+
+    // LP / ULP design points.
+    let (lp, ulp) = (ArchConfig::lp(), ArchConfig::ulp());
+    t.row([
+        "LP area / peak power".to_string(),
+        "12.0 mm2 / 0.35 W".to_string(),
+        format!(
+            "{:.1} mm2 / {:.2} W",
+            area_breakdown(&lp).total(),
+            peak_power_w(&lp)
+        ),
+    ]);
+    t.row([
+        "ULP area / peak power".to_string(),
+        "0.18 mm2 / 3 mW".to_string(),
+        format!(
+            "{:.2} mm2 / {:.1} mW",
+            area_breakdown(&ulp).total(),
+            peak_power_w(&ulp) * 1e3
+        ),
+    ]);
+
+    // Table III/IV headline cells.
+    let alex = estimate(&zoo::alexnet(), &lp).expect("alexnet estimates");
+    t.row([
+        "AlexNet on LP (Fr/s, Fr/J)".to_string(),
+        "238.5, 2590.6".to_string(),
+        format!("{:.1}, {:.0}", alex.frames_per_s, alex.frames_per_j),
+    ]);
+    let lenet = estimate_conv_only(&zoo::lenet5(), &ulp).expect("lenet estimates");
+    t.row([
+        "LeNet conv on ULP (Fr/s)".to_string(),
+        "125,000".to_string(),
+        format!("{:.0}", lenet.frames_per_s),
+    ]);
+    let cifar = estimate_conv_only(&zoo::cifar10_cnn(), &ulp).expect("cifar estimates");
+    t.row([
+        "CIFAR conv on ULP (Fr/s)".to_string(),
+        "2,100".to_string(),
+        format!("{:.0}", cifar.frames_per_s),
+    ]);
+
+    // Abstract ratios.
+    let cols = table3::run().expect("table 3 estimates");
+    let (energy, speed) = table3::headline_ratios(&cols);
+    t.row([
+        "best energy ratio vs Eyeriss".to_string(),
+        "38.7x".to_string(),
+        format!("{energy:.1}x"),
+    ]);
+    t.row([
+        "best speed ratio vs Eyeriss".to_string(),
+        "72.5x".to_string(),
+        format!("{speed:.1}x"),
+    ]);
+
+    println!("{t}");
+}

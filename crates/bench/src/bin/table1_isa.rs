@@ -1,0 +1,30 @@
+//! T1 (Table I): the ACOUSTIC control modules and their instructions,
+//! demonstrated by compiling LeNet-5 and printing the program head.
+
+use acoustic_arch::compile::compile;
+use acoustic_arch::config::ArchConfig;
+use acoustic_bench::table::Table;
+use acoustic_nn::zoo::lenet5;
+
+fn main() {
+    println!("Table I — ACOUSTIC control modules and their instructions\n");
+    let mut t = Table::new(["Module", "Instruction", "Description"]);
+    t.row(["DMA", "ACTLD/ACTST", "Load/store activations from/to DRAM"]);
+    t.row(["", "WGTLD", "Load weights from DRAM"]);
+    t.row(["MAC", "MAC", "Compute"]);
+    t.row(["ACTRNG", "ACTRNG", "Load activations into SNGs"]);
+    t.row(["WGTRNG", "WGTRNG", "Load weights into SNGs"]);
+    t.row(["", "WGTSHIFT", "Shift weight SNG buffers"]);
+    t.row(["CNT", "CNTLD/CNTST", "Load/store activations from/to counter/ReLU"]);
+    t.row(["DISPATCH", "FOR*/END*", "Kernel/batch/row/pooling loop (K/B/R/P)"]);
+    t.row(["", "BARR", "Barrier"]);
+    println!("{t}");
+
+    let compiled = compile(&lenet5(), &ArchConfig::lp()).expect("LeNet-5 maps onto LP");
+    let program = compiled.to_program().expect("compiler output is valid");
+    println!(
+        "Compiled LeNet-5 program: {} instructions. First layer:\n",
+        program.len()
+    );
+    println!("{}", compiled.layers[0].body);
+}

@@ -1,0 +1,38 @@
+//! E7 (Table II): accuracy comparisons — 8-bit fixed point vs ACOUSTIC SC.
+
+use acoustic_bench::experiments::table2;
+use acoustic_bench::table::Table;
+use acoustic_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Table II — Accuracy comparisons (synthetic dataset stand-ins;");
+    println!("see DESIGN.md §3 — the fixed-point-vs-SC *gap* is the result).\n");
+    if scale == Scale::Full {
+        println!("(full scale: trains 3 networks — takes a few minutes; use --quick for a fast pass)\n");
+    }
+    let rows = table2::run(scale).expect("training and simulation succeed");
+    let mut t = Table::new([
+        "network",
+        "dataset",
+        "stream",
+        "8-bit fixed [%]",
+        "OR-trained float [%]",
+        "ACOUSTIC SC [%]",
+    ]);
+    for r in &rows {
+        t.row([
+            r.network.clone(),
+            r.dataset.clone(),
+            r.stream_len.to_string(),
+            format!("{:.2}", 100.0 * r.fixed8_acc),
+            format!("{:.2}", 100.0 * r.or_trained_acc),
+            format!("{:.2}", 100.0 * r.acoustic_acc),
+        ]);
+    }
+    println!("{t}");
+    println!("Paper values for reference (real datasets):");
+    println!("  LeNet-5/MNIST @128:   8-bit 99.2, ACOUSTIC 99.3");
+    println!("  CNN/SVHN   @256/512:  8-bit 90.29, ACOUSTIC 86.75 / 89.02");
+    println!("  CNN/CIFAR10 @256/512: 8-bit 79.9,  ACOUSTIC 74.9  / 78.04");
+}

@@ -1,0 +1,44 @@
+//! E9 (Table III): ACOUSTIC LP vs Eyeriss and SCOPE.
+
+use acoustic_bench::experiments::table3;
+use acoustic_bench::table::{fnum, Table};
+
+fn main() {
+    println!("Table III — ACOUSTIC LP vs fixed-point (Eyeriss) and stochastic");
+    println!("(SCOPE) accelerators. Fr/J is accelerator-side energy (see");
+    println!("EXPERIMENTS.md on energy accounting).\n");
+
+    let cols = table3::run().expect("estimates succeed on static networks");
+    let mut header = vec!["".to_string()];
+    header.extend(cols.iter().map(|c| c.name.clone()));
+    let mut t = Table::new(header);
+
+    let mut push_metric = |label: &str, f: &dyn Fn(&table3::AcceleratorColumn) -> String| {
+        let mut row = vec![label.to_string()];
+        row.extend(cols.iter().map(f));
+        t.row(row);
+    };
+    push_metric("Area [mm2]", &|c| fnum(c.area_mm2, 1));
+    push_metric("Power [W]", &|c| {
+        c.power_w.map_or("N/A".to_string(), |p| fnum(p, 2))
+    });
+    push_metric("Clock [MHz]", &|c| fnum(c.clock_mhz, 0));
+    for (i, net) in cols[0].per_network.iter().map(|(n, _)| n.clone()).enumerate() {
+        push_metric(&format!("{net} Fr/J"), &|c| {
+            c.per_network[i]
+                .1
+                .map_or("N/A".to_string(), |(fpj, _)| fnum(fpj, 1))
+        });
+        push_metric(&format!("{net} Fr/s"), &|c| {
+            c.per_network[i]
+                .1
+                .map_or("N/A".to_string(), |(_, fps)| fnum(fps, 1))
+        });
+    }
+    println!("{t}");
+
+    let (energy, speed) = table3::headline_ratios(&cols);
+    println!("Headline ratios vs Eyeriss:");
+    println!("  best energy-efficiency ratio vs 1k-PE: {energy:.1}x (paper: up to 38.7x)");
+    println!("  best speed ratio vs base:              {speed:.1}x (paper: up to 72.5x)");
+}

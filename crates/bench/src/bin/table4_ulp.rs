@@ -1,0 +1,40 @@
+//! E10 (Table IV): ACOUSTIC ULP vs MDL-CNN and Conv-RAM (conv layers).
+
+use acoustic_bench::experiments::table4;
+use acoustic_bench::table::{fnum, Table};
+
+fn main() {
+    println!("Table IV — ACOUSTIC ULP vs MDL-CNN [32] and Conv-RAM [36] on the");
+    println!("conv layers of LeNet-5 and the CIFAR-10 CNN (128-bit streams).\n");
+
+    let cols = table4::run().expect("estimates succeed on static networks");
+    let mut header = vec!["".to_string()];
+    header.extend(cols.iter().map(|c| c.name.clone()));
+    let mut t = Table::new(header);
+    let mut push = |label: &str, f: &dyn Fn(&table4::UlpColumn) -> String| {
+        let mut row = vec![label.to_string()];
+        row.extend(cols.iter().map(f));
+        t.row(row);
+    };
+    push("Domain", &|c| c.domain.clone());
+    push("Precision [A/W]", &|c| c.precision.clone());
+    push("Area [mm2]", &|c| fnum(c.area_mm2, 3));
+    push("Power [mW]", &|c| fnum(c.power_mw, 3));
+    push("Clock [MHz]", &|c| fnum(c.clock_mhz, 0));
+    push("LeNet-5 Fr/J", &|c| {
+        c.lenet.map_or("N/A".into(), |(fpj, _)| format!("{:.1}M", fpj / 1e6))
+    });
+    push("LeNet-5 Fr/s", &|c| {
+        c.lenet.map_or("N/A".into(), |(_, fps)| fnum(fps, 0))
+    });
+    push("CIFAR-10 CNN Fr/J", &|c| {
+        c.cifar.map_or("N/A".into(), |(fpj, _)| format!("{:.0}K", fpj / 1e3))
+    });
+    push("CIFAR-10 CNN Fr/s", &|c| {
+        c.cifar.map_or("N/A".into(), |(_, fps)| fnum(fps, 0))
+    });
+    println!("{t}");
+    println!("Paper: ACOUSTIC ULP = 123x MDL-CNN speedup (1.33x Fr/J), 8.2x");
+    println!("Conv-RAM throughput at similar Fr/J, with 8b/8b precision vs the");
+    println!("baselines' binarized weights (1-3% accuracy cost on MNIST).");
+}

@@ -1,0 +1,160 @@
+//! E6 (Fig. 4): conv-layer latency vs clock frequency for DDR3-800…2133 and
+//! HBM.
+//!
+//! The paper's scenario: "processing a convolutional layer with 16x16x512
+//! inputs and 512 3x3x512 kernels and pre-loading 512 3x3x512 kernels for
+//! the subsequent layers", with temporally-unrolled 256-long split-unipolar
+//! streams. Latency becomes memory-limited at ~300 MHz and below for DDR3
+//! (§III-D).
+
+use acoustic_arch::compile::compile;
+use acoustic_arch::config::ArchConfig;
+use acoustic_arch::dram::DramInterface;
+use acoustic_arch::perf::PerfSimulator;
+use acoustic_arch::ArchError;
+use acoustic_nn::zoo::{NetworkShape, NetworkShapeBuilder};
+
+/// One sampled point of the Fig. 4 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Point {
+    /// External memory interface.
+    pub dram: DramInterface,
+    /// Core clock, MHz.
+    pub clock_mhz: f64,
+    /// Layer latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// Builds the Fig. 4 workload: two identical 512-kernel 3×3×512 layers on a
+/// 16×16 feature map, so that processing layer 1 overlaps with loading layer
+/// 2's kernels; the reported latency is per layer.
+///
+/// # Errors
+///
+/// Infallible for these static shapes; returns `Result` to propagate the
+/// builder's validation API.
+pub fn fig4_network() -> Result<NetworkShape, acoustic_nn::NnError> {
+    Ok(NetworkShapeBuilder::new("fig4-layer", 512, 16, 16)
+        .conv(512, 3, 1, 1)?
+        .conv(512, 3, 1, 1)?
+        .build())
+}
+
+/// Runs the sweep. Clock points follow the paper's axis (100–1000 MHz).
+///
+/// # Errors
+///
+/// Propagates compiler/simulator errors.
+pub fn run() -> Result<Vec<Fig4Point>, ArchError> {
+    let net = fig4_network().map_err(|e| ArchError::InvalidConfig(e.to_string()))?;
+    let mut points = Vec::new();
+    for dram in DramInterface::fig4_sweep() {
+        for clock_mhz in (1..=10).map(|i| (i * 100) as f64) {
+            let mut cfg = ArchConfig::lp();
+            cfg.dram = dram;
+            cfg.clock_hz = clock_mhz * 1e6;
+            let compiled = compile(&net, &cfg)?;
+            let report = PerfSimulator::new(cfg.clone())?.run(&compiled.to_program()?)?;
+            // Two identical layers: report per-layer latency.
+            let latency_ms = report.seconds(&cfg) * 1e3 / 2.0;
+            points.push(Fig4Point {
+                dram,
+                clock_mhz,
+                latency_ms,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// The clock below which a DDR3 interface stops helping (latency within 5 %
+/// of its 100 MHz-…-f plateau shape change) — the paper's "~300 MHz"
+/// boundary. Returns the lowest clock at which latency is within `tol` of
+/// the next-faster clock's latency scaled ideally.
+pub fn memory_bound_knee(points: &[Fig4Point], dram: DramInterface) -> Option<f64> {
+    let mut series: Vec<&Fig4Point> = points.iter().filter(|p| p.dram == dram).collect();
+    series.sort_by(|a, b| a.clock_mhz.total_cmp(&b.clock_mhz));
+    // The knee: first clock (ascending) where doubling-rate gains vanish —
+    // i.e. latency stops improving by >10% per 100 MHz step.
+    for pair in series.windows(2) {
+        let improvement = (pair[0].latency_ms - pair[1].latency_ms) / pair[0].latency_ms;
+        if improvement < 0.05 {
+            return Some(pair[0].clock_mhz);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<Fig4Point> {
+        run().unwrap()
+    }
+
+    #[test]
+    fn latency_range_matches_figure_axis() {
+        // Fig. 4's y-axis spans 0–0.4 ms; our mapping is ~3x slower at the
+        // low-clock end (see EXPERIMENTS.md), so accept the same order of
+        // magnitude and verify the fast corner is deep sub-millisecond.
+        let pts = points();
+        let max = pts.iter().map(|p| p.latency_ms).fold(0.0, f64::max);
+        assert!((0.2..3.0).contains(&max), "max latency {max} ms");
+        let min = pts.iter().map(|p| p.latency_ms).fold(f64::MAX, f64::min);
+        assert!(min < 0.25, "min latency {min} ms");
+    }
+
+    #[test]
+    fn hbm_is_never_memory_bound() {
+        // With HBM, latency keeps scaling with clock across the sweep.
+        let pts = points();
+        let hbm: Vec<&Fig4Point> = pts
+            .iter()
+            .filter(|p| p.dram == DramInterface::Hbm)
+            .collect();
+        let at100 = hbm.iter().find(|p| p.clock_mhz == 100.0).unwrap();
+        let at1000 = hbm.iter().find(|p| p.clock_mhz == 1000.0).unwrap();
+        let scaling = at100.latency_ms / at1000.latency_ms;
+        assert!(scaling > 7.0, "HBM clock scaling only {scaling}x");
+    }
+
+    #[test]
+    fn ddr3_800_knees_near_300mhz() {
+        // §III-D: "latency becomes memory limited at around 300 MHz or
+        // below" for DDR3-class bandwidth.
+        let pts = points();
+        let knee = memory_bound_knee(&pts, DramInterface::Ddr3_800)
+            .expect("DDR3-800 must show a memory-bound knee");
+        assert!(
+            (200.0..600.0).contains(&knee),
+            "DDR3-800 knee at {knee} MHz"
+        );
+    }
+
+    #[test]
+    fn faster_ddr3_knees_later() {
+        let pts = points();
+        let slow = memory_bound_knee(&pts, DramInterface::Ddr3_800);
+        let fast = memory_bound_knee(&pts, DramInterface::Ddr3_2133);
+        match (slow, fast) {
+            (Some(s), Some(f)) => assert!(f >= s, "fast {f} < slow {s}"),
+            (Some(_), None) => {} // 2133 never saturates in range: fine
+            other => panic!("unexpected knees {other:?}"),
+        }
+    }
+
+    #[test]
+    fn higher_bandwidth_never_hurts() {
+        let pts = points();
+        for clock in [200.0, 500.0, 1000.0] {
+            let lat = |d: DramInterface| {
+                pts.iter()
+                    .find(|p| p.dram == d && p.clock_mhz == clock)
+                    .unwrap()
+                    .latency_ms
+            };
+            assert!(lat(DramInterface::Hbm) <= lat(DramInterface::Ddr3_800) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! E8 (Fig. 5): area and power breakdowns for the LP and ULP variants.
+
+use acoustic_arch::area::{area_breakdown, Breakdown, Component};
+use acoustic_arch::compile::compile;
+use acoustic_arch::config::ArchConfig;
+use acoustic_arch::perf::PerfSimulator;
+use acoustic_arch::power::energy_report;
+use acoustic_arch::ArchError;
+use acoustic_nn::zoo::{cifar10_cnn, lenet5};
+
+/// The four panels of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// (a) LP area breakdown, mm² per component.
+    pub lp_area: Breakdown,
+    /// (b) ULP area breakdown.
+    pub ulp_area: Breakdown,
+    /// (c) LP dynamic-energy breakdown over a representative workload
+    /// (CIFAR-10 CNN), joules per component.
+    pub lp_power: Breakdown,
+    /// (d) ULP dynamic-energy breakdown (LeNet-5 conv layers).
+    pub ulp_power: Breakdown,
+}
+
+/// Computes all four panels.
+///
+/// # Errors
+///
+/// Propagates compiler/simulator errors.
+pub fn run() -> Result<Fig5, ArchError> {
+    let lp = ArchConfig::lp();
+    let ulp = ArchConfig::ulp();
+
+    let power_of = |cfg: &ArchConfig,
+                    net: &acoustic_nn::zoo::NetworkShape|
+     -> Result<Breakdown, ArchError> {
+        let compiled = compile(net, cfg)?;
+        let report = PerfSimulator::new(cfg.clone())?.run(&compiled.to_program_steady_state()?)?;
+        Ok(energy_report(cfg, &compiled, &report).dynamic)
+    };
+
+    Ok(Fig5 {
+        lp_area: area_breakdown(&lp),
+        ulp_area: area_breakdown(&ulp),
+        lp_power: power_of(&lp, &cifar10_cnn())?,
+        ulp_power: power_of(&ulp, &lenet5())?,
+    })
+}
+
+/// Renders one breakdown as (label, percent) rows, Fig.-5 legend order.
+pub fn percent_rows(b: &Breakdown) -> Vec<(&'static str, f64)> {
+    Component::ALL
+        .iter()
+        .map(|&c| (c.label(), 100.0 * b.get(c) / b.total()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_are_complete_and_positive() {
+        let f = run().unwrap();
+        for b in [&f.lp_area, &f.ulp_area, &f.lp_power, &f.ulp_power] {
+            assert!(b.total() > 0.0);
+            let pct: f64 = percent_rows(b).iter().map(|(_, p)| p).sum();
+            assert!((pct - 100.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lp_qualitative_shape_matches_paper() {
+        // §IV-C: MAC arrays major in both LP area and power; weight buffers
+        // large in area, small in power.
+        let f = run().unwrap();
+        let area_pct = |c| 100.0 * f.lp_area.get(c) / f.lp_area.total();
+        let pwr_pct = |c| 100.0 * f.lp_power.get(c) / f.lp_power.total();
+        assert!(area_pct(Component::MacArray) > 25.0);
+        assert!(pwr_pct(Component::MacArray) > 25.0);
+        assert!(area_pct(Component::WgtBuf) > 15.0);
+        assert!(pwr_pct(Component::WgtBuf) < area_pct(Component::WgtBuf));
+    }
+
+    #[test]
+    fn ulp_memories_matter_more_than_on_lp() {
+        let f = run().unwrap();
+        let mem_share = |b: &Breakdown| {
+            (b.get(Component::ActMem) + b.get(Component::WgtMem) + b.get(Component::InstMem))
+                / b.total()
+        };
+        assert!(mem_share(&f.ulp_area) > mem_share(&f.lp_area));
+    }
+}

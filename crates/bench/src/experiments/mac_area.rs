@@ -1,0 +1,82 @@
+//! E3 (§II-B, §III-A): MAC area comparisons.
+//!
+//! * OR MAC is "4.2x \[smaller\] than \[12\] and 23.8X than \[21\] for a
+//!   128 wide accumulate";
+//! * "SC MACs can be 47X smaller than 8-bit fixed-point MACs".
+
+use acoustic_baselines::gates::{
+    apc_mac_gates, area_um2, binary_convert_mac_gates, fixed8_mac_gates, mux_mac_gates,
+    or_mac_gates, sc_lane_gates,
+};
+
+/// One row of the MAC-area comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacAreaRow {
+    /// Scheme name.
+    pub scheme: String,
+    /// Accumulation fan-in the row is evaluated at.
+    pub fan_in: usize,
+    /// Gate-equivalents.
+    pub gates: f64,
+    /// Routed 28 nm area, µm².
+    pub area_um2: f64,
+    /// Area relative to the OR MAC at the same fan-in.
+    pub ratio_to_or: f64,
+}
+
+/// Computes the comparison at a given fan-in (the paper uses 128).
+pub fn run(fan_in: usize) -> Vec<MacAreaRow> {
+    let or = or_mac_gates(fan_in);
+    let make = |scheme: &str, gates: f64| MacAreaRow {
+        scheme: scheme.to_string(),
+        fan_in,
+        gates,
+        area_um2: area_um2(gates),
+        ratio_to_or: gates / or,
+    };
+    vec![
+        make("OR (ACOUSTIC)", or),
+        make("MUX tree", mux_mac_gates(fan_in)),
+        make("APC [12]", apc_mac_gates(fan_in)),
+        make("per-product convert [21]", binary_convert_mac_gates(fan_in)),
+    ]
+}
+
+/// The §III-A density comparison: (SC lane incl. overheads, 8-bit fixed MAC,
+/// density ratio).
+pub fn density_comparison() -> (f64, f64, f64) {
+    let sc = sc_lane_gates();
+    let fixed = fixed8_mac_gates();
+    (area_um2(sc), area_um2(fixed), fixed / sc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratios_at_128() {
+        let rows = run(128);
+        let get = |name: &str| rows.iter().find(|r| r.scheme.starts_with(name)).unwrap();
+        let apc = get("APC").ratio_to_or;
+        assert!((3.0..5.5).contains(&apc), "APC ratio {apc} (paper 4.2)");
+        let conv = get("per-product").ratio_to_or;
+        assert!(
+            (18.0..30.0).contains(&conv),
+            "convert ratio {conv} (paper 23.8)"
+        );
+    }
+
+    #[test]
+    fn density_ratio_near_47() {
+        let (_, _, ratio) = density_comparison();
+        assert!((30.0..70.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn or_is_smallest_scheme() {
+        for r in run(128) {
+            assert!(r.ratio_to_or >= 1.0 - 1e-9, "{} below OR", r.scheme);
+        }
+    }
+}

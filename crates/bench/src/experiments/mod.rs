@@ -1,0 +1,16 @@
+//! Experiment implementations, one module per paper artifact.
+//!
+//! See the crate docs for the binary ↔ artifact mapping and DESIGN.md §2
+//! for the full experiment index.
+
+pub mod ablations;
+pub mod fig4;
+pub mod fig5;
+pub mod mac_area;
+pub mod or_approx;
+pub mod or_vs_mux;
+pub mod repr_error;
+pub mod skip_pooling;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,177 @@
+//! E1 (§II-A): unipolar vs bipolar representation error — the motivation
+//! for split-unipolar ("unipolar requires at least 2X shorter streams than
+//! bipolar for same representational error").
+
+use acoustic_core::error::{
+    bipolar_length_ratio, bipolar_rms_error, measure_bipolar_rms, measure_unipolar_rms,
+    unipolar_rms_error,
+};
+use acoustic_core::CoreError;
+
+use crate::Scale;
+
+/// One row of the representation-error sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReprErrorRow {
+    /// Encoded value (magnitude; encoded as-is unipolar, sign-aware
+    /// bipolar).
+    pub value: f64,
+    /// Stream length.
+    pub n: usize,
+    /// Analytic unipolar RMS error `√(v(1−v)/n)`.
+    pub unipolar_analytic: f64,
+    /// Measured unipolar RMS error (LFSR Monte-Carlo).
+    pub unipolar_measured: f64,
+    /// Analytic bipolar RMS error `√((1−v²)/n)`.
+    pub bipolar_analytic: f64,
+    /// Measured bipolar RMS error.
+    pub bipolar_measured: f64,
+    /// Bipolar/unipolar stream-length ratio for equal error (≥2).
+    pub length_ratio: f64,
+}
+
+/// Runs the sweep over values × stream lengths.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the estimators (none for these inputs).
+pub fn run(scale: Scale) -> Result<Vec<ReprErrorRow>, CoreError> {
+    let trials = match scale {
+        Scale::Quick => 100,
+        Scale::Full => 1000,
+    };
+    let values = [0.1, 0.25, 0.5, 0.75, 0.9];
+    let lengths = [32usize, 64, 128, 256, 512];
+    let mut rows = Vec::new();
+    for &v in &values {
+        for &n in &lengths {
+            rows.push(ReprErrorRow {
+                value: v,
+                n,
+                unipolar_analytic: unipolar_rms_error(v, n)?,
+                unipolar_measured: measure_unipolar_rms(v, n, trials, 0xACE1)?,
+                bipolar_analytic: bipolar_rms_error(v, n)?,
+                bipolar_measured: measure_bipolar_rms(v, n, trials, 0xBEEF)?,
+                length_ratio: bipolar_length_ratio(v)?,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// The headline claim: minimum length ratio across the value sweep (the
+/// paper's "at least 2X").
+pub fn min_length_ratio(rows: &[ReprErrorRow]) -> f64 {
+    rows.iter()
+        .map(|r| r.length_ratio)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// MAC-level comparison: RMS error of a full dot product computed by the
+/// split-unipolar OR datapath vs a conventional bipolar XNOR/MUX datapath
+/// at the same *total* stream length — §II-A's representation argument
+/// carried to where it matters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacLevelRow {
+    /// Total stream length (split-unipolar runs two phases of half).
+    pub total_n: usize,
+    /// RMS error of the split-unipolar OR MAC against its saturating
+    /// expectation.
+    pub split_unipolar_rms: f64,
+    /// RMS error of the bipolar XNOR/MUX MAC against the exact dot product.
+    pub bipolar_rms: f64,
+}
+
+/// Runs the MAC-level comparison over stream lengths.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the datapaths.
+pub fn mac_level_comparison(scale: Scale) -> Result<Vec<MacLevelRow>, CoreError> {
+    use acoustic_baselines::bipolar_mac::BipolarMac;
+    use acoustic_core::{SplitUnipolarMac, SplitWeight};
+
+    let trials = match scale {
+        Scale::Quick => 20,
+        Scale::Full => 120,
+    };
+    let acts = [0.5, 0.25, 0.6, 0.3, 0.45, 0.2, 0.7, 0.35];
+    let wgts = [0.3, -0.2, 0.15, -0.25, 0.1, -0.3, 0.2, -0.15];
+    let ideal: f64 = acts.iter().zip(&wgts).map(|(a, w)| a * w).sum();
+    let split_w: Vec<SplitWeight> = wgts
+        .iter()
+        .map(|&w| SplitWeight::from_real(w))
+        .collect::<Result<_, _>>()?;
+
+    let mut rows = Vec::new();
+    for total_n in [64usize, 128, 256, 512] {
+        let su = SplitUnipolarMac::new(total_n / 2, 96);
+        let su_target = su.expected_value(&acts, &split_w)?;
+        let bip = BipolarMac::new(total_n);
+        let (mut su_sq, mut bip_sq) = (0.0, 0.0);
+        for t in 0..trials {
+            let s1 = 0x1000 + t * 131;
+            let s2 = 0x2000 + t * 177;
+            let su_out = su.execute(&acts, &split_w, s1, s2)?;
+            su_sq += (su_out.value - su_target).powi(2);
+            let bip_out = bip.execute(&acts, &wgts, s1, s2)?;
+            bip_sq += (bip_out.value - ideal).powi(2);
+        }
+        rows.push(MacLevelRow {
+            total_n,
+            split_unipolar_rms: (su_sq / f64::from(trials)).sqrt(),
+            bipolar_rms: (bip_sq / f64::from(trials)).sqrt(),
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reproduces_the_2x_claim() {
+        let rows = run(Scale::Quick).unwrap();
+        assert!(!rows.is_empty());
+        let min = min_length_ratio(&rows);
+        assert!(min >= 2.0 - 1e-9, "minimum ratio {min}");
+    }
+
+    #[test]
+    fn unipolar_always_beats_bipolar_analytically() {
+        for r in run(Scale::Quick).unwrap() {
+            assert!(
+                r.unipolar_analytic <= r.bipolar_analytic + 1e-12,
+                "v={} n={}",
+                r.value,
+                r.n
+            );
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_length() {
+        let rows = run(Scale::Quick).unwrap();
+        let at = |v: f64, n: usize| {
+            rows.iter()
+                .find(|r| r.value == v && r.n == n)
+                .unwrap()
+                .unipolar_analytic
+        };
+        assert!(at(0.5, 512) < at(0.5, 32));
+    }
+
+    #[test]
+    fn split_unipolar_mac_beats_bipolar_mac_at_every_length() {
+        for row in mac_level_comparison(Scale::Quick).unwrap() {
+            assert!(
+                row.split_unipolar_rms < row.bipolar_rms,
+                "n={}: split {} vs bipolar {}",
+                row.total_n,
+                row.split_unipolar_rms,
+                row.bipolar_rms
+            );
+        }
+    }
+}

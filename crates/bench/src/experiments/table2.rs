@@ -1,0 +1,210 @@
+//! E7 (Table II): accuracy comparisons — 8-bit fixed point vs ACOUSTIC
+//! stochastic inference at 128/256/512-bit streams.
+//!
+//! Datasets are the synthetic stand-ins of `acoustic-datasets` (see
+//! DESIGN.md §3): absolute accuracies differ from the paper's MNIST /
+//! SVHN / CIFAR-10 numbers, but the object of the experiment — the gap
+//! between fixed-point and stochastic inference and its shrinkage with
+//! stream length — is preserved.
+
+use std::error::Error;
+
+use acoustic_datasets::{cifar_like, mnist_like, svhn_like, Dataset};
+use acoustic_nn::fixedpoint::Quantizer;
+use acoustic_nn::layers::{AccumMode, NetLayer, Network};
+use acoustic_nn::train::{evaluate, train, SgdConfig};
+use acoustic_simfunc::{ScSimulator, SimConfig};
+
+use crate::models::{cifar_cnn, lenet5};
+use crate::Scale;
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Network name.
+    pub network: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Total split-unipolar stream length.
+    pub stream_len: usize,
+    /// 8-bit fixed-point baseline accuracy (linear-trained, quantized).
+    pub fixed8_acc: f64,
+    /// Float accuracy of the OR-trained network (training-time model).
+    pub or_trained_acc: f64,
+    /// ACOUSTIC accuracy: bit-level stochastic simulation of the OR-trained
+    /// network.
+    pub acoustic_acc: f64,
+}
+
+/// Training/evaluation sizes per scale.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    train: usize,
+    test: usize,
+    epochs: usize,
+}
+
+fn budget(scale: Scale) -> Budget {
+    match scale {
+        // Unoptimized builds train ~50x slower; keep debug test runs brief
+        // (LeNet needs ~3 epochs to escape the OR-training plateau).
+        Scale::Quick if cfg!(debug_assertions) => Budget {
+            train: 250,
+            test: 50,
+            epochs: 3,
+        },
+        Scale::Quick => Budget {
+            train: 300,
+            test: 60,
+            epochs: 3,
+        },
+        Scale::Full => Budget {
+            train: 1200,
+            test: 200,
+            // OR-approx training on the cluttered tasks escapes its early
+            // saturation plateau around epoch 5-7; give it room.
+            epochs: 14,
+        },
+    }
+}
+
+/// Quantizes all MAC-layer weights of a network to `bits` bits in place.
+pub fn quantize_weights(net: &mut Network, bits: u32) {
+    let q = Quantizer::signed_unit(bits).expect("8-bit quantizer is valid");
+    for layer in net.layers_mut() {
+        match layer {
+            NetLayer::Conv(c) => {
+                for w in c.weights_mut() {
+                    *w = q.quantize_value(*w);
+                }
+            }
+            NetLayer::Dense(d) => {
+                for w in d.weights_mut() {
+                    *w = q.quantize_value(*w);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs one network/dataset pair and returns one row per stream length.
+fn run_entry(
+    network: &str,
+    build: fn(AccumMode) -> Result<Network, acoustic_nn::NnError>,
+    data: &Dataset,
+    streams: &[usize],
+    b: Budget,
+    lr_linear: f32,
+    lr_or: f32,
+) -> Result<Vec<Table2Row>, Box<dyn Error>> {
+    // 8-bit fixed-point baseline: conventional (linear) training, weights
+    // quantized post-training. OR-aware training needs a hotter learning
+    // rate to escape its early saturation plateau, so the rates differ.
+    let cfg_linear = SgdConfig {
+        lr: lr_linear,
+        momentum: 0.9,
+        batch_size: 16,
+    };
+    let mut fixed_net = build(AccumMode::Linear)?;
+    train(&mut fixed_net, &data.train, &cfg_linear, b.epochs)?;
+    quantize_weights(&mut fixed_net, 8);
+    let fixed8_acc = evaluate(&mut fixed_net, &data.test)?;
+
+    // ACOUSTIC: OR-aware training (Eq. 1 approximation), then bit-level
+    // stochastic evaluation per stream length.
+    let cfg_or = SgdConfig {
+        lr: lr_or,
+        momentum: 0.9,
+        batch_size: 16,
+    };
+    let mut or_net = build(AccumMode::OrApprox)?;
+    train(&mut or_net, &data.train, &cfg_or, b.epochs)?;
+    let or_trained_acc = evaluate(&mut or_net, &data.test)?;
+
+    let mut rows = Vec::new();
+    for &stream_len in streams {
+        let sim = ScSimulator::new(SimConfig::with_stream_len(stream_len)?);
+        let acoustic_acc = sim.evaluate(&or_net, &data.test)?;
+        rows.push(Table2Row {
+            network: network.to_string(),
+            dataset: data.name.clone(),
+            stream_len,
+            fixed8_acc,
+            or_trained_acc,
+            acoustic_acc,
+        });
+    }
+    Ok(rows)
+}
+
+/// Runs the full Table II (all three dataset rows).
+///
+/// # Errors
+///
+/// Propagates training and simulation errors.
+pub fn run(scale: Scale) -> Result<Vec<Table2Row>, Box<dyn Error>> {
+    let b = budget(scale);
+    let mut rows = Vec::new();
+
+    let mnist = mnist_like(b.train, b.test, 42);
+    rows.extend(run_entry("LeNet-5", lenet5, &mnist, &[128], b, 0.1, 0.1)?);
+
+    let svhn = svhn_like(b.train, b.test, 43);
+    rows.extend(run_entry("CNN", cifar_cnn, &svhn, &[256, 512], b, 0.05, 0.1)?);
+
+    let cifar = cifar_like(b.train, b.test, 44);
+    rows.extend(run_entry("CNN", cifar_cnn, &cifar, &[256, 512], b, 0.05, 0.1)?);
+
+    Ok(rows)
+}
+
+/// Runs only the LeNet-5/MNIST row (fast; used by tests).
+///
+/// # Errors
+///
+/// Propagates training and simulation errors.
+pub fn run_mnist_only(scale: Scale) -> Result<Vec<Table2Row>, Box<dyn Error>> {
+    let b = budget(scale);
+    let mnist = mnist_like(b.train, b.test, 42);
+    run_entry("LeNet-5", lenet5, &mnist, &[128], b, 0.1, 0.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_row_learns_and_sc_tracks_training() {
+        let rows = run_mnist_only(Scale::Quick).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        // Both baselines beat chance comfortably even at Quick scale (the
+        // debug budget is minimal, so only require well-above-chance there).
+        let floor = if cfg!(debug_assertions) { 0.25 } else { 0.3 };
+        assert!(r.fixed8_acc > floor, "fixed8 {}", r.fixed8_acc);
+        assert!(r.or_trained_acc > floor, "or-trained {}", r.or_trained_acc);
+        // The paper's core claim: stochastic execution tracks the trained
+        // model (LeNet/MNIST @128 matches 8-bit within noise).
+        assert!(
+            r.acoustic_acc > r.or_trained_acc - 0.25,
+            "SC {} vs trained {}",
+            r.acoustic_acc,
+            r.or_trained_acc
+        );
+    }
+
+    #[test]
+    fn quantize_weights_moves_to_grid() {
+        let mut net = lenet5(AccumMode::Linear).unwrap();
+        quantize_weights(&mut net, 4);
+        let q = Quantizer::signed_unit(4).unwrap();
+        for layer in net.layers() {
+            if let NetLayer::Conv(c) = layer {
+                for &w in c.weights() {
+                    assert!((q.quantize_value(w) - w).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

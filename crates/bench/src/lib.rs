@@ -1,0 +1,48 @@
+//! Experiment harness regenerating every table and figure of the ACOUSTIC
+//! paper (see DESIGN.md §2 for the experiment index).
+//!
+//! Each experiment is a library function returning structured results, so
+//! it can be exercised from tests, plus a thin binary (`src/bin/…`) that
+//! prints the same rows/series the paper reports:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `exp_repr_error`    | §II-A unipolar-vs-bipolar RMS error (E1) |
+//! | `exp_or_vs_mux`     | §II-B OR vs MUX accumulation error (E2) |
+//! | `exp_mac_area`      | §II-B / §III-A MAC area ratios (E3) |
+//! | `exp_skip_pooling`  | §II-C computation-skipping pooling (E4) |
+//! | `exp_or_approx`     | §II-D Eq. 1 accuracy + training speedup (E5) |
+//! | `fig4_latency_sweep`| Fig. 4 latency vs clock × DRAM interface (E6) |
+//! | `table2_accuracy`   | Table II accuracy comparisons (E7) |
+//! | `fig5_breakdown`    | Fig. 5 area/power breakdowns (E8) |
+//! | `table3_lp`         | Table III LP vs Eyeriss vs SCOPE (E9) |
+//! | `table4_ulp`        | Table IV ULP vs MDL-CNN vs Conv-RAM (E10) |
+//! | `table1_isa`        | Table I ISA listing (T1) |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod models;
+pub mod table;
+
+/// How much compute an experiment may spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Small datasets / few trials — seconds, used by tests and `--quick`.
+    Quick,
+    /// Paper-scale settings — the default for the experiment binaries.
+    #[default]
+    Full,
+}
+
+impl Scale {
+    /// Parses process args: any `--quick` flag selects [`Scale::Quick`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+}

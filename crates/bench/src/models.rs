@@ -1,0 +1,194 @@
+//! Trainable versions of the paper's small networks (Table II).
+//!
+//! Layer order follows the ACOUSTIC datapath: convolution → average pooling
+//! (stochastic domain) → ReLU (at the counter, after binary conversion), so
+//! the SC functional simulator can fuse pooling into the convolution's
+//! computation-skipping passes.
+
+use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, MaxPool2d, Network, Relu};
+use acoustic_nn::NnError;
+
+/// Builds a trainable LeNet-5 (28×28×1 → 10 classes).
+///
+/// `accum` selects the accumulation semantics of every MAC layer: use
+/// [`AccumMode::Linear`] for the 8-bit fixed-point baseline and
+/// [`AccumMode::OrApprox`] for ACOUSTIC-style OR-aware training.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors (none for these fixed shapes).
+pub fn lenet5(accum: AccumMode) -> Result<Network, NnError> {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 6, 5, 1, 2, accum)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(6, 16, 5, 1, 0, accum)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(16 * 5 * 5, 120, accum)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(120, 84, accum)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(84, 10, accum)?);
+    Ok(net)
+}
+
+/// Builds the trainable CIFAR-10 / SVHN CNN (32×32×3 → 10 classes).
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn cifar_cnn(accum: AccumMode) -> Result<Network, NnError> {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(3, 32, 3, 1, 1, accum)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(32, 64, 3, 1, 1, accum)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(64, 64, 3, 1, 1, accum)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(64 * 4 * 4, 64, accum)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(64, 10, accum)?);
+    Ok(net)
+}
+
+/// Variant of [`cifar_cnn`] with max pooling instead of average pooling —
+/// used for the §II-C "<0.3 % accuracy difference" measurement. Max pooling
+/// cannot be fused into computation skipping; the SC simulator pools in the
+/// binary domain (the FSM result after per-layer conversion is identical).
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn cifar_cnn_maxpool(accum: AccumMode) -> Result<Network, NnError> {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(3, 32, 3, 1, 1, accum)?);
+    net.push_max_pool(MaxPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(32, 64, 3, 1, 1, accum)?);
+    net.push_max_pool(MaxPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(64, 64, 3, 1, 1, accum)?);
+    net.push_max_pool(MaxPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(64 * 4 * 4, 64, accum)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(64, 10, accum)?);
+    Ok(net)
+}
+
+/// A small residual digit CNN (28×28×1 → 10): one conv stem, one residual
+/// block, then a classifier — exercises the §III-C claim that ACOUSTIC
+/// supports residual connections, end to end through training and the SC
+/// functional simulator.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn resnet_mini(accum: AccumMode) -> Result<Network, NnError> {
+    use acoustic_nn::layers::Residual;
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 8, 3, 1, 1, accum)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    let mut block = Network::new();
+    block.push_conv(Conv2d::new(8, 8, 3, 1, 1, accum)?);
+    block.push_relu(Relu::clamped());
+    net.push(acoustic_nn::layers::NetLayer::Residual(Residual::new(block)));
+    net.push_relu(Relu::clamped());
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_flatten();
+    net.push_dense(Dense::new(8 * 7 * 7, 10, accum)?);
+    Ok(net)
+}
+
+/// A deliberately small digit CNN for fast tests and the training-speedup
+/// measurement (E5).
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn tiny_cnn(accum: AccumMode) -> Result<Network, NnError> {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 8, 3, 1, 1, accum)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(8, 16, 3, 1, 1, accum)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(16 * 7 * 7, 10, accum)?);
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acoustic_nn::Tensor;
+
+    #[test]
+    fn lenet_shapes_flow() {
+        let mut net = lenet5(AccumMode::Linear).unwrap();
+        let out = net.forward(&Tensor::zeros(&[1, 28, 28])).unwrap();
+        assert_eq!(out.shape(), &[10]);
+    }
+
+    #[test]
+    fn cifar_shapes_flow() {
+        for build in [cifar_cnn, cifar_cnn_maxpool] {
+            let mut net = build(AccumMode::OrApprox).unwrap();
+            let out = net.forward(&Tensor::zeros(&[3, 32, 32])).unwrap();
+            assert_eq!(out.shape(), &[10]);
+        }
+    }
+
+    #[test]
+    fn tiny_shapes_flow() {
+        let mut net = tiny_cnn(AccumMode::OrExact).unwrap();
+        let out = net.forward(&Tensor::zeros(&[1, 28, 28])).unwrap();
+        assert_eq!(out.shape(), &[10]);
+    }
+
+    #[test]
+    fn resnet_mini_trains_and_simulates() {
+        use acoustic_nn::train::{evaluate, train, SgdConfig};
+        use acoustic_simfunc::{ScSimulator, SimConfig};
+        let data = acoustic_datasets::mnist_like(250, 60, 17);
+        let mut net = resnet_mini(AccumMode::OrApprox).unwrap();
+        let cfg = SgdConfig {
+            lr: 0.08,
+            momentum: 0.9,
+            batch_size: 16,
+        };
+        train(&mut net, &data.train, &cfg, 4).unwrap();
+        let float_acc = evaluate(&mut net, &data.test).unwrap();
+        assert!(float_acc > 0.4, "residual net float acc {float_acc}");
+        let sim = ScSimulator::new(SimConfig::with_stream_len(128).unwrap());
+        let sc_acc = sim.evaluate(&net, &data.test).unwrap();
+        assert!(
+            sc_acc > float_acc - 0.25,
+            "residual SC acc {sc_acc} vs float {float_acc}"
+        );
+    }
+
+    #[test]
+    fn lenet_matches_zoo_shape_params() {
+        // The trainable net and the perf-model shape agree on weights.
+        let net = lenet5(AccumMode::Linear).unwrap();
+        let zoo = acoustic_nn::zoo::lenet5();
+        assert_eq!(net.param_count() as u64, zoo.total_weights());
+    }
+
+    #[test]
+    fn cifar_matches_zoo_shape_params() {
+        let net = cifar_cnn(AccumMode::Linear).unwrap();
+        let zoo = acoustic_nn::zoo::cifar10_cnn();
+        assert_eq!(net.param_count() as u64, zoo.total_weights());
+    }
+}

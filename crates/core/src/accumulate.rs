@@ -1,0 +1,238 @@
+//! Wide OR-based scale-free accumulation (§II-B).
+//!
+//! Neural-network dot products accumulate hundreds to thousands of products.
+//! MUX-based stochastic addition scales the result by `1/k` (k = fan-in),
+//! burying small sums below the representational noise floor. ACOUSTIC
+//! instead ORs all product streams together: the result saturates smoothly
+//! (`1 − Π(1 − vᵢ)`) but needs no scaling, and for the sparse, small-valued
+//! products typical of CNN layers the absolute error is far lower — the paper
+//! measures ~8× lower than MUX at 3×3×256 = 2304-wide fan-in.
+
+use crate::{Bitstream, CoreError};
+
+/// ORs a set of streams together, returning the accumulated stream.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyOperands`] if `streams` is empty.
+/// * [`CoreError::LengthMismatch`] if lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::{or_accumulate, Bitstream};
+///
+/// # fn main() -> Result<(), acoustic_core::CoreError> {
+/// let streams = vec![
+///     Bitstream::from_bits(&[true, false, false, false]),
+///     Bitstream::from_bits(&[false, true, false, false]),
+///     Bitstream::from_bits(&[false, false, true, false]),
+/// ];
+/// let acc = or_accumulate(&streams)?;
+/// assert_eq!(acc.count_ones(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn or_accumulate(streams: &[Bitstream]) -> Result<Bitstream, CoreError> {
+    let (first, rest) = streams.split_first().ok_or(CoreError::EmptyOperands)?;
+    let mut acc = first.clone();
+    for s in rest {
+        acc.or_assign(s)?;
+    }
+    Ok(acc)
+}
+
+/// The exact expected value of an OR over independent unipolar streams:
+/// `1 − Π(1 − vᵢ)`.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::or_expected;
+///
+/// let v = or_expected(&[0.1, 0.1]);
+/// assert!((v - 0.19).abs() < 1e-12);
+/// ```
+pub fn or_expected(values: &[f64]) -> f64 {
+    1.0 - values.iter().map(|&v| 1.0 - v).product::<f64>()
+}
+
+/// The ACOUSTIC training-time approximation of the OR sum (Eq. 1):
+/// `OR(a₁…aₙ) ≈ 1 − e^{−s}` where `s = Σ aᵢ`.
+///
+/// The paper reports <5 % approximation error against exact OR on real
+/// training runs; using this closed form instead of the n-way product makes
+/// OR-aware training ~10× faster.
+pub fn or_approx(sum: f64) -> f64 {
+    1.0 - (-sum).exp()
+}
+
+/// Derivative of [`or_approx`] with respect to the input sum — needed by the
+/// backward pass of OR-aware training.
+pub fn or_approx_derivative(sum: f64) -> f64 {
+    (-sum).exp()
+}
+
+/// Streaming OR accumulator that never materialises the operand list —
+/// mirrors the hardware OR tree feeding a counter.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::{OrAccumulator, Bitstream};
+///
+/// # fn main() -> Result<(), acoustic_core::CoreError> {
+/// let mut acc = OrAccumulator::new(8);
+/// acc.push(&Bitstream::from_bits(&[true; 8]))?;
+/// acc.push(&Bitstream::from_bits(&[false; 8]))?;
+/// assert_eq!(acc.fan_in(), 2);
+/// assert_eq!(acc.finish().count_ones(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrAccumulator {
+    acc: Bitstream,
+    fan_in: usize,
+}
+
+impl OrAccumulator {
+    /// Creates an empty accumulator for `len`-bit streams.
+    pub fn new(len: usize) -> Self {
+        OrAccumulator {
+            acc: Bitstream::zeros(len),
+            fan_in: 0,
+        }
+    }
+
+    /// ORs one more stream into the accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if `s` has the wrong length.
+    pub fn push(&mut self, s: &Bitstream) -> Result<(), CoreError> {
+        self.acc.or_assign(s)?;
+        self.fan_in += 1;
+        Ok(())
+    }
+
+    /// Number of streams accumulated so far.
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// The accumulated stream so far.
+    pub fn current(&self) -> &Bitstream {
+        &self.acc
+    }
+
+    /// Consumes the accumulator, returning the final stream.
+    pub fn finish(self) -> Bitstream {
+        self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lfsr, Sng};
+
+    #[test]
+    fn or_accumulate_empty_is_error() {
+        assert!(matches!(
+            or_accumulate(&[]),
+            Err(CoreError::EmptyOperands)
+        ));
+    }
+
+    #[test]
+    fn or_accumulate_single_is_identity() {
+        let s = Bitstream::from_bits(&[true, false, true]);
+        assert_eq!(or_accumulate(std::slice::from_ref(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn or_expected_matches_monte_carlo() {
+        let n = 32768;
+        let values = [0.05, 0.1, 0.02, 0.2, 0.08];
+        let streams: Vec<Bitstream> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                Sng::new(Lfsr::maximal(16, 0x1000 + i as u32 * 77).unwrap(), 16)
+                    .generate(v, n)
+                    .unwrap()
+            })
+            .collect();
+        let acc = or_accumulate(&streams).unwrap();
+        let expect = or_expected(&values);
+        assert!(
+            (acc.value() - expect).abs() < 0.02,
+            "measured {} vs expected {expect}",
+            acc.value()
+        );
+    }
+
+    #[test]
+    fn or_result_bounds() {
+        // result >= max input value count, <= sum of counts, <= 1.0.
+        let streams = vec![
+            Bitstream::from_bits(&[true, true, false, false]),
+            Bitstream::from_bits(&[false, true, true, false]),
+        ];
+        let acc = or_accumulate(&streams).unwrap();
+        let max_in = streams.iter().map(Bitstream::count_ones).max().unwrap();
+        let sum_in: u64 = streams.iter().map(Bitstream::count_ones).sum();
+        assert!(acc.count_ones() >= max_in);
+        assert!(acc.count_ones() <= sum_in.min(acc.len() as u64));
+    }
+
+    #[test]
+    fn or_approx_close_to_exact_for_small_inputs() {
+        // For n equal small values, exact OR is 1-(1-s/n)^n -> 1-e^-s.
+        for &n in &[64usize, 256, 2304] {
+            for &s in &[0.25, 0.5, 1.0, 2.0] {
+                let v = s / n as f64;
+                let exact = or_expected(&vec![v; n]);
+                let approx = or_approx(s);
+                let rel = (exact - approx).abs() / exact.max(1e-9);
+                assert!(
+                    rel < 0.05,
+                    "n={n} s={s}: exact {exact} vs approx {approx} (rel {rel})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn or_approx_derivative_is_slope() {
+        let h = 1e-6;
+        for &s in &[0.0, 0.5, 1.0, 3.0] {
+            let numeric = (or_approx(s + h) - or_approx(s - h)) / (2.0 * h);
+            assert!((numeric - or_approx_derivative(s)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn streaming_accumulator_matches_batch() {
+        let streams = vec![
+            Bitstream::from_bits(&[true, false, false, true]),
+            Bitstream::from_bits(&[false, true, false, true]),
+            Bitstream::from_bits(&[false, false, true, false]),
+        ];
+        let batch = or_accumulate(&streams).unwrap();
+        let mut acc = OrAccumulator::new(4);
+        for s in &streams {
+            acc.push(s).unwrap();
+        }
+        assert_eq!(acc.fan_in(), 3);
+        assert_eq!(acc.finish(), batch);
+    }
+
+    #[test]
+    fn or_expected_saturates_at_one() {
+        assert!((or_expected(&[1.0, 0.3]) - 1.0).abs() < 1e-12);
+        let near = or_expected(&vec![0.5; 64]);
+        assert!(near > 0.9999999 && near <= 1.0);
+    }
+}

@@ -1,0 +1,513 @@
+//! Packed stochastic bitstreams.
+//!
+//! A stochastic number in unipolar format is the probability of a `1`
+//! appearing in a random bit sequence. We store streams packed 64 bits to a
+//! `u64` word so the single-gate SC operations (AND, OR, MUX) become
+//! word-parallel bitwise instructions — this is what makes software
+//! simulation of million-lane SC fabrics tractable.
+
+use crate::CoreError;
+
+/// A fixed-length stochastic bitstream, packed 64 bits per word.
+///
+/// Bit `i` of the stream lives at `words[i / 64]` bit position `i % 64`
+/// (little-endian within the word). Bits at positions `>= len` in the last
+/// word are always kept zero, so [`Bitstream::count_ones`] is a plain
+/// popcount over the words.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::Bitstream;
+///
+/// let s = Bitstream::from_bits(&[true, false, true, true]);
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.count_ones(), 3);
+/// assert!((s.value() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bitstream {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitstream {
+    /// Creates an all-zero stream of `len` bits (unipolar value 0.0).
+    pub fn zeros(len: usize) -> Self {
+        Bitstream {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates an all-one stream of `len` bits (unipolar value 1.0).
+    pub fn ones(len: usize) -> Self {
+        let mut s = Bitstream {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        s.mask_tail();
+        s
+    }
+
+    /// Builds a stream from individual bits, index 0 first.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut s = Bitstream::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.set(i, true);
+            }
+        }
+        s
+    }
+
+    /// Builds a stream directly from packed words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidStreamLength`] if `words` is not exactly
+    /// `len.div_ceil(64)` words long.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self, CoreError> {
+        if words.len() != len.div_ceil(64) {
+            return Err(CoreError::InvalidStreamLength {
+                len,
+                requirement: "word count must equal ceil(len / 64)",
+            });
+        }
+        let mut s = Bitstream { words, len };
+        s.mask_tail();
+        Ok(s)
+    }
+
+    /// Number of bits in the stream.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the stream holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrow the packed words (tail bits beyond `len` are zero).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        if v {
+            *w |= 1 << (i % 64);
+        } else {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of `1` bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// The unipolar value encoded by the stream: `count_ones / len`.
+    ///
+    /// Returns 0.0 for an empty stream.
+    pub fn value(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// The bipolar value encoded by the stream: `2 * value - 1 ∈ [-1, 1]`.
+    pub fn bipolar_value(&self) -> f64 {
+        2.0 * self.value() - 1.0
+    }
+
+    /// Bitwise AND — unipolar multiplication of independent streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if the streams differ in length.
+    pub fn and(&self, other: &Bitstream) -> Result<Bitstream, CoreError> {
+        self.check_len(other)?;
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        Ok(Bitstream {
+            words,
+            len: self.len,
+        })
+    }
+
+    /// Bitwise OR — saturating (scale-free) addition of unipolar streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if the streams differ in length.
+    pub fn or(&self, other: &Bitstream) -> Result<Bitstream, CoreError> {
+        self.check_len(other)?;
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Ok(Bitstream {
+            words,
+            len: self.len,
+        })
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if the streams differ in length.
+    pub fn xor(&self, other: &Bitstream) -> Result<Bitstream, CoreError> {
+        self.check_len(other)?;
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        Ok(Bitstream {
+            words,
+            len: self.len,
+        })
+    }
+
+    /// Bitwise NOT — computes `1 - v` in the unipolar domain.
+    pub fn not(&self) -> Bitstream {
+        let mut s = Bitstream {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        s.mask_tail();
+        s
+    }
+
+    /// In-place OR (the accumulate step of a wide OR tree).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if the streams differ in length.
+    pub fn or_assign(&mut self, other: &Bitstream) -> Result<(), CoreError> {
+        self.check_len(other)?;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        Ok(())
+    }
+
+    /// In-place AND (operand gating: ANDing with all-zeros freezes the lane).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if the streams differ in length.
+    pub fn and_assign(&mut self, other: &Bitstream) -> Result<(), CoreError> {
+        self.check_len(other)?;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        Ok(())
+    }
+
+    /// Concatenates two streams (used by computation-skipping pooling, §II-C:
+    /// “instead of passing multiple streams through the pooling multiplexer we
+    /// concatenate shorter streams”).
+    pub fn concat(&self, other: &Bitstream) -> Bitstream {
+        let mut bits = Vec::with_capacity(self.len + other.len);
+        bits.extend(self.iter());
+        bits.extend(other.iter());
+        Bitstream::from_bits(&bits)
+    }
+
+    /// Returns the sub-stream `[start, start + count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > self.len()`.
+    pub fn slice(&self, start: usize, count: usize) -> Bitstream {
+        assert!(
+            start + count <= self.len,
+            "slice [{start}, {}) out of range {}",
+            start + count,
+            self.len
+        );
+        let bits: Vec<bool> = (start..start + count).map(|i| self.get(i)).collect();
+        Bitstream::from_bits(&bits)
+    }
+
+    /// Iterates over the bits, index 0 first.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            stream: self,
+            idx: 0,
+        }
+    }
+
+    /// Stochastic cross-correlation (SCC) between two streams.
+    ///
+    /// SCC is 0 for independent streams, +1 for maximally positively
+    /// correlated and −1 for maximally negatively correlated streams
+    /// (Alaghi & Hayes). Computation-skipping pooling produces correlated
+    /// outputs; ACOUSTIC removes the correlation by converting to binary and
+    /// regenerating streams each layer — this metric lets tests verify both
+    /// halves of that statement.
+    ///
+    /// Returns 0.0 when either stream is constant (correlation undefined).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if the streams differ in length.
+    pub fn scc(&self, other: &Bitstream) -> Result<f64, CoreError> {
+        self.check_len(other)?;
+        let n = self.len as f64;
+        if n == 0.0 {
+            return Ok(0.0);
+        }
+        let p1 = self.value();
+        let p2 = other.value();
+        let p12 = self.and(other)?.value();
+        let delta = p12 - p1 * p2;
+        let denom = if delta > 0.0 {
+            p1.min(p2) - p1 * p2
+        } else {
+            p1 * p2 - (p1 + p2 - 1.0).max(0.0)
+        };
+        if denom.abs() < 1e-15 {
+            Ok(0.0)
+        } else {
+            Ok(delta / denom)
+        }
+    }
+
+    fn check_len(&self, other: &Bitstream) -> Result<(), CoreError> {
+        if self.len != other.len {
+            Err(CoreError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+}
+
+/// Iterator over the bits of a [`Bitstream`], produced by [`Bitstream::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    stream: &'a Bitstream,
+    idx: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.idx < self.stream.len() {
+            let b = self.stream.get(self.idx);
+            self.idx += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.stream.len() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl FromIterator<bool> for Bitstream {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        Bitstream::from_bits(&bits)
+    }
+}
+
+impl std::fmt::Binary for Bitstream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitstream::zeros(100);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.value(), 0.0);
+        let o = Bitstream::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert_eq!(o.value(), 1.0);
+    }
+
+    #[test]
+    fn tail_bits_are_masked() {
+        let o = Bitstream::ones(65);
+        assert_eq!(o.as_words().len(), 2);
+        assert_eq!(o.as_words()[1], 1);
+        let n = o.not();
+        assert_eq!(n.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = Bitstream::zeros(130);
+        s.set(0, true);
+        s.set(64, true);
+        s.set(129, true);
+        assert!(s.get(0) && s.get(64) && s.get(129));
+        assert!(!s.get(1) && !s.get(63) && !s.get(128));
+        assert_eq!(s.count_ones(), 3);
+        s.set(64, false);
+        assert_eq!(s.count_ones(), 2);
+    }
+
+    #[test]
+    fn and_is_min_bound() {
+        let a = Bitstream::from_bits(&[true, true, false, false]);
+        let b = Bitstream::from_bits(&[true, false, true, false]);
+        let p = a.and(&b).unwrap();
+        assert_eq!(p.count_ones(), 1);
+        assert!(p.count_ones() <= a.count_ones().min(b.count_ones()));
+    }
+
+    #[test]
+    fn or_is_saturating() {
+        let a = Bitstream::from_bits(&[true, true, false, false]);
+        let b = Bitstream::from_bits(&[true, false, true, false]);
+        let s = a.or(&b).unwrap();
+        assert_eq!(s.count_ones(), 3);
+        assert!(s.count_ones() >= a.count_ones().max(b.count_ones()));
+        assert!(s.count_ones() <= a.count_ones() + b.count_ones());
+    }
+
+    #[test]
+    fn not_complements() {
+        let a = Bitstream::from_bits(&[true, false, true]);
+        let n = a.not();
+        assert_eq!(n.count_ones(), 1);
+        assert!((a.value() + n.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let a = Bitstream::zeros(8);
+        let b = Bitstream::zeros(16);
+        assert!(matches!(
+            a.and(&b),
+            Err(CoreError::LengthMismatch { left: 8, right: 16 })
+        ));
+    }
+
+    #[test]
+    fn concat_preserves_counts() {
+        let a = Bitstream::from_bits(&[true, false]);
+        let b = Bitstream::from_bits(&[true, true, true]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.count_ones(), 4);
+        assert!(c.get(0) && !c.get(1) && c.get(2) && c.get(3) && c.get(4));
+    }
+
+    #[test]
+    fn slice_extracts_segment() {
+        let s = Bitstream::from_bits(&[true, false, true, true, false, false]);
+        let mid = s.slice(2, 3);
+        assert_eq!(mid.len(), 3);
+        assert!(mid.get(0) && mid.get(1) && !mid.get(2));
+    }
+
+    #[test]
+    fn bipolar_value_maps_range() {
+        assert_eq!(Bitstream::ones(8).bipolar_value(), 1.0);
+        assert_eq!(Bitstream::zeros(8).bipolar_value(), -1.0);
+        let half = Bitstream::from_bits(&[true, false, true, false]);
+        assert_eq!(half.bipolar_value(), 0.0);
+    }
+
+    #[test]
+    fn scc_identical_streams_is_one() {
+        let a = Bitstream::from_bits(&[true, false, true, false, true, false, false, false]);
+        assert!((a.scc(&a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scc_disjoint_streams_is_negative() {
+        let a = Bitstream::from_bits(&[true, true, false, false]);
+        let b = Bitstream::from_bits(&[false, false, true, true]);
+        assert!(a.scc(&b).unwrap() < -0.99);
+    }
+
+    #[test]
+    fn scc_constant_stream_is_zero() {
+        let a = Bitstream::ones(16);
+        let b = Bitstream::from_bits(&[true; 16]);
+        assert_eq!(a.scc(&b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn from_words_validates_count() {
+        assert!(Bitstream::from_words(vec![0u64; 1], 100).is_err());
+        let s = Bitstream::from_words(vec![!0u64; 2], 100).unwrap();
+        assert_eq!(s.count_ones(), 100);
+    }
+
+    #[test]
+    fn iterator_roundtrip() {
+        let bits = vec![true, false, false, true, true];
+        let s: Bitstream = bits.iter().copied().collect();
+        let back: Vec<bool> = s.iter().collect();
+        assert_eq!(bits, back);
+    }
+
+    #[test]
+    fn binary_format() {
+        let s = Bitstream::from_bits(&[true, false, true]);
+        assert_eq!(format!("{s:b}"), "101");
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the stochastic-computing primitive layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A probability/value argument was outside its legal range.
+    ValueOutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Lower bound of the legal range (inclusive).
+        min: f64,
+        /// Upper bound of the legal range (inclusive).
+        max: f64,
+    },
+    /// Two bitstreams that must have equal length did not.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// The requested LFSR width has no maximal-length tap set in our table.
+    UnsupportedLfsrWidth(u32),
+    /// An LFSR was seeded with zero, which is a lock-up state.
+    ZeroLfsrSeed,
+    /// An operation needed a non-empty set of operands.
+    EmptyOperands,
+    /// A stream length was invalid for the requested operation.
+    InvalidStreamLength {
+        /// The offending length.
+        len: usize,
+        /// Human-readable requirement, e.g. "must be divisible by 4".
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ValueOutOfRange { value, min, max } => {
+                write!(f, "value {value} outside legal range [{min}, {max}]")
+            }
+            CoreError::LengthMismatch { left, right } => {
+                write!(f, "bitstream length mismatch: {left} vs {right}")
+            }
+            CoreError::UnsupportedLfsrWidth(w) => {
+                write!(f, "no maximal-length tap set for LFSR width {w}")
+            }
+            CoreError::ZeroLfsrSeed => write!(f, "LFSR seed must be non-zero"),
+            CoreError::EmptyOperands => write!(f, "operation requires at least one operand"),
+            CoreError::InvalidStreamLength { len, requirement } => {
+                write!(f, "invalid stream length {len}: {requirement}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CoreError::ValueOutOfRange {
+            value: 1.5,
+            min: 0.0,
+            max: 1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1.5"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+
+        let e = CoreError::LengthMismatch { left: 8, right: 16 };
+        assert!(e.to_string().contains("8"));
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,301 @@
+//! Output counters: stochastic-to-binary conversion, ReLU, pooling support.
+//!
+//! In ACOUSTIC every MAC row terminates in an up/down counter. During the
+//! positive split-unipolar phase the counter counts accumulated 1-bits up;
+//! during the negative phase it counts down. The final signed count *is* the
+//! fixed-point result, so ReLU reduces to gating the output with the
+//! inverted sign bit (§II-A). Counters with pooling support additionally
+//! keep accumulating across successive shortened compute passes
+//! (height-direction pooling) and across small parallel pre-counters
+//! (width-direction pooling) — see §III-B.
+
+use crate::{Bitstream, CoreError};
+
+/// Phase of a split-unipolar computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Positive-weight phase: counter counts up.
+    Positive,
+    /// Negative-weight phase: counter counts down.
+    Negative,
+}
+
+/// An up/down output counter converting accumulated stochastic streams back
+/// to signed fixed-point binary.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::{UpDownCounter, Bitstream};
+/// use acoustic_core::counter::Phase;
+///
+/// # fn main() -> Result<(), acoustic_core::CoreError> {
+/// let mut cnt = UpDownCounter::new();
+/// cnt.accumulate(&Bitstream::from_bits(&[true, true, true]), Phase::Positive)?;
+/// cnt.accumulate(&Bitstream::from_bits(&[true, false, false]), Phase::Negative)?;
+/// assert_eq!(cnt.count(), 2);
+/// assert_eq!(cnt.relu(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct UpDownCounter {
+    count: i64,
+    bits_seen: u64,
+}
+
+impl UpDownCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the popcount of `stream` with the sign of `phase`.
+    ///
+    /// The `bits_seen` tally (total stream bits observed, both phases)
+    /// provides the normalisation denominator for [`UpDownCounter::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// This method is infallible today but returns `Result` for signature
+    /// stability with gated/pooled variants; it never errors on any input.
+    pub fn accumulate(&mut self, stream: &Bitstream, phase: Phase) -> Result<(), CoreError> {
+        let ones = stream.count_ones() as i64;
+        match phase {
+            Phase::Positive => self.count += ones,
+            Phase::Negative => self.count -= ones,
+        }
+        self.bits_seen += stream.len() as u64;
+        Ok(())
+    }
+
+    /// Adds a raw signed count directly (used by parallel pre-counters).
+    pub fn add_count(&mut self, delta: i64, bits: u64) {
+        self.count += delta;
+        self.bits_seen += bits;
+    }
+
+    /// The current signed count.
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+
+    /// Total bits observed across both phases.
+    pub fn bits_seen(&self) -> u64 {
+        self.bits_seen
+    }
+
+    /// ReLU in the binary domain: the count gated by its inverted sign.
+    pub fn relu(&self) -> i64 {
+        self.count.max(0)
+    }
+
+    /// Converts the count to a value, normalising by the *per-phase* stream
+    /// length (total bits / 2 when both phases ran).
+    ///
+    /// For a two-phase split-unipolar MAC with per-phase length `n`, a count
+    /// of `c` encodes `c / n`.
+    pub fn to_value(&self, per_phase_len: usize) -> f64 {
+        if per_phase_len == 0 {
+            0.0
+        } else {
+            self.count as f64 / per_phase_len as f64
+        }
+    }
+
+    /// Resets the counter to zero. Deliberately *not* called between pooled
+    /// passes — skipping the reset is how height-direction pooling averages
+    /// outputs (§III-B).
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.bits_seen = 0;
+    }
+}
+
+/// A small (2×–3×) parallel counter placed before an output counter, letting
+/// adjacent outputs that fall in the same pooling window accumulate together
+/// (width-direction pooling, §III-B).
+///
+/// The paper sizes these at 2–3 inputs; larger widths are rejected to mirror
+/// the hardware.
+#[derive(Debug, Clone)]
+pub struct ParallelPreCounter {
+    width: usize,
+}
+
+impl ParallelPreCounter {
+    /// Creates a pre-counter combining `width` adjacent outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] if `width ∉ 2..=3`.
+    pub fn new(width: usize) -> Result<Self, CoreError> {
+        if !(2..=3).contains(&width) {
+            return Err(CoreError::ValueOutOfRange {
+                value: width as f64,
+                min: 2.0,
+                max: 3.0,
+            });
+        }
+        Ok(ParallelPreCounter { width })
+    }
+
+    /// Number of adjacent outputs combined per cycle.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sums the per-cycle popcount of `width` adjacent accumulated streams
+    /// and feeds the combined count into `counter`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyOperands`] if `streams.len() != self.width()`.
+    /// * [`CoreError::LengthMismatch`] if the streams differ in length.
+    pub fn feed(
+        &self,
+        streams: &[Bitstream],
+        phase: Phase,
+        counter: &mut UpDownCounter,
+    ) -> Result<(), CoreError> {
+        if streams.len() != self.width {
+            return Err(CoreError::EmptyOperands);
+        }
+        let len = streams[0].len();
+        for s in streams {
+            if s.len() != len {
+                return Err(CoreError::LengthMismatch {
+                    left: len,
+                    right: s.len(),
+                });
+            }
+        }
+        let total: i64 = streams.iter().map(|s| s.count_ones() as i64).sum();
+        let signed = match phase {
+            Phase::Positive => total,
+            Phase::Negative => -total,
+        };
+        // The pooled window shares one denominator: the pre-counter merges
+        // `width` streams into a single logical stream of the same length.
+        counter.add_count(signed, len as u64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_up_and_down() {
+        let mut c = UpDownCounter::new();
+        c.accumulate(&Bitstream::ones(8), Phase::Positive).unwrap();
+        assert_eq!(c.count(), 8);
+        c.accumulate(&Bitstream::ones(8), Phase::Negative).unwrap();
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.bits_seen(), 16);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut c = UpDownCounter::new();
+        c.accumulate(&Bitstream::ones(4), Phase::Negative).unwrap();
+        assert_eq!(c.count(), -4);
+        assert_eq!(c.relu(), 0);
+    }
+
+    #[test]
+    fn relu_passes_positive() {
+        let mut c = UpDownCounter::new();
+        c.accumulate(&Bitstream::ones(4), Phase::Positive).unwrap();
+        assert_eq!(c.relu(), 4);
+    }
+
+    #[test]
+    fn to_value_normalises_per_phase() {
+        let mut c = UpDownCounter::new();
+        c.accumulate(&Bitstream::from_bits(&[true, true, false, false]), Phase::Positive)
+            .unwrap();
+        c.accumulate(&Bitstream::from_bits(&[true, false, false, false]), Phase::Negative)
+            .unwrap();
+        // (2 - 1) / 4 = 0.25
+        assert!((c.to_value(4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_value_zero_length_is_zero() {
+        let c = UpDownCounter::new();
+        assert_eq!(c.to_value(0), 0.0);
+    }
+
+    #[test]
+    fn counter_never_exceeds_bits_seen() {
+        let mut c = UpDownCounter::new();
+        c.accumulate(&Bitstream::ones(100), Phase::Positive).unwrap();
+        c.accumulate(&Bitstream::ones(50), Phase::Positive).unwrap();
+        assert!(c.count().unsigned_abs() <= c.bits_seen());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = UpDownCounter::new();
+        c.accumulate(&Bitstream::ones(8), Phase::Positive).unwrap();
+        c.reset();
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.bits_seen(), 0);
+    }
+
+    #[test]
+    fn no_reset_averages_across_passes() {
+        // Two shortened passes with counts 4/8 and 0/8 into one counter:
+        // pooled average = (4 + 0) / (8 + 8) = 0.25 of the total length —
+        // i.e. per-phase value (4+0)/16 when per-phase length is 16 total.
+        let mut c = UpDownCounter::new();
+        c.accumulate(&Bitstream::from_bits(&[true; 4]).concat(&Bitstream::zeros(4)), Phase::Positive)
+            .unwrap();
+        c.accumulate(&Bitstream::zeros(8), Phase::Positive).unwrap();
+        assert_eq!(c.count(), 4);
+        assert!((c.to_value(16) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_counter_width_validation() {
+        assert!(ParallelPreCounter::new(1).is_err());
+        assert!(ParallelPreCounter::new(4).is_err());
+        assert!(ParallelPreCounter::new(2).is_ok());
+        assert!(ParallelPreCounter::new(3).is_ok());
+    }
+
+    #[test]
+    fn pre_counter_sums_adjacent_outputs() {
+        let pc = ParallelPreCounter::new(2).unwrap();
+        let mut c = UpDownCounter::new();
+        let a = Bitstream::from_bits(&[true, true, false, false]);
+        let b = Bitstream::from_bits(&[true, false, true, false]);
+        pc.feed(&[a, b], Phase::Positive, &mut c).unwrap();
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.bits_seen(), 4);
+    }
+
+    #[test]
+    fn pre_counter_rejects_wrong_arity() {
+        let pc = ParallelPreCounter::new(2).unwrap();
+        let mut c = UpDownCounter::new();
+        assert!(pc
+            .feed(&[Bitstream::zeros(4)], Phase::Positive, &mut c)
+            .is_err());
+    }
+
+    #[test]
+    fn pre_counter_rejects_mismatched_lengths() {
+        let pc = ParallelPreCounter::new(2).unwrap();
+        let mut c = UpDownCounter::new();
+        assert!(pc
+            .feed(
+                &[Bitstream::zeros(4), Bitstream::zeros(8)],
+                Phase::Positive,
+                &mut c
+            )
+            .is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Analytic representation-error models and Monte-Carlo helpers (§II-A).
+//!
+//! The paper motivates split-unipolar with the RMS representational error of
+//! the two classic SC formats at stream length `n`:
+//!
+//! * unipolar: `√(v(1−v)/n)` for `v ∈ [0, 1]`,
+//! * bipolar: `√((1−v²)/n_b)` for `v ∈ [−1, 1]`.
+//!
+//! For equal error near `v = 0` (where CNN weights concentrate), bipolar
+//! needs ≥2× the stream length — hence "unipolar requires at least 2X
+//! shorter streams than bipolar".
+
+use crate::{Bitstream, CoreError, Lfsr, Sng};
+
+/// RMS error of an `n`-bit unipolar stream encoding `v ∈ [0, 1]`:
+/// `√(v(1−v)/n)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ValueOutOfRange`] if `v ∉ [0, 1]`, and
+/// [`CoreError::InvalidStreamLength`] if `n == 0`.
+pub fn unipolar_rms_error(v: f64, n: usize) -> Result<f64, CoreError> {
+    if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+        return Err(CoreError::ValueOutOfRange {
+            value: v,
+            min: 0.0,
+            max: 1.0,
+        });
+    }
+    if n == 0 {
+        return Err(CoreError::InvalidStreamLength {
+            len: 0,
+            requirement: "stream length must be positive",
+        });
+    }
+    Ok((v * (1.0 - v) / n as f64).sqrt())
+}
+
+/// RMS error of an `n_b`-bit bipolar stream encoding `v ∈ [−1, 1]`:
+/// `√((1−v²)/n_b)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ValueOutOfRange`] if `v ∉ [−1, 1]`, and
+/// [`CoreError::InvalidStreamLength`] if `n_b == 0`.
+pub fn bipolar_rms_error(v: f64, n_b: usize) -> Result<f64, CoreError> {
+    if !(-1.0..=1.0).contains(&v) || !v.is_finite() {
+        return Err(CoreError::ValueOutOfRange {
+            value: v,
+            min: -1.0,
+            max: 1.0,
+        });
+    }
+    if n_b == 0 {
+        return Err(CoreError::InvalidStreamLength {
+            len: 0,
+            requirement: "stream length must be positive",
+        });
+    }
+    Ok(((1.0 - v * v) / n_b as f64).sqrt())
+}
+
+/// The bipolar stream length needed to match the unipolar RMS error for a
+/// magnitude-`|v|` value (the "≥2×" of §II-A). For a non-negative `v` encoded
+/// unipolar vs the same value encoded bipolar:
+/// `n_b / n = (1 − v²) / (v(1 − v)) = (1 + v) / v … ≥ 2` for `v ≤ 1`.
+///
+/// Returns `f64::INFINITY` when `v == 0` (bipolar error never reaches zero).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ValueOutOfRange`] if `v ∉ [0, 1]`.
+pub fn bipolar_length_ratio(v: f64) -> Result<f64, CoreError> {
+    if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+        return Err(CoreError::ValueOutOfRange {
+            value: v,
+            min: 0.0,
+            max: 1.0,
+        });
+    }
+    if v == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    if v == 1.0 {
+        // Both errors vanish; the limit of the ratio is 2.
+        return Ok(2.0);
+    }
+    Ok((1.0 - v * v) / (v * (1.0 - v)))
+}
+
+/// Monte-Carlo RMS error of encoding `v` as `trials` independent unipolar
+/// streams of length `n` (one LFSR reseed per trial).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ValueOutOfRange`] if `v ∉ [0, 1]`.
+pub fn measure_unipolar_rms(v: f64, n: usize, trials: usize, seed: u32) -> Result<f64, CoreError> {
+    let mut sq_sum = 0.0;
+    for t in 0..trials {
+        let s = trial_seed(seed, t);
+        let mut sng = Sng::new(Lfsr::maximal(16, s)?, 16);
+        let stream = sng.generate(v, n)?;
+        let e = stream.value() - v;
+        sq_sum += e * e;
+    }
+    Ok((sq_sum / trials.max(1) as f64).sqrt())
+}
+
+/// Monte-Carlo RMS error of encoding bipolar `v ∈ [−1, 1]` as `trials`
+/// streams of length `n_b`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ValueOutOfRange`] if `v ∉ [−1, 1]`.
+pub fn measure_bipolar_rms(
+    v: f64,
+    n_b: usize,
+    trials: usize,
+    seed: u32,
+) -> Result<f64, CoreError> {
+    if !(-1.0..=1.0).contains(&v) || !v.is_finite() {
+        return Err(CoreError::ValueOutOfRange {
+            value: v,
+            min: -1.0,
+            max: 1.0,
+        });
+    }
+    let p = (v + 1.0) / 2.0;
+    let mut sq_sum = 0.0;
+    for t in 0..trials {
+        let s = trial_seed(seed, t);
+        let mut sng = Sng::new(Lfsr::maximal(16, s)?, 16);
+        let stream = sng.generate(p, n_b)?;
+        let e = stream.bipolar_value() - v;
+        sq_sum += e * e;
+    }
+    Ok((sq_sum / trials.max(1) as f64).sqrt())
+}
+
+/// Mean absolute error between a set of decoded values and their references.
+pub fn mean_absolute_error(decoded: &[f64], reference: &[f64]) -> f64 {
+    if decoded.is_empty() {
+        return 0.0;
+    }
+    decoded
+        .iter()
+        .zip(reference)
+        .map(|(d, r)| (d - r).abs())
+        .sum::<f64>()
+        / decoded.len() as f64
+}
+
+/// Root-mean-square error between decoded values and references.
+pub fn rms_error(decoded: &[f64], reference: &[f64]) -> f64 {
+    if decoded.is_empty() {
+        return 0.0;
+    }
+    (decoded
+        .iter()
+        .zip(reference)
+        .map(|(d, r)| (d - r) * (d - r))
+        .sum::<f64>()
+        / decoded.len() as f64)
+        .sqrt()
+}
+
+/// Measures the value of a bitstream against its intended encoding — small
+/// convenience for experiment code.
+pub fn encoding_error(stream: &Bitstream, intended: f64) -> f64 {
+    stream.value() - intended
+}
+
+fn trial_seed(seed: u32, trial: usize) -> u32 {
+    let s = seed
+        .wrapping_add((trial as u32).wrapping_mul(0x9E3779B9))
+        .wrapping_mul(0x85EBCA6B)
+        & 0xFFFF;
+    if s == 0 {
+        0x1D2C
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_unipolar_error_shape() {
+        // Maximal at v = 0.5, zero at the endpoints.
+        let mid = unipolar_rms_error(0.5, 256).unwrap();
+        let low = unipolar_rms_error(0.1, 256).unwrap();
+        assert!(mid > low);
+        assert_eq!(unipolar_rms_error(0.0, 256).unwrap(), 0.0);
+        assert_eq!(unipolar_rms_error(1.0, 256).unwrap(), 0.0);
+        assert!((mid - (0.25f64 / 256.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_bipolar_error_shape() {
+        // Maximal at v = 0, zero at ±1.
+        let zero = bipolar_rms_error(0.0, 256).unwrap();
+        let half = bipolar_rms_error(0.5, 256).unwrap();
+        assert!(zero > half);
+        assert_eq!(bipolar_rms_error(1.0, 256).unwrap(), 0.0);
+        assert_eq!(bipolar_rms_error(-1.0, 256).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bipolar_needs_at_least_twice_the_length() {
+        // The paper's "at least 2X": ratio >= 2 for all v in (0, 1].
+        for &v in &[0.05, 0.1, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let r = bipolar_length_ratio(v).unwrap();
+            assert!(r >= 2.0 - 1e-9, "ratio at v={v} was {r}");
+        }
+        assert!(bipolar_length_ratio(0.0).unwrap().is_infinite());
+        // Small weights are much worse than 2x: v=0.1 -> (1-0.01)/(0.1*0.9) = 11.
+        assert!(bipolar_length_ratio(0.1).unwrap() > 10.0);
+    }
+
+    #[test]
+    fn measured_matches_analytic_unipolar() {
+        let v = 0.3;
+        let n = 256;
+        let analytic = unipolar_rms_error(v, n).unwrap();
+        let measured = measure_unipolar_rms(v, n, 400, 0xACE1).unwrap();
+        // LFSR sequences carry shift-correlation between consecutive draws,
+        // so the measured error sits somewhat above the ideal Bernoulli
+        // bound; assert same order of magnitude and the 1/sqrt(n) shape.
+        assert!(
+            measured > analytic * 0.5 && measured < analytic * 2.0,
+            "measured {measured} vs analytic {analytic}"
+        );
+        let longer = measure_unipolar_rms(v, 4 * n, 400, 0xACE1).unwrap();
+        assert!(longer < measured, "error must shrink with stream length");
+    }
+
+    #[test]
+    fn measured_matches_analytic_bipolar() {
+        let v = 0.3;
+        let n = 256;
+        let analytic = bipolar_rms_error(v, n).unwrap();
+        let measured = measure_bipolar_rms(v, n, 400, 0xBEEF).unwrap();
+        assert!(
+            measured > analytic * 0.5 && measured < analytic * 2.0,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn unipolar_beats_bipolar_at_same_length() {
+        let v: f64 = 0.2;
+        let n = 128;
+        let uni = measure_unipolar_rms(v, n, 300, 0x1111).unwrap();
+        let bi = measure_bipolar_rms(v, n, 300, 0x2222).unwrap();
+        assert!(uni < bi, "unipolar {uni} should beat bipolar {bi}");
+    }
+
+    #[test]
+    fn range_validation() {
+        assert!(unipolar_rms_error(-0.1, 16).is_err());
+        assert!(unipolar_rms_error(0.5, 0).is_err());
+        assert!(bipolar_rms_error(1.5, 16).is_err());
+        assert!(bipolar_length_ratio(2.0).is_err());
+        assert!(measure_bipolar_rms(-2.0, 16, 2, 1).is_err());
+    }
+
+    #[test]
+    fn aggregate_error_metrics() {
+        let d = [1.0, 2.0, 3.0];
+        let r = [1.5, 2.0, 2.5];
+        assert!((mean_absolute_error(&d, &r) - (0.5 + 0.0 + 0.5) / 3.0).abs() < 1e-12);
+        let expected_rms = ((0.25 + 0.0 + 0.25) / 3.0f64).sqrt();
+        assert!((rms_error(&d, &r) - expected_rms).abs() < 1e-12);
+        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+        assert_eq!(rms_error(&[], &[]), 0.0);
+    }
+}

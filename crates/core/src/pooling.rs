@@ -1,0 +1,201 @@
+//! Computation-skipping stochastic average pooling (§II-C).
+//!
+//! Average pooling in SC is a MUX (scaled addition) over the pooled window.
+//! The paper's observation: the MUX select need not be random — as long as
+//! the *inputs* are random and independent, any a-priori-known schedule of
+//! "which input the MUX picks each cycle" yields the same expected value. So
+//! instead of computing every input stream for all `n` cycles and discarding
+//! `(k−1)/k` of the bits, ACOUSTIC computes each of the `k` pooled inputs for
+//! only `n/k` cycles and **concatenates** the short streams. The convolution
+//! feeding the pool does `k×` less work (4× for 2×2 windows, 9× for 3×3).
+//!
+//! The concatenated output is *correlated* with its neighbours, which is
+//! harmless in ACOUSTIC because every layer converts to binary and
+//! regenerates fresh streams.
+
+use crate::{Bitstream, CoreError, Lfsr};
+
+/// Average-pools by concatenating `k` already-shortened streams
+/// (computation skipping). Inputs must share one common length `n/k`; the
+/// output has length `k · (n/k)` and value `mean(inputs)`.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyOperands`] if `short_streams` is empty.
+/// * [`CoreError::LengthMismatch`] if the streams differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::pooling::skip_pool_concat;
+/// use acoustic_core::Bitstream;
+///
+/// # fn main() -> Result<(), acoustic_core::CoreError> {
+/// let a = Bitstream::from_bits(&[true, true]);   // 1.0
+/// let b = Bitstream::from_bits(&[false, false]); // 0.0
+/// let pooled = skip_pool_concat(&[a, b])?;
+/// assert!((pooled.value() - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn skip_pool_concat(short_streams: &[Bitstream]) -> Result<Bitstream, CoreError> {
+    let (first, rest) = short_streams.split_first().ok_or(CoreError::EmptyOperands)?;
+    let mut out = first.clone();
+    for s in rest {
+        if s.len() != first.len() {
+            return Err(CoreError::LengthMismatch {
+                left: first.len(),
+                right: s.len(),
+            });
+        }
+        out = out.concat(s);
+    }
+    Ok(out)
+}
+
+/// Baseline MUX-based average pooling: a uniform random select stream picks
+/// one of the `k` full-length inputs each cycle.
+///
+/// This is what conventional SC accelerators do — every input is computed
+/// for all `n` cycles even though only `n/k` of its bits survive.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyOperands`] if `streams` is empty.
+/// * [`CoreError::LengthMismatch`] if the streams differ in length.
+pub fn mux_pool(streams: &[Bitstream], select_seed: u32) -> Result<Bitstream, CoreError> {
+    let (first, rest) = streams.split_first().ok_or(CoreError::EmptyOperands)?;
+    for s in rest {
+        if s.len() != first.len() {
+            return Err(CoreError::LengthMismatch {
+                left: first.len(),
+                right: s.len(),
+            });
+        }
+    }
+    let k = streams.len();
+    let n = first.len();
+    let mut sel = Lfsr::maximal(16, select_seed.max(1))?;
+    let mut out = Bitstream::zeros(n);
+    for bit in 0..n {
+        let idx = sel.next_value() as usize % k;
+        if streams[idx].get(bit) {
+            out.set(bit, true);
+        }
+    }
+    Ok(out)
+}
+
+/// Expected computation-reduction factor of skipped pooling for a `w × h`
+/// pooling window (the paper's 4×–9×).
+pub fn skip_reduction_factor(window_w: usize, window_h: usize) -> usize {
+    window_w * window_h
+}
+
+/// Splits a per-phase stream length `n` into the shortened per-input segment
+/// length for a `k`-way pooled window.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidStreamLength`] unless `k` divides `n`.
+pub fn skipped_segment_len(n: usize, k: usize) -> Result<usize, CoreError> {
+    if k == 0 || !n.is_multiple_of(k) {
+        return Err(CoreError::InvalidStreamLength {
+            len: n,
+            requirement: "pooling window size must divide the stream length",
+        });
+    }
+    Ok(n / k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SngBank;
+
+    #[test]
+    fn concat_pool_averages_exactly() {
+        let a = Bitstream::from_bits(&[true, true, true, true]); // 1.0
+        let b = Bitstream::from_bits(&[true, true, false, false]); // 0.5
+        let c = Bitstream::from_bits(&[false, false, false, false]); // 0.0
+        let d = Bitstream::from_bits(&[true, false, false, false]); // 0.25
+        let pooled = skip_pool_concat(&[a, b, c, d]).unwrap();
+        assert_eq!(pooled.len(), 16);
+        assert!((pooled.value() - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat_pool_rejects_mixed_lengths() {
+        let a = Bitstream::zeros(4);
+        let b = Bitstream::zeros(8);
+        assert!(skip_pool_concat(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn concat_pool_rejects_empty() {
+        assert!(matches!(
+            skip_pool_concat(&[]),
+            Err(CoreError::EmptyOperands)
+        ));
+    }
+
+    #[test]
+    fn skip_equals_mux_in_expectation() {
+        // Generate 4 independent streams of value v_i, pool both ways, and
+        // compare against the true mean.
+        let n = 8192;
+        let values = [0.8, 0.4, 0.2, 0.6];
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+
+        let mut banks: Vec<SngBank> = (0..4)
+            .map(|i| SngBank::new(16, 0x1111 * (i as u32 + 1)).unwrap())
+            .collect();
+        let full: Vec<Bitstream> = values
+            .iter()
+            .zip(banks.iter_mut())
+            .map(|(&v, b)| b.generate_many(&[v], n).unwrap().pop().unwrap())
+            .collect();
+        let muxed = mux_pool(&full, 0x7777).unwrap();
+        assert!(
+            (muxed.value() - mean).abs() < 0.03,
+            "mux pooled {} vs mean {mean}",
+            muxed.value()
+        );
+
+        let short: Vec<Bitstream> = values
+            .iter()
+            .zip(banks.iter_mut())
+            .map(|(&v, b)| b.generate_many(&[v], n / 4).unwrap().pop().unwrap())
+            .collect();
+        let skipped = skip_pool_concat(&short).unwrap();
+        assert_eq!(skipped.len(), n);
+        assert!(
+            (skipped.value() - mean).abs() < 0.03,
+            "skip pooled {} vs mean {mean}",
+            skipped.value()
+        );
+    }
+
+    #[test]
+    fn skipped_output_is_correlated_with_inputs() {
+        // The concatenated output trivially contains each input as a segment:
+        // correlation with the originating stream is high by construction.
+        let a = Bitstream::from_bits(&[true, false, true, false]);
+        let b = Bitstream::from_bits(&[false, true, false, true]);
+        let pooled = skip_pool_concat(&[a.clone(), b]).unwrap();
+        assert_eq!(pooled.slice(0, 4), a);
+    }
+
+    #[test]
+    fn reduction_factors_match_paper() {
+        assert_eq!(skip_reduction_factor(2, 2), 4);
+        assert_eq!(skip_reduction_factor(3, 3), 9);
+    }
+
+    #[test]
+    fn segment_len_divides() {
+        assert_eq!(skipped_segment_len(128, 4).unwrap(), 32);
+        assert!(skipped_segment_len(128, 3).is_err());
+        assert!(skipped_segment_len(128, 0).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Stochastic number generators (SNGs).
+//!
+//! An SNG converts a binary value into a stochastic bitstream by comparing a
+//! fixed threshold against a fresh (pseudo-)random value each cycle. ACOUSTIC
+//! shares one RNG across many SNGs (a bank) — streams from the *same* bank
+//! are maximally correlated with each other but independent of streams from a
+//! differently-seeded bank, which is exactly the arrangement the accelerator
+//! exploits (weight SNGs and activation SNGs use distinct sources so that
+//! AND-multiplication stays unbiased).
+
+use crate::rng::RandomSource;
+use crate::{Bitstream, CoreError, Lfsr};
+
+/// Quantizes a probability `v ∈ [0, 1]` to the threshold grid of a `width`-bit
+/// comparator, returning the threshold count `T ∈ 0..2^width`.
+///
+/// A stream generated against a maximal-length source emits a 1 whenever the
+/// source value is `<= T`, so its expected value is `T / (2^width − 1)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ValueOutOfRange`] if `v ∉ [0, 1]` or is not finite.
+pub fn quantize_probability(v: f64, width: u32) -> Result<u32, CoreError> {
+    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+        return Err(CoreError::ValueOutOfRange {
+            value: v,
+            min: 0.0,
+            max: 1.0,
+        });
+    }
+    let levels = ((1u64 << width) - 1) as f64;
+    Ok((v * levels).round() as u32)
+}
+
+/// A single stochastic number generator: one random source + a comparator.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::{Sng, Lfsr};
+///
+/// # fn main() -> Result<(), acoustic_core::CoreError> {
+/// let mut sng = Sng::new(Lfsr::maximal(16, 0x1234)?, 16);
+/// let s = sng.generate(0.3, 4096)?;
+/// assert!((s.value() - 0.3).abs() < 0.03);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sng {
+    lfsr: Lfsr,
+    width: u32,
+}
+
+impl Sng {
+    /// Creates an SNG from an LFSR source and a comparator `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds the LFSR width (the comparator cannot be
+    /// wider than its random source).
+    pub fn new(lfsr: Lfsr, width: u32) -> Self {
+        assert!(
+            width <= lfsr.width(),
+            "comparator width {width} exceeds LFSR width {}",
+            lfsr.width()
+        );
+        Sng { lfsr, width }
+    }
+
+    /// Comparator width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Generates an `n`-bit unipolar stream encoding probability `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] if `v ∉ [0, 1]`.
+    pub fn generate(&mut self, v: f64, n: usize) -> Result<Bitstream, CoreError> {
+        let threshold = quantize_probability(v, self.width)?;
+        Ok(self.generate_quantized(threshold, n))
+    }
+
+    /// Generates an `n`-bit stream from an already-quantized threshold.
+    pub fn generate_quantized(&mut self, threshold: u32, n: usize) -> Bitstream {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        let shift = self.lfsr.width() - self.width;
+        for (i, word) in words.iter_mut().enumerate() {
+            let bits_here = (n - i * 64).min(64);
+            let mut w = 0u64;
+            for b in 0..bits_here {
+                let r = self.lfsr.next_value() >> shift;
+                if r <= threshold && threshold > 0 {
+                    w |= 1 << b;
+                }
+            }
+            *word = w;
+        }
+        Bitstream::from_words(words, n).expect("word count computed from n")
+    }
+}
+
+/// A bank of SNGs sharing a single random source.
+///
+/// All streams produced by one call to [`SngBank::generate_many`] observe the
+/// *same* random sequence, so they are maximally positively correlated — this
+/// mirrors hardware RNG sharing, costs no accuracy in OR/MUX accumulation,
+/// and is why ACOUSTIC keeps weight and activation sources separate.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::SngBank;
+///
+/// # fn main() -> Result<(), acoustic_core::CoreError> {
+/// let mut bank = SngBank::new(16, 0xACE1)?;
+/// let streams = bank.generate_many(&[0.25, 0.5, 0.75], 2048)?;
+/// assert_eq!(streams.len(), 3);
+/// // Shared-source streams are ordered: higher value ⇒ superset of ones.
+/// let and = streams[0].and(&streams[2])?;
+/// assert_eq!(and.count_ones(), streams[0].count_ones());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SngBank {
+    lfsr: Lfsr,
+    width: u32,
+}
+
+impl SngBank {
+    /// Creates a bank with a maximal-length LFSR of `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::UnsupportedLfsrWidth`] /
+    /// [`CoreError::ZeroLfsrSeed`] from LFSR construction.
+    pub fn new(width: u32, seed: u32) -> Result<Self, CoreError> {
+        Ok(SngBank {
+            lfsr: Lfsr::maximal(width, seed)?,
+            width,
+        })
+    }
+
+    /// Comparator width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Generates one stream per value, all against the same random sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] if any value lies outside
+    /// `[0, 1]`.
+    pub fn generate_many(&mut self, values: &[f64], n: usize) -> Result<Vec<Bitstream>, CoreError> {
+        let thresholds: Result<Vec<u32>, CoreError> = values
+            .iter()
+            .map(|&v| quantize_probability(v, self.width))
+            .collect();
+        let thresholds = thresholds?;
+        let mut streams: Vec<Bitstream> = (0..values.len()).map(|_| Bitstream::zeros(n)).collect();
+        for bit in 0..n {
+            let r = self.lfsr.next_value();
+            for (s, &t) in streams.iter_mut().zip(&thresholds) {
+                if r <= t && t > 0 {
+                    s.set(bit, true);
+                }
+            }
+        }
+        Ok(streams)
+    }
+
+    /// Advances the shared source by `cycles` steps (stream regeneration
+    /// between layers, §II-C: “regenerates random sequences for the next
+    /// layer”).
+    pub fn advance(&mut self, cycles: usize) {
+        for _ in 0..cycles {
+            self.lfsr.next_value();
+        }
+    }
+}
+
+/// Generates a stream using any [`RandomSource`] (LFSR, ramp, …).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ValueOutOfRange`] if `v ∉ [0, 1]`.
+pub fn generate_with<R: RandomSource>(
+    source: &mut R,
+    v: f64,
+    n: usize,
+) -> Result<Bitstream, CoreError> {
+    let threshold = quantize_probability(v, source.width())?;
+    let mut s = Bitstream::zeros(n);
+    for bit in 0..n {
+        let r = source.next_value();
+        if r <= threshold && threshold > 0 {
+            s.set(bit, true);
+        }
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RampSequence;
+
+    #[test]
+    fn quantize_edges() {
+        assert_eq!(quantize_probability(0.0, 8).unwrap(), 0);
+        assert_eq!(quantize_probability(1.0, 8).unwrap(), 255);
+        assert_eq!(quantize_probability(0.5, 8).unwrap(), 128);
+        assert!(quantize_probability(-0.1, 8).is_err());
+        assert!(quantize_probability(1.1, 8).is_err());
+        assert!(quantize_probability(f64::NAN, 8).is_err());
+    }
+
+    #[test]
+    fn zero_value_gives_empty_stream() {
+        let mut sng = Sng::new(Lfsr::maximal(8, 1).unwrap(), 8);
+        let s = sng.generate(0.0, 255).unwrap();
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    fn one_value_gives_full_stream() {
+        let mut sng = Sng::new(Lfsr::maximal(8, 1).unwrap(), 8);
+        let s = sng.generate(1.0, 255).unwrap();
+        assert_eq!(s.count_ones(), 255);
+    }
+
+    #[test]
+    fn full_period_stream_is_exact() {
+        // Over one full LFSR period every register value appears once, so the
+        // number of ones equals the threshold exactly.
+        let mut sng = Sng::new(Lfsr::maximal(10, 0x2AA).unwrap(), 10);
+        let n = (1usize << 10) - 1;
+        let s = sng.generate(0.5, n).unwrap();
+        let t = quantize_probability(0.5, 10).unwrap();
+        assert_eq!(s.count_ones(), t as u64);
+    }
+
+    #[test]
+    fn expectation_converges() {
+        let mut sng = Sng::new(Lfsr::maximal(16, 0xACE1).unwrap(), 16);
+        for &v in &[0.1, 0.25, 0.5, 0.9] {
+            let s = sng.generate(v, 16384).unwrap();
+            assert!(
+                (s.value() - v).abs() < 0.02,
+                "value {v} came out as {}",
+                s.value()
+            );
+        }
+    }
+
+    #[test]
+    fn comparator_narrower_than_lfsr() {
+        let mut sng = Sng::new(Lfsr::maximal(16, 0xACE1).unwrap(), 8);
+        let s = sng.generate(0.25, 8192).unwrap();
+        assert!((s.value() - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "comparator width")]
+    fn comparator_wider_than_lfsr_panics() {
+        let _ = Sng::new(Lfsr::maximal(8, 1).unwrap(), 16);
+    }
+
+    #[test]
+    fn bank_streams_are_maximally_correlated() {
+        let mut bank = SngBank::new(16, 0xBEEF).unwrap();
+        let s = bank.generate_many(&[0.3, 0.7], 4096).unwrap();
+        // Shared source ⇒ the 0.3 stream's ones are a subset of the 0.7 ones.
+        let and = s[0].and(&s[1]).unwrap();
+        assert_eq!(and.count_ones(), s[0].count_ones());
+        assert!((s[0].scc(&s[1]).unwrap() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn different_banks_are_nearly_independent() {
+        let mut a = SngBank::new(16, 0xACE1).unwrap();
+        let mut b = SngBank::new(16, 0x1D2C).unwrap();
+        let sa = &a.generate_many(&[0.5], 8192).unwrap()[0];
+        let sb = &b.generate_many(&[0.5], 8192).unwrap()[0];
+        assert!(sa.scc(sb).unwrap().abs() < 0.1);
+        // AND of independent streams multiplies values.
+        let p = sa.and(sb).unwrap();
+        assert!((p.value() - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn ramp_source_has_zero_random_error() {
+        let mut ramp = RampSequence::new(8).unwrap();
+        let s = generate_with(&mut ramp, 0.5, 255).unwrap();
+        let t = quantize_probability(0.5, 8).unwrap();
+        assert_eq!(s.count_ones(), t as u64);
+    }
+
+    #[test]
+    fn bank_advance_changes_sequence() {
+        let mut a = SngBank::new(16, 0xACE1).unwrap();
+        let mut b = SngBank::new(16, 0xACE1).unwrap();
+        b.advance(1);
+        let sa = &a.generate_many(&[0.5], 512).unwrap()[0];
+        let sb = &b.generate_many(&[0.5], 512).unwrap()[0];
+        assert_ne!(sa, sb);
+    }
+}

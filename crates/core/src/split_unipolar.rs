@@ -1,0 +1,453 @@
+//! Split-unipolar representation and the two-phase MAC datapath (§II-A, Fig. 1).
+//!
+//! Unipolar streams need ≥2× fewer bits than bipolar for the same RMS error,
+//! but cannot encode negative weights. ACOUSTIC splits each weight into a
+//! non-negative *positive component* and a non-negative *negative component*
+//! (exactly one of which is nonzero) and runs the MAC twice over the same
+//! hardware:
+//!
+//! 1. **Positive phase** — negative weights are operand-gated to zero, the
+//!    products of the remaining lanes are OR-accumulated, and the output
+//!    counter counts **up**.
+//! 2. **Negative phase** — the gate mask is inverted and the counter counts
+//!    **down**.
+//!
+//! The signed counter value is the binary-domain dot product; ReLU is a sign
+//! gate. Activations are assumed non-negative (post-ReLU), so they need only
+//! a single positive stream.
+
+use crate::counter::Phase;
+use crate::{or_expected, Bitstream, CoreError, Lfsr, Sng, UpDownCounter};
+
+/// A weight in split-unipolar form: `w = pos − neg`, with `pos, neg ∈ [0, 1]`
+/// and at most one of them nonzero.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_core::SplitWeight;
+///
+/// # fn main() -> Result<(), acoustic_core::CoreError> {
+/// let w = SplitWeight::from_real(-0.5)?;
+/// assert_eq!(w.positive(), 0.0);
+/// assert_eq!(w.negative(), 0.5);
+/// assert_eq!(w.to_real(), -0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SplitWeight {
+    pos: f64,
+    neg: f64,
+}
+
+impl SplitWeight {
+    /// Splits a real weight `w ∈ [−1, 1]` into its unipolar components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] if `w ∉ [−1, 1]` or is not
+    /// finite.
+    pub fn from_real(w: f64) -> Result<Self, CoreError> {
+        if !w.is_finite() || !(-1.0..=1.0).contains(&w) {
+            return Err(CoreError::ValueOutOfRange {
+                value: w,
+                min: -1.0,
+                max: 1.0,
+            });
+        }
+        Ok(SplitWeight {
+            pos: w.max(0.0),
+            neg: (-w).max(0.0),
+        })
+    }
+
+    /// The positive component (stream value during the positive phase).
+    pub fn positive(&self) -> f64 {
+        self.pos
+    }
+
+    /// The negative component (stream value during the negative phase).
+    pub fn negative(&self) -> f64 {
+        self.neg
+    }
+
+    /// Reconstructs the real weight `pos − neg`.
+    pub fn to_real(&self) -> f64 {
+        self.pos - self.neg
+    }
+
+    /// The component selected by `phase` (the other is operand-gated to 0).
+    pub fn component(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Positive => self.pos,
+            Phase::Negative => self.neg,
+        }
+    }
+}
+
+/// Result of one split-unipolar MAC execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacOutput {
+    /// Final signed counter value.
+    pub count: i64,
+    /// `count / per_phase_len` — the decoded dot-product value.
+    pub value: f64,
+    /// Per-phase stream length used.
+    pub per_phase_len: usize,
+}
+
+/// A two-phase split-unipolar multiply-accumulate unit with OR-based
+/// product accumulation, modelling one ACOUSTIC 96:1 MAC (or any fan-in).
+///
+/// Products within an OR group of `or_group` lanes are OR-accumulated in the
+/// stochastic domain; group outputs are summed exactly by the up/down
+/// counter, matching the hardware (a 96-wide OR tree feeding a counter).
+///
+/// # Examples
+///
+/// The Fig. 1 worked example — weights `{0.75, −0.5}`, activations
+/// `{0.5, 0.25}`, expected output `0.375 − 0.125 = 0.25`:
+///
+/// ```
+/// use acoustic_core::{SplitUnipolarMac, SplitWeight};
+///
+/// # fn main() -> Result<(), acoustic_core::CoreError> {
+/// let weights = vec![SplitWeight::from_real(0.75)?, SplitWeight::from_real(-0.5)?];
+/// let mac = SplitUnipolarMac::new(2048, 96);
+/// let out = mac.execute(&[0.5, 0.25], &weights, 0xACE1, 0x1D2C)?;
+/// assert!((out.value - 0.25).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitUnipolarMac {
+    per_phase_len: usize,
+    or_group: usize,
+}
+
+impl SplitUnipolarMac {
+    /// Creates a MAC with the given per-phase stream length and OR-tree
+    /// fan-in (`or_group`; ACOUSTIC uses 96).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `or_group == 0`.
+    pub fn new(per_phase_len: usize, or_group: usize) -> Self {
+        assert!(or_group > 0, "OR group fan-in must be positive");
+        SplitUnipolarMac {
+            per_phase_len,
+            or_group,
+        }
+    }
+
+    /// Per-phase stream length.
+    pub fn per_phase_len(&self) -> usize {
+        self.per_phase_len
+    }
+
+    /// OR-tree fan-in per group.
+    pub fn or_group(&self) -> usize {
+        self.or_group
+    }
+
+    /// Runs both phases and returns the decoded output.
+    ///
+    /// Lane `i` draws its activation stream from an LFSR seeded
+    /// `act_seed + 77·i` and its weight stream from `wgt_seed + 77·i`, giving
+    /// low cross-lane correlation while staying fully deterministic.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::LengthMismatch`] if `activations.len() != weights.len()`.
+    /// * [`CoreError::ValueOutOfRange`] if any activation ∉ [0, 1].
+    pub fn execute(
+        &self,
+        activations: &[f64],
+        weights: &[SplitWeight],
+        act_seed: u32,
+        wgt_seed: u32,
+    ) -> Result<MacOutput, CoreError> {
+        if activations.len() != weights.len() {
+            return Err(CoreError::LengthMismatch {
+                left: activations.len(),
+                right: weights.len(),
+            });
+        }
+        let mut counter = UpDownCounter::new();
+        for phase in [Phase::Positive, Phase::Negative] {
+            let acc = self.phase_stream(activations, weights, phase, act_seed, wgt_seed)?;
+            counter.accumulate_signed(&acc, phase);
+        }
+        Ok(MacOutput {
+            count: counter.count(),
+            value: counter.to_value(self.per_phase_len),
+            per_phase_len: self.per_phase_len,
+        })
+    }
+
+    /// Produces the per-group accumulated streams of a single phase,
+    /// concatenated group by group (exposed for tests and the functional
+    /// simulator).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SplitUnipolarMac::execute`].
+    pub fn phase_stream(
+        &self,
+        activations: &[f64],
+        weights: &[SplitWeight],
+        phase: Phase,
+        act_seed: u32,
+        wgt_seed: u32,
+    ) -> Result<Vec<Bitstream>, CoreError> {
+        let n = self.per_phase_len;
+        let mut groups = Vec::new();
+        for (g, chunk) in activations
+            .chunks(self.or_group)
+            .zip(weights.chunks(self.or_group))
+            .enumerate()
+        {
+            let (acts, wgts) = chunk;
+            let mut acc = Bitstream::zeros(n);
+            for (i, (&a, w)) in acts.iter().zip(wgts).enumerate() {
+                let lane = g * self.or_group + i;
+                let wc = w.component(phase);
+                // Operand gating: a zero component contributes nothing and in
+                // hardware freezes the lane's switching activity.
+                if wc == 0.0 || a == 0.0 {
+                    continue;
+                }
+                let mut act_sng = lane_sng(act_seed, lane)?;
+                let mut wgt_sng = lane_sng(wgt_seed, lane)?;
+                let sa = act_sng.generate(a, n)?;
+                let sw = wgt_sng.generate(wc, n)?;
+                acc.or_assign(&sa.and(&sw)?)?;
+            }
+            groups.push(acc);
+            let _ = g;
+        }
+        Ok(groups)
+    }
+
+    /// The value this MAC computes *in expectation* (the OR-saturated dot
+    /// product): `Σ_groups OR-expected(pos products) − Σ_groups
+    /// OR-expected(neg products)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if operand counts differ.
+    pub fn expected_value(
+        &self,
+        activations: &[f64],
+        weights: &[SplitWeight],
+    ) -> Result<f64, CoreError> {
+        if activations.len() != weights.len() {
+            return Err(CoreError::LengthMismatch {
+                left: activations.len(),
+                right: weights.len(),
+            });
+        }
+        let mut total = 0.0;
+        for phase in [Phase::Positive, Phase::Negative] {
+            let sign = match phase {
+                Phase::Positive => 1.0,
+                Phase::Negative => -1.0,
+            };
+            for chunk in activations
+                .chunks(self.or_group)
+                .zip(weights.chunks(self.or_group))
+            {
+                let (acts, wgts) = chunk;
+                let products: Vec<f64> = acts
+                    .iter()
+                    .zip(wgts)
+                    .map(|(&a, w)| a * w.component(phase))
+                    .collect();
+                total += sign * or_expected(&products);
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl UpDownCounter {
+    /// Accumulates a set of group streams with the sign of `phase`.
+    fn accumulate_signed(&mut self, groups: &[Bitstream], phase: Phase) {
+        for g in groups {
+            // Streams within one phase share the denominator; only count the
+            // first group's bits toward the per-phase length.
+            let _ = self.accumulate(g, phase);
+        }
+    }
+}
+
+/// The exact (non-stochastic) dot product — reference for error measurement.
+pub fn ideal_dot(activations: &[f64], weights: &[SplitWeight]) -> f64 {
+    activations
+        .iter()
+        .zip(weights)
+        .map(|(&a, w)| a * w.to_real())
+        .sum()
+}
+
+/// Builds the deterministic per-lane SNG used by the MAC datapath.
+fn lane_sng(base_seed: u32, lane: usize) -> Result<Sng, CoreError> {
+    // Stride by a prime and fold into the 16-bit seed space, avoiding 0.
+    let seed = (base_seed
+        .wrapping_add((lane as u32).wrapping_mul(0x9E37))
+        .wrapping_mul(0x2545F491))
+        & 0xFFFF;
+    let seed = if seed == 0 { 0xACE1 } else { seed };
+    Ok(Sng::new(Lfsr::maximal(16, seed)?, 16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: f64) -> SplitWeight {
+        SplitWeight::from_real(v).unwrap()
+    }
+
+    #[test]
+    fn split_weight_components() {
+        let p = w(0.75);
+        assert_eq!(p.positive(), 0.75);
+        assert_eq!(p.negative(), 0.0);
+        let n = w(-0.5);
+        assert_eq!(n.positive(), 0.0);
+        assert_eq!(n.negative(), 0.5);
+        assert_eq!(w(0.0).to_real(), 0.0);
+    }
+
+    #[test]
+    fn split_weight_rejects_out_of_range() {
+        assert!(SplitWeight::from_real(1.5).is_err());
+        assert!(SplitWeight::from_real(-1.01).is_err());
+        assert!(SplitWeight::from_real(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn component_selects_by_phase() {
+        let x = w(-0.3);
+        assert_eq!(x.component(Phase::Positive), 0.0);
+        assert_eq!(x.component(Phase::Negative), 0.3);
+    }
+
+    #[test]
+    fn fig1_bit_exact_trace() {
+        // Fig. 1 with hand-constructed 8-bit streams whose AND products hit
+        // the exact expected counts, reproducing the figure's counter trace:
+        // phase+ accumulates 3 (0.375·8), phase− subtracts 1 (0.125·8),
+        // final count 2 ⇒ 2/8 = 0.25.
+        use crate::counter::Phase;
+        use crate::{Bitstream, UpDownCounter};
+
+        let a1 = Bitstream::from_bits(&[true, true, true, true, false, false, false, false]); // 0.5
+        let w1_pos = Bitstream::from_bits(&[true, true, true, false, true, false, true, true]); // 0.75
+        let a2 = Bitstream::from_bits(&[true, true, false, false, false, false, false, false]); // 0.25
+        let w2_neg = Bitstream::from_bits(&[true, false, true, false, false, true, false, true]); // 0.5
+
+        let pos_product = a1.and(&w1_pos).unwrap();
+        assert_eq!(pos_product.count_ones(), 3); // 0.375 · 8
+        let neg_product = a2.and(&w2_neg).unwrap();
+        assert_eq!(neg_product.count_ones(), 1); // 0.125 · 8
+
+        let mut counter = UpDownCounter::new();
+        counter.accumulate(&pos_product, Phase::Positive).unwrap();
+        assert_eq!(counter.count(), 3);
+        counter.accumulate(&neg_product, Phase::Negative).unwrap();
+        assert_eq!(counter.count(), 2);
+        assert!((counter.to_value(8) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig1_worked_example() {
+        // Fig. 1: weights {0.75, -0.5}, activations {0.5, 0.25} -> 0.25.
+        let weights = vec![w(0.75), w(-0.5)];
+        let mac = SplitUnipolarMac::new(4096, 96);
+        let out = mac.execute(&[0.5, 0.25], &weights, 0xACE1, 0x1D2C).unwrap();
+        assert!(
+            (out.value - 0.25).abs() < 0.04,
+            "Fig.1 example decoded {}",
+            out.value
+        );
+    }
+
+    #[test]
+    fn all_positive_weights_match_or_expectation() {
+        let weights: Vec<SplitWeight> = [0.1, 0.2, 0.3, 0.15].iter().map(|&v| w(v)).collect();
+        let acts = [0.5, 0.5, 0.5, 0.5];
+        let mac = SplitUnipolarMac::new(8192, 96);
+        let out = mac.execute(&acts, &weights, 0xACE1, 0x1D2C).unwrap();
+        let expect = mac.expected_value(&acts, &weights).unwrap();
+        assert!(
+            (out.value - expect).abs() < 0.03,
+            "measured {} expected {expect}",
+            out.value
+        );
+    }
+
+    #[test]
+    fn mixed_sign_dot_product() {
+        let weights: Vec<SplitWeight> = [0.4, -0.4].iter().map(|&v| w(v)).collect();
+        let acts = [0.5, 0.5];
+        let mac = SplitUnipolarMac::new(8192, 96);
+        let out = mac.execute(&acts, &weights, 0xACE1, 0x1D2C).unwrap();
+        // Symmetric weights on equal activations cancel.
+        assert!(out.value.abs() < 0.03, "got {}", out.value);
+    }
+
+    #[test]
+    fn or_saturation_shows_at_large_sums() {
+        // Many large products: OR saturates below the linear sum.
+        let weights: Vec<SplitWeight> = vec![w(0.9); 8];
+        let acts = vec![0.9; 8];
+        let mac = SplitUnipolarMac::new(4096, 96);
+        let out = mac.execute(&acts, &weights, 0xACE1, 0x1D2C).unwrap();
+        let linear = ideal_dot(&acts, &weights); // 6.48
+        assert!(out.value < 1.05, "OR output must saturate, got {}", out.value);
+        assert!(out.value < linear);
+    }
+
+    #[test]
+    fn expected_value_splits_groups() {
+        // Fan-in beyond the OR group is summed exactly by the counter, so two
+        // groups of one product each behave linearly.
+        let mac = SplitUnipolarMac::new(1024, 1);
+        let weights = vec![w(0.5), w(0.5)];
+        let acts = vec![1.0, 1.0];
+        let e = mac.expected_value(&acts, &weights).unwrap();
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_operands_error() {
+        let mac = SplitUnipolarMac::new(64, 96);
+        assert!(mac.execute(&[0.5], &[w(0.5), w(0.1)], 1, 2).is_err());
+        assert!(mac.expected_value(&[0.5], &[]).is_err());
+    }
+
+    #[test]
+    fn activation_out_of_range_errors() {
+        let mac = SplitUnipolarMac::new(64, 96);
+        assert!(mac.execute(&[1.5], &[w(0.5)], 1, 2).is_err());
+    }
+
+    #[test]
+    fn ideal_dot_reference() {
+        let weights = vec![w(0.75), w(-0.5)];
+        assert!((ideal_dot(&[0.5, 0.25], &weights) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_lanes_are_gated() {
+        // A zero weight must contribute nothing regardless of activation.
+        let mac = SplitUnipolarMac::new(2048, 96);
+        let out = mac
+            .execute(&[1.0, 0.9], &[w(0.0), w(0.5)], 0xACE1, 0x1D2C)
+            .unwrap();
+        assert!((out.value - 0.45).abs() < 0.04);
+    }
+}

@@ -1,0 +1,107 @@
+//! A 5×7 bitmap font for digits 0–9 (classic seven-segment-flavoured
+//! glyphs), used by the synthetic digit datasets.
+
+/// Returns the 7-row × 5-column bitmap of a digit glyph.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+///
+/// # Examples
+///
+/// ```
+/// let zero = acoustic_datasets::digit_glyph(0);
+/// assert_eq!(zero.len(), 7);
+/// assert_eq!(zero[0].len(), 5);
+/// ```
+pub fn digit_glyph(digit: usize) -> [[bool; 5]; 7] {
+    const GLYPHS: [[&str; 7]; 10] = [
+        [
+            ".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###.",
+        ],
+        [
+            "..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###.",
+        ],
+        [
+            ".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####",
+        ],
+        [
+            ".###.", "#...#", "....#", "..##.", "....#", "#...#", ".###.",
+        ],
+        [
+            "...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#.",
+        ],
+        [
+            "#####", "#....", "####.", "....#", "....#", "#...#", ".###.",
+        ],
+        [
+            ".###.", "#....", "#....", "####.", "#...#", "#...#", ".###.",
+        ],
+        [
+            "#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#...",
+        ],
+        [
+            ".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###.",
+        ],
+        [
+            ".###.", "#...#", "#...#", ".####", "....#", "....#", ".###.",
+        ],
+    ];
+    assert!(digit <= 9, "digit {digit} out of range");
+    let mut out = [[false; 5]; 7];
+    for (y, row) in GLYPHS[digit].iter().enumerate() {
+        for (x, ch) in row.chars().enumerate() {
+            out[y][x] = ch == '#';
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_digits_have_pixels() {
+        for d in 0..10 {
+            let g = digit_glyph(d);
+            let count: usize = g
+                .iter()
+                .flat_map(|r| r.iter())
+                .filter(|&&b| b)
+                .count();
+            assert!(count >= 7, "digit {d} too sparse ({count} px)");
+        }
+    }
+
+    #[test]
+    fn digits_are_pairwise_distinct() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                assert_ne!(digit_glyph(a), digit_glyph(b), "digits {a} and {b} identical");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = digit_glyph(10);
+    }
+
+    #[test]
+    fn one_is_narrow() {
+        // Sanity of the font: '1' uses fewer pixels than '8'.
+        let ones: usize = digit_glyph(1)
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|&&b| b)
+            .count();
+        let eights: usize = digit_glyph(8)
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|&&b| b)
+            .count();
+        assert!(ones < eights);
+    }
+}

@@ -1,0 +1,343 @@
+//! Deterministic synthetic stand-ins for MNIST, CIFAR-10 and SVHN.
+//!
+//! The ACOUSTIC evaluation (Table II) trains on MNIST, CIFAR-10 and SVHN.
+//! Those datasets cannot be downloaded here, so this crate synthesises
+//! datasets with identical tensor shapes and class counts whose classes are
+//! learnable by the same small CNNs:
+//!
+//! * [`mnist_like`] — 28×28 grayscale digit glyphs with jitter and noise,
+//! * [`svhn_like`] — 32×32 RGB digit glyphs over coloured, cluttered
+//!   backgrounds (harder, like house numbers vs clean MNIST),
+//! * [`cifar_like`] — 32×32 RGB class-specific texture/shape compositions.
+//!
+//! What Table II measures is the *gap* between 8-bit fixed-point inference
+//! and stochastic-computing inference at a given stream length; that gap is
+//! a property of the arithmetic, not of the pixel distribution, so these
+//! stand-ins preserve the experiment (see DESIGN.md §3). All generators are
+//! seeded and fully reproducible.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod glyphs;
+
+use acoustic_nn::train::Sample;
+use acoustic_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use glyphs::digit_glyph;
+
+/// A split synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (e.g. `"mnist-like"`).
+    pub name: String,
+    /// Training samples.
+    pub train: Vec<Sample>,
+    /// Held-out test samples.
+    pub test: Vec<Sample>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Input tensor shape of the samples.
+    pub fn input_shape(&self) -> Vec<usize> {
+        self.train
+            .first()
+            .or_else(|| self.test.first())
+            .map(|(t, _)| t.shape().to_vec())
+            .unwrap_or_default()
+    }
+}
+
+/// Generates an MNIST-like dataset: 28×28×1 digit glyphs, classes 0–9.
+///
+/// Each sample renders the class digit at 3× scale with translation jitter,
+/// per-pixel intensity jitter and background noise.
+///
+/// # Examples
+///
+/// ```
+/// let ds = acoustic_datasets::mnist_like(100, 20, 42);
+/// assert_eq!(ds.train.len(), 100);
+/// assert_eq!(ds.input_shape(), vec![1, 28, 28]);
+/// ```
+pub fn mnist_like(train: usize, test: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let make = |rng: &mut StdRng, label: usize| -> Sample {
+        let mut img = Tensor::zeros(&[1, 28, 28]);
+        // Background noise floor.
+        for v in img.as_mut_slice() {
+            *v = rng.gen_range(0.0..0.08);
+        }
+        let (oy, ox) = (rng.gen_range(0..7), rng.gen_range(0..4));
+        draw_glyph(&mut img, 0, label, 3, oy, ox, rng, 0.75, 1.0);
+        (img, label)
+    };
+    build("mnist-like", train, test, 10, &mut rng, make)
+}
+
+/// Generates an SVHN-like dataset: 32×32×3 digit glyphs over coloured
+/// cluttered backgrounds, classes 0–9.
+pub fn svhn_like(train: usize, test: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let make = |rng: &mut StdRng, label: usize| -> Sample {
+        let mut img = Tensor::zeros(&[3, 32, 32]);
+        // Coloured background with block clutter.
+        let bg: [f32; 3] = [
+            rng.gen_range(0.1..0.5),
+            rng.gen_range(0.1..0.5),
+            rng.gen_range(0.1..0.5),
+        ];
+        for c in 0..3 {
+            for y in 0..32 {
+                for x in 0..32 {
+                    img.set3(c, y, x, (bg[c] + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0));
+                }
+            }
+        }
+        for _ in 0..2 {
+            // Distractor blocks (mild, so the digit stays the dominant cue).
+            let (by, bx) = (rng.gen_range(0..28), rng.gen_range(0..28));
+            let tint: f32 = rng.gen_range(0.0..0.2);
+            for c in 0..3 {
+                for y in by..(by + 4).min(32) {
+                    for x in bx..(bx + 4).min(32) {
+                        let v = (img.at3(c, y, x) + tint * 0.3).clamp(0.0, 1.0);
+                        img.set3(c, y, x, v);
+                    }
+                }
+            }
+        }
+        // Bright digit glyph on all channels, slightly tinted.
+        let fg: [f32; 3] = [
+            rng.gen_range(0.85..1.0),
+            rng.gen_range(0.85..1.0),
+            rng.gen_range(0.85..1.0),
+        ];
+        let (oy, ox) = (rng.gen_range(2..8), rng.gen_range(4..10));
+        for c in 0..3 {
+            draw_glyph(&mut img, c, label, 3, oy, ox, rng, 0.85 * fg[c], fg[c]);
+        }
+        (img, label)
+    };
+    build("svhn-like", train, test, 10, &mut rng, make)
+}
+
+/// Generates a CIFAR-10-like dataset: 32×32×3 class-specific
+/// texture/shape/colour compositions, classes 0–9.
+///
+/// Class identity is encoded redundantly (base hue, grating orientation and
+/// frequency, and a class-dependent shape mask) so that convolutional
+/// features — not a single pixel statistic — are needed to classify.
+pub fn cifar_like(train: usize, test: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let make = |rng: &mut StdRng, label: usize| -> Sample {
+        let mut img = Tensor::zeros(&[3, 32, 32]);
+        let base = hue_to_rgb(label as f32 / 10.0);
+        // Oriented grating: orientation and frequency depend on the class.
+        let angle =
+            (label % 5) as f32 * std::f32::consts::PI / 5.0 + rng.gen_range(-0.12..0.12);
+        let freq = 0.25 + 0.09 * (label / 5) as f32 + rng.gen_range(-0.02..0.02);
+        let (sa, ca) = angle.sin_cos();
+        let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        for y in 0..32 {
+            for x in 0..32 {
+                let t = (x as f32 * ca + y as f32 * sa) * freq + phase;
+                let g = 0.5 + 0.5 * t.sin();
+                for c in 0..3 {
+                    let v = (0.35 * base[c] + 0.45 * g * base[c] + rng.gen_range(0.0..0.12))
+                        .clamp(0.0, 1.0);
+                    img.set3(c, y, x, v);
+                }
+            }
+        }
+        // Class-dependent bright shape: even classes a disc, odd a square,
+        // size tied to the class index.
+        let r = (4 + (label % 5)) as i32;
+        let (cy, cx) = (rng.gen_range(8..24), rng.gen_range(8..24));
+        for y in 0..32i32 {
+            for x in 0..32i32 {
+                let inside = if label.is_multiple_of(2) {
+                    (y - cy).pow(2) + (x - cx).pow(2) <= r.pow(2)
+                } else {
+                    (y - cy).abs() <= r && (x - cx).abs() <= r
+                };
+                if inside {
+                    for c in 0..3 {
+                        let v = (img.at3(c, y as usize, x as usize) * 0.3
+                            + 0.7 * (1.0 - base[c]))
+                            .clamp(0.0, 1.0);
+                        img.set3(c, y as usize, x as usize, v);
+                    }
+                }
+            }
+        }
+        (img, label)
+    };
+    build("cifar-like", train, test, 10, &mut rng, make)
+}
+
+fn build<F: FnMut(&mut StdRng, usize) -> Sample>(
+    name: &str,
+    train: usize,
+    test: usize,
+    classes: usize,
+    rng: &mut StdRng,
+    mut make: F,
+) -> Dataset {
+    let mut train_v = Vec::with_capacity(train);
+    for i in 0..train {
+        train_v.push(make(rng, i % classes));
+    }
+    let mut test_v = Vec::with_capacity(test);
+    for i in 0..test {
+        test_v.push(make(rng, i % classes));
+    }
+    Dataset {
+        name: name.to_string(),
+        train: train_v,
+        test: test_v,
+        classes,
+    }
+}
+
+/// Draws digit `label`'s 5×7 glyph into channel `c` of `img`, scaled by
+/// `scale`, offset by `(oy, ox)`, with per-pixel intensity in `[lo, hi)`.
+fn draw_glyph(
+    img: &mut Tensor,
+    c: usize,
+    label: usize,
+    scale: usize,
+    oy: usize,
+    ox: usize,
+    rng: &mut StdRng,
+    lo: f32,
+    hi: f32,
+) {
+    let glyph = digit_glyph(label % 10);
+    let h = img.shape()[1];
+    let w = img.shape()[2];
+    for (gy, row) in glyph.iter().enumerate() {
+        for (gx, &on) in row.iter().enumerate() {
+            if !on {
+                continue;
+            }
+            for dy in 0..scale {
+                for dx in 0..scale {
+                    let y = oy + gy * scale + dy;
+                    let x = ox + gx * scale + dx;
+                    if y < h && x < w {
+                        let v = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                        img.set3(c, y, x, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn hue_to_rgb(h: f32) -> [f32; 3] {
+    let i = (h * 6.0).floor() as i32 % 6;
+    let f = h * 6.0 - (h * 6.0).floor();
+    match i {
+        0 => [1.0, f, 0.0],
+        1 => [1.0 - f, 1.0, 0.0],
+        2 => [0.0, 1.0, f],
+        3 => [0.0, 1.0 - f, 1.0],
+        4 => [f, 0.0, 1.0],
+        _ => [1.0, 0.0, 1.0 - f],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_counts() {
+        let m = mnist_like(30, 10, 1);
+        assert_eq!(m.train.len(), 30);
+        assert_eq!(m.test.len(), 10);
+        assert_eq!(m.input_shape(), vec![1, 28, 28]);
+        let s = svhn_like(10, 5, 1);
+        assert_eq!(s.input_shape(), vec![3, 32, 32]);
+        let c = cifar_like(10, 5, 1);
+        assert_eq!(c.input_shape(), vec![3, 32, 32]);
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        for ds in [
+            mnist_like(20, 5, 7),
+            svhn_like(20, 5, 7),
+            cifar_like(20, 5, 7),
+        ] {
+            for (img, _) in ds.train.iter().chain(&ds.test) {
+                assert!(
+                    img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)),
+                    "{} produced out-of-range pixels",
+                    ds.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = mnist_like(10, 5, 99);
+        let b = mnist_like(10, 5, 99);
+        assert_eq!(a.train[3].0, b.train[3].0);
+        let c = mnist_like(10, 5, 100);
+        assert_ne!(a.train[3].0, c.train[3].0);
+    }
+
+    #[test]
+    fn labels_cycle_over_classes() {
+        let ds = mnist_like(25, 0, 3);
+        for (i, (_, label)) in ds.train.iter().enumerate() {
+            assert_eq!(*label, i % 10);
+        }
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // The mean image of class 0 should differ measurably from class 1's.
+        let ds = mnist_like(200, 0, 5);
+        let mut mean0 = vec![0.0f32; 28 * 28];
+        let mut mean1 = vec![0.0f32; 28 * 28];
+        let (mut n0, mut n1) = (0, 0);
+        for (img, label) in &ds.train {
+            match label {
+                0 => {
+                    for (m, &v) in mean0.iter_mut().zip(img.as_slice()) {
+                        *m += v;
+                    }
+                    n0 += 1;
+                }
+                1 => {
+                    for (m, &v) in mean1.iter_mut().zip(img.as_slice()) {
+                        *m += v;
+                    }
+                    n1 += 1;
+                }
+                _ => {}
+            }
+        }
+        let dist: f32 = mean0
+            .iter()
+            .zip(&mean1)
+            .map(|(a, b)| (a / n0 as f32 - b / n1 as f32).abs())
+            .sum::<f32>()
+            / (28.0 * 28.0);
+        assert!(dist > 0.01, "class means too close: {dist}");
+    }
+
+    #[test]
+    fn empty_dataset_shape_is_empty() {
+        let ds = mnist_like(0, 0, 1);
+        assert!(ds.input_shape().is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! 8-bit fixed-point quantization — the accuracy baseline of Table II and
+//! the value grid ACOUSTIC loads into its SNG buffers.
+//!
+//! ACOUSTIC stores layer activations in binary between layers and regenerates
+//! streams from them, so both the 8-bit baseline and the SC path share this
+//! quantizer: activations are unsigned `Q0.8` in `[0, 1]`, weights signed
+//! `Q1.7`-style in `[−1, 1]`.
+
+use crate::{NnError, Tensor};
+
+/// An affine-free symmetric quantizer with `bits` of precision over a fixed
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::fixedpoint::Quantizer;
+///
+/// # fn main() -> Result<(), acoustic_nn::NnError> {
+/// let q = Quantizer::unsigned_unit(8)?; // activations in [0, 1]
+/// let x = q.quantize_value(0.3337);
+/// assert!((x - 0.3337).abs() <= q.step() / 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    min: f32,
+    max: f32,
+    levels: u32,
+}
+
+impl Quantizer {
+    /// Quantizer over `[0, 1]` with `2^bits − 1` steps (unsigned
+    /// activations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `bits ∉ 1..=16`.
+    pub fn unsigned_unit(bits: u32) -> Result<Self, NnError> {
+        Self::new(0.0, 1.0, bits)
+    }
+
+    /// Quantizer over `[−1, 1]` (signed weights).
+    ///
+    /// Uses `2^bits − 2` steps (one fewer than the unsigned grid) so that
+    /// the grid is symmetric and **contains exactly 0.0** — a zero weight
+    /// must stay zero, or operand gating (§III-B) would leak streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `bits ∉ 2..=16`.
+    pub fn signed_unit(bits: u32) -> Result<Self, NnError> {
+        if !(2..=16).contains(&bits) {
+            return Err(NnError::InvalidConfig(format!(
+                "signed quantizer bits must be 2..=16, got {bits}"
+            )));
+        }
+        Ok(Quantizer {
+            min: -1.0,
+            max: 1.0,
+            levels: (1u32 << bits) - 2,
+        })
+    }
+
+    /// General quantizer over `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `bits ∉ 1..=16` or
+    /// `min >= max`.
+    pub fn new(min: f32, max: f32, bits: u32) -> Result<Self, NnError> {
+        if !(1..=16).contains(&bits) {
+            return Err(NnError::InvalidConfig(format!(
+                "quantizer bits must be 1..=16, got {bits}"
+            )));
+        }
+        if min >= max {
+            return Err(NnError::InvalidConfig(format!(
+                "quantizer range [{min}, {max}] is empty"
+            )));
+        }
+        Ok(Quantizer {
+            min,
+            max,
+            levels: (1u32 << bits) - 1,
+        })
+    }
+
+    /// Width of one quantization step.
+    pub fn step(&self) -> f32 {
+        (self.max - self.min) / self.levels as f32
+    }
+
+    /// Number of representable levels.
+    pub fn levels(&self) -> u32 {
+        self.levels + 1
+    }
+
+    /// Quantizes one value to the grid (clamping to the range first).
+    pub fn quantize_value(&self, v: f32) -> f32 {
+        let code = self.encode(v);
+        self.decode(code)
+    }
+
+    /// Maps a value to its integer code `0..=levels`.
+    pub fn encode(&self, v: f32) -> u32 {
+        let clamped = v.clamp(self.min, self.max);
+        (((clamped - self.min) / (self.max - self.min)) * self.levels as f32).round() as u32
+    }
+
+    /// Maps an integer code back to its representative value.
+    pub fn decode(&self, code: u32) -> f32 {
+        self.min + (code.min(self.levels) as f32 / self.levels as f32) * (self.max - self.min)
+    }
+
+    /// Quantizes a whole tensor.
+    pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|v| self.quantize_value(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_grid_endpoints() {
+        let q = Quantizer::unsigned_unit(8).unwrap();
+        assert_eq!(q.quantize_value(0.0), 0.0);
+        assert_eq!(q.quantize_value(1.0), 1.0);
+        assert_eq!(q.levels(), 256);
+    }
+
+    #[test]
+    fn signed_grid_endpoints() {
+        let q = Quantizer::signed_unit(8).unwrap();
+        assert_eq!(q.quantize_value(-1.0), -1.0);
+        assert_eq!(q.quantize_value(1.0), 1.0);
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let q = Quantizer::unsigned_unit(8).unwrap();
+        for i in 0..1000 {
+            let v = i as f32 / 999.0;
+            let e = (q.quantize_value(v) - v).abs();
+            assert!(e <= q.step() / 2.0 + 1e-7, "v={v} err={e}");
+        }
+    }
+
+    #[test]
+    fn idempotent_on_grid() {
+        let q = Quantizer::signed_unit(8).unwrap();
+        let v = q.quantize_value(0.123);
+        assert_eq!(q.quantize_value(v), v);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let q = Quantizer::unsigned_unit(8).unwrap();
+        assert_eq!(q.quantize_value(2.0), 1.0);
+        assert_eq!(q.quantize_value(-3.0), 0.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let q = Quantizer::unsigned_unit(8).unwrap();
+        for code in [0u32, 1, 100, 255] {
+            assert_eq!(q.encode(q.decode(code)), code);
+        }
+        // decode clamps codes beyond the top level
+        assert_eq!(q.decode(300), 1.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Quantizer::new(0.0, 1.0, 0).is_err());
+        assert!(Quantizer::new(0.0, 1.0, 17).is_err());
+        assert!(Quantizer::new(1.0, 1.0, 8).is_err());
+        assert!(Quantizer::new(2.0, 1.0, 8).is_err());
+    }
+
+    #[test]
+    fn quantize_tensor_applies_everywhere() {
+        let q = Quantizer::unsigned_unit(2).unwrap(); // steps of 1/3
+        let t = Tensor::from_vec(&[3], vec![0.1, 0.5, 0.9]).unwrap();
+        let r = q.quantize_tensor(&t);
+        for (&orig, &quant) in t.as_slice().iter().zip(r.as_slice()) {
+            assert!((quant - orig).abs() <= q.step() / 2.0 + 1e-7);
+        }
+    }
+}
+
+#[cfg(test)]
+mod signed_grid_tests {
+    use super::*;
+
+    #[test]
+    fn signed_grid_contains_zero() {
+        // Operand gating depends on 0.0 staying exactly 0.0.
+        for bits in [2u32, 4, 8, 16] {
+            let q = Quantizer::signed_unit(bits).unwrap();
+            assert_eq!(q.quantize_value(0.0), 0.0, "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn signed_grid_is_symmetric() {
+        // The grid itself is symmetric; round-half-away-from-zero may pick
+        // adjacent codes for exact midpoints, so allow one step of slack.
+        let q = Quantizer::signed_unit(8).unwrap();
+        for i in 0..100 {
+            let v = i as f32 / 100.0;
+            let asym = (q.quantize_value(v) + q.quantize_value(-v)).abs();
+            assert!(asym <= q.step() + 1e-7, "v={v} asym={asym}");
+        }
+    }
+
+    #[test]
+    fn signed_unit_rejects_one_bit() {
+        assert!(Quantizer::signed_unit(1).is_err());
+    }
+}

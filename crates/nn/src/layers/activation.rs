@@ -1,0 +1,171 @@
+//! ReLU and flattening.
+
+use crate::{NnError, Tensor};
+
+/// Rectified linear unit, optionally clamped from above.
+///
+/// ACOUSTIC activations live in `[0, 1]` (they become SNG thresholds), so
+/// networks destined for the SC path use `Relu::clamped()`, which computes
+/// `min(max(x, 0), 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::layers::Relu;
+/// use acoustic_nn::Tensor;
+///
+/// # fn main() -> Result<(), acoustic_nn::NnError> {
+/// let mut relu = Relu::clamped();
+/// let out = relu.forward(&Tensor::from_vec(&[3], vec![-1.0, 0.5, 2.0])?)?;
+/// assert_eq!(out.as_slice(), &[0.0, 0.5, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    max: Option<f32>,
+    input: Vec<f32>,
+    in_shape: Vec<usize>,
+}
+
+impl Relu {
+    /// Plain `max(x, 0)`.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+
+    /// `min(max(x, 0), 1)` — the SC-compatible activation.
+    pub fn clamped() -> Self {
+        Relu {
+            max: Some(1.0),
+            ..Relu::default()
+        }
+    }
+
+    /// Upper clamp, if any.
+    pub fn max_value(&self) -> Option<f32> {
+        self.max
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` kept for uniformity with other layers.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.input = input.as_slice().to_vec();
+        self.in_shape = input.shape().to_vec();
+        let hi = self.max.unwrap_or(f32::INFINITY);
+        Ok(input.map(|v| v.clamp(0.0, hi)))
+    }
+
+    /// Backward pass: passes gradient where the input was strictly inside
+    /// `(0, max)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyData`] without a cached forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.in_shape.is_empty() {
+            return Err(NnError::EmptyData);
+        }
+        let hi = self.max.unwrap_or(f32::INFINITY);
+        let data: Vec<f32> = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.input)
+            .map(|(&g, &x)| if x > 0.0 && x < hi { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(&self.in_shape, data)
+    }
+}
+
+/// Flattens a 3-D feature map to a 1-D vector (and un-flattens gradients).
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` kept for uniformity with other layers.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.in_shape = input.shape().to_vec();
+        Ok(input.to_flat())
+    }
+
+    /// Backward pass: reshapes the gradient to the cached input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyData`] without a cached forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.in_shape.is_empty() {
+            return Err(NnError::EmptyData);
+        }
+        let mut g = grad_out.clone();
+        g.reshape(&self.in_shape)?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_relu_passes_positive() {
+        let mut r = Relu::new();
+        let out = r
+            .forward(&Tensor::from_vec(&[3], vec![-2.0, 0.0, 5.0]).unwrap())
+            .unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn clamped_relu_caps_at_one() {
+        let mut r = Relu::clamped();
+        let out = r
+            .forward(&Tensor::from_vec(&[2], vec![0.5, 3.0]).unwrap())
+            .unwrap();
+        assert_eq!(out.as_slice(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks() {
+        let mut r = Relu::clamped();
+        r.forward(&Tensor::from_vec(&[3], vec![-1.0, 0.5, 2.0]).unwrap())
+            .unwrap();
+        let g = r
+            .backward(&Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]).unwrap())
+            .unwrap();
+        // Below 0 and above the clamp: zero gradient.
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let input = Tensor::zeros(&[2, 3, 4]);
+        let out = f.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[24]);
+        let g = f.backward(&Tensor::zeros(&[24])).unwrap();
+        assert_eq!(g.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut r = Relu::new();
+        assert!(r.backward(&Tensor::zeros(&[1])).is_err());
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(&[1])).is_err());
+    }
+}

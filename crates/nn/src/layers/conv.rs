@@ -1,0 +1,703 @@
+//! 2-D convolution with selectable accumulation semantics.
+
+use super::AccumMode;
+use crate::orsum;
+use crate::{NnError, Tensor};
+
+/// A 2-D convolution layer over `[C, H, W]` tensors (no bias — ACOUSTIC's
+/// MAC fabric has no bias path; batch-norm-style offsets would live in the
+/// counter and are not modelled by the paper).
+///
+/// Weights are stored `[out_c][in_c · k · k]`, matching the im2col patch
+/// layout.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::layers::{Conv2d, AccumMode};
+/// use acoustic_nn::Tensor;
+///
+/// # fn main() -> Result<(), acoustic_nn::NnError> {
+/// let mut conv = Conv2d::new(1, 4, 3, 1, 1, AccumMode::Linear)?;
+/// let input = Tensor::zeros(&[1, 8, 8]);
+/// let out = conv.forward(&input)?;
+/// assert_eq!(out.shape(), &[4, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    accum: AccumMode,
+    weight: Vec<f32>,
+    grad_w: Vec<f32>,
+    vel_w: Vec<f32>,
+    // forward caches
+    cols: Vec<f32>,
+    in_shape: Vec<usize>,
+    out_hw: (usize, usize),
+    pos_sum: Vec<f64>,
+    neg_sum: Vec<f64>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with deterministic small-weight init.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if any dimension is zero or the
+    /// padding is at least the kernel size.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        accum: AccumMode,
+    ) -> Result<Self, NnError> {
+        if in_c == 0 || out_c == 0 || k == 0 || stride == 0 {
+            return Err(NnError::InvalidConfig(
+                "conv dimensions and stride must be positive".into(),
+            ));
+        }
+        if pad >= k {
+            return Err(NnError::InvalidConfig(format!(
+                "padding {pad} must be smaller than kernel {k}"
+            )));
+        }
+        let fan_in = in_c * k * k;
+        let mut weight = Tensor::zeros(&[out_c * fan_in]);
+        // He-style scale adapted to the [0,1] activation regime.
+        let scale = (2.0 / fan_in as f32).sqrt();
+        weight.fill_uniform((in_c * 31 + out_c * 7 + k) as u64, scale);
+        let w = weight.into_vec();
+        let n = w.len();
+        Ok(Conv2d {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            accum,
+            weight: w,
+            grad_w: vec![0.0; n],
+            vel_w: vec![0.0; n],
+            cols: Vec::new(),
+            in_shape: Vec::new(),
+            out_hw: (0, 0),
+            pos_sum: Vec::new(),
+            neg_sum: Vec::new(),
+        })
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Output channel count (number of kernels).
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on each side.
+    pub fn padding(&self) -> usize {
+        self.pad
+    }
+
+    /// The accumulation mode.
+    pub fn accum_mode(&self) -> AccumMode {
+        self.accum
+    }
+
+    /// Changes the accumulation mode (e.g. evaluate a linearly-trained net
+    /// with OR accumulation).
+    pub fn set_accum_mode(&mut self, accum: AccumMode) {
+        self.accum = accum;
+    }
+
+    /// Flat weights, `[out_c][in_c·k·k]` row-major.
+    pub fn weights(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// Mutable flat weights (for quantization-in-place).
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weight
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len()
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad - self.k) / self.stride + 1,
+            (w + 2 * self.pad - self.k) / self.stride + 1,
+        )
+    }
+
+    /// Forward pass. Caches activations for a subsequent
+    /// [`Conv2d::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the input is not
+    /// `[in_c, h, w]`.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let shape = input.shape();
+        if shape.len() != 3 || shape[0] != self.in_c {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![self.in_c, 0, 0],
+                actual: shape.to_vec(),
+            });
+        }
+        let (h, w) = (shape[1], shape[2]);
+        if h + 2 * self.pad < self.k || w + 2 * self.pad < self.k {
+            return Err(NnError::InvalidConfig(format!(
+                "input {h}x{w} smaller than kernel {}",
+                self.k
+            )));
+        }
+        let (oh, ow) = self.output_hw(h, w);
+        let fan_in = self.in_c * self.k * self.k;
+        let patches = oh * ow;
+
+        // im2col: cols[r * patches + p]
+        let mut cols = vec![0.0f32; fan_in * patches];
+        for c in 0..self.in_c {
+            for ky in 0..self.k {
+                for kx in 0..self.k {
+                    let r = (c * self.k + ky) * self.k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            cols[r * patches + oy * ow + ox] =
+                                input.at3(c, iy as usize, ix as usize);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut out = vec![0.0f32; self.out_c * patches];
+        match self.accum {
+            AccumMode::Linear => {
+                for o in 0..self.out_c {
+                    let wrow = &self.weight[o * fan_in..(o + 1) * fan_in];
+                    for (r, &wv) in wrow.iter().enumerate() {
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let col = &cols[r * patches..(r + 1) * patches];
+                        let dst = &mut out[o * patches..(o + 1) * patches];
+                        for (d, &c) in dst.iter_mut().zip(col) {
+                            *d += wv * c;
+                        }
+                    }
+                }
+                self.pos_sum.clear();
+                self.neg_sum.clear();
+            }
+            AccumMode::OrApprox => {
+                let mut pos = vec![0.0f64; self.out_c * patches];
+                let mut neg = vec![0.0f64; self.out_c * patches];
+                for o in 0..self.out_c {
+                    let wrow = &self.weight[o * fan_in..(o + 1) * fan_in];
+                    for (r, &wv) in wrow.iter().enumerate() {
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let col = &cols[r * patches..(r + 1) * patches];
+                        if wv > 0.0 {
+                            let dst = &mut pos[o * patches..(o + 1) * patches];
+                            for (d, &c) in dst.iter_mut().zip(col) {
+                                *d += (wv * c) as f64;
+                            }
+                        } else {
+                            let dst = &mut neg[o * patches..(o + 1) * patches];
+                            for (d, &c) in dst.iter_mut().zip(col) {
+                                *d += (-wv * c) as f64;
+                            }
+                        }
+                    }
+                }
+                for i in 0..out.len() {
+                    out[i] = (orsum::or_approx(pos[i]) - orsum::or_approx(neg[i])) as f32;
+                }
+                self.pos_sum = pos;
+                self.neg_sum = neg;
+            }
+            AccumMode::OrExact => {
+                // 1 - Π(1 - p) per sign: track the running products.
+                let mut pos = vec![1.0f64; self.out_c * patches];
+                let mut neg = vec![1.0f64; self.out_c * patches];
+                for o in 0..self.out_c {
+                    let wrow = &self.weight[o * fan_in..(o + 1) * fan_in];
+                    for (r, &wv) in wrow.iter().enumerate() {
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let col = &cols[r * patches..(r + 1) * patches];
+                        let dst = if wv > 0.0 {
+                            &mut pos[o * patches..(o + 1) * patches]
+                        } else {
+                            &mut neg[o * patches..(o + 1) * patches]
+                        };
+                        let mag = wv.abs() as f64;
+                        for (d, &c) in dst.iter_mut().zip(col) {
+                            *d *= 1.0 - (mag * c as f64).clamp(0.0, 1.0);
+                        }
+                    }
+                }
+                for i in 0..out.len() {
+                    out[i] = ((1.0 - pos[i]) - (1.0 - neg[i])) as f32;
+                }
+                // Cache the final products; backward divides them back out.
+                self.pos_sum = pos;
+                self.neg_sum = neg;
+            }
+        }
+
+        self.cols = cols;
+        self.in_shape = shape.to_vec();
+        self.out_hw = (oh, ow);
+        Tensor::from_vec(&[self.out_c, oh, ow], out)
+    }
+
+    /// Backward pass: accumulates weight gradients and returns the input
+    /// gradient. Must follow a [`Conv2d::forward`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `grad_out` does not match the
+    /// cached forward output shape, or [`NnError::EmptyData`] if no forward
+    /// pass was cached.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.in_shape.is_empty() {
+            return Err(NnError::EmptyData);
+        }
+        let (oh, ow) = self.out_hw;
+        let patches = oh * ow;
+        if grad_out.shape() != [self.out_c, oh, ow] {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![self.out_c, oh, ow],
+                actual: grad_out.shape().to_vec(),
+            });
+        }
+        let fan_in = self.in_c * self.k * self.k;
+        let go = grad_out.as_slice();
+
+        // Effective per-product gradient g[o][p] per sign branch.
+        // Linear: d out / d (w·a) = 1.
+        // OrApprox: d out / d pos_sum = e^{-pos}; d out / d neg_sum = -e^{-neg}.
+        // OrExact: d out / d p_r = Π_{i≠r}(1-p_i) = P / (1 - p_r) per sign.
+        //
+        // The OrApprox derivatives depend only on the output, so they are
+        // precomputed once here instead of exp()-ing per lane × patch.
+        let (dpos, dneg): (Vec<f32>, Vec<f32>) = if self.accum == AccumMode::OrApprox {
+            (
+                self.pos_sum
+                    .iter()
+                    .map(|&s| orsum::or_approx_derivative(s) as f32)
+                    .collect(),
+                self.neg_sum
+                    .iter()
+                    .map(|&s| orsum::or_approx_derivative(s) as f32)
+                    .collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut gcols = vec![0.0f32; fan_in * patches];
+        for o in 0..self.out_c {
+            let wrow = &self.weight[o * fan_in..(o + 1) * fan_in];
+            let gout = &go[o * patches..(o + 1) * patches];
+            for (r, &wv) in wrow.iter().enumerate() {
+                let col = &self.cols[r * patches..(r + 1) * patches];
+                let mut gw = 0.0f32;
+                let gcol = &mut gcols[r * patches..(r + 1) * patches];
+                match self.accum {
+                    AccumMode::Linear => {
+                        for p in 0..patches {
+                            gw += gout[p] * col[p];
+                            gcol[p] += gout[p] * wv;
+                        }
+                    }
+                    AccumMode::OrApprox => {
+                        // Choose the branch by weight sign; w == 0 uses the
+                        // positive branch so zero weights can move. For
+                        // negative weights: d out/d neg_sum = -e^{-neg} and
+                        // d neg_sum/d w = -a ⇒ d out/d w = +e^{-neg}·a, and
+                        // d out/d a = -e^{-neg}·|w| = t·w.
+                        let base = o * patches;
+                        let d = if wv >= 0.0 { &dpos } else { &dneg };
+                        for p in 0..patches {
+                            let t = gout[p] * d[base + p];
+                            gw += t * col[p];
+                            gcol[p] += t * wv;
+                        }
+                    }
+                    AccumMode::OrExact => {
+                        // For a lane with product p = |w|·a on either sign
+                        // branch, both gradients collapse to the same rule:
+                        // ∂out/∂w = g·Π_{i≠r}(1−pᵢ)·a and
+                        // ∂out/∂a = g·Π_{i≠r}(1−pᵢ)·w (the branch sign and
+                        // the |w| chain factor cancel).
+                        let base = o * patches;
+                        let mag = wv.abs() as f64;
+                        let prod = if wv >= 0.0 {
+                            &self.pos_sum
+                        } else {
+                            &self.neg_sum
+                        };
+                        for p in 0..patches {
+                            let pr = (mag * col[p] as f64).clamp(0.0, 1.0);
+                            if pr >= 1.0 {
+                                continue; // saturated product: zero gradient
+                            }
+                            let others = prod[base + p] / (1.0 - pr);
+                            let t = gout[p] as f64 * others;
+                            gw += (t * col[p] as f64) as f32;
+                            gcol[p] += (t * wv as f64) as f32;
+                        }
+                    }
+                }
+                self.grad_w[o * fan_in + r] += gw;
+            }
+        }
+
+        // col2im: scatter column gradients back to the input.
+        let (h, w) = (self.in_shape[1], self.in_shape[2]);
+        let mut gin = Tensor::zeros(&self.in_shape);
+        for c in 0..self.in_c {
+            for ky in 0..self.k {
+                for kx in 0..self.k {
+                    let r = (c * self.k + ky) * self.k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let cur = gin.at3(c, iy as usize, ix as usize);
+                            gin.set3(
+                                c,
+                                iy as usize,
+                                ix as usize,
+                                cur + gcols[r * patches + oy * ow + ox],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Ok(gin)
+    }
+
+    /// SGD-with-momentum update; weights are clipped to `[−1, 1]` afterwards
+    /// (the split-unipolar representable range).
+    pub fn apply_update(&mut self, lr: f32, momentum: f32) {
+        for i in 0..self.weight.len() {
+            self.vel_w[i] = momentum * self.vel_w[i] - lr * self.grad_w[i];
+            self.weight[i] = (self.weight[i] + self.vel_w[i]).clamp(-1.0, 1.0);
+            self.grad_w[i] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(shape: &[usize], f: impl Fn(usize) -> f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..n).map(f).collect()).unwrap()
+    }
+
+    #[test]
+    fn output_shape_with_padding() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, AccumMode::Linear).unwrap();
+        assert_eq!(conv.output_hw(32, 32), (32, 32));
+        let conv = Conv2d::new(3, 8, 3, 1, 0, AccumMode::Linear).unwrap();
+        assert_eq!(conv.output_hw(32, 32), (30, 30));
+        let conv = Conv2d::new(3, 8, 3, 2, 1, AccumMode::Linear).unwrap();
+        assert_eq!(conv.output_hw(32, 32), (16, 16));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Conv2d::new(0, 8, 3, 1, 1, AccumMode::Linear).is_err());
+        assert!(Conv2d::new(3, 8, 3, 0, 1, AccumMode::Linear).is_err());
+        assert!(Conv2d::new(3, 8, 3, 1, 3, AccumMode::Linear).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // 1x1 kernel with weight 1.0 reproduces the input.
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, AccumMode::Linear).unwrap();
+        conv.weights_mut()[0] = 1.0;
+        let input = filled(&[1, 3, 3], |i| i as f32 / 10.0);
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // All-ones 3x3 kernel over an all-ones 3x3 input, no padding: 9.
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, AccumMode::Linear).unwrap();
+        conv.weights_mut().iter_mut().for_each(|w| *w = 1.0);
+        let input = filled(&[1, 3, 3], |_| 1.0);
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert!((out.as_slice()[0] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn padding_zeros_contribute_nothing() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, AccumMode::Linear).unwrap();
+        conv.weights_mut().iter_mut().for_each(|w| *w = 1.0);
+        let input = filled(&[1, 1, 1], |_| 1.0);
+        let out = conv.forward(&input).unwrap();
+        // Only the center tap sees the single input pixel.
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert!((out.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn or_approx_saturates_output() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, AccumMode::OrApprox).unwrap();
+        conv.weights_mut().iter_mut().for_each(|w| *w = 1.0);
+        let input = filled(&[1, 3, 3], |_| 1.0);
+        let out = conv.forward(&input).unwrap();
+        // Linear sum would be 9; OR-approx saturates below 1.
+        assert!(out.as_slice()[0] < 1.0);
+        assert!(out.as_slice()[0] > 0.99);
+    }
+
+    #[test]
+    fn or_exact_matches_or_expected() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, AccumMode::OrExact).unwrap();
+        conv.weights_mut().copy_from_slice(&[0.5, 0.5, -0.5, 0.0]);
+        let input = filled(&[1, 2, 2], |_| 0.5);
+        let out = conv.forward(&input).unwrap();
+        // pos products: {0.25, 0.25} -> 1-(0.75)^2 = 0.4375
+        // neg products: {0.25} -> 0.25
+        assert!((out.as_slice()[0] - (0.4375 - 0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_backward_matches_numeric_gradient() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, AccumMode::Linear).unwrap();
+        check_gradients(&mut conv, 1e-2);
+    }
+
+    #[test]
+    fn or_approx_backward_matches_numeric_gradient() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap();
+        check_gradients(&mut conv, 1e-2);
+    }
+
+    #[test]
+    fn or_exact_backward_matches_numeric_gradient() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrExact).unwrap();
+        check_gradients(&mut conv, 2e-2);
+    }
+
+    /// Compares analytic weight/input gradients against central differences
+    /// on a scalar loss L = Σ out².
+    ///
+    /// Inputs are strictly positive: at a == 0 the OR-exact product clamp
+    /// `(|w|·a).clamp(0, 1)` makes the loss one-sided, which central
+    /// differences halve — not a gradient bug (real activations are
+    /// post-ReLU ≥ 0 and the preceding ReLU zeroes that gradient anyway).
+    fn check_gradients(conv: &mut Conv2d, tol: f32) {
+        let input = filled(&[1, 4, 4], |i| ((i * 7) % 10 + 1) as f32 / 11.0);
+        let out = conv.forward(&input).unwrap();
+        let grad_out = out.map(|v| 2.0 * v); // dL/dout for L = Σ out²
+        let gin = conv.backward(&grad_out).unwrap();
+
+        let loss = |c: &mut Conv2d, inp: &Tensor| -> f32 {
+            let o = c.forward(inp).unwrap();
+            o.as_slice().iter().map(|v| v * v).sum()
+        };
+
+        // Weight gradients (grad_w was accumulated by backward).
+        let h = 1e-3;
+        for wi in [0usize, 3, 8, 12] {
+            let saved = conv.weights()[wi];
+            let analytic = conv.grad_w[wi];
+            conv.weights_mut()[wi] = saved + h;
+            let lp = loss(conv, &input);
+            conv.weights_mut()[wi] = saved - h;
+            let lm = loss(conv, &input);
+            conv.weights_mut()[wi] = saved;
+            let numeric = (lp - lm) / (2.0 * h);
+            assert!(
+                (analytic - numeric).abs() < tol * numeric.abs().max(1.0),
+                "weight {wi}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+
+        // Input gradients.
+        let mut inp = input.clone();
+        for ii in [0usize, 5, 10, 15] {
+            let saved = inp.as_slice()[ii];
+            inp.as_mut_slice()[ii] = saved + h;
+            let lp = loss(conv, &inp);
+            inp.as_mut_slice()[ii] = saved - h;
+            let lm = loss(conv, &inp);
+            inp.as_mut_slice()[ii] = saved;
+            let numeric = (lp - lm) / (2.0 * h);
+            let analytic = gin.as_slice()[ii];
+            assert!(
+                (analytic - numeric).abs() < tol * numeric.abs().max(1.0),
+                "input {ii}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_clips_weights_to_unit_range() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, AccumMode::Linear).unwrap();
+        conv.weights_mut()[0] = 0.99;
+        conv.grad_w[0] = -10.0; // pushes weight up hard
+        conv.apply_update(1.0, 0.0);
+        assert_eq!(conv.weights()[0], 1.0);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, AccumMode::Linear).unwrap();
+        assert!(conv.backward(&Tensor::zeros(&[1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn wrong_input_channels_error() {
+        let mut conv = Conv2d::new(3, 1, 3, 1, 1, AccumMode::Linear).unwrap();
+        assert!(conv.forward(&Tensor::zeros(&[1, 8, 8])).is_err());
+    }
+}
+
+#[cfg(test)]
+mod reference_tests {
+    use super::*;
+    use crate::layers::Dense;
+    use crate::Tensor;
+
+    /// Naive direct convolution, the reference implementation.
+    fn naive_conv(
+        input: &Tensor,
+        weights: &[f32],
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Vec<f32> {
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let oh = (h + 2 * pad - k) / stride + 1;
+        let ow = (w + 2 * pad - k) / stride + 1;
+        let mut out = vec![0.0f32; out_c * oh * ow];
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ic in 0..in_c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                    continue;
+                                }
+                                let wv = weights
+                                    [oc * in_c * k * k + (ic * k + ky) * k + kx];
+                                acc += wv * input.at3(ic, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    out[(oc * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn im2col_matches_naive_reference_with_stride_and_padding() {
+        for (stride, pad) in [(1usize, 0usize), (1, 1), (2, 1), (2, 0)] {
+            let mut conv = Conv2d::new(3, 4, 3, stride, pad, AccumMode::Linear).unwrap();
+            let input = Tensor::from_vec(
+                &[3, 6, 6],
+                (0..108).map(|i| ((i * 13) % 17) as f32 / 17.0).collect(),
+            )
+            .unwrap();
+            let fast = conv.forward(&input).unwrap();
+            let naive = naive_conv(&input, conv.weights(), 3, 4, 3, stride, pad);
+            assert_eq!(fast.len(), naive.len(), "stride {stride} pad {pad}");
+            for (a, b) in fast.as_slice().iter().zip(&naive) {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "stride {stride} pad {pad}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one_conv_equals_dense_per_pixel() {
+        // A 1x1 convolution is a dense layer applied per spatial position.
+        let mut conv = Conv2d::new(4, 3, 1, 1, 0, AccumMode::Linear).unwrap();
+        let mut fc = Dense::new(4, 3, AccumMode::Linear).unwrap();
+        fc.weights_mut().copy_from_slice(conv.weights());
+
+        let input = Tensor::from_vec(
+            &[4, 2, 2],
+            (0..16).map(|i| (i as f32) / 16.0).collect(),
+        )
+        .unwrap();
+        let conv_out = conv.forward(&input).unwrap();
+        for y in 0..2 {
+            for x in 0..2 {
+                let pixel: Vec<f32> = (0..4).map(|c| input.at3(c, y, x)).collect();
+                let fc_out = fc
+                    .forward(&Tensor::from_vec(&[4], pixel).unwrap())
+                    .unwrap();
+                for (o, &expect) in fc_out.as_slice().iter().enumerate() {
+                    assert!(
+                        (conv_out.at3(o, y, x) - expect).abs() < 1e-5,
+                        "pixel ({y},{x}) channel {o}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Fully-connected layer with selectable accumulation semantics.
+
+use super::AccumMode;
+use crate::orsum;
+use crate::{NnError, Tensor};
+
+/// A fully-connected (dense) layer over flattened inputs, no bias.
+///
+/// Weights are stored `[out][in]` row-major.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::layers::{Dense, AccumMode};
+/// use acoustic_nn::Tensor;
+///
+/// # fn main() -> Result<(), acoustic_nn::NnError> {
+/// let mut fc = Dense::new(16, 10, AccumMode::Linear)?;
+/// let out = fc.forward(&Tensor::zeros(&[16]))?;
+/// assert_eq!(out.shape(), &[10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_n: usize,
+    out_n: usize,
+    accum: AccumMode,
+    weight: Vec<f32>,
+    grad_w: Vec<f32>,
+    vel_w: Vec<f32>,
+    input: Vec<f32>,
+    pos_sum: Vec<f64>,
+    neg_sum: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a dense layer with deterministic small-weight init.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if either dimension is zero.
+    pub fn new(in_n: usize, out_n: usize, accum: AccumMode) -> Result<Self, NnError> {
+        if in_n == 0 || out_n == 0 {
+            return Err(NnError::InvalidConfig(
+                "dense dimensions must be positive".into(),
+            ));
+        }
+        let mut weight = Tensor::zeros(&[out_n * in_n]);
+        let scale = (2.0 / in_n as f32).sqrt();
+        weight.fill_uniform((in_n * 131 + out_n * 17) as u64, scale);
+        let w = weight.into_vec();
+        let n = w.len();
+        Ok(Dense {
+            in_n,
+            out_n,
+            accum,
+            weight: w,
+            grad_w: vec![0.0; n],
+            vel_w: vec![0.0; n],
+            input: Vec::new(),
+            pos_sum: Vec::new(),
+            neg_sum: Vec::new(),
+        })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_n
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_n
+    }
+
+    /// The accumulation mode.
+    pub fn accum_mode(&self) -> AccumMode {
+        self.accum
+    }
+
+    /// Changes the accumulation mode.
+    pub fn set_accum_mode(&mut self, accum: AccumMode) {
+        self.accum = accum;
+    }
+
+    /// Flat weights, `[out][in]` row-major.
+    pub fn weights(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// Mutable flat weights.
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weight
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len()
+    }
+
+    /// Forward pass over a flattened input (any shape with the right element
+    /// count is accepted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on a wrong-sized input.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.len() != self.in_n {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![self.in_n],
+                actual: input.shape().to_vec(),
+            });
+        }
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; self.out_n];
+        match self.accum {
+            AccumMode::Linear => {
+                for o in 0..self.out_n {
+                    let row = &self.weight[o * self.in_n..(o + 1) * self.in_n];
+                    out[o] = row.iter().zip(x).map(|(&w, &a)| w * a).sum();
+                }
+                self.pos_sum.clear();
+                self.neg_sum.clear();
+            }
+            AccumMode::OrApprox => {
+                let mut pos = vec![0.0f64; self.out_n];
+                let mut neg = vec![0.0f64; self.out_n];
+                for o in 0..self.out_n {
+                    let row = &self.weight[o * self.in_n..(o + 1) * self.in_n];
+                    for (&w, &a) in row.iter().zip(x) {
+                        if w > 0.0 {
+                            pos[o] += (w * a) as f64;
+                        } else if w < 0.0 {
+                            neg[o] += (-w * a) as f64;
+                        }
+                    }
+                    out[o] = (orsum::or_approx(pos[o]) - orsum::or_approx(neg[o])) as f32;
+                }
+                self.pos_sum = pos;
+                self.neg_sum = neg;
+            }
+            AccumMode::OrExact => {
+                let mut pos = vec![1.0f64; self.out_n];
+                let mut neg = vec![1.0f64; self.out_n];
+                for o in 0..self.out_n {
+                    let row = &self.weight[o * self.in_n..(o + 1) * self.in_n];
+                    for (&w, &a) in row.iter().zip(x) {
+                        let p = (w.abs() * a) as f64;
+                        if w > 0.0 {
+                            pos[o] *= 1.0 - p.clamp(0.0, 1.0);
+                        } else if w < 0.0 {
+                            neg[o] *= 1.0 - p.clamp(0.0, 1.0);
+                        }
+                    }
+                    out[o] = ((1.0 - pos[o]) - (1.0 - neg[o])) as f32;
+                }
+                self.pos_sum = pos;
+                self.neg_sum = neg;
+            }
+        }
+        self.input = x.to_vec();
+        Tensor::from_vec(&[self.out_n], out)
+    }
+
+    /// Backward pass: accumulates weight gradients and returns the input
+    /// gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyData`] if no forward pass was cached, or
+    /// [`NnError::ShapeMismatch`] on a wrong-sized output gradient.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.input.is_empty() {
+            return Err(NnError::EmptyData);
+        }
+        if grad_out.len() != self.out_n {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![self.out_n],
+                actual: grad_out.shape().to_vec(),
+            });
+        }
+        let go = grad_out.as_slice();
+        let mut gin = vec![0.0f32; self.in_n];
+        // OrApprox derivatives depend only on the output: precompute.
+        let (dpos, dneg): (Vec<f64>, Vec<f64>) = if self.accum == AccumMode::OrApprox {
+            (
+                self.pos_sum.iter().map(|&s| orsum::or_approx_derivative(s)).collect(),
+                self.neg_sum.iter().map(|&s| orsum::or_approx_derivative(s)).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        for o in 0..self.out_n {
+            let row = &self.weight[o * self.in_n..(o + 1) * self.in_n];
+            for (i, (&w, &a)) in row.iter().zip(&self.input).enumerate() {
+                let (gw, ga) = match self.accum {
+                    AccumMode::Linear => (go[o] * a, go[o] * w),
+                    AccumMode::OrApprox => {
+                        let d = if w >= 0.0 { dpos[o] } else { dneg[o] };
+                        let t = (go[o] as f64 * d) as f32;
+                        (t * a, t * w)
+                    }
+                    AccumMode::OrExact => {
+                        let p = ((w.abs() * a) as f64).clamp(0.0, 1.0);
+                        if p >= 1.0 {
+                            (0.0, 0.0)
+                        } else {
+                            let prod = if w >= 0.0 {
+                                self.pos_sum[o]
+                            } else {
+                                self.neg_sum[o]
+                            };
+                            let others = prod / (1.0 - p);
+                            let t = (go[o] as f64 * others) as f32;
+                            (t * a, t * w)
+                        }
+                    }
+                };
+                self.grad_w[o * self.in_n + i] += gw;
+                gin[i] += ga;
+            }
+        }
+        Tensor::from_vec(&[self.in_n], gin)
+    }
+
+    /// SGD-with-momentum update with `[−1, 1]` weight clipping.
+    pub fn apply_update(&mut self, lr: f32, momentum: f32) {
+        for i in 0..self.weight.len() {
+            self.vel_w[i] = momentum * self.vel_w[i] - lr * self.grad_w[i];
+            self.weight[i] = (self.weight[i] + self.vel_w[i]).clamp(-1.0, 1.0);
+            self.grad_w[i] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_forward_is_matvec() {
+        let mut fc = Dense::new(3, 2, AccumMode::Linear).unwrap();
+        fc.weights_mut().copy_from_slice(&[1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        let out = fc
+            .forward(&Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]).unwrap())
+            .unwrap();
+        assert_eq!(out.as_slice(), &[-2.0, 3.0]);
+    }
+
+    #[test]
+    fn or_exact_matches_formula() {
+        let mut fc = Dense::new(2, 1, AccumMode::OrExact).unwrap();
+        fc.weights_mut().copy_from_slice(&[0.5, 0.5]);
+        let out = fc
+            .forward(&Tensor::from_vec(&[2], vec![0.5, 0.5]).unwrap())
+            .unwrap();
+        // 1 - (1-0.25)^2 = 0.4375
+        assert!((out.as_slice()[0] - 0.4375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_all_modes() {
+        for mode in [AccumMode::Linear, AccumMode::OrApprox, AccumMode::OrExact] {
+            let mut fc = Dense::new(4, 3, mode).unwrap();
+            let input =
+                Tensor::from_vec(&[4], vec![0.2, 0.5, 0.1, 0.8]).unwrap();
+            let out = fc.forward(&input).unwrap();
+            let grad_out = out.map(|v| 2.0 * v);
+            let gin = fc.backward(&grad_out).unwrap();
+
+            let loss = |f: &mut Dense, inp: &Tensor| -> f32 {
+                f.forward(inp).unwrap().as_slice().iter().map(|v| v * v).sum()
+            };
+            let h = 1e-3;
+            for wi in [0usize, 5, 11] {
+                let saved = fc.weights()[wi];
+                let analytic = fc.grad_w[wi];
+                fc.weights_mut()[wi] = saved + h;
+                let lp = loss(&mut fc, &input);
+                fc.weights_mut()[wi] = saved - h;
+                let lm = loss(&mut fc, &input);
+                fc.weights_mut()[wi] = saved;
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!(
+                    (analytic - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                    "{mode:?} weight {wi}: analytic {analytic} vs {numeric}"
+                );
+            }
+            let mut inp = input.clone();
+            for ii in 0..4 {
+                let saved = inp.as_slice()[ii];
+                inp.as_mut_slice()[ii] = saved + h;
+                let lp = loss(&mut fc, &inp);
+                inp.as_mut_slice()[ii] = saved - h;
+                let lm = loss(&mut fc, &inp);
+                inp.as_mut_slice()[ii] = saved;
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!(
+                    (gin.as_slice()[ii] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                    "{mode:?} input {ii}: analytic {} vs {numeric}",
+                    gin.as_slice()[ii]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_input_size_errors() {
+        let mut fc = Dense::new(4, 2, AccumMode::Linear).unwrap();
+        assert!(fc.forward(&Tensor::zeros(&[5])).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut fc = Dense::new(4, 2, AccumMode::Linear).unwrap();
+        assert!(fc.backward(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn flattened_3d_input_accepted() {
+        let mut fc = Dense::new(12, 2, AccumMode::Linear).unwrap();
+        assert!(fc.forward(&Tensor::zeros(&[3, 2, 2])).is_ok());
+    }
+
+    #[test]
+    fn update_applies_momentum() {
+        let mut fc = Dense::new(1, 1, AccumMode::Linear).unwrap();
+        fc.weights_mut()[0] = 0.0;
+        fc.grad_w[0] = 1.0;
+        fc.apply_update(0.1, 0.9);
+        assert!((fc.weights()[0] + 0.1).abs() < 1e-6);
+        // Momentum carries with zero new gradient.
+        fc.apply_update(0.1, 0.9);
+        assert!((fc.weights()[0] + 0.19).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,75 @@
+//! CNN layers with pluggable accumulation semantics.
+//!
+//! Every multiply-accumulate layer ([`Conv2d`], [`Dense`]) supports three
+//! [`AccumMode`]s:
+//!
+//! * [`AccumMode::Linear`] — conventional summation (the float / 8-bit
+//!   fixed-point baseline),
+//! * [`AccumMode::OrApprox`] — ACOUSTIC training mode, Eq. (1):
+//!   positive and negative product sums are passed through `1 − e^{−s}`
+//!   before subtraction,
+//! * [`AccumMode::OrExact`] — the true OR expectation `1 − Π(1 − p)`;
+//!   ~an order of magnitude slower to train, used to validate the
+//!   approximation and reproduce the §II-D speedup claim.
+//!
+//! Layers are enum-dispatched (see [`NetLayer`]) so downstream crates — the
+//! SC functional simulator in particular — can pattern-match a trained
+//! network and read its weights without downcasting.
+
+mod activation;
+mod conv;
+mod dense;
+mod network;
+mod pool;
+mod residual;
+
+pub use activation::{Flatten, Relu};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use network::{NetLayer, Network};
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use residual::Residual;
+
+/// How a multiply-accumulate layer combines its products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccumMode {
+    /// Conventional linear summation.
+    #[default]
+    Linear,
+    /// ACOUSTIC Eq. (1): `1 − e^{−Σp}` applied to the positive and negative
+    /// product sums separately, then subtracted.
+    OrApprox,
+    /// Exact OR expectation `1 − Π(1 − p)` per sign, then subtracted.
+    OrExact,
+}
+
+impl AccumMode {
+    /// Applies the post-sum transform of this mode to a (non-negative)
+    /// product sum. [`AccumMode::OrExact`] has no sum-level form and is
+    /// handled product-by-product inside the layers; calling this for it
+    /// falls back to the approximation.
+    pub fn transfer(&self, sum: f64) -> f64 {
+        match self {
+            AccumMode::Linear => sum,
+            AccumMode::OrApprox | AccumMode::OrExact => crate::orsum::or_approx(sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_linear_is_identity() {
+        assert_eq!(AccumMode::Linear.transfer(2.5), 2.5);
+    }
+
+    #[test]
+    fn transfer_or_is_saturating() {
+        let m = AccumMode::OrApprox;
+        assert!(m.transfer(0.0).abs() < 1e-12);
+        assert!(m.transfer(10.0) < 1.0);
+        assert!(m.transfer(0.5) < 0.5);
+    }
+}

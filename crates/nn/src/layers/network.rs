@@ -1,0 +1,284 @@
+//! Sequential network container with enum-dispatched layers.
+
+use super::{AccumMode, AvgPool2d, Conv2d, Dense, Flatten, MaxPool2d, Relu, Residual};
+use crate::{NnError, Tensor};
+
+/// One layer of a [`Network`].
+///
+/// Enum dispatch (rather than trait objects) lets downstream crates — the SC
+/// functional simulator in particular — pattern-match a trained network and
+/// read its weights and configuration directly.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // variant payloads are documented on their types
+pub enum NetLayer {
+    Conv(Conv2d),
+    Dense(Dense),
+    AvgPool(AvgPool2d),
+    MaxPool(MaxPool2d),
+    Relu(Relu),
+    Flatten(Flatten),
+    Residual(Residual),
+}
+
+impl NetLayer {
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped layer's error.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        match self {
+            NetLayer::Conv(l) => l.forward(input),
+            NetLayer::Dense(l) => l.forward(input),
+            NetLayer::AvgPool(l) => l.forward(input),
+            NetLayer::MaxPool(l) => l.forward(input),
+            NetLayer::Relu(l) => l.forward(input),
+            NetLayer::Flatten(l) => l.forward(input),
+            NetLayer::Residual(l) => l.forward(input),
+        }
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped layer's error.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        match self {
+            NetLayer::Conv(l) => l.backward(grad_out),
+            NetLayer::Dense(l) => l.backward(grad_out),
+            NetLayer::AvgPool(l) => l.backward(grad_out),
+            NetLayer::MaxPool(l) => l.backward(grad_out),
+            NetLayer::Relu(l) => l.backward(grad_out),
+            NetLayer::Flatten(l) => l.backward(grad_out),
+            NetLayer::Residual(l) => l.backward(grad_out),
+        }
+    }
+
+    /// Applies the pending gradient step, if the layer has parameters.
+    pub fn apply_update(&mut self, lr: f32, momentum: f32) {
+        match self {
+            NetLayer::Conv(l) => l.apply_update(lr, momentum),
+            NetLayer::Dense(l) => l.apply_update(lr, momentum),
+            NetLayer::Residual(l) => l.apply_update(lr, momentum),
+            _ => {}
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            NetLayer::Conv(l) => l.param_count(),
+            NetLayer::Dense(l) => l.param_count(),
+            NetLayer::Residual(l) => l.param_count(),
+            _ => 0,
+        }
+    }
+
+    /// Sets the accumulation mode of MAC layers (no-op otherwise).
+    pub fn set_accum_mode(&mut self, accum: AccumMode) {
+        match self {
+            NetLayer::Conv(l) => l.set_accum_mode(accum),
+            NetLayer::Dense(l) => l.set_accum_mode(accum),
+            NetLayer::Residual(l) => l.set_accum_mode(accum),
+            _ => {}
+        }
+    }
+}
+
+/// A feed-forward stack of layers.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::layers::{AccumMode, Conv2d, Dense, Flatten, Network, Relu};
+/// use acoustic_nn::Tensor;
+///
+/// # fn main() -> Result<(), acoustic_nn::NnError> {
+/// let mut net = Network::new();
+/// net.push_conv(Conv2d::new(1, 4, 3, 1, 1, AccumMode::OrApprox)?);
+/// net.push_relu(Relu::clamped());
+/// net.push_flatten();
+/// net.push_dense(Dense::new(4 * 8 * 8, 10, AccumMode::Linear)?);
+/// let logits = net.forward(&Tensor::zeros(&[1, 8, 8]))?;
+/// assert_eq!(logits.shape(), &[10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    layers: Vec<NetLayer>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Appends any layer.
+    pub fn push(&mut self, layer: NetLayer) {
+        self.layers.push(layer);
+    }
+
+    /// Appends a convolution layer.
+    pub fn push_conv(&mut self, layer: Conv2d) {
+        self.layers.push(NetLayer::Conv(layer));
+    }
+
+    /// Appends a dense layer.
+    pub fn push_dense(&mut self, layer: Dense) {
+        self.layers.push(NetLayer::Dense(layer));
+    }
+
+    /// Appends a ReLU layer.
+    pub fn push_relu(&mut self, layer: Relu) {
+        self.layers.push(NetLayer::Relu(layer));
+    }
+
+    /// Appends an average-pool layer.
+    pub fn push_avg_pool(&mut self, layer: AvgPool2d) {
+        self.layers.push(NetLayer::AvgPool(layer));
+    }
+
+    /// Appends a max-pool layer.
+    pub fn push_max_pool(&mut self, layer: MaxPool2d) {
+        self.layers.push(NetLayer::MaxPool(layer));
+    }
+
+    /// Appends a flatten layer.
+    pub fn push_flatten(&mut self) {
+        self.layers.push(NetLayer::Flatten(Flatten::new()));
+    }
+
+    /// Appends a residual block wrapping `inner`.
+    pub fn push_residual(&mut self, inner: Network) {
+        self.layers.push(NetLayer::Residual(Residual::new(inner)));
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[NetLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (e.g. for weight quantization).
+    pub fn layers_mut(&mut self) -> &mut [NetLayer] {
+        &mut self.layers
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(NetLayer::param_count).sum()
+    }
+
+    /// Full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing layer's error.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Full backward pass from the loss gradient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing layer's error.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Applies pending gradient steps on every parameterised layer.
+    pub fn apply_update(&mut self, lr: f32, momentum: f32) {
+        for layer in &mut self.layers {
+            layer.apply_update(lr, momentum);
+        }
+    }
+
+    /// Switches the accumulation mode of all MAC layers.
+    pub fn set_accum_mode(&mut self, accum: AccumMode) {
+        for layer in &mut self.layers {
+            layer.set_accum_mode(accum);
+        }
+    }
+
+    /// Predicted class = argmax of the logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predict(&mut self, input: &Tensor) -> Result<usize, NnError> {
+        Ok(self.forward(input)?.argmax())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> Network {
+        let mut net = Network::new();
+        net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::Linear).unwrap());
+        net.push_relu(Relu::clamped());
+        net.push_avg_pool(AvgPool2d::new(2).unwrap());
+        net.push_flatten();
+        net.push_dense(Dense::new(2 * 2 * 2, 3, AccumMode::Linear).unwrap());
+        net
+    }
+
+    #[test]
+    fn forward_shape_propagates() {
+        let mut net = tiny_net();
+        let out = net.forward(&Tensor::zeros(&[1, 4, 4])).unwrap();
+        assert_eq!(out.shape(), &[3]);
+    }
+
+    #[test]
+    fn backward_returns_input_shaped_gradient() {
+        let mut net = tiny_net();
+        net.forward(&Tensor::zeros(&[1, 4, 4])).unwrap();
+        let gin = net.backward(&Tensor::zeros(&[3])).unwrap();
+        assert_eq!(gin.shape(), &[1, 4, 4]);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let net = tiny_net();
+        // conv: 2*1*3*3 = 18; dense: 8*3 = 24.
+        assert_eq!(net.param_count(), 18 + 24);
+    }
+
+    #[test]
+    fn set_accum_mode_reaches_all_mac_layers() {
+        let mut net = tiny_net();
+        net.set_accum_mode(AccumMode::OrApprox);
+        for layer in net.layers() {
+            match layer {
+                NetLayer::Conv(c) => assert_eq!(c.accum_mode(), AccumMode::OrApprox),
+                NetLayer::Dense(d) => assert_eq!(d.accum_mode(), AccumMode::OrApprox),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let mut net = Network::new();
+        let mut fc = Dense::new(2, 2, AccumMode::Linear).unwrap();
+        fc.weights_mut().copy_from_slice(&[0.0, 0.0, 1.0, 1.0]);
+        net.push_dense(fc);
+        let class = net
+            .predict(&Tensor::from_vec(&[2], vec![1.0, 1.0]).unwrap())
+            .unwrap();
+        assert_eq!(class, 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Average and max pooling.
+//!
+//! ACOUSTIC prefers average pooling (§II-C): in SC it is a MUX / stream
+//! concatenation, whereas max pooling needs an FSM and costs ~2× more
+//! area/power. Both are provided so the "<0.3 % accuracy difference" claim
+//! can be measured.
+
+use crate::{NnError, Tensor};
+
+/// Average pooling with a square window and stride equal to the window.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::layers::AvgPool2d;
+/// use acoustic_nn::Tensor;
+///
+/// # fn main() -> Result<(), acoustic_nn::NnError> {
+/// let mut pool = AvgPool2d::new(2)?;
+/// let input = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let out = pool.forward(&input)?;
+/// assert_eq!(out.as_slice(), &[2.5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    window: usize,
+    in_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with `window × window` windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `window < 2`.
+    pub fn new(window: usize) -> Result<Self, NnError> {
+        if window < 2 {
+            return Err(NnError::InvalidConfig(
+                "pooling window must be at least 2".into(),
+            ));
+        }
+        Ok(AvgPool2d {
+            window,
+            in_shape: Vec::new(),
+        })
+    }
+
+    /// Window side length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Forward pass. Input height/width must be divisible by the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for non-3-D or non-divisible
+    /// inputs.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let s = input.shape();
+        if s.len() != 3 || !s[1].is_multiple_of(self.window) || !s[2].is_multiple_of(self.window) {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![0, self.window, self.window],
+                actual: s.to_vec(),
+            });
+        }
+        let (c, h, w) = (s[0], s[1], s[2]);
+        let (oh, ow) = (h / self.window, w / self.window);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        let norm = (self.window * self.window) as f32;
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut sum = 0.0;
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            sum += input.at3(ch, oy * self.window + ky, ox * self.window + kx);
+                        }
+                    }
+                    out.set3(ch, oy, ox, sum / norm);
+                }
+            }
+        }
+        self.in_shape = s.to_vec();
+        Ok(out)
+    }
+
+    /// Backward pass: spreads each output gradient uniformly over its
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyData`] without a cached forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.in_shape.is_empty() {
+            return Err(NnError::EmptyData);
+        }
+        let (c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);
+        let norm = (self.window * self.window) as f32;
+        let mut gin = Tensor::zeros(&self.in_shape);
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let g = grad_out.at3(ch, y / self.window, x / self.window) / norm;
+                    gin.set3(ch, y, x, g);
+                }
+            }
+        }
+        Ok(gin)
+    }
+}
+
+/// Max pooling with a square window and stride equal to the window.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    in_shape: Vec<usize>,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with `window × window` windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `window < 2`.
+    pub fn new(window: usize) -> Result<Self, NnError> {
+        if window < 2 {
+            return Err(NnError::InvalidConfig(
+                "pooling window must be at least 2".into(),
+            ));
+        }
+        Ok(MaxPool2d {
+            window,
+            in_shape: Vec::new(),
+            argmax: Vec::new(),
+        })
+    }
+
+    /// Window side length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Forward pass; remembers argmax positions for routing gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for non-3-D or non-divisible
+    /// inputs.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let s = input.shape();
+        if s.len() != 3 || !s[1].is_multiple_of(self.window) || !s[2].is_multiple_of(self.window) {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![0, self.window, self.window],
+                actual: s.to_vec(),
+            });
+        }
+        let (c, h, w) = (s[0], s[1], s[2]);
+        let (oh, ow) = (h / self.window, w / self.window);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        let mut argmax = vec![0usize; c * oh * ow];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            let (y, x) = (oy * self.window + ky, ox * self.window + kx);
+                            let v = input.at3(ch, y, x);
+                            if v > best {
+                                best = v;
+                                best_idx = (ch * h + y) * w + x;
+                            }
+                        }
+                    }
+                    out.set3(ch, oy, ox, best);
+                    argmax[(ch * oh + oy) * ow + ox] = best_idx;
+                }
+            }
+        }
+        self.in_shape = s.to_vec();
+        self.argmax = argmax;
+        Ok(out)
+    }
+
+    /// Backward pass: routes each output gradient to its argmax input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyData`] without a cached forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.in_shape.is_empty() {
+            return Err(NnError::EmptyData);
+        }
+        let mut gin = Tensor::zeros(&self.in_shape);
+        for (i, &src) in self.argmax.iter().enumerate() {
+            gin.as_mut_slice()[src] += grad_out.as_slice()[i];
+        }
+        Ok(gin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_2x2() {
+        let mut p = AvgPool2d::new(2).unwrap();
+        let input = Tensor::from_vec(
+            &[1, 4, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        )
+        .unwrap();
+        let out = p.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 1]);
+        assert_eq!(out.as_slice(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let mut p = AvgPool2d::new(2).unwrap();
+        let input = Tensor::zeros(&[1, 2, 2]);
+        p.forward(&input).unwrap();
+        let gin = p
+            .backward(&Tensor::from_vec(&[1, 1, 1], vec![4.0]).unwrap())
+            .unwrap();
+        assert_eq!(gin.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn max_pool_takes_maximum() {
+        let mut p = MaxPool2d::new(2).unwrap();
+        let input =
+            Tensor::from_vec(&[1, 2, 2], vec![0.1, 0.9, 0.5, 0.3]).unwrap();
+        let out = p.forward(&input).unwrap();
+        assert_eq!(out.as_slice(), &[0.9]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2).unwrap();
+        let input =
+            Tensor::from_vec(&[1, 2, 2], vec![0.1, 0.9, 0.5, 0.3]).unwrap();
+        p.forward(&input).unwrap();
+        let gin = p
+            .backward(&Tensor::from_vec(&[1, 1, 1], vec![2.0]).unwrap())
+            .unwrap();
+        assert_eq!(gin.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn non_divisible_input_errors() {
+        let mut p = AvgPool2d::new(2).unwrap();
+        assert!(p.forward(&Tensor::zeros(&[1, 3, 4])).is_err());
+        let mut m = MaxPool2d::new(3).unwrap();
+        assert!(m.forward(&Tensor::zeros(&[1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn window_of_one_rejected() {
+        assert!(AvgPool2d::new(1).is_err());
+        assert!(MaxPool2d::new(0).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut p = AvgPool2d::new(2).unwrap();
+        assert!(p.backward(&Tensor::zeros(&[1, 1, 1])).is_err());
+        let mut m = MaxPool2d::new(2).unwrap();
+        assert!(m.backward(&Tensor::zeros(&[1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn three_by_three_window() {
+        let mut p = AvgPool2d::new(3).unwrap();
+        let input = Tensor::from_vec(&[1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let out = p.forward(&input).unwrap();
+        assert_eq!(out.as_slice(), &[5.0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Residual (skip) connections.
+//!
+//! ACOUSTIC supports residual networks (§III-C: "residual connections are
+//! all supported") — in hardware the skip path is a binary-domain addition
+//! at the output counters, since every layer converts back to binary. Here
+//! a [`Residual`] wraps an inner sub-network and adds its input to its
+//! output, which is exactly that counter-domain addition.
+
+use super::network::Network;
+use crate::{NnError, Tensor};
+
+/// A residual block: `y = inner(x) + x`.
+///
+/// The inner network must preserve the tensor shape (as ResNet basic
+/// blocks do on their non-downsampling paths).
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::layers::{AccumMode, Conv2d, Network, Relu, Residual};
+/// use acoustic_nn::Tensor;
+///
+/// # fn main() -> Result<(), acoustic_nn::NnError> {
+/// let mut inner = Network::new();
+/// inner.push_conv(Conv2d::new(4, 4, 3, 1, 1, AccumMode::OrApprox)?);
+/// inner.push_relu(Relu::clamped());
+/// let mut block = Residual::new(inner);
+/// let y = block.forward(&Tensor::zeros(&[4, 8, 8]))?;
+/// assert_eq!(y.shape(), &[4, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Residual {
+    inner: Network,
+    in_shape: Vec<usize>,
+}
+
+impl Residual {
+    /// Wraps an inner sub-network.
+    pub fn new(inner: Network) -> Self {
+        Residual {
+            inner,
+            in_shape: Vec::new(),
+        }
+    }
+
+    /// The wrapped sub-network.
+    pub fn inner(&self) -> &Network {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped sub-network.
+    pub fn inner_mut(&mut self) -> &mut Network {
+        &mut self.inner
+    }
+
+    /// Forward pass: `inner(x) + x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the inner network changes the
+    /// shape; propagates inner-layer errors.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let mut out = self.inner.forward(input)?;
+        if out.shape() != input.shape() {
+            return Err(NnError::ShapeMismatch {
+                expected: input.shape().to_vec(),
+                actual: out.shape().to_vec(),
+            });
+        }
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o += x;
+        }
+        self.in_shape = input.shape().to_vec();
+        Ok(out)
+    }
+
+    /// Backward pass: the gradient flows through both the inner path and
+    /// the identity skip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyData`] without a cached forward pass;
+    /// propagates inner-layer errors.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.in_shape.is_empty() {
+            return Err(NnError::EmptyData);
+        }
+        let mut gin = self.inner.backward(grad_out)?;
+        for (g, &go) in gin.as_mut_slice().iter_mut().zip(grad_out.as_slice()) {
+            *g += go;
+        }
+        Ok(gin)
+    }
+
+    /// Applies pending updates on the inner network.
+    pub fn apply_update(&mut self, lr: f32, momentum: f32) {
+        self.inner.apply_update(lr, momentum);
+    }
+
+    /// Trainable parameters of the inner network.
+    pub fn param_count(&self) -> usize {
+        self.inner.param_count()
+    }
+
+    /// Sets the accumulation mode of all inner MAC layers.
+    pub fn set_accum_mode(&mut self, accum: super::AccumMode) {
+        self.inner.set_accum_mode(accum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{AccumMode, Conv2d, Relu};
+
+    fn block() -> Residual {
+        let mut inner = Network::new();
+        inner.push_conv(Conv2d::new(2, 2, 3, 1, 1, AccumMode::Linear).unwrap());
+        inner.push_relu(Relu::new());
+        Residual::new(inner)
+    }
+
+    #[test]
+    fn zero_inner_weights_give_identity() {
+        let mut b = block();
+        if let crate::layers::NetLayer::Conv(c) = &mut b.inner_mut().layers_mut()[0] {
+            c.weights_mut().iter_mut().for_each(|w| *w = 0.0);
+        }
+        let x = Tensor::from_vec(&[2, 4, 4], (0..32).map(|i| i as f32 / 32.0).collect()).unwrap();
+        let y = b.forward(&x).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn shape_changing_inner_rejected() {
+        let mut inner = Network::new();
+        inner.push_conv(Conv2d::new(2, 4, 3, 1, 1, AccumMode::Linear).unwrap());
+        let mut b = Residual::new(inner);
+        assert!(b.forward(&Tensor::zeros(&[2, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn gradient_includes_skip_path() {
+        let mut b = block();
+        let x = Tensor::from_vec(&[2, 4, 4], vec![0.3; 32]).unwrap();
+        let out = b.forward(&x).unwrap();
+        let grad_out = out.map(|_| 1.0);
+        let gin = b.backward(&grad_out).unwrap();
+        // Even with a dead inner path (ReLU off), the skip passes gradient 1.
+        for &g in gin.as_slice() {
+            assert!(g >= 1.0 - 1e-6, "skip gradient lost: {g}");
+        }
+    }
+
+    #[test]
+    fn numeric_gradcheck_through_block() {
+        let mut b = block();
+        let x = Tensor::from_vec(&[2, 4, 4], (0..32).map(|i| (i % 7) as f32 / 7.0).collect())
+            .unwrap();
+        let out = b.forward(&x).unwrap();
+        let grad_out = out.map(|v| 2.0 * v);
+        let gin = b.backward(&grad_out).unwrap();
+        let loss = |b: &mut Residual, inp: &Tensor| -> f32 {
+            b.forward(inp)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        let h = 1e-3;
+        for i in [0usize, 9, 20, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += h;
+            let lp = loss(&mut b, &xp);
+            xp.as_mut_slice()[i] -= 2.0 * h;
+            let lm = loss(&mut b, &xp);
+            let numeric = (lp - lm) / (2.0 * h);
+            assert!(
+                (gin.as_slice()[i] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "input {i}: analytic {} vs numeric {numeric}",
+                gin.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut b = block();
+        assert!(b.backward(&Tensor::zeros(&[2, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn param_count_counts_inner() {
+        assert_eq!(block().param_count(), 2 * 2 * 9);
+    }
+}

@@ -1,0 +1,33 @@
+//! Minimal CNN substrate for the ACOUSTIC reproduction.
+//!
+//! The paper needs three things from a neural-network stack:
+//!
+//! 1. **Trainable small CNNs** whose additions can be replaced by OR-style
+//!    saturating accumulation — exactly (`1 − Π(1 − vᵢ)`) or via the fast
+//!    approximation of Eq. (1) (`1 − e^{−Σ}`) — so that Table II accuracies
+//!    and the §II-D training-speedup claim can be reproduced
+//!    ([`layers`], [`train`], [`orsum`]).
+//! 2. **8-bit fixed-point quantization** as the accuracy baseline
+//!    ([`fixedpoint`]).
+//! 3. **Shape-accurate layer descriptors** of the evaluated networks
+//!    (LeNet-5, CIFAR-10 CNN, SVHN CNN, AlexNet, VGG-16, ResNet-18) for the
+//!    performance simulator ([`zoo`]).
+//!
+//! Everything is pure Rust, deterministic, and single-threaded.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fixedpoint;
+pub mod layers;
+pub mod loss;
+pub mod orsum;
+pub mod serialize;
+pub mod tensor;
+pub mod train;
+pub mod zoo;
+
+mod nn_error;
+
+pub use nn_error::NnError;
+pub use tensor::Tensor;

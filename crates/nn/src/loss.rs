@@ -1,0 +1,126 @@
+//! Softmax cross-entropy loss.
+
+use crate::{NnError, Tensor};
+
+/// Computes softmax probabilities of a logit vector (numerically stable).
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let max = logits
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.as_slice().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(logits.shape(), exps.into_iter().map(|e| e / sum).collect())
+        .expect("same shape")
+}
+
+/// Softmax cross-entropy loss and its gradient with respect to the logits.
+///
+/// Returns `(loss, grad)` where `grad = softmax(logits) − one_hot(label)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLabel`] if `label >= logits.len()`, and
+/// [`NnError::EmptyData`] for an empty logit vector.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::loss::cross_entropy;
+/// use acoustic_nn::Tensor;
+///
+/// # fn main() -> Result<(), acoustic_nn::NnError> {
+/// let logits = Tensor::from_vec(&[3], vec![2.0, 0.1, 0.1])?;
+/// let (loss, grad) = cross_entropy(&logits, 0)?;
+/// assert!(loss < 0.5);          // confident and correct ⇒ small loss
+/// assert!(grad.as_slice()[0] < 0.0); // pushes the true logit up
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_entropy(logits: &Tensor, label: usize) -> Result<(f32, Tensor), NnError> {
+    if logits.is_empty() {
+        return Err(NnError::EmptyData);
+    }
+    if label >= logits.len() {
+        return Err(NnError::InvalidLabel {
+            label,
+            classes: logits.len(),
+        });
+    }
+    let probs = softmax(logits);
+    let p = probs.as_slice()[label].max(1e-12);
+    let loss = -p.ln();
+    let mut grad = probs;
+    grad.as_mut_slice()[label] -= 1.0;
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let p = softmax(&t);
+        let sum: f32 = p.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p.as_slice().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&Tensor::from_vec(&[2], vec![1.0, 2.0]).unwrap());
+        let b = softmax(&Tensor::from_vec(&[2], vec![101.0, 102.0]).unwrap());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_k_loss() {
+        let t = Tensor::from_vec(&[10], vec![0.0; 10]).unwrap();
+        let (loss, _) = cross_entropy(&t, 3).unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let t = Tensor::from_vec(&[3], vec![0.5, -0.3, 0.9]).unwrap();
+        let (_, grad) = cross_entropy(&t, 1).unwrap();
+        let h = 1e-3;
+        for i in 0..3 {
+            let mut plus = t.clone();
+            plus.as_mut_slice()[i] += h;
+            let mut minus = t.clone();
+            minus.as_mut_slice()[i] -= h;
+            let numeric = (cross_entropy(&plus, 1).unwrap().0
+                - cross_entropy(&minus, 1).unwrap().0)
+                / (2.0 * h);
+            assert!(
+                (grad.as_slice()[i] - numeric).abs() < 1e-3,
+                "dim {i}: {} vs {numeric}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_label_rejected() {
+        let t = Tensor::from_vec(&[3], vec![0.0; 3]).unwrap();
+        assert!(matches!(
+            cross_entropy(&t, 3),
+            Err(NnError::InvalidLabel { label: 3, classes: 3 })
+        ));
+        assert!(cross_entropy(&Tensor::zeros(&[0]), 0).is_err());
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let t = Tensor::from_vec(&[5], vec![0.1, 0.9, -0.5, 0.3, 0.0]).unwrap();
+        let (_, grad) = cross_entropy(&t, 2).unwrap();
+        let sum: f32 = grad.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the CNN substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor had the wrong shape for the requested operation.
+    ShapeMismatch {
+        /// Shape the operation expected.
+        expected: Vec<usize>,
+        /// Shape it received.
+        actual: Vec<usize>,
+    },
+    /// A layer or network configuration parameter was invalid.
+    InvalidConfig(String),
+    /// Labels/classes were inconsistent with the network output.
+    InvalidLabel {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the network produces.
+        classes: usize,
+    },
+    /// An empty dataset or batch was supplied where data is required.
+    EmptyData,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::InvalidLabel { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::EmptyData => write!(f, "empty dataset or batch"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = NnError::ShapeMismatch {
+            expected: vec![1, 2],
+            actual: vec![3],
+        };
+        assert!(e.to_string().contains("[1, 2]"));
+        assert!(NnError::EmptyData.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! OR-style saturating accumulation in the value domain (§II-B, §II-D).
+//!
+//! Training for ACOUSTIC replaces every wide addition by OR-addition. Two
+//! forms are provided:
+//!
+//! * [`or_sum_exact`] — the true expectation `1 − Π(1 − vᵢ)`, whose backward
+//!   pass costs a product per operand (the "~15× longer training runtime"
+//!   the paper complains about),
+//! * [`or_sum_approx`] — Eq. (1): `1 − e^{−Σvᵢ}`, an activation-function-like
+//!   post-sum transform that restores fast GEMM-style training.
+//!
+//! Both operate on *non-negative* products (split-unipolar guarantees the
+//! positive and negative contributions are accumulated separately).
+
+pub use acoustic_core::accumulate::{or_approx, or_approx_derivative};
+
+/// Exact OR accumulation of non-negative values clamped to `[0, 1]`:
+/// `1 − Π(1 − min(vᵢ, 1))`.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::orsum::or_sum_exact;
+///
+/// let v = or_sum_exact(&[0.1, 0.1]);
+/// assert!((v - 0.19).abs() < 1e-6);
+/// ```
+pub fn or_sum_exact(values: &[f64]) -> f64 {
+    1.0 - values
+        .iter()
+        .map(|&v| 1.0 - v.clamp(0.0, 1.0))
+        .product::<f64>()
+}
+
+/// Gradient of [`or_sum_exact`] with respect to each input:
+/// `∂out/∂vⱼ = Π_{i≠j} (1 − vᵢ)`.
+///
+/// Inputs at or above 1.0 receive zero gradient (they are saturated).
+pub fn or_sum_exact_grad(values: &[f64]) -> Vec<f64> {
+    let clamped: Vec<f64> = values.iter().map(|&v| v.clamp(0.0, 1.0)).collect();
+    let n = clamped.len();
+    // Prefix/suffix products of (1 - v) for O(n) total gradient.
+    let mut prefix = vec![1.0; n + 1];
+    for i in 0..n {
+        prefix[i + 1] = prefix[i] * (1.0 - clamped[i]);
+    }
+    let mut suffix = vec![1.0; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = suffix[i + 1] * (1.0 - clamped[i]);
+    }
+    (0..n)
+        .map(|j| {
+            if values[j] >= 1.0 || values[j] < 0.0 {
+                0.0
+            } else {
+                prefix[j] * suffix[j + 1]
+            }
+        })
+        .collect()
+}
+
+/// Fast approximation of the OR sum (paper Eq. 1): `1 − e^{−s}` where `s` is
+/// the plain sum of inputs.
+pub fn or_sum_approx(values: &[f64]) -> f64 {
+    or_approx(values.iter().sum())
+}
+
+/// Relative error of the approximation against the exact OR for a given
+/// operand set (the paper reports < 5 % on real training runs).
+pub fn approx_relative_error(values: &[f64]) -> f64 {
+    let exact = or_sum_exact(values);
+    if exact.abs() < 1e-12 {
+        0.0
+    } else {
+        (or_sum_approx(values) - exact).abs() / exact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches_two_input_formula() {
+        assert!((or_sum_exact(&[0.3, 0.4]) - (0.3 + 0.4 - 0.12)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_saturates_at_one() {
+        assert_eq!(or_sum_exact(&[1.0, 0.5]), 1.0);
+        assert!(or_sum_exact(&vec![0.5; 100]) <= 1.0);
+    }
+
+    #[test]
+    fn exact_clamps_inputs() {
+        // Values beyond 1 behave as 1; negatives as 0.
+        assert_eq!(or_sum_exact(&[2.0]), 1.0);
+        assert_eq!(or_sum_exact(&[-1.0, 0.25]), 0.25);
+    }
+
+    #[test]
+    fn exact_grad_matches_numeric() {
+        let vals = [0.1, 0.3, 0.05, 0.2];
+        let grad = or_sum_exact_grad(&vals);
+        let h = 1e-6;
+        for j in 0..vals.len() {
+            let mut plus = vals;
+            plus[j] += h;
+            let mut minus = vals;
+            minus[j] -= h;
+            let numeric = (or_sum_exact(&plus) - or_sum_exact(&minus)) / (2.0 * h);
+            assert!(
+                (grad[j] - numeric).abs() < 1e-5,
+                "grad[{j}] {} vs numeric {numeric}",
+                grad[j]
+            );
+        }
+    }
+
+    #[test]
+    fn approx_within_five_percent_for_layer_scale_sums() {
+        // Operand profiles shaped like conv products: many small values.
+        for &n in &[9usize, 81, 576, 2304] {
+            for &s in &[0.2, 0.5, 1.0, 1.5] {
+                let vals = vec![s / n as f64; n];
+                let rel = approx_relative_error(&vals);
+                assert!(rel < 0.05, "n={n} s={s}: rel err {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn approx_degrades_gracefully_for_few_large_operands() {
+        // Two operands of 0.5: exact 0.75, approx 1-e^-1 = 0.632 (~16 %).
+        let rel = approx_relative_error(&[0.5, 0.5]);
+        assert!(rel > 0.05 && rel < 0.25);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(or_sum_exact(&[]), 0.0);
+        assert_eq!(or_sum_approx(&[]), 0.0);
+        assert!(or_sum_exact_grad(&[]).is_empty());
+    }
+}

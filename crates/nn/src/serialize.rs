@@ -1,0 +1,371 @@
+//! Save/load trained networks in a simple line-oriented text format.
+//!
+//! Training for Table II takes minutes; stochastic evaluation is cheap.
+//! Persisting trained networks lets the evaluation experiments re-run
+//! without retraining. The format is deliberately plain text (one header
+//! line per layer, one line of weights where applicable) — no external
+//! dependencies, stable across versions, diff-able.
+//!
+//! ```text
+//! acoustic-net v1
+//! conv 1 6 5 1 2 or_approx
+//! 0.125 -0.5 …          # out_c·in_c·k·k weights
+//! avgpool 2
+//! relu clamped
+//! residual 3            # wraps the next 3 layers
+//! …
+//! end
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::layers::{
+    AccumMode, AvgPool2d, Conv2d, Dense, MaxPool2d, NetLayer, Network, Relu, Residual,
+};
+use crate::NnError;
+
+const MAGIC: &str = "acoustic-net v1";
+
+/// Serialises a network to the text format.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::layers::{AccumMode, Dense, Network};
+/// use acoustic_nn::serialize::{to_text, from_text};
+///
+/// # fn main() -> Result<(), acoustic_nn::NnError> {
+/// let mut net = Network::new();
+/// net.push_dense(Dense::new(4, 2, AccumMode::OrApprox)?);
+/// let text = to_text(&net);
+/// let back = from_text(&text)?;
+/// assert_eq!(back.param_count(), net.param_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_text(net: &Network) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    write_layers(net.layers(), &mut out);
+    out.push_str("end\n");
+    out
+}
+
+fn write_layers(layers: &[NetLayer], out: &mut String) {
+    for layer in layers {
+        match layer {
+            NetLayer::Conv(c) => {
+                let _ = writeln!(
+                    out,
+                    "conv {} {} {} {} {} {}",
+                    c.in_channels(),
+                    c.out_channels(),
+                    c.kernel(),
+                    c.stride(),
+                    c.padding(),
+                    accum_name(c.accum_mode())
+                );
+                write_weights(c.weights(), out);
+            }
+            NetLayer::Dense(d) => {
+                let _ = writeln!(
+                    out,
+                    "dense {} {} {}",
+                    d.in_features(),
+                    d.out_features(),
+                    accum_name(d.accum_mode())
+                );
+                write_weights(d.weights(), out);
+            }
+            NetLayer::AvgPool(p) => {
+                let _ = writeln!(out, "avgpool {}", p.window());
+            }
+            NetLayer::MaxPool(p) => {
+                let _ = writeln!(out, "maxpool {}", p.window());
+            }
+            NetLayer::Relu(r) => {
+                let _ = writeln!(
+                    out,
+                    "relu {}",
+                    if r.max_value().is_some() { "clamped" } else { "plain" }
+                );
+            }
+            NetLayer::Flatten(_) => out.push_str("flatten\n"),
+            NetLayer::Residual(r) => {
+                let _ = writeln!(out, "residual {}", r.inner().layers().len());
+                write_layers(r.inner().layers(), out);
+            }
+        }
+    }
+}
+
+fn write_weights(weights: &[f32], out: &mut String) {
+    let mut first = true;
+    for w in weights {
+        if !first {
+            out.push(' ');
+        }
+        // `{:?}` on f32 prints a shortest round-trippable representation.
+        let _ = write!(out, "{w:?}");
+        first = false;
+    }
+    out.push('\n');
+}
+
+fn accum_name(a: AccumMode) -> &'static str {
+    match a {
+        AccumMode::Linear => "linear",
+        AccumMode::OrApprox => "or_approx",
+        AccumMode::OrExact => "or_exact",
+    }
+}
+
+fn parse_accum(s: &str) -> Result<AccumMode, NnError> {
+    match s {
+        "linear" => Ok(AccumMode::Linear),
+        "or_approx" => Ok(AccumMode::OrApprox),
+        "or_exact" => Ok(AccumMode::OrExact),
+        other => Err(NnError::InvalidConfig(format!(
+            "unknown accumulation mode '{other}'"
+        ))),
+    }
+}
+
+/// Parses a network from the text format.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] on malformed input (bad magic,
+/// unknown layer kinds, wrong weight counts).
+pub fn from_text(text: &str) -> Result<Network, NnError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(MAGIC) {
+        return Err(NnError::InvalidConfig(format!(
+            "missing '{MAGIC}' header"
+        )));
+    }
+    let mut lines = lines.peekable();
+    let layers = parse_layers(&mut lines, None)?;
+    match lines.next().map(str::trim) {
+        Some("end") | None => {}
+        Some(other) => {
+            return Err(NnError::InvalidConfig(format!(
+                "trailing content '{other}'"
+            )))
+        }
+    }
+    let mut net = Network::new();
+    for l in layers {
+        net.push(l);
+    }
+    Ok(net)
+}
+
+fn parse_layers<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut std::iter::Peekable<I>,
+    limit: Option<usize>,
+) -> Result<Vec<NetLayer>, NnError> {
+    let mut layers = Vec::new();
+    while limit.map_or(true, |n| layers.len() < n) {
+        let Some(&line) = lines.peek() else { break };
+        let line = line.trim();
+        if line == "end" {
+            break;
+        }
+        lines.next();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        let bad =
+            |what: &str| NnError::InvalidConfig(format!("malformed {what} line: '{line}'"));
+        match kind {
+            "conv" => {
+                let nums: Vec<usize> = parts
+                    .by_ref()
+                    .take(5)
+                    .map(|p| p.parse().map_err(|_| bad("conv")))
+                    .collect::<Result<_, _>>()?;
+                if nums.len() != 5 {
+                    return Err(bad("conv"));
+                }
+                let accum = parse_accum(parts.next().ok_or_else(|| bad("conv"))?)?;
+                let mut c = Conv2d::new(nums[0], nums[1], nums[2], nums[3], nums[4], accum)?;
+                read_weights(lines, c.weights_mut(), line)?;
+                layers.push(NetLayer::Conv(c));
+            }
+            "dense" => {
+                let nums: Vec<usize> = parts
+                    .by_ref()
+                    .take(2)
+                    .map(|p| p.parse().map_err(|_| bad("dense")))
+                    .collect::<Result<_, _>>()?;
+                if nums.len() != 2 {
+                    return Err(bad("dense"));
+                }
+                let accum = parse_accum(parts.next().ok_or_else(|| bad("dense"))?)?;
+                let mut d = Dense::new(nums[0], nums[1], accum)?;
+                read_weights(lines, d.weights_mut(), line)?;
+                layers.push(NetLayer::Dense(d));
+            }
+            "avgpool" => {
+                let w: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| bad("avgpool"))?;
+                layers.push(NetLayer::AvgPool(AvgPool2d::new(w)?));
+            }
+            "maxpool" => {
+                let w: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| bad("maxpool"))?;
+                layers.push(NetLayer::MaxPool(MaxPool2d::new(w)?));
+            }
+            "relu" => {
+                let r = match parts.next() {
+                    Some("clamped") => Relu::clamped(),
+                    Some("plain") | None => Relu::new(),
+                    Some(_) => return Err(bad("relu")),
+                };
+                layers.push(NetLayer::Relu(r));
+            }
+            "flatten" => layers.push(NetLayer::Flatten(Default::default())),
+            "residual" => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| bad("residual"))?;
+                let inner_layers = parse_layers(lines, Some(n))?;
+                if inner_layers.len() != n {
+                    return Err(NnError::InvalidConfig(format!(
+                        "residual expected {n} inner layers, found {}",
+                        inner_layers.len()
+                    )));
+                }
+                let mut inner = Network::new();
+                for l in inner_layers {
+                    inner.push(l);
+                }
+                layers.push(NetLayer::Residual(Residual::new(inner)));
+            }
+            other => {
+                return Err(NnError::InvalidConfig(format!(
+                    "unknown layer kind '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(layers)
+}
+
+fn read_weights<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut std::iter::Peekable<I>,
+    dst: &mut [f32],
+    header: &str,
+) -> Result<(), NnError> {
+    let line = lines.next().ok_or_else(|| {
+        NnError::InvalidConfig(format!("missing weight line after '{header}'"))
+    })?;
+    let mut count = 0usize;
+    for (slot, tok) in dst.iter_mut().zip(line.split_whitespace()) {
+        *slot = tok.parse().map_err(|_| {
+            NnError::InvalidConfig(format!("bad weight '{tok}' after '{header}'"))
+        })?;
+        count += 1;
+    }
+    if count != dst.len() || line.split_whitespace().count() != dst.len() {
+        return Err(NnError::InvalidConfig(format!(
+            "expected {} weights after '{header}', found {}",
+            dst.len(),
+            line.split_whitespace().count()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    fn sample_net() -> Network {
+        let mut net = Network::new();
+        net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
+        net.push_avg_pool(AvgPool2d::new(2).unwrap());
+        net.push_relu(Relu::clamped());
+        let mut inner = Network::new();
+        inner.push_conv(Conv2d::new(2, 2, 3, 1, 1, AccumMode::OrExact).unwrap());
+        inner.push_relu(Relu::new());
+        net.push_residual(inner);
+        net.push_max_pool(MaxPool2d::new(2).unwrap());
+        net.push_flatten();
+        net.push_dense(Dense::new(2 * 2 * 2, 3, AccumMode::Linear).unwrap());
+        net
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_weights() {
+        let mut net = sample_net();
+        let text = to_text(&net);
+        let mut back = from_text(&text).unwrap();
+        assert_eq!(back.param_count(), net.param_count());
+        // Bit-identical forward results.
+        let input = Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| i as f32 / 64.0).collect())
+            .unwrap();
+        let a = net.forward(&input).unwrap();
+        let b = back.forward(&input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_is_idempotent_text() {
+        let net = sample_net();
+        let t1 = to_text(&net);
+        let t2 = to_text(&from_text(&t1).unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(from_text("not a net\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_weight_count() {
+        let text = "acoustic-net v1\ndense 2 2 linear\n0.5 0.5 0.5\nend\n";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_layer() {
+        let text = "acoustic-net v1\nwarp 9\nend\n";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_accum_mode() {
+        let text = "acoustic-net v1\ndense 1 1 magic\n0.5\nend\n";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "acoustic-net v1\n# header comment\n\ndense 1 1 linear\n0.25\nend\n";
+        let net = from_text(text).unwrap();
+        assert_eq!(net.param_count(), 1);
+    }
+
+    #[test]
+    fn residual_nesting_roundtrips() {
+        let net = sample_net();
+        let back = from_text(&to_text(&net)).unwrap();
+        let has_residual = back
+            .layers()
+            .iter()
+            .any(|l| matches!(l, NetLayer::Residual(_)));
+        assert!(has_residual);
+    }
+}

@@ -1,0 +1,239 @@
+//! A small dense tensor over `f32`, shaped as `[channels, height, width]`
+//! for feature maps or `[n]` for vectors.
+//!
+//! This is intentionally minimal: just what im2col convolution, pooling and
+//! dense layers need, with validated shapes and deterministic
+//! initialisation.
+
+use crate::NnError;
+
+/// Dense row-major tensor of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use acoustic_nn::Tensor;
+///
+/// # fn main() -> Result<(), acoustic_nn::NnError> {
+/// let t = Tensor::zeros(&[2, 3, 3]);
+/// assert_eq!(t.len(), 18);
+/// assert_eq!(t.shape(), &[2, 3, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates an all-zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Wraps existing data in a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `data.len()` differs from the
+    /// product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self, NnError> {
+        let expect: usize = shape.iter().product();
+        if data.len() != expect {
+            return Err(NnError::ShapeMismatch {
+                expected: shape.to_vec(),
+                actual: vec![data.len()],
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads element `(c, y, x)` of a 3-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 3-D or the index is out of bounds.
+    pub fn at3(&self, c: usize, y: usize, x: usize) -> f32 {
+        assert_eq!(self.shape.len(), 3, "at3 requires a 3-D tensor");
+        let (_, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        self.data[(c * h + y) * w + x]
+    }
+
+    /// Writes element `(c, y, x)` of a 3-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 3-D or the index is out of bounds.
+    pub fn set3(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        assert_eq!(self.shape.len(), 3, "set3 requires a 3-D tensor");
+        let (_, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        self.data[(c * h + y) * w + x] = v;
+    }
+
+    /// Reshapes in place (same element count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if element counts differ.
+    pub fn reshape(&mut self, shape: &[usize]) -> Result<(), NnError> {
+        let expect: usize = shape.iter().product();
+        if expect != self.data.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: shape.to_vec(),
+                actual: self.shape.clone(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(())
+    }
+
+    /// Returns a flattened 1-D copy.
+    pub fn to_flat(&self) -> Tensor {
+        Tensor {
+            shape: vec![self.data.len()],
+            data: self.data.clone(),
+        }
+    }
+
+    /// Element-wise maximum with a scalar (used by ReLU).
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Index of the maximum element (ties broken toward the lower index).
+    ///
+    /// Returns 0 for an empty tensor.
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0
+    }
+
+    /// Fills the tensor with deterministic pseudo-random values uniform in
+    /// `[-scale, scale]` — a seeded He-style initialiser without external
+    /// RNG dependencies in the hot path.
+    pub fn fill_uniform(&mut self, seed: u64, scale: f32) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        for v in &mut self.data {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32 / (1u64 << 24) as f32;
+            *v = (2.0 * r - 1.0) * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_size() {
+        let t = Tensor::zeros(&[4, 5]);
+        assert_eq!(t.len(), 20);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(&[2, 2], vec![1.0; 3]).is_err());
+        let t = Tensor::from_vec(&[2, 2], vec![1.0; 4]).unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn at3_layout_is_chw() {
+        let mut t = Tensor::zeros(&[2, 2, 3]);
+        t.set3(1, 1, 2, 7.0);
+        assert_eq!(t.at3(1, 1, 2), 7.0);
+        // (c*h + y)*w + x = (1*2+1)*3+2 = 11
+        assert_eq!(t.as_slice()[11], 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        t.reshape(&[3, 2]).unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.as_slice()[5], 5.0);
+        assert!(t.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let t = Tensor::from_vec(&[4], vec![0.1, 0.9, 0.3, 0.9]).unwrap();
+        assert_eq!(t.argmax(), 1); // first of the tie
+        assert_eq!(Tensor::zeros(&[0]).argmax(), 0);
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]).unwrap();
+        let r = t.map(|v| v.max(0.0));
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn fill_uniform_is_deterministic_and_bounded() {
+        let mut a = Tensor::zeros(&[100]);
+        let mut b = Tensor::zeros(&[100]);
+        a.fill_uniform(42, 0.5);
+        b.fill_uniform(42, 0.5);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&v| v.abs() <= 0.5));
+        let mut c = Tensor::zeros(&[100]);
+        c.fill_uniform(43, 0.5);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,727 @@
+//! Shape-accurate descriptors of the networks the paper evaluates.
+//!
+//! The performance simulator (like the paper's own, §IV-A) "models execution
+//! time and data movement without simulating the actual computation" — it
+//! needs layer *shapes*, not weights. This module provides those shapes for
+//! LeNet-5, the CIFAR-10 CNN, the SVHN CNN, AlexNet, VGG-16, ResNet-18 and
+//! GoogLeNet, plus derived statistics (MACs, weight/activation footprints).
+
+use crate::NnError;
+
+/// Pooling attached to a convolution output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolShape {
+    /// Window side length.
+    pub window: usize,
+    /// Stride (= window for non-overlapping pooling).
+    pub stride: usize,
+    /// `true` for average pooling (ACOUSTIC's preference), `false` for max.
+    pub average: bool,
+}
+
+/// One layer of a network, with all dimensions resolved.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LayerShape {
+    /// A convolution (optionally followed by pooling).
+    Conv {
+        /// Layer name, e.g. `"conv1"`.
+        name: String,
+        /// Input channels.
+        in_c: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Output channels (kernel count).
+        out_c: usize,
+        /// Kernel side length.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding per side.
+        pad: usize,
+        /// Convolution output height (pre-pooling).
+        out_h: usize,
+        /// Convolution output width (pre-pooling).
+        out_w: usize,
+        /// Pooling applied to the output, if any.
+        pool: Option<PoolShape>,
+    },
+    /// A fully-connected layer.
+    Fc {
+        /// Layer name, e.g. `"fc6"`.
+        name: String,
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+impl LayerShape {
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerShape::Conv { name, .. } | LayerShape::Fc { name, .. } => name,
+        }
+    }
+
+    /// Multiply-accumulate operations of the layer (one MAC = one multiply +
+    /// one accumulate).
+    pub fn macs(&self) -> u64 {
+        match self {
+            LayerShape::Conv {
+                in_c,
+                out_c,
+                k,
+                out_h,
+                out_w,
+                ..
+            } => (out_h * out_w * out_c * in_c * k * k) as u64,
+            LayerShape::Fc {
+                in_features,
+                out_features,
+                ..
+            } => (in_features * out_features) as u64,
+        }
+    }
+
+    /// Number of weights.
+    pub fn weight_count(&self) -> u64 {
+        match self {
+            LayerShape::Conv { in_c, out_c, k, .. } => (out_c * in_c * k * k) as u64,
+            LayerShape::Fc {
+                in_features,
+                out_features,
+                ..
+            } => (in_features * out_features) as u64,
+        }
+    }
+
+    /// Number of output activations **after** any attached pooling.
+    pub fn output_count(&self) -> u64 {
+        match self {
+            LayerShape::Conv {
+                out_c,
+                out_h,
+                out_w,
+                pool,
+                ..
+            } => {
+                let (h, w) = pooled_hw(*out_h, *out_w, *pool);
+                (out_c * h * w) as u64
+            }
+            LayerShape::Fc { out_features, .. } => *out_features as u64,
+        }
+    }
+
+    /// Number of input activations.
+    pub fn input_count(&self) -> u64 {
+        match self {
+            LayerShape::Conv { in_c, in_h, in_w, .. } => (in_c * in_h * in_w) as u64,
+            LayerShape::Fc { in_features, .. } => *in_features as u64,
+        }
+    }
+
+    /// `true` for convolution layers.
+    pub fn is_conv(&self) -> bool {
+        matches!(self, LayerShape::Conv { .. })
+    }
+}
+
+fn pooled_hw(h: usize, w: usize, pool: Option<PoolShape>) -> (usize, usize) {
+    match pool {
+        None => (h, w),
+        Some(p) => (
+            (h - p.window) / p.stride + 1,
+            (w - p.window) / p.stride + 1,
+        ),
+    }
+}
+
+/// A whole network: name, input shape and resolved layers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NetworkShape {
+    name: String,
+    input: (usize, usize, usize),
+    layers: Vec<LayerShape>,
+}
+
+impl NetworkShape {
+    /// Assembles a network from already-resolved parts (used by tools that
+    /// derive networks from existing ones, e.g. conv-only slices).
+    pub fn from_parts(
+        name: String,
+        input: (usize, usize, usize),
+        layers: Vec<LayerShape>,
+    ) -> Self {
+        NetworkShape {
+            name,
+            input,
+            layers,
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input shape `(channels, height, width)`.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.input
+    }
+
+    /// The resolved layers.
+    pub fn layers(&self) -> &[LayerShape] {
+        &self.layers
+    }
+
+    /// Total MACs per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerShape::macs).sum()
+    }
+
+    /// Total weights.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(LayerShape::weight_count).sum()
+    }
+
+    /// MACs in convolution layers only (Table IV evaluates conv layers).
+    pub fn conv_macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.is_conv())
+            .map(LayerShape::macs)
+            .sum()
+    }
+
+    /// Largest single-layer activation footprint (inputs + outputs), in
+    /// values — sizes the activation scratchpads.
+    pub fn peak_activation_count(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.input_count() + l.output_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest single-layer weight count — sizes the weight buffer.
+    pub fn peak_weight_count(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(LayerShape::weight_count)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Incremental builder tracking spatial dimensions.
+#[derive(Debug, Clone)]
+pub struct NetworkShapeBuilder {
+    name: String,
+    input: (usize, usize, usize),
+    cur_c: usize,
+    cur_h: usize,
+    cur_w: usize,
+    layers: Vec<LayerShape>,
+    conv_idx: usize,
+    fc_idx: usize,
+}
+
+impl NetworkShapeBuilder {
+    /// Starts a network with input `(channels, height, width)`.
+    pub fn new(name: &str, c: usize, h: usize, w: usize) -> Self {
+        NetworkShapeBuilder {
+            name: name.to_string(),
+            input: (c, h, w),
+            cur_c: c,
+            cur_h: h,
+            cur_w: w,
+            layers: Vec::new(),
+            conv_idx: 0,
+            fc_idx: 0,
+        }
+    }
+
+    /// Adds a convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the kernel does not fit the
+    /// current feature map.
+    pub fn conv(mut self, out_c: usize, k: usize, stride: usize, pad: usize) -> Result<Self, NnError> {
+        if self.cur_h + 2 * pad < k || self.cur_w + 2 * pad < k {
+            return Err(NnError::InvalidConfig(format!(
+                "kernel {k} larger than padded input {}x{} in {}",
+                self.cur_h, self.cur_w, self.name
+            )));
+        }
+        let out_h = (self.cur_h + 2 * pad - k) / stride + 1;
+        let out_w = (self.cur_w + 2 * pad - k) / stride + 1;
+        self.conv_idx += 1;
+        self.layers.push(LayerShape::Conv {
+            name: format!("conv{}", self.conv_idx),
+            in_c: self.cur_c,
+            in_h: self.cur_h,
+            in_w: self.cur_w,
+            out_c,
+            k,
+            stride,
+            pad,
+            out_h,
+            out_w,
+            pool: None,
+        });
+        self.cur_c = out_c;
+        self.cur_h = out_h;
+        self.cur_w = out_w;
+        Ok(self)
+    }
+
+    /// Attaches pooling to the most recent convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if there is no preceding conv,
+    /// it already has pooling, or the window does not fit.
+    pub fn pool(mut self, window: usize, stride: usize, average: bool) -> Result<Self, NnError> {
+        let Some(LayerShape::Conv {
+            out_h, out_w, pool, ..
+        }) = self.layers.last_mut()
+        else {
+            return Err(NnError::InvalidConfig(
+                "pool must follow a convolution".into(),
+            ));
+        };
+        if pool.is_some() {
+            return Err(NnError::InvalidConfig(
+                "convolution already has pooling".into(),
+            ));
+        }
+        if *out_h < window || *out_w < window {
+            return Err(NnError::InvalidConfig(format!(
+                "pool window {window} larger than conv output {out_h}x{out_w}"
+            )));
+        }
+        *pool = Some(PoolShape {
+            window,
+            stride,
+            average,
+        });
+        let (h, w) = pooled_hw(*out_h, *out_w, *pool);
+        self.cur_h = h;
+        self.cur_w = w;
+        Ok(self)
+    }
+
+    /// Current tracked feature map as `(channels, height, width)`.
+    pub fn current_chw(&self) -> (usize, usize, usize) {
+        (self.cur_c, self.cur_h, self.cur_w)
+    }
+
+    /// Current tracked spatial dimensions `(height, width)`.
+    pub fn current_hw(&self) -> (usize, usize) {
+        (self.cur_h, self.cur_w)
+    }
+
+    /// Adds a same-padded stride-1 convolution *branch* at explicit input
+    /// dimensions without advancing the tracked shape — inception modules
+    /// run several branches over one input and concatenate the results
+    /// (advance the shape afterwards with [`NetworkShapeBuilder::set_current`]).
+    #[must_use]
+    pub fn inception_branch(
+        mut self,
+        in_c: usize,
+        h: usize,
+        w: usize,
+        out_c: usize,
+        k: usize,
+    ) -> Self {
+        self.conv_idx += 1;
+        self.layers.push(LayerShape::Conv {
+            name: format!("conv{}", self.conv_idx),
+            in_c,
+            in_h: h,
+            in_w: w,
+            out_c,
+            k,
+            stride: 1,
+            pad: k / 2,
+            out_h: h,
+            out_w: w,
+            pool: None,
+        });
+        self
+    }
+
+    /// Overrides the tracked feature-map shape (branch concatenation,
+    /// global pooling).
+    pub fn set_current(&mut self, c: usize, h: usize, w: usize) {
+        self.cur_c = c;
+        self.cur_h = h;
+        self.cur_w = w;
+    }
+
+    /// Collapses the feature map and adds a fully-connected layer.
+    pub fn fc(mut self, out_features: usize) -> Self {
+        let in_features = self.cur_c * self.cur_h * self.cur_w;
+        self.fc_idx += 1;
+        self.layers.push(LayerShape::Fc {
+            name: format!("fc{}", self.fc_idx),
+            in_features,
+            out_features,
+        });
+        self.cur_c = out_features;
+        self.cur_h = 1;
+        self.cur_w = 1;
+        self
+    }
+
+    /// Finalises the network.
+    pub fn build(self) -> NetworkShape {
+        NetworkShape {
+            name: self.name,
+            input: self.input,
+            layers: self.layers,
+        }
+    }
+}
+
+/// LeNet-5 on 28×28 grayscale digits (padded first conv, classic 6-16-120
+/// channel progression).
+pub fn lenet5() -> NetworkShape {
+    NetworkShapeBuilder::new("LeNet-5", 1, 28, 28)
+        .conv(6, 5, 1, 2)
+        .and_then(|b| b.pool(2, 2, true))
+        .and_then(|b| b.conv(16, 5, 1, 0))
+        .and_then(|b| b.pool(2, 2, true))
+        .map(|b| b.fc(120).fc(84).fc(10))
+        .expect("static architecture is valid")
+        .build()
+}
+
+/// The small CIFAR-10 CNN used in Tables II–IV: three 3×3 conv blocks with
+/// 2×2 average pooling, one hidden FC layer.
+pub fn cifar10_cnn() -> NetworkShape {
+    NetworkShapeBuilder::new("CIFAR-10 CNN", 3, 32, 32)
+        .conv(32, 3, 1, 1)
+        .and_then(|b| b.pool(2, 2, true))
+        .and_then(|b| b.conv(64, 3, 1, 1))
+        .and_then(|b| b.pool(2, 2, true))
+        .and_then(|b| b.conv(64, 3, 1, 1))
+        .and_then(|b| b.pool(2, 2, true))
+        .map(|b| b.fc(64).fc(10))
+        .expect("static architecture is valid")
+        .build()
+}
+
+/// The SVHN CNN of Table II — same topology as the CIFAR-10 CNN (32×32 RGB
+/// digit crops).
+pub fn svhn_cnn() -> NetworkShape {
+    let mut net = cifar10_cnn();
+    net.name = "SVHN CNN".to_string();
+    net
+}
+
+/// AlexNet on 227×227 ImageNet crops (ungrouped, torchvision-style shapes).
+pub fn alexnet() -> NetworkShape {
+    NetworkShapeBuilder::new("AlexNet", 3, 227, 227)
+        .conv(96, 11, 4, 0)
+        .and_then(|b| b.pool(3, 2, false))
+        .and_then(|b| b.conv(256, 5, 1, 2))
+        .and_then(|b| b.pool(3, 2, false))
+        .and_then(|b| b.conv(384, 3, 1, 1))
+        .and_then(|b| b.conv(384, 3, 1, 1))
+        .and_then(|b| b.conv(256, 3, 1, 1))
+        .and_then(|b| b.pool(3, 2, false))
+        .map(|b| b.fc(4096).fc(4096).fc(1000))
+        .expect("static architecture is valid")
+        .build()
+}
+
+/// VGG-16 on 224×224 ImageNet crops.
+pub fn vgg16() -> NetworkShape {
+    let blocks: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let mut b = NetworkShapeBuilder::new("VGG-16", 3, 224, 224);
+    for &(ch, reps) in blocks {
+        for r in 0..reps {
+            b = b.conv(ch, 3, 1, 1).expect("static architecture is valid");
+            if r == reps - 1 {
+                b = b.pool(2, 2, false).expect("static architecture is valid");
+            }
+        }
+    }
+    b.fc(4096).fc(4096).fc(1000).build()
+}
+
+/// ResNet-18 on 224×224 ImageNet crops. Residual additions are free in the
+/// counter domain and are not listed; 1×1 downsample convolutions are.
+pub fn resnet18() -> NetworkShape {
+    let mut b = NetworkShapeBuilder::new("ResNet-18", 3, 224, 224)
+        .conv(64, 7, 2, 3)
+        .and_then(|bb| bb.pool(2, 2, false))
+        .expect("static architecture is valid");
+    // (channels, first-block stride) per stage; two basic blocks per stage.
+    for &(ch, first_stride) in &[(64usize, 1usize), (128, 2), (256, 2), (512, 2)] {
+        for block in 0..2 {
+            let stride = if block == 0 { first_stride } else { 1 };
+            if block == 0 && first_stride == 2 {
+                // Downsample shortcut 1×1 conv runs on the block input.
+                // Listed before the main path for shape bookkeeping: the 3×3
+                // stride-2 conv below consumes the same input dims.
+                b = b
+                    .conv(ch, 3, stride, 1)
+                    .and_then(|bb| bb.conv(ch, 3, 1, 1))
+                    .expect("static architecture is valid");
+                // 1×1 shortcut: same output dims; account its MACs/weights.
+                let (in_c, in_h, in_w) = (ch / 2, b.cur_h * stride, b.cur_w * stride);
+                b.conv_idx += 1;
+                b.layers.push(LayerShape::Conv {
+                    name: format!("conv{}_ds", b.conv_idx),
+                    in_c,
+                    in_h,
+                    in_w,
+                    out_c: ch,
+                    k: 1,
+                    stride,
+                    pad: 0,
+                    out_h: b.cur_h,
+                    out_w: b.cur_w,
+                    pool: None,
+                });
+            } else {
+                b = b
+                    .conv(ch, 3, stride, 1)
+                    .and_then(|bb| bb.conv(ch, 3, 1, 1))
+                    .expect("static architecture is valid");
+            }
+        }
+    }
+    b = b.pool(7, 7, true).expect("static architecture is valid");
+    b.fc(1000).build()
+}
+
+/// GoogLeNet / Inception-v1 on 224×224 ImageNet crops — the other "newer
+/// CNN architecture" §III-B cites for its single small FC layer. Inception
+/// branches run as independent convolutions over the same input; since the
+/// performance model only needs per-layer shapes (MACs, weights, I/O), the
+/// four branches of each module are listed sequentially.
+pub fn googlenet() -> NetworkShape {
+    let mut b = NetworkShapeBuilder::new("GoogLeNet", 3, 224, 224)
+        .conv(64, 7, 2, 3)
+        .and_then(|bb| bb.pool(2, 2, false))
+        .and_then(|bb| bb.conv(64, 1, 1, 0))
+        .and_then(|bb| bb.conv(192, 3, 1, 1))
+        .and_then(|bb| bb.pool(2, 2, false))
+        .expect("static architecture is valid");
+
+    // (in_c, 1x1, 3x3-reduce, 3x3, 5x5-reduce, 5x5, pool-proj) per module;
+    // a trailing `true` marks a 2x2 pool after the module.
+    #[allow(clippy::type_complexity)]
+    let modules: &[(usize, [usize; 6], bool)] = &[
+        (192, [64, 96, 128, 16, 32, 32], false),   // 3a
+        (256, [128, 128, 192, 32, 96, 64], true),  // 3b + pool
+        (480, [192, 96, 208, 16, 48, 64], false),  // 4a
+        (512, [160, 112, 224, 24, 64, 64], false), // 4b
+        (512, [128, 128, 256, 24, 64, 64], false), // 4c
+        (512, [112, 144, 288, 32, 64, 64], false), // 4d
+        (528, [256, 160, 320, 32, 128, 128], true), // 4e + pool
+        (832, [256, 160, 320, 32, 128, 128], false), // 5a
+        (832, [384, 192, 384, 48, 128, 128], false), // 5b
+    ];
+    for &(in_c, m, pool_after) in modules {
+        let out_c = m[0] + m[2] + m[4] + m[5];
+        let (h, w) = (b.current_hw().0, b.current_hw().1);
+        // Branch shapes share the module input; emit them at the same dims
+        // by constructing each branch from the module input channel count.
+        b = b
+            .inception_branch(in_c, h, w, m[0], 1) // 1x1
+            .inception_branch(in_c, h, w, m[1], 1) // 3x3 reduce
+            .inception_branch(m[1], h, w, m[2], 3) // 3x3
+            .inception_branch(in_c, h, w, m[3], 1) // 5x5 reduce
+            .inception_branch(m[3], h, w, m[4], 5) // 5x5
+            .inception_branch(in_c, h, w, m[5], 1); // pool projection
+        b.set_current(out_c, h, w);
+        if pool_after {
+            let (_, hh, ww) = (out_c, h / 2, w / 2);
+            b.set_current(out_c, hh, ww);
+        }
+    }
+    // Global average pool to 1x1 then the single small FC layer.
+    let (c, _, _) = b.current_chw();
+    b.set_current(c, 1, 1);
+    b.fc(1000).build()
+}
+
+/// All the networks of Table III, in paper order.
+pub fn table3_networks() -> Vec<NetworkShape> {
+    vec![alexnet(), vgg16(), resnet18(), cifar10_cnn()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet5_shapes() {
+        let net = lenet5();
+        // conv1: 28x28x6 padded; pool -> 14; conv2 -> 10x10x16; pool -> 5.
+        let LayerShape::Fc { in_features, .. } = &net.layers()[2] else {
+            panic!("expected fc after two convs");
+        };
+        assert_eq!(*in_features, 16 * 5 * 5);
+        assert_eq!(net.layers().len(), 5);
+        // LeNet-5 parameter count is famously ~60k (we omit biases).
+        let w = net.total_weights();
+        assert!((50_000..70_000).contains(&(w as usize)), "weights {w}");
+    }
+
+    #[test]
+    fn alexnet_macs_in_published_range() {
+        let net = alexnet();
+        let g = net.total_macs() as f64 / 1e9;
+        // Ungrouped AlexNet is ~1.1 GMAC/inference.
+        assert!((0.6..1.6).contains(&g), "AlexNet GMACs {g}");
+        let w = net.total_weights() as f64 / 1e6;
+        assert!((55.0..65.0).contains(&w), "AlexNet Mweights {w}");
+    }
+
+    #[test]
+    fn vgg16_macs_in_published_range() {
+        let net = vgg16();
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((14.0..17.0).contains(&g), "VGG-16 GMACs {g}");
+        let w = net.total_weights() as f64 / 1e6;
+        assert!((130.0..145.0).contains(&w), "VGG-16 Mweights {w}");
+    }
+
+    #[test]
+    fn resnet18_macs_in_published_range() {
+        let net = resnet18();
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((1.5..2.2).contains(&g), "ResNet-18 GMACs {g}");
+        let w = net.total_weights() as f64 / 1e6;
+        assert!((10.5..13.0).contains(&w), "ResNet-18 Mweights {w}");
+    }
+
+    #[test]
+    fn resnet18_is_about_twice_alexnet_compute() {
+        // §IV-D: "Resnet-18 being ≈2x more computationally intensive" than
+        // AlexNet.
+        let ratio = resnet18().total_macs() as f64 / alexnet().total_macs() as f64;
+        assert!((1.4..2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn alexnet_fc_weights_dominate() {
+        // §IV-D: AlexNet latency is dominated by FC layers with tens of MB
+        // of weights.
+        let net = alexnet();
+        let fc_weights: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| !l.is_conv())
+            .map(LayerShape::weight_count)
+            .sum();
+        assert!(fc_weights > 50_000_000);
+        assert!(fc_weights as f64 / net.total_weights() as f64 > 0.9);
+    }
+
+    #[test]
+    fn resnet_fc_is_small() {
+        let net = resnet18();
+        let fc_weights: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| !l.is_conv())
+            .map(LayerShape::weight_count)
+            .sum();
+        assert_eq!(fc_weights, 512 * 1000);
+    }
+
+    #[test]
+    fn builder_rejects_oversized_kernel() {
+        assert!(NetworkShapeBuilder::new("x", 1, 4, 4).conv(8, 7, 1, 0).is_err());
+    }
+
+    #[test]
+    fn pool_requires_conv() {
+        assert!(NetworkShapeBuilder::new("x", 1, 8, 8)
+            .pool(2, 2, true)
+            .is_err());
+        let b = NetworkShapeBuilder::new("x", 1, 8, 8)
+            .conv(4, 3, 1, 1)
+            .unwrap()
+            .pool(2, 2, true)
+            .unwrap();
+        assert!(b.pool(2, 2, true).is_err());
+    }
+
+    #[test]
+    fn cifar_cnn_peaks_fit_lp_memories() {
+        // The LP variant's 600 KB activation memory should hold the CIFAR
+        // CNN's peak activations at 1 byte each.
+        let net = cifar10_cnn();
+        assert!(net.peak_activation_count() < 600 * 1024);
+        // And the 147.5 KB weight buffer holds its largest conv layer.
+        let biggest_conv = net
+            .layers()
+            .iter()
+            .filter(|l| l.is_conv())
+            .map(LayerShape::weight_count)
+            .max()
+            .unwrap();
+        assert!(biggest_conv < 147 * 1024);
+    }
+
+    #[test]
+    fn svhn_shares_cifar_topology() {
+        assert_eq!(svhn_cnn().total_macs(), cifar10_cnn().total_macs());
+        assert_eq!(svhn_cnn().name(), "SVHN CNN");
+    }
+
+    #[test]
+    fn output_counts_respect_pooling() {
+        let net = lenet5();
+        let LayerShape::Conv { .. } = &net.layers()[0] else {
+            panic!()
+        };
+        assert_eq!(net.layers()[0].output_count(), 6 * 14 * 14);
+    }
+}
+
+#[cfg(test)]
+mod googlenet_tests {
+    use super::*;
+
+    #[test]
+    fn googlenet_macs_in_published_range() {
+        // GoogLeNet is ~1.5 GMAC / ~6.8 M params (we omit the aux heads).
+        let net = googlenet();
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((1.0..2.2).contains(&g), "GoogLeNet GMACs {g}");
+        let m = net.total_weights() as f64 / 1e6;
+        assert!((4.0..9.0).contains(&m), "GoogLeNet Mweights {m}");
+    }
+
+    #[test]
+    fn googlenet_fc_is_single_and_small() {
+        // §III-B: "newer CNN architectures like ResNet or Inception rely on
+        // a single, relatively small FC layer".
+        let net = googlenet();
+        let fcs: Vec<_> = net.layers().iter().filter(|l| !l.is_conv()).collect();
+        assert_eq!(fcs.len(), 1);
+        assert_eq!(fcs[0].weight_count(), 1024 * 1000);
+    }
+
+    #[test]
+    fn inception_branch_does_not_advance_shape() {
+        let mut b = NetworkShapeBuilder::new("t", 8, 16, 16);
+        let before = b.current_chw();
+        b = b.inception_branch(8, 16, 16, 32, 3);
+        assert_eq!(b.current_chw(), before);
+        b.set_current(32, 16, 16);
+        assert_eq!(b.current_chw(), (32, 16, 16));
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use acoustic_core::CoreError;
+use acoustic_nn::NnError;
+
+/// Errors produced by the SC functional simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The simulation configuration is invalid.
+    InvalidConfig(String),
+    /// The network contains a layer arrangement the SC datapath cannot
+    /// execute (e.g. pooling window that does not divide the stream).
+    UnsupportedLayer(String),
+    /// An underlying stochastic-computing primitive failed.
+    Core(CoreError),
+    /// An underlying tensor/layer operation failed.
+    Nn(NnError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+            SimError::UnsupportedLayer(msg) => write!(f, "unsupported layer: {msg}"),
+            SimError::Core(e) => write!(f, "stochastic primitive error: {e}"),
+            SimError::Nn(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            SimError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<NnError> for SimError {
+    fn from(e: NnError) -> Self {
+        SimError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = SimError::from(CoreError::EmptyOperands);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("stochastic"));
+        let e = SimError::from(NnError::EmptyData);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

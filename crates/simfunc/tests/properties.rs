@@ -1,0 +1,85 @@
+//! Property-based tests of the SC functional simulator: the stochastic
+//! datapath must track the value-domain OR model within stream noise.
+
+use proptest::prelude::*;
+
+use acoustic_nn::layers::{AccumMode, Conv2d, Dense, Network, Relu};
+use acoustic_nn::orsum::or_sum_exact;
+use acoustic_nn::Tensor;
+use acoustic_simfunc::{ScSimulator, SimConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_sc_tracks_or_expectation(
+        acts in proptest::collection::vec(0.0f32..=1.0, 4),
+        raw_w in proptest::collection::vec(-0.5f32..=0.5, 4)
+    ) {
+        let mut net = Network::new();
+        let mut fc = Dense::new(4, 1, AccumMode::OrExact).unwrap();
+        fc.weights_mut().copy_from_slice(&raw_w);
+        net.push_dense(fc);
+
+        // Value-domain OR model of the same dot product (8-bit quantized).
+        let q = acoustic_nn::fixedpoint::Quantizer::signed_unit(8).unwrap();
+        let aq = acoustic_nn::fixedpoint::Quantizer::unsigned_unit(8).unwrap();
+        let pos: Vec<f64> = raw_w.iter().zip(&acts)
+            .filter(|(w, _)| **w > 0.0)
+            .map(|(w, a)| f64::from(q.quantize_value(*w)) * f64::from(aq.quantize_value(*a)))
+            .collect();
+        let neg: Vec<f64> = raw_w.iter().zip(&acts)
+            .filter(|(w, _)| **w < 0.0)
+            .map(|(w, a)| f64::from(-q.quantize_value(*w)) * f64::from(aq.quantize_value(*a)))
+            .collect();
+        let expect = or_sum_exact(&pos) - or_sum_exact(&neg);
+
+        let sim = ScSimulator::new(SimConfig::with_stream_len(8192).unwrap());
+        let input = Tensor::from_vec(&[4], acts).unwrap();
+        let out = sim.run(&net, &input).unwrap();
+        prop_assert!(
+            (f64::from(out.as_slice()[0]) - expect).abs() < 0.06,
+            "sc {} vs model {expect}", out.as_slice()[0]
+        );
+    }
+
+    #[test]
+    fn outputs_always_in_representable_range(
+        acts in proptest::collection::vec(0.0f32..=1.0, 16)
+    ) {
+        // Whatever the weights, a single-OR-group datapath output decodes
+        // into [-1, 1] and post-ReLU activations into [0, 1].
+        let mut net = Network::new();
+        net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
+        net.push_relu(Relu::clamped());
+        let sim = ScSimulator::new(SimConfig::with_stream_len(128).unwrap());
+        let input = Tensor::from_vec(&[1, 4, 4], acts).unwrap();
+        let out = sim.run(&net, &input).unwrap();
+        prop_assert!(out.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        acts in proptest::collection::vec(0.0f32..=1.0, 16),
+        stream_pow in 6u32..=9
+    ) {
+        let mut net = Network::new();
+        net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
+        let sim = ScSimulator::new(
+            SimConfig::with_stream_len(1 << stream_pow).unwrap(),
+        );
+        let input = Tensor::from_vec(&[1, 4, 4], acts).unwrap();
+        let a = sim.run(&net, &input).unwrap();
+        let b = sim.run(&net, &input).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output(seed_stream in 6u32..=8) {
+        let mut net = Network::new();
+        net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
+        let sim = ScSimulator::new(SimConfig::with_stream_len(1 << seed_stream).unwrap());
+        let out = sim.run(&net, &Tensor::zeros(&[1, 4, 4])).unwrap();
+        prop_assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Hand-written ISA programs: assemble Table I instructions, run them on
+//! the performance simulator, and inspect the distributed-control overlap
+//! (§III-C) — the "programmable accelerator" side of ACOUSTIC that
+//! network-specific SC ASICs lack.
+//!
+//! Run with: `cargo run --release --example assemble`
+
+use acoustic::arch::config::ArchConfig;
+use acoustic::arch::perf::PerfSimulator;
+use acoustic::arch::program::Program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A miniature layer, written by hand: load weights, then per kernel
+    // batch load SNG buffers and run pooled MAC passes while the DMA
+    // prefetches the next batch in the background.
+    let source = "\
+# miniature pooled conv layer: 2 kernel batches x 4 position groups
+WGTLD 4096            # first weight batch
+BARR DMA
+FORK 2
+  WGTLD 4096          # prefetch next batch during compute
+  WGTRNG 9216
+  FORR 4
+    ACTRNG 128
+    FORP 4            # 2x2 computation-skipped pooling segments
+      MAC 64
+    ENDP
+    BARR MAC|ACTRNG
+  ENDR
+  BARR DMA|MAC        # batch boundary: compute AND prefetch done
+ENDK
+CNTST 1024
+BARR DMA|MAC|ACTRNG|WGTRNG|CNT
+";
+    let program = Program::parse(source)?;
+    println!("== Assembled program ({} instructions) ==\n", program.len());
+    println!("{program}");
+
+    let cfg = ArchConfig::lp();
+    let sim = PerfSimulator::new(cfg.clone())?;
+    let report = sim.run(&program)?;
+    println!("== Simulation on {} @ {:.0} MHz ==", cfg.name, cfg.clock_hz / 1e6);
+    println!("total cycles: {}", report.total_cycles);
+    println!("latency:      {:.2} µs", report.seconds(&cfg) * 1e6);
+    println!("MAC passes:   {}", report.mac_passes);
+    println!("DRAM read:    {} bytes", report.dram_read_bytes);
+    println!("\nper-module occupancy:");
+    for (module, activity) in &report.activity {
+        println!(
+            "  {module:<8} {:>7} busy cycles ({:>5.1}%), {} instructions",
+            activity.busy_cycles,
+            100.0 * activity.busy_cycles as f64 / report.total_cycles as f64,
+            activity.instructions
+        );
+    }
+
+    // Execution timeline (traced run): first instructions per module.
+    let (_, events) = sim.run_traced(&program)?;
+    println!("\n== Execution timeline (first 14 events) ==");
+    println!("{:>8} {:>8}  {:<8} {}", "start", "end", "module", "instr");
+    for e in events.iter().take(14) {
+        println!(
+            "{:>8} {:>8}  {:<8} {}",
+            e.start,
+            e.end,
+            e.module.to_string(),
+            e.label
+        );
+    }
+
+    // Show that the text format round-trips (the assembler property).
+    let reparsed = Program::parse(&program.to_string())?;
+    assert_eq!(reparsed, program);
+    println!("\nassembler round-trip: OK");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Edge inference end-to-end: train a digit CNN with OR-aware training,
+//! run it bit-exactly on the stochastic datapath, and estimate its speed
+//! and energy on the ULP accelerator — the paper's motivating use case
+//! ("learning at the edge", MNIST-class workloads on milliwatt budgets).
+//!
+//! Run with: `cargo run --release --example edge_inference`
+
+use acoustic::arch::area::area_breakdown;
+use acoustic::arch::config::ArchConfig;
+use acoustic::arch::estimate::estimate_conv_only;
+use acoustic::arch::power::peak_power_w;
+use acoustic::datasets::mnist_like;
+use acoustic::nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic::nn::train::{evaluate, train, SgdConfig};
+use acoustic::nn::zoo::lenet5 as lenet5_shape;
+use acoustic::simfunc::{ScSimulator, SimConfig};
+
+fn build_digit_cnn() -> Result<Network, acoustic::nn::NnError> {
+    let accum = AccumMode::OrApprox; // ACOUSTIC-style OR-aware training
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 8, 3, 1, 1, accum)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(8, 16, 3, 1, 1, accum)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(16 * 7 * 7, 10, accum)?);
+    Ok(net)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Training a digit CNN with OR-aware training (§II-D) ==");
+    let data = mnist_like(600, 150, 42);
+    let mut net = build_digit_cnn()?;
+    let cfg = SgdConfig {
+        lr: 0.08,
+        momentum: 0.9,
+        batch_size: 16,
+    };
+    for (i, s) in train(&mut net, &data.train, &cfg, 6)?.iter().enumerate() {
+        println!(
+            "  epoch {i}: loss {:.3}, train accuracy {:.1}%",
+            s.mean_loss,
+            100.0 * s.accuracy
+        );
+    }
+    let float_acc = evaluate(&mut net, &data.test)?;
+    println!("float test accuracy: {:.1}%", 100.0 * float_acc);
+
+    println!("\n== Bit-exact stochastic inference at two stream lengths ==");
+    for stream in [64usize, 128] {
+        let sim = ScSimulator::new(SimConfig::with_stream_len(stream)?);
+        let acc = sim.evaluate(&net, &data.test)?;
+        println!("  {stream:>4}-bit streams: {:.1}% accuracy", 100.0 * acc);
+    }
+
+    println!("\n== Deploying on the ULP accelerator (Table IV class) ==");
+    let ulp = ArchConfig::ulp();
+    let est = estimate_conv_only(&lenet5_shape(), &ulp)?;
+    println!(
+        "  LeNet-5 conv layers: {:.0} frames/s, {:.1} nJ/frame on-chip",
+        est.frames_per_s,
+        est.onchip_j * 1e9
+    );
+    println!(
+        "  accelerator: {:.2} mm², {:.2} mW peak at {:.0} MHz",
+        area_breakdown(&ulp).total(),
+        peak_power_w(&ulp) * 1e3,
+        ulp.clock_hz / 1e6
+    );
+    println!("  per-layer latency:");
+    for l in &est.layers {
+        println!("    {:8} {:>8} cycles", l.name, l.cycles);
+    }
+    Ok(())
+}

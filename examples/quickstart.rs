@@ -1,0 +1,97 @@
+//! Quickstart: the stochastic-computing primitives, bottom-up.
+//!
+//! Walks through every §II optimization of the paper on small examples:
+//! stream generation, AND multiplication, OR accumulation, the split-
+//! unipolar two-phase MAC of Fig. 1, and computation-skipping pooling.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use acoustic::core::counter::Phase;
+use acoustic::core::pooling::skip_pool_concat;
+use acoustic::core::{
+    gates, or_accumulate, or_expected, Lfsr, Sng, SngBank, SplitUnipolarMac, SplitWeight,
+    UpDownCounter,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 2048;
+
+    println!("== 1. Stochastic number generation ==");
+    let mut sng = Sng::new(Lfsr::maximal(16, 0xACE1)?, 16);
+    let a = sng.generate(0.5, n)?;
+    println!("encoded 0.50 as a {n}-bit stream; decoded {:.4}", a.value());
+
+    println!("\n== 2. Single-gate multiplication (AND) ==");
+    let mut sng_b = Sng::new(Lfsr::maximal(16, 0x1D2C)?, 16);
+    let b = sng_b.generate(0.5, n)?;
+    let prod = gates::and_mul(&a, &b)?;
+    println!("0.50 x 0.50 = {:.4} (ideal 0.25)", prod.value());
+
+    println!("\n== 3. OR-based scale-free accumulation (§II-B) ==");
+    let values = [0.05, 0.1, 0.15, 0.08];
+    let streams: Vec<_> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let mut s = Sng::new(Lfsr::maximal(16, 0x2000 + i as u32 * 131).unwrap(), 16);
+            s.generate(v, n).unwrap()
+        })
+        .collect();
+    let acc = or_accumulate(&streams)?;
+    println!(
+        "OR({values:?}) decoded {:.4}; exact OR expectation {:.4}; plain sum {:.4}",
+        acc.value(),
+        or_expected(&values),
+        values.iter().sum::<f64>()
+    );
+
+    // Hardware shares one RNG across many SNGs: a bank generates maximally
+    // correlated streams from a single LFSR.
+    let mut bank = SngBank::new(16, 0x7777)?;
+    let shared = bank.generate_many(&[0.25, 0.75], n)?;
+    println!(
+        "shared-RNG bank: streams of 0.25 / 0.75 decode {:.3} / {:.3}, SCC {:.2}",
+        shared[0].value(),
+        shared[1].value(),
+        shared[0].scc(&shared[1])?
+    );
+
+    println!("\n== 4. Split-unipolar two-phase MAC (Fig. 1) ==");
+    let weights = vec![SplitWeight::from_real(0.75)?, SplitWeight::from_real(-0.5)?];
+    let mac = SplitUnipolarMac::new(n, 96);
+    let out = mac.execute(&[0.5, 0.25], &weights, 0xACE1, 0x1D2C)?;
+    println!(
+        "(0.75 x 0.5) + (-0.5 x 0.25) decoded {:.4} (ideal 0.25, counter {})",
+        out.value, out.count
+    );
+
+    println!("\n== 5. Computation-skipping average pooling (§II-C) ==");
+    let pool_vals = [0.8, 0.4, 0.2, 0.6];
+    let short: Vec<_> = pool_vals
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let mut s = Sng::new(Lfsr::maximal(16, 0x3000 + i as u32 * 131).unwrap(), 16);
+            s.generate(v, n / 4).unwrap()
+        })
+        .collect();
+    let pooled = skip_pool_concat(&short)?;
+    println!(
+        "pooled {pool_vals:?} with 4x less computation: {:.4} (ideal mean {:.4})",
+        pooled.value(),
+        pool_vals.iter().sum::<f64>() / 4.0
+    );
+
+    println!("\n== 6. Counter conversion + ReLU (§II-A) ==");
+    let mut counter = UpDownCounter::new();
+    counter.accumulate(&prod, Phase::Positive)?;
+    counter.accumulate(&acc, Phase::Negative)?;
+    println!(
+        "count {} -> ReLU {} -> value {:.4}",
+        counter.count(),
+        counter.relu(),
+        counter.to_value(n)
+    );
+
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # ACOUSTIC — or-unipolar skipped stochastic computing for CNNs
+//!
+//! A full reproduction of *“ACOUSTIC: Accelerating Convolutional Neural
+//! Networks through Or-Unipolar Skipped Stochastic Computing”* (DATE 2020)
+//! as a Rust workspace. This facade crate re-exports the member crates:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `acoustic-core` | SC primitives: bitstreams, LFSRs, SNGs, split-unipolar MACs, OR accumulation, skipped pooling |
+//! | [`nn`] | `acoustic-nn` | CNN substrate: tensors, layers, OR-aware training, 8-bit quantization, model zoo |
+//! | [`datasets`] | `acoustic-datasets` | Synthetic MNIST / CIFAR-10 / SVHN stand-ins |
+//! | [`simfunc`] | `acoustic-simfunc` | Bit-exact SC functional simulator |
+//! | [`arch`] | `acoustic-arch` | ISA, assembler, compiler, performance simulator, area/power models |
+//! | [`baselines`] | `acoustic-baselines` | Eyeriss / SCOPE / MDL-CNN / Conv-RAM and MUX/APC comparators |
+//!
+//! # Quickstart: one stochastic dot product, two ways
+//!
+//! ```
+//! use acoustic::core::{SplitUnipolarMac, SplitWeight};
+//!
+//! # fn main() -> Result<(), acoustic::core::CoreError> {
+//! // The Fig. 1 worked example: weights {0.75, −0.5}, activations
+//! // {0.5, 0.25} → 0.375 − 0.125 = 0.25.
+//! let weights = vec![
+//!     SplitWeight::from_real(0.75)?,
+//!     SplitWeight::from_real(-0.5)?,
+//! ];
+//! let mac = SplitUnipolarMac::new(4096, 96);
+//! let out = mac.execute(&[0.5, 0.25], &weights, 0xACE1, 0x1D2C)?;
+//! assert!((out.value - 0.25).abs() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Estimating the accelerator
+//!
+//! ```
+//! use acoustic::arch::config::ArchConfig;
+//! use acoustic::arch::estimate::estimate;
+//! use acoustic::nn::zoo::cifar10_cnn;
+//!
+//! # fn main() -> Result<(), acoustic::arch::ArchError> {
+//! let e = estimate(&cifar10_cnn(), &ArchConfig::lp())?;
+//! println!("{:.0} frames/s at {:.2} µJ/frame", e.frames_per_s, e.onchip_j * 1e6);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the per-table/figure reproduction harness.
+
+pub use acoustic_arch as arch;
+pub use acoustic_baselines as baselines;
+pub use acoustic_core as core;
+pub use acoustic_datasets as datasets;
+pub use acoustic_nn as nn;
+pub use acoustic_simfunc as simfunc;

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: the full pipeline from training through
+//! stochastic functional simulation to architecture estimation.
+
+use acoustic::arch::compile::compile;
+use acoustic::arch::config::ArchConfig;
+use acoustic::arch::estimate::estimate;
+use acoustic::arch::perf::PerfSimulator;
+use acoustic::datasets::mnist_like;
+use acoustic::nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic::nn::train::{evaluate, train, SgdConfig};
+use acoustic::nn::zoo;
+use acoustic::simfunc::{ScSimulator, SimConfig};
+
+fn small_digit_net(accum: AccumMode) -> Network {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 6, 3, 1, 1, accum).unwrap());
+    net.push_avg_pool(AvgPool2d::new(2).unwrap());
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(6 * 14 * 14, 10, accum).unwrap());
+    net
+}
+
+#[test]
+fn train_then_stochastic_inference_tracks_float_accuracy() {
+    // Train a small OR-aware CNN, then check the bit-level stochastic
+    // simulation reaches comparable accuracy — the Table II mechanism.
+    let data = mnist_like(400, 100, 7);
+    let mut net = small_digit_net(AccumMode::OrApprox);
+    let cfg = SgdConfig {
+        lr: 0.1,
+        momentum: 0.9,
+        batch_size: 16,
+    };
+    train(&mut net, &data.train, &cfg, 5).unwrap();
+    let float_acc = evaluate(&mut net, &data.test).unwrap();
+    assert!(float_acc > 0.5, "float accuracy only {float_acc}");
+
+    let sim = ScSimulator::new(SimConfig::with_stream_len(128).unwrap());
+    let sc_acc = sim.evaluate(&net, &data.test).unwrap();
+    assert!(
+        sc_acc > float_acc - 0.2,
+        "SC accuracy {sc_acc} fell too far below float {float_acc}"
+    );
+}
+
+#[test]
+fn longer_streams_close_the_accuracy_gap() {
+    // The paper's stream-length story: SC accuracy approaches the trained
+    // model as streams lengthen (Table II: 512 beats 256).
+    let data = mnist_like(300, 80, 11);
+    let mut net = small_digit_net(AccumMode::OrApprox);
+    let cfg = SgdConfig {
+        lr: 0.1,
+        momentum: 0.9,
+        batch_size: 16,
+    };
+    train(&mut net, &data.train, &cfg, 5).unwrap();
+    let float_acc = evaluate(&mut net, &data.test).unwrap();
+
+    let acc_at = |stream: usize| {
+        ScSimulator::new(SimConfig::with_stream_len(stream).unwrap())
+            .evaluate(&net, &data.test)
+            .unwrap()
+    };
+    let short = acc_at(32);
+    let long = acc_at(256);
+    // Longer streams may only help (within noise of a small test set).
+    assert!(
+        long >= short - 0.05,
+        "long-stream accuracy {long} worse than short {short}"
+    );
+    assert!(
+        (float_acc - long).abs() <= 0.15,
+        "long-stream {long} vs float {float_acc}"
+    );
+}
+
+#[test]
+fn whole_zoo_compiles_and_estimates_on_lp() {
+    let cfg = ArchConfig::lp();
+    for net in [
+        zoo::lenet5(),
+        zoo::cifar10_cnn(),
+        zoo::svhn_cnn(),
+        zoo::alexnet(),
+        zoo::vgg16(),
+        zoo::resnet18(),
+    ] {
+        let est = estimate(&net, &cfg)
+            .unwrap_or_else(|e| panic!("{} failed to estimate: {e}", net.name()));
+        assert!(est.frames_per_s > 0.0);
+        assert!(est.onchip_j > 0.0);
+        assert_eq!(est.layers.len(), net.layers().len());
+    }
+}
+
+#[test]
+fn compiled_programs_roundtrip_and_simulate_on_both_variants() {
+    for cfg in [ArchConfig::lp(), ArchConfig::ulp()] {
+        let compiled = compile(&zoo::lenet5(), &cfg).unwrap();
+        let program = compiled.to_program().unwrap();
+        let reparsed =
+            acoustic::arch::program::Program::parse(&program.to_string()).unwrap();
+        assert_eq!(reparsed, program);
+        let report = PerfSimulator::new(cfg.clone()).unwrap().run(&program).unwrap();
+        assert!(report.total_cycles > 0);
+    }
+}
+
+#[test]
+fn lp_dominates_ulp_in_speed_ulp_in_area() {
+    let net = zoo::cifar10_cnn();
+    let lp_est = estimate(&net, &ArchConfig::lp()).unwrap();
+    let ulp_est = estimate(&net, &ArchConfig::ulp()).unwrap();
+    assert!(lp_est.frames_per_s > ulp_est.frames_per_s);
+    let lp_area = acoustic::arch::area::area_breakdown(&ArchConfig::lp()).total();
+    let ulp_area = acoustic::arch::area::area_breakdown(&ArchConfig::ulp()).total();
+    assert!(ulp_area < lp_area / 20.0);
+}
+
+#[test]
+fn fixed_point_baseline_beats_chance_after_quantization() {
+    let data = mnist_like(400, 100, 13);
+    let mut net = small_digit_net(AccumMode::Linear);
+    let cfg = SgdConfig {
+        lr: 0.1,
+        momentum: 0.9,
+        batch_size: 16,
+    };
+    train(&mut net, &data.train, &cfg, 5).unwrap();
+    // Quantize to 8 bits, as the Table II baseline does.
+    let q = acoustic::nn::fixedpoint::Quantizer::signed_unit(8).unwrap();
+    for layer in net.layers_mut() {
+        match layer {
+            acoustic::nn::layers::NetLayer::Conv(c) => {
+                c.weights_mut().iter_mut().for_each(|w| *w = q.quantize_value(*w));
+            }
+            acoustic::nn::layers::NetLayer::Dense(d) => {
+                d.weights_mut().iter_mut().for_each(|w| *w = q.quantize_value(*w));
+            }
+            _ => {}
+        }
+    }
+    let acc = evaluate(&mut net, &data.test).unwrap();
+    assert!(acc > 0.5, "8-bit accuracy only {acc}");
+}

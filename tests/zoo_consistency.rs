@@ -1,0 +1,120 @@
+//! Consistency checks across the three representations of each network:
+//! the trainable `Network`, the shape-zoo descriptor, and the compiled
+//! ISA program.
+
+use acoustic::arch::compile::compile;
+use acoustic::arch::config::ArchConfig;
+use acoustic::arch::isa::Module;
+use acoustic::arch::perf::PerfSimulator;
+use acoustic::nn::zoo::{self, LayerShape, NetworkShape};
+
+fn all_networks() -> Vec<NetworkShape> {
+    vec![
+        zoo::lenet5(),
+        zoo::cifar10_cnn(),
+        zoo::svhn_cnn(),
+        zoo::alexnet(),
+        zoo::vgg16(),
+        zoo::resnet18(),
+        zoo::googlenet(),
+    ]
+}
+
+#[test]
+fn every_network_compiles_on_both_variants() {
+    for cfg in [ArchConfig::lp(), ArchConfig::ulp()] {
+        for net in all_networks() {
+            let compiled = compile(&net, &cfg)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", net.name(), cfg.name));
+            assert_eq!(compiled.layers.len(), net.layers().len());
+            assert!(compiled.total_passes() > 0);
+        }
+    }
+}
+
+#[test]
+fn compiled_weight_traffic_equals_shape_weights() {
+    let cfg = ArchConfig::lp();
+    for net in all_networks() {
+        let compiled = compile(&net, &cfg).unwrap();
+        assert_eq!(
+            compiled.total_weight_bytes(),
+            net.total_weights(),
+            "{}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn mac_busy_cycles_track_passes_exactly() {
+    let cfg = ArchConfig::lp();
+    let sim = PerfSimulator::new(cfg.clone()).unwrap();
+    for net in all_networks() {
+        let compiled = compile(&net, &cfg).unwrap();
+        let report = sim.run(&compiled.to_program().unwrap()).unwrap();
+        assert_eq!(
+            report.busy(Module::Mac),
+            compiled.total_passes() * cfg.stream_len as u64,
+            "{}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn conv_macs_dominate_modern_networks() {
+    // §III-B's argument for tolerating bad FC utilisation: modern networks
+    // are conv-dominated.
+    for net in [zoo::resnet18(), zoo::googlenet(), zoo::vgg16()] {
+        let conv_share = net.conv_macs() as f64 / net.total_macs() as f64;
+        assert!(
+            conv_share > 0.95,
+            "{}: conv share only {conv_share}",
+            net.name()
+        );
+    }
+    // AlexNet is the counterexample that motivates the batching extension.
+    let alex = zoo::alexnet();
+    let fc_share = 1.0 - alex.conv_macs() as f64 / alex.total_macs() as f64;
+    assert!(fc_share > 0.05);
+}
+
+#[test]
+fn pooled_layers_shrink_outputs() {
+    for net in all_networks() {
+        for layer in net.layers() {
+            if let LayerShape::Conv {
+                out_c,
+                out_h,
+                out_w,
+                pool: Some(_),
+                ..
+            } = layer
+            {
+                assert!(
+                    layer.output_count() < (out_c * out_h * out_w) as u64,
+                    "{}/{} did not shrink",
+                    net.name(),
+                    layer.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn peak_memories_are_consistent_with_lp_sizing() {
+    // §III-D: the LP activation memory (600 KB) processes "most commonly
+    // used CNNs without ever having to offload activations off-chip" —
+    // true for every zoo network except VGG-16's giant early feature maps.
+    let lp = ArchConfig::lp();
+    for net in all_networks() {
+        let fits = net.peak_activation_count() <= lp.act_mem_bytes;
+        match net.name() {
+            "VGG-16" => assert!(!fits, "VGG-16 should exceed 600 KB"),
+            "AlexNet" | "GoogLeNet" | "ResNet-18" => { /* borderline; either way */ }
+            _ => assert!(fits, "{} should fit 600 KB", net.name()),
+        }
+    }
+}
