@@ -248,8 +248,7 @@ fn compile_conv(
 
     // Lane utilisation: products actually computed vs lanes × passes.
     let computed_macs = (positions * out_c * fan_in) as f64;
-    let utilization =
-        (computed_macs / (passes as f64 * cfg.total_lanes() as f64)).min(1.0);
+    let utilization = (computed_macs / (passes as f64 * cfg.total_lanes() as f64)).min(1.0);
 
     let weight_bytes = shape.weight_count();
     let resident = all_resident || weight_bytes <= cfg.weight_mem_bytes / 2;
@@ -621,10 +620,7 @@ mod spill_tests {
             .run(&compiled.to_program_steady_state().unwrap())
             .unwrap();
         // Reads cover weights + input + spill reloads.
-        assert!(
-            report.dram_read_bytes
-                > compiled.total_weight_bytes() + spill_total / 2
-        );
+        assert!(report.dram_read_bytes > compiled.total_weight_bytes() + spill_total / 2);
         assert!(report.dram_write_bytes >= spill_total / 2);
     }
 }

@@ -105,8 +105,7 @@ fn estimate_inner(net: &NetworkShape, cfg: &ArchConfig) -> Result<NetworkEstimat
     let perf = sim.run(&program)?;
 
     // Per-layer spans from a fragment run over the body programs.
-    let bodies: Vec<&crate::program::Program> =
-        compiled.layers.iter().map(|l| &l.body).collect();
+    let bodies: Vec<&crate::program::Program> = compiled.layers.iter().map(|l| &l.body).collect();
     let (spans, _) = sim.run_fragments(&bodies)?;
     let layers = compiled
         .layers
@@ -127,7 +126,11 @@ fn estimate_inner(net: &NetworkShape, cfg: &ArchConfig) -> Result<NetworkEstimat
         network: net.name().to_string(),
         config: cfg.name.clone(),
         latency_s,
-        frames_per_s: if latency_s > 0.0 { batch / latency_s } else { 0.0 },
+        frames_per_s: if latency_s > 0.0 {
+            batch / latency_s
+        } else {
+            0.0
+        },
         onchip_j,
         frames_per_j: if onchip_j > 0.0 { 1.0 / onchip_j } else { 0.0 },
         layers,

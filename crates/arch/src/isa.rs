@@ -316,15 +316,31 @@ impl Instruction {
             }
         };
         match op {
-            "ACTLD" => Ok(Instruction::ActLd { bytes: need_u64("byte count")? }),
-            "ACTST" => Ok(Instruction::ActSt { bytes: need_u64("byte count")? }),
-            "WGTLD" => Ok(Instruction::WgtLd { bytes: need_u64("byte count")? }),
-            "MAC" => Ok(Instruction::Mac { cycles: need_u64("cycle count")? }),
-            "ACTRNG" => Ok(Instruction::ActRng { values: need_u32("value count")? }),
-            "WGTRNG" => Ok(Instruction::WgtRng { values: need_u32("value count")? }),
+            "ACTLD" => Ok(Instruction::ActLd {
+                bytes: need_u64("byte count")?,
+            }),
+            "ACTST" => Ok(Instruction::ActSt {
+                bytes: need_u64("byte count")?,
+            }),
+            "WGTLD" => Ok(Instruction::WgtLd {
+                bytes: need_u64("byte count")?,
+            }),
+            "MAC" => Ok(Instruction::Mac {
+                cycles: need_u64("cycle count")?,
+            }),
+            "ACTRNG" => Ok(Instruction::ActRng {
+                values: need_u32("value count")?,
+            }),
+            "WGTRNG" => Ok(Instruction::WgtRng {
+                values: need_u32("value count")?,
+            }),
             "WGTSHIFT" => no_arg(Instruction::WgtShift),
-            "CNTLD" => Ok(Instruction::CntLd { values: need_u32("value count")? }),
-            "CNTST" => Ok(Instruction::CntSt { values: need_u32("value count")? }),
+            "CNTLD" => Ok(Instruction::CntLd {
+                values: need_u32("value count")?,
+            }),
+            "CNTST" => Ok(Instruction::CntSt {
+                values: need_u32("value count")?,
+            }),
             "BARR" => Ok(Instruction::Barr {
                 mask: arg
                     .ok_or_else(|| ArchError::Parse("BARR needs a module mask".into()))?
@@ -384,7 +400,10 @@ mod tests {
         assert_eq!(Instruction::WgtShift.module(), Module::WgtRng);
         assert_eq!(Instruction::CntSt { values: 1 }.module(), Module::Cnt);
         assert_eq!(
-            Instruction::Barr { mask: ModuleMask::all() }.module(),
+            Instruction::Barr {
+                mask: ModuleMask::all()
+            }
+            .module(),
             Module::Dispatch
         );
     }
@@ -401,8 +420,13 @@ mod tests {
             Instruction::WgtShift,
             Instruction::CntLd { values: 4 },
             Instruction::CntSt { values: 4096 },
-            Instruction::For { kind: LoopKind::Kernel, count: 16 },
-            Instruction::End { kind: LoopKind::Pool },
+            Instruction::For {
+                kind: LoopKind::Kernel,
+                count: 16,
+            },
+            Instruction::End {
+                kind: LoopKind::Pool,
+            },
             Instruction::Barr {
                 mask: ModuleMask::empty().with(Module::Dma).with(Module::Mac),
             },

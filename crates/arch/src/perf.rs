@@ -214,9 +214,8 @@ impl PerfSimulator {
                     state.issue_cycle += 1;
                 }
                 Instruction::End { .. } => {
-                    let (body, remaining) = stack
-                        .pop()
-                        .expect("validated programs have balanced loops");
+                    let (body, remaining) =
+                        stack.pop().expect("validated programs have balanced loops");
                     if remaining > 0 {
                         stack.push((body, remaining - 1));
                         pc = body;
@@ -253,12 +252,8 @@ impl PerfSimulator {
                 self.cfg.dram.transfer_cycles(bytes, self.cfg.clock_hz)
             }
             Instruction::Mac { cycles } => cycles,
-            Instruction::ActRng { values } => {
-                u64::from(values).div_ceil(ACT_LOAD_VALUES_PER_CYCLE)
-            }
-            Instruction::WgtRng { values } => {
-                u64::from(values).div_ceil(WGT_LOAD_VALUES_PER_CYCLE)
-            }
+            Instruction::ActRng { values } => u64::from(values).div_ceil(ACT_LOAD_VALUES_PER_CYCLE),
+            Instruction::WgtRng { values } => u64::from(values).div_ceil(WGT_LOAD_VALUES_PER_CYCLE),
             Instruction::WgtShift => 1,
             Instruction::CntLd { values } | Instruction::CntSt { values } => {
                 u64::from(values).div_ceil(CNT_VALUES_PER_CYCLE)
@@ -322,11 +317,7 @@ impl SimState {
         let end = start + duration;
         queue.push_back(end);
         self.free.insert(module_key(m), end);
-        let entry = self
-            .report
-            .activity
-            .entry(module_key(m))
-            .or_default();
+        let entry = self.report.activity.entry(module_key(m)).or_default();
         entry.busy_cycles += duration;
         entry.instructions += 1;
         self.issue_cycle += 1;
@@ -436,7 +427,10 @@ mod tests {
         fast.weight_mem_bytes = 4 * 1024 * 1024; // make weights resident
         let compiled = compile(&net, &fast).unwrap();
         let prog = compiled.to_program().unwrap();
-        let r = PerfSimulator::new(fast.clone()).unwrap().run(&prog).unwrap();
+        let r = PerfSimulator::new(fast.clone())
+            .unwrap()
+            .run(&prog)
+            .unwrap();
         // 512 passes x 256 cycles = 131072 compute cycles, plus the serial
         // cold-start weight load (2.36 MB at 17 GB/s ≈ 28k cycles).
         assert!(

@@ -129,8 +129,7 @@ pub fn energy_report(
     let act_mem = SramMacro::new(cfg.act_mem_bytes);
     let wgt_mem = SramMacro::new(cfg.weight_mem_bytes);
     let act_mem_j = act_mem.transfer_energy_j(report.act_rng_values + report.counter_values);
-    let wgt_mem_j =
-        wgt_mem.transfer_energy_j(report.wgt_rng_values + report.dram_read_bytes);
+    let wgt_mem_j = wgt_mem.transfer_energy_j(report.wgt_rng_values + report.dram_read_bytes);
     let total_instrs: u64 = report.activity.values().map(|a| a.instructions).sum();
     let inst_j = total_instrs as f64 * INST_FETCH_ENERGY_J;
 
@@ -206,7 +205,10 @@ mod tests {
         let mac_share = e.dynamic.get(Component::MacArray) / e.dynamic.total();
         let wbuf_share = e.dynamic.get(Component::WgtBuf) / e.dynamic.total();
         assert!(mac_share > 0.25, "MAC dynamic share {mac_share}");
-        assert!(wbuf_share < 0.10, "weight buffer dynamic share {wbuf_share}");
+        assert!(
+            wbuf_share < 0.10,
+            "weight buffer dynamic share {wbuf_share}"
+        );
         let area = crate::area::area_breakdown(&cfg);
         let wbuf_area_share = area.get(Component::WgtBuf) / area.total();
         assert!(wbuf_share < wbuf_area_share);

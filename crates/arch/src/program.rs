@@ -65,12 +65,11 @@ impl Program {
                         )))
                     }
                 },
-                Instruction::Barr { mask }
-                    if mask.is_empty() => {
-                        return Err(ArchError::InvalidProgram(format!(
-                            "instruction {i}: barrier with empty mask"
-                        )));
-                    }
+                Instruction::Barr { mask } if mask.is_empty() => {
+                    return Err(ArchError::InvalidProgram(format!(
+                        "instruction {i}: barrier with empty mask"
+                    )));
+                }
                 _ => {}
             }
         }

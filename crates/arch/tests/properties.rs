@@ -1,6 +1,9 @@
-//! Property-based tests of the architecture-model invariants.
-
-use proptest::prelude::*;
+//! Property-style tests of the architecture-model invariants.
+//!
+//! Formerly written against the external `proptest` crate; the repo now
+//! builds fully offline, so each property is exercised over a deterministic
+//! [`DetRng`]-driven sample sweep instead of a shrinking random search. The
+//! invariants themselves are unchanged.
 
 use acoustic_arch::compile::compile;
 use acoustic_arch::config::ArchConfig;
@@ -8,82 +11,137 @@ use acoustic_arch::dram::DramInterface;
 use acoustic_arch::isa::{Instruction, LoopKind, Module, ModuleMask};
 use acoustic_arch::perf::PerfSimulator;
 use acoustic_arch::program::Program;
+use acoustic_core::DetRng;
 use acoustic_nn::zoo::NetworkShapeBuilder;
 
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        (1u64..1_000_000).prop_map(|bytes| Instruction::ActLd { bytes }),
-        (1u64..1_000_000).prop_map(|bytes| Instruction::ActSt { bytes }),
-        (1u64..1_000_000).prop_map(|bytes| Instruction::WgtLd { bytes }),
-        (1u64..100_000).prop_map(|cycles| Instruction::Mac { cycles }),
-        (1u32..100_000).prop_map(|values| Instruction::ActRng { values }),
-        (1u32..100_000).prop_map(|values| Instruction::WgtRng { values }),
-        Just(Instruction::WgtShift),
-        (1u32..100_000).prop_map(|values| Instruction::CntLd { values }),
-        (1u32..100_000).prop_map(|values| Instruction::CntSt { values }),
-    ]
+const CASES: usize = 48;
+
+fn rng(test_tag: u64) -> DetRng {
+    DetRng::seed_from_u64(0xAC0_0571C ^ test_tag)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_instruction_roundtrips(instr in arb_instruction()) {
-        let text = instr.to_string();
-        prop_assert_eq!(Instruction::parse(&text).unwrap(), instr);
+fn rand_instruction(r: &mut DetRng) -> Instruction {
+    match r.gen_range_usize(0, 9) {
+        0 => Instruction::ActLd {
+            bytes: r.gen_range_usize(1, 1_000_000) as u64,
+        },
+        1 => Instruction::ActSt {
+            bytes: r.gen_range_usize(1, 1_000_000) as u64,
+        },
+        2 => Instruction::WgtLd {
+            bytes: r.gen_range_usize(1, 1_000_000) as u64,
+        },
+        3 => Instruction::Mac {
+            cycles: r.gen_range_usize(1, 100_000) as u64,
+        },
+        4 => Instruction::ActRng {
+            values: r.gen_range_usize(1, 100_000) as u32,
+        },
+        5 => Instruction::WgtRng {
+            values: r.gen_range_usize(1, 100_000) as u32,
+        },
+        6 => Instruction::WgtShift,
+        7 => Instruction::CntLd {
+            values: r.gen_range_usize(1, 100_000) as u32,
+        },
+        _ => Instruction::CntSt {
+            values: r.gen_range_usize(1, 100_000) as u32,
+        },
     }
+}
 
-    #[test]
-    fn straightline_programs_never_deadlock(
-        body in proptest::collection::vec(arb_instruction(), 1..40)
-    ) {
-        let mut instrs = body;
-        instrs.push(Instruction::Barr { mask: ModuleMask::all() });
+#[test]
+fn every_instruction_roundtrips() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let instr = rand_instruction(&mut r);
+        let text = instr.to_string();
+        assert_eq!(Instruction::parse(&text).unwrap(), instr);
+    }
+}
+
+#[test]
+fn straightline_programs_never_deadlock() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
+        let len = r.gen_range_usize(1, 40);
+        let mut instrs: Vec<Instruction> = (0..len).map(|_| rand_instruction(&mut r)).collect();
+        instrs.push(Instruction::Barr {
+            mask: ModuleMask::all(),
+        });
         let program = Program::new(instrs).unwrap();
         let sim = PerfSimulator::new(ArchConfig::lp()).unwrap();
         let report = sim.run(&program).unwrap();
-        prop_assert!(report.total_cycles > 0);
+        assert!(report.total_cycles > 0);
     }
+}
 
-    #[test]
-    fn busy_cycles_never_exceed_total(
-        body in proptest::collection::vec(arb_instruction(), 1..30),
-        count in 1u32..6
-    ) {
-        let mut instrs = vec![Instruction::For { kind: LoopKind::Row, count }];
-        instrs.extend(body);
-        instrs.push(Instruction::Barr { mask: ModuleMask::all() });
-        instrs.push(Instruction::End { kind: LoopKind::Row });
+#[test]
+fn busy_cycles_never_exceed_total() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let len = r.gen_range_usize(1, 30);
+        let count = r.gen_range_usize(1, 6) as u32;
+        let mut instrs = vec![Instruction::For {
+            kind: LoopKind::Row,
+            count,
+        }];
+        instrs.extend((0..len).map(|_| rand_instruction(&mut r)));
+        instrs.push(Instruction::Barr {
+            mask: ModuleMask::all(),
+        });
+        instrs.push(Instruction::End {
+            kind: LoopKind::Row,
+        });
         let program = Program::new(instrs).unwrap();
         let sim = PerfSimulator::new(ArchConfig::lp()).unwrap();
         let report = sim.run(&program).unwrap();
         for (name, act) in &report.activity {
-            prop_assert!(
+            assert!(
                 act.busy_cycles <= report.total_cycles,
-                "{name} busy {} > total {}", act.busy_cycles, report.total_cycles
+                "{name} busy {} > total {}",
+                act.busy_cycles,
+                report.total_cycles
             );
         }
     }
+}
 
-    #[test]
-    fn loop_iterations_scale_dynamic_counts(count in 1u32..20, cycles in 1u64..1000) {
+#[test]
+fn loop_iterations_scale_dynamic_counts() {
+    let mut r = rng(4);
+    for _ in 0..CASES {
+        let count = r.gen_range_usize(1, 20) as u32;
+        let cycles = r.gen_range_usize(1, 1000) as u64;
         let program = Program::new(vec![
-            Instruction::For { kind: LoopKind::Kernel, count },
+            Instruction::For {
+                kind: LoopKind::Kernel,
+                count,
+            },
             Instruction::Mac { cycles },
-            Instruction::Barr { mask: ModuleMask::empty().with(Module::Mac) },
-            Instruction::End { kind: LoopKind::Kernel },
-        ]).unwrap();
+            Instruction::Barr {
+                mask: ModuleMask::empty().with(Module::Mac),
+            },
+            Instruction::End {
+                kind: LoopKind::Kernel,
+            },
+        ])
+        .unwrap();
         let sim = PerfSimulator::new(ArchConfig::lp()).unwrap();
         let report = sim.run(&program).unwrap();
-        prop_assert_eq!(report.mac_passes, u64::from(count));
-        prop_assert_eq!(report.busy(Module::Mac), u64::from(count) * cycles);
+        assert_eq!(report.mac_passes, u64::from(count));
+        assert_eq!(report.busy(Module::Mac), u64::from(count) * cycles);
     }
+}
 
-    #[test]
-    fn faster_dram_never_increases_latency(
-        kernels in 1usize..128,
-        channels in 1usize..64
-    ) {
+#[test]
+fn faster_dram_never_increases_latency() {
+    let mut r = rng(5);
+    // Compiling + simulating two configs per case is comparatively slow;
+    // fewer sweeps keep the same coverage of the (kernels, channels) space.
+    for _ in 0..CASES / 4 {
+        let kernels = r.gen_range_usize(1, 128);
+        let channels = r.gen_range_usize(1, 64);
         let net = NetworkShapeBuilder::new("t", channels.max(1), 16, 16)
             .conv(kernels.max(1), 3, 1, 1)
             .unwrap()
@@ -100,14 +158,16 @@ proptest! {
                 .unwrap()
                 .total_cycles
         };
-        prop_assert!(run(&fast) <= run(&slow));
+        assert!(run(&fast) <= run(&slow));
     }
+}
 
-    #[test]
-    fn more_rows_never_increase_passes(
-        kernels in 1usize..256,
-        hw in 4usize..32
-    ) {
+#[test]
+fn more_rows_never_increase_passes() {
+    let mut r = rng(6);
+    for _ in 0..CASES {
+        let kernels = r.gen_range_usize(1, 256);
+        let hw = r.gen_range_usize(4, 32);
         let net = NetworkShapeBuilder::new("t", 16, hw, hw)
             .conv(kernels.max(1), 3, 1, 1)
             .unwrap()
@@ -117,15 +177,17 @@ proptest! {
         let mut big = ArchConfig::lp();
         big.rows = 32;
         let passes = |cfg: &ArchConfig| compile(&net, cfg).unwrap().total_passes();
-        prop_assert!(passes(&big) <= passes(&small));
+        assert!(passes(&big) <= passes(&small));
     }
+}
 
-    #[test]
-    fn compiled_conv_mac_cycles_match_passes(
-        kernels in 1usize..96,
-        channels in 1usize..48,
-        hw in 4usize..24
-    ) {
+#[test]
+fn compiled_conv_mac_cycles_match_passes() {
+    let mut r = rng(7);
+    for _ in 0..CASES / 2 {
+        let kernels = r.gen_range_usize(1, 96);
+        let channels = r.gen_range_usize(1, 48);
+        let hw = r.gen_range_usize(4, 24);
         let cfg = ArchConfig::lp();
         let net = NetworkShapeBuilder::new("t", channels.max(1), hw, hw)
             .conv(kernels.max(1), 3, 1, 1)
@@ -137,14 +199,18 @@ proptest! {
             .run(&compiled.to_program().unwrap())
             .unwrap();
         // Every pass is one full-stream MAC occupancy.
-        prop_assert_eq!(
+        assert_eq!(
             report.busy(Module::Mac),
             compiled.total_passes() * cfg.stream_len as u64
         );
     }
+}
 
-    #[test]
-    fn mask_roundtrip(bits in proptest::collection::vec(any::<bool>(), 5)) {
+#[test]
+fn mask_roundtrip() {
+    let mut r = rng(8);
+    for _ in 0..CASES {
+        let bits: Vec<bool> = (0..5).map(|_| r.next_bool()).collect();
         let mut mask = ModuleMask::empty();
         for (m, &on) in Module::MASKABLE.iter().zip(&bits) {
             if on {
@@ -153,7 +219,7 @@ proptest! {
         }
         if !mask.is_empty() {
             let text = mask.to_string();
-            prop_assert_eq!(text.parse::<ModuleMask>().unwrap(), mask);
+            assert_eq!(text.parse::<ModuleMask>().unwrap(), mask);
         }
     }
 }

@@ -38,6 +38,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // published anchor values
     fn conv_ram_is_tiny_but_slow_compared_to_paper_ulp() {
         // Table IV shape: ACOUSTIC ULP has 8.2x the throughput at similar
         // energy efficiency.

@@ -100,7 +100,12 @@ mod tests {
 
     #[test]
     fn gate_counts_grow_with_fanin() {
-        for f in [or_mac_gates, mux_mac_gates, apc_mac_gates, binary_convert_mac_gates] {
+        for f in [
+            or_mac_gates,
+            mux_mac_gates,
+            apc_mac_gates,
+            binary_convert_mac_gates,
+        ] {
             assert!(f(256) > f(64));
         }
     }

@@ -38,6 +38,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // published anchor values
     fn anchors_match_table4() {
         let e = lenet5_conv();
         assert_eq!(e.frames_per_s, 1009.0);

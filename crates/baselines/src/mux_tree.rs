@@ -134,9 +134,7 @@ mod tests {
 
     #[test]
     fn mismatched_lengths_rejected() {
-        assert!(
-            mux_tree_accumulate(&[Bitstream::zeros(8), Bitstream::zeros(16)], 1).is_err()
-        );
+        assert!(mux_tree_accumulate(&[Bitstream::zeros(8), Bitstream::zeros(16)], 1).is_err());
     }
 
     #[test]

@@ -19,10 +19,7 @@ pub const AREA_MM2: f64 = 273.0;
 pub const CLOCK_HZ: f64 = 125e6;
 
 /// Published Table III anchors, 28 nm scaled: (network, Fr/s, Fr/J).
-const ANCHORS: [(&str, f64, f64); 2] = [
-    ("AlexNet", 5771.7, 136.2),
-    ("VGG-16", 755.9, 9.1),
-];
+const ANCHORS: [(&str, f64, f64); 2] = [("AlexNet", 5771.7, 136.2), ("VGG-16", 755.9, 9.1)];
 
 /// The Table III entry for a network, if SCOPE published one.
 ///
@@ -90,6 +87,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // published anchor values
     fn scope_is_area_hungry() {
         // §IV-D: "SCOPE require hundreds of mm2 of area, which makes it
         // unsuitable for edge inference."

@@ -1,62 +1,45 @@
-//! Criterion benchmarks of the architecture toolchain behind Fig. 4 and
-//! Tables III/IV: compiling networks to ISA programs and simulating them.
+//! Benchmarks of the architecture toolchain behind Fig. 4 and Tables
+//! III/IV: compiling networks to ISA programs and simulating them.
+//!
+//! Runs on the repo's built-in harness (`acoustic_bench::harness`) — the
+//! offline build has no criterion. Pass `--quick` for a short CI run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use acoustic_arch::compile::compile;
 use acoustic_arch::config::ArchConfig;
 use acoustic_arch::estimate::estimate;
 use acoustic_arch::perf::PerfSimulator;
+use acoustic_bench::harness::Harness;
 use acoustic_nn::zoo::{alexnet, cifar10_cnn, lenet5, resnet18, NetworkShape};
 
 fn networks() -> Vec<NetworkShape> {
     vec![lenet5(), cifar10_cnn(), alexnet(), resnet18()]
 }
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
+fn main() {
+    let mut h = Harness::new("perf_sim");
     let cfg = ArchConfig::lp();
+
     for net in networks() {
-        group.bench_with_input(BenchmarkId::from_parameter(net.name()), &net, |b, n| {
-            b.iter(|| black_box(compile(n, &cfg).unwrap()));
+        h.bench("compile", net.name(), None, || {
+            black_box(compile(&net, &cfg).unwrap())
         });
     }
-    group.finish();
-}
 
-fn bench_simulate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("perf_simulate");
-    let cfg = ArchConfig::lp();
     let sim = PerfSimulator::new(cfg.clone()).unwrap();
     for net in networks() {
         let program = compile(&net, &cfg).unwrap().to_program().unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(net.name()),
-            &program,
-            |b, p| {
-                b.iter(|| black_box(sim.run(p).unwrap()));
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_full_estimate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("estimate");
-    group.sample_size(10);
-    let cfg = ArchConfig::lp();
-    for net in [cifar10_cnn(), alexnet()] {
-        group.bench_with_input(BenchmarkId::from_parameter(net.name()), &net, |b, n| {
-            b.iter(|| black_box(estimate(n, &cfg).unwrap()));
+        h.bench("perf_simulate", net.name(), None, || {
+            black_box(sim.run(&program).unwrap())
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_compile, bench_simulate, bench_full_estimate
+    for net in [cifar10_cnn(), alexnet()] {
+        h.bench("estimate", net.name(), None, || {
+            black_box(estimate(&net, &cfg).unwrap())
+        });
+    }
+
+    h.finish();
 }
-criterion_main!(benches);

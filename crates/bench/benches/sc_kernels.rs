@@ -1,11 +1,13 @@
-//! Criterion micro-benchmarks of the stochastic-computing kernels behind
-//! E1–E4: stream generation, AND/OR MAC, wide accumulation, and skipped
-//! pooling.
+//! Micro-benchmarks of the stochastic-computing kernels behind E1–E4:
+//! stream generation, AND/OR MAC, wide accumulation, and skipped pooling.
+//!
+//! Runs on the repo's built-in harness (`acoustic_bench::harness`) — the
+//! offline build has no criterion. Pass `--quick` for a short CI run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use acoustic_baselines::mux_tree::mux_tree_accumulate;
+use acoustic_bench::harness::Harness;
 use acoustic_core::pooling::skip_pool_concat;
 use acoustic_core::{or_accumulate, Bitstream, Lfsr, Sng, SplitUnipolarMac, SplitWeight};
 
@@ -22,77 +24,48 @@ fn lane_streams(k: usize, n: usize, v: f64) -> Vec<Bitstream> {
         .collect()
 }
 
-fn bench_stream_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sng_generate");
+fn main() {
+    let mut h = Harness::new("sc_kernels");
+
     for n in [128usize, 256, 1024] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut sng = Sng::new(Lfsr::maximal(16, 0xACE1).unwrap(), 16);
-            b.iter(|| black_box(sng.generate(0.5, n).unwrap()));
+        let mut sng = Sng::new(Lfsr::maximal(16, 0xACE1).unwrap(), 16);
+        h.bench("sng_generate", n, Some(n as u64), || {
+            black_box(sng.generate(0.5, n).unwrap())
         });
     }
-    group.finish();
-}
 
-fn bench_or_accumulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("or_accumulate");
     for k in [96usize, 512, 2304] {
         let streams = lane_streams(k, 256, 0.02);
-        group.throughput(Throughput::Elements(k as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &streams, |b, s| {
-            b.iter(|| black_box(or_accumulate(s).unwrap()));
+        h.bench("or_accumulate", k, Some(k as u64), || {
+            black_box(or_accumulate(&streams).unwrap())
         });
     }
-    group.finish();
-}
 
-fn bench_mux_tree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mux_tree_accumulate");
     for k in [96usize, 512] {
         let streams = lane_streams(k, 256, 0.02);
-        group.throughput(Throughput::Elements(k as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &streams, |b, s| {
-            b.iter(|| black_box(mux_tree_accumulate(s, 0x7777).unwrap()));
+        h.bench("mux_tree_accumulate", k, Some(k as u64), || {
+            black_box(mux_tree_accumulate(&streams, 0x7777).unwrap())
         });
     }
-    group.finish();
-}
 
-fn bench_split_unipolar_mac(c: &mut Criterion) {
-    let mut group = c.benchmark_group("split_unipolar_mac");
     for fan_in in [96usize, 288] {
         let weights: Vec<SplitWeight> = (0..fan_in)
             .map(|i| SplitWeight::from_real(if i % 2 == 0 { 0.02 } else { -0.02 }).unwrap())
             .collect();
         let acts = vec![0.5f64; fan_in];
         let mac = SplitUnipolarMac::new(128, 96);
-        group.throughput(Throughput::Elements(fan_in as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(fan_in), &fan_in, |b, _| {
-            b.iter(|| black_box(mac.execute(&acts, &weights, 0xACE1, 0x1D2C).unwrap()));
+        h.bench("split_unipolar_mac", fan_in, Some(fan_in as u64), || {
+            black_box(mac.execute(&acts, &weights, 0xACE1, 0x1D2C).unwrap())
         });
     }
-    group.finish();
-}
 
-fn bench_skip_pooling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("skip_pool_concat");
     for k in [4usize, 9] {
         let seg = 252 / k;
         let short = lane_streams(k, seg, 0.4);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &short, |b, s| {
-            b.iter(|| black_box(skip_pool_concat(s).unwrap()));
+        h.bench("skip_pool_concat", k, None, || {
+            black_box(skip_pool_concat(&short).unwrap())
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_stream_generation,
-              bench_or_accumulation,
-              bench_mux_tree,
-              bench_split_unipolar_mac,
-              bench_skip_pooling
+    h.finish();
 }
-criterion_main!(benches);

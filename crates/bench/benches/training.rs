@@ -1,58 +1,48 @@
-//! Criterion benchmarks behind E5 and E7: training-step cost per
-//! accumulation mode (the §II-D speedup claim) and bit-level stochastic
-//! inference cost per stream length.
+//! Benchmarks behind E5 and E7: training-step cost per accumulation mode
+//! (the §II-D speedup claim) and bit-level stochastic inference cost per
+//! stream length.
+//!
+//! Runs on the repo's built-in harness (`acoustic_bench::harness`) — the
+//! offline build has no criterion. Pass `--quick` for a short CI run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use acoustic_bench::harness::Harness;
 use acoustic_bench::models::tiny_cnn;
 use acoustic_nn::layers::AccumMode;
 use acoustic_nn::loss::cross_entropy;
 use acoustic_simfunc::{ScSimulator, SimConfig};
 
-fn bench_training_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("training_step");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("training");
+
     let data = acoustic_datasets::mnist_like(4, 0, 7).train;
     for (label, mode) in [
         ("linear", AccumMode::Linear),
         ("or_approx", AccumMode::OrApprox),
         ("or_exact", AccumMode::OrExact),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
-            let mut net = tiny_cnn(mode).unwrap();
-            b.iter(|| {
-                for (x, y) in &data {
-                    let logits = net.forward(x).unwrap();
-                    let (_, grad) = cross_entropy(&logits, *y).unwrap();
-                    net.backward(&grad).unwrap();
-                }
-                net.apply_update(0.01, 0.9);
-                black_box(&net);
-            });
+        let mut net = tiny_cnn(mode).unwrap();
+        h.bench("training_step", label, None, || {
+            for (x, y) in &data {
+                let logits = net.forward(x).unwrap();
+                let (_, grad) = cross_entropy(&logits, *y).unwrap();
+                net.backward(&grad).unwrap();
+            }
+            net.apply_update(0.01, 0.9);
+            black_box(&net);
         });
     }
-    group.finish();
-}
 
-fn bench_sc_inference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sc_inference");
-    group.sample_size(10);
     let net = tiny_cnn(AccumMode::OrApprox).unwrap();
     let (img, _) = acoustic_datasets::mnist_like(1, 0, 9).train.pop().unwrap();
     for stream in [128usize, 256, 512] {
         let sim = ScSimulator::new(SimConfig::with_stream_len(stream).unwrap());
         let prepared = sim.prepare(&net).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(stream), &stream, |b, _| {
-            b.iter(|| black_box(sim.run_prepared(&prepared, &img).unwrap()));
+        h.bench("sc_inference", stream, None, || {
+            black_box(sim.run_prepared(&prepared, &img).unwrap())
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_training_step, bench_sc_inference
+    h.finish();
 }
-criterion_main!(benches);

@@ -8,7 +8,11 @@ use acoustic_bench::Scale;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Ablations — design-choice sensitivity (digit CNN + CIFAR-like)\n");
+    println!("Ablations — design-choice sensitivity (digit CNN + CIFAR-like)");
+    println!(
+        "(stochastic rows: batch runtime, {} worker(s), prepared-model cache)\n",
+        acoustic_runtime::default_workers()
+    );
 
     let t = ablations::train_digit_net(scale).expect("digit training succeeds");
     println!(
@@ -33,7 +37,10 @@ fn main() {
     println!("Accuracy-gap decomposition (value-domain limit vs bit-level):");
     let g = ablations::gap_decomposition(&t).expect("simulation succeeds");
     let mut tab = Table::new(["quantity", "accuracy"]);
-    tab.row(["float (trained model)".to_string(), format!("{:.1}%", 100.0 * g.float_acc)]);
+    tab.row([
+        "float (trained model)".to_string(),
+        format!("{:.1}%", 100.0 * g.float_acc),
+    ]);
     tab.row([
         "value-domain limit (quantization + OR model)".to_string(),
         format!("{:.1}%", 100.0 * g.expected_acc),

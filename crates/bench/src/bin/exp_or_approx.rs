@@ -34,7 +34,11 @@ fn main() {
         fnum(s.approx_s, 3),
         format!("{:.1}x", s.approx_s / s.linear_s),
     ]);
-    t.row(["linear".to_string(), fnum(s.linear_s, 3), "1.0x".to_string()]);
+    t.row([
+        "linear".to_string(),
+        fnum(s.linear_s, 3),
+        "1.0x".to_string(),
+    ]);
     println!("{t}");
     println!("Exact-OR / approx-OR speedup: {:.1}x", s.speedup);
 }

@@ -11,7 +11,12 @@ fn main() {
     println!("Paper: at 3x3x256 = 2304-wide accumulation, OR has ~8x less");
     println!("absolute error than MUX-based accumulation.\n");
     let mut t = Table::new([
-        "fan-in", "stream", "OR MAE", "MUX MAE", "APC MAE", "MUX/OR ratio",
+        "fan-in",
+        "stream",
+        "OR MAE",
+        "MUX MAE",
+        "APC MAE",
+        "MUX/OR ratio",
     ]);
     for r in &rows {
         t.row([

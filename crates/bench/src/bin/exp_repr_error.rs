@@ -11,8 +11,13 @@ fn main() {
     println!("RMS error of encoding a value at stream length n; bipolar needs");
     println!(">=2x the stream length of unipolar for equal error.\n");
     let mut t = Table::new([
-        "value", "n", "uni RMS (analytic)", "uni RMS (measured)",
-        "bip RMS (analytic)", "bip RMS (measured)", "bip/uni length ratio",
+        "value",
+        "n",
+        "uni RMS (analytic)",
+        "uni RMS (measured)",
+        "bip RMS (analytic)",
+        "bip RMS (measured)",
+        "bip/uni length ratio",
     ]);
     for r in &rows {
         t.row([

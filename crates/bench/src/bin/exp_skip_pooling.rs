@@ -9,7 +9,13 @@ fn main() {
     println!("E4 — Computation-skipping average pooling (paper §II-C)\n");
 
     println!("Conv-layer latency reduction (paper: 4x-9x, proportional to window):");
-    let mut t = Table::new(["window", "baseline cycles", "skipped cycles", "reduction", "paper"]);
+    let mut t = Table::new([
+        "window",
+        "baseline cycles",
+        "skipped cycles",
+        "reduction",
+        "paper",
+    ]);
     for r in skip_pooling::latency_reduction(scale).expect("static shapes map") {
         t.row([
             format!("{0}x{0}", r.window),

@@ -28,8 +28,11 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("Totals: LP {:.1} mm² (paper: 12.0), ULP {:.2} mm² (paper: 0.18)",
-        f.lp_area.total(), f.ulp_area.total());
+    println!(
+        "Totals: LP {:.1} mm² (paper: 12.0), ULP {:.2} mm² (paper: 0.18)",
+        f.lp_area.total(),
+        f.ulp_area.total()
+    );
     println!("Paper qualitative claims: LP dominated by MAC arrays (area & power),");
     println!("weight buffers large in area but cheap in power; ULP dominated by");
     println!("activation and weight memories.");

@@ -45,12 +45,7 @@ fn main() {
         "layer", "MACs", "weights", "passes", "util", "cycles", "share",
     ]);
     let total: u64 = est.layers.iter().map(|l| l.cycles).sum();
-    for ((shape, layer), cl) in net
-        .layers()
-        .iter()
-        .zip(&est.layers)
-        .zip(&compiled.layers)
-    {
+    for ((shape, layer), cl) in net.layers().iter().zip(&est.layers).zip(&compiled.layers) {
         t.row([
             layer.name.clone(),
             format!("{:.1}M", shape.macs() as f64 / 1e6),

@@ -15,8 +15,16 @@ fn main() {
     t.row(["ACTRNG", "ACTRNG", "Load activations into SNGs"]);
     t.row(["WGTRNG", "WGTRNG", "Load weights into SNGs"]);
     t.row(["", "WGTSHIFT", "Shift weight SNG buffers"]);
-    t.row(["CNT", "CNTLD/CNTST", "Load/store activations from/to counter/ReLU"]);
-    t.row(["DISPATCH", "FOR*/END*", "Kernel/batch/row/pooling loop (K/B/R/P)"]);
+    t.row([
+        "CNT",
+        "CNTLD/CNTST",
+        "Load/store activations from/to counter/ReLU",
+    ]);
+    t.row([
+        "DISPATCH",
+        "FOR*/END*",
+        "Kernel/batch/row/pooling loop (K/B/R/P)",
+    ]);
     t.row(["", "BARR", "Barrier"]);
     println!("{t}");
 

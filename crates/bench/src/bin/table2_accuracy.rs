@@ -8,8 +8,15 @@ fn main() {
     let scale = Scale::from_args();
     println!("Table II — Accuracy comparisons (synthetic dataset stand-ins;");
     println!("see DESIGN.md §3 — the fixed-point-vs-SC *gap* is the result).\n");
+    println!(
+        "SC rows run on the batch runtime: {} worker(s), per-image derived",
+        acoustic_runtime::default_workers()
+    );
+    println!("seeds — results are bit-identical at any worker count.\n");
     if scale == Scale::Full {
-        println!("(full scale: trains 3 networks — takes a few minutes; use --quick for a fast pass)\n");
+        println!(
+            "(full scale: trains 3 networks — takes a few minutes; use --quick for a fast pass)\n"
+        );
     }
     let rows = table2::run(scale).expect("training and simulation succeed");
     let mut t = Table::new([

@@ -23,7 +23,12 @@ fn main() {
         c.power_w.map_or("N/A".to_string(), |p| fnum(p, 2))
     });
     push_metric("Clock [MHz]", &|c| fnum(c.clock_mhz, 0));
-    for (i, net) in cols[0].per_network.iter().map(|(n, _)| n.clone()).enumerate() {
+    for (i, net) in cols[0]
+        .per_network
+        .iter()
+        .map(|(n, _)| n.clone())
+        .enumerate()
+    {
         push_metric(&format!("{net} Fr/J"), &|c| {
             c.per_network[i]
                 .1

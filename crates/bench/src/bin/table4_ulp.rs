@@ -22,13 +22,15 @@ fn main() {
     push("Power [mW]", &|c| fnum(c.power_mw, 3));
     push("Clock [MHz]", &|c| fnum(c.clock_mhz, 0));
     push("LeNet-5 Fr/J", &|c| {
-        c.lenet.map_or("N/A".into(), |(fpj, _)| format!("{:.1}M", fpj / 1e6))
+        c.lenet
+            .map_or("N/A".into(), |(fpj, _)| format!("{:.1}M", fpj / 1e6))
     });
     push("LeNet-5 Fr/s", &|c| {
         c.lenet.map_or("N/A".into(), |(_, fps)| fnum(fps, 0))
     });
     push("CIFAR-10 CNN Fr/J", &|c| {
-        c.cifar.map_or("N/A".into(), |(fpj, _)| format!("{:.0}K", fpj / 1e3))
+        c.cifar
+            .map_or("N/A".into(), |(fpj, _)| format!("{:.0}K", fpj / 1e3))
     });
     push("CIFAR-10 CNN Fr/s", &|c| {
         c.cifar.map_or("N/A".into(), |(_, fps)| fnum(fps, 0))

@@ -13,7 +13,8 @@ use std::error::Error;
 use acoustic_datasets::mnist_like;
 use acoustic_nn::layers::{AccumMode, Network};
 use acoustic_nn::train::{evaluate, train, Sample, SgdConfig};
-use acoustic_simfunc::{ScSimulator, SimConfig};
+use acoustic_runtime::{default_workers, BatchEngine, ModelCache};
+use acoustic_simfunc::SimConfig;
 
 use crate::models::{cifar_cnn, cifar_cnn_maxpool, tiny_cnn};
 use crate::Scale;
@@ -37,6 +38,24 @@ pub struct TrainedDigitNet {
     pub test: Vec<Sample>,
     /// Float accuracy of the trained network.
     pub float_acc: f64,
+    /// Prepared-model cache shared by every simulator-facing ablation, so
+    /// repeated configs (e.g. the 128-bit default) are prepared once.
+    cache: ModelCache,
+}
+
+impl TrainedDigitNet {
+    /// Bit-level stochastic accuracy of the trained network under `cfg`,
+    /// evaluated through the batch runtime (prepared-once weight streams,
+    /// all available cores, per-image derived seeds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation and simulation errors.
+    pub fn sc_accuracy(&self, cfg: SimConfig) -> Result<f64, Box<dyn Error>> {
+        let model = self.cache.get_or_compile(cfg, &self.net)?;
+        let report = BatchEngine::new(default_workers())?.evaluate(&model, &self.test)?;
+        Ok(report.accuracy)
+    }
 }
 
 /// Trains the shared digit network once.
@@ -64,6 +83,7 @@ pub fn train_digit_net(scale: Scale) -> Result<TrainedDigitNet, Box<dyn Error>> 
         net,
         test: data.test,
         float_acc,
+        cache: ModelCache::new(),
     })
 }
 
@@ -75,10 +95,9 @@ pub fn train_digit_net(scale: Scale) -> Result<TrainedDigitNet, Box<dyn Error>> 
 pub fn stream_length_sweep(t: &TrainedDigitNet) -> Result<Vec<AblationPoint>, Box<dyn Error>> {
     let mut points = Vec::new();
     for stream in [32usize, 64, 128, 256, 512] {
-        let sim = ScSimulator::new(SimConfig::with_stream_len(stream)?);
         points.push(AblationPoint {
             label: format!("stream {stream}"),
-            accuracy: sim.evaluate(&t.net, &t.test)?,
+            accuracy: t.sc_accuracy(SimConfig::with_stream_len(stream)?)?,
         });
     }
     Ok(points)
@@ -94,9 +113,27 @@ pub fn datapath_variants(t: &TrainedDigitNet) -> Result<Vec<AblationPoint>, Box<
     let base = SimConfig::with_stream_len(128)?;
     let variants: Vec<(&str, SimConfig)> = vec![
         ("global OR, per-index RNG, skip pooling (default)", base),
-        ("96-grouped OR", SimConfig { or_group: Some(96), ..base }),
-        ("shared activation RNG", SimConfig { shared_act_rng: true, ..base }),
-        ("no computation skipping", SimConfig { skip_pooling: false, ..base }),
+        (
+            "96-grouped OR",
+            SimConfig {
+                or_group: Some(96),
+                ..base
+            },
+        ),
+        (
+            "shared activation RNG",
+            SimConfig {
+                shared_act_rng: true,
+                ..base
+            },
+        ),
+        (
+            "no computation skipping",
+            SimConfig {
+                skip_pooling: false,
+                ..base
+            },
+        ),
         (
             "no per-layer stream regeneration",
             SimConfig {
@@ -107,10 +144,9 @@ pub fn datapath_variants(t: &TrainedDigitNet) -> Result<Vec<AblationPoint>, Box<
     ];
     let mut points = Vec::new();
     for (label, cfg) in variants {
-        let sim = ScSimulator::new(cfg);
         points.push(AblationPoint {
             label: label.to_string(),
-            accuracy: sim.evaluate(&t.net, &t.test)?,
+            accuracy: t.sc_accuracy(cfg)?,
         });
     }
     Ok(points)
@@ -139,8 +175,8 @@ pub fn gap_decomposition(t: &TrainedDigitNet) -> Result<GapDecomposition, Box<dy
     let expected_acc = acoustic_simfunc::expected_accuracy(&t.net, &t.test, &base)?;
     let mut sc_acc = Vec::new();
     for stream in [32usize, 128, 512] {
-        let sim = ScSimulator::new(SimConfig::with_stream_len(stream)?);
-        sc_acc.push((stream, sim.evaluate(&t.net, &t.test)?));
+        let cfg = SimConfig::with_stream_len(stream)?;
+        sc_acc.push((stream, t.sc_accuracy(cfg)?));
     }
     Ok(GapDecomposition {
         float_acc: t.float_acc,

@@ -13,7 +13,8 @@ use acoustic_datasets::{cifar_like, mnist_like, svhn_like, Dataset};
 use acoustic_nn::fixedpoint::Quantizer;
 use acoustic_nn::layers::{AccumMode, NetLayer, Network};
 use acoustic_nn::train::{evaluate, train, SgdConfig};
-use acoustic_simfunc::{ScSimulator, SimConfig};
+use acoustic_runtime::{default_workers, BatchEngine, PreparedModel};
+use acoustic_simfunc::SimConfig;
 
 use crate::models::{cifar_cnn, lenet5};
 use crate::Scale;
@@ -122,10 +123,15 @@ fn run_entry(
     train(&mut or_net, &data.train, &cfg_or, b.epochs)?;
     let or_trained_acc = evaluate(&mut or_net, &data.test)?;
 
+    // Bit-level stochastic evaluation through the batch runtime: weight
+    // streams are prepared once per stream length, the test set fans out
+    // over all available cores, and per-image seed derivation keeps the
+    // accuracy bit-reproducible whatever the worker count.
+    let engine = BatchEngine::new(default_workers())?;
     let mut rows = Vec::new();
     for &stream_len in streams {
-        let sim = ScSimulator::new(SimConfig::with_stream_len(stream_len)?);
-        let acoustic_acc = sim.evaluate(&or_net, &data.test)?;
+        let model = PreparedModel::compile(SimConfig::with_stream_len(stream_len)?, &or_net)?;
+        let acoustic_acc = engine.evaluate(&model, &data.test)?.accuracy;
         rows.push(Table2Row {
             network: network.to_string(),
             dataset: data.name.clone(),
@@ -151,10 +157,26 @@ pub fn run(scale: Scale) -> Result<Vec<Table2Row>, Box<dyn Error>> {
     rows.extend(run_entry("LeNet-5", lenet5, &mnist, &[128], b, 0.1, 0.1)?);
 
     let svhn = svhn_like(b.train, b.test, 43);
-    rows.extend(run_entry("CNN", cifar_cnn, &svhn, &[256, 512], b, 0.05, 0.1)?);
+    rows.extend(run_entry(
+        "CNN",
+        cifar_cnn,
+        &svhn,
+        &[256, 512],
+        b,
+        0.05,
+        0.1,
+    )?);
 
     let cifar = cifar_like(b.train, b.test, 44);
-    rows.extend(run_entry("CNN", cifar_cnn, &cifar, &[256, 512], b, 0.05, 0.1)?);
+    rows.extend(run_entry(
+        "CNN",
+        cifar_cnn,
+        &cifar,
+        &[256, 512],
+        b,
+        0.05,
+        0.1,
+    )?);
 
     Ok(rows)
 }

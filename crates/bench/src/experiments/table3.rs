@@ -65,8 +65,7 @@ pub fn run() -> Result<Vec<AcceleratorColumn>, ArchError> {
         per_network: networks
             .iter()
             .map(|net| {
-                let cell = scope::published(net.name())
-                    .map(|e| (e.frames_per_j, e.frames_per_s));
+                let cell = scope::published(net.name()).map(|e| (e.frames_per_j, e.frames_per_s));
                 (net.name().to_string(), cell)
             })
             .collect(),

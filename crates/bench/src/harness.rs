@@ -1,0 +1,231 @@
+//! A small, dependency-free micro-benchmark harness.
+//!
+//! Replaces the external `criterion` crate for this repo's offline builds.
+//! Each measurement warms the closure up, picks an iteration count that
+//! fills a target window, then times several batches and reports the mean
+//! and best per-iteration cost. Results accumulate in a [`Harness`] that
+//! can print a table and serialize itself to JSON (hand-rolled — no serde).
+//!
+//! Benches run with `cargo bench` (each `[[bench]]` sets `harness = false`
+//! and drives a `Harness` from `main`). `--quick` (or the
+//! `ACOUSTIC_BENCH_QUICK` env var) shrinks the measurement window for CI.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark group (e.g. `"or_accumulate"`).
+    pub group: String,
+    /// Parameter id within the group (e.g. `"512"`).
+    pub id: String,
+    /// Mean nanoseconds per iteration across batches.
+    pub mean_ns: f64,
+    /// Best (minimum) nanoseconds per iteration across batches.
+    pub min_ns: f64,
+    /// Iterations per batch.
+    pub iters: u64,
+    /// Batches measured.
+    pub batches: u64,
+    /// Optional elements processed per iteration (for throughput).
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Elements per second at the mean time, when `elements` is set.
+    pub fn elems_per_sec(&self) -> Option<f64> {
+        self.elements.map(|e| e as f64 * 1e9 / self.mean_ns)
+    }
+}
+
+/// Collects benchmark results and renders them.
+#[derive(Debug)]
+pub struct Harness {
+    name: String,
+    target: Duration,
+    batches: u64,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Creates a harness; honours `--quick` / `ACOUSTIC_BENCH_QUICK`.
+    pub fn new(name: &str) -> Harness {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("ACOUSTIC_BENCH_QUICK").is_some();
+        let (target, batches) = if quick {
+            (Duration::from_millis(20), 3)
+        } else {
+            (Duration::from_millis(150), 7)
+        };
+        Harness {
+            name: name.to_string(),
+            target,
+            batches,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, recording the result under `group`/`id`.
+    ///
+    /// `elements` is the number of logical items one call processes; it is
+    /// only used for throughput reporting.
+    pub fn bench<T>(
+        &mut self,
+        group: &str,
+        id: impl ToString,
+        elements: Option<u64>,
+        mut f: impl FnMut() -> T,
+    ) -> &BenchResult {
+        // Warm-up: run until ~1/10 of the target window has elapsed, and
+        // learn the cost of one call to size the batches.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_start.elapsed() < self.target / 10 || warm_calls < 3 {
+            black_box(f());
+            warm_calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_calls as f64;
+        let iters = ((self.target.as_secs_f64() / self.batches as f64 / per_call.max(1e-9)).ceil()
+            as u64)
+            .max(1);
+
+        let mut batch_ns = Vec::with_capacity(self.batches as usize);
+        for _ in 0..self.batches {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            batch_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let mean_ns = batch_ns.iter().sum::<f64>() / batch_ns.len() as f64;
+        let min_ns = batch_ns.iter().copied().fold(f64::INFINITY, f64::min);
+
+        self.results.push(BenchResult {
+            group: group.to_string(),
+            id: id.to_string(),
+            mean_ns,
+            min_ns,
+            iters,
+            batches: self.batches,
+            elements,
+        });
+        println!(
+            "{:<24} {:<10} {:>12} mean, {:>12} best{}",
+            group,
+            self.results.last().unwrap().id,
+            fmt_ns(mean_ns),
+            fmt_ns(min_ns),
+            self.results
+                .last()
+                .unwrap()
+                .elems_per_sec()
+                .map(|t| format!(", {:.3e} elems/s", t))
+                .unwrap_or_default()
+        );
+        self.results.last().unwrap()
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a closing summary line.
+    pub fn finish(&self) {
+        println!(
+            "{}: {} measurements ({} batches each)",
+            self.name,
+            self.results.len(),
+            self.batches
+        );
+    }
+
+    /// Serializes every result to a JSON array (hand-rolled; the repo
+    /// builds offline with no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  {{\"group\": {}, \"id\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"iters\": {}, \"batches\": {}, \"elements\": {}}}",
+                json_string(&r.group),
+                json_string(&r.id),
+                r.mean_ns,
+                r.min_ns,
+                r.iters,
+                r.batches,
+                r.elements
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "null".into()),
+            );
+            out.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Escapes a string as a JSON literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{:.1} ns", ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_serializes() {
+        std::env::set_var("ACOUSTIC_BENCH_QUICK", "1");
+        let mut h = Harness::new("unit");
+        let mut acc = 0u64;
+        let r = h.bench("spin", 16, Some(16), || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(r.mean_ns > 0.0);
+        assert!(r.elems_per_sec().unwrap() > 0.0);
+        let json = h.to_json();
+        assert!(json.contains("\"group\": \"spin\""));
+        assert!(json.contains("\"elements\": 16"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

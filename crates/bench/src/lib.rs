@@ -23,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod harness;
 pub mod models;
 pub mod table;
 

@@ -100,7 +100,9 @@ pub fn resnet_mini(accum: AccumMode) -> Result<Network, NnError> {
     let mut block = Network::new();
     block.push_conv(Conv2d::new(8, 8, 3, 1, 1, accum)?);
     block.push_relu(Relu::clamped());
-    net.push(acoustic_nn::layers::NetLayer::Residual(Residual::new(block)));
+    net.push(acoustic_nn::layers::NetLayer::Residual(Residual::new(
+        block,
+    )));
     net.push_relu(Relu::clamped());
     net.push_avg_pool(AvgPool2d::new(2)?);
     net.push_flatten();

@@ -139,10 +139,7 @@ mod tests {
 
     #[test]
     fn or_accumulate_empty_is_error() {
-        assert!(matches!(
-            or_accumulate(&[]),
-            Err(CoreError::EmptyOperands)
-        ));
+        assert!(matches!(or_accumulate(&[]), Err(CoreError::EmptyOperands)));
     }
 
     #[test]

@@ -214,10 +214,16 @@ mod tests {
     #[test]
     fn to_value_normalises_per_phase() {
         let mut c = UpDownCounter::new();
-        c.accumulate(&Bitstream::from_bits(&[true, true, false, false]), Phase::Positive)
-            .unwrap();
-        c.accumulate(&Bitstream::from_bits(&[true, false, false, false]), Phase::Negative)
-            .unwrap();
+        c.accumulate(
+            &Bitstream::from_bits(&[true, true, false, false]),
+            Phase::Positive,
+        )
+        .unwrap();
+        c.accumulate(
+            &Bitstream::from_bits(&[true, false, false, false]),
+            Phase::Negative,
+        )
+        .unwrap();
         // (2 - 1) / 4 = 0.25
         assert!((c.to_value(4) - 0.25).abs() < 1e-12);
     }
@@ -231,7 +237,8 @@ mod tests {
     #[test]
     fn counter_never_exceeds_bits_seen() {
         let mut c = UpDownCounter::new();
-        c.accumulate(&Bitstream::ones(100), Phase::Positive).unwrap();
+        c.accumulate(&Bitstream::ones(100), Phase::Positive)
+            .unwrap();
         c.accumulate(&Bitstream::ones(50), Phase::Positive).unwrap();
         assert!(c.count().unsigned_abs() <= c.bits_seen());
     }
@@ -251,8 +258,11 @@ mod tests {
         // pooled average = (4 + 0) / (8 + 8) = 0.25 of the total length —
         // i.e. per-phase value (4+0)/16 when per-phase length is 16 total.
         let mut c = UpDownCounter::new();
-        c.accumulate(&Bitstream::from_bits(&[true; 4]).concat(&Bitstream::zeros(4)), Phase::Positive)
-            .unwrap();
+        c.accumulate(
+            &Bitstream::from_bits(&[true; 4]).concat(&Bitstream::zeros(4)),
+            Phase::Positive,
+        )
+        .unwrap();
         c.accumulate(&Bitstream::zeros(8), Phase::Positive).unwrap();
         assert_eq!(c.count(), 4);
         assert!((c.to_value(16) - 0.25).abs() < 1e-12);

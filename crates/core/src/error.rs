@@ -112,12 +112,7 @@ pub fn measure_unipolar_rms(v: f64, n: usize, trials: usize, seed: u32) -> Resul
 /// # Errors
 ///
 /// Returns [`CoreError::ValueOutOfRange`] if `v ∉ [−1, 1]`.
-pub fn measure_bipolar_rms(
-    v: f64,
-    n_b: usize,
-    trials: usize,
-    seed: u32,
-) -> Result<f64, CoreError> {
+pub fn measure_bipolar_rms(v: f64, n_b: usize, trials: usize, seed: u32) -> Result<f64, CoreError> {
     if !(-1.0..=1.0).contains(&v) || !v.is_finite() {
         return Err(CoreError::ValueOutOfRange {
             value: v,

@@ -49,6 +49,7 @@ pub mod error;
 pub mod fsm;
 pub mod gates;
 pub mod pooling;
+pub mod prng;
 pub mod rng;
 pub mod sng;
 pub mod split_unipolar;
@@ -59,6 +60,7 @@ pub use accumulate::{or_accumulate, or_expected, OrAccumulator};
 pub use bitstream::Bitstream;
 pub use core_error::CoreError;
 pub use counter::UpDownCounter;
+pub use prng::DetRng;
 pub use rng::Lfsr;
 pub use sng::{Sng, SngBank};
 pub use split_unipolar::{SplitUnipolarMac, SplitWeight};

@@ -39,7 +39,9 @@ use crate::{Bitstream, CoreError, Lfsr};
 /// # }
 /// ```
 pub fn skip_pool_concat(short_streams: &[Bitstream]) -> Result<Bitstream, CoreError> {
-    let (first, rest) = short_streams.split_first().ok_or(CoreError::EmptyOperands)?;
+    let (first, rest) = short_streams
+        .split_first()
+        .ok_or(CoreError::EmptyOperands)?;
     let mut out = first.clone();
     for s in rest {
         if s.len() != first.len() {

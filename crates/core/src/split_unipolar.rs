@@ -407,7 +407,11 @@ mod tests {
         let mac = SplitUnipolarMac::new(4096, 96);
         let out = mac.execute(&acts, &weights, 0xACE1, 0x1D2C).unwrap();
         let linear = ideal_dot(&acts, &weights); // 6.48
-        assert!(out.value < 1.05, "OR output must saturate, got {}", out.value);
+        assert!(
+            out.value < 1.05,
+            "OR output must saturate, got {}",
+            out.value
+        );
         assert!(out.value < linear);
     }
 

@@ -1,203 +1,284 @@
-//! Property-based tests of the SC primitive invariants (DESIGN.md §7).
-
-use proptest::prelude::*;
+//! Property-style tests of the SC primitive invariants (DESIGN.md §7).
+//!
+//! Formerly written against the external `proptest` crate; the repo now
+//! builds fully offline, so each property is exercised over a deterministic
+//! [`DetRng`]-driven sample sweep instead of a shrinking random search. The
+//! invariants themselves are unchanged.
 
 use acoustic_core::counter::{ParallelPreCounter, Phase};
 use acoustic_core::error::{bipolar_rms_error, unipolar_rms_error};
 use acoustic_core::gates;
-use acoustic_core::pooling::{skipped_segment_len, skip_pool_concat};
+use acoustic_core::pooling::{skip_pool_concat, skipped_segment_len};
 use acoustic_core::sng::quantize_probability;
 use acoustic_core::{
-    or_accumulate, or_expected, Bitstream, CoreError, Lfsr, Sng, UpDownCounter,
+    or_accumulate, or_expected, Bitstream, CoreError, DetRng, Lfsr, Sng, UpDownCounter,
 };
 
-fn arb_stream(len: usize) -> impl Strategy<Value = Bitstream> {
-    proptest::collection::vec(any::<bool>(), len).prop_map(|b| Bitstream::from_bits(&b))
+const CASES: usize = 96;
+
+fn rng(test_tag: u64) -> DetRng {
+    DetRng::seed_from_u64(0xAC0_0571C ^ test_tag)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn rand_stream(rng: &mut DetRng, len: usize) -> Bitstream {
+    let bits: Vec<bool> = (0..len).map(|_| rng.next_bool()).collect();
+    Bitstream::from_bits(&bits)
+}
 
-    // --- Bitstream algebra ---
+// --- Bitstream algebra ---
 
-    #[test]
-    fn and_or_absorption(a in arb_stream(64), b in arb_stream(64)) {
+#[test]
+fn and_or_absorption() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let a = rand_stream(&mut r, 64);
+        let b = rand_stream(&mut r, 64);
         // a | (a & b) == a and a & (a | b) == a
         let and = a.and(&b).unwrap();
-        prop_assert_eq!(a.or(&and).unwrap(), a.clone());
+        assert_eq!(a.or(&and).unwrap(), a.clone());
         let or = a.or(&b).unwrap();
-        prop_assert_eq!(a.and(&or).unwrap(), a);
+        assert_eq!(a.and(&or).unwrap(), a);
     }
+}
 
-    #[test]
-    fn xor_is_addition_mod2(a in arb_stream(70), b in arb_stream(70)) {
+#[test]
+fn xor_is_addition_mod2() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
+        let a = rand_stream(&mut r, 70);
+        let b = rand_stream(&mut r, 70);
         let x = a.xor(&b).unwrap();
         // (a xor b) xor b == a
-        prop_assert_eq!(x.xor(&b).unwrap(), a);
+        assert_eq!(x.xor(&b).unwrap(), a);
     }
+}
 
-    #[test]
-    fn not_involution(a in arb_stream(100)) {
-        prop_assert_eq!(a.not().not(), a);
+#[test]
+fn not_involution() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let a = rand_stream(&mut r, 100);
+        assert_eq!(a.not().not(), a);
     }
+}
 
-    #[test]
-    fn concat_value_is_weighted_mean(a in arb_stream(32), b in arb_stream(96)) {
+#[test]
+fn concat_value_is_weighted_mean() {
+    let mut r = rng(4);
+    for _ in 0..CASES {
+        let a = rand_stream(&mut r, 32);
+        let b = rand_stream(&mut r, 96);
         let c = a.concat(&b);
         let expect = (a.count_ones() + b.count_ones()) as f64 / 128.0;
-        prop_assert!((c.value() - expect).abs() < 1e-12);
+        assert!((c.value() - expect).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn slice_concat_roundtrip(a in arb_stream(64), cut in 0usize..=64) {
+#[test]
+fn slice_concat_roundtrip() {
+    let mut r = rng(5);
+    for _ in 0..CASES {
+        let a = rand_stream(&mut r, 64);
+        let cut = r.gen_range_usize(0, 65);
         let left = a.slice(0, cut);
         let right = a.slice(cut, 64 - cut);
-        prop_assert_eq!(left.concat(&right), a);
+        assert_eq!(left.concat(&right), a);
     }
+}
 
-    #[test]
-    fn scc_is_symmetric_and_bounded(a in arb_stream(64), b in arb_stream(64)) {
+#[test]
+fn scc_is_symmetric_and_bounded() {
+    let mut r = rng(6);
+    for _ in 0..CASES {
+        let a = rand_stream(&mut r, 64);
+        let b = rand_stream(&mut r, 64);
         let ab = a.scc(&b).unwrap();
         let ba = b.scc(&a).unwrap();
-        prop_assert!((ab - ba).abs() < 1e-9);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
+        assert!((ab - ba).abs() < 1e-9);
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
     }
+}
 
-    // --- Gates ---
+// --- Gates ---
 
-    #[test]
-    fn mux_output_between_inputs(
-        a in arb_stream(64), b in arb_stream(64), s in arb_stream(64)
-    ) {
+#[test]
+fn mux_output_between_inputs() {
+    let mut r = rng(7);
+    for _ in 0..CASES {
+        let a = rand_stream(&mut r, 64);
+        let b = rand_stream(&mut r, 64);
+        let s = rand_stream(&mut r, 64);
         let m = gates::mux_add(&a, &b, &s).unwrap();
-        let lo = a.count_ones().min(b.count_ones());
-        let hi = a.count_ones().max(b.count_ones());
-        // Each output bit picks one input bit, so the count is bracketed by
-        // taking all from the smaller / larger stream... only when inputs
-        // agree; the general sound bound is [0, a+b].
-        prop_assert!(m.count_ones() <= a.count_ones() + b.count_ones());
-        let _ = (lo, hi);
+        // Each output bit picks one input bit, so the sound bound on the
+        // count is [0, a+b].
+        assert!(m.count_ones() <= a.count_ones() + b.count_ones());
     }
+}
 
-    #[test]
-    fn or_add_expected_is_commutative_associative(
-        va in 0.0f64..=1.0, vb in 0.0f64..=1.0, vc in 0.0f64..=1.0
-    ) {
+#[test]
+fn or_add_expected_is_commutative_associative() {
+    let mut r = rng(8);
+    for _ in 0..CASES {
+        let va = r.gen_range_f64(0.0, 1.0);
+        let vb = r.gen_range_f64(0.0, 1.0);
+        let vc = r.gen_range_f64(0.0, 1.0);
         let ab_c = gates::or_add_expected(gates::or_add_expected(va, vb), vc);
         let a_bc = gates::or_add_expected(va, gates::or_add_expected(vb, vc));
-        prop_assert!((ab_c - a_bc).abs() < 1e-12);
-        prop_assert!((gates::or_add_expected(va, vb) - gates::or_add_expected(vb, va)).abs() < 1e-15);
+        assert!((ab_c - a_bc).abs() < 1e-12);
+        assert!((gates::or_add_expected(va, vb) - gates::or_add_expected(vb, va)).abs() < 1e-15);
     }
+}
 
-    // --- RNG/SNG ---
+// --- RNG/SNG ---
 
-    #[test]
-    fn lfsr_never_hits_zero(width in 4u32..=16, seed in 1u32..0xFFFF) {
+#[test]
+fn lfsr_never_hits_zero() {
+    let mut r = rng(9);
+    for _ in 0..CASES {
+        let width = r.gen_range_usize(4, 17) as u32;
+        let seed = r.gen_range_usize(1, 0xFFFF) as u32;
         if let Ok(mut l) = Lfsr::maximal(width, seed) {
             for _ in 0..200 {
-                prop_assert_ne!(l.next_value(), 0);
+                assert_ne!(l.next_value(), 0);
             }
         }
     }
+}
 
-    #[test]
-    fn quantize_probability_monotone(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+#[test]
+fn quantize_probability_monotone() {
+    let mut r = rng(10);
+    for _ in 0..CASES {
+        let a = r.gen_range_f64(0.0, 1.0);
+        let b = r.gen_range_f64(0.0, 1.0);
         let qa = quantize_probability(a, 8).unwrap();
         let qb = quantize_probability(b, 8).unwrap();
         if a <= b {
-            prop_assert!(qa <= qb);
+            assert!(qa <= qb);
         }
     }
+}
 
-    #[test]
-    fn sng_full_period_is_exact(v in 0.0f64..=1.0, seed in 1u32..=255) {
+#[test]
+fn sng_full_period_is_exact() {
+    let mut r = rng(11);
+    for _ in 0..CASES {
+        let v = r.gen_range_f64(0.0, 1.0);
+        let seed = r.gen_range_usize(1, 256) as u32;
         // Over one full period of an 8-bit LFSR the ones count equals the
         // threshold exactly.
         let mut sng = Sng::new(Lfsr::maximal(8, seed).unwrap(), 8);
         let s = sng.generate(v, 255).unwrap();
         let t = quantize_probability(v, 8).unwrap();
-        prop_assert_eq!(s.count_ones(), u64::from(t));
+        assert_eq!(s.count_ones(), u64::from(t));
     }
+}
 
-    // --- Accumulation ---
+// --- Accumulation ---
 
-    #[test]
-    fn or_accumulate_idempotent_on_duplicates(a in arb_stream(64)) {
+#[test]
+fn or_accumulate_idempotent_on_duplicates() {
+    let mut r = rng(12);
+    for _ in 0..CASES {
+        let a = rand_stream(&mut r, 64);
         let once = or_accumulate(std::slice::from_ref(&a)).unwrap();
         let twice = or_accumulate(&[a.clone(), a]).unwrap();
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
+}
 
-    #[test]
-    fn or_expected_monotone_in_each_arg(
-        mut values in proptest::collection::vec(0.0f64..=1.0, 2..10),
-        bump in 0.0f64..=0.2
-    ) {
+#[test]
+fn or_expected_monotone_in_each_arg() {
+    let mut r = rng(13);
+    for _ in 0..CASES {
+        let k = r.gen_range_usize(2, 10);
+        let mut values: Vec<f64> = (0..k).map(|_| r.gen_range_f64(0.0, 1.0)).collect();
+        let bump = r.gen_range_f64(0.0, 0.2);
         let before = or_expected(&values);
         values[0] = (values[0] + bump).min(1.0);
         let after = or_expected(&values);
-        prop_assert!(after >= before - 1e-12);
+        assert!(after >= before - 1e-12);
     }
+}
 
-    // --- Counters ---
+// --- Counters ---
 
-    #[test]
-    fn counter_two_phase_is_difference(pos in arb_stream(64), neg in arb_stream(64)) {
+#[test]
+fn counter_two_phase_is_difference() {
+    let mut r = rng(14);
+    for _ in 0..CASES {
+        let pos = rand_stream(&mut r, 64);
+        let neg = rand_stream(&mut r, 64);
         let mut c = UpDownCounter::new();
         c.accumulate(&pos, Phase::Positive).unwrap();
         c.accumulate(&neg, Phase::Negative).unwrap();
-        prop_assert_eq!(c.count(), pos.count_ones() as i64 - neg.count_ones() as i64);
-        prop_assert_eq!(c.relu(), c.count().max(0));
+        assert_eq!(c.count(), pos.count_ones() as i64 - neg.count_ones() as i64);
+        assert_eq!(c.relu(), c.count().max(0));
     }
+}
 
-    #[test]
-    fn pre_counter_equals_separate_accumulation(
-        a in arb_stream(32), b in arb_stream(32)
-    ) {
+#[test]
+fn pre_counter_equals_separate_accumulation() {
+    let mut r = rng(15);
+    for _ in 0..CASES {
+        let a = rand_stream(&mut r, 32);
+        let b = rand_stream(&mut r, 32);
         let pc = ParallelPreCounter::new(2).unwrap();
         let mut pooled = UpDownCounter::new();
-        pc.feed(&[a.clone(), b.clone()], Phase::Positive, &mut pooled).unwrap();
+        pc.feed(&[a.clone(), b.clone()], Phase::Positive, &mut pooled)
+            .unwrap();
         let mut separate = UpDownCounter::new();
         separate.accumulate(&a, Phase::Positive).unwrap();
         separate.accumulate(&b, Phase::Positive).unwrap();
-        prop_assert_eq!(pooled.count(), separate.count());
+        assert_eq!(pooled.count(), separate.count());
     }
+}
 
-    // --- Pooling ---
+// --- Pooling ---
 
-    #[test]
-    fn skip_pooling_mean_matches_counter_mean(
-        segs in proptest::collection::vec(arb_stream(16), 1..8)
-    ) {
+#[test]
+fn skip_pooling_mean_matches_counter_mean() {
+    let mut r = rng(16);
+    for _ in 0..CASES {
+        let k = r.gen_range_usize(1, 8);
+        let segs: Vec<Bitstream> = (0..k).map(|_| rand_stream(&mut r, 16)).collect();
         let pooled = skip_pool_concat(&segs).unwrap();
         let mut c = UpDownCounter::new();
         for s in &segs {
             c.accumulate(s, Phase::Positive).unwrap();
         }
         let counter_mean = c.count() as f64 / (16 * segs.len()) as f64;
-        prop_assert!((pooled.value() - counter_mean).abs() < 1e-12);
+        assert!((pooled.value() - counter_mean).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn segment_length_times_k_is_n(n_pow in 4u32..=10, k in 1usize..=4) {
-        let n = 1usize << n_pow;
+#[test]
+fn segment_length_times_k_is_n() {
+    let mut r = rng(17);
+    for _ in 0..CASES {
+        let n = 1usize << r.gen_range_usize(4, 11);
+        let k = r.gen_range_usize(1, 5);
         match skipped_segment_len(n, k) {
-            Ok(seg) => prop_assert_eq!(seg * k, n),
-            Err(CoreError::InvalidStreamLength { .. }) => prop_assert!(!n.is_multiple_of(k)),
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Ok(seg) => assert_eq!(seg * k, n),
+            Err(CoreError::InvalidStreamLength { .. }) => assert!(!n.is_multiple_of(k)),
+            Err(e) => panic!("unexpected error {e}"),
         }
     }
+}
 
-    // --- Error models ---
+// --- Error models ---
 
-    #[test]
-    fn rms_errors_nonnegative_and_shrink(v in 0.0f64..=1.0, n_pow in 3u32..=10) {
-        let n = 1usize << n_pow;
+#[test]
+fn rms_errors_nonnegative_and_shrink() {
+    let mut r = rng(18);
+    for _ in 0..CASES {
+        let v = r.gen_range_f64(0.0, 1.0);
+        let n = 1usize << r.gen_range_usize(3, 11);
         let u = unipolar_rms_error(v, n).unwrap();
         let u4 = unipolar_rms_error(v, 4 * n).unwrap();
-        prop_assert!(u >= 0.0);
-        prop_assert!((u4 - u / 2.0).abs() < 1e-12, "1/sqrt(n) scaling");
+        assert!(u >= 0.0);
+        assert!((u4 - u / 2.0).abs() < 1e-12, "1/sqrt(n) scaling");
         let b = bipolar_rms_error(2.0 * v - 1.0, n).unwrap();
-        prop_assert!(b >= 0.0);
+        assert!(b >= 0.0);
     }
 }

@@ -65,11 +65,7 @@ mod tests {
     fn all_digits_have_pixels() {
         for d in 0..10 {
             let g = digit_glyph(d);
-            let count: usize = g
-                .iter()
-                .flat_map(|r| r.iter())
-                .filter(|&&b| b)
-                .count();
+            let count: usize = g.iter().flat_map(|r| r.iter()).filter(|&&b| b).count();
             assert!(count >= 7, "digit {d} too sparse ({count} px)");
         }
     }
@@ -78,7 +74,11 @@ mod tests {
     fn digits_are_pairwise_distinct() {
         for a in 0..10 {
             for b in (a + 1)..10 {
-                assert_ne!(digit_glyph(a), digit_glyph(b), "digits {a} and {b} identical");
+                assert_ne!(
+                    digit_glyph(a),
+                    digit_glyph(b),
+                    "digits {a} and {b} identical"
+                );
             }
         }
     }

@@ -21,10 +21,9 @@
 
 mod glyphs;
 
+use acoustic_core::DetRng;
 use acoustic_nn::train::Sample;
 use acoustic_nn::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 pub use glyphs::digit_glyph;
 
@@ -65,14 +64,14 @@ impl Dataset {
 /// assert_eq!(ds.input_shape(), vec![1, 28, 28]);
 /// ```
 pub fn mnist_like(train: usize, test: usize, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let make = |rng: &mut StdRng, label: usize| -> Sample {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let make = |rng: &mut DetRng, label: usize| -> Sample {
         let mut img = Tensor::zeros(&[1, 28, 28]);
         // Background noise floor.
         for v in img.as_mut_slice() {
-            *v = rng.gen_range(0.0..0.08);
+            *v = rng.gen_range_f32(0.0, 0.08);
         }
-        let (oy, ox) = (rng.gen_range(0..7), rng.gen_range(0..4));
+        let (oy, ox) = (rng.gen_range_usize(0, 7), rng.gen_range_usize(0, 4));
         draw_glyph(&mut img, 0, label, 3, oy, ox, rng, 0.75, 1.0);
         (img, label)
     };
@@ -81,27 +80,35 @@ pub fn mnist_like(train: usize, test: usize, seed: u64) -> Dataset {
 
 /// Generates an SVHN-like dataset: 32×32×3 digit glyphs over coloured
 /// cluttered backgrounds, classes 0–9.
+// `c` is both an index into the per-channel constants and the channel
+// argument of `set3`, so an enumerating iterator would not simplify it.
+#[allow(clippy::needless_range_loop)]
 pub fn svhn_like(train: usize, test: usize, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let make = |rng: &mut StdRng, label: usize| -> Sample {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let make = |rng: &mut DetRng, label: usize| -> Sample {
         let mut img = Tensor::zeros(&[3, 32, 32]);
         // Coloured background with block clutter.
         let bg: [f32; 3] = [
-            rng.gen_range(0.1..0.5),
-            rng.gen_range(0.1..0.5),
-            rng.gen_range(0.1..0.5),
+            rng.gen_range_f32(0.1, 0.5),
+            rng.gen_range_f32(0.1, 0.5),
+            rng.gen_range_f32(0.1, 0.5),
         ];
         for c in 0..3 {
             for y in 0..32 {
                 for x in 0..32 {
-                    img.set3(c, y, x, (bg[c] + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0));
+                    img.set3(
+                        c,
+                        y,
+                        x,
+                        (bg[c] + rng.gen_range_f32(-0.05, 0.05)).clamp(0.0, 1.0),
+                    );
                 }
             }
         }
         for _ in 0..2 {
             // Distractor blocks (mild, so the digit stays the dominant cue).
-            let (by, bx) = (rng.gen_range(0..28), rng.gen_range(0..28));
-            let tint: f32 = rng.gen_range(0.0..0.2);
+            let (by, bx) = (rng.gen_range_usize(0, 28), rng.gen_range_usize(0, 28));
+            let tint: f32 = rng.gen_range_f32(0.0, 0.2);
             for c in 0..3 {
                 for y in by..(by + 4).min(32) {
                     for x in bx..(bx + 4).min(32) {
@@ -113,11 +120,11 @@ pub fn svhn_like(train: usize, test: usize, seed: u64) -> Dataset {
         }
         // Bright digit glyph on all channels, slightly tinted.
         let fg: [f32; 3] = [
-            rng.gen_range(0.85..1.0),
-            rng.gen_range(0.85..1.0),
-            rng.gen_range(0.85..1.0),
+            rng.gen_range_f32(0.85, 1.0),
+            rng.gen_range_f32(0.85, 1.0),
+            rng.gen_range_f32(0.85, 1.0),
         ];
-        let (oy, ox) = (rng.gen_range(2..8), rng.gen_range(4..10));
+        let (oy, ox) = (rng.gen_range_usize(2, 8), rng.gen_range_usize(4, 10));
         for c in 0..3 {
             draw_glyph(&mut img, c, label, 3, oy, ox, rng, 0.85 * fg[c], fg[c]);
         }
@@ -132,23 +139,25 @@ pub fn svhn_like(train: usize, test: usize, seed: u64) -> Dataset {
 /// Class identity is encoded redundantly (base hue, grating orientation and
 /// frequency, and a class-dependent shape mask) so that convolutional
 /// features — not a single pixel statistic — are needed to classify.
+// See `svhn_like` on the range-loop allowance.
+#[allow(clippy::needless_range_loop)]
 pub fn cifar_like(train: usize, test: usize, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let make = |rng: &mut StdRng, label: usize| -> Sample {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let make = |rng: &mut DetRng, label: usize| -> Sample {
         let mut img = Tensor::zeros(&[3, 32, 32]);
         let base = hue_to_rgb(label as f32 / 10.0);
         // Oriented grating: orientation and frequency depend on the class.
         let angle =
-            (label % 5) as f32 * std::f32::consts::PI / 5.0 + rng.gen_range(-0.12..0.12);
-        let freq = 0.25 + 0.09 * (label / 5) as f32 + rng.gen_range(-0.02..0.02);
+            (label % 5) as f32 * std::f32::consts::PI / 5.0 + rng.gen_range_f32(-0.12, 0.12);
+        let freq = 0.25 + 0.09 * (label / 5) as f32 + rng.gen_range_f32(-0.02, 0.02);
         let (sa, ca) = angle.sin_cos();
-        let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        let phase: f32 = rng.gen_range_f32(0.0, std::f32::consts::TAU);
         for y in 0..32 {
             for x in 0..32 {
                 let t = (x as f32 * ca + y as f32 * sa) * freq + phase;
                 let g = 0.5 + 0.5 * t.sin();
                 for c in 0..3 {
-                    let v = (0.35 * base[c] + 0.45 * g * base[c] + rng.gen_range(0.0..0.12))
+                    let v = (0.35 * base[c] + 0.45 * g * base[c] + rng.gen_range_f32(0.0, 0.12))
                         .clamp(0.0, 1.0);
                     img.set3(c, y, x, v);
                 }
@@ -157,7 +166,10 @@ pub fn cifar_like(train: usize, test: usize, seed: u64) -> Dataset {
         // Class-dependent bright shape: even classes a disc, odd a square,
         // size tied to the class index.
         let r = (4 + (label % 5)) as i32;
-        let (cy, cx) = (rng.gen_range(8..24), rng.gen_range(8..24));
+        let (cy, cx) = (
+            rng.gen_range_usize(8, 24) as i32,
+            rng.gen_range_usize(8, 24) as i32,
+        );
         for y in 0..32i32 {
             for x in 0..32i32 {
                 let inside = if label.is_multiple_of(2) {
@@ -167,8 +179,7 @@ pub fn cifar_like(train: usize, test: usize, seed: u64) -> Dataset {
                 };
                 if inside {
                     for c in 0..3 {
-                        let v = (img.at3(c, y as usize, x as usize) * 0.3
-                            + 0.7 * (1.0 - base[c]))
+                        let v = (img.at3(c, y as usize, x as usize) * 0.3 + 0.7 * (1.0 - base[c]))
                             .clamp(0.0, 1.0);
                         img.set3(c, y as usize, x as usize, v);
                     }
@@ -180,12 +191,12 @@ pub fn cifar_like(train: usize, test: usize, seed: u64) -> Dataset {
     build("cifar-like", train, test, 10, &mut rng, make)
 }
 
-fn build<F: FnMut(&mut StdRng, usize) -> Sample>(
+fn build<F: FnMut(&mut DetRng, usize) -> Sample>(
     name: &str,
     train: usize,
     test: usize,
     classes: usize,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     mut make: F,
 ) -> Dataset {
     let mut train_v = Vec::with_capacity(train);
@@ -206,6 +217,7 @@ fn build<F: FnMut(&mut StdRng, usize) -> Sample>(
 
 /// Draws digit `label`'s 5×7 glyph into channel `c` of `img`, scaled by
 /// `scale`, offset by `(oy, ox)`, with per-pixel intensity in `[lo, hi)`.
+#[allow(clippy::too_many_arguments)] // glyph placement is inherently positional
 fn draw_glyph(
     img: &mut Tensor,
     c: usize,
@@ -213,7 +225,7 @@ fn draw_glyph(
     scale: usize,
     oy: usize,
     ox: usize,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     lo: f32,
     hi: f32,
 ) {
@@ -230,7 +242,11 @@ fn draw_glyph(
                     let y = oy + gy * scale + dy;
                     let x = ox + gx * scale + dx;
                     if y < h && x < w {
-                        let v = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                        let v = if hi > lo {
+                            rng.gen_range_f32(lo, hi)
+                        } else {
+                            lo
+                        };
                         img.set3(c, y, x, v);
                     }
                 }

@@ -638,8 +638,7 @@ mod reference_tests {
                                 if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                     continue;
                                 }
-                                let wv = weights
-                                    [oc * in_c * k * k + (ic * k + ky) * k + kx];
+                                let wv = weights[oc * in_c * k * k + (ic * k + ky) * k + kx];
                                 acc += wv * input.at3(ic, iy as usize, ix as usize);
                             }
                         }
@@ -679,18 +678,13 @@ mod reference_tests {
         let mut fc = Dense::new(4, 3, AccumMode::Linear).unwrap();
         fc.weights_mut().copy_from_slice(conv.weights());
 
-        let input = Tensor::from_vec(
-            &[4, 2, 2],
-            (0..16).map(|i| (i as f32) / 16.0).collect(),
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(&[4, 2, 2], (0..16).map(|i| (i as f32) / 16.0).collect()).unwrap();
         let conv_out = conv.forward(&input).unwrap();
         for y in 0..2 {
             for x in 0..2 {
                 let pixel: Vec<f32> = (0..4).map(|c| input.at3(c, y, x)).collect();
-                let fc_out = fc
-                    .forward(&Tensor::from_vec(&[4], pixel).unwrap())
-                    .unwrap();
+                let fc_out = fc.forward(&Tensor::from_vec(&[4], pixel).unwrap()).unwrap();
                 for (o, &expect) in fc_out.as_slice().iter().enumerate() {
                     assert!(
                         (conv_out.at3(o, y, x) - expect).abs() < 1e-5,

@@ -116,9 +116,9 @@ impl Dense {
         let mut out = vec![0.0f32; self.out_n];
         match self.accum {
             AccumMode::Linear => {
-                for o in 0..self.out_n {
+                for (o, slot) in out.iter_mut().enumerate() {
                     let row = &self.weight[o * self.in_n..(o + 1) * self.in_n];
-                    out[o] = row.iter().zip(x).map(|(&w, &a)| w * a).sum();
+                    *slot = row.iter().zip(x).map(|(&w, &a)| w * a).sum();
                 }
                 self.pos_sum.clear();
                 self.neg_sum.clear();
@@ -185,8 +185,14 @@ impl Dense {
         // OrApprox derivatives depend only on the output: precompute.
         let (dpos, dneg): (Vec<f64>, Vec<f64>) = if self.accum == AccumMode::OrApprox {
             (
-                self.pos_sum.iter().map(|&s| orsum::or_approx_derivative(s)).collect(),
-                self.neg_sum.iter().map(|&s| orsum::or_approx_derivative(s)).collect(),
+                self.pos_sum
+                    .iter()
+                    .map(|&s| orsum::or_approx_derivative(s))
+                    .collect(),
+                self.neg_sum
+                    .iter()
+                    .map(|&s| orsum::or_approx_derivative(s))
+                    .collect(),
             )
         } else {
             (Vec::new(), Vec::new())
@@ -241,7 +247,8 @@ mod tests {
     #[test]
     fn linear_forward_is_matvec() {
         let mut fc = Dense::new(3, 2, AccumMode::Linear).unwrap();
-        fc.weights_mut().copy_from_slice(&[1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        fc.weights_mut()
+            .copy_from_slice(&[1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
         let out = fc
             .forward(&Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]).unwrap())
             .unwrap();
@@ -263,14 +270,18 @@ mod tests {
     fn gradcheck_all_modes() {
         for mode in [AccumMode::Linear, AccumMode::OrApprox, AccumMode::OrExact] {
             let mut fc = Dense::new(4, 3, mode).unwrap();
-            let input =
-                Tensor::from_vec(&[4], vec![0.2, 0.5, 0.1, 0.8]).unwrap();
+            let input = Tensor::from_vec(&[4], vec![0.2, 0.5, 0.1, 0.8]).unwrap();
             let out = fc.forward(&input).unwrap();
             let grad_out = out.map(|v| 2.0 * v);
             let gin = fc.backward(&grad_out).unwrap();
 
             let loss = |f: &mut Dense, inp: &Tensor| -> f32 {
-                f.forward(inp).unwrap().as_slice().iter().map(|v| v * v).sum()
+                f.forward(inp)
+                    .unwrap()
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum()
             };
             let h = 1e-3;
             for wi in [0usize, 5, 11] {

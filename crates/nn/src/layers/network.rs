@@ -171,6 +171,19 @@ impl Network {
         self.layers.iter().map(NetLayer::param_count).sum()
     }
 
+    /// A 64-bit structural + weight fingerprint.
+    ///
+    /// Two networks fingerprint equal iff their layer arrangements, layer
+    /// hyper-parameters and weight *bit patterns* are identical, so the
+    /// value is a sound cache key for anything derived purely from the
+    /// architecture and weights (e.g. `acoustic-runtime`'s prepared-model
+    /// cache). The hash is FNV-1a and stable across platforms and runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        fingerprint_layers(&self.layers, &mut h);
+        h
+    }
+
     /// Full forward pass.
     ///
     /// # Errors
@@ -221,6 +234,73 @@ impl Network {
     }
 }
 
+fn fnv(h: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fingerprint_layers(layers: &[NetLayer], h: &mut u64) {
+    let accum_tag = |a: AccumMode| -> u64 {
+        match a {
+            AccumMode::Linear => 0,
+            AccumMode::OrApprox => 1,
+            AccumMode::OrExact => 2,
+        }
+    };
+    for layer in layers {
+        match layer {
+            NetLayer::Conv(c) => {
+                fnv(h, 1);
+                for d in [
+                    c.in_channels(),
+                    c.out_channels(),
+                    c.kernel(),
+                    c.stride(),
+                    c.padding(),
+                ] {
+                    fnv(h, d as u64);
+                }
+                fnv(h, accum_tag(c.accum_mode()));
+                for &w in c.weights() {
+                    fnv(h, u64::from(w.to_bits()));
+                }
+            }
+            NetLayer::Dense(d) => {
+                fnv(h, 2);
+                fnv(h, d.in_features() as u64);
+                fnv(h, d.out_features() as u64);
+                fnv(h, accum_tag(d.accum_mode()));
+                for &w in d.weights() {
+                    fnv(h, u64::from(w.to_bits()));
+                }
+            }
+            NetLayer::AvgPool(p) => {
+                fnv(h, 3);
+                fnv(h, p.window() as u64);
+            }
+            NetLayer::MaxPool(p) => {
+                fnv(h, 4);
+                fnv(h, p.window() as u64);
+            }
+            NetLayer::Relu(r) => {
+                fnv(h, 5);
+                fnv(
+                    h,
+                    r.max_value().map_or(u64::MAX, |v| u64::from(v.to_bits())),
+                );
+            }
+            NetLayer::Flatten(_) => fnv(h, 6),
+            NetLayer::Residual(r) => {
+                fnv(h, 7);
+                fingerprint_layers(r.inner().layers(), h);
+                fnv(h, 8);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +328,30 @@ mod tests {
         net.forward(&Tensor::zeros(&[1, 4, 4])).unwrap();
         let gin = net.backward(&Tensor::zeros(&[3])).unwrap();
         assert_eq!(gin.shape(), &[1, 4, 4]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_weights_and_structure() {
+        let a = tiny_net();
+        let b = tiny_net();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // A single weight bit flips the fingerprint.
+        let mut c = tiny_net();
+        if let NetLayer::Conv(conv) = &mut c.layers_mut()[0] {
+            conv.weights_mut()[0] += 0.25;
+        }
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // A structural change (extra layer) flips it too.
+        let mut d = tiny_net();
+        d.push_relu(Relu::clamped());
+        assert_ne!(a.fingerprint(), d.fingerprint());
+
+        // Accumulation mode is part of the identity.
+        let mut e = tiny_net();
+        e.set_accum_mode(AccumMode::OrApprox);
+        assert_ne!(a.fingerprint(), e.fingerprint());
     }
 
     #[test]

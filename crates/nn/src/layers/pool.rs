@@ -211,11 +211,8 @@ mod tests {
     #[test]
     fn avg_pool_2x2() {
         let mut p = AvgPool2d::new(2).unwrap();
-        let input = Tensor::from_vec(
-            &[1, 4, 2],
-            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(&[1, 4, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]).unwrap();
         let out = p.forward(&input).unwrap();
         assert_eq!(out.shape(), &[1, 2, 1]);
         assert_eq!(out.as_slice(), &[2.5, 10.0]);
@@ -235,8 +232,7 @@ mod tests {
     #[test]
     fn max_pool_takes_maximum() {
         let mut p = MaxPool2d::new(2).unwrap();
-        let input =
-            Tensor::from_vec(&[1, 2, 2], vec![0.1, 0.9, 0.5, 0.3]).unwrap();
+        let input = Tensor::from_vec(&[1, 2, 2], vec![0.1, 0.9, 0.5, 0.3]).unwrap();
         let out = p.forward(&input).unwrap();
         assert_eq!(out.as_slice(), &[0.9]);
     }
@@ -244,8 +240,7 @@ mod tests {
     #[test]
     fn max_pool_backward_routes_to_argmax() {
         let mut p = MaxPool2d::new(2).unwrap();
-        let input =
-            Tensor::from_vec(&[1, 2, 2], vec![0.1, 0.9, 0.5, 0.3]).unwrap();
+        let input = Tensor::from_vec(&[1, 2, 2], vec![0.1, 0.9, 0.5, 0.3]).unwrap();
         p.forward(&input).unwrap();
         let gin = p
             .backward(&Tensor::from_vec(&[1, 1, 1], vec![2.0]).unwrap())

@@ -157,8 +157,8 @@ mod tests {
     #[test]
     fn numeric_gradcheck_through_block() {
         let mut b = block();
-        let x = Tensor::from_vec(&[2, 4, 4], (0..32).map(|i| (i % 7) as f32 / 7.0).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec(&[2, 4, 4], (0..32).map(|i| (i % 7) as f32 / 7.0).collect()).unwrap();
         let out = b.forward(&x).unwrap();
         let grad_out = out.map(|v| 2.0 * v);
         let gin = b.backward(&grad_out).unwrap();

@@ -111,7 +111,10 @@ mod tests {
         let t = Tensor::from_vec(&[3], vec![0.0; 3]).unwrap();
         assert!(matches!(
             cross_entropy(&t, 3),
-            Err(NnError::InvalidLabel { label: 3, classes: 3 })
+            Err(NnError::InvalidLabel {
+                label: 3,
+                classes: 3
+            })
         ));
         assert!(cross_entropy(&Tensor::zeros(&[0]), 0).is_err());
     }

@@ -88,7 +88,11 @@ fn write_layers(layers: &[NetLayer], out: &mut String) {
                 let _ = writeln!(
                     out,
                     "relu {}",
-                    if r.max_value().is_some() { "clamped" } else { "plain" }
+                    if r.max_value().is_some() {
+                        "clamped"
+                    } else {
+                        "plain"
+                    }
                 );
             }
             NetLayer::Flatten(_) => out.push_str("flatten\n"),
@@ -141,9 +145,7 @@ fn parse_accum(s: &str) -> Result<AccumMode, NnError> {
 pub fn from_text(text: &str) -> Result<Network, NnError> {
     let mut lines = text.lines();
     if lines.next().map(str::trim) != Some(MAGIC) {
-        return Err(NnError::InvalidConfig(format!(
-            "missing '{MAGIC}' header"
-        )));
+        return Err(NnError::InvalidConfig(format!("missing '{MAGIC}' header")));
     }
     let mut lines = lines.peekable();
     let layers = parse_layers(&mut lines, None)?;
@@ -167,7 +169,7 @@ fn parse_layers<'a, I: Iterator<Item = &'a str>>(
     limit: Option<usize>,
 ) -> Result<Vec<NetLayer>, NnError> {
     let mut layers = Vec::new();
-    while limit.map_or(true, |n| layers.len() < n) {
+    while limit.is_none_or(|n| layers.len() < n) {
         let Some(&line) = lines.peek() else { break };
         let line = line.trim();
         if line == "end" {
@@ -179,8 +181,7 @@ fn parse_layers<'a, I: Iterator<Item = &'a str>>(
         }
         let mut parts = line.split_whitespace();
         let kind = parts.next().unwrap_or("");
-        let bad =
-            |what: &str| NnError::InvalidConfig(format!("malformed {what} line: '{line}'"));
+        let bad = |what: &str| NnError::InvalidConfig(format!("malformed {what} line: '{line}'"));
         match kind {
             "conv" => {
                 let nums: Vec<usize> = parts
@@ -266,14 +267,14 @@ fn read_weights<'a, I: Iterator<Item = &'a str>>(
     dst: &mut [f32],
     header: &str,
 ) -> Result<(), NnError> {
-    let line = lines.next().ok_or_else(|| {
-        NnError::InvalidConfig(format!("missing weight line after '{header}'"))
-    })?;
+    let line = lines
+        .next()
+        .ok_or_else(|| NnError::InvalidConfig(format!("missing weight line after '{header}'")))?;
     let mut count = 0usize;
     for (slot, tok) in dst.iter_mut().zip(line.split_whitespace()) {
-        *slot = tok.parse().map_err(|_| {
-            NnError::InvalidConfig(format!("bad weight '{tok}' after '{header}'"))
-        })?;
+        *slot = tok
+            .parse()
+            .map_err(|_| NnError::InvalidConfig(format!("bad weight '{tok}' after '{header}'")))?;
         count += 1;
     }
     if count != dst.len() || line.split_whitespace().count() != dst.len() {
@@ -313,8 +314,8 @@ mod tests {
         let mut back = from_text(&text).unwrap();
         assert_eq!(back.param_count(), net.param_count());
         // Bit-identical forward results.
-        let input = Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| i as f32 / 64.0).collect())
-            .unwrap();
+        let input =
+            Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| i as f32 / 64.0).collect()).unwrap();
         let a = net.forward(&input).unwrap();
         let b = back.forward(&input).unwrap();
         assert_eq!(a, b);

@@ -118,7 +118,9 @@ impl LayerShape {
     /// Number of input activations.
     pub fn input_count(&self) -> u64 {
         match self {
-            LayerShape::Conv { in_c, in_h, in_w, .. } => (in_c * in_h * in_w) as u64,
+            LayerShape::Conv {
+                in_c, in_h, in_w, ..
+            } => (in_c * in_h * in_w) as u64,
             LayerShape::Fc { in_features, .. } => *in_features as u64,
         }
     }
@@ -132,10 +134,7 @@ impl LayerShape {
 fn pooled_hw(h: usize, w: usize, pool: Option<PoolShape>) -> (usize, usize) {
     match pool {
         None => (h, w),
-        Some(p) => (
-            (h - p.window) / p.stride + 1,
-            (w - p.window) / p.stride + 1,
-        ),
+        Some(p) => ((h - p.window) / p.stride + 1, (w - p.window) / p.stride + 1),
     }
 }
 
@@ -150,11 +149,7 @@ pub struct NetworkShape {
 impl NetworkShape {
     /// Assembles a network from already-resolved parts (used by tools that
     /// derive networks from existing ones, e.g. conv-only slices).
-    pub fn from_parts(
-        name: String,
-        input: (usize, usize, usize),
-        layers: Vec<LayerShape>,
-    ) -> Self {
+    pub fn from_parts(name: String, input: (usize, usize, usize), layers: Vec<LayerShape>) -> Self {
         NetworkShape {
             name,
             input,
@@ -250,7 +245,13 @@ impl NetworkShapeBuilder {
     ///
     /// Returns [`NnError::InvalidConfig`] if the kernel does not fit the
     /// current feature map.
-    pub fn conv(mut self, out_c: usize, k: usize, stride: usize, pad: usize) -> Result<Self, NnError> {
+    pub fn conv(
+        mut self,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, NnError> {
         if self.cur_h + 2 * pad < k || self.cur_w + 2 * pad < k {
             return Err(NnError::InvalidConfig(format!(
                 "kernel {k} larger than padded input {}x{} in {}",
@@ -520,13 +521,13 @@ pub fn googlenet() -> NetworkShape {
     // a trailing `true` marks a 2x2 pool after the module.
     #[allow(clippy::type_complexity)]
     let modules: &[(usize, [usize; 6], bool)] = &[
-        (192, [64, 96, 128, 16, 32, 32], false),   // 3a
-        (256, [128, 128, 192, 32, 96, 64], true),  // 3b + pool
-        (480, [192, 96, 208, 16, 48, 64], false),  // 4a
-        (512, [160, 112, 224, 24, 64, 64], false), // 4b
-        (512, [128, 128, 256, 24, 64, 64], false), // 4c
-        (512, [112, 144, 288, 32, 64, 64], false), // 4d
-        (528, [256, 160, 320, 32, 128, 128], true), // 4e + pool
+        (192, [64, 96, 128, 16, 32, 32], false),     // 3a
+        (256, [128, 128, 192, 32, 96, 64], true),    // 3b + pool
+        (480, [192, 96, 208, 16, 48, 64], false),    // 4a
+        (512, [160, 112, 224, 24, 64, 64], false),   // 4b
+        (512, [128, 128, 256, 24, 64, 64], false),   // 4c
+        (512, [112, 144, 288, 32, 64, 64], false),   // 4d
+        (528, [256, 160, 320, 32, 128, 128], true),  // 4e + pool
         (832, [256, 160, 320, 32, 128, 128], false), // 5a
         (832, [384, 192, 384, 48, 128, 128], false), // 5b
     ];
@@ -642,7 +643,9 @@ mod tests {
 
     #[test]
     fn builder_rejects_oversized_kernel() {
-        assert!(NetworkShapeBuilder::new("x", 1, 4, 4).conv(8, 7, 1, 0).is_err());
+        assert!(NetworkShapeBuilder::new("x", 1, 4, 4)
+            .conv(8, 7, 1, 0)
+            .is_err());
     }
 
     #[test]

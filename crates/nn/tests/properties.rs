@@ -1,132 +1,186 @@
-//! Property-based tests of the CNN substrate invariants.
+//! Property-style tests of the CNN substrate invariants.
+//!
+//! Formerly written against the external `proptest` crate; the repo now
+//! builds fully offline, so each property is exercised over a deterministic
+//! [`DetRng`]-driven sample sweep instead of a shrinking random search. The
+//! invariants themselves are unchanged.
 
-use proptest::prelude::*;
-
+use acoustic_core::DetRng;
 use acoustic_nn::fixedpoint::Quantizer;
 use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, MaxPool2d, Relu};
 use acoustic_nn::loss::{cross_entropy, softmax};
 use acoustic_nn::orsum::{or_sum_approx, or_sum_exact, or_sum_exact_grad};
 use acoustic_nn::Tensor;
 
-fn arb_tensor(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
-    let n: usize = shape.iter().product();
-    proptest::collection::vec(0.0f32..=1.0, n)
-        .prop_map(move |d| Tensor::from_vec(shape, d).expect("shape matches"))
+const CASES: usize = 48;
+
+fn rng(test_tag: u64) -> DetRng {
+    DetRng::seed_from_u64(0xAC0_0571C ^ test_tag)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn rand_tensor(rng: &mut DetRng, shape: &[usize]) -> Tensor {
+    let n: usize = shape.iter().product();
+    let d: Vec<f32> = (0..n).map(|_| rng.gen_range_f32(0.0, 1.0)).collect();
+    Tensor::from_vec(shape, d).expect("shape matches")
+}
 
-    // --- OR sums ---
+fn rand_vec_f64(rng: &mut DetRng, lo: f64, hi: f64, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range_f64(lo, hi)).collect()
+}
 
-    #[test]
-    fn or_sum_exact_bounds(values in proptest::collection::vec(0.0f64..=1.0, 0..24)) {
+// --- OR sums ---
+
+#[test]
+fn or_sum_exact_bounds() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let len = r.gen_range_usize(0, 24);
+        let values = rand_vec_f64(&mut r, 0.0, 1.0, len);
         let e = or_sum_exact(&values);
-        prop_assert!((0.0..=1.0).contains(&e));
+        assert!((0.0..=1.0).contains(&e));
         let max_v = values.iter().copied().fold(0.0, f64::max);
-        prop_assert!(e >= max_v - 1e-12);
+        assert!(e >= max_v - 1e-12);
     }
+}
 
-    #[test]
-    fn or_sum_approx_never_exceeds_exact_by_much(
-        values in proptest::collection::vec(0.0f64..=0.2, 1..64)
-    ) {
+#[test]
+fn or_sum_approx_never_exceeds_exact_by_much() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
         // For small operands the approximation lower-bounds the exact OR:
         // 1 - e^-s <= 1 - prod(1-v) when all v small (AM-GM style), within
         // numerical slack.
+        let len = r.gen_range_usize(1, 64);
+        let values = rand_vec_f64(&mut r, 0.0, 0.2, len);
         let exact = or_sum_exact(&values);
         let approx = or_sum_approx(&values);
-        prop_assert!(approx <= exact + 1e-9, "approx {approx} > exact {exact}");
+        assert!(approx <= exact + 1e-9, "approx {approx} > exact {exact}");
     }
+}
 
-    #[test]
-    fn or_sum_grad_is_nonnegative_and_bounded(
-        values in proptest::collection::vec(0.0f64..0.99, 1..16)
-    ) {
+#[test]
+fn or_sum_grad_is_nonnegative_and_bounded() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let len = r.gen_range_usize(1, 16);
+        let values = rand_vec_f64(&mut r, 0.0, 0.99, len);
         for g in or_sum_exact_grad(&values) {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&g));
+            assert!((0.0..=1.0 + 1e-9).contains(&g));
         }
     }
+}
 
-    // --- Loss ---
+// --- Loss ---
 
-    #[test]
-    fn softmax_is_probability_vector(logits in proptest::collection::vec(-10.0f32..10.0, 1..16)) {
+#[test]
+fn softmax_is_probability_vector() {
+    let mut r = rng(4);
+    for _ in 0..CASES {
+        let len = r.gen_range_usize(1, 16);
+        let logits: Vec<f32> = (0..len).map(|_| r.gen_range_f32(-10.0, 10.0)).collect();
         let t = Tensor::from_vec(&[logits.len()], logits).unwrap();
         let p = softmax(&t);
         let sum: f32 = p.as_slice().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(p.as_slice().iter().all(|&v| v >= 0.0));
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(p.as_slice().iter().all(|&v| v >= 0.0));
     }
+}
 
-    #[test]
-    fn cross_entropy_grad_sums_to_zero(
-        logits in proptest::collection::vec(-5.0f32..5.0, 2..10),
-        label_raw in 0usize..10
-    ) {
-        let n = logits.len();
+#[test]
+fn cross_entropy_grad_sums_to_zero() {
+    let mut r = rng(5);
+    for _ in 0..CASES {
+        let n = r.gen_range_usize(2, 10);
+        let logits: Vec<f32> = (0..n).map(|_| r.gen_range_f32(-5.0, 5.0)).collect();
+        let label_raw = r.gen_range_usize(0, 10);
         let t = Tensor::from_vec(&[n], logits).unwrap();
         let (loss, grad) = cross_entropy(&t, label_raw % n).unwrap();
-        prop_assert!(loss >= 0.0);
+        assert!(loss >= 0.0);
         let sum: f32 = grad.as_slice().iter().sum();
-        prop_assert!(sum.abs() < 1e-4);
+        assert!(sum.abs() < 1e-4);
     }
+}
 
-    // --- Quantizer ---
+// --- Quantizer ---
 
-    #[test]
-    fn quantizer_monotone(a in -1.0f32..=1.0, b in -1.0f32..=1.0, bits in 2u32..=8) {
+#[test]
+fn quantizer_monotone() {
+    let mut r = rng(6);
+    for _ in 0..CASES {
+        let a = r.gen_range_f32(-1.0, 1.0);
+        let b = r.gen_range_f32(-1.0, 1.0);
+        let bits = r.gen_range_usize(2, 9) as u32;
         let q = Quantizer::signed_unit(bits).unwrap();
         if a <= b {
-            prop_assert!(q.quantize_value(a) <= q.quantize_value(b));
+            assert!(q.quantize_value(a) <= q.quantize_value(b));
         }
     }
+}
 
-    // --- Layers: shape and range invariants ---
+// --- Layers: shape and range invariants ---
 
-    #[test]
-    fn clamped_relu_output_in_unit_range(x in arb_tensor(&[3, 4, 4])) {
-        let mut r = Relu::clamped();
+#[test]
+fn clamped_relu_output_in_unit_range() {
+    let mut r = rng(7);
+    for _ in 0..CASES {
+        let x = rand_tensor(&mut r, &[3, 4, 4]);
+        let mut relu = Relu::clamped();
         let scaled = x.map(|v| v * 4.0 - 2.0); // push outside [0,1]
-        let y = r.forward(&scaled).unwrap();
-        prop_assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let y = relu.forward(&scaled).unwrap();
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
+}
 
-    #[test]
-    fn avg_pool_preserves_mean(x in arb_tensor(&[2, 4, 4])) {
+#[test]
+fn avg_pool_preserves_mean() {
+    let mut r = rng(8);
+    for _ in 0..CASES {
+        let x = rand_tensor(&mut r, &[2, 4, 4]);
         let mut p = AvgPool2d::new(2).unwrap();
         let y = p.forward(&x).unwrap();
         let mean_in: f32 = x.as_slice().iter().sum::<f32>() / x.len() as f32;
         let mean_out: f32 = y.as_slice().iter().sum::<f32>() / y.len() as f32;
-        prop_assert!((mean_in - mean_out).abs() < 1e-4);
+        assert!((mean_in - mean_out).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn max_pool_upper_bounds_avg_pool(x in arb_tensor(&[2, 4, 4])) {
+#[test]
+fn max_pool_upper_bounds_avg_pool() {
+    let mut r = rng(9);
+    for _ in 0..CASES {
+        let x = rand_tensor(&mut r, &[2, 4, 4]);
         let mut mp = MaxPool2d::new(2).unwrap();
         let mut ap = AvgPool2d::new(2).unwrap();
         let m = mp.forward(&x).unwrap();
         let a = ap.forward(&x).unwrap();
         for (mv, av) in m.as_slice().iter().zip(a.as_slice()) {
-            prop_assert!(mv >= av);
+            assert!(mv >= av);
         }
     }
+}
 
-    #[test]
-    fn or_modes_bounded_outputs(x in arb_tensor(&[1, 4, 4])) {
+#[test]
+fn or_modes_bounded_outputs() {
+    let mut r = rng(10);
+    for _ in 0..CASES {
+        let x = rand_tensor(&mut r, &[1, 4, 4]);
         // OR-accumulated conv outputs live in (-1, 1) by construction.
         for mode in [AccumMode::OrApprox, AccumMode::OrExact] {
             let mut conv = Conv2d::new(1, 2, 3, 1, 1, mode).unwrap();
             let y = conv.forward(&x).unwrap();
-            prop_assert!(
+            assert!(
                 y.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)),
                 "{mode:?} escaped (-1,1)"
             );
         }
     }
+}
 
-    #[test]
-    fn or_approx_conv_close_to_or_exact_for_small_weights(x in arb_tensor(&[1, 4, 4])) {
+#[test]
+fn or_approx_conv_close_to_or_exact_for_small_weights() {
+    let mut r = rng(11);
+    for _ in 0..CASES {
+        let x = rand_tensor(&mut r, &[1, 4, 4]);
         let mut approx = Conv2d::new(1, 1, 3, 1, 1, AccumMode::OrApprox).unwrap();
         let mut exact = Conv2d::new(1, 1, 3, 1, 1, AccumMode::OrExact).unwrap();
         // Same small weights in both.
@@ -138,39 +192,42 @@ proptest! {
         let ya = approx.forward(&x).unwrap();
         let ye = exact.forward(&x).unwrap();
         for (a, e) in ya.as_slice().iter().zip(ye.as_slice()) {
-            prop_assert!((a - e).abs() < 0.02, "approx {a} vs exact {e}");
+            assert!((a - e).abs() < 0.02, "approx {a} vs exact {e}");
         }
     }
+}
 
-    #[test]
-    fn dense_linear_is_homogeneous(scale in 0.1f32..2.0, x in arb_tensor(&[6])) {
+#[test]
+fn dense_linear_is_homogeneous() {
+    let mut r = rng(12);
+    for _ in 0..CASES {
+        let scale = r.gen_range_f32(0.1, 2.0);
+        let x = rand_tensor(&mut r, &[6]);
         // f(c·x) = c·f(x) for the linear mode (no bias).
         let mut fc = Dense::new(6, 3, AccumMode::Linear).unwrap();
         let y1 = fc.forward(&x).unwrap();
         let scaled = x.map(|v| v * scale);
         let y2 = fc.forward(&scaled).unwrap();
         for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
-            prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + b.abs()));
+            assert!((a * scale - b).abs() < 1e-3 * (1.0 + b.abs()));
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn serialization_roundtrips_random_weights(
-        weights in proptest::collection::vec(-1.0f32..=1.0, 8),
-        input in proptest::collection::vec(0.0f32..=1.0, 4)
-    ) {
-        use acoustic_nn::layers::Network;
-        use acoustic_nn::serialize::{from_text, to_text};
+#[test]
+fn serialization_roundtrips_random_weights() {
+    use acoustic_nn::layers::Network;
+    use acoustic_nn::serialize::{from_text, to_text};
+    let mut r = rng(13);
+    for _ in 0..24 {
+        let weights: Vec<f32> = (0..8).map(|_| r.gen_range_f32(-1.0, 1.0)).collect();
+        let input: Vec<f32> = (0..4).map(|_| r.gen_range_f32(0.0, 1.0)).collect();
         let mut net = Network::new();
         let mut fc = Dense::new(4, 2, AccumMode::OrApprox).unwrap();
         fc.weights_mut().copy_from_slice(&weights);
         net.push_dense(fc);
         let mut back = from_text(&to_text(&net)).unwrap();
         let x = Tensor::from_vec(&[4], input).unwrap();
-        prop_assert_eq!(net.forward(&x).unwrap(), back.forward(&x).unwrap());
+        assert_eq!(net.forward(&x).unwrap(), back.forward(&x).unwrap());
     }
 }

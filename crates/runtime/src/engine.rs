@@ -1,0 +1,360 @@
+//! The deterministic batch-inference engine.
+//!
+//! A [`BatchEngine`] runs a batch of images through one shared
+//! [`PreparedModel`] on a fixed-size pool of `std::thread` workers. Work is
+//! distributed by chunked index claiming over an atomic cursor, so load
+//! balances dynamically — but every per-image result depends only on
+//! `(model, image_index, input)`, never on which worker computed it, and
+//! results are merged back in index order. Batch output is therefore
+//! bit-identical for any worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use acoustic_nn::train::Sample;
+use acoustic_nn::Tensor;
+use acoustic_simfunc::{SimError, StepTiming};
+
+use crate::{BatchReport, LayerTiming, PreparedModel, RuntimeError};
+
+/// Default number of images a worker claims per queue access.
+const DEFAULT_CHUNK: usize = 8;
+
+/// A fixed-size worker pool executing batches against a prepared model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEngine {
+    workers: usize,
+    chunk_size: usize,
+}
+
+impl BatchEngine {
+    /// Creates an engine with `workers` threads.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] if `workers` is zero.
+    pub fn new(workers: usize) -> Result<Self, RuntimeError> {
+        if workers == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "worker count must be at least 1".into(),
+            ));
+        }
+        Ok(BatchEngine {
+            workers,
+            chunk_size: DEFAULT_CHUNK,
+        })
+    }
+
+    /// Overrides how many images a worker claims per queue access.
+    ///
+    /// Smaller chunks balance better across uneven images; larger chunks
+    /// reduce queue contention. Chunking never affects results, only
+    /// scheduling.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] if `chunk_size` is zero.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Result<Self, RuntimeError> {
+        if chunk_size == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "chunk size must be at least 1".into(),
+            ));
+        }
+        self.chunk_size = chunk_size;
+        Ok(self)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every input through the model, returning logits in input order.
+    ///
+    /// Image `i` always executes with the activation seed derived from
+    /// `(model.config().act_seed, i)`, so the returned logits are
+    /// bit-identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Image`] tagged with the lowest failing index.
+    pub fn run(
+        &self,
+        model: &PreparedModel,
+        inputs: &[Tensor],
+    ) -> Result<Vec<Tensor>, RuntimeError> {
+        let (logits, _) =
+            self.dispatch(model, inputs.len(), |i| model.logits(i as u64, &inputs[i]))?;
+        Ok(logits)
+    }
+
+    /// Evaluates labelled samples, returning a full [`BatchReport`].
+    ///
+    /// The classification side of the report (accuracy, confusion matrix,
+    /// predictions) is bit-reproducible; the timing side measures this run.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] for an empty batch or a label outside
+    /// the class range; [`RuntimeError::Image`] for per-image failures.
+    pub fn evaluate(
+        &self,
+        model: &PreparedModel,
+        samples: &[Sample],
+    ) -> Result<BatchReport, RuntimeError> {
+        if samples.is_empty() {
+            return Err(RuntimeError::InvalidConfig(
+                "cannot evaluate an empty batch".into(),
+            ));
+        }
+        let started = Instant::now();
+        let (results, cpu_busy) = self.dispatch(model, samples.len(), |i| {
+            model.logits_timed(i as u64, &samples[i].0)
+        })?;
+        let wall = started.elapsed();
+
+        let classes = results[0].0.len();
+        let mut confusion = vec![vec![0u64; classes]; classes];
+        let mut predictions = Vec::with_capacity(samples.len());
+        let mut correct = 0usize;
+        let mut layer_timings: Vec<LayerTiming> = Vec::new();
+        for (i, (logits, timings)) in results.iter().enumerate() {
+            let label = samples[i].1;
+            if label >= classes {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "sample {i} has label {label} but the model emits {classes} classes"
+                )));
+            }
+            let pred = logits.argmax();
+            if pred == label {
+                correct += 1;
+            }
+            confusion[label][pred] += 1;
+            predictions.push(pred);
+            merge_timings(&mut layer_timings, timings);
+        }
+
+        let total = samples.len();
+        Ok(BatchReport {
+            total,
+            correct,
+            accuracy: correct as f64 / total as f64,
+            classes,
+            confusion,
+            predictions,
+            workers: self.workers,
+            wall,
+            cpu_busy,
+            images_per_sec: total as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+            layer_timings,
+        })
+    }
+
+    /// Maps `job` over `0..count`, merging results in index order.
+    ///
+    /// Returns the per-index results plus the summed busy time across
+    /// workers. On failure, reports the error of the *lowest* failing index
+    /// so error reporting is as deterministic as the results.
+    fn dispatch<T, F>(&self, _model: &PreparedModel, count: usize, job: F) -> DispatchResult<T>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, SimError> + Sync,
+    {
+        if count == 0 {
+            return Ok((Vec::new(), Duration::ZERO));
+        }
+        if self.workers == 1 {
+            // Serial fast path: no threads, same index order and seeds.
+            let started = Instant::now();
+            let mut out = Vec::with_capacity(count);
+            for i in 0..count {
+                out.push(job(i).map_err(|source| RuntimeError::Image { index: i, source })?);
+            }
+            return Ok((out, started.elapsed()));
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let workers = self.workers.min(count);
+        let chunk = self.chunk_size;
+        let job = &job;
+        let worker_outputs = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let started = Instant::now();
+                        let mut mine: Vec<(usize, Result<T, SimError>)> = Vec::new();
+                        loop {
+                            let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if lo >= count {
+                                break;
+                            }
+                            for i in lo..(lo + chunk).min(count) {
+                                mine.push((i, job(i)));
+                            }
+                        }
+                        (mine, started.elapsed())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| RuntimeError::WorkerPanic("batch worker panicked".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+
+        let mut cpu_busy = Duration::ZERO;
+        let mut slots: Vec<Option<Result<T, SimError>>> = Vec::new();
+        slots.resize_with(count, || None);
+        for (items, busy) in worker_outputs {
+            cpu_busy += busy;
+            for (i, r) in items {
+                slots[i] = Some(r);
+            }
+        }
+        let mut out = Vec::with_capacity(count);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let r = slot.ok_or_else(|| {
+                RuntimeError::WorkerPanic(format!("image {i} was never executed"))
+            })?;
+            out.push(r.map_err(|source| RuntimeError::Image { index: i, source })?);
+        }
+        Ok((out, cpu_busy))
+    }
+}
+
+type DispatchResult<T> = Result<(Vec<T>, Duration), RuntimeError>;
+
+/// Folds one image's step timings into the batch aggregate.
+///
+/// Step order is identical for every image (it is a property of the
+/// prepared network), so matching by position keeps the aggregate in
+/// network order.
+fn merge_timings(agg: &mut Vec<LayerTiming>, timings: &[StepTiming]) {
+    if agg.is_empty() {
+        agg.extend(timings.iter().map(|t| LayerTiming {
+            name: t.name.clone(),
+            calls: 1,
+            nanos: t.nanos,
+        }));
+        return;
+    }
+    for (slot, t) in agg.iter_mut().zip(timings) {
+        debug_assert_eq!(slot.name, t.name);
+        slot.calls += 1;
+        slot.nanos += t.nanos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acoustic_nn::layers::{AccumMode, Conv2d, Dense, Network, Relu};
+    use acoustic_simfunc::SimConfig;
+
+    fn small_net() -> Network {
+        let mut net = Network::new();
+        net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
+        net.push_relu(Relu::clamped());
+        net.push_flatten();
+        net.push_dense(Dense::new(2 * 4 * 4, 4, AccumMode::OrApprox).unwrap());
+        net
+    }
+
+    fn inputs(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| {
+                let v: Vec<f32> = (0..16).map(|j| ((i * 7 + j) % 16) as f32 / 16.0).collect();
+                Tensor::from_vec(&[1, 4, 4], v).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_zero_workers_and_zero_chunk() {
+        assert!(BatchEngine::new(0).is_err());
+        assert!(BatchEngine::new(2).unwrap().with_chunk_size(0).is_err());
+    }
+
+    #[test]
+    fn run_is_worker_count_invariant() {
+        let model =
+            PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &small_net()).unwrap();
+        let xs = inputs(11);
+        let serial = BatchEngine::new(1).unwrap().run(&model, &xs).unwrap();
+        for workers in [2, 3, 8] {
+            let parallel = BatchEngine::new(workers)
+                .unwrap()
+                .with_chunk_size(2)
+                .unwrap()
+                .run(&model, &xs)
+                .unwrap();
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn evaluate_builds_consistent_report() {
+        let model =
+            PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &small_net()).unwrap();
+        let samples: Vec<Sample> = inputs(6)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (x, i % 4))
+            .collect();
+        let report = BatchEngine::new(2)
+            .unwrap()
+            .evaluate(&model, &samples)
+            .unwrap();
+        assert_eq!(report.total, 6);
+        assert_eq!(report.classes, 4);
+        assert_eq!(report.predictions.len(), 6);
+        let cells: u64 = report.confusion.iter().flatten().sum();
+        assert_eq!(cells, 6);
+        let diag: u64 = (0..4).map(|c| report.confusion[c][c]).sum();
+        assert_eq!(diag, report.correct as u64);
+        // Prepared net with clamped relu folded: conv, relu, flatten, dense.
+        assert_eq!(report.layer_timings.len(), model.prepared().step_count());
+        assert!(report.layer_timings.iter().all(|t| t.calls == 6));
+        assert!(report.images_per_sec > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_and_bad_label_are_rejected() {
+        let model =
+            PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &small_net()).unwrap();
+        let engine = BatchEngine::new(2).unwrap();
+        assert!(matches!(
+            engine.evaluate(&model, &[]),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        let bad = vec![(inputs(1).pop().unwrap(), 99usize)];
+        assert!(matches!(
+            engine.evaluate(&model, &bad),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn shape_error_reports_lowest_failing_index() {
+        let model =
+            PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &small_net()).unwrap();
+        let mut xs = inputs(9);
+        xs[3] = Tensor::from_vec(&[1, 2, 2], vec![0.5; 4]).unwrap();
+        xs[6] = Tensor::from_vec(&[1, 2, 2], vec![0.5; 4]).unwrap();
+        for workers in [1, 4] {
+            let err = BatchEngine::new(workers)
+                .unwrap()
+                .with_chunk_size(1)
+                .unwrap()
+                .run(&model, &xs)
+                .unwrap_err();
+            match err {
+                RuntimeError::Image { index, .. } => assert_eq!(index, 3),
+                other => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Prepared models and the prepared-model cache.
+//!
+//! Preparation (weight quantization + split-unipolar weight-stream
+//! generation) is the image-independent half of a stochastic inference —
+//! the software analogue of loading the accelerator's weight buffers. A
+//! [`PreparedModel`] performs it exactly once; the result is immutable and
+//! shared behind an `Arc` by every worker of the batch engine, and a
+//! [`ModelCache`] memoizes it across repeated serving requests for the same
+//! `(network, config)` pair.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use acoustic_core::prng::splitmix64;
+use acoustic_nn::layers::Network;
+use acoustic_nn::Tensor;
+use acoustic_simfunc::{PreparedNetwork, ScSimulator, SimConfig, SimError, StepTiming};
+
+use crate::RuntimeError;
+
+/// Derives the activation-stream seed of one image from the batch base
+/// seed.
+///
+/// The derived seed is a pure function of `(base_seed, image_index)` —
+/// independent of worker count, chunking, and execution order — which is
+/// what makes batch results bit-identical regardless of parallelism
+/// (DESIGN.md §6's reproducibility invariant). SplitMix64 scrambles the
+/// pair so neighbouring indices get unrelated LFSR seedings.
+pub fn derive_image_seed(base_seed: u32, image_index: u64) -> u32 {
+    let mut state = (u64::from(base_seed) << 32)
+        ^ image_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ 0xA0C0_571C_0000_0001;
+    let z = splitmix64(&mut state);
+    (z as u32) ^ ((z >> 32) as u32)
+}
+
+/// A network prepared once for stochastic batch execution.
+///
+/// Wraps the quantized, stream-generated [`PreparedNetwork`] together with
+/// its [`SimConfig`] and exposes per-image execution in which image `i`
+/// always draws activation seeds derived from `(cfg.act_seed, i)`.
+#[derive(Debug)]
+pub struct PreparedModel {
+    cfg: SimConfig,
+    prepared: PreparedNetwork,
+    fingerprint: u64,
+}
+
+impl PreparedModel {
+    /// Quantizes `network`'s weights and generates all split-unipolar
+    /// weight streams — once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] for layer arrangements the SC datapath
+    /// cannot execute.
+    pub fn compile(cfg: SimConfig, network: &Network) -> Result<Self, RuntimeError> {
+        let prepared = ScSimulator::new(cfg).prepare(network)?;
+        Ok(PreparedModel {
+            cfg,
+            prepared,
+            fingerprint: cache_key(network, &cfg),
+        })
+    }
+
+    /// The simulation configuration the model was prepared with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The underlying prepared network.
+    pub fn prepared(&self) -> &PreparedNetwork {
+        &self.prepared
+    }
+
+    /// Cache key: network fingerprint mixed with the simulation config.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// A simulator whose activation seed is derived for `image_index`.
+    fn image_sim(&self, image_index: u64) -> ScSimulator {
+        let mut cfg = self.cfg;
+        cfg.act_seed = derive_image_seed(self.cfg.act_seed, image_index);
+        ScSimulator::new(cfg)
+    }
+
+    /// Stochastic logits of one image.
+    ///
+    /// Only pays for activation-stream generation and the AND/OR datapath;
+    /// weight streams come from the one-time preparation. The result is a
+    /// pure function of `(model, image_index, input)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath and shape errors.
+    pub fn logits(&self, image_index: u64, input: &Tensor) -> Result<Tensor, SimError> {
+        self.image_sim(image_index)
+            .run_prepared(&self.prepared, input)
+    }
+
+    /// Like [`PreparedModel::logits`], also returning per-step wall-clock
+    /// timings (the batch engine's observability hook).
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath and shape errors.
+    pub fn logits_timed(
+        &self,
+        image_index: u64,
+        input: &Tensor,
+    ) -> Result<(Tensor, Vec<StepTiming>), SimError> {
+        self.image_sim(image_index)
+            .run_prepared_timed(&self.prepared, input)
+    }
+
+    /// Predicted class of one image: argmax of [`PreparedModel::logits`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath and shape errors.
+    pub fn predict(&self, image_index: u64, input: &Tensor) -> Result<usize, SimError> {
+        Ok(self.logits(image_index, input)?.argmax())
+    }
+}
+
+fn cache_key(network: &Network, cfg: &SimConfig) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    network.fingerprint().hash(&mut h);
+    cfg.hash(&mut h);
+    h.finish()
+}
+
+/// A memoizing cache of prepared models, keyed by
+/// `(Network::fingerprint(), SimConfig)`.
+///
+/// Serving layers call [`ModelCache::get_or_compile`] per request; the
+/// first request for a `(network, config)` pair pays for preparation, every
+/// later one gets the shared `Arc` back. Interior-mutable (`&self`) so one
+/// cache can be shared across a serving process.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    map: Mutex<HashMap<(u64, SimConfig), Arc<PreparedModel>>>,
+}
+
+impl ModelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ModelCache::default()
+    }
+
+    /// Returns the cached prepared model for `(network, cfg)`, compiling
+    /// and inserting it on first use.
+    ///
+    /// Preparation runs outside the cache lock; two racing first requests
+    /// may both prepare, but the winner's (deterministic, identical) model
+    /// is kept and shared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation errors; nothing is inserted on failure.
+    pub fn get_or_compile(
+        &self,
+        cfg: SimConfig,
+        network: &Network,
+    ) -> Result<Arc<PreparedModel>, RuntimeError> {
+        let key = (network.fingerprint(), cfg);
+        if let Some(hit) = self
+            .map
+            .lock()
+            .expect("model cache lock poisoned")
+            .get(&key)
+        {
+            return Ok(Arc::clone(hit));
+        }
+        let model = Arc::new(PreparedModel::compile(cfg, network)?);
+        let mut map = self.map.lock().expect("model cache lock poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(model)))
+    }
+
+    /// Number of cached models.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("model cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached model.
+    pub fn clear(&self) {
+        self.map.lock().expect("model cache lock poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acoustic_nn::layers::{AccumMode, Conv2d, Dense, Network, Relu};
+
+    fn small_net() -> Network {
+        let mut net = Network::new();
+        net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
+        net.push_relu(Relu::clamped());
+        net.push_flatten();
+        net.push_dense(Dense::new(2 * 4 * 4, 3, AccumMode::OrApprox).unwrap());
+        net
+    }
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig::with_stream_len(n).unwrap()
+    }
+
+    #[test]
+    fn derived_seeds_spread_and_are_reproducible() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..512u64 {
+            let s = derive_image_seed(0xACE1, i);
+            assert_eq!(s, derive_image_seed(0xACE1, i));
+            seen.insert(s);
+        }
+        assert!(seen.len() > 500, "seed collisions: {}", seen.len());
+        assert_ne!(derive_image_seed(0xACE1, 0), derive_image_seed(0xACE2, 0));
+    }
+
+    #[test]
+    fn logits_are_a_pure_function_of_index_and_input() {
+        let model = PreparedModel::compile(cfg(128), &small_net()).unwrap();
+        let x = Tensor::from_vec(&[1, 4, 4], vec![0.5; 16]).unwrap();
+        let a = model.logits(3, &x).unwrap();
+        let b = model.logits(3, &x).unwrap();
+        assert_eq!(a, b);
+        // Different image indices draw different activation streams.
+        let c = model.logits(4, &x).unwrap();
+        assert_ne!(a, c, "distinct images should not share streams");
+    }
+
+    #[test]
+    fn cache_shares_and_distinguishes() {
+        let cache = ModelCache::new();
+        let net = small_net();
+        let a = cache.get_or_compile(cfg(128), &net).unwrap();
+        let b = cache.get_or_compile(cfg(128), &net).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same (net, cfg) must share");
+        assert_eq!(cache.len(), 1);
+
+        let c = cache.get_or_compile(cfg(256), &net).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "different config, different model");
+
+        let mut other = small_net();
+        if let acoustic_nn::layers::NetLayer::Dense(d) = &mut other.layers_mut()[3] {
+            d.weights_mut()[0] += 0.5;
+        }
+        let d = cache.get_or_compile(cfg(128), &other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d), "different weights, different model");
+        assert_eq!(cache.len(), 3);
+
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Batch evaluation reports: accuracy, confusion, throughput, per-layer
+//! timing.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Aggregated wall-clock cost of one layer/step across a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTiming {
+    /// Step label (e.g. `"conv0"`, `"dense1"`).
+    pub name: String,
+    /// Number of executions aggregated (normally one per image).
+    pub calls: u64,
+    /// Total nanoseconds across all executions.
+    pub nanos: u128,
+}
+
+impl LayerTiming {
+    /// Mean time per execution.
+    pub fn mean(&self) -> Duration {
+        if self.calls == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.nanos / u128::from(self.calls)) as u64)
+    }
+}
+
+/// Result of one batch evaluation.
+///
+/// The *classification* fields (`correct`, `accuracy`, `confusion`,
+/// `predictions`) are bit-reproducible: they depend only on the prepared
+/// model, the base seed and the sample order, never on worker count. The
+/// *timing* fields (`wall`, `cpu_busy`, `images_per_sec`, `layer_timings`)
+/// are measurements and vary run to run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Number of evaluated images.
+    pub total: usize,
+    /// Correctly classified images.
+    pub correct: usize,
+    /// `correct / total`.
+    pub accuracy: f64,
+    /// Number of classes (logit width).
+    pub classes: usize,
+    /// Confusion counts: `confusion[true_label][predicted]`.
+    pub confusion: Vec<Vec<u64>>,
+    /// Per-image predicted class, in sample order.
+    pub predictions: Vec<usize>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end wall-clock time of the batch.
+    pub wall: Duration,
+    /// Summed busy time across workers (≈ CPU time of the batch).
+    pub cpu_busy: Duration,
+    /// Throughput: `total / wall`.
+    pub images_per_sec: f64,
+    /// Per-layer wall-clock totals, aggregated over the batch in step
+    /// order (residual inner steps are reported individually and also
+    /// included in their `"residual"` entry).
+    pub layer_timings: Vec<LayerTiming>,
+}
+
+impl BatchReport {
+    /// Fraction of `true_label` images predicted as `predicted`.
+    pub fn confusion_rate(&self, true_label: usize, predicted: usize) -> f64 {
+        let row = &self.confusion[true_label];
+        let n: u64 = row.iter().sum();
+        if n == 0 {
+            0.0
+        } else {
+            row[predicted] as f64 / n as f64
+        }
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "batch: {} images, {} workers | accuracy {:.2}% ({}/{})",
+            self.total,
+            self.workers,
+            100.0 * self.accuracy,
+            self.correct,
+            self.total
+        )?;
+        writeln!(
+            f,
+            "time:  wall {:.3}s, cpu-busy {:.3}s | {:.2} images/s",
+            self.wall.as_secs_f64(),
+            self.cpu_busy.as_secs_f64(),
+            self.images_per_sec
+        )?;
+        if !self.layer_timings.is_empty() {
+            writeln!(f, "per-layer totals:")?;
+            for t in &self.layer_timings {
+                writeln!(
+                    f,
+                    "  {:<10} {:>8.3} ms total, {:>8.3} ms/image ({} calls)",
+                    t.name,
+                    t.nanos as f64 / 1e6,
+                    t.mean().as_secs_f64() * 1e3,
+                    t.calls
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_rate_and_display() {
+        let r = BatchReport {
+            total: 4,
+            correct: 3,
+            accuracy: 0.75,
+            classes: 2,
+            confusion: vec![vec![2, 1], vec![0, 1]],
+            predictions: vec![0, 0, 1, 1],
+            workers: 2,
+            wall: Duration::from_millis(100),
+            cpu_busy: Duration::from_millis(180),
+            images_per_sec: 40.0,
+            layer_timings: vec![LayerTiming {
+                name: "conv0".into(),
+                calls: 4,
+                nanos: 4_000_000,
+            }],
+        };
+        assert!((r.confusion_rate(0, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.confusion_rate(1, 1), 1.0);
+        let text = r.to_string();
+        assert!(text.contains("75.00%"));
+        assert!(text.contains("conv0"));
+        assert_eq!(r.layer_timings[0].mean(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn zero_call_timing_has_zero_mean() {
+        let t = LayerTiming {
+            name: "x".into(),
+            calls: 0,
+            nanos: 0,
+        };
+        assert_eq!(t.mean(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type of the batch runtime.
+
+use acoustic_simfunc::SimError;
+use std::fmt;
+
+/// Errors produced by the batch-inference runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// An engine or report parameter is invalid (zero workers, empty batch,
+    /// label outside the class range, …).
+    InvalidConfig(String),
+    /// A stochastic-simulation error, tagged with the index of the image
+    /// that triggered it. When several images fail, the lowest index is
+    /// reported regardless of worker count, keeping error reporting as
+    /// deterministic as the results.
+    Image {
+        /// Batch index of the failing image.
+        index: usize,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// A simulation error outside any per-image context (e.g. during
+    /// model preparation).
+    Sim(SimError),
+    /// A worker thread panicked.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig(msg) => write!(f, "invalid runtime config: {msg}"),
+            RuntimeError::Image { index, source } => {
+                write!(f, "image {index} failed: {source}")
+            }
+            RuntimeError::Sim(e) => write!(f, "simulation error: {e}"),
+            RuntimeError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Image { source, .. } => Some(source),
+            RuntimeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RuntimeError {
+    fn from(e: SimError) -> Self {
+        RuntimeError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_image_index() {
+        let e = RuntimeError::Image {
+            index: 17,
+            source: SimError::InvalidConfig("x".into()),
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,125 @@
+//! The runtime's headline guarantee: batch results are bit-identical
+//! regardless of worker count, across repeated runs, and equivalent to
+//! driving the plain simulator image by image with derived seeds.
+
+use acoustic_datasets::mnist_like;
+use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic_nn::train::Sample;
+use acoustic_nn::Tensor;
+use acoustic_runtime::{derive_image_seed, BatchEngine, PreparedModel, RuntimeError};
+use acoustic_simfunc::{ScSimulator, SimConfig};
+
+fn digit_net() -> Network {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 4, 3, 1, 1, AccumMode::OrApprox).unwrap());
+    net.push_avg_pool(AvgPool2d::new(2).unwrap());
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(4 * 14 * 14, 10, AccumMode::OrApprox).unwrap());
+    net
+}
+
+fn batch(n: usize) -> Vec<Sample> {
+    mnist_like(n, 3, 10).train
+}
+
+#[test]
+fn logits_bit_identical_for_1_2_8_workers() {
+    let model = PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &digit_net())
+        .expect("prepare");
+    let samples = batch(10);
+    let inputs: Vec<Tensor> = samples.iter().map(|(x, _)| x.clone()).collect();
+
+    let reference = BatchEngine::new(1).unwrap().run(&model, &inputs).unwrap();
+    for workers in [2usize, 8] {
+        let logits = BatchEngine::new(workers)
+            .unwrap()
+            .with_chunk_size(3)
+            .unwrap()
+            .run(&model, &inputs)
+            .unwrap();
+        assert_eq!(
+            reference, logits,
+            "{workers}-worker batch diverged from single-threaded"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let model = PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &digit_net())
+        .expect("prepare");
+    let samples = batch(6);
+    let engine = BatchEngine::new(4).unwrap();
+    let a = engine.evaluate(&model, &samples).unwrap();
+    let b = engine.evaluate(&model, &samples).unwrap();
+    assert_eq!(a.predictions, b.predictions);
+    assert_eq!(a.confusion, b.confusion);
+    assert_eq!(a.correct, b.correct);
+}
+
+#[test]
+fn per_image_execution_matches_plain_simulator_with_derived_seed() {
+    // PreparedModel::logits(i, x) must be exactly ScSimulator::run with the
+    // same config except act_seed = derive_image_seed(base, i) — the
+    // prepared path may not drift from the reference path.
+    let net = digit_net();
+    let base_cfg = SimConfig::with_stream_len(64).unwrap();
+    let model = PreparedModel::compile(base_cfg, &net).expect("prepare");
+    let samples = batch(4);
+    for (i, (x, _)) in samples.iter().enumerate() {
+        let fast = model.logits(i as u64, x).unwrap();
+        let mut cfg = base_cfg;
+        cfg.act_seed = derive_image_seed(base_cfg.act_seed, i as u64);
+        let slow = ScSimulator::new(cfg).run(&net, x).unwrap();
+        assert_eq!(fast, slow, "image {i}: prepared path diverged from run()");
+    }
+}
+
+#[test]
+fn report_is_consistent_across_worker_counts() {
+    let model = PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &digit_net())
+        .expect("prepare");
+    let samples = batch(8);
+    let serial = BatchEngine::new(1)
+        .unwrap()
+        .evaluate(&model, &samples)
+        .unwrap();
+    let parallel = BatchEngine::new(8)
+        .unwrap()
+        .with_chunk_size(1)
+        .unwrap()
+        .evaluate(&model, &samples)
+        .unwrap();
+    assert_eq!(serial.predictions, parallel.predictions);
+    assert_eq!(serial.confusion, parallel.confusion);
+    assert_eq!(serial.accuracy, parallel.accuracy);
+    assert_eq!(serial.total, 8);
+    assert_eq!(serial.classes, 10);
+    let row_sum: u64 = serial.confusion.iter().flatten().sum();
+    assert_eq!(row_sum, 8);
+}
+
+#[test]
+fn errors_are_deterministic_too() {
+    let model = PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &digit_net())
+        .expect("prepare");
+    let mut inputs: Vec<Tensor> = batch(8).into_iter().map(|(x, _)| x).collect();
+    // Two malformed images; the lowest index must win under any scheduling.
+    inputs[2] = Tensor::zeros(&[1, 3, 3]);
+    inputs[5] = Tensor::zeros(&[1, 3, 3]);
+    for workers in [1usize, 2, 8] {
+        let err = BatchEngine::new(workers)
+            .unwrap()
+            .with_chunk_size(1)
+            .unwrap()
+            .run(&model, &inputs)
+            .unwrap_err();
+        match err {
+            RuntimeError::Image { index, .. } => {
+                assert_eq!(index, 2, "workers={workers} reported the wrong image")
+            }
+            other => panic!("workers={workers}: unexpected error {other}"),
+        }
+    }
+}

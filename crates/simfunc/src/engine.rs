@@ -33,6 +33,17 @@ pub struct RunTrace {
     pub logits: Tensor,
 }
 
+/// Wall-clock cost of one executed step (observability hook for the batch
+/// runtime). Steps inside a residual block are reported individually *and*
+/// included in the enclosing `"residual"` entry's time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepTiming {
+    /// Step label, e.g. `"conv0"`, `"relu"`, `"dense1"`.
+    pub name: String,
+    /// Time spent executing the step, in nanoseconds.
+    pub nanos: u128,
+}
+
 /// Split-unipolar weight streams of one MAC layer, pre-segmented for
 /// computation-skipping pooling.
 #[derive(Debug, Clone)]
@@ -83,9 +94,43 @@ enum Step {
 }
 
 /// A network compiled for stochastic execution.
+///
+/// Holds every MAC layer's quantized weights as pre-generated split-unipolar
+/// bitstreams — the expensive, image-independent half of a stochastic
+/// inference. Prepare once (via [`ScSimulator::prepare`]) and reuse across
+/// images; the structure is immutable and cheap to share behind an `Arc`.
 #[derive(Debug, Clone)]
 pub struct PreparedNetwork {
     steps: Vec<Step>,
+}
+
+impl PreparedNetwork {
+    /// Number of top-level execution steps.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Labels of the top-level execution steps, in order (matches the names
+    /// reported by [`RunTrace`] and [`StepTiming`], without residual
+    /// inner steps).
+    pub fn step_names(&self) -> Vec<String> {
+        self.steps.iter().map(Step::name).collect()
+    }
+}
+
+impl Step {
+    /// Display label, shared by traces and timings.
+    fn name(&self) -> String {
+        match self {
+            Step::Conv(c) => format!("conv{}", c.ordinal),
+            Step::Dense(d) => format!("dense{}", d.ordinal),
+            Step::BinaryAvgPool(_) => "avgpool".to_string(),
+            Step::MaxPool(_) => "maxpool".to_string(),
+            Step::Relu(_) => "relu".to_string(),
+            Step::Flatten => "flatten".to_string(),
+            Step::Residual(_) => "residual".to_string(),
+        }
+    }
 }
 
 /// The stochastic functional simulator.
@@ -132,13 +177,14 @@ impl ScSimulator {
                 NetLayer::Conv(conv) => {
                     // Fuse a directly-following AvgPool when skipping is on.
                     let pool = match layers.get(i + 1) {
-                        Some(NetLayer::AvgPool(p)) if self.cfg.skip_pooling => {
-                            Some(p.window())
-                        }
+                        Some(NetLayer::AvgPool(p)) if self.cfg.skip_pooling => Some(p.window()),
                         _ => None,
                     };
-                    let wvals: Vec<f32> =
-                        conv.weights().iter().map(|&w| wq.quantize_value(w)).collect();
+                    let wvals: Vec<f32> = conv
+                        .weights()
+                        .iter()
+                        .map(|&w| wq.quantize_value(w))
+                        .collect();
                     let segments = pool.map_or(1, |k| k * k);
                     if !self.cfg.per_phase_len().is_multiple_of(segments) {
                         return Err(SimError::UnsupportedLayer(format!(
@@ -219,7 +265,26 @@ impl ScSimulator {
         prepared: &PreparedNetwork,
         input: &Tensor,
     ) -> Result<Tensor, SimError> {
-        self.execute(prepared, input, None)
+        self.execute(prepared, input, None, None)
+    }
+
+    /// Runs one inference on an already-prepared network, additionally
+    /// recording the wall-clock cost of every executed step.
+    ///
+    /// The logits are bit-identical to [`ScSimulator::run_prepared`]; the
+    /// timings are the runtime's lightweight per-layer observability hook.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath and shape errors.
+    pub fn run_prepared_timed(
+        &self,
+        prepared: &PreparedNetwork,
+        input: &Tensor,
+    ) -> Result<(Tensor, Vec<StepTiming>), SimError> {
+        let mut timings = Vec::with_capacity(prepared.step_count());
+        let logits = self.execute(prepared, input, None, Some(&mut timings))?;
+        Ok((logits, timings))
     }
 
     /// Runs one inference collecting per-step decoded outputs.
@@ -230,7 +295,7 @@ impl ScSimulator {
     pub fn run_traced(&self, net: &Network, input: &Tensor) -> Result<RunTrace, SimError> {
         let prepared = self.prepare(net)?;
         let mut traces = Vec::new();
-        let logits = self.execute(&prepared, input, Some(&mut traces))?;
+        let logits = self.execute(&prepared, input, Some(&mut traces), None)?;
         Ok(RunTrace {
             layers: traces,
             logits,
@@ -253,13 +318,29 @@ impl ScSimulator {
     /// Returns [`SimError::InvalidConfig`] for an empty sample set and
     /// propagates datapath errors.
     pub fn evaluate(&self, net: &Network, samples: &[Sample]) -> Result<f64, SimError> {
+        let prepared = self.prepare(net)?;
+        self.evaluate_prepared(&prepared, samples)
+    }
+
+    /// Classification accuracy over `samples` on an already-prepared
+    /// network (the prepare-once path: weight quantization and stream
+    /// generation are *not* repeated per call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an empty sample set and
+    /// propagates datapath errors.
+    pub fn evaluate_prepared(
+        &self,
+        prepared: &PreparedNetwork,
+        samples: &[Sample],
+    ) -> Result<f64, SimError> {
         if samples.is_empty() {
             return Err(SimError::InvalidConfig("empty evaluation set".into()));
         }
-        let prepared = self.prepare(net)?;
         let mut correct = 0usize;
         for (input, label) in samples {
-            if self.predict(&prepared, input)? == *label {
+            if self.predict(prepared, input)? == *label {
                 correct += 1;
             }
         }
@@ -271,10 +352,11 @@ impl ScSimulator {
         prepared: &PreparedNetwork,
         input: &Tensor,
         traces: Option<&mut Vec<LayerTrace>>,
+        timings: Option<&mut Vec<StepTiming>>,
     ) -> Result<Tensor, SimError> {
         let aq = Quantizer::unsigned_unit(self.cfg.quant_bits)?;
         let x = input.map(|v| aq.quantize_value(v.clamp(0.0, 1.0)));
-        self.execute_steps(&prepared.steps, x, traces)
+        self.execute_steps(&prepared.steps, x, traces, timings)
     }
 
     fn execute_steps(
@@ -282,25 +364,31 @@ impl ScSimulator {
         steps: &[Step],
         mut x: Tensor,
         mut traces: Option<&mut Vec<LayerTrace>>,
+        mut timings: Option<&mut Vec<StepTiming>>,
     ) -> Result<Tensor, SimError> {
         for step in steps {
-            let (name, out) = match step {
-                Step::Conv(c) => (format!("conv{}", c.ordinal), self.exec_conv(c, &x)?),
-                Step::Dense(d) => (format!("dense{}", d.ordinal), self.exec_dense(d, &x)?),
-                Step::BinaryAvgPool(k) => ("avgpool".to_string(), binary_avg_pool(&x, *k)?),
-                Step::MaxPool(k) => ("maxpool".to_string(), binary_max_pool(&x, *k)?),
+            let started = timings.as_ref().map(|_| std::time::Instant::now());
+            let out = match step {
+                Step::Conv(c) => self.exec_conv(c, &x)?,
+                Step::Dense(d) => self.exec_dense(d, &x)?,
+                Step::BinaryAvgPool(k) => binary_avg_pool(&x, *k)?,
+                Step::MaxPool(k) => binary_max_pool(&x, *k)?,
                 Step::Relu(hi) => {
                     // The counter/ReLU unit gates the sign and the unipolar
                     // representation caps at 1.0 regardless of the layer's
                     // own clamp setting.
                     let cap = hi.unwrap_or(1.0).min(1.0);
-                    ("relu".to_string(), x.map(|v| v.clamp(0.0, cap)))
+                    x.map(|v| v.clamp(0.0, cap))
                 }
-                Step::Flatten => ("flatten".to_string(), x.to_flat()),
+                Step::Flatten => x.to_flat(),
                 Step::Residual(inner) => {
                     let skip = x.clone();
-                    let mut y =
-                        self.execute_steps(inner, x.clone(), traces.as_deref_mut())?;
+                    let mut y = self.execute_steps(
+                        inner,
+                        x.clone(),
+                        traces.as_deref_mut(),
+                        timings.as_deref_mut(),
+                    )?;
                     if y.shape() != skip.shape() {
                         return Err(SimError::UnsupportedLayer(format!(
                             "residual inner path changed shape {:?} -> {:?}",
@@ -312,13 +400,19 @@ impl ScSimulator {
                     for (o, &s) in y.as_mut_slice().iter_mut().zip(skip.as_slice()) {
                         *o += s;
                     }
-                    ("residual".to_string(), y)
+                    y
                 }
             };
             x = out;
+            if let (Some(t), Some(start)) = (timings.as_deref_mut(), started) {
+                t.push(StepTiming {
+                    name: step.name(),
+                    nanos: start.elapsed().as_nanos(),
+                });
+            }
             if let Some(t) = traces.as_deref_mut() {
                 t.push(LayerTrace {
-                    name,
+                    name: step.name(),
                     output: x.clone(),
                 });
             }
@@ -373,7 +467,11 @@ impl ScSimulator {
         // With per-layer regeneration disabled, every layer draws the same
         // random sequences (ordinal dropped from the seed mix) — the §II-C
         // correlation ablation.
-        let ordinal = if self.cfg.regenerate_streams { ordinal } else { 0 };
+        let ordinal = if self.cfg.regenerate_streams {
+            ordinal
+        } else {
+            0
+        };
         let m = self.cfg.per_phase_len();
         let seg_len = m / segments;
         let mut full: Vec<Option<Bitstream>> = Vec::with_capacity(values.len());
@@ -381,7 +479,10 @@ impl ScSimulator {
             // One LFSR shared by every activation SNG (hardware sharing).
             let seed = mix_seed(self.cfg.act_seed, ordinal as u32, 0, 7);
             let mut bank = SngBank::new(16, seed)?;
-            let vals: Vec<f64> = values.iter().map(|&v| f64::from(v.clamp(0.0, 1.0))).collect();
+            let vals: Vec<f64> = values
+                .iter()
+                .map(|&v| f64::from(v.clamp(0.0, 1.0)))
+                .collect();
             for s in bank.generate_many(&vals, m)? {
                 full.push(if s.count_ones() == 0 { None } else { Some(s) });
             }
@@ -443,6 +544,9 @@ impl ScSimulator {
                 for px in 0..out_w {
                     let mut count: i64 = 0;
                     let window = c.pool.unwrap_or(1);
+                    // `e` is the pooling-segment ordinal, not just an index
+                    // into `acts`; enumerating would not simplify this.
+                    #[allow(clippy::needless_range_loop)]
                     for e in 0..segments {
                         // Conv output position covered by this segment.
                         let (oy, ox) = if c.pool.is_some() {
@@ -463,8 +567,7 @@ impl ScSimulator {
                                         continue;
                                     }
                                     let a_idx = (ic * h + iy as usize) * w + ix as usize;
-                                    let w_idx =
-                                        oc * fan_in + (ic * c.k + ky) * c.k + kx;
+                                    let w_idx = oc * fan_in + (ic * c.k + ky) * c.k + kx;
                                     lanes.push((a_idx, w_idx));
                                 }
                             }
@@ -489,13 +592,13 @@ impl ScSimulator {
         let m = self.cfg.per_phase_len();
         let mut out = vec![0.0f32; d.out_n];
         let mut lanes: Vec<(usize, usize)> = Vec::with_capacity(d.in_n);
-        for o in 0..d.out_n {
+        for (o, slot) in out.iter_mut().enumerate() {
             lanes.clear();
             for i in 0..d.in_n {
                 lanes.push((i, o * d.in_n + i));
             }
             let count = self.mac_segment(&acts[0], &d.weights, &lanes, 0)?;
-            out[o] = count as f32 / m as f32;
+            *slot = count as f32 / m as f32;
         }
 
         Ok(Tensor::from_vec(&[d.out_n], out)?)
@@ -611,7 +714,11 @@ mod tests {
         let out = sim
             .run(&net, &Tensor::from_vec(&[1], vec![0.5]).unwrap())
             .unwrap();
-        assert!((out.as_slice()[0] - 0.5).abs() < 0.05, "{}", out.as_slice()[0]);
+        assert!(
+            (out.as_slice()[0] - 0.5).abs() < 0.05,
+            "{}",
+            out.as_slice()[0]
+        );
     }
 
     #[test]
@@ -625,7 +732,11 @@ mod tests {
             .run(&net, &Tensor::from_vec(&[2], vec![0.5, 0.6]).unwrap())
             .unwrap();
         // ideal: 0.4 - 0.3 = 0.1 (OR is exact for single products per sign)
-        assert!((out.as_slice()[0] - 0.1).abs() < 0.05, "{}", out.as_slice()[0]);
+        assert!(
+            (out.as_slice()[0] - 0.1).abs() < 0.05,
+            "{}",
+            out.as_slice()[0]
+        );
     }
 
     #[test]
@@ -653,8 +764,7 @@ mod tests {
         conv.weights_mut()[0] = 1.0;
         net.push_conv(conv);
         net.push_avg_pool(AvgPool2d::new(2).unwrap());
-        let input =
-            Tensor::from_vec(&[1, 2, 2], vec![0.8, 0.4, 0.2, 0.6]).unwrap();
+        let input = Tensor::from_vec(&[1, 2, 2], vec![0.8, 0.4, 0.2, 0.6]).unwrap();
 
         let mut skip_cfg = cfg(4096);
         skip_cfg.skip_pooling = true;
@@ -728,10 +838,7 @@ mod tests {
             let out = sim.run(&net, &input).unwrap();
             errs.push((out.as_slice()[0] - expect).abs());
         }
-        assert!(
-            errs[2] <= errs[0] + 0.02,
-            "error did not shrink: {errs:?}"
-        );
+        assert!(errs[2] <= errs[0] + 0.02, "error did not shrink: {errs:?}");
         assert!(errs[2] < 0.05, "long-stream error too large: {errs:?}");
     }
 
@@ -776,6 +883,52 @@ mod tests {
         let net = Network::new();
         let sim = ScSimulator::new(cfg(128));
         assert!(sim.evaluate(&net, &[]).is_err());
+        let prepared = sim.prepare(&net).unwrap();
+        assert!(sim.evaluate_prepared(&prepared, &[]).is_err());
+    }
+
+    fn digit_like_net() -> Network {
+        let mut net = Network::new();
+        net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
+        net.push_avg_pool(AvgPool2d::new(2).unwrap());
+        net.push_relu(Relu::clamped());
+        net.push_flatten();
+        net.push_dense(Dense::new(2 * 4 * 4, 3, AccumMode::OrApprox).unwrap());
+        net
+    }
+
+    fn ramp_input() -> Tensor {
+        let vals: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
+        Tensor::from_vec(&[1, 8, 8], vals).unwrap()
+    }
+
+    #[test]
+    fn run_prepared_is_bit_identical_to_run() {
+        // The prepare-once path must not change a single output bit
+        // relative to the prepare-per-call wrapper.
+        let net = digit_like_net();
+        let input = ramp_input();
+        let sim = ScSimulator::new(cfg(256));
+        let prepared = sim.prepare(&net).unwrap();
+        let via_run = sim.run(&net, &input).unwrap();
+        let via_prepared = sim.run_prepared(&prepared, &input).unwrap();
+        assert_eq!(via_run, via_prepared);
+        // Reusing the same prepared network is also stable.
+        assert_eq!(via_prepared, sim.run_prepared(&prepared, &input).unwrap());
+    }
+
+    #[test]
+    fn timed_run_matches_untimed_and_labels_steps() {
+        let net = digit_like_net();
+        let input = ramp_input();
+        let sim = ScSimulator::new(cfg(128));
+        let prepared = sim.prepare(&net).unwrap();
+        let plain = sim.run_prepared(&prepared, &input).unwrap();
+        let (timed, timings) = sim.run_prepared_timed(&prepared, &input).unwrap();
+        assert_eq!(plain, timed);
+        let names: Vec<String> = timings.iter().map(|t| t.name.clone()).collect();
+        assert_eq!(names, prepared.step_names());
+        assert_eq!(prepared.step_count(), 4);
     }
 }
 
@@ -798,8 +951,7 @@ mod residual_tests {
         let mut net = Network::new();
         net.push_residual(inner);
 
-        let input =
-            Tensor::from_vec(&[1, 2, 2], vec![0.25, 0.5, 0.75, 1.0]).unwrap();
+        let input = Tensor::from_vec(&[1, 2, 2], vec![0.25, 0.5, 0.75, 1.0]).unwrap();
         let sim = ScSimulator::new(cfg(256));
         let out = sim.run(&net, &input).unwrap();
         // Zero inner weights: the skip path alone survives, exactly, up to
@@ -840,9 +992,7 @@ mod residual_tests {
         let mut net = Network::new();
         net.push_residual(inner);
         let sim = ScSimulator::new(cfg(128));
-        let trace = sim
-            .run_traced(&net, &Tensor::zeros(&[1, 4, 4]))
-            .unwrap();
+        let trace = sim.run_traced(&net, &Tensor::zeros(&[1, 4, 4])).unwrap();
         let names: Vec<&str> = trace.layers.iter().map(|l| l.name.as_str()).collect();
         assert_eq!(names, vec!["conv0", "residual"]);
     }
@@ -867,9 +1017,7 @@ mod residual_tests {
         net.push_conv(Conv2d::new(1, 1, 3, 1, 1, AccumMode::OrApprox).unwrap());
         net.push_residual(inner);
         let sim = ScSimulator::new(cfg(128));
-        let trace = sim
-            .run_traced(&net, &Tensor::zeros(&[1, 4, 4]))
-            .unwrap();
+        let trace = sim.run_traced(&net, &Tensor::zeros(&[1, 4, 4])).unwrap();
         let names: Vec<&str> = trace.layers.iter().map(|l| l.name.as_str()).collect();
         assert_eq!(names, vec!["conv0", "conv1", "residual"]);
     }

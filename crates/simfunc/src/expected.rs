@@ -44,11 +44,7 @@ use crate::{SimConfig, SimError};
 /// # Ok(())
 /// # }
 /// ```
-pub fn expected_logits(
-    net: &Network,
-    input: &Tensor,
-    cfg: &SimConfig,
-) -> Result<Tensor, SimError> {
+pub fn expected_logits(net: &Network, input: &Tensor, cfg: &SimConfig) -> Result<Tensor, SimError> {
     let aq = Quantizer::unsigned_unit(cfg.quant_bits)?;
     let x = input.map(|v| aq.quantize_value(v.clamp(0.0, 1.0)));
     run_layers(net.layers(), x, cfg, &aq)
@@ -149,8 +145,11 @@ mod tests {
     }
 
     fn test_input() -> Tensor {
-        Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| ((i * 7) % 11) as f32 / 11.0).collect())
-            .unwrap()
+        Tensor::from_vec(
+            &[1, 8, 8],
+            (0..64).map(|i| ((i * 7) % 11) as f32 / 11.0).collect(),
+        )
+        .unwrap()
     }
 
     #[test]

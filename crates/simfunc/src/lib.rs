@@ -40,12 +40,15 @@ mod engine;
 mod expected;
 mod sim_error;
 
-pub use engine::{LayerTrace, PreparedNetwork, RunTrace, ScSimulator};
+pub use engine::{LayerTrace, PreparedNetwork, RunTrace, ScSimulator, StepTiming};
 pub use expected::{expected_accuracy, expected_logits};
 pub use sim_error::SimError;
 
 /// Configuration of a stochastic functional simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Implements `Hash`/`Eq` so it can key prepared-model caches (see the
+/// `acoustic-runtime` crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimConfig {
     /// Total split-unipolar stream length (paper footnote 3: "256 long
     /// stream implies 128×2" — this is the *total*; each phase runs half).

@@ -1,21 +1,33 @@
-//! Property-based tests of the SC functional simulator: the stochastic
+//! Property-style tests of the SC functional simulator: the stochastic
 //! datapath must track the value-domain OR model within stream noise.
+//!
+//! Formerly written against the external `proptest` crate; the repo now
+//! builds fully offline, so each property is exercised over a deterministic
+//! [`DetRng`]-driven sample sweep instead of a shrinking random search. The
+//! invariants themselves are unchanged.
 
-use proptest::prelude::*;
-
+use acoustic_core::DetRng;
 use acoustic_nn::layers::{AccumMode, Conv2d, Dense, Network, Relu};
 use acoustic_nn::orsum::or_sum_exact;
 use acoustic_nn::Tensor;
 use acoustic_simfunc::{ScSimulator, SimConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    #[test]
-    fn dense_sc_tracks_or_expectation(
-        acts in proptest::collection::vec(0.0f32..=1.0, 4),
-        raw_w in proptest::collection::vec(-0.5f32..=0.5, 4)
-    ) {
+fn rng(test_tag: u64) -> DetRng {
+    DetRng::seed_from_u64(0xAC0_0571C ^ test_tag)
+}
+
+fn rand_vec_f32(rng: &mut DetRng, lo: f32, hi: f32, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range_f32(lo, hi)).collect()
+}
+
+#[test]
+fn dense_sc_tracks_or_expectation() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let acts = rand_vec_f32(&mut r, 0.0, 1.0, 4);
+        let raw_w = rand_vec_f32(&mut r, -0.5, 0.5, 4);
         let mut net = Network::new();
         let mut fc = Dense::new(4, 1, AccumMode::OrExact).unwrap();
         fc.weights_mut().copy_from_slice(&raw_w);
@@ -24,11 +36,15 @@ proptest! {
         // Value-domain OR model of the same dot product (8-bit quantized).
         let q = acoustic_nn::fixedpoint::Quantizer::signed_unit(8).unwrap();
         let aq = acoustic_nn::fixedpoint::Quantizer::unsigned_unit(8).unwrap();
-        let pos: Vec<f64> = raw_w.iter().zip(&acts)
+        let pos: Vec<f64> = raw_w
+            .iter()
+            .zip(&acts)
             .filter(|(w, _)| **w > 0.0)
             .map(|(w, a)| f64::from(q.quantize_value(*w)) * f64::from(aq.quantize_value(*a)))
             .collect();
-        let neg: Vec<f64> = raw_w.iter().zip(&acts)
+        let neg: Vec<f64> = raw_w
+            .iter()
+            .zip(&acts)
             .filter(|(w, _)| **w < 0.0)
             .map(|(w, a)| f64::from(-q.quantize_value(*w)) * f64::from(aq.quantize_value(*a)))
             .collect();
@@ -37,16 +53,19 @@ proptest! {
         let sim = ScSimulator::new(SimConfig::with_stream_len(8192).unwrap());
         let input = Tensor::from_vec(&[4], acts).unwrap();
         let out = sim.run(&net, &input).unwrap();
-        prop_assert!(
+        assert!(
             (f64::from(out.as_slice()[0]) - expect).abs() < 0.06,
-            "sc {} vs model {expect}", out.as_slice()[0]
+            "sc {} vs model {expect}",
+            out.as_slice()[0]
         );
     }
+}
 
-    #[test]
-    fn outputs_always_in_representable_range(
-        acts in proptest::collection::vec(0.0f32..=1.0, 16)
-    ) {
+#[test]
+fn outputs_always_in_representable_range() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
+        let acts = rand_vec_f32(&mut r, 0.0, 1.0, 16);
         // Whatever the weights, a single-OR-group datapath output decodes
         // into [-1, 1] and post-ReLU activations into [0, 1].
         let mut net = Network::new();
@@ -55,31 +74,33 @@ proptest! {
         let sim = ScSimulator::new(SimConfig::with_stream_len(128).unwrap());
         let input = Tensor::from_vec(&[1, 4, 4], acts).unwrap();
         let out = sim.run(&net, &input).unwrap();
-        prop_assert!(out.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(out.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
+}
 
-    #[test]
-    fn simulation_is_deterministic(
-        acts in proptest::collection::vec(0.0f32..=1.0, 16),
-        stream_pow in 6u32..=9
-    ) {
+#[test]
+fn simulation_is_deterministic() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let acts = rand_vec_f32(&mut r, 0.0, 1.0, 16);
+        let stream_pow = r.gen_range_usize(6, 10) as u32;
         let mut net = Network::new();
         net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
-        let sim = ScSimulator::new(
-            SimConfig::with_stream_len(1 << stream_pow).unwrap(),
-        );
+        let sim = ScSimulator::new(SimConfig::with_stream_len(1 << stream_pow).unwrap());
         let input = Tensor::from_vec(&[1, 4, 4], acts).unwrap();
         let a = sim.run(&net, &input).unwrap();
         let b = sim.run(&net, &input).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn zero_input_gives_zero_output(seed_stream in 6u32..=8) {
+#[test]
+fn zero_input_gives_zero_output() {
+    for seed_stream in 6u32..=8 {
         let mut net = Network::new();
         net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
         let sim = ScSimulator::new(SimConfig::with_stream_len(1 << seed_stream).unwrap());
         let out = sim.run(&net, &Tensor::zeros(&[1, 4, 4])).unwrap();
-        prop_assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
     }
 }

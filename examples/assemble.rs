@@ -39,7 +39,11 @@ BARR DMA|MAC|ACTRNG|WGTRNG|CNT
     let cfg = ArchConfig::lp();
     let sim = PerfSimulator::new(cfg.clone())?;
     let report = sim.run(&program)?;
-    println!("== Simulation on {} @ {:.0} MHz ==", cfg.name, cfg.clock_hz / 1e6);
+    println!(
+        "== Simulation on {} @ {:.0} MHz ==",
+        cfg.name,
+        cfg.clock_hz / 1e6
+    );
     println!("total cycles: {}", report.total_cycles);
     println!("latency:      {:.2} µs", report.seconds(&cfg) * 1e6);
     println!("MAC passes:   {}", report.mac_passes);
@@ -57,7 +61,7 @@ BARR DMA|MAC|ACTRNG|WGTRNG|CNT
     // Execution timeline (traced run): first instructions per module.
     let (_, events) = sim.run_traced(&program)?;
     println!("\n== Execution timeline (first 14 events) ==");
-    println!("{:>8} {:>8}  {:<8} {}", "start", "end", "module", "instr");
+    println!("{:>8} {:>8}  {:<8} instr", "start", "end", "module");
     for e in events.iter().take(14) {
         println!(
             "{:>8} {:>8}  {:<8} {}",

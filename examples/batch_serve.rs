@@ -1,0 +1,68 @@
+//! Batch serving with the deterministic runtime: train a small digit CNN,
+//! prepare it once through the model cache, then serve a batch of images
+//! on a worker pool — and show that the results are bit-identical whatever
+//! the worker count.
+//!
+//! Run with: `cargo run --release --example batch_serve`
+
+use acoustic::datasets::mnist_like;
+use acoustic::nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic::nn::train::{train, SgdConfig};
+use acoustic::runtime::{default_workers, BatchEngine, ModelCache};
+use acoustic::simfunc::SimConfig;
+
+fn digit_cnn() -> Result<Network, acoustic::nn::NnError> {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 6, 3, 1, 1, AccumMode::OrApprox)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(6 * 14 * 14, 10, AccumMode::OrApprox)?);
+    Ok(net)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train an OR-aware digit CNN briefly (synthetic MNIST stand-in).
+    let data = mnist_like(300, 64, 11);
+    let mut net = digit_cnn()?;
+    let sgd = SgdConfig {
+        lr: 0.08,
+        momentum: 0.9,
+        batch_size: 16,
+    };
+    println!(
+        "training digit CNN on {} synthetic images...",
+        data.train.len()
+    );
+    train(&mut net, &data.train, &sgd, 3)?;
+
+    // 2. Prepare once, through the serving cache: weights are quantized and
+    //    all split-unipolar weight streams generated a single time.
+    let cache = ModelCache::new();
+    let cfg = SimConfig::with_stream_len(128)?;
+    let model = cache.get_or_compile(cfg, &net)?;
+    println!(
+        "prepared model cached (fingerprint {:#018x}); cache holds {} model(s)\n",
+        model.fingerprint(),
+        cache.len()
+    );
+
+    // A second request for the same (network, config) hits the cache.
+    let again = cache.get_or_compile(cfg, &net)?;
+    assert!(std::sync::Arc::ptr_eq(&model, &again));
+
+    // 3. Serve the test batch on all available cores.
+    let workers = default_workers();
+    let report = BatchEngine::new(workers)?.evaluate(&model, &data.test)?;
+    println!("{report}");
+
+    // 4. Determinism: a single-threaded run produces bit-identical results.
+    let serial = BatchEngine::new(1)?.evaluate(&model, &data.test)?;
+    assert_eq!(serial.predictions, report.predictions);
+    assert_eq!(serial.confusion, report.confusion);
+    println!(
+        "determinism check: {} workers vs 1 worker -> identical predictions ✓",
+        workers
+    );
+    Ok(())
+}

@@ -13,7 +13,10 @@ use acoustic::nn::zoo::cifar10_cnn;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = cifar10_cnn();
-    println!("Design-space exploration: {} on ACOUSTIC variants\n", net.name());
+    println!(
+        "Design-space exploration: {} on ACOUSTIC variants\n",
+        net.name()
+    );
     println!(
         "{:<22} {:>9} {:>9} {:>10} {:>12} {:>12}",
         "configuration", "area mm2", "power W", "frames/s", "uJ/frame", "frames/J"

@@ -12,6 +12,7 @@
 //! | [`simfunc`] | `acoustic-simfunc` | Bit-exact SC functional simulator |
 //! | [`arch`] | `acoustic-arch` | ISA, assembler, compiler, performance simulator, area/power models |
 //! | [`baselines`] | `acoustic-baselines` | Eyeriss / SCOPE / MDL-CNN / Conv-RAM and MUX/APC comparators |
+//! | [`runtime`] | `acoustic-runtime` | Deterministic parallel batch-inference engine: prepared-model cache, worker pool, throughput reports |
 //!
 //! # Quickstart: one stochastic dot product, two ways
 //!
@@ -54,4 +55,5 @@ pub use acoustic_baselines as baselines;
 pub use acoustic_core as core;
 pub use acoustic_datasets as datasets;
 pub use acoustic_nn as nn;
+pub use acoustic_runtime as runtime;
 pub use acoustic_simfunc as simfunc;

@@ -100,10 +100,12 @@ fn compiled_programs_roundtrip_and_simulate_on_both_variants() {
     for cfg in [ArchConfig::lp(), ArchConfig::ulp()] {
         let compiled = compile(&zoo::lenet5(), &cfg).unwrap();
         let program = compiled.to_program().unwrap();
-        let reparsed =
-            acoustic::arch::program::Program::parse(&program.to_string()).unwrap();
+        let reparsed = acoustic::arch::program::Program::parse(&program.to_string()).unwrap();
         assert_eq!(reparsed, program);
-        let report = PerfSimulator::new(cfg.clone()).unwrap().run(&program).unwrap();
+        let report = PerfSimulator::new(cfg.clone())
+            .unwrap()
+            .run(&program)
+            .unwrap();
         assert!(report.total_cycles > 0);
     }
 }
@@ -134,10 +136,14 @@ fn fixed_point_baseline_beats_chance_after_quantization() {
     for layer in net.layers_mut() {
         match layer {
             acoustic::nn::layers::NetLayer::Conv(c) => {
-                c.weights_mut().iter_mut().for_each(|w| *w = q.quantize_value(*w));
+                c.weights_mut()
+                    .iter_mut()
+                    .for_each(|w| *w = q.quantize_value(*w));
             }
             acoustic::nn::layers::NetLayer::Dense(d) => {
-                d.weights_mut().iter_mut().for_each(|w| *w = q.quantize_value(*w));
+                d.weights_mut()
+                    .iter_mut()
+                    .for_each(|w| *w = q.quantize_value(*w));
             }
             _ => {}
         }

@@ -1,118 +1,163 @@
-//! Property-based tests over the cross-crate invariants listed in
+//! Property-style tests over the cross-crate invariants listed in
 //! DESIGN.md §7.
-
-use proptest::prelude::*;
+//!
+//! Formerly written against the external `proptest` crate; the repo now
+//! builds fully offline, so each property is exercised over a deterministic
+//! [`DetRng`]-driven sample sweep instead of a shrinking random search. The
+//! invariants themselves are unchanged.
 
 use acoustic::core::counter::Phase;
 use acoustic::core::pooling::skip_pool_concat;
 use acoustic::core::{
-    or_accumulate, or_expected, Bitstream, Lfsr, Sng, SplitUnipolarMac, SplitWeight,
+    or_accumulate, or_expected, Bitstream, DetRng, Lfsr, Sng, SplitUnipolarMac, SplitWeight,
     UpDownCounter,
 };
 use acoustic::nn::fixedpoint::Quantizer;
 
-fn arb_bits(len: usize) -> impl Strategy<Value = Vec<bool>> {
-    proptest::collection::vec(any::<bool>(), len)
+const CASES: usize = 64;
+
+fn rng(test_tag: u64) -> DetRng {
+    DetRng::seed_from_u64(0xAC0_0571C ^ test_tag)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rand_bits(rng: &mut DetRng, len: usize) -> Vec<bool> {
+    (0..len).map(|_| rng.next_bool()).collect()
+}
 
-    #[test]
-    fn stream_value_in_unit_interval(bits in arb_bits(128)) {
-        let s = Bitstream::from_bits(&bits);
-        prop_assert!((0.0..=1.0).contains(&s.value()));
+#[test]
+fn stream_value_in_unit_interval() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let s = Bitstream::from_bits(&rand_bits(&mut r, 128));
+        assert!((0.0..=1.0).contains(&s.value()));
     }
+}
 
-    #[test]
-    fn and_popcount_bounded_by_min(a in arb_bits(96), b in arb_bits(96)) {
-        let sa = Bitstream::from_bits(&a);
-        let sb = Bitstream::from_bits(&b);
+#[test]
+fn and_popcount_bounded_by_min() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
+        let sa = Bitstream::from_bits(&rand_bits(&mut r, 96));
+        let sb = Bitstream::from_bits(&rand_bits(&mut r, 96));
         let p = sa.and(&sb).unwrap();
-        prop_assert!(p.count_ones() <= sa.count_ones().min(sb.count_ones()));
+        assert!(p.count_ones() <= sa.count_ones().min(sb.count_ones()));
     }
+}
 
-    #[test]
-    fn or_popcount_bounds(a in arb_bits(96), b in arb_bits(96)) {
-        let sa = Bitstream::from_bits(&a);
-        let sb = Bitstream::from_bits(&b);
+#[test]
+fn or_popcount_bounds() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let sa = Bitstream::from_bits(&rand_bits(&mut r, 96));
+        let sb = Bitstream::from_bits(&rand_bits(&mut r, 96));
         let o = sa.or(&sb).unwrap();
-        prop_assert!(o.count_ones() >= sa.count_ones().max(sb.count_ones()));
-        prop_assert!(o.count_ones() <= sa.count_ones() + sb.count_ones());
+        assert!(o.count_ones() >= sa.count_ones().max(sb.count_ones()));
+        assert!(o.count_ones() <= sa.count_ones() + sb.count_ones());
     }
+}
 
-    #[test]
-    fn de_morgan_holds(a in arb_bits(80), b in arb_bits(80)) {
-        let sa = Bitstream::from_bits(&a);
-        let sb = Bitstream::from_bits(&b);
+#[test]
+fn de_morgan_holds() {
+    let mut r = rng(4);
+    for _ in 0..CASES {
+        let sa = Bitstream::from_bits(&rand_bits(&mut r, 80));
+        let sb = Bitstream::from_bits(&rand_bits(&mut r, 80));
         let lhs = sa.or(&sb).unwrap().not();
         let rhs = sa.not().and(&sb.not()).unwrap();
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn sng_expectation_bounded_by_hoeffding(v in 0.0f64..=1.0, seed in 1u32..0xFFFF) {
+#[test]
+fn sng_expectation_bounded_by_hoeffding() {
+    let mut r = rng(5);
+    for _ in 0..CASES {
+        let v = r.gen_range_f64(0.0, 1.0);
+        let seed = r.gen_range_usize(1, 0xFFFF) as u32;
         let n = 4096;
         let mut sng = Sng::new(Lfsr::maximal(16, seed).unwrap(), 16);
         let s = sng.generate(v, n).unwrap();
         // Very loose Hoeffding-style bound; LFSR correlation respects it.
-        prop_assert!((s.value() - v).abs() < 0.12, "v={} got {}", v, s.value());
+        assert!((s.value() - v).abs() < 0.12, "v={} got {}", v, s.value());
     }
+}
 
-    #[test]
-    fn or_accumulate_order_invariant(
-        a in arb_bits(64), b in arb_bits(64), c in arb_bits(64)
-    ) {
-        let (sa, sb, sc) = (
-            Bitstream::from_bits(&a),
-            Bitstream::from_bits(&b),
-            Bitstream::from_bits(&c),
-        );
+#[test]
+fn or_accumulate_order_invariant() {
+    let mut r = rng(6);
+    for _ in 0..CASES {
+        let sa = Bitstream::from_bits(&rand_bits(&mut r, 64));
+        let sb = Bitstream::from_bits(&rand_bits(&mut r, 64));
+        let sc = Bitstream::from_bits(&rand_bits(&mut r, 64));
         let abc = or_accumulate(&[sa.clone(), sb.clone(), sc.clone()]).unwrap();
         let cba = or_accumulate(&[sc, sb, sa]).unwrap();
-        prop_assert_eq!(abc, cba);
+        assert_eq!(abc, cba);
     }
+}
 
-    #[test]
-    fn or_expected_bounds(values in proptest::collection::vec(0.0f64..=1.0, 1..32)) {
+#[test]
+fn or_expected_bounds() {
+    let mut r = rng(7);
+    for _ in 0..CASES {
+        let len = r.gen_range_usize(1, 32);
+        let values: Vec<f64> = (0..len).map(|_| r.gen_range_f64(0.0, 1.0)).collect();
         let e = or_expected(&values);
         let max_v = values.iter().copied().fold(0.0, f64::max);
         let sum: f64 = values.iter().sum();
-        prop_assert!(e >= max_v - 1e-12);
-        prop_assert!(e <= sum.min(1.0) + 1e-12);
+        assert!(e >= max_v - 1e-12);
+        assert!(e <= sum.min(1.0) + 1e-12);
     }
+}
 
-    #[test]
-    fn split_weight_roundtrip(w in -1.0f64..=1.0) {
+#[test]
+fn split_weight_roundtrip() {
+    let mut r = rng(8);
+    for _ in 0..CASES {
+        let w = r.gen_range_f64(-1.0, 1.0);
         let sw = SplitWeight::from_real(w).unwrap();
-        prop_assert!((sw.to_real() - w).abs() < 1e-12);
-        prop_assert!(sw.positive() >= 0.0 && sw.negative() >= 0.0);
-        prop_assert!(sw.positive() == 0.0 || sw.negative() == 0.0);
+        assert!((sw.to_real() - w).abs() < 1e-12);
+        assert!(sw.positive() >= 0.0 && sw.negative() >= 0.0);
+        assert!(sw.positive() == 0.0 || sw.negative() == 0.0);
     }
+}
 
-    #[test]
-    fn counter_magnitude_bounded_by_bits_seen(bits in arb_bits(64), up in any::<bool>()) {
+#[test]
+fn counter_magnitude_bounded_by_bits_seen() {
+    let mut r = rng(9);
+    for _ in 0..CASES {
+        let bits = rand_bits(&mut r, 64);
+        let up = r.next_bool();
         let mut c = UpDownCounter::new();
         let s = Bitstream::from_bits(&bits);
         let phase = if up { Phase::Positive } else { Phase::Negative };
         c.accumulate(&s, phase).unwrap();
-        prop_assert!(c.count().unsigned_abs() <= c.bits_seen());
-        prop_assert!(c.relu() >= 0);
+        assert!(c.count().unsigned_abs() <= c.bits_seen());
+        assert!(c.relu() >= 0);
     }
+}
 
-    #[test]
-    fn skip_pool_value_is_exact_mean(segments in proptest::collection::vec(arb_bits(32), 1..6)) {
-        let streams: Vec<Bitstream> = segments.iter().map(|b| Bitstream::from_bits(b)).collect();
+#[test]
+fn skip_pool_value_is_exact_mean() {
+    let mut r = rng(10);
+    for _ in 0..CASES {
+        let k = r.gen_range_usize(1, 6);
+        let streams: Vec<Bitstream> = (0..k)
+            .map(|_| Bitstream::from_bits(&rand_bits(&mut r, 32)))
+            .collect();
         let mean = streams.iter().map(Bitstream::value).sum::<f64>() / streams.len() as f64;
         let pooled = skip_pool_concat(&streams).unwrap();
-        prop_assert!((pooled.value() - mean).abs() < 1e-9);
+        assert!((pooled.value() - mean).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn mac_expected_value_bounded(
-        acts in proptest::collection::vec(0.0f64..=1.0, 1..12),
-        raw_w in proptest::collection::vec(-1.0f64..=1.0, 1..12)
-    ) {
+#[test]
+fn mac_expected_value_bounded() {
+    let mut r = rng(11);
+    for _ in 0..CASES {
+        let na = r.gen_range_usize(1, 12);
+        let nw = r.gen_range_usize(1, 12);
+        let acts: Vec<f64> = (0..na).map(|_| r.gen_range_f64(0.0, 1.0)).collect();
+        let raw_w: Vec<f64> = (0..nw).map(|_| r.gen_range_f64(-1.0, 1.0)).collect();
         let n = acts.len().min(raw_w.len());
         let weights: Vec<SplitWeight> = raw_w[..n]
             .iter()
@@ -121,34 +166,49 @@ proptest! {
         let mac = SplitUnipolarMac::new(64, 96);
         let e = mac.expected_value(&acts[..n], &weights).unwrap();
         // One OR group per phase: each phase contributes at most 1.0.
-        prop_assert!((-1.0..=1.0).contains(&e), "expected value {}", e);
+        assert!((-1.0..=1.0).contains(&e), "expected value {}", e);
     }
+}
 
-    #[test]
-    fn quantizer_error_bounded_and_idempotent(v in -1.0f32..=1.0, bits in 2u32..=10) {
+#[test]
+fn quantizer_error_bounded_and_idempotent() {
+    let mut r = rng(12);
+    for _ in 0..CASES {
+        let v = r.gen_range_f32(-1.0, 1.0);
+        let bits = r.gen_range_usize(2, 11) as u32;
         let q = Quantizer::signed_unit(bits).unwrap();
         let qv = q.quantize_value(v);
-        prop_assert!((qv - v).abs() <= q.step() / 2.0 + 1e-6);
-        prop_assert_eq!(q.quantize_value(qv), qv);
+        assert!((qv - v).abs() <= q.step() / 2.0 + 1e-6);
+        assert_eq!(q.quantize_value(qv), qv);
     }
+}
 
-    #[test]
-    fn assembler_roundtrip_random_programs(
-        macs in proptest::collection::vec(1u64..10_000, 1..20),
-        loop_count in 1u32..50
-    ) {
-        use acoustic::arch::isa::{Instruction, LoopKind, Module, ModuleMask};
-        use acoustic::arch::program::Program;
-        let mut instrs = vec![Instruction::For { kind: LoopKind::Row, count: loop_count }];
+#[test]
+fn assembler_roundtrip_random_programs() {
+    use acoustic::arch::isa::{Instruction, LoopKind, Module, ModuleMask};
+    use acoustic::arch::program::Program;
+    let mut r = rng(13);
+    for _ in 0..CASES {
+        let n = r.gen_range_usize(1, 20);
+        let macs: Vec<u64> = (0..n)
+            .map(|_| r.gen_range_usize(1, 10_000) as u64)
+            .collect();
+        let loop_count = r.gen_range_usize(1, 50) as u32;
+        let mut instrs = vec![Instruction::For {
+            kind: LoopKind::Row,
+            count: loop_count,
+        }];
         for &m in &macs {
             instrs.push(Instruction::Mac { cycles: m });
         }
         instrs.push(Instruction::Barr {
             mask: ModuleMask::empty().with(Module::Mac),
         });
-        instrs.push(Instruction::End { kind: LoopKind::Row });
+        instrs.push(Instruction::End {
+            kind: LoopKind::Row,
+        });
         let p = Program::new(instrs).unwrap();
         let back = Program::parse(&p.to_string()).unwrap();
-        prop_assert_eq!(back, p);
+        assert_eq!(back, p);
     }
 }
