@@ -1,15 +1,23 @@
 //! Micro-benchmarks of the stochastic-computing kernels behind E1–E4:
-//! stream generation, AND/OR MAC, wide accumulation, and skipped pooling.
+//! stream generation, AND/OR MAC, wide accumulation, and skipped pooling —
+//! plus the fused word-level kernels of the zero-allocation MAC rewrite
+//! (fused `acc |= a & w`, single-pass SNG bank fill, and a full
+//! `mac_segment`-shaped proxy reporting ns per MAC lane).
 //!
 //! Runs on the repo's built-in harness (`acoustic_bench::harness`) — the
 //! offline build has no criterion. Pass `--quick` for a short CI run.
+//! Writes per-kernel timings (including ns/MAC where an element count is
+//! known) to `results/BENCH_kernels.json`.
 
+use std::fmt::Write as _;
 use std::hint::black_box;
 
 use acoustic_baselines::mux_tree::mux_tree_accumulate;
-use acoustic_bench::harness::Harness;
+use acoustic_bench::harness::{json_string, Harness};
+use acoustic_core::bitstream::count_ones_words;
 use acoustic_core::pooling::skip_pool_concat;
-use acoustic_core::{or_accumulate, Bitstream, Lfsr, Sng, SplitUnipolarMac, SplitWeight};
+use acoustic_core::sng::quantize_probability;
+use acoustic_core::{or_accumulate, Bitstream, Lfsr, Sng, SngBank, SplitUnipolarMac, SplitWeight};
 
 fn lane_streams(k: usize, n: usize, v: f64) -> Vec<Bitstream> {
     (0..k)
@@ -67,5 +75,139 @@ fn main() {
         });
     }
 
+    // --- fused-kernel rewrite: word-level MAC primitives -------------------
+
+    // One OR-accumulated AND product per lane: fused single pass vs the
+    // historical two-step form that allocates an intermediate stream.
+    for k in [96usize, 2304] {
+        let acts = lane_streams(k, 128, 0.5);
+        let wgts = lane_streams(k, 128, 0.3);
+        let mut acc = Bitstream::zeros(128);
+        h.bench("fused_or_assign_and", k, Some(k as u64), || {
+            acc.clear_bits();
+            for (a, w) in acts.iter().zip(&wgts) {
+                acc.or_assign_and(a, w).unwrap();
+            }
+            black_box(acc.count_ones())
+        });
+        let mut acc2 = Bitstream::zeros(128);
+        h.bench("two_step_and_or", k, Some(k as u64), || {
+            acc2.clear_bits();
+            for (a, w) in acts.iter().zip(&wgts) {
+                acc2.or_assign(&a.and(w).unwrap()).unwrap();
+            }
+            black_box(acc2.count_ones())
+        });
+    }
+
+    // Activation-stream generation for one layer's worth of values:
+    // single-pass shared bank vs one independent SNG walk per value.
+    for streams in [256usize, 1024] {
+        let n = 128usize;
+        let words_per = n.div_ceil(64);
+        let thresholds: Vec<u32> = (0..streams)
+            .map(|i| quantize_probability(i as f64 / streams as f64, 16).unwrap())
+            .collect();
+        let mut flat = vec![0u64; streams * words_per];
+        let mut bank = SngBank::new(16, 0xACE1).unwrap();
+        h.bench(
+            "sng_bank_fill_single_pass",
+            streams,
+            Some((streams * n) as u64),
+            || {
+                bank.fill_quantized(&thresholds, n, &mut flat);
+                black_box(flat[0])
+            },
+        );
+        h.bench(
+            "sng_per_stream_fill",
+            streams,
+            Some((streams * n) as u64),
+            || {
+                for (j, &t) in thresholds.iter().enumerate() {
+                    let mut sng = Sng::new(Lfsr::maximal(16, 0xACE1).unwrap(), 16);
+                    sng.fill_quantized(t, n, &mut flat[j * words_per..(j + 1) * words_per]);
+                }
+                black_box(flat[0])
+            },
+        );
+    }
+
+    // A mac_segment-shaped proxy: word-fused AND-OR over borrowed lane
+    // views with 96-grouped counter hand-off — `elements` is MAC lanes, so
+    // the JSON's ns_per_elem column reads as ns/MAC.
+    for fan_in in [96usize, 2304] {
+        let seg_words = 2usize; // 128-bit segment
+        let lane_words: Vec<Vec<u64>> = lane_streams(fan_in, 128, 0.5)
+            .iter()
+            .map(|s| s.as_words().to_vec())
+            .collect();
+        let wgt_words: Vec<Vec<u64>> = lane_streams(fan_in, 128, 0.3)
+            .iter()
+            .map(|s| s.as_words().to_vec())
+            .collect();
+        let mut acc = vec![0u64; seg_words];
+        h.bench("fused_mac_segment", fan_in, Some(fan_in as u64), || {
+            let mut count = 0i64;
+            acc.fill(0);
+            let mut in_group = 0usize;
+            for (a, w) in lane_words.iter().zip(&wgt_words) {
+                for ((acc_w, &aw), &ww) in acc.iter_mut().zip(a).zip(w) {
+                    *acc_w |= aw & ww;
+                }
+                in_group += 1;
+                if in_group == 96 {
+                    count += count_ones_words(&acc) as i64;
+                    acc.fill(0);
+                    in_group = 0;
+                }
+            }
+            if in_group > 0 {
+                count += count_ones_words(&acc) as i64;
+            }
+            black_box(count)
+        });
+    }
+
     h.finish();
+    write_results(&h);
+}
+
+/// Writes every measurement (with derived ns/element where available) to
+/// `results/BENCH_kernels.json`.
+fn write_results(h: &Harness) {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": {},", json_string("sc_kernels"));
+    out.push_str("  \"kernels\": [\n");
+    let results = h.results();
+    for (i, r) in results.iter().enumerate() {
+        let ns_per_elem = r
+            .elements
+            .map(|e| format!("{:.3}", r.mean_ns / e as f64))
+            .unwrap_or_else(|| "null".into());
+        let _ = write!(
+            out,
+            "    {{\"group\": {}, \"id\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"elements\": {}, \"ns_per_elem\": {}}}",
+            json_string(&r.group),
+            json_string(&r.id),
+            r.mean_ns,
+            r.min_ns,
+            r.elements
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "null".into()),
+            ns_per_elem,
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_kernels.json"
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    std::fs::write(path, out).unwrap();
+    println!("wrote {path}");
 }

@@ -233,6 +233,31 @@ impl Bitstream {
         Ok(())
     }
 
+    /// Fused MAC step: `self |= a & b` in a single pass over the words.
+    ///
+    /// This is the inner loop of the OR-unipolar MAC datapath — one AND
+    /// (unipolar multiply) feeding one OR (saturating accumulate) — without
+    /// materialising the intermediate product stream. Equivalent to
+    /// `self.or_assign(&a.and(b)?)` but allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if either operand differs in
+    /// length from `self`.
+    pub fn or_assign_and(&mut self, a: &Bitstream, b: &Bitstream) -> Result<(), CoreError> {
+        self.check_len(a)?;
+        self.check_len(b)?;
+        for ((acc, &x), &y) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *acc |= x & y;
+        }
+        Ok(())
+    }
+
+    /// Clears every bit without touching the allocation.
+    pub fn clear_bits(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Concatenates two streams (used by computation-skipping pooling, §II-C:
     /// “instead of passing multiple streams through the pooling multiplexer we
     /// concatenate shorter streams”).
@@ -245,6 +270,8 @@ impl Bitstream {
 
     /// Returns the sub-stream `[start, start + count)`.
     ///
+    /// Extracted word-parallel (shift-and-merge), not bit by bit.
+    ///
     /// # Panics
     ///
     /// Panics if `start + count > self.len()`.
@@ -255,8 +282,9 @@ impl Bitstream {
             start + count,
             self.len
         );
-        let bits: Vec<bool> = (start..start + count).map(|i| self.get(i)).collect();
-        Bitstream::from_bits(&bits)
+        let mut words = vec![0u64; count.div_ceil(64)];
+        copy_bit_range(&self.words, start, count, &mut words);
+        Bitstream { words, len: count }
     }
 
     /// Iterates over the bits, index 0 first.
@@ -325,6 +353,51 @@ impl Bitstream {
             self.words.clear();
         }
     }
+}
+
+/// Copies the bit range `[start, start + count)` out of a packed word buffer
+/// into `dst`, re-aligning so bit `start` lands at bit 0 of `dst[0]`.
+///
+/// Words of `dst` beyond the range and the tail bits of the last in-range
+/// word are zeroed, so the result obeys the [`Bitstream`] tail invariant.
+/// Reads past the end of `src` behave as if `src` were zero-extended. This is
+/// the word-parallel segment-extraction primitive behind [`Bitstream::slice`]
+/// and the simulator's segmented activation banks.
+///
+/// # Panics
+///
+/// Panics if `dst` holds fewer than `count.div_ceil(64)` words.
+pub fn copy_bit_range(src: &[u64], start: usize, count: usize, dst: &mut [u64]) {
+    let in_range = count.div_ceil(64);
+    assert!(
+        dst.len() >= in_range,
+        "destination holds {} words, range needs {in_range}",
+        dst.len()
+    );
+    let word0 = start / 64;
+    let shift = start % 64;
+    for (i, w) in dst[..in_range].iter_mut().enumerate() {
+        let lo = src.get(word0 + i).copied().unwrap_or(0) >> shift;
+        let hi = if shift == 0 {
+            0
+        } else {
+            src.get(word0 + i + 1).copied().unwrap_or(0) << (64 - shift)
+        };
+        *w = lo | hi;
+    }
+    let rem = count % 64;
+    if rem != 0 {
+        dst[in_range - 1] &= (1u64 << rem) - 1;
+    }
+    for w in dst[in_range..].iter_mut() {
+        *w = 0;
+    }
+}
+
+/// Total popcount of a packed word buffer (the counter half of a fused MAC
+/// group: OR-accumulated words in, ones count out).
+pub fn count_ones_words(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
 }
 
 /// Iterator over the bits of a [`Bitstream`], produced by [`Bitstream::iter`].
@@ -460,6 +533,74 @@ mod tests {
         let mid = s.slice(2, 3);
         assert_eq!(mid.len(), 3);
         assert!(mid.get(0) && mid.get(1) && !mid.get(2));
+    }
+
+    #[test]
+    fn slice_matches_bitwise_reference_across_offsets() {
+        // Word-parallel slice must agree with a per-bit extraction for every
+        // (start, count), including unaligned word-straddling ranges.
+        let bits: Vec<bool> = (0..200).map(|i| (i * 7 + i / 13) % 3 == 0).collect();
+        let s = Bitstream::from_bits(&bits);
+        for start in [0usize, 1, 16, 63, 64, 65, 100, 127, 128, 130] {
+            for count in [0usize, 1, 16, 17, 63, 64, 65, 70] {
+                if start + count > s.len() {
+                    continue;
+                }
+                let fast = s.slice(start, count);
+                let slow: Bitstream = (start..start + count).map(|i| s.get(i)).collect();
+                assert_eq!(fast, slow, "slice({start}, {count})");
+            }
+        }
+    }
+
+    #[test]
+    fn or_assign_and_matches_two_step_form() {
+        let bits = |seed: u64| -> Bitstream {
+            (0..130)
+                .map(|i| (seed.wrapping_mul(i as u64 + 3) >> 5) & 1 == 1)
+                .collect()
+        };
+        let (a, b) = (bits(0x9E3779B9), bits(0x85EBCA6B));
+        let mut fused = bits(0xC2B2AE35);
+        let mut two_step = fused.clone();
+        fused.or_assign_and(&a, &b).unwrap();
+        two_step.or_assign(&a.and(&b).unwrap()).unwrap();
+        assert_eq!(fused, two_step);
+
+        let short = Bitstream::zeros(64);
+        assert!(fused.or_assign_and(&short, &b).is_err());
+        assert!(fused.or_assign_and(&a, &short).is_err());
+    }
+
+    #[test]
+    fn clear_bits_zeroes_in_place() {
+        let mut s = Bitstream::ones(130);
+        s.clear_bits();
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.len(), 130);
+    }
+
+    #[test]
+    fn copy_bit_range_zeroes_destination_tail() {
+        let src = [!0u64; 3];
+        let mut dst = [!0u64; 3];
+        copy_bit_range(&src, 30, 70, &mut dst);
+        // 70 bits: words 0 full, word 1 holds 6 bits, word 2 out of range.
+        assert_eq!(dst[0], !0);
+        assert_eq!(dst[1], (1 << 6) - 1);
+        assert_eq!(dst[2], 0);
+        // Reads past src's end act as zeros.
+        let mut over = [!0u64; 2];
+        copy_bit_range(&src, 150, 80, &mut over);
+        assert_eq!(over[0], (1 << 42) - 1, "only 42 in-bounds bits remain");
+        assert_eq!(over[1], 0);
+    }
+
+    #[test]
+    fn count_ones_words_matches_stream_count() {
+        let s = Bitstream::from_bits(&[true, false, true, true, false, true]);
+        assert_eq!(count_ones_words(s.as_words()), s.count_ones());
+        assert_eq!(count_ones_words(&[]), 0);
     }
 
     #[test]

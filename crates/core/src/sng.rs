@@ -84,21 +84,69 @@ impl Sng {
     }
 
     /// Generates an `n`-bit stream from an already-quantized threshold.
+    ///
+    /// Degenerate thresholds take a fast path — see [`Sng::fill_quantized`]
+    /// for the exact semantics (the source register is not advanced).
     pub fn generate_quantized(&mut self, threshold: u32, n: usize) -> Bitstream {
         let mut words = vec![0u64; n.div_ceil(64)];
+        self.fill_quantized(threshold, n, &mut words);
+        Bitstream::from_words(words, n).expect("word count computed from n")
+    }
+
+    /// Writes an `n`-bit stream for `threshold` into `out` as packed words,
+    /// overwriting every word the stream touches (tail bits are masked to
+    /// zero, preserving the [`Bitstream`] word invariant).
+    ///
+    /// Fast paths: a zero threshold emits all-zero words and a full-scale
+    /// threshold (`>= 2^width − 1`) all-one words, both **without walking the
+    /// random source** — the comparator output is constant either way, so the
+    /// bits are identical to the walked form. The source register is left
+    /// untouched on these paths; callers that interleave degenerate and
+    /// normal thresholds on one [`Sng`] and depend on cycle-exact register
+    /// phase should use a fresh generator per stream (as the simulator does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` holds fewer than `n.div_ceil(64)` words.
+    pub fn fill_quantized(&mut self, threshold: u32, n: usize, out: &mut [u64]) {
+        let words = n.div_ceil(64);
+        assert!(
+            out.len() >= words,
+            "output buffer holds {} words, stream needs {words}",
+            out.len()
+        );
+        let out = &mut out[..words];
+        if threshold == 0 {
+            out.fill(0);
+            return;
+        }
+        if u64::from(threshold) >= (1u64 << self.width) - 1 {
+            out.fill(!0);
+            mask_tail(out, n);
+            return;
+        }
+        // Normal path: `threshold > 0` is established above, so the per-bit
+        // loop is a bare compare against the shifted source value.
         let shift = self.lfsr.width() - self.width;
-        for (i, word) in words.iter_mut().enumerate() {
+        for (i, word) in out.iter_mut().enumerate() {
             let bits_here = (n - i * 64).min(64);
             let mut w = 0u64;
             for b in 0..bits_here {
                 let r = self.lfsr.next_value() >> shift;
-                if r <= threshold && threshold > 0 {
-                    w |= 1 << b;
-                }
+                w |= u64::from(r <= threshold) << b;
             }
             *word = w;
         }
-        Bitstream::from_words(words, n).expect("word count computed from n")
+    }
+}
+
+/// Zeroes the bits at positions `>= n` in the last word of a packed buffer.
+fn mask_tail(words: &mut [u64], n: usize) {
+    let rem = n % 64;
+    if rem != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << rem) - 1;
+        }
     }
 }
 
@@ -128,6 +176,9 @@ impl Sng {
 pub struct SngBank {
     lfsr: Lfsr,
     width: u32,
+    /// Per-cycle source values of the current walk, buffered so one LFSR
+    /// pass serves every comparator (reused across calls).
+    scratch: Vec<u32>,
 }
 
 impl SngBank {
@@ -141,6 +192,7 @@ impl SngBank {
         Ok(SngBank {
             lfsr: Lfsr::maximal(width, seed)?,
             width,
+            scratch: Vec::new(),
         })
     }
 
@@ -161,16 +213,69 @@ impl SngBank {
             .map(|&v| quantize_probability(v, self.width))
             .collect();
         let thresholds = thresholds?;
-        let mut streams: Vec<Bitstream> = (0..values.len()).map(|_| Bitstream::zeros(n)).collect();
-        for bit in 0..n {
-            let r = self.lfsr.next_value();
-            for (s, &t) in streams.iter_mut().zip(&thresholds) {
-                if r <= t && t > 0 {
-                    s.set(bit, true);
-                }
-            }
+        let words_per = n.div_ceil(64);
+        let mut flat = vec![0u64; values.len() * words_per];
+        self.fill_quantized(&thresholds, n, &mut flat);
+        let mut streams = Vec::with_capacity(values.len());
+        let mut rest = flat;
+        for _ in 0..values.len() {
+            let tail = rest.split_off(words_per);
+            streams.push(Bitstream::from_words(rest, n).expect("word count computed from n"));
+            rest = tail;
         }
         Ok(streams)
+    }
+
+    /// Single-pass generation from pre-quantized thresholds into a packed
+    /// word buffer: **one** LFSR walk of `n` cycles total, each cycle's value
+    /// compared against every threshold — the hardware's shared-RNG
+    /// arrangement. Stream `j` occupies
+    /// `out[j * n.div_ceil(64) .. (j + 1) * n.div_ceil(64)]`, tail bits
+    /// masked to zero.
+    ///
+    /// Bit-identical to [`SngBank::generate_many`] (and the register advances
+    /// exactly `n` cycles either way); degenerate thresholds skip only the
+    /// per-stream comparator loop, never the shared walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` holds fewer than `thresholds.len() * n.div_ceil(64)`
+    /// words.
+    pub fn fill_quantized(&mut self, thresholds: &[u32], n: usize, out: &mut [u64]) {
+        let words_per = n.div_ceil(64);
+        assert!(
+            out.len() >= thresholds.len() * words_per,
+            "output buffer holds {} words, {} streams of {n} bits need {}",
+            out.len(),
+            thresholds.len(),
+            thresholds.len() * words_per
+        );
+        self.scratch.clear();
+        self.scratch.reserve(n);
+        for _ in 0..n {
+            self.scratch.push(self.lfsr.next_value());
+        }
+        let full_scale = (1u64 << self.width) - 1;
+        for (j, &t) in thresholds.iter().enumerate() {
+            let dst = &mut out[j * words_per..(j + 1) * words_per];
+            if t == 0 {
+                dst.fill(0);
+                continue;
+            }
+            if u64::from(t) >= full_scale {
+                dst.fill(!0);
+                mask_tail(dst, n);
+                continue;
+            }
+            for (i, word) in dst.iter_mut().enumerate() {
+                let bits_here = (n - i * 64).min(64);
+                let mut w = 0u64;
+                for (b, &r) in self.scratch[i * 64..i * 64 + bits_here].iter().enumerate() {
+                    w |= u64::from(r <= t) << b;
+                }
+                *word = w;
+            }
+        }
     }
 
     /// Advances the shared source by `cycles` steps (stream regeneration
@@ -298,6 +403,91 @@ mod tests {
         let s = generate_with(&mut ramp, 0.5, 255).unwrap();
         let t = quantize_probability(0.5, 8).unwrap();
         assert_eq!(s.count_ones(), t as u64);
+    }
+
+    /// Per-bit reference generator: the original comparator loop, kept as
+    /// the oracle for the word-building and fast-path rewrites.
+    fn reference_stream(width: u32, seed: u32, threshold: u32, n: usize) -> Bitstream {
+        let mut lfsr = Lfsr::maximal(width, seed).unwrap();
+        let mut s = Bitstream::zeros(n);
+        for bit in 0..n {
+            let r = lfsr.next_value();
+            if r <= threshold && threshold > 0 {
+                s.set(bit, true);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn generate_quantized_matches_per_bit_reference() {
+        for threshold in [0u32, 1, 7, 128, 4000, 0xFFFE, 0xFFFF] {
+            for n in [1usize, 63, 64, 65, 200] {
+                let mut sng = Sng::new(Lfsr::maximal(16, 0xACE1).unwrap(), 16);
+                let fast = sng.generate_quantized(threshold, n);
+                let slow = reference_stream(16, 0xACE1, threshold, n);
+                assert_eq!(fast, slow, "threshold {threshold}, n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_quantized_masks_tail_and_overwrites_stale_words() {
+        let mut sng = Sng::new(Lfsr::maximal(16, 0xACE1).unwrap(), 16);
+        let mut buf = [!0u64; 2];
+        sng.fill_quantized(0xFFFF, 70, &mut buf);
+        assert_eq!(buf[1], (1 << 6) - 1, "full-scale tail must be masked");
+        sng.fill_quantized(0, 70, &mut buf);
+        assert_eq!(buf, [0, 0]);
+    }
+
+    #[test]
+    fn bank_fill_quantized_matches_generate_many() {
+        let values = [0.0, 1e-9, 0.3, 0.5, 0.9, 1.0];
+        let n = 200;
+        let mut a = SngBank::new(16, 0xBEEF).unwrap();
+        let mut b = SngBank::new(16, 0xBEEF).unwrap();
+        let streams = a.generate_many(&values, n).unwrap();
+        let thresholds: Vec<u32> = values
+            .iter()
+            .map(|&v| quantize_probability(v, 16).unwrap())
+            .collect();
+        let words_per = n.div_ceil(64);
+        let mut flat = vec![!0u64; values.len() * words_per];
+        b.fill_quantized(&thresholds, n, &mut flat);
+        for (j, s) in streams.iter().enumerate() {
+            assert_eq!(
+                &flat[j * words_per..(j + 1) * words_per],
+                s.as_words(),
+                "stream {j}"
+            );
+        }
+        // Both banks walked the same number of cycles.
+        let sa = a.generate_many(&[0.5], 64).unwrap();
+        let sb = b.generate_many(&[0.5], 64).unwrap();
+        assert_eq!(sa, sb, "register phase diverged between the two forms");
+    }
+
+    #[test]
+    fn bank_matches_per_bit_reference() {
+        let n = 130;
+        let mut bank = SngBank::new(16, 0x1D2C).unwrap();
+        let streams = bank.generate_many(&[0.0, 0.25, 1.0], n).unwrap();
+        let mut lfsr = Lfsr::maximal(16, 0x1D2C).unwrap();
+        let thresholds: Vec<u32> = [0.0, 0.25, 1.0]
+            .iter()
+            .map(|&v| quantize_probability(v, 16).unwrap())
+            .collect();
+        let mut refs: Vec<Bitstream> = (0..3).map(|_| Bitstream::zeros(n)).collect();
+        for bit in 0..n {
+            let r = lfsr.next_value();
+            for (s, &t) in refs.iter_mut().zip(&thresholds) {
+                if r <= t && t > 0 {
+                    s.set(bit, true);
+                }
+            }
+        }
+        assert_eq!(streams, refs);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use acoustic_nn::train::Sample;
 use acoustic_nn::Tensor;
-use acoustic_simfunc::{SimError, StepTiming};
+use acoustic_simfunc::{SimError, SimScratch, StepTiming};
 
 use crate::{BatchReport, LayerTiming, PreparedModel, RuntimeError};
 
@@ -83,8 +83,9 @@ impl BatchEngine {
         model: &PreparedModel,
         inputs: &[Tensor],
     ) -> Result<Vec<Tensor>, RuntimeError> {
-        let (logits, _) =
-            self.dispatch(model, inputs.len(), |i| model.logits(i as u64, &inputs[i]))?;
+        let (logits, _) = self.dispatch(model, inputs.len(), |i, scratch| {
+            model.logits_with(i as u64, &inputs[i], scratch)
+        })?;
         Ok(logits)
     }
 
@@ -108,8 +109,8 @@ impl BatchEngine {
             ));
         }
         let started = Instant::now();
-        let (results, cpu_busy) = self.dispatch(model, samples.len(), |i| {
-            model.logits_timed(i as u64, &samples[i].0)
+        let (results, cpu_busy) = self.dispatch(model, samples.len(), |i, scratch| {
+            model.logits_timed_with(i as u64, &samples[i].0, scratch)
         })?;
         let wall = started.elapsed();
 
@@ -152,13 +153,18 @@ impl BatchEngine {
 
     /// Maps `job` over `0..count`, merging results in index order.
     ///
+    /// Each worker owns one [`SimScratch`] for its whole lifetime, so batch
+    /// execution amortizes per-image buffer allocation to zero. Scratch
+    /// reuse never affects results — every job's output is still a pure
+    /// function of its index.
+    ///
     /// Returns the per-index results plus the summed busy time across
     /// workers. On failure, reports the error of the *lowest* failing index
     /// so error reporting is as deterministic as the results.
     fn dispatch<T, F>(&self, _model: &PreparedModel, count: usize, job: F) -> DispatchResult<T>
     where
         T: Send,
-        F: Fn(usize) -> Result<T, SimError> + Sync,
+        F: Fn(usize, &mut SimScratch) -> Result<T, SimError> + Sync,
     {
         if count == 0 {
             return Ok((Vec::new(), Duration::ZERO));
@@ -166,9 +172,13 @@ impl BatchEngine {
         if self.workers == 1 {
             // Serial fast path: no threads, same index order and seeds.
             let started = Instant::now();
+            let mut scratch = SimScratch::default();
             let mut out = Vec::with_capacity(count);
             for i in 0..count {
-                out.push(job(i).map_err(|source| RuntimeError::Image { index: i, source })?);
+                out.push(
+                    job(i, &mut scratch)
+                        .map_err(|source| RuntimeError::Image { index: i, source })?,
+                );
             }
             return Ok((out, started.elapsed()));
         }
@@ -182,6 +192,7 @@ impl BatchEngine {
                 .map(|_| {
                     scope.spawn(|| {
                         let started = Instant::now();
+                        let mut scratch = SimScratch::default();
                         let mut mine: Vec<(usize, Result<T, SimError>)> = Vec::new();
                         loop {
                             let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -189,7 +200,7 @@ impl BatchEngine {
                                 break;
                             }
                             for i in lo..(lo + chunk).min(count) {
-                                mine.push((i, job(i)));
+                                mine.push((i, job(i, &mut scratch)));
                             }
                         }
                         (mine, started.elapsed())
@@ -235,14 +246,14 @@ type DispatchResult<T> = Result<(Vec<T>, Duration), RuntimeError>;
 fn merge_timings(agg: &mut Vec<LayerTiming>, timings: &[StepTiming]) {
     if agg.is_empty() {
         agg.extend(timings.iter().map(|t| LayerTiming {
-            name: t.name.clone(),
+            name: t.name.to_string(),
             calls: 1,
             nanos: t.nanos,
         }));
         return;
     }
     for (slot, t) in agg.iter_mut().zip(timings) {
-        debug_assert_eq!(slot.name, t.name);
+        debug_assert_eq!(slot.name.as_str(), &*t.name);
         slot.calls += 1;
         slot.nanos += t.nanos;
     }

@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex};
 use acoustic_core::prng::splitmix64;
 use acoustic_nn::layers::Network;
 use acoustic_nn::Tensor;
-use acoustic_simfunc::{PreparedNetwork, ScSimulator, SimConfig, SimError, StepTiming};
+use acoustic_simfunc::{PreparedNetwork, ScSimulator, SimConfig, SimError, SimScratch, StepTiming};
 
 use crate::RuntimeError;
 
@@ -96,8 +96,24 @@ impl PreparedModel {
     ///
     /// Propagates datapath and shape errors.
     pub fn logits(&self, image_index: u64, input: &Tensor) -> Result<Tensor, SimError> {
+        self.logits_with(image_index, input, &mut SimScratch::default())
+    }
+
+    /// Like [`PreparedModel::logits`], reusing a caller-owned [`SimScratch`]
+    /// so per-image heap churn amortizes to zero across a batch (the batch
+    /// engine keeps one scratch per worker).
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath and shape errors.
+    pub fn logits_with(
+        &self,
+        image_index: u64,
+        input: &Tensor,
+        scratch: &mut SimScratch,
+    ) -> Result<Tensor, SimError> {
         self.image_sim(image_index)
-            .run_prepared(&self.prepared, input)
+            .run_prepared_with(&self.prepared, input, scratch)
     }
 
     /// Like [`PreparedModel::logits`], also returning per-step wall-clock
@@ -111,8 +127,22 @@ impl PreparedModel {
         image_index: u64,
         input: &Tensor,
     ) -> Result<(Tensor, Vec<StepTiming>), SimError> {
+        self.logits_timed_with(image_index, input, &mut SimScratch::default())
+    }
+
+    /// Scratch-reusing variant of [`PreparedModel::logits_timed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath and shape errors.
+    pub fn logits_timed_with(
+        &self,
+        image_index: u64,
+        input: &Tensor,
+        scratch: &mut SimScratch,
+    ) -> Result<(Tensor, Vec<StepTiming>), SimError> {
         self.image_sim(image_index)
-            .run_prepared_timed(&self.prepared, input)
+            .run_prepared_timed_with(&self.prepared, input, scratch)
     }
 
     /// Predicted class of one image: argmax of [`PreparedModel::logits`].

@@ -101,6 +101,45 @@ fn report_is_consistent_across_worker_counts() {
 }
 
 #[test]
+fn worker_invariance_holds_across_datapath_config_matrix() {
+    // The fused-MAC rewrite threads a per-worker scratch through the batch
+    // engine; every datapath configuration must stay bit-identical across
+    // worker counts and match the scratch-free per-image path.
+    let net = digit_net();
+    let samples = batch(6);
+    let inputs: Vec<Tensor> = samples.iter().map(|(x, _)| x.clone()).collect();
+    for or_group in [None, Some(3)] {
+        for skip_pooling in [true, false] {
+            for shared_act_rng in [true, false] {
+                let cfg = SimConfig {
+                    or_group,
+                    skip_pooling,
+                    shared_act_rng,
+                    ..SimConfig::with_stream_len(64).unwrap()
+                };
+                let model = PreparedModel::compile(cfg, &net).expect("prepare");
+                let serial = BatchEngine::new(1).unwrap().run(&model, &inputs).unwrap();
+                let parallel = BatchEngine::new(4)
+                    .unwrap()
+                    .with_chunk_size(1)
+                    .unwrap()
+                    .run(&model, &inputs)
+                    .unwrap();
+                assert_eq!(
+                    serial, parallel,
+                    "worker divergence for or_group={or_group:?} \
+                     skip_pooling={skip_pooling} shared_act_rng={shared_act_rng}"
+                );
+                for (i, x) in inputs.iter().enumerate() {
+                    let single = model.logits(i as u64, x).unwrap();
+                    assert_eq!(serial[i], single, "batch vs per-image drift at {i}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn errors_are_deterministic_too() {
     let model = PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &digit_net())
         .expect("prepare");

@@ -6,14 +6,21 @@
 //! the accelerator). Each image then only pays for activation stream
 //! generation and the AND/OR datapath.
 
+use std::sync::Arc;
+
+use acoustic_core::bitstream::{copy_bit_range, count_ones_words};
 use acoustic_core::counter::Phase;
-use acoustic_core::{Bitstream, Lfsr, Sng, SngBank};
+use acoustic_core::sng::quantize_probability;
+use acoustic_core::{Lfsr, Sng, SngBank};
 use acoustic_nn::fixedpoint::Quantizer;
 use acoustic_nn::layers::{NetLayer, Network};
 use acoustic_nn::train::Sample;
 use acoustic_nn::Tensor;
 
 use crate::{SimConfig, SimError};
+
+/// Comparator width of every SNG in the datapath (16-bit LFSRs).
+const SNG_WIDTH: u32 = 16;
 
 /// Per-layer decoded outputs of a traced run.
 #[derive(Debug, Clone)]
@@ -38,21 +45,45 @@ pub struct RunTrace {
 /// included in the enclosing `"residual"` entry's time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StepTiming {
-    /// Step label, e.g. `"conv0"`, `"relu"`, `"dense1"`.
-    pub name: String,
+    /// Step label, e.g. `"conv0"`, `"relu"`, `"dense1"`. Shared with the
+    /// prepared network's cached label — cloning is a reference-count bump,
+    /// so the timed path never formats or allocates a label per step.
+    pub name: Arc<str>,
     /// Time spent executing the step, in nanoseconds.
     pub nanos: u128,
+}
+
+/// One phase's weight streams, stored flat and word-aligned: weight `j`,
+/// segment `e` occupies `words[(j * segments + e) * seg_words .. +seg_words]`
+/// (all-zero when the weight has no component in this phase). The MAC inner
+/// loop reads borrowed word ranges out of this bank — no per-lane `Option`
+/// or `Vec<Bitstream>` pointer chasing.
+#[derive(Debug, Clone)]
+struct PhaseBank {
+    words: Vec<u64>,
+    /// Whether weight `j` has a component in this phase. Absent weights must
+    /// be *skipped*, not OR-ed as zero: only present lanes consume an
+    /// OR-group slot.
+    present: Vec<bool>,
+}
+
+impl PhaseBank {
+    fn zeros(weights: usize, segments: usize, seg_words: usize) -> Self {
+        PhaseBank {
+            words: vec![0u64; weights * segments * seg_words],
+            present: vec![false; weights],
+        }
+    }
 }
 
 /// Split-unipolar weight streams of one MAC layer, pre-segmented for
 /// computation-skipping pooling.
 #[derive(Debug, Clone)]
 struct WeightStreams {
-    /// `[weight_idx]` → positive-phase stream segments (None if the weight
-    /// has no positive component).
-    pos: Vec<Option<Vec<Bitstream>>>,
-    /// Same for the negative phase.
-    neg: Vec<Option<Vec<Bitstream>>>,
+    pos: PhaseBank,
+    neg: PhaseBank,
+    segments: usize,
+    seg_words: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -76,8 +107,16 @@ struct PreparedDense {
     ordinal: usize,
 }
 
+/// One execution step with its display label cached at prepare time, so the
+/// per-image timed path never rebuilds step names.
 #[derive(Debug, Clone)]
-enum Step {
+struct Step {
+    label: Arc<str>,
+    op: StepOp,
+}
+
+#[derive(Debug, Clone)]
+enum StepOp {
     Conv(PreparedConv),
     Dense(PreparedDense),
     /// Binary-domain average pooling (skip-pooling disabled or standalone).
@@ -91,6 +130,15 @@ enum Step {
     /// in the binary (counter) domain — exactly how the hardware realises
     /// skip connections after per-layer conversion.
     Residual(Vec<Step>),
+}
+
+impl Step {
+    fn new(label: impl Into<Arc<str>>, op: StepOp) -> Self {
+        Step {
+            label: label.into(),
+            op,
+        }
+    }
 }
 
 /// A network compiled for stochastic execution.
@@ -114,22 +162,83 @@ impl PreparedNetwork {
     /// reported by [`RunTrace`] and [`StepTiming`], without residual
     /// inner steps).
     pub fn step_names(&self) -> Vec<String> {
-        self.steps.iter().map(Step::name).collect()
+        self.steps.iter().map(|s| s.label.to_string()).collect()
     }
 }
 
-impl Step {
-    /// Display label, shared by traces and timings.
-    fn name(&self) -> String {
-        match self {
-            Step::Conv(c) => format!("conv{}", c.ordinal),
-            Step::Dense(d) => format!("dense{}", d.ordinal),
-            Step::BinaryAvgPool(_) => "avgpool".to_string(),
-            Step::MaxPool(_) => "maxpool".to_string(),
-            Step::Relu(_) => "relu".to_string(),
-            Step::Flatten => "flatten".to_string(),
-            Step::Residual(_) => "residual".to_string(),
-        }
+/// Reusable per-inference working memory: the segmented activation bank,
+/// MAC accumulator, geometry/lane lists, and SNG staging buffers.
+///
+/// Construct once (it is `Default`) and thread through
+/// [`ScSimulator::run_prepared_with`] to amortise every per-image buffer
+/// across a batch — a fresh scratch gives bit-identical results, only slower.
+/// The batch runtime keeps one per worker thread.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Word-aligned segmented activation streams of the current layer.
+    acts: ActBank,
+    /// One full-length activation stream being generated/segmented.
+    full: Vec<u64>,
+    /// Pre-quantized comparator thresholds (shared-RNG path).
+    thresholds: Vec<u32>,
+    /// Fused MAC accumulator words (one OR group).
+    acc: Vec<u64>,
+    /// Per-output-channel signed counters of the pixel in flight.
+    counts: Vec<i64>,
+    /// Receptive-field lanes `(activation_idx, weight_base)` of the current
+    /// spatial position — shared by every output channel.
+    lanes: Vec<(usize, usize)>,
+}
+
+/// Activation streams of one layer, stored segment-major and word-aligned:
+/// segment `e` of activation `j` occupies the word range
+/// `[(j * segments + e) * seg_words, +seg_words)`, tail bits zero. Segment
+/// access is therefore a borrowed word-range view — indexing, not slicing
+/// into freshly allocated streams.
+#[derive(Debug, Default)]
+struct ActBank {
+    words: Vec<u64>,
+    seg_words: usize,
+    segments: usize,
+    /// Operand-gated activations (lane contributes nothing and is skipped
+    /// without entering an OR group).
+    gated: Vec<bool>,
+}
+
+impl ActBank {
+    /// Clears and resizes for a layer of `streams` activations.
+    fn reset(&mut self, streams: usize, segments: usize, seg_words: usize) {
+        self.segments = segments;
+        self.seg_words = seg_words;
+        self.words.clear();
+        self.words.resize(streams * segments * seg_words, 0);
+        self.gated.clear();
+        self.gated.resize(streams, false);
+    }
+
+    /// The whole word bank; lane offsets computed by the caller index into
+    /// this slice directly.
+    fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    #[cfg(test)]
+    fn segment(&self, idx: usize, e: usize) -> &[u64] {
+        let base = (idx * self.segments + e) * self.seg_words;
+        &self.words[base..base + self.seg_words]
+    }
+
+    fn segment_mut(&mut self, idx: usize, e: usize) -> &mut [u64] {
+        let base = (idx * self.segments + e) * self.seg_words;
+        &mut self.words[base..base + self.seg_words]
+    }
+
+    fn gate(&mut self, idx: usize) {
+        self.gated[idx] = true;
+    }
+
+    fn is_gated(&self, idx: usize) -> bool {
+        self.gated[idx]
     }
 }
 
@@ -193,16 +302,19 @@ impl ScSimulator {
                         )));
                     }
                     let weights = self.weight_streams(&wvals, *ordinal, segments)?;
-                    steps.push(Step::Conv(PreparedConv {
-                        in_c: conv.in_channels(),
-                        out_c: conv.out_channels(),
-                        k: conv.kernel(),
-                        stride: conv.stride(),
-                        pad: conv.padding(),
-                        pool,
-                        weights,
-                        ordinal: *ordinal,
-                    }));
+                    steps.push(Step::new(
+                        format!("conv{ordinal}"),
+                        StepOp::Conv(PreparedConv {
+                            in_c: conv.in_channels(),
+                            out_c: conv.out_channels(),
+                            k: conv.kernel(),
+                            stride: conv.stride(),
+                            pad: conv.padding(),
+                            pool,
+                            weights,
+                            ordinal: *ordinal,
+                        }),
+                    ));
                     *ordinal += 1;
                     i += if pool.is_some() { 2 } else { 1 };
                 }
@@ -210,34 +322,37 @@ impl ScSimulator {
                     let wvals: Vec<f32> =
                         d.weights().iter().map(|&w| wq.quantize_value(w)).collect();
                     let weights = self.weight_streams(&wvals, *ordinal, 1)?;
-                    steps.push(Step::Dense(PreparedDense {
-                        in_n: d.in_features(),
-                        out_n: d.out_features(),
-                        weights,
-                        ordinal: *ordinal,
-                    }));
+                    steps.push(Step::new(
+                        format!("dense{ordinal}"),
+                        StepOp::Dense(PreparedDense {
+                            in_n: d.in_features(),
+                            out_n: d.out_features(),
+                            weights,
+                            ordinal: *ordinal,
+                        }),
+                    ));
                     *ordinal += 1;
                     i += 1;
                 }
                 NetLayer::AvgPool(p) => {
-                    steps.push(Step::BinaryAvgPool(p.window()));
+                    steps.push(Step::new("avgpool", StepOp::BinaryAvgPool(p.window())));
                     i += 1;
                 }
                 NetLayer::MaxPool(p) => {
-                    steps.push(Step::MaxPool(p.window()));
+                    steps.push(Step::new("maxpool", StepOp::MaxPool(p.window())));
                     i += 1;
                 }
                 NetLayer::Relu(r) => {
-                    steps.push(Step::Relu(r.max_value()));
+                    steps.push(Step::new("relu", StepOp::Relu(r.max_value())));
                     i += 1;
                 }
                 NetLayer::Flatten(_) => {
-                    steps.push(Step::Flatten);
+                    steps.push(Step::new("flatten", StepOp::Flatten));
                     i += 1;
                 }
                 NetLayer::Residual(r) => {
                     let inner = self.prepare_layers(r.inner().layers(), ordinal)?;
-                    steps.push(Step::Residual(inner));
+                    steps.push(Step::new("residual", StepOp::Residual(inner)));
                     i += 1;
                 }
             }
@@ -265,7 +380,25 @@ impl ScSimulator {
         prepared: &PreparedNetwork,
         input: &Tensor,
     ) -> Result<Tensor, SimError> {
-        self.execute(prepared, input, None, None)
+        self.run_prepared_with(prepared, input, &mut SimScratch::default())
+    }
+
+    /// Runs one inference reusing caller-owned working memory.
+    ///
+    /// Bit-identical to [`ScSimulator::run_prepared`]; the scratch only
+    /// recycles buffers (activation bank, MAC accumulator, lane lists)
+    /// between images so the steady-state datapath is allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath and shape errors.
+    pub fn run_prepared_with(
+        &self,
+        prepared: &PreparedNetwork,
+        input: &Tensor,
+        scratch: &mut SimScratch,
+    ) -> Result<Tensor, SimError> {
+        self.execute(prepared, input, None, None, scratch)
     }
 
     /// Runs one inference on an already-prepared network, additionally
@@ -282,8 +415,22 @@ impl ScSimulator {
         prepared: &PreparedNetwork,
         input: &Tensor,
     ) -> Result<(Tensor, Vec<StepTiming>), SimError> {
+        self.run_prepared_timed_with(prepared, input, &mut SimScratch::default())
+    }
+
+    /// Timed variant of [`ScSimulator::run_prepared_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath and shape errors.
+    pub fn run_prepared_timed_with(
+        &self,
+        prepared: &PreparedNetwork,
+        input: &Tensor,
+        scratch: &mut SimScratch,
+    ) -> Result<(Tensor, Vec<StepTiming>), SimError> {
         let mut timings = Vec::with_capacity(prepared.step_count());
-        let logits = self.execute(prepared, input, None, Some(&mut timings))?;
+        let logits = self.execute(prepared, input, None, Some(&mut timings), scratch)?;
         Ok((logits, timings))
     }
 
@@ -295,7 +442,13 @@ impl ScSimulator {
     pub fn run_traced(&self, net: &Network, input: &Tensor) -> Result<RunTrace, SimError> {
         let prepared = self.prepare(net)?;
         let mut traces = Vec::new();
-        let logits = self.execute(&prepared, input, Some(&mut traces), None)?;
+        let logits = self.execute(
+            &prepared,
+            input,
+            Some(&mut traces),
+            None,
+            &mut SimScratch::default(),
+        )?;
         Ok(RunTrace {
             layers: traces,
             logits,
@@ -338,9 +491,14 @@ impl ScSimulator {
         if samples.is_empty() {
             return Err(SimError::InvalidConfig("empty evaluation set".into()));
         }
+        let mut scratch = SimScratch::default();
         let mut correct = 0usize;
         for (input, label) in samples {
-            if self.predict(prepared, input)? == *label {
+            if self
+                .run_prepared_with(prepared, input, &mut scratch)?
+                .argmax()
+                == *label
+            {
                 correct += 1;
             }
         }
@@ -353,10 +511,11 @@ impl ScSimulator {
         input: &Tensor,
         traces: Option<&mut Vec<LayerTrace>>,
         timings: Option<&mut Vec<StepTiming>>,
+        scratch: &mut SimScratch,
     ) -> Result<Tensor, SimError> {
         let aq = Quantizer::unsigned_unit(self.cfg.quant_bits)?;
         let x = input.map(|v| aq.quantize_value(v.clamp(0.0, 1.0)));
-        self.execute_steps(&prepared.steps, x, traces, timings)
+        self.execute_steps(&prepared.steps, x, traces, timings, scratch)
     }
 
     fn execute_steps(
@@ -365,29 +524,31 @@ impl ScSimulator {
         mut x: Tensor,
         mut traces: Option<&mut Vec<LayerTrace>>,
         mut timings: Option<&mut Vec<StepTiming>>,
+        scratch: &mut SimScratch,
     ) -> Result<Tensor, SimError> {
         for step in steps {
             let started = timings.as_ref().map(|_| std::time::Instant::now());
-            let out = match step {
-                Step::Conv(c) => self.exec_conv(c, &x)?,
-                Step::Dense(d) => self.exec_dense(d, &x)?,
-                Step::BinaryAvgPool(k) => binary_avg_pool(&x, *k)?,
-                Step::MaxPool(k) => binary_max_pool(&x, *k)?,
-                Step::Relu(hi) => {
+            let out = match &step.op {
+                StepOp::Conv(c) => self.exec_conv(c, &x, scratch)?,
+                StepOp::Dense(d) => self.exec_dense(d, &x, scratch)?,
+                StepOp::BinaryAvgPool(k) => binary_avg_pool(&x, *k)?,
+                StepOp::MaxPool(k) => binary_max_pool(&x, *k)?,
+                StepOp::Relu(hi) => {
                     // The counter/ReLU unit gates the sign and the unipolar
                     // representation caps at 1.0 regardless of the layer's
                     // own clamp setting.
                     let cap = hi.unwrap_or(1.0).min(1.0);
                     x.map(|v| v.clamp(0.0, cap))
                 }
-                Step::Flatten => x.to_flat(),
-                Step::Residual(inner) => {
+                StepOp::Flatten => x.to_flat(),
+                StepOp::Residual(inner) => {
                     let skip = x.clone();
                     let mut y = self.execute_steps(
                         inner,
                         x.clone(),
                         traces.as_deref_mut(),
                         timings.as_deref_mut(),
+                        scratch,
                     )?;
                     if y.shape() != skip.shape() {
                         return Err(SimError::UnsupportedLayer(format!(
@@ -406,13 +567,13 @@ impl ScSimulator {
             x = out;
             if let (Some(t), Some(start)) = (timings.as_deref_mut(), started) {
                 t.push(StepTiming {
-                    name: step.name(),
+                    name: Arc::clone(&step.label),
                     nanos: start.elapsed().as_nanos(),
                 });
             }
             if let Some(t) = traces.as_deref_mut() {
                 t.push(LayerTrace {
-                    name: step.name(),
+                    name: step.label.to_string(),
                     output: x.clone(),
                 });
             }
@@ -420,7 +581,8 @@ impl ScSimulator {
         Ok(x)
     }
 
-    /// Generates the per-phase, per-segment weight streams of a MAC layer.
+    /// Generates the per-phase, per-segment weight streams of a MAC layer
+    /// into flat word-aligned phase banks.
     fn weight_streams(
         &self,
         wvals: &[f32],
@@ -429,41 +591,57 @@ impl ScSimulator {
     ) -> Result<WeightStreams, SimError> {
         let m = self.cfg.per_phase_len();
         let seg_len = m / segments;
-        let mut pos = Vec::with_capacity(wvals.len());
-        let mut neg = Vec::with_capacity(wvals.len());
+        let seg_words = seg_len.div_ceil(64);
+        let mut pos = PhaseBank::zeros(wvals.len(), segments, seg_words);
+        let mut neg = PhaseBank::zeros(wvals.len(), segments, seg_words);
+        let mut full = vec![0u64; m.div_ceil(64)];
         for (j, &w) in wvals.iter().enumerate() {
-            let make = |component: f64, phase: u32| -> Result<Vec<Bitstream>, SimError> {
-                let seed = mix_seed(self.cfg.wgt_seed, ordinal as u32, j as u32, phase);
-                let mut sng = Sng::new(Lfsr::maximal(16, seed)?, 16);
-                let full = sng.generate(component, m)?;
-                Ok((0..segments)
-                    .map(|e| full.slice(e * seg_len, seg_len))
-                    .collect())
-            };
-            if w > 0.0 {
-                pos.push(Some(make(w as f64, 0)?));
-                neg.push(None);
+            let (bank, component, phase) = if w > 0.0 {
+                (&mut pos, f64::from(w), 0)
             } else if w < 0.0 {
-                pos.push(None);
-                neg.push(Some(make(-w as f64, 1)?));
+                (&mut neg, f64::from(-w), 1)
             } else {
-                pos.push(None);
-                neg.push(None);
+                continue;
+            };
+            let seed = mix_seed(self.cfg.wgt_seed, ordinal as u32, j as u32, phase);
+            let mut sng = Sng::new(Lfsr::maximal(SNG_WIDTH, seed)?, SNG_WIDTH);
+            let threshold = quantize_probability(component, SNG_WIDTH)?;
+            sng.fill_quantized(threshold, m, &mut full);
+            bank.present[j] = true;
+            for e in 0..segments {
+                let base = (j * segments + e) * seg_words;
+                copy_bit_range(
+                    &full,
+                    e * seg_len,
+                    seg_len,
+                    &mut bank.words[base..base + seg_words],
+                );
             }
         }
-        Ok(WeightStreams { pos, neg })
+        Ok(WeightStreams {
+            pos,
+            neg,
+            segments,
+            seg_words,
+        })
     }
 
-    /// Generates activation streams for a whole layer input, pre-segmented.
+    /// Generates activation streams for a whole layer input into the
+    /// scratch's segmented, word-aligned bank.
     ///
-    /// Returns `[segment][activation_idx] -> Option<Bitstream>` (None for
-    /// zero activations, whose lanes are operand-gated).
-    fn activation_streams(
+    /// Stream contents and gating are bit-identical to the historical
+    /// per-segment `slice` layout: segment `e` of activation `j` holds bits
+    /// `[e * seg_len, (e + 1) * seg_len)` of stream `j`, and a lane is gated
+    /// (skipped by the MAC without consuming an OR-group slot) exactly when
+    /// the old path stored `None` — `v <= 0` on the per-index-seed path, an
+    /// all-zero generated stream on the shared-RNG path.
+    fn fill_activation_bank(
         &self,
         values: &[f32],
         ordinal: usize,
         segments: usize,
-    ) -> Result<Vec<Vec<Option<Bitstream>>>, SimError> {
+        scratch: &mut SimScratch,
+    ) -> Result<(), SimError> {
         // With per-layer regeneration disabled, every layer draws the same
         // random sequences (ordinal dropped from the seed mix) — the §II-C
         // correlation ablation.
@@ -474,41 +652,70 @@ impl ScSimulator {
         };
         let m = self.cfg.per_phase_len();
         let seg_len = m / segments;
-        let mut full: Vec<Option<Bitstream>> = Vec::with_capacity(values.len());
+        let seg_words = seg_len.div_ceil(64);
+        let full_words = m.div_ceil(64);
+        scratch.acts.reset(values.len(), segments, seg_words);
         if self.cfg.shared_act_rng {
-            // One LFSR shared by every activation SNG (hardware sharing).
+            // One LFSR shared by every activation SNG (hardware sharing):
+            // a single walk of `m` cycles serves every comparator.
             let seed = mix_seed(self.cfg.act_seed, ordinal as u32, 0, 7);
-            let mut bank = SngBank::new(16, seed)?;
-            let vals: Vec<f64> = values
-                .iter()
-                .map(|&v| f64::from(v.clamp(0.0, 1.0)))
-                .collect();
-            for s in bank.generate_many(&vals, m)? {
-                full.push(if s.count_ones() == 0 { None } else { Some(s) });
+            let mut bank = SngBank::new(SNG_WIDTH, seed)?;
+            scratch.thresholds.clear();
+            for &v in values {
+                scratch.thresholds.push(quantize_probability(
+                    f64::from(v.clamp(0.0, 1.0)),
+                    SNG_WIDTH,
+                )?);
+            }
+            scratch.full.clear();
+            scratch.full.resize(values.len() * full_words, 0);
+            bank.fill_quantized(&scratch.thresholds, m, &mut scratch.full);
+            for idx in 0..values.len() {
+                let words = &scratch.full[idx * full_words..(idx + 1) * full_words];
+                if count_ones_words(words) == 0 {
+                    scratch.acts.gate(idx);
+                    continue;
+                }
+                for e in 0..segments {
+                    copy_bit_range(
+                        words,
+                        e * seg_len,
+                        seg_len,
+                        scratch.acts.segment_mut(idx, e),
+                    );
+                }
             }
         } else {
+            scratch.full.clear();
+            scratch.full.resize(full_words, 0);
             for (idx, &v) in values.iter().enumerate() {
                 if v <= 0.0 {
-                    full.push(None);
+                    scratch.acts.gate(idx);
                     continue;
                 }
                 let seed = mix_seed(self.cfg.act_seed, ordinal as u32, idx as u32, 3);
-                let mut sng = Sng::new(Lfsr::maximal(16, seed)?, 16);
-                full.push(Some(sng.generate(f64::from(v.min(1.0)), m)?));
+                let mut sng = Sng::new(Lfsr::maximal(SNG_WIDTH, seed)?, SNG_WIDTH);
+                let threshold = quantize_probability(f64::from(v.min(1.0)), SNG_WIDTH)?;
+                sng.fill_quantized(threshold, m, &mut scratch.full);
+                for e in 0..segments {
+                    copy_bit_range(
+                        &scratch.full,
+                        e * seg_len,
+                        seg_len,
+                        scratch.acts.segment_mut(idx, e),
+                    );
+                }
             }
         }
-        let mut out = Vec::with_capacity(segments);
-        for e in 0..segments {
-            out.push(
-                full.iter()
-                    .map(|s| s.as_ref().map(|s| s.slice(e * seg_len, seg_len)))
-                    .collect(),
-            );
-        }
-        Ok(out)
+        Ok(())
     }
 
-    fn exec_conv(&self, c: &PreparedConv, input: &Tensor) -> Result<Tensor, SimError> {
+    fn exec_conv(
+        &self,
+        c: &PreparedConv,
+        input: &Tensor,
+        scratch: &mut SimScratch,
+    ) -> Result<Tensor, SimError> {
         let shape = input.shape();
         if shape.len() != 3 || shape[0] != c.in_c {
             return Err(SimError::Nn(acoustic_nn::NnError::ShapeMismatch {
@@ -527,9 +734,10 @@ impl ScSimulator {
                 )));
             }
         }
-        let acts = self.activation_streams(input.as_slice(), c.ordinal, segments)?;
+        self.fill_activation_bank(input.as_slice(), c.ordinal, segments, scratch)?;
 
         let m = self.cfg.per_phase_len();
+        let seg_words = (m / segments).div_ceil(64);
         let fan_in = c.in_c * c.k * c.k;
         let (out_h, out_w) = match c.pool {
             Some(pk) => (oh / pk, ow / pk),
@@ -537,67 +745,103 @@ impl ScSimulator {
         };
         let mut out = Tensor::zeros(&[c.out_c, out_h, out_w]);
 
-        // Scratch index list of the receptive field, reused per output.
-        let mut lanes: Vec<(usize, usize)> = Vec::with_capacity(fan_in);
-        for oc in 0..c.out_c {
-            for py in 0..out_h {
-                for px in 0..out_w {
-                    let mut count: i64 = 0;
-                    let window = c.pool.unwrap_or(1);
-                    // `e` is the pooling-segment ordinal, not just an index
-                    // into `acts`; enumerating would not simplify this.
-                    #[allow(clippy::needless_range_loop)]
-                    for e in 0..segments {
-                        // Conv output position covered by this segment.
-                        let (oy, ox) = if c.pool.is_some() {
-                            (py * window + e / window, px * window + e % window)
-                        } else {
-                            (py, px)
-                        };
-                        lanes.clear();
-                        for ic in 0..c.in_c {
-                            for ky in 0..c.k {
-                                let iy = (oy * c.stride + ky) as isize - c.pad as isize;
-                                if iy < 0 || iy >= h as isize {
+        let window = c.pool.unwrap_or(1);
+        // The receptive field (`lanes`) depends only on the spatial position,
+        // so it is built once per (py, px, e) and reused across all output
+        // channels; each lane stores its resolved activation word offset and
+        // the in-kernel weight offset — the per-channel base (`oc * fan_in`)
+        // is added inside the MAC.
+        for py in 0..out_h {
+            for px in 0..out_w {
+                scratch.counts.clear();
+                scratch.counts.resize(c.out_c, 0);
+                // `e` is the pooling-segment ordinal, mapped to a conv
+                // output position; enumerating would not simplify this.
+                #[allow(clippy::needless_range_loop)]
+                for e in 0..segments {
+                    // Conv output position covered by this segment.
+                    let (oy, ox) = if c.pool.is_some() {
+                        (py * window + e / window, px * window + e % window)
+                    } else {
+                        (py, px)
+                    };
+                    scratch.lanes.clear();
+                    for ic in 0..c.in_c {
+                        for ky in 0..c.k {
+                            let iy = (oy * c.stride + ky) as isize - c.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..c.k {
+                                let ix = (ox * c.stride + kx) as isize - c.pad as isize;
+                                if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                for kx in 0..c.k {
-                                    let ix = (ox * c.stride + kx) as isize - c.pad as isize;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let a_idx = (ic * h + iy as usize) * w + ix as usize;
-                                    let w_idx = oc * fan_in + (ic * c.k + ky) * c.k + kx;
-                                    lanes.push((a_idx, w_idx));
+                                let a_idx = (ic * h + iy as usize) * w + ix as usize;
+                                // Gating is a property of the activation
+                                // alone, so gated lanes are filtered here —
+                                // once per spatial position, not per output
+                                // channel or phase.
+                                if scratch.acts.is_gated(a_idx) {
+                                    continue;
                                 }
+                                let a_base = (a_idx * segments + e) * seg_words;
+                                let w_base = (ic * c.k + ky) * c.k + kx;
+                                scratch.lanes.push((a_base, w_base));
                             }
                         }
-                        count += self.mac_segment(&acts[e], &c.weights, &lanes, e)?;
                     }
-                    out.set3(oc, py, px, count as f32 / m as f32);
+                    for oc in 0..c.out_c {
+                        let d = self.mac_segment(
+                            scratch.acts.words(),
+                            &c.weights,
+                            &scratch.lanes,
+                            oc * fan_in,
+                            e,
+                            &mut scratch.acc,
+                        );
+                        scratch.counts[oc] += d;
+                    }
+                }
+                for oc in 0..c.out_c {
+                    out.set3(oc, py, px, scratch.counts[oc] as f32 / m as f32);
                 }
             }
         }
         Ok(out)
     }
 
-    fn exec_dense(&self, d: &PreparedDense, input: &Tensor) -> Result<Tensor, SimError> {
+    fn exec_dense(
+        &self,
+        d: &PreparedDense,
+        input: &Tensor,
+        scratch: &mut SimScratch,
+    ) -> Result<Tensor, SimError> {
         if input.len() != d.in_n {
             return Err(SimError::Nn(acoustic_nn::NnError::ShapeMismatch {
                 expected: vec![d.in_n],
                 actual: input.shape().to_vec(),
             }));
         }
-        let acts = self.activation_streams(input.as_slice(), d.ordinal, 1)?;
+        self.fill_activation_bank(input.as_slice(), d.ordinal, 1, scratch)?;
         let m = self.cfg.per_phase_len();
+        let seg_words = m.div_ceil(64);
         let mut out = vec![0.0f32; d.out_n];
-        let mut lanes: Vec<(usize, usize)> = Vec::with_capacity(d.in_n);
-        for (o, slot) in out.iter_mut().enumerate() {
-            lanes.clear();
-            for i in 0..d.in_n {
-                lanes.push((i, o * d.in_n + i));
+        scratch.lanes.clear();
+        for i in 0..d.in_n {
+            if !scratch.acts.is_gated(i) {
+                scratch.lanes.push((i * seg_words, i));
             }
-            let count = self.mac_segment(&acts[0], &d.weights, &lanes, 0)?;
+        }
+        for (o, slot) in out.iter_mut().enumerate() {
+            let count = self.mac_segment(
+                scratch.acts.words(),
+                &d.weights,
+                &scratch.lanes,
+                o * d.in_n,
+                0,
+                &mut scratch.acc,
+            );
             *slot = count as f32 / m as f32;
         }
 
@@ -606,49 +850,83 @@ impl ScSimulator {
 
     /// One split-unipolar MAC over a segment: both phases, OR accumulation
     /// with optional grouping, returning the signed count.
+    ///
+    /// The inner lane loop is allocation-free and branch-light: `lanes`
+    /// arrives pre-filtered of gated activations with resolved word offsets,
+    /// activation and weight segments are borrowed word ranges out of flat
+    /// banks, and the OR accumulator is a caller-owned word buffer fused as
+    /// `acc |= a & w` and cleared (not reallocated) at group boundaries.
+    /// Single-word segments (every stream ≤ 64 bits per segment — the common
+    /// LeNet shapes) keep the accumulator in a register.
     fn mac_segment(
         &self,
-        acts: &[Option<Bitstream>],
+        act_words: &[u64],
         weights: &WeightStreams,
         lanes: &[(usize, usize)],
+        w_off: usize,
         segment: usize,
-    ) -> Result<i64, SimError> {
-        let seg_len = acts
-            .iter()
-            .flatten()
-            .next()
-            .map_or(self.cfg.per_phase_len(), Bitstream::len);
+        acc: &mut Vec<u64>,
+    ) -> i64 {
         let group = self.cfg.or_group.unwrap_or(usize::MAX).max(1);
+        let segments = weights.segments;
+        let seg_words = weights.seg_words;
         let mut count: i64 = 0;
         for phase in [Phase::Positive, Phase::Negative] {
             let bank = match phase {
                 Phase::Positive => &weights.pos,
                 Phase::Negative => &weights.neg,
             };
-            let mut acc = Bitstream::zeros(seg_len);
             let mut in_group = 0usize;
             let mut phase_count: i64 = 0;
-            for &(a_idx, w_idx) in lanes {
-                let (Some(a), Some(ws)) = (&acts[a_idx], &bank[w_idx]) else {
-                    continue; // operand-gated lane
-                };
-                acc.or_assign(&a.and(&ws[segment])?)?;
-                in_group += 1;
-                if in_group == group {
-                    phase_count += acc.count_ones() as i64;
-                    acc = Bitstream::zeros(seg_len);
-                    in_group = 0;
+            if seg_words == 1 {
+                let mut acc_w = 0u64;
+                for &(a_base, w_base) in lanes {
+                    let w_idx = w_off + w_base;
+                    if !bank.present[w_idx] {
+                        continue; // weight has no component in this phase
+                    }
+                    acc_w |= act_words[a_base] & bank.words[w_idx * segments + segment];
+                    in_group += 1;
+                    if in_group == group {
+                        phase_count += i64::from(acc_w.count_ones());
+                        acc_w = 0;
+                        in_group = 0;
+                    }
                 }
-            }
-            if in_group > 0 {
-                phase_count += acc.count_ones() as i64;
+                if in_group > 0 {
+                    phase_count += i64::from(acc_w.count_ones());
+                }
+            } else {
+                acc.clear();
+                acc.resize(seg_words, 0);
+                for &(a_base, w_base) in lanes {
+                    let w_idx = w_off + w_base;
+                    if !bank.present[w_idx] {
+                        continue;
+                    }
+                    let w_base = (w_idx * segments + segment) * seg_words;
+                    let a = &act_words[a_base..a_base + seg_words];
+                    let w = &bank.words[w_base..w_base + seg_words];
+                    for ((acc_w, &aw), &ww) in acc.iter_mut().zip(a).zip(w) {
+                        *acc_w |= aw & ww;
+                    }
+                    in_group += 1;
+                    if in_group == group {
+                        phase_count += count_ones_words(acc) as i64;
+                        acc.fill(0);
+                        in_group = 0;
+                    }
+                }
+                if in_group > 0 {
+                    phase_count += count_ones_words(acc) as i64;
+                }
             }
             match phase {
                 Phase::Positive => count += phase_count,
                 Phase::Negative => count -= phase_count,
             }
         }
-        Ok(count)
+        count
     }
 }
 
@@ -701,6 +979,42 @@ mod tests {
             }
         }
         assert!(seen.len() > 300, "seeds collide too much: {}", seen.len());
+    }
+
+    #[test]
+    fn shared_bank_matches_old_slice_path() {
+        let mut c = cfg(128);
+        c.shared_act_rng = true;
+        let sim = ScSimulator::new(c);
+        let values: Vec<f32> = (0..25).map(|i| i as f32 / 24.0 - 0.2).collect();
+        let segments = 4;
+        let mut scratch = SimScratch::default();
+        sim.fill_activation_bank(&values, 2, segments, &mut scratch)
+            .unwrap();
+        let m = sim.cfg.per_phase_len();
+        let seg_len = m / segments;
+        let seed = mix_seed(sim.cfg.act_seed, 2, 0, 7);
+        let mut bank = SngBank::new(16, seed).unwrap();
+        let vals: Vec<f64> = values
+            .iter()
+            .map(|&v| f64::from(v.clamp(0.0, 1.0)))
+            .collect();
+        let streams = bank.generate_many(&vals, m).unwrap();
+        for (idx, s) in streams.iter().enumerate() {
+            if s.count_ones() == 0 {
+                assert!(scratch.acts.is_gated(idx), "idx {idx} should be gated");
+                continue;
+            }
+            assert!(!scratch.acts.is_gated(idx), "idx {idx} wrongly gated");
+            for e in 0..segments {
+                let old = s.slice(e * seg_len, seg_len);
+                assert_eq!(
+                    scratch.acts.segment(idx, e),
+                    old.as_words(),
+                    "idx {idx} seg {e}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -926,7 +1240,7 @@ mod tests {
         let plain = sim.run_prepared(&prepared, &input).unwrap();
         let (timed, timings) = sim.run_prepared_timed(&prepared, &input).unwrap();
         assert_eq!(plain, timed);
-        let names: Vec<String> = timings.iter().map(|t| t.name.clone()).collect();
+        let names: Vec<String> = timings.iter().map(|t| t.name.to_string()).collect();
         assert_eq!(names, prepared.step_names());
         assert_eq!(prepared.step_count(), 4);
     }

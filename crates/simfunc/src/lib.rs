@@ -40,7 +40,7 @@ mod engine;
 mod expected;
 mod sim_error;
 
-pub use engine::{LayerTrace, PreparedNetwork, RunTrace, ScSimulator, StepTiming};
+pub use engine::{LayerTrace, PreparedNetwork, RunTrace, ScSimulator, SimScratch, StepTiming};
 pub use expected::{expected_accuracy, expected_logits};
 pub use sim_error::SimError;
 
