@@ -1,0 +1,271 @@
+//! Adaptive-precision batch inference on the trained LeNet-5 digit CNN:
+//! early-exit margin sweep against the full-length baseline.
+//!
+//! Trains LeNet-5 on the synthetic MNIST stand-in, prepares it once at the
+//! maximum stream length, then evaluates a batch (a) at the full length and
+//! (b) under an `ExitPolicy` for each margin threshold in the sweep. For
+//! every margin it reports accuracy delta, mean effective stream length and
+//! images/s, and picks as "headline" the fastest margin whose accuracy drop
+//! stays within 0.5 percentage points. Writes
+//! `results/BENCH_adaptive.json` in the shared `{name, config, metrics}`
+//! shape (see `results/README.md`). Pass `--quick` (or set
+//! `ACOUSTIC_BENCH_QUICK`) for a CI-sized run.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use acoustic_bench::harness::json_string;
+use acoustic_nn::layers::AccumMode;
+use acoustic_nn::train::{evaluate, train, Sample, SgdConfig};
+use acoustic_runtime::{BatchEngine, BatchReport, ExitPolicy, ModelCache};
+use acoustic_simfunc::SimConfig;
+
+struct Setup {
+    train_n: usize,
+    epochs: usize,
+    batch: usize,
+    max_stream_len: usize,
+    repeats: usize,
+    margins: &'static [f32],
+}
+
+struct MarginPoint {
+    margin: f32,
+    accuracy: f64,
+    accuracy_delta_pp: f64,
+    mean_effective_len: f64,
+    images_per_sec: f64,
+    speedup: f64,
+}
+
+const MIN_WORDS: usize = 2;
+const ESCALATION_FACTOR: usize = 2;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("ACOUSTIC_BENCH_QUICK").is_some();
+    let setup = if quick {
+        Setup {
+            train_n: 80,
+            epochs: 2,
+            batch: 16,
+            max_stream_len: 256,
+            repeats: 1,
+            margins: &[0.1, 0.2],
+        }
+    } else {
+        Setup {
+            // OR-aware training escapes its saturation plateau late (cf.
+            // table2's full-scale budget); give it enough epochs that the
+            // margins the exit policy thresholds on are meaningful.
+            train_n: 1200,
+            epochs: 14,
+            batch: 32,
+            max_stream_len: 1024,
+            repeats: 3,
+            margins: &[0.05, 0.1, 0.2, 0.3],
+        }
+    };
+
+    // Train: margins are only meaningful on a network that actually
+    // separates the classes (table2: LeNet-5 reaches ~99% SC accuracy on
+    // this task at Quick scale).
+    let data = acoustic_datasets::mnist_like(setup.train_n, setup.batch, 42);
+    let mut net = acoustic_bench::models::lenet5(AccumMode::OrApprox).unwrap();
+    let sgd = SgdConfig {
+        lr: 0.1,
+        momentum: 0.9,
+        batch_size: 16,
+    };
+    let train_start = Instant::now();
+    train(&mut net, &data.train, &sgd, setup.epochs).unwrap();
+    let float_acc = evaluate(&mut net, &data.test).unwrap();
+    println!(
+        "trained LeNet-5 ({} images x {} epochs) in {:.1}s, float accuracy {:.2}%",
+        setup.train_n,
+        setup.epochs,
+        train_start.elapsed().as_secs_f64(),
+        100.0 * float_acc
+    );
+
+    let samples: Vec<Sample> = data.test;
+    let cache = ModelCache::new();
+    let model = cache
+        .get_or_compile(
+            SimConfig::with_stream_len(setup.max_stream_len).unwrap(),
+            &net,
+        )
+        .unwrap();
+    println!(
+        "prepared at max stream {} (supported prefixes: {:?})",
+        setup.max_stream_len,
+        model.supported_lengths()
+    );
+
+    // Full-length baseline (policy disabled).
+    let engine = BatchEngine::new(1).unwrap();
+    let baseline = best_of(setup.repeats, || engine.evaluate(&model, &samples).unwrap());
+    println!(
+        "baseline @{}: {:.2} images/s, accuracy {:.2}%",
+        setup.max_stream_len,
+        baseline.images_per_sec,
+        100.0 * baseline.accuracy
+    );
+
+    if std::env::var_os("ACOUSTIC_BENCH_TIMINGS").is_some() {
+        println!("--- baseline layer timings ---\n{baseline}");
+    }
+
+    // Determinism guard: a policy strict enough to always escalate must
+    // land on exactly the full-length predictions.
+    let always_full = engine
+        .with_exit_policy(ExitPolicy::new(MIN_WORDS, 4.0, ESCALATION_FACTOR).unwrap())
+        .unwrap()
+        .evaluate(&model, &samples)
+        .unwrap();
+    assert_eq!(
+        always_full.predictions, baseline.predictions,
+        "fully-escalated adaptive run diverged from the full-length baseline"
+    );
+    assert!(always_full
+        .effective_lengths
+        .iter()
+        .all(|&l| l == setup.max_stream_len));
+
+    let mut points = Vec::new();
+    for &margin in setup.margins {
+        let adaptive_engine = engine
+            .with_exit_policy(ExitPolicy::new(MIN_WORDS, margin, ESCALATION_FACTOR).unwrap())
+            .unwrap();
+        let report = best_of(setup.repeats, || {
+            adaptive_engine.evaluate(&model, &samples).unwrap()
+        });
+        let point = MarginPoint {
+            margin,
+            accuracy: report.accuracy,
+            accuracy_delta_pp: 100.0 * (baseline.accuracy - report.accuracy),
+            mean_effective_len: report.mean_effective_len,
+            images_per_sec: report.images_per_sec,
+            speedup: report.images_per_sec / baseline.images_per_sec,
+        };
+        if std::env::var_os("ACOUSTIC_BENCH_TIMINGS").is_some() {
+            println!("--- margin {margin} layer timings ---\n{report}");
+        }
+        println!(
+            "margin {:.2}: {:.2} images/s ({:.2}x), mean len {:.1}, accuracy {:.2}% (delta {:+.2} pp)",
+            point.margin,
+            point.images_per_sec,
+            point.speedup,
+            point.mean_effective_len,
+            100.0 * point.accuracy,
+            -point.accuracy_delta_pp
+        );
+        points.push(point);
+    }
+
+    // Headline: fastest margin losing at most 0.5 pp of accuracy.
+    let headline = points
+        .iter()
+        .filter(|p| p.accuracy_delta_pp <= 0.5)
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup));
+    match headline {
+        Some(h) => println!(
+            "headline: margin {:.2} -> {:.2}x throughput at {:+.2} pp accuracy",
+            h.margin, h.speedup, -h.accuracy_delta_pp
+        ),
+        None => println!("headline: no margin met the <=0.5 pp accuracy budget"),
+    }
+
+    let json = to_json(&setup, quick, float_acc, &baseline, &points, headline);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_adaptive.json"
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    std::fs::write(path, json).unwrap();
+    println!("wrote {path}");
+}
+
+fn best_of(repeats: usize, mut run: impl FnMut() -> BatchReport) -> BatchReport {
+    let mut best: Option<BatchReport> = None;
+    for _ in 0..repeats.max(1) {
+        let report = run();
+        if best
+            .as_ref()
+            .map(|b| report.images_per_sec > b.images_per_sec)
+            .unwrap_or(true)
+        {
+            best = Some(report);
+        }
+    }
+    best.unwrap()
+}
+
+fn to_json(
+    setup: &Setup,
+    quick: bool,
+    float_acc: f64,
+    baseline: &BatchReport,
+    points: &[MarginPoint],
+    headline: Option<&MarginPoint>,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"name\": {},", json_string("adaptive_latency"));
+    out.push_str("  \"config\": {\n");
+    let _ = writeln!(out, "    \"network\": {},", json_string("lenet5/or_approx"));
+    let _ = writeln!(out, "    \"dataset\": {},", json_string("mnist_like"));
+    let _ = writeln!(out, "    \"train_images\": {},", setup.train_n);
+    let _ = writeln!(out, "    \"epochs\": {},", setup.epochs);
+    let _ = writeln!(out, "    \"batch\": {},", setup.batch);
+    let _ = writeln!(out, "    \"max_stream_len\": {},", setup.max_stream_len);
+    let _ = writeln!(out, "    \"min_words\": {MIN_WORDS},");
+    let _ = writeln!(out, "    \"escalation_factor\": {ESCALATION_FACTOR},");
+    let _ = writeln!(out, "    \"workers\": 1,");
+    let _ = writeln!(out, "    \"repeats\": {},", setup.repeats);
+    let _ = writeln!(out, "    \"quick\": {quick}");
+    out.push_str("  },\n");
+    out.push_str("  \"metrics\": {\n");
+    let _ = writeln!(out, "    \"float_accuracy\": {float_acc:.4},");
+    let _ = writeln!(
+        out,
+        "    \"baseline\": {{\"stream_len\": {}, \"images_per_sec\": {:.3}, \
+         \"accuracy\": {:.4}, \"wall_secs\": {:.6}}},",
+        setup.max_stream_len,
+        baseline.images_per_sec,
+        baseline.accuracy,
+        baseline.wall.as_secs_f64()
+    );
+    out.push_str("    \"sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"margin\": {:.3}, \"accuracy\": {:.4}, \"accuracy_delta_pp\": {:.3}, \
+             \"mean_effective_len\": {:.2}, \"images_per_sec\": {:.3}, \"speedup\": {:.3}}}",
+            p.margin,
+            p.accuracy,
+            p.accuracy_delta_pp,
+            p.mean_effective_len,
+            p.images_per_sec,
+            p.speedup
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ],\n");
+    match headline {
+        Some(h) => {
+            let _ = writeln!(
+                out,
+                "    \"headline\": {{\"margin\": {:.3}, \"speedup\": {:.3}, \
+                 \"accuracy_delta_pp\": {:.3}, \"mean_effective_len\": {:.2}}}",
+                h.margin, h.speedup, h.accuracy_delta_pp, h.mean_effective_len
+            );
+        }
+        None => {
+            let _ = writeln!(out, "    \"headline\": null");
+        }
+    }
+    out.push_str("  }\n}\n");
+    out
+}

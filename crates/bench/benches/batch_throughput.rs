@@ -104,27 +104,30 @@ fn to_json(
     points: &[SweepPoint],
 ) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"bench\": {},", json_string("batch_throughput"));
-    let _ = writeln!(out, "  \"network\": {},", json_string("lenet5/or_approx"));
-    let _ = writeln!(out, "  \"batch\": {batch},");
-    let _ = writeln!(out, "  \"stream_len\": {stream_len},");
-    let _ = writeln!(out, "  \"model_fingerprint\": {},", model.fingerprint());
-    let _ = writeln!(out, "  \"prepare_secs\": {prepare_secs:.6},");
+    let _ = writeln!(out, "  \"name\": {},", json_string("batch_throughput"));
+    out.push_str("  \"config\": {\n");
+    let _ = writeln!(out, "    \"network\": {},", json_string("lenet5/or_approx"));
+    let _ = writeln!(out, "    \"batch\": {batch},");
+    let _ = writeln!(out, "    \"stream_len\": {stream_len},");
+    let _ = writeln!(out, "    \"model_fingerprint\": {}", model.fingerprint());
+    out.push_str("  },\n");
+    out.push_str("  \"metrics\": {\n");
+    let _ = writeln!(out, "    \"prepare_secs\": {prepare_secs:.6},");
     let _ = writeln!(
         out,
-        "  \"available_parallelism\": {},",
+        "    \"available_parallelism\": {},",
         acoustic_runtime::default_workers()
     );
-    out.push_str("  \"sweep\": [\n");
+    out.push_str("    \"sweep\": [\n");
     for (i, p) in points.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"workers\": {}, \"images_per_sec\": {:.3}, \"wall_secs\": {:.6}, \
+            "      {{\"workers\": {}, \"images_per_sec\": {:.3}, \"wall_secs\": {:.6}, \
              \"cpu_busy_secs\": {:.6}, \"accuracy\": {:.4}}}",
             p.workers, p.images_per_sec, p.wall_secs, p.cpu_busy_secs, p.accuracy
         );
         out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("    ]\n  }\n}\n");
     out
 }

@@ -15,16 +15,23 @@ use acoustic_nn::train::Sample;
 use acoustic_nn::Tensor;
 use acoustic_simfunc::{SimError, SimScratch, StepTiming};
 
-use crate::{BatchReport, LayerTiming, PreparedModel, RuntimeError};
+use crate::{BatchReport, ExitPolicy, LayerTiming, PreparedModel, RuntimeError};
 
 /// Default number of images a worker claims per queue access.
 const DEFAULT_CHUNK: usize = 8;
 
 /// A fixed-size worker pool executing batches against a prepared model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// With an [`ExitPolicy`] attached (see
+/// [`BatchEngine::with_exit_policy`]) the engine becomes adaptive: each
+/// image starts at a short stream prefix and escalates only while its
+/// logit margin stays below the policy threshold. Without one, execution
+/// is exactly the fixed full-length path.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchEngine {
     workers: usize,
     chunk_size: usize,
+    exit_policy: Option<ExitPolicy>,
 }
 
 impl BatchEngine {
@@ -42,6 +49,7 @@ impl BatchEngine {
         Ok(BatchEngine {
             workers,
             chunk_size: DEFAULT_CHUNK,
+            exit_policy: None,
         })
     }
 
@@ -64,6 +72,34 @@ impl BatchEngine {
         Ok(self)
     }
 
+    /// Attaches an early-exit policy; the engine runs each image at the
+    /// policy's initial stream length and escalates only undecided images.
+    ///
+    /// Results remain bit-identical for any worker count — the policy's
+    /// decisions depend only on `(model, image_index, input)` — and are
+    /// identical to a model prepared directly at whatever length each image
+    /// accepts at.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] for out-of-range policy parameters.
+    pub fn with_exit_policy(mut self, policy: ExitPolicy) -> Result<Self, RuntimeError> {
+        policy.validate()?;
+        self.exit_policy = Some(policy);
+        Ok(self)
+    }
+
+    /// Removes any attached exit policy, restoring fixed full-length runs.
+    pub fn without_exit_policy(mut self) -> Self {
+        self.exit_policy = None;
+        self
+    }
+
+    /// The attached early-exit policy, if any.
+    pub fn exit_policy(&self) -> Option<&ExitPolicy> {
+        self.exit_policy.as_ref()
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
@@ -83,10 +119,20 @@ impl BatchEngine {
         model: &PreparedModel,
         inputs: &[Tensor],
     ) -> Result<Vec<Tensor>, RuntimeError> {
-        let (logits, _) = self.dispatch(model, inputs.len(), |i, scratch| {
-            model.logits_with(i as u64, &inputs[i], scratch)
-        })?;
-        Ok(logits)
+        match self.exit_policy {
+            Some(policy) => {
+                let (pairs, _) = self.dispatch(model, inputs.len(), |i, scratch| {
+                    model.logits_adaptive_with(&policy, i as u64, &inputs[i], scratch)
+                })?;
+                Ok(pairs.into_iter().map(|(logits, _)| logits).collect())
+            }
+            None => {
+                let (logits, _) = self.dispatch(model, inputs.len(), |i, scratch| {
+                    model.logits_with(i as u64, &inputs[i], scratch)
+                })?;
+                Ok(logits)
+            }
+        }
     }
 
     /// Evaluates labelled samples, returning a full [`BatchReport`].
@@ -109,17 +155,26 @@ impl BatchEngine {
             ));
         }
         let started = Instant::now();
+        let policy = self.exit_policy;
+        let full_len = model.config().stream_len;
         let (results, cpu_busy) = self.dispatch(model, samples.len(), |i, scratch| {
-            model.logits_timed_with(i as u64, &samples[i].0, scratch)
+            match &policy {
+                Some(p) => model.logits_adaptive_timed_with(p, i as u64, &samples[i].0, scratch),
+                // Policy disabled: exactly the fixed full-length path.
+                None => model
+                    .logits_timed_with(i as u64, &samples[i].0, scratch)
+                    .map(|(logits, timings)| (logits, full_len, vec![timings])),
+            }
         })?;
         let wall = started.elapsed();
 
         let classes = results[0].0.len();
         let mut confusion = vec![vec![0u64; classes]; classes];
         let mut predictions = Vec::with_capacity(samples.len());
+        let mut effective_lengths = Vec::with_capacity(samples.len());
         let mut correct = 0usize;
         let mut layer_timings: Vec<LayerTiming> = Vec::new();
-        for (i, (logits, timings)) in results.iter().enumerate() {
+        for (i, (logits, effective_len, passes)) in results.iter().enumerate() {
             let label = samples[i].1;
             if label >= classes {
                 return Err(RuntimeError::InvalidConfig(format!(
@@ -132,10 +187,15 @@ impl BatchEngine {
             }
             confusion[label][pred] += 1;
             predictions.push(pred);
-            merge_timings(&mut layer_timings, timings);
+            effective_lengths.push(*effective_len);
+            // Every escalation pass is a real execution; count each one.
+            for pass in passes {
+                merge_timings(&mut layer_timings, pass);
+            }
         }
 
         let total = samples.len();
+        let mean_effective_len = effective_lengths.iter().sum::<usize>() as f64 / total as f64;
         Ok(BatchReport {
             total,
             correct,
@@ -148,6 +208,8 @@ impl BatchEngine {
             cpu_busy,
             images_per_sec: total as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
             layer_timings,
+            effective_lengths,
+            mean_effective_len,
         })
     }
 

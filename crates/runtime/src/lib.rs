@@ -18,9 +18,14 @@
 //!   `(base_seed, image_index)` via [`derive_image_seed`], so batch results
 //!   are **bit-identical regardless of worker count** — parallelism is an
 //!   implementation detail, not an experimental variable.
+//! * [`ExitPolicy`] turns the engine adaptive: each image first runs at a
+//!   short prefix of the prepared stream banks and only escalates toward
+//!   the full length while its top-1/top-2 logit margin stays below a
+//!   threshold. Escalation decisions are pure per-image functions, so the
+//!   worker-invariance guarantee is unchanged.
 //! * [`BatchReport`] captures accuracy, a per-class confusion matrix,
-//!   throughput (images/s, wall and CPU-busy time) and per-layer timing
-//!   totals.
+//!   throughput (images/s, wall and CPU-busy time), per-layer timing
+//!   totals, and per-image effective stream lengths.
 //!
 //! ```
 //! use acoustic_nn::layers::{AccumMode, Dense, Network};
@@ -44,12 +49,14 @@
 //! ```
 
 pub mod engine;
+pub mod policy;
 pub mod prepared;
 pub mod report;
 pub mod rt_error;
 
 pub use engine::BatchEngine;
-pub use prepared::{derive_image_seed, ModelCache, PreparedModel};
+pub use policy::{logit_margin, ExitPolicy};
+pub use prepared::{derive_image_seed, ModelCache, PreparedModel, DEFAULT_CACHE_CAPACITY};
 pub use report::{BatchReport, LayerTiming};
 pub use rt_error::RuntimeError;
 

@@ -1,0 +1,211 @@
+//! Early-exit policies for adaptive-precision batch inference.
+//!
+//! In a stochastic-computing datapath, inference latency is proportional to
+//! stream length, but most images are classified correctly well below the
+//! worst-case budget (the paper's Fig. 4 latency sweep saturates early; cf.
+//! progressive-precision SC results). An [`ExitPolicy`] exploits this: run
+//! each image at a short stream prefix first, accept the prediction when
+//! the hardened-counter logit margin between the top-1 and top-2 classes
+//! clears a threshold, and otherwise escalate to a longer prefix of the
+//! *same* prepared stream banks — up to the full prepare-time length.
+//!
+//! Determinism: every decision made here is a pure function of the logits
+//! of `(model, image_index, input)` at each visited length and of the
+//! policy parameters. No wall-clock, no cross-image state. Batch results
+//! under a policy therefore stay bit-identical for any worker count, and a
+//! disabled policy leaves the full-length path untouched.
+
+use acoustic_nn::Tensor;
+
+use crate::RuntimeError;
+
+/// Stream words per total stream length unit: lengths are bit counts, the
+/// budget knob is in 64-bit machine words (matching the kernel's word-wise
+/// inner loop, where cost scales with words touched).
+const BITS_PER_WORD: usize = 64;
+
+/// An early-exit policy for the batch engine.
+///
+/// The policy starts every image at the shortest supported stream length of
+/// at least `min_words` 64-bit words (`64 * min_words` stream bits), accepts
+/// a prediction whose top-1/top-2 logit margin is at least `margin`, and
+/// otherwise re-runs the image at `escalation_factor ×` the current length
+/// (snapped up to the next supported prefix), capped at the prepare-time
+/// maximum — where the result is accepted unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitPolicy {
+    /// Initial stream budget in 64-bit words (total stream bits / 64).
+    pub min_words: usize,
+    /// Accept when `top1_logit - top2_logit >= margin`. Logits decode into
+    /// `[-1, 1]`, so useful margins live well below 1.0.
+    pub margin: f32,
+    /// Length multiplier applied on each escalation (≥ 2).
+    pub escalation_factor: usize,
+}
+
+impl ExitPolicy {
+    /// Creates a validated policy.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] if `min_words` is zero,
+    /// `escalation_factor` is below 2, or `margin` is negative or not
+    /// finite.
+    pub fn new(
+        min_words: usize,
+        margin: f32,
+        escalation_factor: usize,
+    ) -> Result<Self, RuntimeError> {
+        let policy = ExitPolicy {
+            min_words,
+            margin,
+            escalation_factor,
+        };
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Checks the parameter ranges (also run by
+    /// `BatchEngine::with_exit_policy`).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] on any out-of-range field.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        if self.min_words == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "exit policy min_words must be at least 1".into(),
+            ));
+        }
+        if self.escalation_factor < 2 {
+            return Err(RuntimeError::InvalidConfig(
+                "exit policy escalation_factor must be at least 2".into(),
+            ));
+        }
+        if !self.margin.is_finite() || self.margin < 0.0 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "exit policy margin must be finite and non-negative, got {}",
+                self.margin
+            )));
+        }
+        Ok(())
+    }
+
+    /// First stream length to try: the shortest supported length of at
+    /// least `64 * min_words` bits, or the maximum when the budget exceeds
+    /// every supported length.
+    ///
+    /// `supported` is a `PreparedNetwork::supported_lengths()` slice —
+    /// non-empty, descending, maximum first.
+    pub fn initial_len(&self, supported: &[usize]) -> usize {
+        let target = self.min_words.saturating_mul(BITS_PER_WORD);
+        supported
+            .iter()
+            .rev()
+            .copied()
+            .find(|&len| len >= target)
+            .unwrap_or(supported[0])
+    }
+
+    /// Next stream length after rejecting `current`: `escalation_factor ×
+    /// current`, snapped up to the next supported length. `None` once
+    /// `current` is already the maximum.
+    pub fn next_len(&self, current: usize, supported: &[usize]) -> Option<usize> {
+        if current >= supported[0] {
+            return None;
+        }
+        let target = current.saturating_mul(self.escalation_factor);
+        Some(
+            supported
+                .iter()
+                .rev()
+                .copied()
+                .find(|&len| len >= target)
+                .unwrap_or(supported[0]),
+        )
+    }
+
+    /// Whether `logits` are decisive enough to accept at the current
+    /// length: top-1 minus top-2 is at least `margin`. Single-logit outputs
+    /// are always accepted (there is no runner-up to confuse).
+    pub fn accepts(&self, logits: &Tensor) -> bool {
+        logit_margin(logits) >= self.margin
+    }
+}
+
+/// Top-1 minus top-2 logit value, or `f32::INFINITY` for outputs with
+/// fewer than two logits.
+pub fn logit_margin(logits: &Tensor) -> f32 {
+    let vals = logits.as_slice();
+    if vals.len() < 2 {
+        return f32::INFINITY;
+    }
+    let (mut top1, mut top2) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+    for &v in vals {
+        if v > top1 {
+            top2 = top1;
+            top1 = v;
+        } else if v > top2 {
+            top2 = v;
+        }
+    }
+    top1 - top2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[f32]) -> Tensor {
+        Tensor::from_vec(&[vals.len()], vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ExitPolicy::new(0, 0.1, 2).is_err());
+        assert!(ExitPolicy::new(1, 0.1, 1).is_err());
+        assert!(ExitPolicy::new(1, -0.1, 2).is_err());
+        assert!(ExitPolicy::new(1, f32::NAN, 2).is_err());
+        assert!(ExitPolicy::new(1, 0.0, 2).is_ok());
+    }
+
+    #[test]
+    fn initial_len_snaps_to_supported_lengths() {
+        let supported = [512usize, 256, 128, 64];
+        let p = |words| ExitPolicy::new(words, 0.1, 2).unwrap();
+        assert_eq!(p(1).initial_len(&supported), 64);
+        assert_eq!(p(2).initial_len(&supported), 128);
+        assert_eq!(p(3).initial_len(&supported), 256);
+        // Budget beyond the maximum clamps to the maximum.
+        assert_eq!(p(1000).initial_len(&supported), 512);
+    }
+
+    #[test]
+    fn next_len_escalates_and_caps() {
+        let supported = [512usize, 256, 128, 64];
+        let p = ExitPolicy::new(1, 0.1, 2).unwrap();
+        assert_eq!(p.next_len(64, &supported), Some(128));
+        assert_eq!(p.next_len(128, &supported), Some(256));
+        assert_eq!(p.next_len(256, &supported), Some(512));
+        assert_eq!(p.next_len(512, &supported), None);
+
+        let aggressive = ExitPolicy::new(1, 0.1, 8).unwrap();
+        assert_eq!(aggressive.next_len(64, &supported), Some(512));
+        // Overshooting every supported length caps at the maximum.
+        assert_eq!(aggressive.next_len(256, &supported), Some(512));
+    }
+
+    #[test]
+    fn margin_acceptance() {
+        let p = ExitPolicy::new(1, 0.2, 2).unwrap();
+        assert!(p.accepts(&t(&[0.9, 0.3, 0.1])));
+        assert!(!p.accepts(&t(&[0.5, 0.4, 0.1])));
+        // Degenerate single-class output always accepts.
+        assert!(p.accepts(&t(&[0.5])));
+        assert!((logit_margin(&t(&[0.25, 0.75, 0.125])) - 0.5).abs() < 1e-6);
+        // At-threshold margins accept (>= comparison).
+        assert!(ExitPolicy::new(1, 0.5, 2)
+            .unwrap()
+            .accepts(&t(&[0.75, 0.25])));
+    }
+}

@@ -17,7 +17,7 @@ use acoustic_nn::layers::Network;
 use acoustic_nn::Tensor;
 use acoustic_simfunc::{PreparedNetwork, ScSimulator, SimConfig, SimError, SimScratch, StepTiming};
 
-use crate::RuntimeError;
+use crate::{ExitPolicy, RuntimeError};
 
 /// Derives the activation-stream seed of one image from the batch base
 /// seed.
@@ -77,6 +77,17 @@ impl PreparedModel {
     /// Cache key: network fingerprint mixed with the simulation config.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The prepare-time maximum stream length (`cfg.stream_len`).
+    pub fn max_stream_len(&self) -> usize {
+        self.prepared.max_stream_len()
+    }
+
+    /// Every executable stream length, descending, maximum first — the
+    /// prefixes [`PreparedModel::logits_at`] accepts.
+    pub fn supported_lengths(&self) -> &[usize] {
+        self.prepared.supported_lengths()
     }
 
     /// A simulator whose activation seed is derived for `image_index`.
@@ -153,6 +164,128 @@ impl PreparedModel {
     pub fn predict(&self, image_index: u64, input: &Tensor) -> Result<usize, SimError> {
         Ok(self.logits(image_index, input)?.argmax())
     }
+
+    /// Stochastic logits of one image at a shorter stream-length prefix of
+    /// the prepared banks.
+    ///
+    /// `stream_len` must be one of [`PreparedModel::supported_lengths`];
+    /// the result is bit-identical to a model prepared directly at
+    /// `stream_len` (the prefix-consistency invariant) and, at the maximum
+    /// length, to [`PreparedModel::logits`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for an unsupported length; otherwise
+    /// propagates datapath and shape errors.
+    pub fn logits_at(
+        &self,
+        image_index: u64,
+        input: &Tensor,
+        stream_len: usize,
+    ) -> Result<Tensor, SimError> {
+        self.logits_at_with(image_index, input, stream_len, &mut SimScratch::default())
+    }
+
+    /// Scratch-reusing variant of [`PreparedModel::logits_at`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedModel::logits_at`].
+    pub fn logits_at_with(
+        &self,
+        image_index: u64,
+        input: &Tensor,
+        stream_len: usize,
+        scratch: &mut SimScratch,
+    ) -> Result<Tensor, SimError> {
+        self.image_sim(image_index)
+            .run_prepared_at_with(&self.prepared, input, stream_len, scratch)
+    }
+
+    /// Timed scratch-reusing variant of [`PreparedModel::logits_at`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedModel::logits_at`].
+    pub fn logits_at_timed_with(
+        &self,
+        image_index: u64,
+        input: &Tensor,
+        stream_len: usize,
+        scratch: &mut SimScratch,
+    ) -> Result<(Tensor, Vec<StepTiming>), SimError> {
+        self.image_sim(image_index).run_prepared_at_timed_with(
+            &self.prepared,
+            input,
+            stream_len,
+            scratch,
+        )
+    }
+
+    /// Early-exit logits of one image under `policy`: start at the
+    /// policy's initial length, accept once the top-1/top-2 margin clears
+    /// the threshold (or the maximum length is reached), escalate
+    /// otherwise. Returns the accepted logits and the effective (final)
+    /// stream length.
+    ///
+    /// Every escalation decision depends only on `(model, image_index,
+    /// input, policy)`, so the result is as worker-count-invariant as
+    /// [`PreparedModel::logits`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath and shape errors.
+    pub fn logits_adaptive_with(
+        &self,
+        policy: &ExitPolicy,
+        image_index: u64,
+        input: &Tensor,
+        scratch: &mut SimScratch,
+    ) -> Result<(Tensor, usize), SimError> {
+        let supported = self.prepared.supported_lengths();
+        let mut len = policy.initial_len(supported);
+        loop {
+            let logits = self.logits_at_with(image_index, input, len, scratch)?;
+            if policy.accepts(&logits) {
+                return Ok((logits, len));
+            }
+            match policy.next_len(len, supported) {
+                Some(next) => len = next,
+                None => return Ok((logits, len)),
+            }
+        }
+    }
+
+    /// Timed variant of [`PreparedModel::logits_adaptive_with`]: also
+    /// returns one step-timing vector per executed pass (initial attempt
+    /// plus each escalation), so batch aggregation can count every pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath and shape errors.
+    #[allow(clippy::type_complexity)]
+    pub fn logits_adaptive_timed_with(
+        &self,
+        policy: &ExitPolicy,
+        image_index: u64,
+        input: &Tensor,
+        scratch: &mut SimScratch,
+    ) -> Result<(Tensor, usize, Vec<Vec<StepTiming>>), SimError> {
+        let supported = self.prepared.supported_lengths();
+        let mut len = policy.initial_len(supported);
+        let mut passes = Vec::new();
+        loop {
+            let (logits, timings) = self.logits_at_timed_with(image_index, input, len, scratch)?;
+            passes.push(timings);
+            if policy.accepts(&logits) {
+                return Ok((logits, len, passes));
+            }
+            match policy.next_len(len, supported) {
+                Some(next) => len = next,
+                None => return Ok((logits, len, passes)),
+            }
+        }
+    }
 }
 
 fn cache_key(network: &Network, cfg: &SimConfig) -> u64 {
@@ -162,26 +295,80 @@ fn cache_key(network: &Network, cfg: &SimConfig) -> u64 {
     h.finish()
 }
 
-/// A memoizing cache of prepared models, keyed by
+/// Default number of prepared models a [`ModelCache`] retains.
+///
+/// Weight banks are the dominant cost (every layer's streams at every
+/// supported prefix length), so a serving process must not accumulate one
+/// per distinct `(network, config)` it has ever seen.
+pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+/// A bounded, memoizing cache of prepared models, keyed by
 /// `(Network::fingerprint(), SimConfig)`.
 ///
 /// Serving layers call [`ModelCache::get_or_compile`] per request; the
 /// first request for a `(network, config)` pair pays for preparation, every
 /// later one gets the shared `Arc` back. Interior-mutable (`&self`) so one
 /// cache can be shared across a serving process.
-#[derive(Debug, Default)]
+///
+/// Capacity-bounded with least-recently-used eviction: at most
+/// `capacity` models are retained (default
+/// [`DEFAULT_CACHE_CAPACITY`]), and inserting into a full cache evicts the
+/// entry whose last hit is oldest. Eviction only drops the cache's `Arc` —
+/// callers still holding the model keep it alive.
+#[derive(Debug)]
 pub struct ModelCache {
-    map: Mutex<HashMap<(u64, SimConfig), Arc<PreparedModel>>>,
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Value carries the logical timestamp of its last hit.
+    map: HashMap<(u64, SimConfig), (u64, Arc<PreparedModel>)>,
+    /// Monotonic logical clock, bumped on every hit or insert.
+    tick: u64,
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        ModelCache {
+            inner: Mutex::default(),
+            capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
 }
 
 impl ModelCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         ModelCache::default()
     }
 
+    /// Creates an empty cache retaining at most `capacity` models.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Result<Self, RuntimeError> {
+        if capacity == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "model cache capacity must be at least 1".into(),
+            ));
+        }
+        Ok(ModelCache {
+            inner: Mutex::default(),
+            capacity,
+        })
+    }
+
+    /// Maximum number of retained models.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Returns the cached prepared model for `(network, cfg)`, compiling
-    /// and inserting it on first use.
+    /// and inserting it on first use; a full cache evicts its
+    /// least-recently-used entry to make room.
     ///
     /// Preparation runs outside the cache lock; two racing first requests
     /// may both prepare, but the winner's (deterministic, identical) model
@@ -196,22 +383,55 @@ impl ModelCache {
         network: &Network,
     ) -> Result<Arc<PreparedModel>, RuntimeError> {
         let key = (network.fingerprint(), cfg);
-        if let Some(hit) = self
-            .map
-            .lock()
-            .expect("model cache lock poisoned")
-            .get(&key)
         {
-            return Ok(Arc::clone(hit));
+            let mut inner = self.inner.lock().expect("model cache lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((stamp, hit)) = inner.map.get_mut(&key) {
+                *stamp = tick;
+                return Ok(Arc::clone(hit));
+            }
         }
         let model = Arc::new(PreparedModel::compile(cfg, network)?);
-        let mut map = self.map.lock().expect("model cache lock poisoned");
-        Ok(Arc::clone(map.entry(key).or_insert(model)))
+        let mut inner = self.inner.lock().expect("model cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((stamp, racer)) = inner.map.get_mut(&key) {
+            // A racing request inserted while we prepared; share its model.
+            *stamp = tick;
+            return Ok(Arc::clone(racer));
+        }
+        if inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(key, (tick, Arc::clone(&model)));
+        Ok(model)
+    }
+
+    /// Whether `(network, cfg)` is currently cached (does not refresh its
+    /// recency).
+    pub fn contains(&self, cfg: &SimConfig, network: &Network) -> bool {
+        self.inner
+            .lock()
+            .expect("model cache lock poisoned")
+            .map
+            .contains_key(&(network.fingerprint(), *cfg))
     }
 
     /// Number of cached models.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("model cache lock poisoned").len()
+        self.inner
+            .lock()
+            .expect("model cache lock poisoned")
+            .map
+            .len()
     }
 
     /// Whether the cache is empty.
@@ -221,7 +441,11 @@ impl ModelCache {
 
     /// Drops every cached model.
     pub fn clear(&self) {
-        self.map.lock().expect("model cache lock poisoned").clear();
+        self.inner
+            .lock()
+            .expect("model cache lock poisoned")
+            .map
+            .clear();
     }
 }
 
@@ -289,5 +513,91 @@ mod tests {
 
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_capacity_is_validated_and_reported() {
+        assert!(ModelCache::with_capacity(0).is_err());
+        let cache = ModelCache::with_capacity(2).unwrap();
+        assert_eq!(cache.capacity(), 2);
+        assert_eq!(ModelCache::new().capacity(), DEFAULT_CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_at_capacity() {
+        let cache = ModelCache::with_capacity(2).unwrap();
+        let net = small_net();
+        cache.get_or_compile(cfg(64), &net).unwrap();
+        cache.get_or_compile(cfg(128), &net).unwrap();
+        assert_eq!(cache.len(), 2);
+
+        // Touch 64 so 128 becomes the least recently used entry.
+        cache.get_or_compile(cfg(64), &net).unwrap();
+        cache.get_or_compile(cfg(256), &net).unwrap();
+        assert_eq!(cache.len(), 2, "insert at capacity must evict");
+        assert!(cache.contains(&cfg(64), &net), "recently hit entry kept");
+        assert!(cache.contains(&cfg(256), &net), "new entry present");
+        assert!(
+            !cache.contains(&cfg(128), &net),
+            "least recently used entry evicted"
+        );
+
+        // The evicted config recompiles on demand and re-enters the cache.
+        let again = cache.get_or_compile(cfg(128), &net).unwrap();
+        assert_eq!(again.config().stream_len, 128);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn prefix_entry_points_expose_supported_lengths() {
+        let model = PreparedModel::compile(cfg(256), &small_net()).unwrap();
+        assert_eq!(model.max_stream_len(), 256);
+        assert!(model.supported_lengths().contains(&64));
+        let x = Tensor::from_vec(&[1, 4, 4], vec![0.5; 16]).unwrap();
+        let full = model.logits(0, &x).unwrap();
+        let at_max = model.logits_at(0, &x, 256).unwrap();
+        assert_eq!(full, at_max, "logits_at(max) must equal logits()");
+        assert!(model.logits_at(0, &x, 100).is_err());
+    }
+
+    #[test]
+    fn adaptive_logits_accept_or_escalate_deterministically() {
+        let model = PreparedModel::compile(cfg(256), &small_net()).unwrap();
+        let x = Tensor::from_vec(&[1, 4, 4], vec![0.5; 16]).unwrap();
+        let mut scratch = SimScratch::default();
+
+        // Zero margin accepts immediately at the initial length.
+        let lax = ExitPolicy::new(1, 0.0, 2).unwrap();
+        let (_, len) = model
+            .logits_adaptive_with(&lax, 0, &x, &mut scratch)
+            .unwrap();
+        assert_eq!(len, lax.initial_len(model.supported_lengths()));
+
+        // An unreachable margin escalates to the maximum and returns those
+        // logits — exactly the full-length result.
+        let strict = ExitPolicy::new(1, 10.0, 2).unwrap();
+        let (logits, len) = model
+            .logits_adaptive_with(&strict, 0, &x, &mut scratch)
+            .unwrap();
+        assert_eq!(len, model.max_stream_len());
+        assert_eq!(logits, model.logits(0, &x).unwrap());
+
+        // The timed variant reports one pass per visited length.
+        let (_, len_t, passes) = model
+            .logits_adaptive_timed_with(&strict, 0, &x, &mut scratch)
+            .unwrap();
+        assert_eq!(len_t, len);
+        // Factor-2 escalation visits every supported length from the
+        // initial one up to the maximum.
+        let initial = strict.initial_len(model.supported_lengths());
+        let expected_passes = model
+            .supported_lengths()
+            .iter()
+            .filter(|&&l| l >= initial)
+            .count();
+        assert_eq!(passes.len(), expected_passes);
+        assert!(passes
+            .iter()
+            .all(|p| p.len() == model.prepared().step_count()));
     }
 }

@@ -56,8 +56,16 @@ pub struct BatchReport {
     pub images_per_sec: f64,
     /// Per-layer wall-clock totals, aggregated over the batch in step
     /// order (residual inner steps are reported individually and also
-    /// included in their `"residual"` entry).
+    /// included in their `"residual"` entry). Under an exit policy each
+    /// escalation pass counts as one call.
     pub layer_timings: Vec<LayerTiming>,
+    /// Per-image final (accepted) total stream length, in sample order.
+    /// Without an exit policy every entry is the configured stream length.
+    /// Bit-reproducible, like the classification fields.
+    pub effective_lengths: Vec<usize>,
+    /// Mean of [`BatchReport::effective_lengths`] — the adaptive engine's
+    /// headline cost metric (stream bits ∝ inference work per image).
+    pub mean_effective_len: f64,
 }
 
 impl BatchReport {
@@ -90,6 +98,11 @@ impl fmt::Display for BatchReport {
             self.wall.as_secs_f64(),
             self.cpu_busy.as_secs_f64(),
             self.images_per_sec
+        )?;
+        writeln!(
+            f,
+            "streams: mean effective length {:.1} bits/image",
+            self.mean_effective_len
         )?;
         if !self.layer_timings.is_empty() {
             writeln!(f, "per-layer totals:")?;
@@ -130,12 +143,15 @@ mod tests {
                 calls: 4,
                 nanos: 4_000_000,
             }],
+            effective_lengths: vec![64, 64, 256, 64],
+            mean_effective_len: 112.0,
         };
         assert!((r.confusion_rate(0, 0) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(r.confusion_rate(1, 1), 1.0);
         let text = r.to_string();
         assert!(text.contains("75.00%"));
         assert!(text.contains("conv0"));
+        assert!(text.contains("112.0 bits/image"));
         assert_eq!(r.layer_timings[0].mean(), Duration::from_millis(1));
     }
 

@@ -76,14 +76,44 @@ impl PhaseBank {
     }
 }
 
-/// Split-unipolar weight streams of one MAC layer, pre-segmented for
-/// computation-skipping pooling.
+/// Split-unipolar weight streams of one MAC layer at one stream length,
+/// pre-segmented for computation-skipping pooling.
 #[derive(Debug, Clone)]
 struct WeightStreams {
     pos: PhaseBank,
     neg: PhaseBank,
     segments: usize,
     seg_words: usize,
+}
+
+/// Prefix-reusable weight banks: level `k` holds the segmented layout of
+/// the first `max_per_phase >> k` bits of every weight stream.
+///
+/// An LFSR-driven SNG emits bits sequentially, so a stream of length `L`
+/// is a bit-exact prefix of the length-`2L` stream from the same seed. The
+/// banks are therefore generated from **one** SNG walk at the maximum
+/// length; shorter levels are sliced (re-segmented) out of that same walk,
+/// never regenerated. Running the engine at level `k` is bit-identical to
+/// preparing the network directly at that stream length.
+#[derive(Debug, Clone)]
+struct LeveledWeights {
+    /// Per-level banks, longest (the prepare-time maximum) first. The level
+    /// order matches [`PreparedNetwork::supported_lengths`].
+    levels: Vec<WeightStreams>,
+}
+
+impl LeveledWeights {
+    fn level(&self, k: usize) -> &WeightStreams {
+        &self.levels[k]
+    }
+}
+
+/// Stream-length selection of one engine run: a level into the prepared
+/// banks plus its per-phase bit budget.
+#[derive(Debug, Clone, Copy)]
+struct RunLen {
+    level: usize,
+    per_phase: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -95,7 +125,7 @@ struct PreparedConv {
     pad: usize,
     /// Pooling window fused into this conv (computation skipping), if any.
     pool: Option<usize>,
-    weights: WeightStreams,
+    weights: LeveledWeights,
     ordinal: usize,
 }
 
@@ -103,7 +133,7 @@ struct PreparedConv {
 struct PreparedDense {
     in_n: usize,
     out_n: usize,
-    weights: WeightStreams,
+    weights: LeveledWeights,
     ordinal: usize,
 }
 
@@ -147,9 +177,18 @@ impl Step {
 /// bitstreams — the expensive, image-independent half of a stochastic
 /// inference. Prepare once (via [`ScSimulator::prepare`]) and reuse across
 /// images; the structure is immutable and cheap to share behind an `Arc`.
+///
+/// The weight banks are *prefix-reusable*: they are generated once at the
+/// configured maximum stream length, and any length in
+/// [`PreparedNetwork::supported_lengths`] (the power-of-two-halving
+/// prefixes of the maximum) can be executed from the same banks via
+/// [`ScSimulator::run_prepared_at`] with no stream regeneration.
 #[derive(Debug, Clone)]
 pub struct PreparedNetwork {
     steps: Vec<Step>,
+    /// Executable total stream lengths, longest (the prepare-time maximum)
+    /// first; index = bank level.
+    lengths: Vec<usize>,
 }
 
 impl PreparedNetwork {
@@ -164,6 +203,43 @@ impl PreparedNetwork {
     pub fn step_names(&self) -> Vec<String> {
         self.steps.iter().map(|s| s.label.to_string()).collect()
     }
+
+    /// The stream length the network was prepared at (the longest
+    /// executable length).
+    pub fn max_stream_len(&self) -> usize {
+        self.lengths[0]
+    }
+
+    /// Every executable total stream length, in descending order.
+    ///
+    /// The first entry is the prepare-time maximum; each following entry
+    /// halves the one before it, down to the shortest prefix every MAC
+    /// layer's pooling segmentation still divides.
+    pub fn supported_lengths(&self) -> &[usize] {
+        &self.lengths
+    }
+
+    /// Bank level executing `stream_len`, if supported.
+    fn level_of(&self, stream_len: usize) -> Option<usize> {
+        self.lengths.iter().position(|&l| l == stream_len)
+    }
+}
+
+/// Executable prefix lengths of a prepared network: the configured maximum,
+/// then repeated halvings while the per-phase length stays a positive
+/// multiple of every MAC layer's pooling segmentation.
+fn supported_prefix_lengths(max_stream_len: usize, segments: &[usize]) -> Vec<usize> {
+    let mut lengths = vec![max_stream_len];
+    let mut per_phase = max_stream_len / 2;
+    while per_phase.is_multiple_of(2) {
+        let next = per_phase / 2;
+        if next == 0 || segments.iter().any(|&s| !next.is_multiple_of(s)) {
+            break;
+        }
+        lengths.push(next * 2);
+        per_phase = next;
+    }
+    lengths
 }
 
 /// Reusable per-inference working memory: the segmented activation bank,
@@ -268,15 +344,47 @@ impl ScSimulator {
     /// Returns [`SimError::UnsupportedLayer`] for layer arrangements the SC
     /// datapath cannot execute.
     pub fn prepare(&self, net: &Network) -> Result<PreparedNetwork, SimError> {
+        let mut segments = Vec::new();
+        self.scan_segments(net.layers(), &mut segments);
+        let lengths = supported_prefix_lengths(self.cfg.stream_len, &segments);
         let mut ordinal = 0usize;
-        let steps = self.prepare_layers(net.layers(), &mut ordinal)?;
-        Ok(PreparedNetwork { steps })
+        let steps = self.prepare_layers(net.layers(), &mut ordinal, &lengths)?;
+        Ok(PreparedNetwork { steps, lengths })
+    }
+
+    /// Collects the pooling segmentation of every MAC layer, mirroring the
+    /// fusion decisions of [`ScSimulator::prepare_layers`] (a conv directly
+    /// followed by an average pool fuses when skipping is on).
+    fn scan_segments(&self, layers: &[NetLayer], out: &mut Vec<usize>) {
+        let mut i = 0usize;
+        while i < layers.len() {
+            match &layers[i] {
+                NetLayer::Conv(_) => {
+                    let pool = match layers.get(i + 1) {
+                        Some(NetLayer::AvgPool(p)) if self.cfg.skip_pooling => Some(p.window()),
+                        _ => None,
+                    };
+                    out.push(pool.map_or(1, |k| k * k));
+                    i += if pool.is_some() { 2 } else { 1 };
+                }
+                NetLayer::Dense(_) => {
+                    out.push(1);
+                    i += 1;
+                }
+                NetLayer::Residual(r) => {
+                    self.scan_segments(r.inner().layers(), out);
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
     }
 
     fn prepare_layers(
         &self,
         layers: &[NetLayer],
         ordinal: &mut usize,
+        lengths: &[usize],
     ) -> Result<Vec<Step>, SimError> {
         let wq = Quantizer::signed_unit(self.cfg.quant_bits)?;
         let mut steps = Vec::new();
@@ -301,7 +409,7 @@ impl ScSimulator {
                             self.cfg.per_phase_len()
                         )));
                     }
-                    let weights = self.weight_streams(&wvals, *ordinal, segments)?;
+                    let weights = self.weight_streams(&wvals, *ordinal, segments, lengths)?;
                     steps.push(Step::new(
                         format!("conv{ordinal}"),
                         StepOp::Conv(PreparedConv {
@@ -321,7 +429,7 @@ impl ScSimulator {
                 NetLayer::Dense(d) => {
                     let wvals: Vec<f32> =
                         d.weights().iter().map(|&w| wq.quantize_value(w)).collect();
-                    let weights = self.weight_streams(&wvals, *ordinal, 1)?;
+                    let weights = self.weight_streams(&wvals, *ordinal, 1, lengths)?;
                     steps.push(Step::new(
                         format!("dense{ordinal}"),
                         StepOp::Dense(PreparedDense {
@@ -351,7 +459,7 @@ impl ScSimulator {
                     i += 1;
                 }
                 NetLayer::Residual(r) => {
-                    let inner = self.prepare_layers(r.inner().layers(), ordinal)?;
+                    let inner = self.prepare_layers(r.inner().layers(), ordinal, lengths)?;
                     steps.push(Step::new("residual", StepOp::Residual(inner)));
                     i += 1;
                 }
@@ -398,7 +506,87 @@ impl ScSimulator {
         input: &Tensor,
         scratch: &mut SimScratch,
     ) -> Result<Tensor, SimError> {
-        self.execute(prepared, input, None, None, scratch)
+        let run = RunLen {
+            level: 0,
+            per_phase: self.cfg.per_phase_len(),
+        };
+        self.execute(prepared, input, None, None, scratch, run)
+    }
+
+    /// Runs one inference at a shorter stream-length prefix of the prepared
+    /// banks.
+    ///
+    /// `stream_len` must be one of [`PreparedNetwork::supported_lengths`] —
+    /// the prepare-time maximum or any of its power-of-two halvings. The
+    /// result is bit-identical to preparing the network directly at
+    /// `stream_len` and calling [`ScSimulator::run_prepared`]: weight
+    /// streams are length-`L` prefixes of the max-length banks (sliced at
+    /// prepare time, no regeneration) and activation streams are generated
+    /// at the short length from the same seeds.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when `stream_len` is not a supported
+    /// prefix; otherwise propagates datapath and shape errors.
+    pub fn run_prepared_at(
+        &self,
+        prepared: &PreparedNetwork,
+        input: &Tensor,
+        stream_len: usize,
+    ) -> Result<Tensor, SimError> {
+        self.run_prepared_at_with(prepared, input, stream_len, &mut SimScratch::default())
+    }
+
+    /// Scratch-reusing variant of [`ScSimulator::run_prepared_at`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ScSimulator::run_prepared_at`].
+    pub fn run_prepared_at_with(
+        &self,
+        prepared: &PreparedNetwork,
+        input: &Tensor,
+        stream_len: usize,
+        scratch: &mut SimScratch,
+    ) -> Result<Tensor, SimError> {
+        let run = self.resolve_len(prepared, stream_len)?;
+        self.execute(prepared, input, None, None, scratch, run)
+    }
+
+    /// Timed variant of [`ScSimulator::run_prepared_at_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ScSimulator::run_prepared_at`].
+    pub fn run_prepared_at_timed_with(
+        &self,
+        prepared: &PreparedNetwork,
+        input: &Tensor,
+        stream_len: usize,
+        scratch: &mut SimScratch,
+    ) -> Result<(Tensor, Vec<StepTiming>), SimError> {
+        let run = self.resolve_len(prepared, stream_len)?;
+        let mut timings = Vec::with_capacity(prepared.step_count());
+        let logits = self.execute(prepared, input, None, Some(&mut timings), scratch, run)?;
+        Ok((logits, timings))
+    }
+
+    fn resolve_len(
+        &self,
+        prepared: &PreparedNetwork,
+        stream_len: usize,
+    ) -> Result<RunLen, SimError> {
+        let level = prepared.level_of(stream_len).ok_or_else(|| {
+            SimError::InvalidConfig(format!(
+                "stream length {stream_len} is not an executable prefix of this \
+                 prepared network (supported: {:?})",
+                prepared.supported_lengths()
+            ))
+        })?;
+        Ok(RunLen {
+            level,
+            per_phase: stream_len / 2,
+        })
     }
 
     /// Runs one inference on an already-prepared network, additionally
@@ -429,8 +617,12 @@ impl ScSimulator {
         input: &Tensor,
         scratch: &mut SimScratch,
     ) -> Result<(Tensor, Vec<StepTiming>), SimError> {
+        let run = RunLen {
+            level: 0,
+            per_phase: self.cfg.per_phase_len(),
+        };
         let mut timings = Vec::with_capacity(prepared.step_count());
-        let logits = self.execute(prepared, input, None, Some(&mut timings), scratch)?;
+        let logits = self.execute(prepared, input, None, Some(&mut timings), scratch, run)?;
         Ok((logits, timings))
     }
 
@@ -442,12 +634,17 @@ impl ScSimulator {
     pub fn run_traced(&self, net: &Network, input: &Tensor) -> Result<RunTrace, SimError> {
         let prepared = self.prepare(net)?;
         let mut traces = Vec::new();
+        let run = RunLen {
+            level: 0,
+            per_phase: self.cfg.per_phase_len(),
+        };
         let logits = self.execute(
             &prepared,
             input,
             Some(&mut traces),
             None,
             &mut SimScratch::default(),
+            run,
         )?;
         Ok(RunTrace {
             layers: traces,
@@ -512,10 +709,11 @@ impl ScSimulator {
         traces: Option<&mut Vec<LayerTrace>>,
         timings: Option<&mut Vec<StepTiming>>,
         scratch: &mut SimScratch,
+        run: RunLen,
     ) -> Result<Tensor, SimError> {
         let aq = Quantizer::unsigned_unit(self.cfg.quant_bits)?;
         let x = input.map(|v| aq.quantize_value(v.clamp(0.0, 1.0)));
-        self.execute_steps(&prepared.steps, x, traces, timings, scratch)
+        self.execute_steps(&prepared.steps, x, traces, timings, scratch, run)
     }
 
     fn execute_steps(
@@ -525,12 +723,13 @@ impl ScSimulator {
         mut traces: Option<&mut Vec<LayerTrace>>,
         mut timings: Option<&mut Vec<StepTiming>>,
         scratch: &mut SimScratch,
+        run: RunLen,
     ) -> Result<Tensor, SimError> {
         for step in steps {
             let started = timings.as_ref().map(|_| std::time::Instant::now());
             let out = match &step.op {
-                StepOp::Conv(c) => self.exec_conv(c, &x, scratch)?,
-                StepOp::Dense(d) => self.exec_dense(d, &x, scratch)?,
+                StepOp::Conv(c) => self.exec_conv(c, &x, scratch, run)?,
+                StepOp::Dense(d) => self.exec_dense(d, &x, scratch, run)?,
                 StepOp::BinaryAvgPool(k) => binary_avg_pool(&x, *k)?,
                 StepOp::MaxPool(k) => binary_max_pool(&x, *k)?,
                 StepOp::Relu(hi) => {
@@ -549,6 +748,7 @@ impl ScSimulator {
                         traces.as_deref_mut(),
                         timings.as_deref_mut(),
                         scratch,
+                        run,
                     )?;
                     if y.shape() != skip.shape() {
                         return Err(SimError::UnsupportedLayer(format!(
@@ -582,24 +782,44 @@ impl ScSimulator {
     }
 
     /// Generates the per-phase, per-segment weight streams of a MAC layer
-    /// into flat word-aligned phase banks.
+    /// into flat word-aligned phase banks — one bank per executable prefix
+    /// length.
+    ///
+    /// Every weight's SNG walks **once**, at the maximum length; each
+    /// shorter level is re-segmented out of that same full-length stream
+    /// (its length-`L` prefix), which is bit-identical to generating the
+    /// level directly because the LFSR emits bits sequentially.
     fn weight_streams(
         &self,
         wvals: &[f32],
         ordinal: usize,
         segments: usize,
-    ) -> Result<WeightStreams, SimError> {
+        lengths: &[usize],
+    ) -> Result<LeveledWeights, SimError> {
         let m = self.cfg.per_phase_len();
-        let seg_len = m / segments;
-        let seg_words = seg_len.div_ceil(64);
-        let mut pos = PhaseBank::zeros(wvals.len(), segments, seg_words);
-        let mut neg = PhaseBank::zeros(wvals.len(), segments, seg_words);
+        if !m.is_multiple_of(segments) {
+            return Err(SimError::UnsupportedLayer(format!(
+                "pooling window {segments}-way does not divide per-phase length {m}"
+            )));
+        }
+        let mut levels: Vec<WeightStreams> = lengths
+            .iter()
+            .map(|&l| {
+                let seg_words = (l / 2 / segments).div_ceil(64);
+                WeightStreams {
+                    pos: PhaseBank::zeros(wvals.len(), segments, seg_words),
+                    neg: PhaseBank::zeros(wvals.len(), segments, seg_words),
+                    segments,
+                    seg_words,
+                }
+            })
+            .collect();
         let mut full = vec![0u64; m.div_ceil(64)];
         for (j, &w) in wvals.iter().enumerate() {
-            let (bank, component, phase) = if w > 0.0 {
-                (&mut pos, f64::from(w), 0)
+            let (positive, component, phase) = if w > 0.0 {
+                (true, f64::from(w), 0)
             } else if w < 0.0 {
-                (&mut neg, f64::from(-w), 1)
+                (false, f64::from(-w), 1)
             } else {
                 continue;
             };
@@ -607,23 +827,27 @@ impl ScSimulator {
             let mut sng = Sng::new(Lfsr::maximal(SNG_WIDTH, seed)?, SNG_WIDTH);
             let threshold = quantize_probability(component, SNG_WIDTH)?;
             sng.fill_quantized(threshold, m, &mut full);
-            bank.present[j] = true;
-            for e in 0..segments {
-                let base = (j * segments + e) * seg_words;
-                copy_bit_range(
-                    &full,
-                    e * seg_len,
-                    seg_len,
-                    &mut bank.words[base..base + seg_words],
-                );
+            for (level, &len) in levels.iter_mut().zip(lengths) {
+                let seg_len = len / 2 / segments;
+                let seg_words = level.seg_words;
+                let bank = if positive {
+                    &mut level.pos
+                } else {
+                    &mut level.neg
+                };
+                bank.present[j] = true;
+                for e in 0..segments {
+                    let base = (j * segments + e) * seg_words;
+                    copy_bit_range(
+                        &full,
+                        e * seg_len,
+                        seg_len,
+                        &mut bank.words[base..base + seg_words],
+                    );
+                }
             }
         }
-        Ok(WeightStreams {
-            pos,
-            neg,
-            segments,
-            seg_words,
-        })
+        Ok(LeveledWeights { levels })
     }
 
     /// Generates activation streams for a whole layer input into the
@@ -640,6 +864,7 @@ impl ScSimulator {
         values: &[f32],
         ordinal: usize,
         segments: usize,
+        m: usize,
         scratch: &mut SimScratch,
     ) -> Result<(), SimError> {
         // With per-layer regeneration disabled, every layer draws the same
@@ -650,7 +875,6 @@ impl ScSimulator {
         } else {
             0
         };
-        let m = self.cfg.per_phase_len();
         let seg_len = m / segments;
         let seg_words = seg_len.div_ceil(64);
         let full_words = m.div_ceil(64);
@@ -715,7 +939,9 @@ impl ScSimulator {
         c: &PreparedConv,
         input: &Tensor,
         scratch: &mut SimScratch,
+        run: RunLen,
     ) -> Result<Tensor, SimError> {
+        let weights = c.weights.level(run.level);
         let shape = input.shape();
         if shape.len() != 3 || shape[0] != c.in_c {
             return Err(SimError::Nn(acoustic_nn::NnError::ShapeMismatch {
@@ -734,10 +960,10 @@ impl ScSimulator {
                 )));
             }
         }
-        self.fill_activation_bank(input.as_slice(), c.ordinal, segments, scratch)?;
+        let m = run.per_phase;
+        self.fill_activation_bank(input.as_slice(), c.ordinal, segments, m, scratch)?;
 
-        let m = self.cfg.per_phase_len();
-        let seg_words = (m / segments).div_ceil(64);
+        let seg_words = weights.seg_words;
         let fan_in = c.in_c * c.k * c.k;
         let (out_h, out_w) = match c.pool {
             Some(pk) => (oh / pk, ow / pk),
@@ -794,7 +1020,7 @@ impl ScSimulator {
                     for oc in 0..c.out_c {
                         let d = self.mac_segment(
                             scratch.acts.words(),
-                            &c.weights,
+                            weights,
                             &scratch.lanes,
                             oc * fan_in,
                             e,
@@ -816,6 +1042,7 @@ impl ScSimulator {
         d: &PreparedDense,
         input: &Tensor,
         scratch: &mut SimScratch,
+        run: RunLen,
     ) -> Result<Tensor, SimError> {
         if input.len() != d.in_n {
             return Err(SimError::Nn(acoustic_nn::NnError::ShapeMismatch {
@@ -823,9 +1050,10 @@ impl ScSimulator {
                 actual: input.shape().to_vec(),
             }));
         }
-        self.fill_activation_bank(input.as_slice(), d.ordinal, 1, scratch)?;
-        let m = self.cfg.per_phase_len();
-        let seg_words = m.div_ceil(64);
+        let weights = d.weights.level(run.level);
+        let m = run.per_phase;
+        self.fill_activation_bank(input.as_slice(), d.ordinal, 1, m, scratch)?;
+        let seg_words = weights.seg_words;
         let mut out = vec![0.0f32; d.out_n];
         scratch.lanes.clear();
         for i in 0..d.in_n {
@@ -836,7 +1064,7 @@ impl ScSimulator {
         for (o, slot) in out.iter_mut().enumerate() {
             let count = self.mac_segment(
                 scratch.acts.words(),
-                &d.weights,
+                weights,
                 &scratch.lanes,
                 o * d.in_n,
                 0,
@@ -989,9 +1217,9 @@ mod tests {
         let values: Vec<f32> = (0..25).map(|i| i as f32 / 24.0 - 0.2).collect();
         let segments = 4;
         let mut scratch = SimScratch::default();
-        sim.fill_activation_bank(&values, 2, segments, &mut scratch)
-            .unwrap();
         let m = sim.cfg.per_phase_len();
+        sim.fill_activation_bank(&values, 2, segments, m, &mut scratch)
+            .unwrap();
         let seg_len = m / segments;
         let seed = mix_seed(sim.cfg.act_seed, 2, 0, 7);
         let mut bank = SngBank::new(16, seed).unwrap();
@@ -1229,6 +1457,70 @@ mod tests {
         assert_eq!(via_run, via_prepared);
         // Reusing the same prepared network is also stable.
         assert_eq!(via_prepared, sim.run_prepared(&prepared, &input).unwrap());
+    }
+
+    #[test]
+    fn supported_lengths_halve_until_segmentation_breaks() {
+        // Fused 2x2 pool -> 4 segments: halving stops when the per-phase
+        // length would no longer divide by 4.
+        let net = digit_like_net();
+        let sim = ScSimulator::new(cfg(256));
+        let prepared = sim.prepare(&net).unwrap();
+        assert_eq!(prepared.max_stream_len(), 256);
+        assert_eq!(prepared.supported_lengths(), &[256, 128, 64, 32, 16, 8]);
+
+        // Dense-only network: halving continues down to 2-bit streams.
+        let mut dense_net = Network::new();
+        dense_net.push_dense(Dense::new(4, 2, AccumMode::OrApprox).unwrap());
+        let prepared = sim.prepare(&dense_net).unwrap();
+        assert_eq!(
+            prepared.supported_lengths(),
+            &[256, 128, 64, 32, 16, 8, 4, 2]
+        );
+    }
+
+    #[test]
+    fn run_prepared_at_max_length_is_bit_identical_to_run_prepared() {
+        let net = digit_like_net();
+        let input = ramp_input();
+        let sim = ScSimulator::new(cfg(256));
+        let prepared = sim.prepare(&net).unwrap();
+        let full = sim.run_prepared(&prepared, &input).unwrap();
+        let at_max = sim.run_prepared_at(&prepared, &input, 256).unwrap();
+        assert_eq!(full, at_max);
+    }
+
+    #[test]
+    fn run_prepared_at_rejects_unsupported_lengths() {
+        let net = digit_like_net();
+        let input = ramp_input();
+        let sim = ScSimulator::new(cfg(256));
+        let prepared = sim.prepare(&net).unwrap();
+        for bad in [512usize, 96, 4, 0] {
+            assert!(
+                matches!(
+                    sim.run_prepared_at(&prepared, &input, bad),
+                    Err(SimError::InvalidConfig(_))
+                ),
+                "length {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn shorter_prefix_matches_directly_prepared_network() {
+        let net = digit_like_net();
+        let input = ramp_input();
+        let sim = ScSimulator::new(cfg(256));
+        let prepared = sim.prepare(&net).unwrap();
+        for &len in prepared.supported_lengths() {
+            let via_prefix = sim.run_prepared_at(&prepared, &input, len).unwrap();
+            let direct_sim = ScSimulator::new(cfg(len));
+            let direct = direct_sim
+                .run_prepared(&direct_sim.prepare(&net).unwrap(), &input)
+                .unwrap();
+            assert_eq!(via_prefix, direct, "prefix diverged at length {len}");
+        }
     }
 
     #[test]
