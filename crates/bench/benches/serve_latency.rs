@@ -1,0 +1,276 @@
+//! End-to-end serving latency: offered-load sweep against acoustic-serve.
+//!
+//! Trains the shared demo digit CNN, measures the single-worker service
+//! capacity directly through `BatchEngine::run_ready`, then drives the TCP
+//! server with open-loop Poisson schedules at three offered-load points —
+//! below capacity (0.5×), at capacity (1×) and overloaded (2×) — and
+//! records p50/p95/p99 latency, sustained goodput and the rejection rate
+//! at each point. Every accepted response is validated bit-identical
+//! against direct engine evaluation; any mismatch or silently dropped
+//! response aborts the bench.
+//!
+//! Writes `results/BENCH_serve.json` in the shared `{name, config,
+//! metrics}` shape (see `results/README.md`). Pass `--quick` (or set
+//! `ACOUSTIC_BENCH_QUICK`) for a CI-sized run.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use acoustic_bench::harness::json_string;
+use acoustic_runtime::{BatchEngine, ModelCache, ReadyRequest};
+use acoustic_serve::{
+    demo_model, run_load, summarize, validate_responses, LoadGenConfig, LoadReport, ModelRegistry,
+    ModelSpec, ServeConfig, Server, DEMO_MODEL_ID,
+};
+use acoustic_simfunc::SimConfig;
+
+struct Setup {
+    train_n: usize,
+    test_n: usize,
+    epochs: usize,
+    stream_len: usize,
+    requests_per_point: u64,
+    capacity_probe_rounds: usize,
+}
+
+struct Point {
+    ratio: f64,
+    offered_qps: f64,
+    report: LoadReport,
+    server_batches: u64,
+    server_mean_batch: f64,
+    server_hwm: u64,
+}
+
+const RATIOS: [f64; 3] = [0.5, 1.0, 2.0];
+const QUEUE_CAPACITY: usize = 8;
+const DEADLINE: Duration = Duration::from_millis(250);
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("ACOUSTIC_BENCH_QUICK").is_some();
+    let setup = if quick {
+        Setup {
+            train_n: 64,
+            test_n: 16,
+            epochs: 1,
+            stream_len: 128,
+            requests_per_point: 80,
+            capacity_probe_rounds: 2,
+        }
+    } else {
+        Setup {
+            train_n: 300,
+            test_n: 64,
+            epochs: 3,
+            stream_len: 256,
+            requests_per_point: 400,
+            capacity_probe_rounds: 5,
+        }
+    };
+
+    let train_start = Instant::now();
+    let (network, data) =
+        demo_model(setup.train_n, setup.test_n, setup.epochs).expect("training succeeds");
+    let images: Vec<_> = data.test.iter().map(|(t, _)| t.clone()).collect();
+    println!(
+        "trained demo CNN ({} images x {} epochs) in {:.1}s",
+        setup.train_n,
+        setup.epochs,
+        train_start.elapsed().as_secs_f64()
+    );
+
+    let sim = SimConfig::with_stream_len(setup.stream_len).expect("valid stream length");
+    let cache = ModelCache::new();
+    let golden = cache
+        .get_or_compile(sim, &network)
+        .expect("model preparation succeeds");
+
+    // Capacity probe: mean per-image service time through the same entry
+    // point the server's workers use. Best-of-N to shed warmup noise.
+    let engine = BatchEngine::new(1).expect("engine builds");
+    let requests: Vec<ReadyRequest<'_>> = images
+        .iter()
+        .enumerate()
+        .map(|(i, img)| ReadyRequest::plain(i as u64, img))
+        .collect();
+    let mut best_per_image = f64::INFINITY;
+    for _ in 0..setup.capacity_probe_rounds {
+        let t = Instant::now();
+        let outs = engine.run_ready(&golden, &requests).expect("probe runs");
+        assert!(outs.iter().all(|o| o.is_ok()));
+        let per_image = t.elapsed().as_secs_f64() / images.len() as f64;
+        best_per_image = best_per_image.min(per_image);
+    }
+    let capacity_qps = 1.0 / best_per_image;
+    println!(
+        "single-worker capacity: {capacity_qps:.1} QPS ({:.2} ms/image @ stream {})",
+        1e3 * best_per_image,
+        setup.stream_len
+    );
+
+    let mut points = Vec::new();
+    for (i, &ratio) in RATIOS.iter().enumerate() {
+        let offered_qps = capacity_qps * ratio;
+        let registry = ModelRegistry::build(
+            vec![ModelSpec {
+                id: DEMO_MODEL_ID,
+                network: network.clone(),
+                cfg: sim,
+            }],
+            &cache,
+        )
+        .expect("registry builds");
+        let serve_cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: QUEUE_CAPACITY,
+            batch_max: 4,
+            default_deadline: DEADLINE,
+            ..ServeConfig::default()
+        };
+        let handle = Server::start("127.0.0.1:0", registry, serve_cfg).expect("server starts");
+
+        let load = LoadGenConfig {
+            qps: offered_qps,
+            requests: setup.requests_per_point,
+            connections: 2,
+            seed: 7 + i as u64,
+            ..LoadGenConfig::default()
+        };
+        let outcome = run_load(handle.addr(), &images, &load).expect("load run completes");
+        let mismatches = validate_responses(&outcome, &golden, &engine, &images, &load)
+            .expect("validation runs");
+        let report = summarize(&outcome, load.requests);
+        let stats = handle.shutdown();
+
+        // Hard contract, not a metric: every accepted response must be
+        // bit-identical and every request must be answered.
+        assert_eq!(mismatches, 0, "{ratio}x: server response diverged");
+        assert_eq!(
+            report.dropped, 0,
+            "{ratio}x: {} responses dropped",
+            report.dropped
+        );
+        assert_eq!(report.other_errors, 0, "{ratio}x: unexpected error replies");
+        assert!(
+            stats.queue_depth_hwm <= QUEUE_CAPACITY as u64,
+            "{ratio}x: admission limit exceeded ({stats:?})"
+        );
+
+        println!(
+            "{ratio:.1}x ({offered_qps:.0} QPS offered): completed {} / rejected {} / expired {} \
+             | p50/p95/p99 {}/{}/{} us | goodput {:.1} QPS | rejection {:.1}%",
+            report.completed,
+            report.rejected_overload,
+            report.deadline_exceeded,
+            report.p50_us,
+            report.p95_us,
+            report.p99_us,
+            report.goodput_qps,
+            100.0 * report.rejection_rate
+        );
+        points.push(Point {
+            ratio,
+            offered_qps,
+            report,
+            server_batches: stats.batches,
+            server_mean_batch: stats.mean_batch_size(),
+            server_hwm: stats.queue_depth_hwm,
+        });
+    }
+
+    // The overload point must actually exercise admission control, and the
+    // p99 of what *was* accepted must stay inside the deadline budget
+    // (queue wait is bounded by the queue, service by the model) plus one
+    // service time for the request's own execution.
+    let overload = points.last().expect("three points ran");
+    assert!(
+        overload.report.rejected_overload > 0,
+        "2x offered load produced no Overloaded rejections"
+    );
+    let p99_budget_us = DEADLINE.as_micros() as u64 + (2.0 * 1e6 * best_per_image) as u64;
+    let p99_ok = overload.report.p99_us <= p99_budget_us;
+    if !p99_ok {
+        println!(
+            "WARN: overload p99 {} us exceeds deadline+service budget {} us",
+            overload.report.p99_us, p99_budget_us
+        );
+    }
+
+    let json = to_json(&setup, quick, capacity_qps, p99_ok, &points);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_serve.json"
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    std::fs::write(path, json).unwrap();
+    println!("wrote {path}");
+}
+
+fn to_json(
+    setup: &Setup,
+    quick: bool,
+    capacity_qps: f64,
+    p99_ok: bool,
+    points: &[Point],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"name\": {},", json_string("serve_latency"));
+    out.push_str("  \"config\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"network\": {},",
+        json_string("demo_cnn/or_approx")
+    );
+    let _ = writeln!(out, "    \"dataset\": {},", json_string("mnist_like"));
+    let _ = writeln!(out, "    \"train_images\": {},", setup.train_n);
+    let _ = writeln!(out, "    \"test_images\": {},", setup.test_n);
+    let _ = writeln!(out, "    \"epochs\": {},", setup.epochs);
+    let _ = writeln!(out, "    \"stream_len\": {},", setup.stream_len);
+    let _ = writeln!(
+        out,
+        "    \"requests_per_point\": {},",
+        setup.requests_per_point
+    );
+    let _ = writeln!(out, "    \"workers\": 1,");
+    let _ = writeln!(out, "    \"queue_capacity\": {QUEUE_CAPACITY},");
+    let _ = writeln!(out, "    \"batch_max\": 4,");
+    let _ = writeln!(out, "    \"deadline_ms\": {},", DEADLINE.as_millis());
+    let _ = writeln!(out, "    \"connections\": 2,");
+    let _ = writeln!(out, "    \"quick\": {quick}");
+    out.push_str("  },\n");
+    out.push_str("  \"metrics\": {\n");
+    let _ = writeln!(out, "    \"capacity_qps\": {capacity_qps:.2},");
+    let _ = writeln!(out, "    \"overload_p99_within_deadline\": {p99_ok},");
+    out.push_str("    \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let r = &p.report;
+        let _ = write!(
+            out,
+            "      {{\"offered_ratio\": {:.2}, \"offered_qps\": {:.2}, \"offered\": {}, \
+             \"completed\": {}, \"rejected_overload\": {}, \"deadline_exceeded\": {}, \
+             \"rejection_rate\": {:.4}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"goodput_qps\": {:.2}, \"mismatches\": 0, \"dropped\": 0, \
+             \"server_batches\": {}, \"server_mean_batch\": {:.2}, \"queue_hwm\": {}}}",
+            p.ratio,
+            p.offered_qps,
+            r.offered,
+            r.completed,
+            r.rejected_overload,
+            r.deadline_exceeded,
+            r.rejection_rate,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.goodput_qps,
+            p.server_batches,
+            p.server_mean_batch,
+            p.server_hwm
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]\n  }\n}\n");
+    out
+}

@@ -20,6 +20,63 @@ use crate::{BatchReport, ExitPolicy, LayerTiming, PreparedModel, RuntimeError};
 /// Default number of images a worker claims per queue access.
 const DEFAULT_CHUNK: usize = 8;
 
+/// One admitted serving request, ready for batch execution.
+///
+/// Unlike [`BatchEngine::run`], where image `i` draws its seed from its
+/// batch position, a ready request carries its own `image_index` — a
+/// serving layer passes each request's id, so the result for a request is
+/// the same whether it was executed alone, inside any micro-batch, or by
+/// any worker.
+///
+/// At most one of `stream_len` / `margin` may be set (a fixed shorter
+/// prefix and an adaptive margin are competing precision policies).
+#[derive(Debug, Clone, Copy)]
+pub struct ReadyRequest<'a> {
+    /// Seed index: the result is a pure function of `(model, image_index,
+    /// input, overrides)`.
+    pub image_index: u64,
+    /// The image to classify.
+    pub input: &'a Tensor,
+    /// Run at this fixed stream-length prefix instead of the engine
+    /// default (must be one of the model's supported lengths).
+    pub stream_len: Option<usize>,
+    /// Run adaptively with this top-1/top-2 acceptance margin, overriding
+    /// (or, without an engine policy, defaulting the rest of) the engine's
+    /// [`ExitPolicy`].
+    pub margin: Option<f32>,
+}
+
+impl<'a> ReadyRequest<'a> {
+    /// A request with no per-request overrides.
+    pub fn plain(image_index: u64, input: &'a Tensor) -> Self {
+        ReadyRequest {
+            image_index,
+            input,
+            stream_len: None,
+            margin: None,
+        }
+    }
+}
+
+/// The outcome of one ready request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadyOutcome {
+    /// The accepted logits.
+    pub logits: Tensor,
+    /// Stream length the logits were produced at (the full prepare-time
+    /// length unless a prefix or early exit applied).
+    pub effective_len: usize,
+}
+
+/// Template used for a per-request margin override when the engine has no
+/// attached policy: start at the shortest supported prefix, double on
+/// escalation.
+const MARGIN_OVERRIDE_TEMPLATE: ExitPolicy = ExitPolicy {
+    min_words: 1,
+    margin: 0.0,
+    escalation_factor: 2,
+};
+
 /// A fixed-size worker pool executing batches against a prepared model.
 ///
 /// With an [`ExitPolicy`] attached (see
@@ -133,6 +190,92 @@ impl BatchEngine {
                 Ok(logits)
             }
         }
+    }
+
+    /// Executes a micro-batch of admitted serving requests, one outcome per
+    /// request in request order.
+    ///
+    /// This is the serving entry point: requests carry their own seed index
+    /// and optional per-request precision overrides, and the engine threads
+    /// one [`SimScratch`] per worker exactly as [`BatchEngine::run`] does.
+    /// Failures are isolated per request — a malformed input yields an
+    /// `Err` in its own slot without failing the rest of the batch.
+    ///
+    /// Equivalences (all test-enforced):
+    /// * no overrides, no engine policy → [`PreparedModel::logits_with`] at
+    ///   the request's `image_index` (bit-identical to a
+    ///   [`BatchEngine::run`] that saw the same index);
+    /// * `stream_len` override → [`PreparedModel::logits_at_with`];
+    /// * `margin` override → the adaptive path under the engine policy
+    ///   with its margin replaced (or [`MARGIN_OVERRIDE_TEMPLATE`]'s shape
+    ///   when no policy is attached).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] if any request sets both overrides
+    /// or a non-finite/negative margin (detected up front — nothing runs);
+    /// [`RuntimeError::WorkerPanic`] if a worker dies.
+    pub fn run_ready(
+        &self,
+        model: &PreparedModel,
+        requests: &[ReadyRequest<'_>],
+    ) -> Result<Vec<Result<ReadyOutcome, SimError>>, RuntimeError> {
+        for (i, r) in requests.iter().enumerate() {
+            if r.stream_len.is_some() && r.margin.is_some() {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "request {i}: at most one of stream_len/margin may be overridden"
+                )));
+            }
+            if let Some(m) = r.margin {
+                if !m.is_finite() || m < 0.0 {
+                    return Err(RuntimeError::InvalidConfig(format!(
+                        "request {i}: margin override must be finite and non-negative, got {m}"
+                    )));
+                }
+            }
+        }
+        let policy = self.exit_policy;
+        let full_len = model.max_stream_len();
+        let (outcomes, _) = self.dispatch(model, requests.len(), |i, scratch| {
+            let r = &requests[i];
+            let out = if let Some(margin) = r.margin {
+                let p = ExitPolicy {
+                    margin,
+                    ..policy.unwrap_or(MARGIN_OVERRIDE_TEMPLATE)
+                };
+                model
+                    .logits_adaptive_with(&p, r.image_index, r.input, scratch)
+                    .map(|(logits, len)| ReadyOutcome {
+                        logits,
+                        effective_len: len,
+                    })
+            } else if let Some(len) = r.stream_len {
+                model
+                    .logits_at_with(r.image_index, r.input, len, scratch)
+                    .map(|logits| ReadyOutcome {
+                        logits,
+                        effective_len: len,
+                    })
+            } else if let Some(p) = &policy {
+                model
+                    .logits_adaptive_with(p, r.image_index, r.input, scratch)
+                    .map(|(logits, len)| ReadyOutcome {
+                        logits,
+                        effective_len: len,
+                    })
+            } else {
+                model
+                    .logits_with(r.image_index, r.input, scratch)
+                    .map(|logits| ReadyOutcome {
+                        logits,
+                        effective_len: full_len,
+                    })
+            };
+            // Per-request isolation: errors ride in the slot, never abort
+            // the batch.
+            Ok(out)
+        })?;
+        Ok(outcomes)
     }
 
     /// Evaluates labelled samples, returning a full [`BatchReport`].
@@ -406,6 +549,140 @@ mod tests {
         let bad = vec![(inputs(1).pop().unwrap(), 99usize)];
         assert!(matches!(
             engine.evaluate(&model, &bad),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn run_ready_matches_direct_entry_points() {
+        let model =
+            PreparedModel::compile(SimConfig::with_stream_len(256).unwrap(), &small_net()).unwrap();
+        let xs = inputs(5);
+        let mut scratch = SimScratch::default();
+
+        // Plain requests: bit-identical to BatchEngine::run at the same
+        // indices, for any worker count.
+        let plain: Vec<ReadyRequest> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| ReadyRequest::plain(i as u64, x))
+            .collect();
+        let direct = BatchEngine::new(1).unwrap().run(&model, &xs).unwrap();
+        for workers in [1, 3] {
+            let engine = BatchEngine::new(workers)
+                .unwrap()
+                .with_chunk_size(1)
+                .unwrap();
+            let got = engine.run_ready(&model, &plain).unwrap();
+            for (i, out) in got.iter().enumerate() {
+                let out = out.as_ref().unwrap();
+                assert_eq!(out.logits, direct[i], "workers={workers} i={i}");
+                assert_eq!(out.effective_len, 256);
+            }
+        }
+
+        // Requests carry their own seed index: shuffled order returns the
+        // same per-index results.
+        let swapped = [plain[3], plain[0]];
+        let got = BatchEngine::new(2)
+            .unwrap()
+            .run_ready(&model, &swapped)
+            .unwrap();
+        assert_eq!(got[0].as_ref().unwrap().logits, direct[3]);
+        assert_eq!(got[1].as_ref().unwrap().logits, direct[0]);
+
+        // stream_len override == logits_at_with.
+        let short = ReadyRequest {
+            stream_len: Some(64),
+            ..plain[2]
+        };
+        let got = BatchEngine::new(1)
+            .unwrap()
+            .run_ready(&model, &[short])
+            .unwrap();
+        let want = model.logits_at_with(2, &xs[2], 64, &mut scratch).unwrap();
+        assert_eq!(got[0].as_ref().unwrap().logits, want);
+        assert_eq!(got[0].as_ref().unwrap().effective_len, 64);
+
+        // margin override == the adaptive path with that margin.
+        let adaptive = ReadyRequest {
+            margin: Some(10.0),
+            ..plain[1]
+        };
+        let got = BatchEngine::new(1)
+            .unwrap()
+            .run_ready(&model, &[adaptive])
+            .unwrap();
+        let p = ExitPolicy::new(1, 10.0, 2).unwrap();
+        let (want, want_len) = model
+            .logits_adaptive_with(&p, 1, &xs[1], &mut scratch)
+            .unwrap();
+        assert_eq!(got[0].as_ref().unwrap().logits, want);
+        assert_eq!(got[0].as_ref().unwrap().effective_len, want_len);
+
+        // With an engine policy attached, plain requests follow it.
+        let policied = BatchEngine::new(1)
+            .unwrap()
+            .with_exit_policy(ExitPolicy::new(1, 0.05, 2).unwrap())
+            .unwrap();
+        let got = policied.run_ready(&model, &[plain[4]]).unwrap();
+        let (want, want_len) = model
+            .logits_adaptive_with(
+                &ExitPolicy::new(1, 0.05, 2).unwrap(),
+                4,
+                &xs[4],
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(got[0].as_ref().unwrap().logits, want);
+        assert_eq!(got[0].as_ref().unwrap().effective_len, want_len);
+    }
+
+    #[test]
+    fn run_ready_isolates_per_request_failures() {
+        let model =
+            PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &small_net()).unwrap();
+        let xs = inputs(3);
+        let bad = Tensor::from_vec(&[1, 2, 2], vec![0.5; 4]).unwrap();
+        let reqs = [
+            ReadyRequest::plain(0, &xs[0]),
+            ReadyRequest::plain(1, &bad),
+            ReadyRequest {
+                stream_len: Some(100), // unsupported prefix
+                ..ReadyRequest::plain(2, &xs[2])
+            },
+        ];
+        let got = BatchEngine::new(2)
+            .unwrap()
+            .run_ready(&model, &reqs)
+            .unwrap();
+        assert!(got[0].is_ok());
+        assert!(got[1].is_err(), "shape mismatch stays in its slot");
+        assert!(got[2].is_err(), "unsupported prefix stays in its slot");
+    }
+
+    #[test]
+    fn run_ready_validates_overrides_up_front() {
+        let model =
+            PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &small_net()).unwrap();
+        let xs = inputs(1);
+        let both = ReadyRequest {
+            stream_len: Some(64),
+            margin: Some(0.1),
+            ..ReadyRequest::plain(0, &xs[0])
+        };
+        assert!(matches!(
+            BatchEngine::new(1).unwrap().run_ready(&model, &[both]),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        let bad_margin = ReadyRequest {
+            margin: Some(-1.0),
+            ..ReadyRequest::plain(0, &xs[0])
+        };
+        assert!(matches!(
+            BatchEngine::new(1)
+                .unwrap()
+                .run_ready(&model, &[bad_margin]),
             Err(RuntimeError::InvalidConfig(_))
         ));
     }

@@ -1,0 +1,202 @@
+//! Open-loop load generator with golden-response validation.
+//!
+//! ```text
+//! loadgen [--self-host | --addr HOST:PORT]
+//!         [--qps 50] [--requests 100] [--connections 2] [--seed 7]
+//!         [--deadline-ms 0] [--stream-len-override N] [--margin-override M]
+//!         [--train 128] [--test 32] [--epochs 2] [--stream-len 128]
+//!         [--no-validate]
+//! ```
+//!
+//! Trains the same demo model as the `serve` binary (bit-identical — both
+//! sides are fully deterministic), replays a Poisson arrival schedule at
+//! the target QPS, and validates every accepted response against local
+//! `BatchEngine::run_ready` evaluation. Exits non-zero if any response is
+//! wrong or dropped, which makes it usable directly as a CI smoke check.
+//!
+//! `--self-host` starts the server in-process on an ephemeral port, so a
+//! single command exercises the full client/server path.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use acoustic_runtime::{BatchEngine, ModelCache};
+use acoustic_serve::{
+    run_load, summarize, validate_responses, LoadGenConfig, ModelRegistry, ModelSpec, ServeConfig,
+    Server, DEMO_MODEL_ID,
+};
+use acoustic_simfunc::SimConfig;
+
+struct Args {
+    addr: Option<String>,
+    self_host: bool,
+    load: LoadGenConfig,
+    train: usize,
+    test: usize,
+    epochs: usize,
+    stream_len: usize,
+    validate: bool,
+    serve_cfg: ServeConfig,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        self_host: false,
+        load: LoadGenConfig::default(),
+        train: 128,
+        test: 32,
+        epochs: 2,
+        stream_len: 128,
+        validate: true,
+        serve_cfg: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(val("--addr")),
+            "--self-host" => args.self_host = true,
+            "--qps" => args.load.qps = val("--qps").parse().expect("f64"),
+            "--requests" => args.load.requests = val("--requests").parse().expect("u64"),
+            "--connections" => args.load.connections = val("--connections").parse().expect("usize"),
+            "--seed" => args.load.seed = val("--seed").parse().expect("u64"),
+            "--deadline-ms" => {
+                let ms: u32 = val("--deadline-ms").parse().expect("u32");
+                args.load.deadline_micros = ms.saturating_mul(1000);
+            }
+            "--stream-len-override" => {
+                args.load.stream_len = Some(val("--stream-len-override").parse().expect("u32"));
+            }
+            "--margin-override" => {
+                args.load.margin = Some(val("--margin-override").parse().expect("f32"));
+            }
+            "--train" => args.train = val("--train").parse().expect("usize"),
+            "--test" => args.test = val("--test").parse().expect("usize"),
+            "--epochs" => args.epochs = val("--epochs").parse().expect("usize"),
+            "--stream-len" => args.stream_len = val("--stream-len").parse().expect("usize"),
+            "--no-validate" => args.validate = false,
+            "--queue-capacity" => {
+                args.serve_cfg.queue_capacity = val("--queue-capacity").parse().expect("usize");
+            }
+            "--workers" => args.serve_cfg.workers = val("--workers").parse().expect("usize"),
+            "--help" | "-h" => {
+                println!(
+                    "loadgen [--self-host | --addr HOST:PORT] [--qps Q] [--requests N]\n        \
+                     [--connections C] [--seed S] [--deadline-ms D]\n        \
+                     [--stream-len-override N] [--margin-override M]\n        \
+                     [--train N] [--test N] [--epochs E] [--stream-len L]\n        \
+                     [--queue-capacity Q] [--workers W] [--no-validate]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    if args.self_host == args.addr.is_some() {
+        panic!("pass exactly one of --self-host or --addr; try --help");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    eprintln!(
+        "training demo model ({} train / {} test images, {} epochs)…",
+        args.train, args.test, args.epochs
+    );
+    let (network, data) =
+        acoustic_serve::demo_model(args.train, args.test, args.epochs).expect("training succeeds");
+    let images: Vec<_> = data.test.iter().map(|(t, _)| t.clone()).collect();
+    let sim_cfg = SimConfig::with_stream_len(args.stream_len).expect("valid stream length");
+    let cache = ModelCache::new();
+    // Golden model for validation; the self-hosted registry dedups onto
+    // the same prepared instance through the shared cache.
+    let golden = cache
+        .get_or_compile(sim_cfg, &network)
+        .expect("model preparation succeeds");
+
+    let server = if args.self_host {
+        let registry = ModelRegistry::build(
+            vec![ModelSpec {
+                id: DEMO_MODEL_ID,
+                network,
+                cfg: sim_cfg,
+            }],
+            &cache,
+        )
+        .expect("registry builds");
+        Some(Server::start("127.0.0.1:0", registry, args.serve_cfg).expect("server starts"))
+    } else {
+        None
+    };
+    let addr: SocketAddr = match (&server, &args.addr) {
+        (Some(h), _) => h.addr(),
+        (None, Some(a)) => a.parse().expect("valid HOST:PORT address"),
+        (None, None) => unreachable!("checked in parse_args"),
+    };
+
+    eprintln!(
+        "offering {} requests at {} QPS over {} connection(s) to {addr}…",
+        args.load.requests, args.load.qps, args.load.connections
+    );
+    let outcome = run_load(addr, &images, &args.load).expect("load run completes");
+    let report = summarize(&outcome, args.load.requests);
+
+    let mismatches = if args.validate {
+        let engine = BatchEngine::new(1).expect("engine builds");
+        validate_responses(&outcome, &golden, &engine, &images, &args.load)
+            .expect("validation runs")
+    } else {
+        0
+    };
+
+    println!("offered            {}", report.offered);
+    println!("completed          {}", report.completed);
+    println!("rejected overload  {}", report.rejected_overload);
+    println!("deadline exceeded  {}", report.deadline_exceeded);
+    println!("other errors       {}", report.other_errors);
+    println!("dropped            {}", report.dropped);
+    println!(
+        "p50 / p95 / p99    {} / {} / {} µs",
+        report.p50_us, report.p95_us, report.p99_us
+    );
+    println!(
+        "goodput            {:.1} QPS over {:?}",
+        report.goodput_qps, report.elapsed
+    );
+    println!("rejection rate     {:.1}%", 100.0 * report.rejection_rate);
+    if args.validate {
+        println!("golden mismatches  {mismatches}");
+    }
+
+    if let Some(handle) = server {
+        let stats = handle.shutdown();
+        println!(
+            "server: received {} accepted {} completed {} batches {} (mean size {:.2})",
+            stats.received,
+            stats.accepted,
+            stats.completed,
+            stats.batches,
+            stats.mean_batch_size()
+        );
+    }
+
+    // CI contract: any wrong or silently dropped response fails the run.
+    let failed = mismatches > 0 || report.dropped > 0 || report.other_errors > 0;
+    // Sanity: an idle-capacity run should complete something.
+    let nothing_done = report.completed == 0;
+    if failed || nothing_done {
+        eprintln!(
+            "FAIL: mismatches={mismatches} dropped={} other_errors={} completed={}",
+            report.dropped, report.other_errors, report.completed
+        );
+        std::process::exit(1);
+    }
+    println!("OK");
+    std::thread::sleep(Duration::from_millis(10)); // let stdout flush cleanly under CI runners
+}

@@ -1,0 +1,141 @@
+//! Blocking client for the acoustic-serve wire protocol.
+//!
+//! [`Client`] is a thin frame-level wrapper around a `TcpStream`; the
+//! convenience methods [`Client::infer`] and [`Client::stats`] implement
+//! the synchronous request/response pattern, while [`Client::send`] and
+//! [`Client::recv`] allow pipelining (many requests in flight, matched by
+//! request id) as the load generator does.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorFrame, Frame, InferRequest, InferResponse, StatsSnapshot,
+    DEFAULT_MAX_PAYLOAD,
+};
+use crate::serve_error::ServeError;
+
+/// Result of one inference request: either logits or a typed error frame.
+#[derive(Debug, Clone)]
+pub enum InferReply {
+    /// The server answered with logits.
+    Ok(InferResponse),
+    /// The server answered with a typed error.
+    Err(ErrorFrame),
+}
+
+/// A blocking connection to an acoustic-serve server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_payload: usize,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Caps the size of frames this client will accept.
+    pub fn with_max_payload(mut self, max_payload: usize) -> Self {
+        self.max_payload = max_payload;
+        self
+    }
+
+    /// Sends one frame without waiting for a reply.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ServeError> {
+        write_frame(&mut self.stream, frame)?;
+        Ok(())
+    }
+
+    /// Blocks until the next frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors and malformed frames.
+    pub fn recv(&mut self) -> Result<Frame, ServeError> {
+        Ok(read_frame(&mut self.stream, self.max_payload)?)
+    }
+
+    /// A second handle to the same connection (e.g. a dedicated receive
+    /// thread while this handle keeps sending).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn try_clone(&self) -> Result<Client, ServeError> {
+        Ok(Client {
+            stream: self.stream.try_clone()?,
+            max_payload: self.max_payload,
+        })
+    }
+
+    /// Sends pre-encoded bytes verbatim — the test suites use this to put
+    /// deliberately malformed frames on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        use std::io::Write;
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Shuts down the read half of the connection, forcing any clone
+    /// blocked in [`Client::recv`] to return an error. Used by the load
+    /// generator's grace-deadline watchdog.
+    pub fn shutdown_read(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Read);
+    }
+
+    /// Sends `req` and blocks for its reply. Replies to other request ids
+    /// arriving in between are a protocol violation for a synchronous
+    /// client and are reported as [`ServeError::UnexpectedFrame`].
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, malformed frames, or a mismatched reply.
+    pub fn infer(&mut self, req: InferRequest) -> Result<InferReply, ServeError> {
+        let id = req.request_id;
+        self.send(&Frame::InferRequest(req))?;
+        match self.recv()? {
+            Frame::InferResponse(r) if r.request_id == id => Ok(InferReply::Ok(r)),
+            Frame::Error(e) if e.request_id == id => Ok(InferReply::Err(e)),
+            other => Err(ServeError::UnexpectedFrame(format!(
+                "waiting for reply to {id}, got frame for {}",
+                other.request_id()
+            ))),
+        }
+    }
+
+    /// Fetches a server statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, malformed frames, or a mismatched reply.
+    pub fn stats(&mut self, request_id: u64) -> Result<StatsSnapshot, ServeError> {
+        self.send(&Frame::StatsRequest(request_id))?;
+        match self.recv()? {
+            Frame::StatsResponse(id, snap) if id == request_id => Ok(snap),
+            other => Err(ServeError::UnexpectedFrame(format!(
+                "waiting for stats {request_id}, got frame for {}",
+                other.request_id()
+            ))),
+        }
+    }
+}

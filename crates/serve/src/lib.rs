@@ -1,0 +1,64 @@
+//! acoustic-serve: a dependency-free TCP inference server for the
+//! ACOUSTIC stochastic-computing runtime.
+//!
+//! The crate turns [`acoustic_runtime`]'s deterministic batch engine into
+//! a network service without giving up any of its guarantees:
+//!
+//! * **Wire protocol** ([`protocol`]) — length-prefixed binary frames with
+//!   a versioned header; inference requests carry an optional per-request
+//!   stream-length or early-exit-margin override, and every failure mode
+//!   is a typed error frame, never a dropped connection mid-request.
+//! * **Admission control** ([`queue`], [`server`]) — one bounded queue is
+//!   the only buffer in the server; when it fills, requests are rejected
+//!   immediately with `Overloaded`. Deadlines are enforced at dequeue so
+//!   an expired request never burns simulation time.
+//! * **Micro-batching** — workers drain up to `batch_max` requests or wait
+//!   `batch_wait`, whichever comes first, and evaluate them through
+//!   [`acoustic_runtime::BatchEngine::run_ready`], reusing the runtime's
+//!   scratch threading.
+//! * **Determinism** — a request's id doubles as its seed index, so the
+//!   response is bit-identical to a direct `BatchEngine` evaluation of the
+//!   same `(model, id, image)` triple regardless of batching, worker count
+//!   or arrival order. The load generator ([`loadgen`]) exploits this to
+//!   validate every accepted response against locally recomputed golden
+//!   logits.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use acoustic_runtime::ModelCache;
+//! use acoustic_serve::registry::{demo_model, ModelRegistry, ModelSpec, DEMO_MODEL_ID};
+//! use acoustic_serve::server::{ServeConfig, Server};
+//! use acoustic_simfunc::SimConfig;
+//!
+//! let (network, _data) = demo_model(64, 16, 2).unwrap();
+//! let cache = ModelCache::new();
+//! let registry = ModelRegistry::build(
+//!     vec![ModelSpec { id: DEMO_MODEL_ID, network, cfg: SimConfig::with_stream_len(128).unwrap() }],
+//!     &cache,
+//! )
+//! .unwrap();
+//! let handle = Server::start("127.0.0.1:0", registry, ServeConfig::default()).unwrap();
+//! println!("serving on {}", handle.addr());
+//! let stats = handle.shutdown();
+//! println!("completed {}", stats.completed);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+mod serve_error;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, InferReply};
+pub use loadgen::{run_load, summarize, validate_responses, LoadGenConfig, LoadReport};
+pub use protocol::{ErrorCode, Frame, InferRequest, InferResponse, StatsSnapshot};
+pub use registry::{demo_model, demo_network, ModelRegistry, ModelSpec, DEMO_MODEL_ID};
+pub use serve_error::ServeError;
+pub use server::{ServeConfig, Server, ServerHandle};

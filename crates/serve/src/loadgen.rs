@@ -1,0 +1,422 @@
+//! Open-loop load generation and golden-response validation.
+//!
+//! The generator replays a Poisson arrival schedule (exponential
+//! inter-arrival gaps at a target QPS, drawn from a deterministic seed)
+//! against a running server, **open loop**: requests are sent at their
+//! scheduled times whether or not earlier replies have arrived, so server
+//! slowdown shows up as latency instead of silently throttling offered
+//! load (no coordinated omission).
+//!
+//! Latency is measured from each request's *scheduled* arrival to the
+//! moment its reply is read, and percentiles use the nearest-rank method.
+//!
+//! Because every response is a pure function of `(model, request id,
+//! image)`, [`validate_responses`] can recompute each accepted response
+//! locally through [`BatchEngine::run_ready`] and demand bit-identity.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use acoustic_core::DetRng;
+use acoustic_nn::Tensor;
+use acoustic_runtime::{BatchEngine, PreparedModel, ReadyRequest};
+
+use crate::client::{Client, InferReply};
+use crate::protocol::{ErrorCode, InferRequest};
+use crate::serve_error::ServeError;
+
+/// How long, after the last request is sent, the generator waits for
+/// stragglers before force-closing connections.
+const GRACE: Duration = Duration::from_secs(5);
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Target offered load, requests per second.
+    pub qps: f64,
+    /// Total number of requests in the schedule.
+    pub requests: u64,
+    /// Client connections the schedule is spread over (round-robin).
+    pub connections: usize,
+    /// Seed for the arrival schedule.
+    pub seed: u64,
+    /// Model id to request.
+    pub model_id: u32,
+    /// Per-request deadline in µs (0 = server default).
+    pub deadline_micros: u32,
+    /// Optional fixed stream-length override.
+    pub stream_len: Option<u32>,
+    /// Optional early-exit margin override.
+    pub margin: Option<f32>,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            qps: 50.0,
+            requests: 100,
+            connections: 2,
+            seed: 7,
+            model_id: crate::registry::DEMO_MODEL_ID,
+            deadline_micros: 0,
+            stream_len: None,
+            margin: None,
+        }
+    }
+}
+
+/// One observed reply.
+#[derive(Debug, Clone)]
+pub struct ReplyRecord {
+    /// The request id the reply answers.
+    pub id: u64,
+    /// What the server said.
+    pub reply: InferReply,
+    /// Scheduled-arrival → reply-read latency.
+    pub latency: Duration,
+}
+
+/// Everything a load run produced.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// Every reply that was received, in arrival order per connection.
+    pub replies: Vec<ReplyRecord>,
+    /// Requests that never got a reply before the grace deadline.
+    pub dropped: u64,
+    /// Wall-clock time from first scheduled arrival to last reply.
+    pub elapsed: Duration,
+}
+
+/// Aggregated metrics over a [`LoadOutcome`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Requests in the schedule.
+    pub offered: u64,
+    /// Requests answered with logits.
+    pub completed: u64,
+    /// `Overloaded` rejections.
+    pub rejected_overload: u64,
+    /// `DeadlineExceeded` replies.
+    pub deadline_exceeded: u64,
+    /// Any other error reply.
+    pub other_errors: u64,
+    /// Requests with no reply at all.
+    pub dropped: u64,
+    /// p50 latency of completed requests, µs.
+    pub p50_us: u64,
+    /// p95 latency of completed requests, µs.
+    pub p95_us: u64,
+    /// p99 latency of completed requests, µs.
+    pub p99_us: u64,
+    /// Completed requests per second of wall-clock.
+    pub goodput_qps: f64,
+    /// Fraction of offered requests rejected for overload.
+    pub rejection_rate: f64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// Builds the request a given schedule slot sends — shared between the
+/// sender and [`validate_responses`] so they cannot drift apart.
+fn request_for(id: u64, images: &[Tensor], cfg: &LoadGenConfig) -> InferRequest {
+    let img = &images[(id % images.len() as u64) as usize];
+    InferRequest {
+        request_id: id,
+        model_id: cfg.model_id,
+        deadline_micros: cfg.deadline_micros,
+        stream_len: cfg.stream_len,
+        margin: cfg.margin,
+        shape: img.shape().iter().map(|&d| d as u32).collect(),
+        values: img.as_slice().to_vec(),
+    }
+}
+
+/// The Poisson arrival offsets for `cfg` (deterministic in `cfg.seed`).
+pub fn arrival_schedule(cfg: &LoadGenConfig) -> Vec<Duration> {
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
+    let mut t = 0.0_f64;
+    (0..cfg.requests)
+        .map(|_| {
+            // Exponential gap with mean 1/qps; 1-u keeps ln's argument > 0.
+            let u = rng.next_f64();
+            t += -(1.0 - u).ln() / cfg.qps;
+            Duration::from_secs_f64(t)
+        })
+        .collect()
+}
+
+/// Replays the schedule against `addr` and collects every reply.
+///
+/// # Errors
+///
+/// Connection failures and invalid configs; per-request errors are data in
+/// the outcome, not `Err`s.
+pub fn run_load(
+    addr: SocketAddr,
+    images: &[Tensor],
+    cfg: &LoadGenConfig,
+) -> Result<LoadOutcome, ServeError> {
+    if cfg.requests == 0
+        || cfg.connections == 0
+        || cfg.qps <= 0.0
+        || !cfg.qps.is_finite()
+        || images.is_empty()
+    {
+        return Err(ServeError::InvalidConfig(
+            "load generation needs requests ≥ 1, connections ≥ 1, qps > 0 and images".into(),
+        ));
+    }
+    let schedule = arrival_schedule(cfg);
+    let conns = cfg.connections.min(cfg.requests as usize);
+
+    // Connect everything before starting the clock.
+    let clients: Vec<Client> = (0..conns)
+        .map(|_| Client::connect(addr))
+        .collect::<Result<_, _>>()?;
+
+    let received = AtomicU64::new(0);
+    let start = Instant::now();
+    let mut replies: Vec<ReplyRecord> = Vec::new();
+    let mut last_reply = start;
+
+    std::thread::scope(|scope| -> Result<(), ServeError> {
+        let mut receivers = Vec::with_capacity(conns);
+        let mut streams = Vec::with_capacity(conns);
+        for (c, client) in clients.into_iter().enumerate() {
+            let reader = client.try_clone()?;
+            streams.push(client);
+            let expect = (cfg.requests as usize + conns - 1 - c) / conns;
+            let received = &received;
+            let schedule = &schedule;
+            receivers.push(
+                scope.spawn(move || receiver_loop(reader, expect, schedule, start, received)),
+            );
+        }
+
+        let mut senders = Vec::with_capacity(conns);
+        for (c, mut client) in streams.into_iter().enumerate() {
+            let schedule = &schedule;
+            senders.push(scope.spawn(move || -> Client {
+                for id in ((c as u64)..cfg.requests).step_by(conns) {
+                    let target = start + schedule[id as usize];
+                    let now = Instant::now();
+                    if target > now {
+                        std::thread::sleep(target - now);
+                    }
+                    let req = request_for(id, images, cfg);
+                    if client
+                        .send(&crate::protocol::Frame::InferRequest(req))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                client
+            }));
+        }
+
+        // Once every sender is done, give stragglers a bounded grace
+        // window, then force receivers out of their blocking reads.
+        let mut held = Vec::with_capacity(conns);
+        for s in senders {
+            held.push(s.join().expect("sender thread panicked"));
+        }
+        let grace_deadline = Instant::now() + GRACE;
+        while received.load(Ordering::SeqCst) < cfg.requests && Instant::now() < grace_deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for client in &held {
+            client.shutdown_read();
+        }
+        for r in receivers {
+            let (mut got, last) = r.join().expect("receiver thread panicked");
+            replies.append(&mut got);
+            if let Some(last) = last {
+                last_reply = last_reply.max(last);
+            }
+        }
+        drop(held);
+        Ok(())
+    })?;
+
+    let dropped = cfg.requests - replies.len() as u64;
+    Ok(LoadOutcome {
+        replies,
+        dropped,
+        elapsed: last_reply.duration_since(start),
+    })
+}
+
+fn receiver_loop(
+    mut reader: Client,
+    expect: usize,
+    schedule: &[Duration],
+    start: Instant,
+    received: &AtomicU64,
+) -> (Vec<ReplyRecord>, Option<Instant>) {
+    let mut got = Vec::with_capacity(expect);
+    let mut last = None;
+    while got.len() < expect {
+        let frame = match reader.recv() {
+            Ok(f) => f,
+            Err(_) => break, // socket shut down by the grace watchdog
+        };
+        let now = Instant::now();
+        let (id, reply) = match frame {
+            crate::protocol::Frame::InferResponse(r) => (r.request_id, InferReply::Ok(r)),
+            crate::protocol::Frame::Error(e) => (e.request_id, InferReply::Err(e)),
+            _ => continue,
+        };
+        let scheduled = start + schedule[id as usize];
+        got.push(ReplyRecord {
+            id,
+            reply,
+            latency: now.saturating_duration_since(scheduled),
+        });
+        last = Some(now);
+        received.fetch_add(1, Ordering::SeqCst);
+    }
+    (got, last)
+}
+
+/// Nearest-rank percentile of an unsorted latency set, in microseconds.
+fn percentile_us(sorted: &[Duration], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1].as_micros() as u64
+}
+
+/// Aggregates a [`LoadOutcome`] into headline metrics.
+pub fn summarize(outcome: &LoadOutcome, offered: u64) -> LoadReport {
+    let mut completed_lat: Vec<Duration> = Vec::new();
+    let mut rejected_overload = 0u64;
+    let mut deadline_exceeded = 0u64;
+    let mut other_errors = 0u64;
+    for r in &outcome.replies {
+        match &r.reply {
+            InferReply::Ok(_) => completed_lat.push(r.latency),
+            InferReply::Err(e) if e.code == ErrorCode::Overloaded => rejected_overload += 1,
+            InferReply::Err(e) if e.code == ErrorCode::DeadlineExceeded => deadline_exceeded += 1,
+            InferReply::Err(_) => other_errors += 1,
+        }
+    }
+    completed_lat.sort_unstable();
+    let completed = completed_lat.len() as u64;
+    let secs = outcome.elapsed.as_secs_f64();
+    LoadReport {
+        offered,
+        completed,
+        rejected_overload,
+        deadline_exceeded,
+        other_errors,
+        dropped: outcome.dropped,
+        p50_us: percentile_us(&completed_lat, 50.0),
+        p95_us: percentile_us(&completed_lat, 95.0),
+        p99_us: percentile_us(&completed_lat, 99.0),
+        goodput_qps: if secs > 0.0 {
+            completed as f64 / secs
+        } else {
+            0.0
+        },
+        rejection_rate: if offered > 0 {
+            rejected_overload as f64 / offered as f64
+        } else {
+            0.0
+        },
+        elapsed: outcome.elapsed,
+    }
+}
+
+/// Recomputes every completed reply locally and counts responses that are
+/// **not** bit-identical to direct [`BatchEngine::run_ready`] evaluation.
+///
+/// `engine` must be configured like the server's (same exit policy);
+/// `model` and `images` must match what the server registered.
+///
+/// # Errors
+///
+/// Propagates engine validation errors (never triggered by replies to
+/// well-formed load-generator requests).
+pub fn validate_responses(
+    outcome: &LoadOutcome,
+    model: &PreparedModel,
+    engine: &BatchEngine,
+    images: &[Tensor],
+    cfg: &LoadGenConfig,
+) -> Result<u64, ServeError> {
+    let completed: Vec<_> = outcome
+        .replies
+        .iter()
+        .filter_map(|r| match &r.reply {
+            InferReply::Ok(resp) => Some(resp),
+            InferReply::Err(_) => None,
+        })
+        .collect();
+    if completed.is_empty() {
+        return Ok(0);
+    }
+    let requests: Vec<ReadyRequest<'_>> = completed
+        .iter()
+        .map(|resp| ReadyRequest {
+            image_index: resp.request_id,
+            input: &images[(resp.request_id % images.len() as u64) as usize],
+            stream_len: cfg.stream_len.map(|l| l as usize),
+            margin: cfg.margin,
+        })
+        .collect();
+    let golden = engine.run_ready(model, &requests)?;
+    let mut mismatches = 0u64;
+    for (resp, gold) in completed.iter().zip(golden) {
+        let ok = match gold {
+            Ok(g) => {
+                g.effective_len as u32 == resp.effective_len
+                    && g.logits.as_slice().len() == resp.logits.len()
+                    && g.logits
+                        .as_slice()
+                        .iter()
+                        .zip(&resp.logits)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+            }
+            Err(_) => false,
+        };
+        if !ok {
+            mismatches += 1;
+        }
+    }
+    Ok(mismatches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_monotone() {
+        let cfg = LoadGenConfig {
+            qps: 100.0,
+            requests: 32,
+            seed: 9,
+            ..LoadGenConfig::default()
+        };
+        let a = arrival_schedule(&cfg);
+        let b = arrival_schedule(&cfg);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        // Mean gap should be in the right ballpark for 100 QPS.
+        let mean = a.last().unwrap().as_secs_f64() / a.len() as f64;
+        assert!(mean > 0.001 && mean < 0.1, "mean gap {mean}");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let lat: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(percentile_us(&lat, 50.0), 50);
+        assert_eq!(percentile_us(&lat, 95.0), 95);
+        assert_eq!(percentile_us(&lat, 99.0), 99);
+        assert_eq!(percentile_us(&[], 50.0), 0);
+        assert_eq!(percentile_us(&[Duration::from_micros(7)], 99.0), 7);
+    }
+}

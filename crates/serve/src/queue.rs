@@ -1,0 +1,218 @@
+//! A bounded multi-producer/multi-consumer request queue.
+//!
+//! This is the server's only buffer between admission and execution, and
+//! it is deliberately small and *rejecting*: [`BoundedQueue::try_push`]
+//! never blocks and never grows the queue past its capacity — a full queue
+//! is an admission-control signal (`Overloaded`), not a reason to buffer.
+//! Consumers pop with a timeout so micro-batch collection can wait "up to
+//! T µs for more work" without spinning.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed for new work; the item is handed back.
+    Closed(T),
+}
+
+/// The outcome of a timed pop.
+#[derive(Debug)]
+pub enum PopResult<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue empty (and still open).
+    TimedOut,
+    /// The queue is closed **and** fully drained — the consumer can exit.
+    Drained,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Highest depth ever observed (after a push).
+    hwm: usize,
+}
+
+/// A bounded MPMC queue built on `Mutex` + `Condvar` (std-only).
+///
+/// Closing the queue refuses further pushes but lets consumers drain what
+/// is already queued: [`BoundedQueue::pop_timeout`] keeps returning items
+/// until the queue is empty, then reports [`PopResult::Drained`]. That is
+/// exactly the graceful-shutdown order the server needs.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+                hwm: 0,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Non-blocking admission: enqueues `item` unless the queue is full or
+    /// closed, in which case the item is returned in the error so the
+    /// caller can answer the client.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity; [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        inner.hwm = inner.hwm.max(inner.items.len());
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues one item, waiting up to `timeout` for one to arrive.
+    pub fn pop_timeout(&self, timeout: Duration) -> PopResult<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return PopResult::Item(item);
+            }
+            if inner.closed {
+                return PopResult::Drained;
+            }
+            let (next, res) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .expect("queue lock poisoned");
+            inner = next;
+            if res.timed_out() {
+                return match inner.items.pop_front() {
+                    Some(item) => PopResult::Item(item),
+                    None if inner.closed => PopResult::Drained,
+                    None => PopResult::TimedOut,
+                };
+            }
+        }
+    }
+
+    /// Attempts an immediate dequeue (used to top up a forming
+    /// micro-batch without waiting).
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .expect("queue lock poisoned")
+            .items
+            .pop_front()
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain the backlog
+    /// then observe [`PopResult::Drained`].
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest depth observed since creation.
+    pub fn high_water_mark(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").hwm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo_and_hwm() {
+        let q = BoundedQueue::new(3);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.high_water_mark(), 2);
+        assert!(matches!(q.pop_timeout(Duration::ZERO), PopResult::Item(1)));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), PopResult::Item(2)));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            PopResult::TimedOut
+        ));
+        assert_eq!(q.high_water_mark(), 2, "hwm survives drain");
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2, "rejected item never entered the queue");
+    }
+
+    #[test]
+    fn close_drains_then_reports_drained() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed(8)));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), PopResult::Item(7)));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), PopResult::Drained));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match q2.pop_timeout(Duration::from_secs(5)) {
+                    PopResult::Item(v) => got.push(v),
+                    PopResult::Drained => break,
+                    PopResult::TimedOut => panic!("consumer starved"),
+                }
+            }
+            got
+        });
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        // Give the consumer a chance to drain, then close.
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![1, 2]);
+    }
+}

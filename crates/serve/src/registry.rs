@@ -1,0 +1,166 @@
+//! The server's model registry and the shared demo model.
+//!
+//! Models are registered at startup under small integer ids and prepared
+//! once through the runtime's [`ModelCache`]; request admission then only
+//! does an id lookup — no preparation, no locking beyond the cache's own.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use acoustic_datasets::Dataset;
+use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic_nn::train::{train, SgdConfig};
+use acoustic_runtime::{ModelCache, PreparedModel, RuntimeError};
+use acoustic_simfunc::SimConfig;
+
+/// One model to serve: an id, the trained network and its sim config.
+#[derive(Debug)]
+pub struct ModelSpec {
+    /// Wire-visible model id.
+    pub id: u32,
+    /// The trained network.
+    pub network: Network,
+    /// Stream length / seeds to prepare with.
+    pub cfg: SimConfig,
+}
+
+/// An immutable id → prepared-model map shared by all workers.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    models: HashMap<u32, Arc<PreparedModel>>,
+}
+
+impl ModelRegistry {
+    /// Prepares every spec through `cache` (deduplicating identical
+    /// `(network, config)` pairs) and builds the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] on a duplicate id; otherwise
+    /// propagates preparation errors.
+    pub fn build(specs: Vec<ModelSpec>, cache: &ModelCache) -> Result<Self, RuntimeError> {
+        let mut models = HashMap::with_capacity(specs.len());
+        for spec in specs {
+            let prepared = cache.get_or_compile(spec.cfg, &spec.network)?;
+            if models.insert(spec.id, prepared).is_some() {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "duplicate model id {}",
+                    spec.id
+                )));
+            }
+        }
+        Ok(ModelRegistry { models })
+    }
+
+    /// The prepared model registered under `id`.
+    pub fn get(&self, id: u32) -> Option<&Arc<PreparedModel>> {
+        self.models.get(&id)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+/// Model id the demo binaries and benches register their network under.
+pub const DEMO_MODEL_ID: u32 = 1;
+
+/// Builds the (untrained) demo digit CNN: conv(1→6,3×3) → avgpool(2) →
+/// clamped ReLU → dense(6·14·14 → 10) over 28×28 inputs.
+///
+/// Layer construction is deterministic, so server and load generator can
+/// each build this independently and agree bit-for-bit on the weights.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors (none for these fixed shapes).
+pub fn demo_network() -> Result<Network, acoustic_nn::NnError> {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 6, 3, 1, 1, AccumMode::OrApprox)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(6 * 14 * 14, 10, AccumMode::OrApprox)?);
+    Ok(net)
+}
+
+/// Trains the demo network on the synthetic digit task and returns it with
+/// the dataset. Fully deterministic: the server binary and the load
+/// generator call this with the same parameters and end up with
+/// bit-identical weights, which is what makes golden-logit validation over
+/// the wire possible.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn demo_model(
+    train_images: usize,
+    test_images: usize,
+    epochs: usize,
+) -> Result<(Network, Dataset), acoustic_nn::NnError> {
+    let data = acoustic_datasets::mnist_like(train_images, test_images, 11);
+    let mut net = demo_network()?;
+    let sgd = SgdConfig {
+        lr: 0.08,
+        momentum: 0.9,
+        batch_size: 16,
+    };
+    train(&mut net, &data.train, &sgd, epochs)?;
+    Ok((net, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_and_rejects_duplicates() {
+        let cache = ModelCache::new();
+        let cfg = SimConfig::with_stream_len(64).unwrap();
+        let specs = vec![
+            ModelSpec {
+                id: 1,
+                network: demo_network().unwrap(),
+                cfg,
+            },
+            ModelSpec {
+                id: 2,
+                network: demo_network().unwrap(),
+                cfg,
+            },
+        ];
+        let reg = ModelRegistry::build(specs, &cache).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get(1).is_some());
+        assert!(reg.get(9).is_none());
+        // Identical (network, cfg) pairs share one prepared model.
+        assert!(Arc::ptr_eq(reg.get(1).unwrap(), reg.get(2).unwrap()));
+
+        let dup = vec![
+            ModelSpec {
+                id: 1,
+                network: demo_network().unwrap(),
+                cfg,
+            },
+            ModelSpec {
+                id: 1,
+                network: demo_network().unwrap(),
+                cfg,
+            },
+        ];
+        assert!(ModelRegistry::build(dup, &cache).is_err());
+    }
+
+    #[test]
+    fn demo_model_is_deterministic() {
+        let (a, _) = demo_model(40, 8, 1).unwrap();
+        let (b, _) = demo_model(40, 8, 1).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

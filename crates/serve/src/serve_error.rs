@@ -1,0 +1,77 @@
+//! Error type of the serving layer.
+
+use std::fmt;
+use std::io;
+
+use acoustic_runtime::RuntimeError;
+
+use crate::protocol::WireError;
+
+/// Errors produced by the server, client and load generator.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io(io::Error),
+    /// A protocol frame could not be read or written.
+    Wire(WireError),
+    /// Model preparation or batch execution failed.
+    Runtime(RuntimeError),
+    /// A configuration parameter is invalid.
+    InvalidConfig(String),
+    /// The server answered with an unexpected frame.
+    UnexpectedFrame(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Wire(e) => write!(f, "wire error: {e}"),
+            ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::UnexpectedFrame(msg) => write!(f, "unexpected frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Wire(e) => Some(e),
+            ServeError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<RuntimeError> for ServeError {
+    fn from(e: RuntimeError) -> Self {
+        ServeError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = ServeError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e: ServeError = io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

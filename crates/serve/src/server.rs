@@ -1,0 +1,674 @@
+//! The TCP inference server.
+//!
+//! Thread anatomy (all `std::thread`, no external runtime):
+//!
+//! ```text
+//! acceptor ──spawns──▶ one reader per connection
+//!                          │  decode + validate + admission control
+//!                          ▼
+//!                 BoundedQueue (capacity = admission limit)
+//!                          │  pop + micro-batch (≤ B requests or T µs)
+//!                          ▼
+//!                 worker pool ──▶ BatchEngine::run_ready ──▶ reply
+//! ```
+//!
+//! Guarantees:
+//!
+//! * **Admission control** — the queue is the only buffer; when it is
+//!   full, requests are rejected immediately with `Overloaded`. Nothing
+//!   in the server buffers an unbounded number of requests.
+//! * **Deadlines** — each request's deadline (its own, or the server
+//!   default) is enforced when a worker dequeues it: an expired request is
+//!   answered with `DeadlineExceeded` without burning simulation time.
+//! * **Determinism** — the request id doubles as the seed index, so a
+//!   response is bit-identical to `BatchEngine::run` evaluating the same
+//!   image at the same index, whatever the micro-batch composition,
+//!   worker count or arrival order.
+//! * **Graceful shutdown** — new work is refused, queued work is drained
+//!   and answered, then threads are joined.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use acoustic_nn::Tensor;
+use acoustic_runtime::{BatchEngine, ExitPolicy, PreparedModel, ReadyRequest};
+
+use crate::protocol::{
+    decode_frame, write_frame, ErrorCode, ErrorFrame, Frame, FrameHeader, InferRequest,
+    InferResponse, StatsSnapshot, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
+};
+use crate::queue::{BoundedQueue, PopResult, PushError};
+use crate::registry::ModelRegistry;
+use crate::serve_error::ServeError;
+use crate::stats::Stats;
+
+/// How long blocked reads and queue pops wait before re-checking the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Hard cap on how long shutdown waits for in-flight requests to drain.
+const DRAIN_CAP: Duration = Duration::from_secs(10);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// `BatchEngine` threads inside each worker (1 = each worker is a
+    /// serial lane; the worker pool itself is the parallelism).
+    pub engine_workers: usize,
+    /// Request-queue capacity — the admission limit.
+    pub queue_capacity: usize,
+    /// Micro-batch size cap (collect up to this many requests…).
+    pub batch_max: usize,
+    /// …or until this much time has passed since the first one, whichever
+    /// comes first.
+    pub batch_wait: Duration,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+    /// Per-frame payload cap handed to the protocol reader.
+    pub max_payload: usize,
+    /// Optional adaptive early-exit policy applied to requests without
+    /// per-request overrides.
+    pub exit_policy: Option<ExitPolicy>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            engine_workers: 1,
+            queue_capacity: 64,
+            batch_max: 8,
+            batch_wait: Duration::from_micros(500),
+            default_deadline: Duration::from_millis(250),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            exit_policy: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be ≥ 1".into()));
+        }
+        if self.engine_workers == 0 {
+            return Err(ServeError::InvalidConfig(
+                "engine_workers must be ≥ 1".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity must be ≥ 1".into(),
+            ));
+        }
+        if self.batch_max == 0 {
+            return Err(ServeError::InvalidConfig("batch_max must be ≥ 1".into()));
+        }
+        if self.default_deadline.is_zero() {
+            return Err(ServeError::InvalidConfig(
+                "default_deadline must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-connection state shared between its reader and the workers that
+/// answer its requests.
+#[derive(Debug)]
+struct ConnShared {
+    /// Write half; a mutex serializes replies from concurrent workers.
+    writer: Mutex<TcpStream>,
+    /// Admitted-but-unanswered requests on this connection.
+    outstanding: AtomicUsize,
+}
+
+impl ConnShared {
+    /// Sends a frame; write errors mean the client is gone and are
+    /// swallowed (the per-request bookkeeping still runs).
+    fn send(&self, frame: &Frame) {
+        let mut w = self.writer.lock().expect("connection writer poisoned");
+        let _ = write_frame(&mut *w, frame);
+    }
+
+    fn send_error(&self, request_id: u64, code: ErrorCode, message: impl Into<String>) {
+        self.send(&Frame::Error(ErrorFrame {
+            request_id,
+            code,
+            message: message.into(),
+        }));
+    }
+}
+
+/// An admitted request waiting in the queue.
+#[derive(Debug)]
+struct Pending {
+    id: u64,
+    model: Arc<PreparedModel>,
+    input: Tensor,
+    stream_len: Option<usize>,
+    margin: Option<f32>,
+    admitted: Instant,
+    deadline: Instant,
+    conn: Arc<ConnShared>,
+}
+
+/// Everything the acceptor/reader/worker threads share.
+struct Shared {
+    registry: ModelRegistry,
+    cfg: ServeConfig,
+    queue: BoundedQueue<Pending>,
+    stats: Stats,
+    shutdown: AtomicBool,
+}
+
+/// The running server: bind with [`Server::start`], stop with
+/// [`ServerHandle::shutdown`].
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds `addr`, spawns the acceptor and worker pool, and returns a
+    /// handle. Pass port 0 to let the OS pick (see
+    /// [`ServerHandle::addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Config validation and socket errors.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        registry: ModelRegistry,
+        cfg: ServeConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        cfg.validate()?;
+        if registry.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "cannot serve an empty model registry".into(),
+            ));
+        }
+        // Engine construction validates engine_workers and the policy.
+        build_engine(&cfg)?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            registry,
+            cfg,
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::Builder::new()
+                .name("acoustic-serve-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared, &readers))
+                .map_err(ServeError::Io)?
+        };
+
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("acoustic-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(ServeError::Io)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            readers,
+        })
+    }
+}
+
+/// Handle to a running server.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("cfg", &self.cfg)
+            .field("queue_len", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared
+            .stats
+            .snapshot(self.shared.queue.high_water_mark() as u64)
+    }
+
+    /// Current request-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Gracefully stops the server: refuse new work, answer everything
+    /// already admitted, join every thread. Returns the final statistics.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_impl();
+        self.stats()
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Readers wait for their connections' outstanding replies, so they
+        // must be joined while the workers are still draining the queue.
+        let readers = std::mem::take(&mut *self.readers.lock().expect("reader list poisoned"));
+        for r in readers {
+            let _ = r.join();
+        }
+        self.shared.queue.close();
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+fn build_engine(cfg: &ServeConfig) -> Result<BatchEngine, ServeError> {
+    let engine = BatchEngine::new(cfg.engine_workers)?;
+    Ok(match cfg.exit_policy {
+        Some(p) => engine.with_exit_policy(p)?,
+        None => engine,
+    })
+}
+
+// --- acceptor -------------------------------------------------------------
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                // Readers poll the shutdown flag between (and inside) reads.
+                let _ = stream.set_read_timeout(Some(POLL));
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("acoustic-serve-conn".into())
+                    .spawn(move || reader_loop(stream, &shared));
+                match handle {
+                    Ok(h) => readers.lock().expect("reader list poisoned").push(h),
+                    Err(_) => { /* spawn failed; connection drops */ }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+// --- connection reader ----------------------------------------------------
+
+/// Outcome of an interruptible exact read.
+enum ReadExact {
+    /// The buffer is full.
+    Full,
+    /// The shutdown flag was raised while waiting.
+    Shutdown,
+    /// The peer closed (or the transport failed).
+    Closed,
+}
+
+/// `read_exact` that keeps partial progress across read timeouts so the
+/// 25 ms shutdown-poll granularity never desynchronizes the frame stream
+/// of a slow client.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> ReadExact {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadExact::Closed,
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return ReadExact::Shutdown;
+                }
+            }
+            Err(_) => return ReadExact::Closed,
+        }
+    }
+    ReadExact::Full
+}
+
+/// One frame, interruptibly. `Ok(None)` means "stop reading" (peer gone or
+/// shutting down).
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    max_payload: usize,
+    shutdown: &AtomicBool,
+) -> Result<Option<Frame>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_exact_interruptible(stream, &mut header, shutdown) {
+        ReadExact::Full => {}
+        ReadExact::Shutdown | ReadExact::Closed => return Ok(None),
+    }
+    let FrameHeader {
+        ty,
+        request_id,
+        payload_len,
+    } = crate::protocol::parse_header(&header, max_payload)?;
+    let mut payload = vec![0u8; payload_len];
+    match read_exact_interruptible(stream, &mut payload, shutdown) {
+        ReadExact::Full => {}
+        ReadExact::Shutdown | ReadExact::Closed => return Ok(None),
+    }
+    decode_frame(ty, request_id, &payload).map(Some)
+}
+
+fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let conn = Arc::new(ConnShared {
+        writer: Mutex::new(writer),
+        outstanding: AtomicUsize::new(0),
+    });
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_frame_interruptible(&mut stream, shared.cfg.max_payload, &shared.shutdown) {
+            Ok(None) => break,
+            Ok(Some(Frame::InferRequest(req))) => admit(req, &conn, shared),
+            Ok(Some(Frame::StatsRequest(id))) => {
+                let snap = shared.stats.snapshot(shared.queue.high_water_mark() as u64);
+                conn.send(&Frame::StatsResponse(id, snap));
+            }
+            Ok(Some(other)) => {
+                // Server-bound streams carry requests only.
+                Stats::bump(&shared.stats.rejected_malformed);
+                conn.send_error(
+                    other.request_id(),
+                    ErrorCode::Malformed,
+                    "unexpected frame type from client",
+                );
+            }
+            Err(WireError::Malformed {
+                request_id,
+                recoverable,
+                reason,
+            }) => {
+                Stats::bump(&shared.stats.rejected_malformed);
+                conn.send_error(request_id, ErrorCode::Malformed, reason);
+                if !recoverable {
+                    break;
+                }
+            }
+            Err(WireError::Io(_)) => break,
+        }
+    }
+
+    // Drain: answered requests may still be in flight; give workers a
+    // bounded window to finish before the connection closes.
+    let drain_start = Instant::now();
+    while conn.outstanding.load(Ordering::SeqCst) > 0 && drain_start.elapsed() < DRAIN_CAP {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Validates a decoded request and runs admission control.
+fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
+    Stats::bump(&shared.stats.received);
+    let id = req.request_id;
+
+    let model = match shared.registry.get(req.model_id) {
+        Some(m) => Arc::clone(m),
+        None => {
+            Stats::bump(&shared.stats.rejected_unknown_model);
+            conn.send_error(
+                id,
+                ErrorCode::UnknownModel,
+                format!("model {}", req.model_id),
+            );
+            return;
+        }
+    };
+    if req.values.iter().any(|v| !v.is_finite()) {
+        Stats::bump(&shared.stats.failed);
+        conn.send_error(id, ErrorCode::BadInput, "non-finite input values");
+        return;
+    }
+    let shape: Vec<usize> = req.shape.iter().map(|&d| d as usize).collect();
+    let input = match Tensor::from_vec(&shape, req.values) {
+        Ok(t) => t,
+        Err(e) => {
+            Stats::bump(&shared.stats.failed);
+            conn.send_error(id, ErrorCode::BadInput, e.to_string());
+            return;
+        }
+    };
+    let stream_len = req.stream_len.map(|l| l as usize);
+    if let Some(len) = stream_len {
+        // Fail fast instead of burning a queue slot on a doomed request.
+        if !model.supported_lengths().contains(&len) {
+            Stats::bump(&shared.stats.failed);
+            conn.send_error(
+                id,
+                ErrorCode::BadInput,
+                format!(
+                    "stream length {len} not in supported prefixes {:?}",
+                    model.supported_lengths()
+                ),
+            );
+            return;
+        }
+    }
+
+    let now = Instant::now();
+    let deadline = if req.deadline_micros == 0 {
+        shared.cfg.default_deadline
+    } else {
+        Duration::from_micros(u64::from(req.deadline_micros))
+    };
+    let pending = Pending {
+        id,
+        model,
+        input,
+        stream_len,
+        margin: req.margin,
+        admitted: now,
+        deadline: now + deadline,
+        conn: Arc::clone(conn),
+    };
+
+    // The reply (wherever it comes from) decrements `outstanding`, so the
+    // increment must precede the push.
+    conn.outstanding.fetch_add(1, Ordering::SeqCst);
+    match shared.queue.try_push(pending) {
+        Ok(()) => Stats::bump(&shared.stats.accepted),
+        Err(PushError::Full(_)) => {
+            conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+            Stats::bump(&shared.stats.rejected_overload);
+            conn.send_error(id, ErrorCode::Overloaded, "request queue full");
+        }
+        Err(PushError::Closed(_)) => {
+            conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+            conn.send_error(id, ErrorCode::ShuttingDown, "server shutting down");
+        }
+    }
+}
+
+// --- workers --------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let engine = build_engine(&shared.cfg).expect("config validated at startup");
+    loop {
+        match shared.queue.pop_timeout(POLL) {
+            PopResult::Drained => break,
+            PopResult::TimedOut => continue,
+            PopResult::Item(first) => {
+                let batch = collect_batch(first, shared);
+                execute_batch(batch, &engine, shared);
+            }
+        }
+    }
+}
+
+/// Collects up to `batch_max` requests, waiting at most `batch_wait` past
+/// the first one.
+fn collect_batch(first: Pending, shared: &Arc<Shared>) -> Vec<Pending> {
+    let cfg = &shared.cfg;
+    let mut batch = vec![first];
+    if cfg.batch_max > 1 {
+        let horizon = Instant::now() + cfg.batch_wait;
+        while batch.len() < cfg.batch_max {
+            let now = Instant::now();
+            if now >= horizon {
+                break;
+            }
+            match shared.queue.pop_timeout(horizon - now) {
+                PopResult::Item(r) => batch.push(r),
+                PopResult::TimedOut | PopResult::Drained => break,
+            }
+        }
+    }
+    batch
+}
+
+fn execute_batch(batch: Vec<Pending>, engine: &BatchEngine, shared: &Arc<Shared>) {
+    let dequeued = Instant::now();
+
+    // Deadline enforcement happens here — an expired request is answered
+    // without touching the simulator.
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    for p in batch {
+        if dequeued > p.deadline {
+            Stats::bump(&shared.stats.expired);
+            p.conn.send_error(
+                p.id,
+                ErrorCode::DeadlineExceeded,
+                "deadline expired in queue",
+            );
+            p.conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // A micro-batch may span models; group per prepared model.
+    let mut groups: Vec<(u64, Vec<Pending>)> = Vec::new();
+    for p in live {
+        let key = p.model.fingerprint();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, g)) => g.push(p),
+            None => groups.push((key, vec![p])),
+        }
+    }
+
+    for (_, group) in groups {
+        Stats::bump(&shared.stats.batches);
+        Stats::add(&shared.stats.batch_requests, group.len() as u64);
+        let model = Arc::clone(&group[0].model);
+        let requests: Vec<ReadyRequest<'_>> = group
+            .iter()
+            .map(|p| ReadyRequest {
+                image_index: p.id,
+                input: &p.input,
+                stream_len: p.stream_len,
+                margin: p.margin,
+            })
+            .collect();
+        let started = Instant::now();
+        let outcomes = engine.run_ready(&model, &requests);
+        let service = started.elapsed();
+        // Per-request service time inside a batch is not individually
+        // measurable; attribute the batch mean to each request.
+        let per_request_ns = (service.as_nanos() / group.len() as u128) as u64;
+
+        match outcomes {
+            Ok(outs) => {
+                for (p, out) in group.iter().zip(outs) {
+                    match out {
+                        Ok(o) => {
+                            Stats::bump(&shared.stats.completed);
+                            Stats::add(
+                                &shared.stats.queue_wait_ns,
+                                (dequeued - p.admitted).as_nanos() as u64,
+                            );
+                            Stats::add(&shared.stats.service_ns, per_request_ns);
+                            p.conn.send(&Frame::InferResponse(InferResponse {
+                                request_id: p.id,
+                                effective_len: o.effective_len as u32,
+                                logits: o.logits.as_slice().to_vec(),
+                            }));
+                        }
+                        Err(e) => {
+                            Stats::bump(&shared.stats.failed);
+                            p.conn.send_error(p.id, ErrorCode::BadInput, e.to_string());
+                        }
+                    }
+                    p.conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) => {
+                // Up-front validation makes this unreachable for wire
+                // requests; answer defensively rather than hanging clients.
+                let msg = e.to_string();
+                for p in &group {
+                    Stats::bump(&shared.stats.failed);
+                    p.conn.send_error(p.id, ErrorCode::Internal, msg.clone());
+                    p.conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Lock-free server statistics.
+//!
+//! Counters are plain relaxed atomics — every update site is a single
+//! increment/add, and the snapshot is advisory observability data, not a
+//! synchronization point. The snapshot struct itself lives in
+//! [`crate::protocol`] so it can travel over the wire.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::protocol::StatsSnapshot;
+
+/// Shared mutable statistics, updated by acceptor/reader/worker threads.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Inference frames parsed.
+    pub received: AtomicU64,
+    /// Requests admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Requests answered with logits.
+    pub completed: AtomicU64,
+    /// `Overloaded` rejections.
+    pub rejected_overload: AtomicU64,
+    /// `Malformed` replies.
+    pub rejected_malformed: AtomicU64,
+    /// `UnknownModel` replies.
+    pub rejected_unknown_model: AtomicU64,
+    /// Deadline expiries at dequeue.
+    pub expired: AtomicU64,
+    /// `BadInput` execution failures.
+    pub failed: AtomicU64,
+    /// Nanoseconds completed requests spent queued.
+    pub queue_wait_ns: AtomicU64,
+    /// Nanoseconds completed requests spent executing.
+    pub service_ns: AtomicU64,
+    /// Micro-batches executed.
+    pub batches: AtomicU64,
+    /// Requests executed across all micro-batches.
+    pub batch_requests: AtomicU64,
+}
+
+impl Stats {
+    /// Adds one to `counter`.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `v` to `counter`.
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy; `queue_depth_hwm` is owned by the queue, so
+    /// the caller passes it in.
+    pub fn snapshot(&self, queue_depth_hwm: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            received: self.received.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_malformed: self.rejected_malformed.load(Ordering::Relaxed),
+            rejected_unknown_model: self.rejected_unknown_model.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth_hwm,
+            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+            service_ns: self.service_ns.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_requests: self.batch_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = Stats::default();
+        Stats::bump(&s.received);
+        Stats::bump(&s.accepted);
+        Stats::add(&s.queue_wait_ns, 250);
+        let snap = s.snapshot(5);
+        assert_eq!(snap.received, 1);
+        assert_eq!(snap.accepted, 1);
+        assert_eq!(snap.queue_wait_ns, 250);
+        assert_eq!(snap.queue_depth_hwm, 5);
+    }
+}

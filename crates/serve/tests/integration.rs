@@ -1,0 +1,386 @@
+//! End-to-end server tests over real TCP sockets.
+//!
+//! Everything runs against a tiny 8×8 CNN so the suite stays fast in
+//! debug builds; "slow" requests are made deterministically slow by
+//! requesting a long stream-length prefix rather than by sleeping, which
+//! keeps the overload/deadline scenarios reproducible on a 1-core host.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use acoustic_core::DetRng;
+use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic_nn::Tensor;
+use acoustic_runtime::{BatchEngine, ModelCache, PreparedModel, ReadyRequest};
+use acoustic_serve::protocol::{ErrorCode, Frame, InferRequest, StatsSnapshot};
+use acoustic_serve::{
+    Client, InferReply, ModelRegistry, ModelSpec, ServeConfig, Server, ServerHandle,
+};
+use acoustic_simfunc::SimConfig;
+
+const MODEL_ID: u32 = 1;
+
+fn tiny_network() -> Network {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
+    net.push_avg_pool(AvgPool2d::new(2).unwrap());
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(2 * 4 * 4, 4, AccumMode::OrApprox).unwrap());
+    net
+}
+
+fn tiny_images(n: usize) -> Vec<Tensor> {
+    let mut rng = DetRng::seed_from_u64(33);
+    (0..n)
+        .map(|_| {
+            let vals: Vec<f32> = (0..64).map(|_| rng.next_f32()).collect();
+            Tensor::from_vec(&[1, 8, 8], vals).unwrap()
+        })
+        .collect()
+}
+
+/// Starts a server on an ephemeral port plus a locally prepared copy of
+/// the same model for golden evaluation.
+fn start(stream_len: usize, cfg: ServeConfig) -> (ServerHandle, Arc<PreparedModel>) {
+    let sim = SimConfig::with_stream_len(stream_len).unwrap();
+    let cache = ModelCache::new();
+    let golden = cache.get_or_compile(sim, &tiny_network()).unwrap();
+    let registry = ModelRegistry::build(
+        vec![ModelSpec {
+            id: MODEL_ID,
+            network: tiny_network(),
+            cfg: sim,
+        }],
+        &cache,
+    )
+    .unwrap();
+    let handle = Server::start("127.0.0.1:0", registry, cfg).unwrap();
+    (handle, golden)
+}
+
+fn request(id: u64, img: &Tensor) -> InferRequest {
+    InferRequest {
+        request_id: id,
+        model_id: MODEL_ID,
+        deadline_micros: 0,
+        stream_len: None,
+        margin: None,
+        shape: img.shape().iter().map(|&d| d as u32).collect(),
+        values: img.as_slice().to_vec(),
+    }
+}
+
+#[test]
+fn concurrent_clients_are_bit_identical_with_direct_engine() {
+    let images = tiny_images(6);
+    // Mixed request kinds: plain, stream-length override, margin override.
+    let kinds: Vec<(Option<u32>, Option<f32>)> =
+        vec![(None, None), (Some(64), None), (None, Some(0.8))];
+
+    for workers in [1usize, 3] {
+        let (handle, golden) = start(
+            256,
+            ServeConfig {
+                workers,
+                default_deadline: Duration::from_secs(30),
+                ..ServeConfig::default()
+            },
+        );
+        let addr = handle.addr();
+
+        // 3 clients × 4 requests each, interleaved ids.
+        let replies: Vec<(u64, InferReply)> = std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for c in 0..3u64 {
+                let images = &images;
+                let kinds = &kinds;
+                joins.push(scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut got = Vec::new();
+                    for k in 0..4u64 {
+                        let id = c + 3 * k;
+                        let (stream_len, margin) = kinds[(id % 3) as usize];
+                        let req = InferRequest {
+                            stream_len,
+                            margin,
+                            ..request(id, &images[(id % 6) as usize])
+                        };
+                        got.push((id, client.infer(req).unwrap()));
+                    }
+                    got
+                }));
+            }
+            joins.into_iter().flat_map(|j| j.join().unwrap()).collect()
+        });
+
+        let stats = handle.shutdown();
+        assert_eq!(stats.completed, 12, "workers={workers}: {stats:?}");
+        assert_eq!(stats.received, 12);
+
+        // Golden: the same 12 requests straight through run_ready.
+        let engine = BatchEngine::new(1).unwrap();
+        for (id, reply) in replies {
+            let resp = match reply {
+                InferReply::Ok(r) => r,
+                InferReply::Err(e) => panic!("request {id} failed: {e:?}"),
+            };
+            let (stream_len, margin) = kinds[(id % 3) as usize];
+            let ready = ReadyRequest {
+                image_index: id,
+                input: &images[(id % 6) as usize],
+                stream_len: stream_len.map(|l| l as usize),
+                margin,
+            };
+            let gold = engine
+                .run_ready(&golden, &[ready])
+                .unwrap()
+                .remove(0)
+                .unwrap();
+            assert_eq!(gold.effective_len as u32, resp.effective_len, "id {id}");
+            let gold_bits: Vec<u32> = gold.logits.as_slice().iter().map(|v| v.to_bits()).collect();
+            let got_bits: Vec<u32> = resp.logits.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gold_bits, got_bits, "id {id} workers {workers}");
+        }
+    }
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_not_hangs() {
+    let (handle, _golden) = start(64, ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let images = tiny_images(1);
+
+    // Recoverable garbage: a well-delimited frame with an unknown type.
+    let mut bytes = acoustic_serve::protocol::encode_frame(&Frame::StatsRequest(77));
+    bytes[5] = 123;
+    client.send_raw(&bytes).unwrap();
+    match client.recv().unwrap() {
+        Frame::Error(e) => {
+            assert_eq!(e.code, ErrorCode::Malformed);
+            assert_eq!(e.request_id, 77);
+        }
+        other => panic!("expected error frame, got {other:?}"),
+    }
+
+    // The connection survived: a valid request still completes.
+    match client.infer(request(0, &images[0])).unwrap() {
+        InferReply::Ok(r) => assert_eq!(r.request_id, 0),
+        InferReply::Err(e) => panic!("unexpected error {e:?}"),
+    }
+
+    // Non-recoverable garbage (bad magic): one typed error, then the
+    // server hangs up instead of guessing at frame alignment.
+    let mut bytes = acoustic_serve::protocol::encode_frame(&Frame::StatsRequest(9));
+    bytes[0] ^= 0xFF;
+    client.send_raw(&bytes).unwrap();
+    match client.recv().unwrap() {
+        Frame::Error(e) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    assert!(client.recv().is_err(), "server should close the connection");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejected_malformed, 2);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn unknown_model_bad_input_and_bad_stream_len_are_typed() {
+    let (handle, _golden) = start(64, ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let images = tiny_images(1);
+
+    let mut bad_model = request(1, &images[0]);
+    bad_model.model_id = 99;
+    match client.infer(bad_model).unwrap() {
+        InferReply::Err(e) => assert_eq!(e.code, ErrorCode::UnknownModel),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+
+    let mut bad_values = request(2, &images[0]);
+    bad_values.values[5] = f32::INFINITY;
+    match client.infer(bad_values).unwrap() {
+        InferReply::Err(e) => assert_eq!(e.code, ErrorCode::BadInput),
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+
+    let mut bad_len = request(3, &images[0]);
+    bad_len.stream_len = Some(100); // not a supported prefix
+    match client.infer(bad_len).unwrap() {
+        InferReply::Err(e) => {
+            assert_eq!(e.code, ErrorCode::BadInput);
+            assert!(e.message.contains("stream length"), "{}", e.message);
+        }
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejected_unknown_model, 1);
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn overload_rejects_with_typed_error_and_no_hangs() {
+    // One serial worker, queue of one: pipelining N slow requests must
+    // answer every single one — a couple completed, the rest Overloaded.
+    let (handle, _golden) = start(
+        4096,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            batch_max: 1,
+            default_deadline: Duration::from_secs(60),
+            ..ServeConfig::default()
+        },
+    );
+    let images = tiny_images(1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    const N: u64 = 8;
+    for id in 0..N {
+        client
+            .send(&Frame::InferRequest(request(id, &images[0])))
+            .unwrap();
+    }
+    let mut completed = 0u64;
+    let mut overloaded = 0u64;
+    for _ in 0..N {
+        match client.recv().unwrap() {
+            Frame::InferResponse(_) => completed += 1,
+            Frame::Error(e) if e.code == ErrorCode::Overloaded => overloaded += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(completed + overloaded, N, "every request must be answered");
+    assert!(completed >= 1, "the in-service request must complete");
+    assert!(overloaded >= 1, "queue of 1 must reject under a burst of 8");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.rejected_overload, overloaded);
+    assert!(
+        stats.queue_depth_hwm <= 1,
+        "admission limit exceeded: {stats:?}"
+    );
+}
+
+#[test]
+fn expired_deadline_is_reported_without_burning_simulation_time() {
+    let (handle, _golden) = start(
+        4096,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            batch_max: 1,
+            default_deadline: Duration::from_secs(60),
+            ..ServeConfig::default()
+        },
+    );
+    let images = tiny_images(1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Three slow requests keep the single serial worker busy for many
+    // milliseconds; the FIFO queue guarantees the hurried request behind
+    // them waits at least that long, so its 1 µs deadline must expire.
+    for id in 0..3 {
+        client
+            .send(&Frame::InferRequest(request(id, &images[0])))
+            .unwrap();
+    }
+    let mut hurried = request(3, &images[0]);
+    hurried.deadline_micros = 1;
+    client.send(&Frame::InferRequest(hurried)).unwrap();
+
+    let mut ok = 0u64;
+    let mut saw_expired = false;
+    for _ in 0..4 {
+        match client.recv().unwrap() {
+            Frame::InferResponse(r) => {
+                assert!(r.request_id < 3);
+                ok += 1;
+            }
+            Frame::Error(e) => {
+                assert_eq!(e.request_id, 3);
+                assert_eq!(e.code, ErrorCode::DeadlineExceeded);
+                saw_expired = true;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(ok, 3);
+    assert!(saw_expired);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 3);
+}
+
+#[test]
+fn stats_travel_over_the_wire() {
+    let (handle, _golden) = start(64, ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let images = tiny_images(2);
+
+    for id in 0..3 {
+        match client
+            .infer(request(id, &images[(id % 2) as usize]))
+            .unwrap()
+        {
+            InferReply::Ok(_) => {}
+            InferReply::Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+    let snap: StatsSnapshot = client.stats(500).unwrap();
+    assert_eq!(snap.received, 3);
+    assert_eq!(snap.accepted, 3);
+    assert_eq!(snap.completed, 3);
+    assert!(snap.batches >= 1);
+    assert!(snap.mean_batch_size() >= 1.0);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_everything_admitted() {
+    let (handle, _golden) = start(
+        1024,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            batch_max: 2,
+            default_deadline: Duration::from_secs(60),
+            ..ServeConfig::default()
+        },
+    );
+    let images = tiny_images(1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    const N: u64 = 4;
+    for id in 0..N {
+        client
+            .send(&Frame::InferRequest(request(id, &images[0])))
+            .unwrap();
+    }
+    // Let the burst be admitted, then shut down while it is still being
+    // worked; the contract is that every admitted request is answered.
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = handle.shutdown();
+    assert_eq!(
+        stats.completed + stats.rejected_overload + stats.expired,
+        stats.received,
+        "{stats:?}"
+    );
+
+    let mut answered = 0u64;
+    while answered < stats.received {
+        match client.recv() {
+            Ok(Frame::InferResponse(_)) | Ok(Frame::Error(_)) => answered += 1,
+            Ok(other) => panic!("unexpected frame {other:?}"),
+            Err(e) => panic!(
+                "missing replies after shutdown ({answered}/{}): {e}",
+                stats.received
+            ),
+        }
+    }
+}

@@ -1,68 +1,101 @@
-//! Batch serving with the deterministic runtime: train a small digit CNN,
-//! prepare it once through the model cache, then serve a batch of images
-//! on a worker pool — and show that the results are bit-identical whatever
-//! the worker count.
+//! Network serving end to end: start the acoustic-serve TCP server on an
+//! ephemeral port, replay an open-loop load schedule against it, and
+//! verify that every accepted response is bit-identical to a direct
+//! `BatchEngine` evaluation of the same `(model, request id, image)`
+//! triple — the runtime's determinism survives the wire.
 //!
 //! Run with: `cargo run --release --example batch_serve`
 
-use acoustic::datasets::mnist_like;
-use acoustic::nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
-use acoustic::nn::train::{train, SgdConfig};
-use acoustic::runtime::{default_workers, BatchEngine, ModelCache};
+use std::time::Duration;
+
+use acoustic::runtime::{BatchEngine, ModelCache};
+use acoustic::serve::{
+    demo_model, run_load, summarize, validate_responses, LoadGenConfig, ModelRegistry, ModelSpec,
+    ServeConfig, Server, DEMO_MODEL_ID,
+};
 use acoustic::simfunc::SimConfig;
 
-fn digit_cnn() -> Result<Network, acoustic::nn::NnError> {
-    let mut net = Network::new();
-    net.push_conv(Conv2d::new(1, 6, 3, 1, 1, AccumMode::OrApprox)?);
-    net.push_avg_pool(AvgPool2d::new(2)?);
-    net.push_relu(Relu::clamped());
-    net.push_flatten();
-    net.push_dense(Dense::new(6 * 14 * 14, 10, AccumMode::OrApprox)?);
-    Ok(net)
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Train an OR-aware digit CNN briefly (synthetic MNIST stand-in).
-    let data = mnist_like(300, 64, 11);
-    let mut net = digit_cnn()?;
-    let sgd = SgdConfig {
-        lr: 0.08,
-        momentum: 0.9,
-        batch_size: 16,
-    };
-    println!(
-        "training digit CNN on {} synthetic images...",
-        data.train.len()
-    );
-    train(&mut net, &data.train, &sgd, 3)?;
+    // 1. Train the demo digit CNN (synthetic MNIST stand-in). Training is
+    //    fully deterministic, which is what lets a *separate* process —
+    //    here the in-process load generator standing in for one — hold
+    //    bit-identical weights for golden validation.
+    println!("training demo digit CNN...");
+    let (network, data) = demo_model(300, 64, 3)?;
+    let images: Vec<_> = data.test.iter().map(|(t, _)| t.clone()).collect();
 
-    // 2. Prepare once, through the serving cache: weights are quantized and
-    //    all split-unipolar weight streams generated a single time.
+    // 2. Prepare once through the serving cache and register under an id.
     let cache = ModelCache::new();
-    let cfg = SimConfig::with_stream_len(128)?;
-    let model = cache.get_or_compile(cfg, &net)?;
+    let sim = SimConfig::with_stream_len(128)?;
+    let golden = cache.get_or_compile(sim, &network)?;
+    let registry = ModelRegistry::build(
+        vec![ModelSpec {
+            id: DEMO_MODEL_ID,
+            network,
+            cfg: sim,
+        }],
+        &cache,
+    )?;
+
+    // 3. Serve on an ephemeral port: bounded queue (admission control),
+    //    micro-batching workers, per-request deadlines.
+    let serve_cfg = ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        batch_max: 8,
+        batch_wait: Duration::from_micros(500),
+        default_deadline: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start("127.0.0.1:0", registry, serve_cfg)?;
+    println!("serving model {DEMO_MODEL_ID} on {}\n", handle.addr());
+
+    // 4. Offer an open-loop Poisson schedule and collect every reply.
+    let load = LoadGenConfig {
+        qps: 120.0,
+        requests: 90,
+        connections: 3,
+        seed: 7,
+        ..LoadGenConfig::default()
+    };
+    let outcome = run_load(handle.addr(), &images, &load)?;
+    let report = summarize(&outcome, load.requests);
     println!(
-        "prepared model cached (fingerprint {:#018x}); cache holds {} model(s)\n",
-        model.fingerprint(),
-        cache.len()
+        "offered {} @ {} QPS -> completed {}, overloaded {}, expired {}, dropped {}",
+        report.offered,
+        load.qps,
+        report.completed,
+        report.rejected_overload,
+        report.deadline_exceeded,
+        report.dropped
+    );
+    println!(
+        "latency p50/p95/p99: {}/{}/{} us, goodput {:.1} QPS",
+        report.p50_us, report.p95_us, report.p99_us, report.goodput_qps
     );
 
-    // A second request for the same (network, config) hits the cache.
-    let again = cache.get_or_compile(cfg, &net)?;
-    assert!(std::sync::Arc::ptr_eq(&model, &again));
-
-    // 3. Serve the test batch on all available cores.
-    let workers = default_workers();
-    let report = BatchEngine::new(workers)?.evaluate(&model, &data.test)?;
-    println!("{report}");
-
-    // 4. Determinism: a single-threaded run produces bit-identical results.
-    let serial = BatchEngine::new(1)?.evaluate(&model, &data.test)?;
-    assert_eq!(serial.predictions, report.predictions);
-    assert_eq!(serial.confusion, report.confusion);
+    // 5. Golden validation: recompute each accepted response locally and
+    //    demand f32-bit identity. The request id doubles as the seed
+    //    index, so batching, worker count and arrival order cannot change
+    //    a single bit of the logits.
+    let engine = BatchEngine::new(1)?;
+    let mismatches = validate_responses(&outcome, &golden, &engine, &images, &load)?;
+    assert_eq!(
+        mismatches, 0,
+        "server response diverged from direct evaluation"
+    );
     println!(
-        "determinism check: {} workers vs 1 worker -> identical predictions ✓",
-        workers
+        "\ndeterminism check: {} responses bit-identical to direct BatchEngine evaluation ✓",
+        report.completed
+    );
+
+    let stats = handle.shutdown();
+    println!(
+        "server stats: {} micro-batches, mean size {:.2}, mean queue wait {:.2} ms, mean service {:.2} ms",
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.mean_queue_wait_ms(),
+        stats.mean_service_ms()
     );
     Ok(())
 }
