@@ -18,6 +18,9 @@ use acoustic_core::bitstream::count_ones_words;
 use acoustic_core::pooling::skip_pool_concat;
 use acoustic_core::sng::quantize_probability;
 use acoustic_core::{or_accumulate, Bitstream, Lfsr, Sng, SngBank, SplitUnipolarMac, SplitWeight};
+use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic_nn::Tensor;
+use acoustic_simfunc::{KernelChoice, KernelStats, ScSimulator, SimConfig, SimScratch};
 
 fn lane_streams(k: usize, n: usize, v: f64) -> Vec<Bitstream> {
     (0..k)
@@ -169,15 +172,135 @@ fn main() {
         });
     }
 
+    // --- arch-aware dispatch: SIMD vs scalar, and image tiling -------------
+
+    // Engine-level kernel comparison on a small conv+dense net. Stream 128
+    // keeps segments single-word (the register-accumulator path); stream 512
+    // produces 4-word segments where the AVX2 multi-word merge engages.
+    // `elements` is the number of MAC lanes presented to the kernels, so
+    // ns_per_elem reads as ns per lane.
+    let net = bench_net();
+    let image = bench_image(0);
+    let mut scratch = SimScratch::default();
+    let mut skips: Vec<(String, KernelStats)> = Vec::new();
+    for stream_len in [128usize, 512] {
+        for (tag, choice) in [
+            ("scalar", KernelChoice::Scalar),
+            ("auto", KernelChoice::Auto),
+        ] {
+            let cfg = SimConfig {
+                kernel: choice,
+                ..SimConfig::with_stream_len(stream_len).unwrap()
+            };
+            let sim = ScSimulator::new(cfg);
+            let prepared = sim.prepare(&net).unwrap();
+            scratch.take_kernel_stats();
+            sim.run_prepared_with(&prepared, &image, &mut scratch)
+                .unwrap();
+            let stats = scratch.take_kernel_stats();
+            let lanes = stats.mac_lanes + stats.sat_lanes_skipped + stats.zero_seg_skips;
+            let id = format!("{tag}_{stream_len}");
+            h.bench("simd_vs_scalar", &id, Some(lanes), || {
+                black_box(
+                    sim.run_prepared_with(&prepared, &image, &mut scratch)
+                        .unwrap(),
+                )
+            });
+            skips.push((format!("simd_vs_scalar/{id}"), stats));
+        }
+    }
+
+    // Image-tiling sweep: one weight-bank walk shared by `tile` images.
+    // `elements` is the tile width, so ns_per_elem reads as ns per image.
+    {
+        let cfg = SimConfig::with_stream_len(128).unwrap();
+        let sim = ScSimulator::new(cfg);
+        let prepared = sim.prepare(&net).unwrap();
+        for tile in [1usize, 2, 4, 8, 16] {
+            let images: Vec<Tensor> = (0..tile).map(bench_image).collect();
+            let refs: Vec<&Tensor> = images.iter().collect();
+            let seeds: Vec<u32> = (0..tile as u32).map(|i| 0xACE1 + i).collect();
+            scratch.take_kernel_stats();
+            sim.run_prepared_tile_with(&prepared, &refs, &seeds, &mut scratch)
+                .unwrap();
+            skips.push((format!("tile_sweep/{tile}"), scratch.take_kernel_stats()));
+            h.bench("tile_sweep", tile, Some(tile as u64), || {
+                black_box(
+                    sim.run_prepared_tile_with(&prepared, &refs, &seeds, &mut scratch)
+                        .unwrap(),
+                )
+            });
+        }
+    }
+
     h.finish();
-    write_results(&h);
+    write_results(&h, &skips);
 }
 
-/// Writes every measurement (with derived ns/element where available) to
-/// `results/BENCH_kernels.json`.
-fn write_results(h: &Harness) {
+/// Small conv+pool+dense net for the engine-level kernel benches.
+fn bench_net() -> Network {
+    let mut net = Network::new();
+    let mut conv = Conv2d::new(1, 4, 3, 1, 1, AccumMode::OrApprox).unwrap();
+    for (i, w) in conv.weights_mut().iter_mut().enumerate() {
+        *w = match i % 5 {
+            0 => 0.0,
+            1 => 0.8,
+            2 => -0.5,
+            3 => 0.3,
+            _ => -0.1,
+        };
+    }
+    net.push_conv(conv);
+    net.push_avg_pool(AvgPool2d::new(2).unwrap());
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    let mut fc = Dense::new(4 * 6 * 6, 10, AccumMode::OrApprox).unwrap();
+    for (i, w) in fc.weights_mut().iter_mut().enumerate() {
+        *w = ((i as f32 * 0.17).sin()) * if i % 6 == 0 { 0.0 } else { 0.7 };
+    }
+    net.push_dense(fc);
+    net
+}
+
+/// One 12×12 input with zeros, ones, and a ramp; distinct per image index.
+fn bench_image(i: usize) -> Tensor {
+    let v: Vec<f32> = (0..144)
+        .map(|j| match (i + j) % 6 {
+            0 => 0.0,
+            1 => 1.0,
+            _ => ((i + j) % 144) as f32 / 143.0,
+        })
+        .collect();
+    Tensor::from_vec(&[1, 12, 12], v).unwrap()
+}
+
+/// Writes every measurement (with derived ns/element where available) and
+/// the engine-level skip-rate counters to `results/BENCH_kernels.json`.
+fn write_results(h: &Harness, skips: &[(String, KernelStats)]) {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": {},", json_string("sc_kernels"));
+    out.push_str("  \"skip_rates\": [\n");
+    for (i, (id, s)) in skips.iter().enumerate() {
+        let presented = s.mac_lanes + s.sat_lanes_skipped + s.zero_seg_skips;
+        let fraction = if presented == 0 {
+            0.0
+        } else {
+            (s.sat_lanes_skipped + s.zero_seg_skips) as f64 / presented as f64
+        };
+        let _ = write!(
+            out,
+            "    {{\"id\": {}, \"mac_lanes\": {}, \"sat_group_exits\": {}, \
+             \"sat_lanes_skipped\": {}, \"zero_seg_skips\": {}, \"skip_fraction\": {:.4}}}",
+            json_string(id),
+            s.mac_lanes,
+            s.sat_group_exits,
+            s.sat_lanes_skipped,
+            s.zero_seg_skips,
+            fraction,
+        );
+        out.push_str(if i + 1 < skips.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"kernels\": [\n");
     let results = h.results();
     for (i, r) in results.iter().enumerate() {

@@ -400,6 +400,74 @@ pub fn count_ones_words(words: &[u64]) -> u64 {
     words.iter().map(|w| u64::from(w.count_ones())).sum()
 }
 
+/// Total popcount of a packed word buffer using the fastest implementation
+/// the host supports: the AVX2 byte-lookup kernel when detected at run time,
+/// the portable per-word path otherwise. Always bit-identical to
+/// [`count_ones_words`].
+pub fn count_ones_words_auto(words: &[u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx2_available() {
+        // SAFETY: AVX2 presence was just verified via cpuid.
+        return unsafe { x86::count_ones_words_avx2(words) };
+    }
+    count_ones_words(words)
+}
+
+/// x86-64 SIMD popcount kernels, dispatched at run time by
+/// [`count_ones_words_auto`] and the simulator's AVX2 MAC kernel.
+#[cfg(target_arch = "x86_64")]
+pub mod x86 {
+    use std::sync::OnceLock;
+
+    /// Whether the AVX2 kernels are usable on this host (cpuid, cached).
+    pub fn avx2_available() -> bool {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+    }
+
+    /// Popcount of a packed word buffer via the Mula/Harley-Seal vectorized
+    /// nibble lookup: each 256-bit lane is split into low/high nibbles,
+    /// `vpshufb` maps every nibble to its ones count, and `vpsadbw`
+    /// horizontally folds the byte counts into four 64-bit partial sums.
+    /// Words beyond the last full 4-word chunk fall back to scalar popcount.
+    ///
+    /// # Safety
+    ///
+    /// The host must support AVX2 (check [`avx2_available`] first).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count_ones_words_avx2(words: &[u64]) -> u64 {
+        use std::arch::x86_64::*;
+        #[rustfmt::skip]
+        let lookup = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        let mut total = zero;
+        let mut chunks = words.chunks_exact(4);
+        for chunk in &mut chunks {
+            // SAFETY: `chunk` is exactly 4 u64 = 32 bytes; unaligned load.
+            let v = unsafe { _mm256_loadu_si256(chunk.as_ptr().cast()) };
+            let lo = _mm256_and_si256(v, low_mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low_mask);
+            let counts = _mm256_add_epi8(
+                _mm256_shuffle_epi8(lookup, lo),
+                _mm256_shuffle_epi8(lookup, hi),
+            );
+            total = _mm256_add_epi64(total, _mm256_sad_epu8(counts, zero));
+        }
+        let mut lanes = [0u64; 4];
+        // SAFETY: `lanes` is 32 bytes; unaligned store.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), total) };
+        let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        for &w in chunks.remainder() {
+            sum += u64::from(w.count_ones());
+        }
+        sum
+    }
+}
+
 /// Iterator over the bits of a [`Bitstream`], produced by [`Bitstream::iter`].
 #[derive(Debug)]
 pub struct Iter<'a> {
@@ -601,6 +669,34 @@ mod tests {
         let s = Bitstream::from_bits(&[true, false, true, true, false, true]);
         assert_eq!(count_ones_words(s.as_words()), s.count_ones());
         assert_eq!(count_ones_words(&[]), 0);
+    }
+
+    #[test]
+    fn auto_popcount_matches_scalar_for_all_alignments() {
+        // Deterministic xorshift fill; lengths cover empty, sub-chunk, exact
+        // multi-chunk, and ragged tails around the 4-word SIMD chunk size.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for len in 0usize..=67 {
+            let words: Vec<u64> = (0..len)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                })
+                .collect();
+            assert_eq!(
+                count_ones_words_auto(&words),
+                count_ones_words(&words),
+                "len {len}"
+            );
+            #[cfg(target_arch = "x86_64")]
+            if x86::avx2_available() {
+                // SAFETY: AVX2 detected.
+                let simd = unsafe { x86::count_ones_words_avx2(&words) };
+                assert_eq!(simd, count_ones_words(&words), "len {len}");
+            }
+        }
     }
 
     #[test]

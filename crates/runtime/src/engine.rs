@@ -8,17 +8,25 @@
 //! results are merged back in index order. Batch output is therefore
 //! bit-identical for any worker count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use acoustic_nn::train::Sample;
 use acoustic_nn::Tensor;
-use acoustic_simfunc::{SimError, SimScratch, StepTiming};
+use acoustic_simfunc::{KernelStats, SimError, SimScratch, StepTiming};
 
-use crate::{BatchReport, ExitPolicy, LayerTiming, PreparedModel, RuntimeError};
+use crate::{BatchReport, ExitPolicy, KernelCounters, LayerTiming, PreparedModel, RuntimeError};
 
 /// Default number of images a worker claims per queue access.
 const DEFAULT_CHUNK: usize = 8;
+
+/// Default tile width: how many images share one weight-bank walk on the
+/// fixed-length (non-adaptive) paths. 1 disables tiling. Wider tiles
+/// amortize lane-list building and weight loads over more images (gains
+/// keep growing past 8 on LeNet-5) but cost per-image activation banks in
+/// cache and reduce cross-worker parallelism for small batches; 16 is the
+/// measured sweet spot on the benchmark configuration.
+const DEFAULT_TILE: usize = 16;
 
 /// One admitted serving request, ready for batch execution.
 ///
@@ -88,6 +96,7 @@ const MARGIN_OVERRIDE_TEMPLATE: ExitPolicy = ExitPolicy {
 pub struct BatchEngine {
     workers: usize,
     chunk_size: usize,
+    tile_size: usize,
     exit_policy: Option<ExitPolicy>,
 }
 
@@ -106,6 +115,7 @@ impl BatchEngine {
         Ok(BatchEngine {
             workers,
             chunk_size: DEFAULT_CHUNK,
+            tile_size: DEFAULT_TILE,
             exit_policy: None,
         })
     }
@@ -127,6 +137,34 @@ impl BatchEngine {
         }
         self.chunk_size = chunk_size;
         Ok(self)
+    }
+
+    /// Overrides how many images share one weight-bank walk on the
+    /// fixed-length paths ([`BatchEngine::run`], [`BatchEngine::evaluate`],
+    /// and tileable [`BatchEngine::run_ready`] requests). `1` disables
+    /// tiling.
+    ///
+    /// Tiling never affects results: tiled execution is bit-identical to
+    /// running every image solo at its own seed index (the kernel layer's
+    /// tiling invariant), so this knob trades nothing but memory for
+    /// weight-stream locality.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] if `tile_size` is zero.
+    pub fn with_tile_size(mut self, tile_size: usize) -> Result<Self, RuntimeError> {
+        if tile_size == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "tile size must be at least 1".into(),
+            ));
+        }
+        self.tile_size = tile_size;
+        Ok(self)
+    }
+
+    /// Images per weight-bank walk on the fixed-length paths.
+    pub fn tile_size(&self) -> usize {
+        self.tile_size
     }
 
     /// Attaches an early-exit policy; the engine runs each image at the
@@ -166,7 +204,9 @@ impl BatchEngine {
     ///
     /// Image `i` always executes with the activation seed derived from
     /// `(model.config().act_seed, i)`, so the returned logits are
-    /// bit-identical for any worker count.
+    /// bit-identical for any worker count — and, on the fixed-length path,
+    /// for any tile size (tiles are formed from consecutive input indices
+    /// before dispatch, and tiled execution is bit-identical to solo).
     ///
     /// # Errors
     ///
@@ -178,16 +218,29 @@ impl BatchEngine {
     ) -> Result<Vec<Tensor>, RuntimeError> {
         match self.exit_policy {
             Some(policy) => {
-                let (pairs, _) = self.dispatch(model, inputs.len(), |i, scratch| {
+                let (pairs, _, _) = self.dispatch(model, inputs.len(), |i, scratch| {
                     model.logits_adaptive_with(&policy, i as u64, &inputs[i], scratch)
                 })?;
                 Ok(pairs.into_iter().map(|(logits, _)| logits).collect())
             }
             None => {
-                let (logits, _) = self.dispatch(model, inputs.len(), |i, scratch| {
-                    model.logits_with(i as u64, &inputs[i], scratch)
+                let tiles = consecutive_tiles(inputs.len(), self.tile_size);
+                let (per_tile, _, _) = self.dispatch(model, tiles.len(), |ti, scratch| {
+                    let (lo, hi) = tiles[ti];
+                    Ok(run_tile_or_solo(model, inputs, lo, hi, scratch, None))
                 })?;
-                Ok(logits)
+                let mut out = Vec::with_capacity(inputs.len());
+                for (ti, results) in per_tile.into_iter().enumerate() {
+                    for (off, r) in results.into_iter().enumerate() {
+                        // Tiles are consecutive and in order, so the first
+                        // error here is the lowest failing image index.
+                        out.push(r.map_err(|source| RuntimeError::Image {
+                            index: tiles[ti].0 + off,
+                            source,
+                        })?);
+                    }
+                }
+                Ok(out)
             }
         }
     }
@@ -220,6 +273,30 @@ impl BatchEngine {
         model: &PreparedModel,
         requests: &[ReadyRequest<'_>],
     ) -> Result<Vec<Result<ReadyOutcome, SimError>>, RuntimeError> {
+        Ok(self.run_ready_counted(model, requests)?.0)
+    }
+
+    /// Like [`BatchEngine::run_ready`], additionally returning the batch's
+    /// kernel skip/tile counters (the serving layer's per-micro-batch
+    /// observability hook).
+    ///
+    /// Fixed-length requests (no margin override and, when an engine policy
+    /// is attached, a `stream_len` override) are grouped by effective
+    /// stream length and executed through the tiled MAC path; adaptive
+    /// requests always run solo. Grouping happens deterministically before
+    /// dispatch, so outcomes stay invariant to worker count *and* tile
+    /// size. A tile whose execution fails falls back to solo per-request
+    /// runs, preserving per-request error isolation.
+    ///
+    /// # Errors
+    ///
+    /// See [`BatchEngine::run_ready`].
+    #[allow(clippy::type_complexity)]
+    pub fn run_ready_counted(
+        &self,
+        model: &PreparedModel,
+        requests: &[ReadyRequest<'_>],
+    ) -> Result<(Vec<Result<ReadyOutcome, SimError>>, KernelCounters), RuntimeError> {
         for (i, r) in requests.iter().enumerate() {
             if r.stream_len.is_some() && r.margin.is_some() {
                 return Err(RuntimeError::InvalidConfig(format!(
@@ -236,9 +313,13 @@ impl BatchEngine {
         }
         let policy = self.exit_policy;
         let full_len = model.max_stream_len();
-        let (outcomes, _) = self.dispatch(model, requests.len(), |i, scratch| {
+        let units = ready_units(requests, &policy, self.tile_size);
+        let tally = TileTally::default();
+
+        // One solo request, exactly as the pre-tiling engine ran it.
+        let solo = |i: usize, scratch: &mut SimScratch| {
             let r = &requests[i];
-            let out = if let Some(margin) = r.margin {
+            if let Some(margin) = r.margin {
                 let p = ExitPolicy {
                     margin,
                     ..policy.unwrap_or(MARGIN_OVERRIDE_TEMPLATE)
@@ -270,12 +351,65 @@ impl BatchEngine {
                         logits,
                         effective_len: full_len,
                     })
+            }
+        };
+
+        let (per_unit, _, stats) = self.dispatch(model, units.len(), |ui, scratch| {
+            // Per-request isolation: errors ride in their slot, never
+            // abort the batch.
+            let out: Vec<(usize, Result<ReadyOutcome, SimError>)> = match &units[ui] {
+                ReadyUnit::Solo(i) => vec![(*i, solo(*i, scratch))],
+                ReadyUnit::Tile { len, members } => {
+                    let idxs: Vec<u64> = members.iter().map(|&i| requests[i].image_index).collect();
+                    let refs: Vec<&Tensor> = members.iter().map(|&i| requests[i].input).collect();
+                    let tiled = match len {
+                        Some(l) => model.logits_tile_at_with(&idxs, &refs, *l, scratch),
+                        None => model.logits_tile_with(&idxs, &refs, scratch),
+                    };
+                    match tiled {
+                        Ok(logits) => {
+                            tally.record(members.len());
+                            let effective_len = len.unwrap_or(full_len);
+                            members
+                                .iter()
+                                .zip(logits)
+                                .map(|(&i, logits)| {
+                                    (
+                                        i,
+                                        Ok(ReadyOutcome {
+                                            logits,
+                                            effective_len,
+                                        }),
+                                    )
+                                })
+                                .collect()
+                        }
+                        // Tile-level failure: demote to solo so each
+                        // request gets its own result or error.
+                        Err(_) => members.iter().map(|&i| (i, solo(i, scratch))).collect(),
+                    }
+                }
             };
-            // Per-request isolation: errors ride in the slot, never abort
-            // the batch.
             Ok(out)
         })?;
-        Ok(outcomes)
+
+        let mut slots: Vec<Option<Result<ReadyOutcome, SimError>>> = Vec::new();
+        slots.resize_with(requests.len(), || None);
+        for unit in per_unit {
+            for (i, r) in unit {
+                slots[i] = Some(r);
+            }
+        }
+        let outcomes = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.ok_or_else(|| {
+                    RuntimeError::WorkerPanic(format!("request {i} was never executed"))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((outcomes, tally.counters(&stats)))
     }
 
     /// Evaluates labelled samples, returning a full [`BatchReport`].
@@ -300,24 +434,86 @@ impl BatchEngine {
         let started = Instant::now();
         let policy = self.exit_policy;
         let full_len = model.config().stream_len;
-        let (results, cpu_busy) = self.dispatch(model, samples.len(), |i, scratch| {
+        // The adaptive path escalates per image, so it cannot tile; the
+        // fixed-length path tiles consecutive samples.
+        let tile = if policy.is_some() { 1 } else { self.tile_size };
+        let tiles = consecutive_tiles(samples.len(), tile);
+        let tally = TileTally::default();
+        let (per_tile, cpu_busy, stats) = self.dispatch(model, tiles.len(), |ti, scratch| {
+            let (lo, hi) = tiles[ti];
+            let mut outs: Vec<Result<(Tensor, usize), SimError>> = Vec::with_capacity(hi - lo);
+            let mut passes: Vec<Vec<StepTiming>> = Vec::new();
             match &policy {
-                Some(p) => model.logits_adaptive_timed_with(p, i as u64, &samples[i].0, scratch),
-                // Policy disabled: exactly the fixed full-length path.
-                None => model
-                    .logits_timed_with(i as u64, &samples[i].0, scratch)
-                    .map(|(logits, timings)| (logits, full_len, vec![timings])),
+                Some(p) => {
+                    // Adaptive tiles are single samples.
+                    match model.logits_adaptive_timed_with(p, lo as u64, &samples[lo].0, scratch) {
+                        Ok((logits, len, ps)) => {
+                            outs.push(Ok((logits, len)));
+                            // Every escalation pass is a real execution;
+                            // count each one.
+                            passes.extend(ps);
+                        }
+                        Err(e) => outs.push(Err(e)),
+                    }
+                }
+                None if hi - lo > 1 => {
+                    let idxs: Vec<u64> = (lo..hi).map(|i| i as u64).collect();
+                    let refs: Vec<&Tensor> = samples[lo..hi].iter().map(|(x, _)| x).collect();
+                    match model.logits_tile_timed_with(&idxs, &refs, scratch) {
+                        Ok((logits, timings)) => {
+                            tally.record(hi - lo);
+                            outs.extend(logits.into_iter().map(|l| Ok((l, full_len))));
+                            passes.push(timings);
+                        }
+                        // Tile-level failure: demote to solo so the lowest
+                        // failing sample index is reported.
+                        Err(_) => {
+                            for (i, (x, _)) in samples.iter().enumerate().take(hi).skip(lo) {
+                                match model.logits_timed_with(i as u64, x, scratch) {
+                                    Ok((logits, timings)) => {
+                                        outs.push(Ok((logits, full_len)));
+                                        passes.push(timings);
+                                    }
+                                    Err(e) => outs.push(Err(e)),
+                                }
+                            }
+                        }
+                    }
+                }
+                None => match model.logits_timed_with(lo as u64, &samples[lo].0, scratch) {
+                    Ok((logits, timings)) => {
+                        outs.push(Ok((logits, full_len)));
+                        passes.push(timings);
+                    }
+                    Err(e) => outs.push(Err(e)),
+                },
             }
+            Ok((outs, passes))
         })?;
         let wall = started.elapsed();
+
+        let mut results: Vec<(Tensor, usize)> = Vec::with_capacity(samples.len());
+        let mut layer_timings: Vec<LayerTiming> = Vec::new();
+        for (ti, (outs, passes)) in per_tile.into_iter().enumerate() {
+            for (off, r) in outs.into_iter().enumerate() {
+                // Tiles are consecutive and in order, so the first error is
+                // the lowest failing sample index.
+                results.push(r.map_err(|source| RuntimeError::Image {
+                    index: tiles[ti].0 + off,
+                    source,
+                })?);
+            }
+            for pass in &passes {
+                merge_timings(&mut layer_timings, pass);
+            }
+        }
 
         let classes = results[0].0.len();
         let mut confusion = vec![vec![0u64; classes]; classes];
         let mut predictions = Vec::with_capacity(samples.len());
         let mut effective_lengths = Vec::with_capacity(samples.len());
         let mut correct = 0usize;
-        let mut layer_timings: Vec<LayerTiming> = Vec::new();
-        for (i, (logits, effective_len, passes)) in results.iter().enumerate() {
+        for (i, (logits, effective_len)) in results.iter().enumerate() {
             let label = samples[i].1;
             if label >= classes {
                 return Err(RuntimeError::InvalidConfig(format!(
@@ -331,10 +527,6 @@ impl BatchEngine {
             confusion[label][pred] += 1;
             predictions.push(pred);
             effective_lengths.push(*effective_len);
-            // Every escalation pass is a real execution; count each one.
-            for pass in passes {
-                merge_timings(&mut layer_timings, pass);
-            }
         }
 
         let total = samples.len();
@@ -353,6 +545,7 @@ impl BatchEngine {
             layer_timings,
             effective_lengths,
             mean_effective_len,
+            kernel: tally.counters(&stats),
         })
     }
 
@@ -363,16 +556,17 @@ impl BatchEngine {
     /// reuse never affects results — every job's output is still a pure
     /// function of its index.
     ///
-    /// Returns the per-index results plus the summed busy time across
-    /// workers. On failure, reports the error of the *lowest* failing index
-    /// so error reporting is as deterministic as the results.
+    /// Returns the per-index results, the summed busy time across workers,
+    /// and the summed kernel skip counters of every worker scratch. On
+    /// failure, reports the error of the *lowest* failing index so error
+    /// reporting is as deterministic as the results.
     fn dispatch<T, F>(&self, _model: &PreparedModel, count: usize, job: F) -> DispatchResult<T>
     where
         T: Send,
         F: Fn(usize, &mut SimScratch) -> Result<T, SimError> + Sync,
     {
         if count == 0 {
-            return Ok((Vec::new(), Duration::ZERO));
+            return Ok((Vec::new(), Duration::ZERO, KernelStats::default()));
         }
         if self.workers == 1 {
             // Serial fast path: no threads, same index order and seeds.
@@ -385,7 +579,7 @@ impl BatchEngine {
                         .map_err(|source| RuntimeError::Image { index: i, source })?,
                 );
             }
-            return Ok((out, started.elapsed()));
+            return Ok((out, started.elapsed(), scratch.take_kernel_stats()));
         }
 
         let cursor = AtomicUsize::new(0);
@@ -408,7 +602,7 @@ impl BatchEngine {
                                 mine.push((i, job(i, &mut scratch)));
                             }
                         }
-                        (mine, started.elapsed())
+                        (mine, started.elapsed(), scratch.take_kernel_stats())
                     })
                 })
                 .collect();
@@ -422,10 +616,12 @@ impl BatchEngine {
         })?;
 
         let mut cpu_busy = Duration::ZERO;
+        let mut stats = KernelStats::default();
         let mut slots: Vec<Option<Result<T, SimError>>> = Vec::new();
         slots.resize_with(count, || None);
-        for (items, busy) in worker_outputs {
+        for (items, busy, worker_stats) in worker_outputs {
             cpu_busy += busy;
+            stats.merge(&worker_stats);
             for (i, r) in items {
                 slots[i] = Some(r);
             }
@@ -437,11 +633,130 @@ impl BatchEngine {
             })?;
             out.push(r.map_err(|source| RuntimeError::Image { index: i, source })?);
         }
-        Ok((out, cpu_busy))
+        Ok((out, cpu_busy, stats))
     }
 }
 
-type DispatchResult<T> = Result<(Vec<T>, Duration), RuntimeError>;
+type DispatchResult<T> = Result<(Vec<T>, Duration, KernelStats), RuntimeError>;
+
+/// Consecutive `[lo, hi)` index ranges of width `tile` covering `0..count`.
+///
+/// Tiling composition happens *before* dispatch and depends only on the
+/// batch shape, which is what keeps tiled batch results invariant to
+/// worker count and scheduling.
+fn consecutive_tiles(count: usize, tile: usize) -> Vec<(usize, usize)> {
+    (0..count.div_ceil(tile.max(1)))
+        .map(|t| (t * tile, ((t + 1) * tile).min(count)))
+        .collect()
+}
+
+/// Runs images `lo..hi` of `inputs` as one tile, demoting to per-image
+/// solo runs when the tile fails so every image gets its own result or
+/// error (solo and tiled logits are bit-identical, so the demotion is
+/// invisible to successful images).
+fn run_tile_or_solo(
+    model: &PreparedModel,
+    inputs: &[Tensor],
+    lo: usize,
+    hi: usize,
+    scratch: &mut SimScratch,
+    tally: Option<&TileTally>,
+) -> Vec<Result<Tensor, SimError>> {
+    if hi - lo > 1 {
+        let idxs: Vec<u64> = (lo..hi).map(|i| i as u64).collect();
+        let refs: Vec<&Tensor> = inputs[lo..hi].iter().collect();
+        if let Ok(outs) = model.logits_tile_with(&idxs, &refs, scratch) {
+            if let Some(tally) = tally {
+                tally.record(hi - lo);
+            }
+            return outs.into_iter().map(Ok).collect();
+        }
+    }
+    (lo..hi)
+        .map(|i| model.logits_with(i as u64, &inputs[i], scratch))
+        .collect()
+}
+
+/// One deterministic execution unit of a ready micro-batch.
+enum ReadyUnit {
+    /// Runs alone (adaptive request, or a tile group of one).
+    Solo(usize),
+    /// Fixed-length requests sharing one weight-bank walk at `len`
+    /// (`None` = the full prepare-time length).
+    Tile {
+        len: Option<usize>,
+        members: Vec<usize>,
+    },
+}
+
+/// Groups ready requests into execution units, in request order.
+///
+/// Adaptive requests (margin override, or plain requests under an engine
+/// policy) are always solo. Fixed-length requests group by effective
+/// stream length; a group flushes into a tile as soon as it reaches
+/// `tile_size`, and leftovers flush at the end in first-appearance order.
+/// The unit list is a pure function of `(requests, policy, tile_size)` —
+/// never of worker scheduling.
+fn ready_units(
+    requests: &[ReadyRequest<'_>],
+    policy: &Option<ExitPolicy>,
+    tile_size: usize,
+) -> Vec<ReadyUnit> {
+    let mut units = Vec::new();
+    let mut groups: Vec<(Option<usize>, Vec<usize>)> = Vec::new();
+    for (i, r) in requests.iter().enumerate() {
+        let adaptive = r.margin.is_some() || (r.stream_len.is_none() && policy.is_some());
+        if tile_size <= 1 || adaptive {
+            units.push(ReadyUnit::Solo(i));
+            continue;
+        }
+        let key = r.stream_len;
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((key, vec![i])),
+        }
+        let full = groups
+            .iter_mut()
+            .find(|(k, members)| *k == key && members.len() == tile_size);
+        if let Some((_, members)) = full {
+            units.push(ReadyUnit::Tile {
+                len: key,
+                members: std::mem::take(members),
+            });
+        }
+    }
+    for (len, members) in groups {
+        match members.len() {
+            0 => {}
+            1 => units.push(ReadyUnit::Solo(members[0])),
+            _ => units.push(ReadyUnit::Tile { len, members }),
+        }
+    }
+    units
+}
+
+/// Thread-safe tile-execution tally shared by dispatch jobs.
+#[derive(Default)]
+struct TileTally {
+    tiles: AtomicU64,
+    images: AtomicU64,
+}
+
+impl TileTally {
+    fn record(&self, images: usize) {
+        self.tiles.fetch_add(1, Ordering::Relaxed);
+        self.images.fetch_add(images as u64, Ordering::Relaxed);
+    }
+
+    /// Final counters: the dispatch-summed kernel stats plus this tally.
+    fn counters(&self, stats: &KernelStats) -> KernelCounters {
+        let mut k = KernelCounters::default();
+        k.absorb(stats);
+        k.tiles = self.tiles.load(Ordering::Relaxed);
+        k.tiled_images = self.images.load(Ordering::Relaxed);
+        k
+    }
+}
 
 /// Folds one image's step timings into the batch aggregate.
 ///
@@ -492,6 +807,31 @@ mod tests {
     fn rejects_zero_workers_and_zero_chunk() {
         assert!(BatchEngine::new(0).is_err());
         assert!(BatchEngine::new(2).unwrap().with_chunk_size(0).is_err());
+        assert!(BatchEngine::new(2).unwrap().with_tile_size(0).is_err());
+        assert_eq!(BatchEngine::new(2).unwrap().tile_size(), DEFAULT_TILE);
+    }
+
+    #[test]
+    fn run_is_tile_size_invariant() {
+        let model =
+            PreparedModel::compile(SimConfig::with_stream_len(64).unwrap(), &small_net()).unwrap();
+        let xs = inputs(11);
+        // tile_size 1 is the pre-tiling solo path — the golden reference.
+        let solo = BatchEngine::new(1)
+            .unwrap()
+            .with_tile_size(1)
+            .unwrap()
+            .run(&model, &xs)
+            .unwrap();
+        for tile in [2, 3, 4, 8, 16] {
+            let tiled = BatchEngine::new(1)
+                .unwrap()
+                .with_tile_size(tile)
+                .unwrap()
+                .run(&model, &xs)
+                .unwrap();
+            assert_eq!(solo, tiled, "tile={tile}");
+        }
     }
 
     #[test]
@@ -533,7 +873,13 @@ mod tests {
         assert_eq!(diag, report.correct as u64);
         // Prepared net with clamped relu folded: conv, relu, flatten, dense.
         assert_eq!(report.layer_timings.len(), model.prepared().step_count());
-        assert!(report.layer_timings.iter().all(|t| t.calls == 6));
+        // Fixed-length evaluation tiles consecutive samples: one call per
+        // tile (6 samples at the default tile width of 4 → 2 tiles).
+        let tiles = 6usize.div_ceil(DEFAULT_TILE) as u64;
+        assert!(report.layer_timings.iter().all(|t| t.calls == tiles));
+        assert_eq!(report.kernel.tiles, tiles);
+        assert_eq!(report.kernel.tiled_images, 6);
+        assert!(report.kernel.mac_lanes > 0);
         assert!(report.images_per_sec > 0.0);
     }
 
@@ -636,6 +982,59 @@ mod tests {
             .unwrap();
         assert_eq!(got[0].as_ref().unwrap().logits, want);
         assert_eq!(got[0].as_ref().unwrap().effective_len, want_len);
+    }
+
+    #[test]
+    fn run_ready_tiles_compatible_requests_and_counts_them() {
+        let model =
+            PreparedModel::compile(SimConfig::with_stream_len(128).unwrap(), &small_net()).unwrap();
+        let xs = inputs(7);
+        // A mix of plain (full-length) and prefix-override requests, plus
+        // one adaptive request that must run solo.
+        let reqs: Vec<ReadyRequest> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| match i {
+                2 | 5 => ReadyRequest {
+                    stream_len: Some(64),
+                    ..ReadyRequest::plain(i as u64, x)
+                },
+                3 => ReadyRequest {
+                    margin: Some(10.0),
+                    ..ReadyRequest::plain(i as u64, x)
+                },
+                _ => ReadyRequest::plain(i as u64, x),
+            })
+            .collect();
+        let reference: Vec<ReadyOutcome> = BatchEngine::new(1)
+            .unwrap()
+            .with_tile_size(1)
+            .unwrap()
+            .run_ready(&model, &reqs)
+            .unwrap()
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        for (workers, tile) in [(1, 2), (1, 4), (3, 2), (3, 4)] {
+            let (got, counters) = BatchEngine::new(workers)
+                .unwrap()
+                .with_tile_size(tile)
+                .unwrap()
+                .run_ready_counted(&model, &reqs)
+                .unwrap();
+            for (i, out) in got.into_iter().enumerate() {
+                assert_eq!(
+                    out.unwrap(),
+                    reference[i],
+                    "workers={workers} tile={tile} i={i}"
+                );
+            }
+            // 4 plain + 2 prefix requests are tileable; the adaptive one
+            // never is.
+            assert!(counters.tiles >= 2, "workers={workers} tile={tile}");
+            assert_eq!(counters.tiled_images, 6, "workers={workers} tile={tile}");
+            assert!(counters.mac_lanes > 0);
+        }
     }
 
     #[test]

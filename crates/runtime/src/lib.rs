@@ -57,7 +57,7 @@ pub mod rt_error;
 pub use engine::{BatchEngine, ReadyOutcome, ReadyRequest};
 pub use policy::{logit_margin, ExitPolicy};
 pub use prepared::{derive_image_seed, ModelCache, PreparedModel, DEFAULT_CACHE_CAPACITY};
-pub use report::{BatchReport, LayerTiming};
+pub use report::{BatchReport, KernelCounters, LayerTiming};
 pub use rt_error::RuntimeError;
 
 /// A sensible default worker count: the machine's available parallelism,

@@ -156,6 +156,84 @@ impl PreparedModel {
             .run_prepared_timed_with(&self.prepared, input, scratch)
     }
 
+    /// Stochastic logits of a tile of images, walking every weight-bank
+    /// word once per tile instead of once per image.
+    ///
+    /// `image_indices[t]` supplies the seed of `inputs[t]` exactly as in
+    /// [`PreparedModel::logits_with`]; results are bit-identical to running
+    /// each image solo at its own index (the tiling invariant, enforced by
+    /// the kernel-equivalence suite), so tiling is purely a throughput
+    /// decision.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for an empty tile or mismatched
+    /// `image_indices`/`inputs` lengths; otherwise propagates datapath and
+    /// shape errors (a failure anywhere fails the whole tile — callers
+    /// wanting per-image isolation re-run solo).
+    pub fn logits_tile_with(
+        &self,
+        image_indices: &[u64],
+        inputs: &[&Tensor],
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<Tensor>, SimError> {
+        let seeds = self.tile_seeds(image_indices);
+        ScSimulator::new(self.cfg).run_prepared_tile_with(&self.prepared, inputs, &seeds, scratch)
+    }
+
+    /// Tiled variant of [`PreparedModel::logits_at_with`]: the whole tile
+    /// runs at one shorter supported stream-length prefix.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedModel::logits_tile_with`] and
+    /// [`PreparedModel::logits_at`].
+    pub fn logits_tile_at_with(
+        &self,
+        image_indices: &[u64],
+        inputs: &[&Tensor],
+        stream_len: usize,
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<Tensor>, SimError> {
+        let seeds = self.tile_seeds(image_indices);
+        ScSimulator::new(self.cfg).run_prepared_tile_at_with(
+            &self.prepared,
+            inputs,
+            &seeds,
+            stream_len,
+            scratch,
+        )
+    }
+
+    /// Timed variant of [`PreparedModel::logits_tile_with`]: also returns
+    /// one [`StepTiming`] per step, each covering the whole tile (a tiled
+    /// layer executes once for all of its images).
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedModel::logits_tile_with`].
+    pub fn logits_tile_timed_with(
+        &self,
+        image_indices: &[u64],
+        inputs: &[&Tensor],
+        scratch: &mut SimScratch,
+    ) -> Result<(Vec<Tensor>, Vec<StepTiming>), SimError> {
+        let seeds = self.tile_seeds(image_indices);
+        ScSimulator::new(self.cfg).run_prepared_tile_timed_with(
+            &self.prepared,
+            inputs,
+            &seeds,
+            scratch,
+        )
+    }
+
+    fn tile_seeds(&self, image_indices: &[u64]) -> Vec<u32> {
+        image_indices
+            .iter()
+            .map(|&i| derive_image_seed(self.cfg.act_seed, i))
+            .collect()
+    }
+
     /// Predicted class of one image: argmax of [`PreparedModel::logits`].
     ///
     /// # Errors

@@ -4,6 +4,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use acoustic_simfunc::KernelStats;
+
 /// Aggregated wall-clock cost of one layer/step across a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayerTiming {
@@ -22,6 +24,53 @@ impl LayerTiming {
             return Duration::ZERO;
         }
         Duration::from_nanos((self.nanos / u128::from(self.calls)) as u64)
+    }
+}
+
+/// Kernel-efficiency counters of one batch or micro-batch: the MAC
+/// kernels' skip-work statistics plus how much of the batch ran through
+/// the image-tiled path.
+///
+/// Counters are observability only — they never influence results — and
+/// skip attribution depends on the execution path (solo runs prefilter
+/// zero segments out of the lane lists where tiled runs skip them per
+/// image), so compare counter values only between runs of the same shape.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Lanes whose AND/OR word work actually ran.
+    pub mac_lanes: u64,
+    /// OR groups that saturated (reached all-ones) before their last lane.
+    pub sat_group_exits: u64,
+    /// Lanes skipped because their OR group was already saturated.
+    pub sat_lanes_skipped: u64,
+    /// Lanes skipped because the activation segment was all zero.
+    pub zero_seg_skips: u64,
+    /// Image tiles executed through the tiled MAC path.
+    pub tiles: u64,
+    /// Images executed inside those tiles (the rest ran solo).
+    pub tiled_images: u64,
+}
+
+impl KernelCounters {
+    /// Folds a [`KernelStats`] snapshot from the simulator into the batch
+    /// aggregate.
+    pub fn absorb(&mut self, stats: &KernelStats) {
+        self.mac_lanes += stats.mac_lanes;
+        self.sat_group_exits += stats.sat_group_exits;
+        self.sat_lanes_skipped += stats.sat_lanes_skipped;
+        self.zero_seg_skips += stats.zero_seg_skips;
+    }
+
+    /// Fraction of lanes whose word work was skipped (saturation + zero
+    /// segments) out of all lanes presented to the kernels.
+    pub fn skip_fraction(&self) -> f64 {
+        let skipped = self.sat_lanes_skipped + self.zero_seg_skips;
+        let total = self.mac_lanes + skipped;
+        if total == 0 {
+            0.0
+        } else {
+            skipped as f64 / total as f64
+        }
     }
 }
 
@@ -57,7 +106,9 @@ pub struct BatchReport {
     /// Per-layer wall-clock totals, aggregated over the batch in step
     /// order (residual inner steps are reported individually and also
     /// included in their `"residual"` entry). Under an exit policy each
-    /// escalation pass counts as one call.
+    /// escalation pass counts as one call; on the tiled fixed-length path
+    /// each *tile* counts as one call (a tiled layer executes once for
+    /// all of its images).
     pub layer_timings: Vec<LayerTiming>,
     /// Per-image final (accepted) total stream length, in sample order.
     /// Without an exit policy every entry is the configured stream length.
@@ -66,6 +117,8 @@ pub struct BatchReport {
     /// Mean of [`BatchReport::effective_lengths`] — the adaptive engine's
     /// headline cost metric (stream bits ∝ inference work per image).
     pub mean_effective_len: f64,
+    /// Kernel skip/tile counters accumulated across the batch.
+    pub kernel: KernelCounters,
 }
 
 impl BatchReport {
@@ -103,6 +156,17 @@ impl fmt::Display for BatchReport {
             f,
             "streams: mean effective length {:.1} bits/image",
             self.mean_effective_len
+        )?;
+        writeln!(
+            f,
+            "kernel: {} MAC lanes, {:.1}% skipped ({} saturated, {} zero-segment), \
+             {} images tiled in {} tiles",
+            self.kernel.mac_lanes,
+            100.0 * self.kernel.skip_fraction(),
+            self.kernel.sat_lanes_skipped,
+            self.kernel.zero_seg_skips,
+            self.kernel.tiled_images,
+            self.kernel.tiles
         )?;
         if !self.layer_timings.is_empty() {
             writeln!(f, "per-layer totals:")?;
@@ -145,6 +209,14 @@ mod tests {
             }],
             effective_lengths: vec![64, 64, 256, 64],
             mean_effective_len: 112.0,
+            kernel: KernelCounters {
+                mac_lanes: 60,
+                sat_group_exits: 5,
+                sat_lanes_skipped: 30,
+                zero_seg_skips: 10,
+                tiles: 1,
+                tiled_images: 4,
+            },
         };
         assert!((r.confusion_rate(0, 0) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(r.confusion_rate(1, 1), 1.0);
@@ -152,7 +224,23 @@ mod tests {
         assert!(text.contains("75.00%"));
         assert!(text.contains("conv0"));
         assert!(text.contains("112.0 bits/image"));
+        assert!(text.contains("40.0% skipped"));
+        assert!(text.contains("4 images tiled in 1 tiles"));
         assert_eq!(r.layer_timings[0].mean(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn kernel_counters_absorb_and_skip_fraction() {
+        let mut k = KernelCounters::default();
+        assert_eq!(k.skip_fraction(), 0.0);
+        k.absorb(&KernelStats {
+            mac_lanes: 6,
+            sat_group_exits: 1,
+            sat_lanes_skipped: 3,
+            zero_seg_skips: 1,
+        });
+        assert_eq!(k.mac_lanes, 6);
+        assert!((k.skip_fraction() - 0.4).abs() < 1e-12);
     }
 
     #[test]

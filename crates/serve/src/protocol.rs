@@ -144,8 +144,11 @@ pub struct ErrorFrame {
     pub message: String,
 }
 
+/// Number of `u64` words in a [`StatsSnapshot`] wire payload.
+const STATS_WORDS: usize = 19;
+
 /// A point-in-time server statistics snapshot, servable over the wire.
-/// Payload: 13 × `u64` in field order.
+/// Payload: 19 × `u64` in field order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Frames received that parsed as inference requests.
@@ -175,6 +178,18 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Requests executed across all micro-batches.
     pub batch_requests: u64,
+    /// MAC lanes whose AND/OR word work actually ran.
+    pub mac_lanes: u64,
+    /// OR groups that saturated before their last lane.
+    pub sat_group_exits: u64,
+    /// MAC lanes skipped because their OR group was already saturated.
+    pub sat_lanes_skipped: u64,
+    /// MAC lanes skipped because the activation segment was all zero.
+    pub zero_seg_skips: u64,
+    /// Image tiles executed through the tiled MAC path.
+    pub tiles: u64,
+    /// Requests executed inside those tiles (the rest ran solo).
+    pub tiled_requests: u64,
 }
 
 impl StatsSnapshot {
@@ -205,7 +220,19 @@ impl StatsSnapshot {
         }
     }
 
-    fn to_words(self) -> [u64; 13] {
+    /// Fraction of MAC lanes whose word work was skipped (saturation +
+    /// zero segments) out of all lanes presented to the kernels.
+    pub fn skip_fraction(&self) -> f64 {
+        let skipped = self.sat_lanes_skipped + self.zero_seg_skips;
+        let total = self.mac_lanes + skipped;
+        if total == 0 {
+            0.0
+        } else {
+            skipped as f64 / total as f64
+        }
+    }
+
+    fn to_words(self) -> [u64; STATS_WORDS] {
         [
             self.received,
             self.accepted,
@@ -220,10 +247,16 @@ impl StatsSnapshot {
             self.service_ns,
             self.batches,
             self.batch_requests,
+            self.mac_lanes,
+            self.sat_group_exits,
+            self.sat_lanes_skipped,
+            self.zero_seg_skips,
+            self.tiles,
+            self.tiled_requests,
         ]
     }
 
-    fn from_words(w: [u64; 13]) -> StatsSnapshot {
+    fn from_words(w: [u64; STATS_WORDS]) -> StatsSnapshot {
         StatsSnapshot {
             received: w[0],
             accepted: w[1],
@@ -238,6 +271,12 @@ impl StatsSnapshot {
             service_ns: w[10],
             batches: w[11],
             batch_requests: w[12],
+            mac_lanes: w[13],
+            sat_group_exits: w[14],
+            sat_lanes_skipped: w[15],
+            zero_seg_skips: w[16],
+            tiles: w[17],
+            tiled_requests: w[18],
         }
     }
 }
@@ -399,7 +438,7 @@ fn encode_error(e: &ErrorFrame) -> Vec<u8> {
 }
 
 fn encode_stats(s: &StatsSnapshot) -> Vec<u8> {
-    let mut p = Vec::with_capacity(13 * 8);
+    let mut p = Vec::with_capacity(STATS_WORDS * 8);
     for w in s.to_words() {
         put_u64(&mut p, w);
     }
@@ -573,7 +612,7 @@ fn decode_error(request_id: u64, payload: &[u8]) -> Result<Frame, String> {
 
 fn decode_stats(request_id: u64, payload: &[u8]) -> Result<Frame, String> {
     let mut rd = Rd::new(payload);
-    let mut w = [0u64; 13];
+    let mut w = [0u64; STATS_WORDS];
     for slot in &mut w {
         *slot = rd.u64()?;
     }

@@ -9,7 +9,7 @@
 //!                 BoundedQueue (capacity = admission limit)
 //!                          │  pop + micro-batch (≤ B requests or T µs)
 //!                          ▼
-//!                 worker pool ──▶ BatchEngine::run_ready ──▶ reply
+//!                 worker pool ──▶ BatchEngine::run_ready_counted ──▶ reply
 //! ```
 //!
 //! Guarantees:
@@ -628,7 +628,12 @@ fn execute_batch(batch: Vec<Pending>, engine: &BatchEngine, shared: &Arc<Shared>
             })
             .collect();
         let started = Instant::now();
-        let outcomes = engine.run_ready(&model, &requests);
+        let outcomes = engine
+            .run_ready_counted(&model, &requests)
+            .map(|(outs, kernel)| {
+                shared.stats.absorb_kernel(&kernel);
+                outs
+            });
         let service = started.elapsed();
         // Per-request service time inside a batch is not individually
         // measurable; attribute the batch mean to each request.

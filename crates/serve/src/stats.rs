@@ -36,6 +36,18 @@ pub struct Stats {
     pub batches: AtomicU64,
     /// Requests executed across all micro-batches.
     pub batch_requests: AtomicU64,
+    /// MAC lanes whose word work actually ran.
+    pub mac_lanes: AtomicU64,
+    /// OR groups that saturated before their last lane.
+    pub sat_group_exits: AtomicU64,
+    /// Lanes skipped because their OR group had saturated.
+    pub sat_lanes_skipped: AtomicU64,
+    /// Lanes skipped because the activation segment was all zero.
+    pub zero_seg_skips: AtomicU64,
+    /// Image tiles executed through the tiled MAC path.
+    pub tiles: AtomicU64,
+    /// Requests executed inside those tiles (the rest ran solo).
+    pub tiled_requests: AtomicU64,
 }
 
 impl Stats {
@@ -66,7 +78,23 @@ impl Stats {
             service_ns: self.service_ns.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            mac_lanes: self.mac_lanes.load(Ordering::Relaxed),
+            sat_group_exits: self.sat_group_exits.load(Ordering::Relaxed),
+            sat_lanes_skipped: self.sat_lanes_skipped.load(Ordering::Relaxed),
+            zero_seg_skips: self.zero_seg_skips.load(Ordering::Relaxed),
+            tiles: self.tiles.load(Ordering::Relaxed),
+            tiled_requests: self.tiled_requests.load(Ordering::Relaxed),
         }
+    }
+
+    /// Folds one micro-batch's kernel counters into the server totals.
+    pub fn absorb_kernel(&self, k: &acoustic_runtime::KernelCounters) {
+        Stats::add(&self.mac_lanes, k.mac_lanes);
+        Stats::add(&self.sat_group_exits, k.sat_group_exits);
+        Stats::add(&self.sat_lanes_skipped, k.sat_lanes_skipped);
+        Stats::add(&self.zero_seg_skips, k.zero_seg_skips);
+        Stats::add(&self.tiles, k.tiles);
+        Stats::add(&self.tiled_requests, k.tiled_images);
     }
 }
 
@@ -85,5 +113,28 @@ mod tests {
         assert_eq!(snap.accepted, 1);
         assert_eq!(snap.queue_wait_ns, 250);
         assert_eq!(snap.queue_depth_hwm, 5);
+    }
+
+    #[test]
+    fn absorb_kernel_accumulates() {
+        let s = Stats::default();
+        let k = acoustic_runtime::KernelCounters {
+            mac_lanes: 100,
+            sat_group_exits: 4,
+            sat_lanes_skipped: 20,
+            zero_seg_skips: 5,
+            tiles: 2,
+            tiled_images: 7,
+        };
+        s.absorb_kernel(&k);
+        s.absorb_kernel(&k);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.mac_lanes, 200);
+        assert_eq!(snap.sat_group_exits, 8);
+        assert_eq!(snap.sat_lanes_skipped, 40);
+        assert_eq!(snap.zero_seg_skips, 10);
+        assert_eq!(snap.tiles, 4);
+        assert_eq!(snap.tiled_requests, 14);
+        assert!((snap.skip_fraction() - 50.0 / 250.0).abs() < 1e-12);
     }
 }

@@ -91,6 +91,12 @@ fn stats_frames_roundtrip() {
         service_ns: 11,
         batches: 12,
         batch_requests: 13,
+        mac_lanes: 14,
+        sat_group_exits: 15,
+        sat_lanes_skipped: 16,
+        zero_seg_skips: 17,
+        tiles: 18,
+        tiled_requests: 19,
     };
     let resp = Frame::StatsResponse(55, snap);
     assert_eq!(roundtrip(&resp), resp);

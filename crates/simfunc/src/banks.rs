@@ -1,0 +1,198 @@
+//! Flat, word-aligned operand banks of the stochastic datapath.
+//!
+//! Weights live in per-phase [`PhaseBank`]s (prepared once per network),
+//! activations in a per-image [`ActBank`] (regenerated per layer), and every
+//! per-inference buffer is owned by a reusable [`SimScratch`]. The MAC
+//! kernels in [`crate::kernels`] operate on borrowed word ranges out of
+//! these banks — no per-lane allocation or pointer chasing on the hot path.
+
+use crate::kernels::KernelStats;
+
+/// One phase's weight streams, stored flat and word-aligned: weight `j`,
+/// segment `e` occupies `words[(j * segments + e) * seg_words .. +seg_words]`
+/// (all-zero when the weight has no component in this phase). The MAC inner
+/// loop reads borrowed word ranges out of this bank — no per-lane `Option`
+/// or `Vec<Bitstream>` pointer chasing.
+#[derive(Debug, Clone)]
+pub(crate) struct PhaseBank {
+    pub(crate) words: Vec<u64>,
+    /// Whether weight `j` has a component in this phase. Absent weights must
+    /// be *skipped*, not OR-ed as zero: only present lanes consume an
+    /// OR-group slot.
+    pub(crate) present: Vec<bool>,
+}
+
+impl PhaseBank {
+    pub(crate) fn zeros(weights: usize, segments: usize, seg_words: usize) -> Self {
+        PhaseBank {
+            words: vec![0u64; weights * segments * seg_words],
+            present: vec![false; weights],
+        }
+    }
+}
+
+/// Split-unipolar weight streams of one MAC layer at one stream length,
+/// pre-segmented for computation-skipping pooling.
+#[derive(Debug, Clone)]
+pub(crate) struct WeightStreams {
+    pub(crate) pos: PhaseBank,
+    pub(crate) neg: PhaseBank,
+    pub(crate) seg_words: usize,
+}
+
+/// Prefix-reusable weight banks: level `k` holds the segmented layout of
+/// the first `max_per_phase >> k` bits of every weight stream.
+///
+/// An LFSR-driven SNG emits bits sequentially, so a stream of length `L`
+/// is a bit-exact prefix of the length-`2L` stream from the same seed. The
+/// banks are therefore generated from **one** SNG walk at the maximum
+/// length; shorter levels are sliced (re-segmented) out of that same walk,
+/// never regenerated. Running the engine at level `k` is bit-identical to
+/// preparing the network directly at that stream length.
+#[derive(Debug, Clone)]
+pub(crate) struct LeveledWeights {
+    /// Per-level banks, longest (the prepare-time maximum) first. The level
+    /// order matches `PreparedNetwork::supported_lengths`.
+    pub(crate) levels: Vec<WeightStreams>,
+}
+
+impl LeveledWeights {
+    pub(crate) fn level(&self, k: usize) -> &WeightStreams {
+        &self.levels[k]
+    }
+}
+
+/// Activation streams of one layer, stored segment-major and word-aligned:
+/// segment `e` of activation `j` occupies the word range
+/// `[(j * segments + e) * seg_words, +seg_words)`, tail bits zero. Segment
+/// access is therefore a borrowed word-range view — indexing, not slicing
+/// into freshly allocated streams.
+#[derive(Debug, Default)]
+pub(crate) struct ActBank {
+    pub(crate) words: Vec<u64>,
+    pub(crate) seg_words: usize,
+    pub(crate) segments: usize,
+    /// Operand-gated activations (lane contributes nothing and is skipped
+    /// without entering an OR group).
+    pub(crate) gated: Vec<bool>,
+    /// Zero-segment skip list, indexed `j * segments + e`: `true` when the
+    /// segment's words are all zero (gated streams, sub-threshold values
+    /// whose SNG emitted nothing in the segment window). A zero segment
+    /// AND-multiplies to zero against any weight, so OR-merging it is a
+    /// no-op the kernels skip — it still consumes its OR-group slot.
+    pub(crate) seg_zero: Vec<bool>,
+}
+
+impl ActBank {
+    /// Clears and resizes for a layer of `streams` activations. Every word
+    /// starts zero and every segment starts flagged zero; the fill path
+    /// clears `seg_zero` only for segments it writes ones into.
+    pub(crate) fn reset(&mut self, streams: usize, segments: usize, seg_words: usize) {
+        self.segments = segments;
+        self.seg_words = seg_words;
+        self.words.clear();
+        self.words.resize(streams * segments * seg_words, 0);
+        self.gated.clear();
+        self.gated.resize(streams, false);
+        self.seg_zero.clear();
+        self.seg_zero.resize(streams * segments, true);
+    }
+
+    /// The whole word bank; lane offsets computed by the caller index into
+    /// this slice directly.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    #[cfg(test)]
+    pub(crate) fn segment(&self, idx: usize, e: usize) -> &[u64] {
+        let base = (idx * self.segments + e) * self.seg_words;
+        &self.words[base..base + self.seg_words]
+    }
+
+    pub(crate) fn segment_mut(&mut self, idx: usize, e: usize) -> &mut [u64] {
+        let base = (idx * self.segments + e) * self.seg_words;
+        &mut self.words[base..base + self.seg_words]
+    }
+
+    /// Records whether segment `e` of activation `idx` came out all-zero
+    /// after a fill (must be called for every written segment).
+    pub(crate) fn note_segment(&mut self, idx: usize, e: usize) {
+        let base = (idx * self.segments + e) * self.seg_words;
+        let zero = self.words[base..base + self.seg_words]
+            .iter()
+            .all(|&w| w == 0);
+        self.seg_zero[idx * self.segments + e] = zero;
+    }
+
+    pub(crate) fn gate(&mut self, idx: usize) {
+        self.gated[idx] = true;
+    }
+
+    pub(crate) fn is_gated(&self, idx: usize) -> bool {
+        self.gated[idx]
+    }
+
+    pub(crate) fn is_seg_zero(&self, seg_idx: usize) -> bool {
+        self.seg_zero[seg_idx]
+    }
+}
+
+/// Reusable per-inference working memory: the segmented activation bank(s),
+/// MAC accumulators, geometry/lane lists, SNG staging buffers, and kernel
+/// skip counters.
+///
+/// Construct once (it is `Default`) and thread through
+/// [`ScSimulator::run_prepared_with`] to amortise every per-image buffer
+/// across a batch — a fresh scratch gives bit-identical results, only slower.
+/// The batch runtime keeps one per worker thread.
+///
+/// [`ScSimulator::run_prepared_with`]: crate::ScSimulator::run_prepared_with
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Word-aligned segmented activation streams of the current layer.
+    pub(crate) acts: ActBank,
+    /// One full-length activation stream being generated/segmented.
+    pub(crate) full: Vec<u64>,
+    /// Pre-quantized comparator thresholds (shared-RNG path).
+    pub(crate) thresholds: Vec<u32>,
+    /// Fused MAC accumulator words (one OR group), sized once per layer.
+    pub(crate) acc: Vec<u64>,
+    /// Per-output-channel signed counters of the pixel in flight.
+    pub(crate) counts: Vec<i64>,
+    /// Receptive-field lanes of the current spatial position — shared by
+    /// every output channel. Solo runs store `(segment_index, weight_base)`
+    /// with the pooling segment resolved; tiled runs store
+    /// `(activation_index, weight_base)` so per-image gating can be applied
+    /// inside the kernel.
+    pub(crate) lanes: Vec<(usize, usize)>,
+    /// Per-image activation banks of the tile in flight.
+    pub(crate) tile_acts: Vec<ActBank>,
+    /// Per-image MAC accumulators, `tile_size * seg_words` words.
+    pub(crate) tile_accs: Vec<u64>,
+    /// Per-image OR-group occupancy counters.
+    pub(crate) tile_in_group: Vec<u32>,
+    /// Per-image saturation flags of the OR group in flight.
+    pub(crate) tile_sat: Vec<bool>,
+    /// Per-image single-phase counts of the segment in flight.
+    pub(crate) tile_phase: Vec<u64>,
+    /// Per-image per-output-channel signed counters (`t * out_c + oc`).
+    pub(crate) tile_counts: Vec<i64>,
+    /// Kernel skip counters accumulated by every run using this scratch.
+    pub(crate) stats: KernelStats,
+}
+
+impl SimScratch {
+    /// Kernel skip counters accumulated so far (saturated-group early-outs,
+    /// zero-segment skips, merged lanes). Counters are observability only:
+    /// they never influence results, and their exact values depend on which
+    /// execution path (solo vs tiled) produced them.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Returns and resets the accumulated kernel skip counters.
+    pub fn take_kernel_stats(&mut self) -> KernelStats {
+        std::mem::take(&mut self.stats)
+    }
+}

@@ -9,7 +9,6 @@
 use std::sync::Arc;
 
 use acoustic_core::bitstream::{copy_bit_range, count_ones_words};
-use acoustic_core::counter::Phase;
 use acoustic_core::sng::quantize_probability;
 use acoustic_core::{Lfsr, Sng, SngBank};
 use acoustic_nn::fixedpoint::Quantizer;
@@ -17,6 +16,8 @@ use acoustic_nn::layers::{NetLayer, Network};
 use acoustic_nn::train::Sample;
 use acoustic_nn::Tensor;
 
+use crate::banks::{ActBank, LeveledWeights, PhaseBank, SimScratch, WeightStreams};
+use crate::kernels::{self, active_kernel, KernelKind, SegGeom, TileState};
 use crate::{SimConfig, SimError};
 
 /// Comparator width of every SNG in the datapath (16-bit LFSRs).
@@ -53,67 +54,14 @@ pub struct StepTiming {
     pub nanos: u128,
 }
 
-/// One phase's weight streams, stored flat and word-aligned: weight `j`,
-/// segment `e` occupies `words[(j * segments + e) * seg_words .. +seg_words]`
-/// (all-zero when the weight has no component in this phase). The MAC inner
-/// loop reads borrowed word ranges out of this bank — no per-lane `Option`
-/// or `Vec<Bitstream>` pointer chasing.
-#[derive(Debug, Clone)]
-struct PhaseBank {
-    words: Vec<u64>,
-    /// Whether weight `j` has a component in this phase. Absent weights must
-    /// be *skipped*, not OR-ed as zero: only present lanes consume an
-    /// OR-group slot.
-    present: Vec<bool>,
-}
-
-impl PhaseBank {
-    fn zeros(weights: usize, segments: usize, seg_words: usize) -> Self {
-        PhaseBank {
-            words: vec![0u64; weights * segments * seg_words],
-            present: vec![false; weights],
-        }
-    }
-}
-
-/// Split-unipolar weight streams of one MAC layer at one stream length,
-/// pre-segmented for computation-skipping pooling.
-#[derive(Debug, Clone)]
-struct WeightStreams {
-    pos: PhaseBank,
-    neg: PhaseBank,
-    segments: usize,
-    seg_words: usize,
-}
-
-/// Prefix-reusable weight banks: level `k` holds the segmented layout of
-/// the first `max_per_phase >> k` bits of every weight stream.
-///
-/// An LFSR-driven SNG emits bits sequentially, so a stream of length `L`
-/// is a bit-exact prefix of the length-`2L` stream from the same seed. The
-/// banks are therefore generated from **one** SNG walk at the maximum
-/// length; shorter levels are sliced (re-segmented) out of that same walk,
-/// never regenerated. Running the engine at level `k` is bit-identical to
-/// preparing the network directly at that stream length.
-#[derive(Debug, Clone)]
-struct LeveledWeights {
-    /// Per-level banks, longest (the prepare-time maximum) first. The level
-    /// order matches [`PreparedNetwork::supported_lengths`].
-    levels: Vec<WeightStreams>,
-}
-
-impl LeveledWeights {
-    fn level(&self, k: usize) -> &WeightStreams {
-        &self.levels[k]
-    }
-}
-
-/// Stream-length selection of one engine run: a level into the prepared
-/// banks plus its per-phase bit budget.
+/// Stream-length and kernel selection of one engine run: a level into the
+/// prepared banks, its per-phase bit budget, and the MAC kernel resolved
+/// against host capabilities at run start.
 #[derive(Debug, Clone, Copy)]
 struct RunLen {
     level: usize,
     per_phase: usize,
+    kernel: KernelKind,
 }
 
 #[derive(Debug, Clone)]
@@ -240,82 +188,6 @@ fn supported_prefix_lengths(max_stream_len: usize, segments: &[usize]) -> Vec<us
         per_phase = next;
     }
     lengths
-}
-
-/// Reusable per-inference working memory: the segmented activation bank,
-/// MAC accumulator, geometry/lane lists, and SNG staging buffers.
-///
-/// Construct once (it is `Default`) and thread through
-/// [`ScSimulator::run_prepared_with`] to amortise every per-image buffer
-/// across a batch — a fresh scratch gives bit-identical results, only slower.
-/// The batch runtime keeps one per worker thread.
-#[derive(Debug, Default)]
-pub struct SimScratch {
-    /// Word-aligned segmented activation streams of the current layer.
-    acts: ActBank,
-    /// One full-length activation stream being generated/segmented.
-    full: Vec<u64>,
-    /// Pre-quantized comparator thresholds (shared-RNG path).
-    thresholds: Vec<u32>,
-    /// Fused MAC accumulator words (one OR group).
-    acc: Vec<u64>,
-    /// Per-output-channel signed counters of the pixel in flight.
-    counts: Vec<i64>,
-    /// Receptive-field lanes `(activation_idx, weight_base)` of the current
-    /// spatial position — shared by every output channel.
-    lanes: Vec<(usize, usize)>,
-}
-
-/// Activation streams of one layer, stored segment-major and word-aligned:
-/// segment `e` of activation `j` occupies the word range
-/// `[(j * segments + e) * seg_words, +seg_words)`, tail bits zero. Segment
-/// access is therefore a borrowed word-range view — indexing, not slicing
-/// into freshly allocated streams.
-#[derive(Debug, Default)]
-struct ActBank {
-    words: Vec<u64>,
-    seg_words: usize,
-    segments: usize,
-    /// Operand-gated activations (lane contributes nothing and is skipped
-    /// without entering an OR group).
-    gated: Vec<bool>,
-}
-
-impl ActBank {
-    /// Clears and resizes for a layer of `streams` activations.
-    fn reset(&mut self, streams: usize, segments: usize, seg_words: usize) {
-        self.segments = segments;
-        self.seg_words = seg_words;
-        self.words.clear();
-        self.words.resize(streams * segments * seg_words, 0);
-        self.gated.clear();
-        self.gated.resize(streams, false);
-    }
-
-    /// The whole word bank; lane offsets computed by the caller index into
-    /// this slice directly.
-    fn words(&self) -> &[u64] {
-        &self.words
-    }
-
-    #[cfg(test)]
-    fn segment(&self, idx: usize, e: usize) -> &[u64] {
-        let base = (idx * self.segments + e) * self.seg_words;
-        &self.words[base..base + self.seg_words]
-    }
-
-    fn segment_mut(&mut self, idx: usize, e: usize) -> &mut [u64] {
-        let base = (idx * self.segments + e) * self.seg_words;
-        &mut self.words[base..base + self.seg_words]
-    }
-
-    fn gate(&mut self, idx: usize) {
-        self.gated[idx] = true;
-    }
-
-    fn is_gated(&self, idx: usize) -> bool {
-        self.gated[idx]
-    }
 }
 
 /// The stochastic functional simulator.
@@ -506,11 +378,24 @@ impl ScSimulator {
         input: &Tensor,
         scratch: &mut SimScratch,
     ) -> Result<Tensor, SimError> {
-        let run = RunLen {
+        let run = self.full_run();
+        self.execute(prepared, input, None, None, scratch, run)
+    }
+
+    /// The full-length run selection with the kernel resolved against host
+    /// capabilities (and the force-scalar override).
+    fn full_run(&self) -> RunLen {
+        RunLen {
             level: 0,
             per_phase: self.cfg.per_phase_len(),
-        };
-        self.execute(prepared, input, None, None, scratch, run)
+            kernel: active_kernel(self.cfg.kernel),
+        }
+    }
+
+    /// The effective OR-group width (`usize::MAX` = whole fan-in, the
+    /// ACOUSTIC fabric default).
+    fn or_group(&self) -> usize {
+        self.cfg.or_group.unwrap_or(usize::MAX).max(1)
     }
 
     /// Runs one inference at a shorter stream-length prefix of the prepared
@@ -571,6 +456,93 @@ impl ScSimulator {
         Ok((logits, timings))
     }
 
+    /// Runs one inference per image of a tile, walking each weight-bank
+    /// word once per tile instead of once per image (the weight banks are
+    /// the large, cold operand — activations are regenerated per layer and
+    /// stay hot).
+    ///
+    /// `act_seeds[t]` replaces the configured activation seed for image
+    /// `t`, so callers batching distinct images keep per-image stream
+    /// independence. The results are bit-identical to running each image
+    /// solo through [`ScSimulator::run_prepared`] with
+    /// `cfg.act_seed = act_seeds[t]`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for an empty tile or mismatched
+    /// `inputs`/`act_seeds` lengths; otherwise propagates datapath and
+    /// shape errors.
+    pub fn run_prepared_tile(
+        &self,
+        prepared: &PreparedNetwork,
+        inputs: &[&Tensor],
+        act_seeds: &[u32],
+    ) -> Result<Vec<Tensor>, SimError> {
+        self.run_prepared_tile_with(prepared, inputs, act_seeds, &mut SimScratch::default())
+    }
+
+    /// Scratch-reusing variant of [`ScSimulator::run_prepared_tile`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ScSimulator::run_prepared_tile`].
+    pub fn run_prepared_tile_with(
+        &self,
+        prepared: &PreparedNetwork,
+        inputs: &[&Tensor],
+        act_seeds: &[u32],
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<Tensor>, SimError> {
+        let run = self.full_run();
+        self.execute_tile(prepared, inputs, act_seeds, None, scratch, run)
+    }
+
+    /// Timed variant of [`ScSimulator::run_prepared_tile_with`]: also
+    /// returns one [`StepTiming`] per step, where each entry covers the
+    /// whole tile (a tiled layer executes once for all images).
+    ///
+    /// # Errors
+    ///
+    /// See [`ScSimulator::run_prepared_tile`].
+    pub fn run_prepared_tile_timed_with(
+        &self,
+        prepared: &PreparedNetwork,
+        inputs: &[&Tensor],
+        act_seeds: &[u32],
+        scratch: &mut SimScratch,
+    ) -> Result<(Vec<Tensor>, Vec<StepTiming>), SimError> {
+        let run = self.full_run();
+        let mut timings = Vec::with_capacity(prepared.step_count());
+        let outs = self.execute_tile(
+            prepared,
+            inputs,
+            act_seeds,
+            Some(&mut timings),
+            scratch,
+            run,
+        )?;
+        Ok((outs, timings))
+    }
+
+    /// Tiled variant of [`ScSimulator::run_prepared_at_with`]: executes the
+    /// whole tile at a shorter stream-length prefix of the prepared banks.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScSimulator::run_prepared_at`] and
+    /// [`ScSimulator::run_prepared_tile`].
+    pub fn run_prepared_tile_at_with(
+        &self,
+        prepared: &PreparedNetwork,
+        inputs: &[&Tensor],
+        act_seeds: &[u32],
+        stream_len: usize,
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<Tensor>, SimError> {
+        let run = self.resolve_len(prepared, stream_len)?;
+        self.execute_tile(prepared, inputs, act_seeds, None, scratch, run)
+    }
+
     fn resolve_len(
         &self,
         prepared: &PreparedNetwork,
@@ -586,6 +558,7 @@ impl ScSimulator {
         Ok(RunLen {
             level,
             per_phase: stream_len / 2,
+            kernel: active_kernel(self.cfg.kernel),
         })
     }
 
@@ -617,10 +590,7 @@ impl ScSimulator {
         input: &Tensor,
         scratch: &mut SimScratch,
     ) -> Result<(Tensor, Vec<StepTiming>), SimError> {
-        let run = RunLen {
-            level: 0,
-            per_phase: self.cfg.per_phase_len(),
-        };
+        let run = self.full_run();
         let mut timings = Vec::with_capacity(prepared.step_count());
         let logits = self.execute(prepared, input, None, Some(&mut timings), scratch, run)?;
         Ok((logits, timings))
@@ -634,10 +604,7 @@ impl ScSimulator {
     pub fn run_traced(&self, net: &Network, input: &Tensor) -> Result<RunTrace, SimError> {
         let prepared = self.prepare(net)?;
         let mut traces = Vec::new();
-        let run = RunLen {
-            level: 0,
-            per_phase: self.cfg.per_phase_len(),
-        };
+        let run = self.full_run();
         let logits = self.execute(
             &prepared,
             input,
@@ -809,7 +776,6 @@ impl ScSimulator {
                 WeightStreams {
                     pos: PhaseBank::zeros(wvals.len(), segments, seg_words),
                     neg: PhaseBank::zeros(wvals.len(), segments, seg_words),
-                    segments,
                     seg_words,
                 }
             })
@@ -859,13 +825,17 @@ impl ScSimulator {
     /// (skipped by the MAC without consuming an OR-group slot) exactly when
     /// the old path stored `None` — `v <= 0` on the per-index-seed path, an
     /// all-zero generated stream on the shared-RNG path.
+    #[allow(clippy::too_many_arguments)]
     fn fill_activation_bank(
         &self,
         values: &[f32],
+        act_seed: u32,
         ordinal: usize,
         segments: usize,
         m: usize,
-        scratch: &mut SimScratch,
+        full: &mut Vec<u64>,
+        thresholds: &mut Vec<u32>,
+        acts: &mut ActBank,
     ) -> Result<(), SimError> {
         // With per-layer regeneration disabled, every layer draws the same
         // random sequences (ordinal dropped from the seed mix) — the §II-C
@@ -878,56 +848,48 @@ impl ScSimulator {
         let seg_len = m / segments;
         let seg_words = seg_len.div_ceil(64);
         let full_words = m.div_ceil(64);
-        scratch.acts.reset(values.len(), segments, seg_words);
+        acts.reset(values.len(), segments, seg_words);
         if self.cfg.shared_act_rng {
             // One LFSR shared by every activation SNG (hardware sharing):
             // a single walk of `m` cycles serves every comparator.
-            let seed = mix_seed(self.cfg.act_seed, ordinal as u32, 0, 7);
+            let seed = mix_seed(act_seed, ordinal as u32, 0, 7);
             let mut bank = SngBank::new(SNG_WIDTH, seed)?;
-            scratch.thresholds.clear();
+            thresholds.clear();
             for &v in values {
-                scratch.thresholds.push(quantize_probability(
+                thresholds.push(quantize_probability(
                     f64::from(v.clamp(0.0, 1.0)),
                     SNG_WIDTH,
                 )?);
             }
-            scratch.full.clear();
-            scratch.full.resize(values.len() * full_words, 0);
-            bank.fill_quantized(&scratch.thresholds, m, &mut scratch.full);
+            full.clear();
+            full.resize(values.len() * full_words, 0);
+            bank.fill_quantized(thresholds, m, full);
             for idx in 0..values.len() {
-                let words = &scratch.full[idx * full_words..(idx + 1) * full_words];
+                let words = &full[idx * full_words..(idx + 1) * full_words];
                 if count_ones_words(words) == 0 {
-                    scratch.acts.gate(idx);
+                    acts.gate(idx);
                     continue;
                 }
                 for e in 0..segments {
-                    copy_bit_range(
-                        words,
-                        e * seg_len,
-                        seg_len,
-                        scratch.acts.segment_mut(idx, e),
-                    );
+                    copy_bit_range(words, e * seg_len, seg_len, acts.segment_mut(idx, e));
+                    acts.note_segment(idx, e);
                 }
             }
         } else {
-            scratch.full.clear();
-            scratch.full.resize(full_words, 0);
+            full.clear();
+            full.resize(full_words, 0);
             for (idx, &v) in values.iter().enumerate() {
                 if v <= 0.0 {
-                    scratch.acts.gate(idx);
+                    acts.gate(idx);
                     continue;
                 }
-                let seed = mix_seed(self.cfg.act_seed, ordinal as u32, idx as u32, 3);
+                let seed = mix_seed(act_seed, ordinal as u32, idx as u32, 3);
                 let mut sng = Sng::new(Lfsr::maximal(SNG_WIDTH, seed)?, SNG_WIDTH);
                 let threshold = quantize_probability(f64::from(v.min(1.0)), SNG_WIDTH)?;
-                sng.fill_quantized(threshold, m, &mut scratch.full);
+                sng.fill_quantized(threshold, m, full);
                 for e in 0..segments {
-                    copy_bit_range(
-                        &scratch.full,
-                        e * seg_len,
-                        seg_len,
-                        scratch.acts.segment_mut(idx, e),
-                    );
+                    copy_bit_range(full, e * seg_len, seg_len, acts.segment_mut(idx, e));
+                    acts.note_segment(idx, e);
                 }
             }
         }
@@ -961,9 +923,20 @@ impl ScSimulator {
             }
         }
         let m = run.per_phase;
-        self.fill_activation_bank(input.as_slice(), c.ordinal, segments, m, scratch)?;
+        self.fill_activation_bank(
+            input.as_slice(),
+            self.cfg.act_seed,
+            c.ordinal,
+            segments,
+            m,
+            &mut scratch.full,
+            &mut scratch.thresholds,
+            &mut scratch.acts,
+        )?;
 
         let seg_words = weights.seg_words;
+        let geom = SegGeom::new(segments, seg_words, m / segments, self.or_group());
+        let single = geom.single_group();
         let fan_in = c.in_c * c.k * c.k;
         let (out_h, out_w) = match c.pool {
             Some(pk) => (oh / pk, ow / pk),
@@ -972,15 +945,27 @@ impl ScSimulator {
         let mut out = Tensor::zeros(&[c.out_c, out_h, out_w]);
 
         let window = c.pool.unwrap_or(1);
+        let SimScratch {
+            acts,
+            acc,
+            counts,
+            lanes,
+            stats,
+            ..
+        } = scratch;
+        // Sized (and zeroed) once per layer; the kernels restore the
+        // all-zero state before returning.
+        acc.clear();
+        acc.resize(seg_words, 0);
         // The receptive field (`lanes`) depends only on the spatial position,
         // so it is built once per (py, px, e) and reused across all output
-        // channels; each lane stores its resolved activation word offset and
-        // the in-kernel weight offset — the per-channel base (`oc * fan_in`)
-        // is added inside the MAC.
+        // channels; each lane stores its resolved segment index and the
+        // in-kernel weight offset — the per-channel base (`oc * fan_in`) is
+        // added inside the MAC.
         for py in 0..out_h {
             for px in 0..out_w {
-                scratch.counts.clear();
-                scratch.counts.resize(c.out_c, 0);
+                counts.clear();
+                counts.resize(c.out_c, 0);
                 // `e` is the pooling-segment ordinal, mapped to a conv
                 // output position; enumerating would not simplify this.
                 #[allow(clippy::needless_range_loop)]
@@ -991,7 +976,7 @@ impl ScSimulator {
                     } else {
                         (py, px)
                     };
-                    scratch.lanes.clear();
+                    lanes.clear();
                     for ic in 0..c.in_c {
                         for ky in 0..c.k {
                             let iy = (oy * c.stride + ky) as isize - c.pad as isize;
@@ -1008,29 +993,42 @@ impl ScSimulator {
                                 // alone, so gated lanes are filtered here —
                                 // once per spatial position, not per output
                                 // channel or phase.
-                                if scratch.acts.is_gated(a_idx) {
+                                if acts.is_gated(a_idx) {
                                     continue;
                                 }
-                                let a_base = (a_idx * segments + e) * seg_words;
+                                let seg_idx = a_idx * segments + e;
+                                // With the whole fan-in in one OR group
+                                // there are no group boundaries to keep, so
+                                // all-zero segments can be dropped from the
+                                // lane list outright.
+                                if single && acts.is_seg_zero(seg_idx) {
+                                    stats.zero_seg_skips += 1;
+                                    continue;
+                                }
                                 let w_base = (ic * c.k + ky) * c.k + kx;
-                                scratch.lanes.push((a_base, w_base));
+                                lanes.push((seg_idx, w_base));
                             }
                         }
                     }
                     for oc in 0..c.out_c {
-                        let d = self.mac_segment(
-                            scratch.acts.words(),
-                            weights,
-                            &scratch.lanes,
+                        let d = kernels::mac_segment(
+                            run.kernel,
+                            &geom,
+                            acts.words(),
+                            &acts.seg_zero,
+                            (&weights.pos.words, &weights.pos.present),
+                            (&weights.neg.words, &weights.neg.present),
+                            lanes,
                             oc * fan_in,
                             e,
-                            &mut scratch.acc,
+                            acc,
+                            stats,
                         );
-                        scratch.counts[oc] += d;
+                        counts[oc] += d;
                     }
                 }
-                for oc in 0..c.out_c {
-                    out.set3(oc, py, px, scratch.counts[oc] as f32 / m as f32);
+                for (oc, &count) in counts.iter().enumerate().take(c.out_c) {
+                    out.set3(oc, py, px, count as f32 / m as f32);
                 }
             }
         }
@@ -1052,23 +1050,55 @@ impl ScSimulator {
         }
         let weights = d.weights.level(run.level);
         let m = run.per_phase;
-        self.fill_activation_bank(input.as_slice(), d.ordinal, 1, m, scratch)?;
+        self.fill_activation_bank(
+            input.as_slice(),
+            self.cfg.act_seed,
+            d.ordinal,
+            1,
+            m,
+            &mut scratch.full,
+            &mut scratch.thresholds,
+            &mut scratch.acts,
+        )?;
         let seg_words = weights.seg_words;
+        let geom = SegGeom::new(1, seg_words, m, self.or_group());
+        let single = geom.single_group();
         let mut out = vec![0.0f32; d.out_n];
-        scratch.lanes.clear();
+        let SimScratch {
+            acts,
+            acc,
+            lanes,
+            stats,
+            ..
+        } = scratch;
+        acc.clear();
+        acc.resize(seg_words, 0);
+        lanes.clear();
         for i in 0..d.in_n {
-            if !scratch.acts.is_gated(i) {
-                scratch.lanes.push((i * seg_words, i));
+            if acts.is_gated(i) {
+                continue;
             }
+            // One segment per stream: the segment index equals the
+            // activation index.
+            if single && acts.is_seg_zero(i) {
+                stats.zero_seg_skips += 1;
+                continue;
+            }
+            lanes.push((i, i));
         }
         for (o, slot) in out.iter_mut().enumerate() {
-            let count = self.mac_segment(
-                scratch.acts.words(),
-                weights,
-                &scratch.lanes,
+            let count = kernels::mac_segment(
+                run.kernel,
+                &geom,
+                acts.words(),
+                &acts.seg_zero,
+                (&weights.pos.words, &weights.pos.present),
+                (&weights.neg.words, &weights.neg.present),
+                lanes,
                 o * d.in_n,
                 0,
-                &mut scratch.acc,
+                acc,
+                stats,
             );
             *slot = count as f32 / m as f32;
         }
@@ -1076,85 +1106,353 @@ impl ScSimulator {
         Ok(Tensor::from_vec(&[d.out_n], out)?)
     }
 
-    /// One split-unipolar MAC over a segment: both phases, OR accumulation
-    /// with optional grouping, returning the signed count.
-    ///
-    /// The inner lane loop is allocation-free and branch-light: `lanes`
-    /// arrives pre-filtered of gated activations with resolved word offsets,
-    /// activation and weight segments are borrowed word ranges out of flat
-    /// banks, and the OR accumulator is a caller-owned word buffer fused as
-    /// `acc |= a & w` and cleared (not reallocated) at group boundaries.
-    /// Single-word segments (every stream ≤ 64 bits per segment — the common
-    /// LeNet shapes) keep the accumulator in a register.
-    fn mac_segment(
+    fn execute_tile(
         &self,
-        act_words: &[u64],
-        weights: &WeightStreams,
-        lanes: &[(usize, usize)],
-        w_off: usize,
-        segment: usize,
-        acc: &mut Vec<u64>,
-    ) -> i64 {
-        let group = self.cfg.or_group.unwrap_or(usize::MAX).max(1);
-        let segments = weights.segments;
-        let seg_words = weights.seg_words;
-        let mut count: i64 = 0;
-        for phase in [Phase::Positive, Phase::Negative] {
-            let bank = match phase {
-                Phase::Positive => &weights.pos,
-                Phase::Negative => &weights.neg,
+        prepared: &PreparedNetwork,
+        inputs: &[&Tensor],
+        act_seeds: &[u32],
+        timings: Option<&mut Vec<StepTiming>>,
+        scratch: &mut SimScratch,
+        run: RunLen,
+    ) -> Result<Vec<Tensor>, SimError> {
+        if inputs.is_empty() {
+            return Err(SimError::InvalidConfig("empty tile".into()));
+        }
+        if inputs.len() != act_seeds.len() {
+            return Err(SimError::InvalidConfig(format!(
+                "tile has {} inputs but {} activation seeds",
+                inputs.len(),
+                act_seeds.len()
+            )));
+        }
+        let aq = Quantizer::unsigned_unit(self.cfg.quant_bits)?;
+        let xs: Vec<Tensor> = inputs
+            .iter()
+            .map(|t| t.map(|v| aq.quantize_value(v.clamp(0.0, 1.0))))
+            .collect();
+        self.execute_steps_tile(&prepared.steps, xs, act_seeds, timings, scratch, run)
+    }
+
+    fn execute_steps_tile(
+        &self,
+        steps: &[Step],
+        mut xs: Vec<Tensor>,
+        act_seeds: &[u32],
+        mut timings: Option<&mut Vec<StepTiming>>,
+        scratch: &mut SimScratch,
+        run: RunLen,
+    ) -> Result<Vec<Tensor>, SimError> {
+        for step in steps {
+            let started = timings.as_ref().map(|_| std::time::Instant::now());
+            xs = match &step.op {
+                StepOp::Conv(c) => self.exec_conv_tile(c, &xs, act_seeds, scratch, run)?,
+                StepOp::Dense(d) => self.exec_dense_tile(d, &xs, act_seeds, scratch, run)?,
+                StepOp::BinaryAvgPool(k) => xs
+                    .iter()
+                    .map(|x| binary_avg_pool(x, *k))
+                    .collect::<Result<_, _>>()?,
+                StepOp::MaxPool(k) => xs
+                    .iter()
+                    .map(|x| binary_max_pool(x, *k))
+                    .collect::<Result<_, _>>()?,
+                StepOp::Relu(hi) => {
+                    let cap = hi.unwrap_or(1.0).min(1.0);
+                    xs.into_iter()
+                        .map(|x| x.map(|v| v.clamp(0.0, cap)))
+                        .collect()
+                }
+                StepOp::Flatten => xs.iter().map(|x| x.to_flat()).collect(),
+                StepOp::Residual(inner) => {
+                    let skips = xs.clone();
+                    let mut ys = self.execute_steps_tile(
+                        inner,
+                        xs,
+                        act_seeds,
+                        timings.as_deref_mut(),
+                        scratch,
+                        run,
+                    )?;
+                    for (y, skip) in ys.iter_mut().zip(&skips) {
+                        if y.shape() != skip.shape() {
+                            return Err(SimError::UnsupportedLayer(format!(
+                                "residual inner path changed shape {:?} -> {:?}",
+                                skip.shape(),
+                                y.shape()
+                            )));
+                        }
+                        for (o, &s) in y.as_mut_slice().iter_mut().zip(skip.as_slice()) {
+                            *o += s;
+                        }
+                    }
+                    ys
+                }
             };
-            let mut in_group = 0usize;
-            let mut phase_count: i64 = 0;
-            if seg_words == 1 {
-                let mut acc_w = 0u64;
-                for &(a_base, w_base) in lanes {
-                    let w_idx = w_off + w_base;
-                    if !bank.present[w_idx] {
-                        continue; // weight has no component in this phase
-                    }
-                    acc_w |= act_words[a_base] & bank.words[w_idx * segments + segment];
-                    in_group += 1;
-                    if in_group == group {
-                        phase_count += i64::from(acc_w.count_ones());
-                        acc_w = 0;
-                        in_group = 0;
-                    }
-                }
-                if in_group > 0 {
-                    phase_count += i64::from(acc_w.count_ones());
-                }
-            } else {
-                acc.clear();
-                acc.resize(seg_words, 0);
-                for &(a_base, w_base) in lanes {
-                    let w_idx = w_off + w_base;
-                    if !bank.present[w_idx] {
-                        continue;
-                    }
-                    let w_base = (w_idx * segments + segment) * seg_words;
-                    let a = &act_words[a_base..a_base + seg_words];
-                    let w = &bank.words[w_base..w_base + seg_words];
-                    for ((acc_w, &aw), &ww) in acc.iter_mut().zip(a).zip(w) {
-                        *acc_w |= aw & ww;
-                    }
-                    in_group += 1;
-                    if in_group == group {
-                        phase_count += count_ones_words(acc) as i64;
-                        acc.fill(0);
-                        in_group = 0;
-                    }
-                }
-                if in_group > 0 {
-                    phase_count += count_ones_words(acc) as i64;
-                }
-            }
-            match phase {
-                Phase::Positive => count += phase_count,
-                Phase::Negative => count -= phase_count,
+            if let (Some(t), Some(start)) = (timings.as_deref_mut(), started) {
+                t.push(StepTiming {
+                    name: Arc::clone(&step.label),
+                    nanos: start.elapsed().as_nanos(),
+                });
             }
         }
-        count
+        Ok(xs)
+    }
+
+    /// Fills one activation bank per tile image (identical layouts, the
+    /// image's own seed) and sizes the tiled MAC state.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_tile_banks(
+        &self,
+        xs: &[Tensor],
+        act_seeds: &[u32],
+        ordinal: usize,
+        segments: usize,
+        m: usize,
+        seg_words: usize,
+        scratch: &mut SimScratch,
+    ) -> Result<(), SimError> {
+        let tile = xs.len();
+        if scratch.tile_acts.len() < tile {
+            scratch.tile_acts.resize_with(tile, ActBank::default);
+        }
+        for (t, x) in xs.iter().enumerate() {
+            self.fill_activation_bank(
+                x.as_slice(),
+                act_seeds[t],
+                ordinal,
+                segments,
+                m,
+                &mut scratch.full,
+                &mut scratch.thresholds,
+                &mut scratch.tile_acts[t],
+            )?;
+        }
+        scratch.tile_accs.clear();
+        scratch.tile_accs.resize(tile * seg_words, 0);
+        scratch.tile_in_group.clear();
+        scratch.tile_in_group.resize(tile, 0);
+        scratch.tile_sat.clear();
+        scratch.tile_sat.resize(tile, false);
+        scratch.tile_phase.clear();
+        scratch.tile_phase.resize(tile, 0);
+        Ok(())
+    }
+
+    fn exec_conv_tile(
+        &self,
+        c: &PreparedConv,
+        xs: &[Tensor],
+        act_seeds: &[u32],
+        scratch: &mut SimScratch,
+        run: RunLen,
+    ) -> Result<Vec<Tensor>, SimError> {
+        let weights = c.weights.level(run.level);
+        let shape = xs[0].shape();
+        for x in xs {
+            let s = x.shape();
+            if s.len() != 3 || s[0] != c.in_c || s != shape {
+                return Err(SimError::Nn(acoustic_nn::NnError::ShapeMismatch {
+                    expected: vec![c.in_c, 0, 0],
+                    actual: s.to_vec(),
+                }));
+            }
+        }
+        let (h, w) = (shape[1], shape[2]);
+        let oh = (h + 2 * c.pad - c.k) / c.stride + 1;
+        let ow = (w + 2 * c.pad - c.k) / c.stride + 1;
+        let segments = c.pool.map_or(1, |k| k * k);
+        if let Some(pk) = c.pool {
+            if !oh.is_multiple_of(pk) || !ow.is_multiple_of(pk) {
+                return Err(SimError::UnsupportedLayer(format!(
+                    "conv output {oh}x{ow} not divisible by fused pool window {pk}"
+                )));
+            }
+        }
+        let m = run.per_phase;
+        let seg_words = weights.seg_words;
+        let tile = xs.len();
+        self.fill_tile_banks(xs, act_seeds, c.ordinal, segments, m, seg_words, scratch)?;
+
+        let geom = SegGeom::new(segments, seg_words, m / segments, self.or_group());
+        let single = geom.single_group();
+        let fan_in = c.in_c * c.k * c.k;
+        let (out_h, out_w) = match c.pool {
+            Some(pk) => (oh / pk, ow / pk),
+            None => (oh, ow),
+        };
+        let mut outs: Vec<Tensor> = (0..tile)
+            .map(|_| Tensor::zeros(&[c.out_c, out_h, out_w]))
+            .collect();
+
+        let window = c.pool.unwrap_or(1);
+        let SimScratch {
+            lanes,
+            tile_acts,
+            tile_accs,
+            tile_in_group,
+            tile_sat,
+            tile_phase,
+            tile_counts,
+            stats,
+            ..
+        } = scratch;
+        let banks = &tile_acts[..tile];
+        for py in 0..out_h {
+            for px in 0..out_w {
+                tile_counts.clear();
+                tile_counts.resize(tile * c.out_c, 0);
+                #[allow(clippy::needless_range_loop)]
+                for e in 0..segments {
+                    let (oy, ox) = if c.pool.is_some() {
+                        (py * window + e / window, px * window + e % window)
+                    } else {
+                        (py, px)
+                    };
+                    lanes.clear();
+                    for ic in 0..c.in_c {
+                        for ky in 0..c.k {
+                            let iy = (oy * c.stride + ky) as isize - c.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..c.k {
+                                let ix = (ox * c.stride + kx) as isize - c.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let a_idx = (ic * h + iy as usize) * w + ix as usize;
+                                // A lane gated in every image consumes no
+                                // OR-group slot anywhere — drop it. With a
+                                // single group, a lane that is gated or
+                                // all-zero in every image is a no-op too.
+                                if banks.iter().all(|b| b.is_gated(a_idx)) {
+                                    continue;
+                                }
+                                let seg_idx = a_idx * segments + e;
+                                if single
+                                    && banks
+                                        .iter()
+                                        .all(|b| b.is_gated(a_idx) || b.is_seg_zero(seg_idx))
+                                {
+                                    stats.zero_seg_skips +=
+                                        banks.iter().filter(|b| !b.is_gated(a_idx)).count() as u64;
+                                    continue;
+                                }
+                                let w_base = (ic * c.k + ky) * c.k + kx;
+                                lanes.push((a_idx, w_base));
+                            }
+                        }
+                    }
+                    for oc in 0..c.out_c {
+                        kernels::mac_segment_tile(
+                            run.kernel,
+                            &geom,
+                            banks,
+                            (&weights.pos.words, &weights.pos.present),
+                            (&weights.neg.words, &weights.neg.present),
+                            lanes,
+                            oc * fan_in,
+                            e,
+                            &mut TileState {
+                                accs: &mut tile_accs[..tile * seg_words],
+                                in_group: &mut tile_in_group[..tile],
+                                sat: &mut tile_sat[..tile],
+                                phase: &mut tile_phase[..tile],
+                            },
+                            tile_counts,
+                            c.out_c,
+                            oc,
+                            stats,
+                        );
+                    }
+                }
+                for (t, out) in outs.iter_mut().enumerate() {
+                    for oc in 0..c.out_c {
+                        out.set3(oc, py, px, tile_counts[t * c.out_c + oc] as f32 / m as f32);
+                    }
+                }
+            }
+        }
+        Ok(outs)
+    }
+
+    fn exec_dense_tile(
+        &self,
+        d: &PreparedDense,
+        xs: &[Tensor],
+        act_seeds: &[u32],
+        scratch: &mut SimScratch,
+        run: RunLen,
+    ) -> Result<Vec<Tensor>, SimError> {
+        for x in xs {
+            if x.len() != d.in_n {
+                return Err(SimError::Nn(acoustic_nn::NnError::ShapeMismatch {
+                    expected: vec![d.in_n],
+                    actual: x.shape().to_vec(),
+                }));
+            }
+        }
+        let weights = d.weights.level(run.level);
+        let m = run.per_phase;
+        let seg_words = weights.seg_words;
+        let tile = xs.len();
+        self.fill_tile_banks(xs, act_seeds, d.ordinal, 1, m, seg_words, scratch)?;
+        let geom = SegGeom::new(1, seg_words, m, self.or_group());
+        let single = geom.single_group();
+        let SimScratch {
+            lanes,
+            tile_acts,
+            tile_accs,
+            tile_in_group,
+            tile_sat,
+            tile_phase,
+            tile_counts,
+            stats,
+            ..
+        } = scratch;
+        let banks = &tile_acts[..tile];
+        lanes.clear();
+        for i in 0..d.in_n {
+            if banks.iter().all(|b| b.is_gated(i)) {
+                continue;
+            }
+            if single && banks.iter().all(|b| b.is_gated(i) || b.is_seg_zero(i)) {
+                stats.zero_seg_skips += banks.iter().filter(|b| !b.is_gated(i)).count() as u64;
+                continue;
+            }
+            lanes.push((i, i));
+        }
+        tile_counts.clear();
+        tile_counts.resize(tile * d.out_n, 0);
+        for o in 0..d.out_n {
+            kernels::mac_segment_tile(
+                run.kernel,
+                &geom,
+                banks,
+                (&weights.pos.words, &weights.pos.present),
+                (&weights.neg.words, &weights.neg.present),
+                lanes,
+                o * d.in_n,
+                0,
+                &mut TileState {
+                    accs: &mut tile_accs[..tile * seg_words],
+                    in_group: &mut tile_in_group[..tile],
+                    sat: &mut tile_sat[..tile],
+                    phase: &mut tile_phase[..tile],
+                },
+                tile_counts,
+                d.out_n,
+                o,
+                stats,
+            );
+        }
+        (0..tile)
+            .map(|t| {
+                let row: Vec<f32> = (0..d.out_n)
+                    .map(|o| tile_counts[t * d.out_n + o] as f32 / m as f32)
+                    .collect();
+                Ok(Tensor::from_vec(&[d.out_n], row)?)
+            })
+            .collect()
     }
 }
 
@@ -1218,8 +1516,17 @@ mod tests {
         let segments = 4;
         let mut scratch = SimScratch::default();
         let m = sim.cfg.per_phase_len();
-        sim.fill_activation_bank(&values, 2, segments, m, &mut scratch)
-            .unwrap();
+        sim.fill_activation_bank(
+            &values,
+            sim.cfg.act_seed,
+            2,
+            segments,
+            m,
+            &mut scratch.full,
+            &mut scratch.thresholds,
+            &mut scratch.acts,
+        )
+        .unwrap();
         let seg_len = m / segments;
         let seed = mix_seed(sim.cfg.act_seed, 2, 0, 7);
         let mut bank = SngBank::new(16, seed).unwrap();
@@ -1521,6 +1828,48 @@ mod tests {
                 .unwrap();
             assert_eq!(via_prefix, direct, "prefix diverged at length {len}");
         }
+    }
+
+    #[test]
+    fn tiled_run_matches_solo_per_image() {
+        let net = digit_like_net();
+        let sim = ScSimulator::new(cfg(128));
+        let prepared = sim.prepare(&net).unwrap();
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|t| {
+                let vals: Vec<f32> = (0..64).map(|i| ((i + 7 * t) % 64) as f32 / 64.0).collect();
+                Tensor::from_vec(&[1, 8, 8], vals).unwrap()
+            })
+            .collect();
+        let seeds: Vec<u32> = (0..3).map(|t| 0xACE1 + 17 * t).collect();
+        let solo: Vec<Tensor> = inputs
+            .iter()
+            .zip(&seeds)
+            .map(|(x, &s)| {
+                let mut c = cfg(128);
+                c.act_seed = s;
+                ScSimulator::new(c).run_prepared(&prepared, x).unwrap()
+            })
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let tiled = sim.run_prepared_tile(&prepared, &refs, &seeds).unwrap();
+        assert_eq!(solo, tiled);
+    }
+
+    #[test]
+    fn tiled_run_rejects_bad_tiles() {
+        let net = digit_like_net();
+        let sim = ScSimulator::new(cfg(128));
+        let prepared = sim.prepare(&net).unwrap();
+        let input = ramp_input();
+        assert!(matches!(
+            sim.run_prepared_tile(&prepared, &[], &[]),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            sim.run_prepared_tile(&prepared, &[&input], &[1, 2]),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! AVX2 MAC kernel for multi-word segments (x86-64, runtime-dispatched).
+//!
+//! The merge loop runs 256 bits per step (`vpand`/`vpor` over four words)
+//! and group popcounts use the Mula/Harley-Seal byte-lookup kernel from
+//! `acoustic_core::bitstream::x86`. Segments under four words delegate to
+//! the scalar kernel — a register accumulator beats vector setup there.
+//! Semantics (grouping, saturation short-circuit, zero-segment skipping,
+//! counter attribution) are identical to [`scalar`]; equivalence is
+//! test-enforced.
+
+use acoustic_core::bitstream::x86::count_ones_words_avx2;
+
+use super::scalar::{self, is_saturated};
+use super::{KernelStats, PhaseArgs, TilePhaseArgs, TileState};
+
+/// Minimum words per segment before the vector path pays for itself.
+const MIN_SIMD_WORDS: usize = 4;
+
+/// One MAC phase over one segment (see [`scalar::mac_phase`]).
+pub(crate) fn mac_phase(args: &PhaseArgs<'_>, acc: &mut [u64], stats: &mut KernelStats) -> u64 {
+    if args.geom.seg_words < MIN_SIMD_WORDS {
+        return scalar::mac_phase(args, acc, stats);
+    }
+    // SAFETY: dispatch selects the AVX2 kernel only on hosts where cpuid
+    // reported AVX2 support (`active_kernel`).
+    unsafe { mac_phase_words(args, acc, stats) }
+}
+
+/// One tiled MAC phase (see [`scalar::mac_phase_tile`]).
+pub(crate) fn mac_phase_tile(
+    args: &TilePhaseArgs<'_>,
+    state: &mut TileState<'_>,
+    stats: &mut KernelStats,
+) {
+    let geom = args.geom;
+    if geom.single_group() && geom.seg_words == 1 && args.banks.len() >= 4 {
+        // Single-word lockstep tiles vectorize across the *tile* dimension:
+        // one image per 64-bit SIMD lane.
+        let tile = args.banks.len();
+        state.phase[..tile].fill(0);
+        state.in_group[..tile].fill(0);
+        state.sat[..tile].fill(false);
+        state.accs[..tile * geom.seg_words].fill(0);
+        // SAFETY: dispatch selects the AVX2 kernel only on hosts where
+        // cpuid reported AVX2 support (`active_kernel`).
+        unsafe { mac_phase_tile_word_single(args, state, stats) };
+        return;
+    }
+    if geom.seg_words < MIN_SIMD_WORDS {
+        return scalar::mac_phase_tile(args, state, stats);
+    }
+    // SAFETY: as in `mac_phase` — AVX2 presence verified at dispatch.
+    unsafe { mac_phase_tile_words(args, state, stats) }
+}
+
+/// Tile-vectorized lockstep walk: 4 images per 256-bit accumulator, one
+/// `vptest` per lane for the all-saturated early exit, scalar tail for the
+/// final `tile % 4` images. Bit-identical to the scalar lockstep walk —
+/// AND/OR/popcount are exact in any order and gated/zero lanes hold
+/// all-zero words.
+#[target_feature(enable = "avx2")]
+unsafe fn mac_phase_tile_word_single(
+    args: &TilePhaseArgs<'_>,
+    state: &mut TileState<'_>,
+    stats: &mut KernelStats,
+) {
+    use std::arch::x86_64::*;
+    let geom = args.geom;
+    let tile = args.banks.len();
+    let lanes = args.lanes;
+    // SAFETY: sat_mask is a bit pattern; sign-reinterpreting is lossless.
+    let maskv = _mm256_set1_epi64x(geom.sat_mask as i64);
+    let mut base = 0usize;
+    while base + 4 <= tile {
+        let b0 = args.banks[base].words.as_slice();
+        let b1 = args.banks[base + 1].words.as_slice();
+        let b2 = args.banks[base + 2].words.as_slice();
+        let b3 = args.banks[base + 3].words.as_slice();
+        let mut acc = _mm256_setzero_si256();
+        for (n, &(a_idx, w_base)) in lanes.iter().enumerate() {
+            let w_idx = args.w_off + w_base;
+            if !args.present[w_idx] {
+                continue;
+            }
+            let w = args.bank_words[w_idx * geom.segments + args.segment];
+            let seg_idx = a_idx * geom.segments + args.segment;
+            let wv = _mm256_set1_epi64x(w as i64);
+            let av = _mm256_set_epi64x(
+                b3[seg_idx] as i64,
+                b2[seg_idx] as i64,
+                b1[seg_idx] as i64,
+                b0[seg_idx] as i64,
+            );
+            acc = _mm256_or_si256(acc, _mm256_and_si256(av, wv));
+            stats.mac_lanes += 4;
+            // testc: `(!acc & maskv) == 0` — every image covers the mask.
+            if _mm256_testc_si256(acc, maskv) != 0 {
+                stats.sat_lanes_skipped += ((lanes.len() - n - 1) * 4) as u64;
+                break;
+            }
+        }
+        let mut out = [0u64; 4];
+        // SAFETY: `out` is 32 bytes; unaligned store is allowed.
+        _mm256_storeu_si256(out.as_mut_ptr().cast(), acc);
+        for (t, &acc_w) in out.iter().enumerate() {
+            state.phase[base + t] = u64::from(acc_w.count_ones());
+            if acc_w == geom.sat_mask {
+                stats.sat_group_exits += 1;
+            }
+        }
+        base += 4;
+    }
+    scalar::mac_phase_tile_word_single_from(args, state, stats, base);
+}
+
+/// Fused `acc |= act & wgt` over equal-length word slices, 4 words per step.
+#[target_feature(enable = "avx2")]
+unsafe fn merge(acc: &mut [u64], act: &[u64], wgt: &[u64]) {
+    use std::arch::x86_64::*;
+    let n = acc.len();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        // SAFETY: `i + 4 <= n` bounds all three 32-byte unaligned accesses.
+        unsafe {
+            let va = _mm256_loadu_si256(act.as_ptr().add(i).cast());
+            let vw = _mm256_loadu_si256(wgt.as_ptr().add(i).cast());
+            let vc = _mm256_loadu_si256(acc.as_ptr().add(i).cast());
+            let v = _mm256_or_si256(vc, _mm256_and_si256(va, vw));
+            _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), v);
+        }
+        i += 4;
+    }
+    while i < n {
+        acc[i] |= act[i] & wgt[i];
+        i += 1;
+    }
+}
+
+/// Multi-word solo phase; structure mirrors `scalar::mac_phase_words` with
+/// the merge and popcount vectorized.
+#[target_feature(enable = "avx2")]
+unsafe fn mac_phase_words(args: &PhaseArgs<'_>, acc: &mut [u64], stats: &mut KernelStats) -> u64 {
+    let geom = args.geom;
+    let sw = geom.seg_words;
+    debug_assert_eq!(acc.len(), sw);
+    let single = geom.single_group();
+    let mut phase = 0u64;
+    let mut in_group = 0usize;
+    let mut saturated = false;
+    for (n, &(seg_idx, w_base)) in args.lanes.iter().enumerate() {
+        let w_idx = args.w_off + w_base;
+        if !args.present[w_idx] {
+            continue;
+        }
+        if saturated {
+            stats.sat_lanes_skipped += 1;
+        } else if args.seg_zero[seg_idx] {
+            stats.zero_seg_skips += 1;
+        } else {
+            stats.mac_lanes += 1;
+            let a_base = seg_idx * sw;
+            let wb = (w_idx * geom.segments + args.segment) * sw;
+            // SAFETY: caller guarantees AVX2 (target_feature contract).
+            unsafe {
+                merge(
+                    acc,
+                    &args.act_words[a_base..a_base + sw],
+                    &args.bank_words[wb..wb + sw],
+                );
+            }
+            if is_saturated(acc, geom.sat_mask) {
+                saturated = true;
+                stats.sat_group_exits += 1;
+                if single {
+                    stats.sat_lanes_skipped += (args.lanes.len() - n - 1) as u64;
+                    acc.fill(0);
+                    return phase + geom.seg_len as u64;
+                }
+            }
+        }
+        in_group += 1;
+        if in_group == geom.group {
+            phase += if saturated {
+                geom.seg_len as u64
+            } else {
+                // SAFETY: AVX2 guaranteed by the target_feature contract.
+                unsafe { count_ones_words_avx2(acc) }
+            };
+            acc.fill(0);
+            in_group = 0;
+            saturated = false;
+        }
+    }
+    if in_group > 0 {
+        phase += if saturated {
+            geom.seg_len as u64
+        } else {
+            // SAFETY: as above.
+            unsafe { count_ones_words_avx2(acc) }
+        };
+        acc.fill(0);
+    }
+    phase
+}
+
+/// Multi-word tiled phase; structure mirrors `scalar::mac_phase_tile_general`
+/// with the merge and popcount vectorized.
+#[target_feature(enable = "avx2")]
+unsafe fn mac_phase_tile_words(
+    args: &TilePhaseArgs<'_>,
+    state: &mut TileState<'_>,
+    stats: &mut KernelStats,
+) {
+    let geom = args.geom;
+    let sw = geom.seg_words;
+    let tile = args.banks.len();
+    state.phase[..tile].fill(0);
+    state.in_group[..tile].fill(0);
+    state.sat[..tile].fill(false);
+    state.accs[..tile * sw].fill(0);
+    for &(a_idx, w_base) in args.lanes {
+        let w_idx = args.w_off + w_base;
+        if !args.present[w_idx] {
+            continue;
+        }
+        let seg_idx = a_idx * geom.segments + args.segment;
+        let a_base = seg_idx * sw;
+        let wb = (w_idx * geom.segments + args.segment) * sw;
+        for (t, bank) in args.banks.iter().enumerate() {
+            if bank.gated[a_idx] {
+                continue;
+            }
+            let acc = &mut state.accs[t * sw..(t + 1) * sw];
+            if state.sat[t] {
+                stats.sat_lanes_skipped += 1;
+            } else if bank.seg_zero[seg_idx] {
+                stats.zero_seg_skips += 1;
+            } else {
+                stats.mac_lanes += 1;
+                // SAFETY: AVX2 guaranteed by the target_feature contract.
+                unsafe {
+                    merge(
+                        acc,
+                        &bank.words[a_base..a_base + sw],
+                        &args.bank_words[wb..wb + sw],
+                    );
+                }
+                if is_saturated(acc, geom.sat_mask) {
+                    state.sat[t] = true;
+                    stats.sat_group_exits += 1;
+                }
+            }
+            state.in_group[t] += 1;
+            if state.in_group[t] as usize == geom.group {
+                state.phase[t] += if state.sat[t] {
+                    geom.seg_len as u64
+                } else {
+                    // SAFETY: as above.
+                    unsafe { count_ones_words_avx2(acc) }
+                };
+                acc.fill(0);
+                state.in_group[t] = 0;
+                state.sat[t] = false;
+            }
+        }
+    }
+    for t in 0..tile {
+        if state.in_group[t] > 0 {
+            let acc = &state.accs[t * sw..(t + 1) * sw];
+            state.phase[t] += if state.sat[t] {
+                geom.seg_len as u64
+            } else {
+                // SAFETY: as above.
+                unsafe { count_ones_words_avx2(acc) }
+            };
+        }
+    }
+}

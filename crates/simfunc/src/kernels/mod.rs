@@ -1,0 +1,361 @@
+//! Arch-aware MAC kernels behind a runtime dispatch layer.
+//!
+//! Every kernel computes the same function — one split-unipolar MAC phase
+//! over a pooling segment: AND each activation lane against its weight
+//! stream, OR the products into group accumulators, popcount at group
+//! boundaries — and every kernel is bit-identical to the portable scalar
+//! reference (test-enforced by `tests/kernel_equivalence.rs`).
+//!
+//! Two paper-faithful skip optimizations apply to *all* kernels:
+//!
+//! * **OR-saturation short-circuit** — OR is idempotent and monotone, so
+//!   once a group's accumulator reaches all-ones (every in-segment bit set),
+//!   no further merge can change it and the group's final popcount is
+//!   already known to be `seg_len`. Remaining lanes in the group skip their
+//!   word work; with the whole fan-in in one group (`or_group: None`, the
+//!   ACOUSTIC fabric default) the lane loop exits outright.
+//! * **Zero-segment skipping** — a segment whose activation words are all
+//!   zero AND-multiplies to zero against any weight, so its merge is a
+//!   no-op. [`ActBank`](crate::banks::ActBank) precomputes these flags once
+//!   per image; zero lanes still consume their OR-group slot (slot
+//!   occupancy is part of the grouped-accumulator semantics).
+//!
+//! The AVX2 kernel ([`avx2`]) vectorizes the multi-word merge and popcount
+//! (256-bit `vpand`/`vpor`, Mula/Harley-Seal byte-lookup popcount) and is
+//! selected at run time via `is_x86_feature_detected!`; single-word
+//! segments stay on the scalar kernel, whose accumulator lives in a
+//! register.
+
+pub(crate) mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2;
+
+use std::sync::OnceLock;
+
+use crate::banks::ActBank;
+
+/// Configured kernel preference of a simulation (see
+/// [`SimConfig::kernel`](crate::SimConfig::kernel)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelChoice {
+    /// Pick the fastest kernel the host supports, detected at run time.
+    #[default]
+    Auto,
+    /// Always use the portable scalar kernel (the golden reference).
+    Scalar,
+}
+
+/// Resolved kernel implementation actually executing the MAC loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Portable scalar kernel — runs everywhere, defines the semantics.
+    Scalar,
+    /// 256-bit AVX2 kernel for multi-word segments (x86-64 only).
+    Avx2,
+}
+
+/// Environment variable forcing the scalar kernel regardless of the
+/// configured [`KernelChoice`] and host capabilities. Any non-empty value
+/// other than `0` activates it; read once per process.
+pub const FORCE_SCALAR_ENV: &str = "ACOUSTIC_FORCE_SCALAR";
+
+fn force_scalar() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var_os(FORCE_SCALAR_ENV).is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+fn avx2_detected() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        acoustic_core::bitstream::x86::avx2_available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Resolves the configured kernel choice against host capabilities and the
+/// [`FORCE_SCALAR_ENV`] override. `Auto` selects AVX2 only when the host
+/// supports it; the result never names an instruction set the host lacks.
+pub fn active_kernel(choice: KernelChoice) -> KernelKind {
+    if force_scalar() {
+        return KernelKind::Scalar;
+    }
+    match choice {
+        KernelChoice::Scalar => KernelKind::Scalar,
+        KernelChoice::Auto => {
+            if avx2_detected() {
+                KernelKind::Avx2
+            } else {
+                KernelKind::Scalar
+            }
+        }
+    }
+}
+
+/// Kernel skip-work counters. Purely observational: values never feed back
+/// into results, and solo vs tiled execution may attribute skips
+/// differently (e.g. solo prefilters zero segments out of the lane list
+/// when the whole fan-in is one OR group, tiled runs skip them per image).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Lanes whose AND/OR word work actually ran.
+    pub mac_lanes: u64,
+    /// OR groups that reached all-ones before their last lane.
+    pub sat_group_exits: u64,
+    /// Lanes skipped because their group was already saturated.
+    pub sat_lanes_skipped: u64,
+    /// Lanes skipped because the activation segment was all zero.
+    pub zero_seg_skips: u64,
+}
+
+impl KernelStats {
+    /// Accumulates another counter set into `self`.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.mac_lanes += other.mac_lanes;
+        self.sat_group_exits += other.sat_group_exits;
+        self.sat_lanes_skipped += other.sat_lanes_skipped;
+        self.zero_seg_skips += other.zero_seg_skips;
+    }
+}
+
+/// Segment geometry shared by every lane of a MAC call, hoisted out of the
+/// per-lane loop: sizes, the saturation pattern, and the OR-group width.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SegGeom {
+    /// Pooling segments per stream.
+    pub segments: usize,
+    /// Words per segment.
+    pub seg_words: usize,
+    /// Bits per segment at the active stream length (= popcount of a
+    /// saturated group).
+    pub seg_len: usize,
+    /// All-ones pattern of the segment's last word (in-segment bits only;
+    /// tail bits beyond `seg_len` are zero by bank invariant).
+    pub sat_mask: u64,
+    /// OR-group width; `usize::MAX` = whole fan-in in one group.
+    pub group: usize,
+}
+
+impl SegGeom {
+    pub(crate) fn new(segments: usize, seg_words: usize, seg_len: usize, group: usize) -> Self {
+        let rem = seg_len % 64;
+        let sat_mask = if rem == 0 { !0u64 } else { (1u64 << rem) - 1 };
+        SegGeom {
+            segments,
+            seg_words,
+            seg_len,
+            sat_mask,
+            group,
+        }
+    }
+
+    /// Whether the whole fan-in accumulates in a single OR group.
+    pub(crate) fn single_group(&self) -> bool {
+        self.group == usize::MAX
+    }
+}
+
+/// Borrowed operands of one solo MAC phase over one segment.
+pub(crate) struct PhaseArgs<'a> {
+    pub geom: &'a SegGeom,
+    /// The image's activation word bank.
+    pub act_words: &'a [u64],
+    /// Per-segment zero flags of the activation bank (`seg_idx`-indexed).
+    pub seg_zero: &'a [bool],
+    /// The phase's weight word bank.
+    pub bank_words: &'a [u64],
+    /// Whether each weight has a component in this phase.
+    pub present: &'a [bool],
+    /// Receptive-field lanes `(segment_index, weight_base)`, pre-filtered
+    /// of gated activations.
+    pub lanes: &'a [(usize, usize)],
+    /// Per-output-channel weight offset added to each lane's weight base.
+    pub w_off: usize,
+    /// Pooling segment executed by this call.
+    pub segment: usize,
+}
+
+/// Borrowed operands of one tiled MAC phase over one segment: the same
+/// weight walk shared by every image of the tile.
+pub(crate) struct TilePhaseArgs<'a> {
+    pub geom: &'a SegGeom,
+    /// Per-image activation banks (identical layout).
+    pub banks: &'a [ActBank],
+    /// The phase's weight word bank.
+    pub bank_words: &'a [u64],
+    /// Whether each weight has a component in this phase.
+    pub present: &'a [bool],
+    /// Receptive-field lanes `(activation_index, weight_base)`, *not*
+    /// filtered of per-image gating (gating is applied per image inside
+    /// the kernel; lanes gated in every image are dropped by the caller).
+    pub lanes: &'a [(usize, usize)],
+    pub w_off: usize,
+    pub segment: usize,
+}
+
+/// Mutable per-image state of a tiled MAC phase, borrowed out of
+/// [`SimScratch`](crate::SimScratch).
+pub(crate) struct TileState<'a> {
+    /// `tile * seg_words` accumulator words.
+    pub accs: &'a mut [u64],
+    /// Per-image OR-group occupancy.
+    pub in_group: &'a mut [u32],
+    /// Per-image saturation flag of the group in flight.
+    pub sat: &'a mut [bool],
+    /// Per-image phase counts (output).
+    pub phase: &'a mut [u64],
+}
+
+/// One solo split-unipolar MAC over a segment: both phases, OR accumulation
+/// with optional grouping and saturation/zero skipping, returning the
+/// signed count.
+///
+/// `acc` must hold `seg_words` zeroed words; kernels restore the all-zero
+/// state before returning, so one layer-level zeroing suffices.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mac_segment(
+    kind: KernelKind,
+    geom: &SegGeom,
+    act_words: &[u64],
+    seg_zero: &[bool],
+    pos: (&[u64], &[bool]),
+    neg: (&[u64], &[bool]),
+    lanes: &[(usize, usize)],
+    w_off: usize,
+    segment: usize,
+    acc: &mut [u64],
+    stats: &mut KernelStats,
+) -> i64 {
+    let mut count = 0i64;
+    for (sign, (bank_words, present)) in [(1i64, pos), (-1i64, neg)] {
+        let args = PhaseArgs {
+            geom,
+            act_words,
+            seg_zero,
+            bank_words,
+            present,
+            lanes,
+            w_off,
+            segment,
+        };
+        count += sign * mac_phase(kind, &args, acc, stats) as i64;
+    }
+    count
+}
+
+fn mac_phase(
+    kind: KernelKind,
+    args: &PhaseArgs<'_>,
+    acc: &mut [u64],
+    stats: &mut KernelStats,
+) -> u64 {
+    match kind {
+        KernelKind::Scalar => scalar::mac_phase(args, acc, stats),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => avx2::mac_phase(args, acc, stats),
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelKind::Avx2 => scalar::mac_phase(args, acc, stats),
+    }
+}
+
+/// One tiled split-unipolar MAC over a segment: walks each weight word once
+/// and merges it into every image of the tile, accumulating the signed
+/// count of image `t` into `counts[t * stride + offset]`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mac_segment_tile(
+    kind: KernelKind,
+    geom: &SegGeom,
+    banks: &[ActBank],
+    pos: (&[u64], &[bool]),
+    neg: (&[u64], &[bool]),
+    lanes: &[(usize, usize)],
+    w_off: usize,
+    segment: usize,
+    state: &mut TileState<'_>,
+    counts: &mut [i64],
+    stride: usize,
+    offset: usize,
+    stats: &mut KernelStats,
+) {
+    for (sign, (bank_words, present)) in [(1i64, pos), (-1i64, neg)] {
+        let args = TilePhaseArgs {
+            geom,
+            banks,
+            bank_words,
+            present,
+            lanes,
+            w_off,
+            segment,
+        };
+        mac_phase_tile(kind, &args, state, stats);
+        for (t, &p) in state.phase.iter().enumerate() {
+            counts[t * stride + offset] += sign * p as i64;
+        }
+    }
+}
+
+fn mac_phase_tile(
+    kind: KernelKind,
+    args: &TilePhaseArgs<'_>,
+    state: &mut TileState<'_>,
+    stats: &mut KernelStats,
+) {
+    match kind {
+        KernelKind::Scalar => scalar::mac_phase_tile(args, state, stats),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => avx2::mac_phase_tile(args, state, stats),
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelKind::Avx2 => scalar::mac_phase_tile(args, state, stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_choice_always_resolves_scalar() {
+        assert_eq!(active_kernel(KernelChoice::Scalar), KernelKind::Scalar);
+    }
+
+    #[test]
+    fn auto_choice_matches_host_detection() {
+        let kind = active_kernel(KernelChoice::Auto);
+        if force_scalar() {
+            assert_eq!(kind, KernelKind::Scalar);
+        } else if avx2_detected() {
+            assert_eq!(kind, KernelKind::Avx2);
+        } else {
+            assert_eq!(kind, KernelKind::Scalar);
+        }
+    }
+
+    #[test]
+    fn seg_geom_sat_mask_covers_tail() {
+        assert_eq!(SegGeom::new(1, 1, 64, usize::MAX).sat_mask, !0);
+        assert_eq!(SegGeom::new(4, 1, 16, usize::MAX).sat_mask, 0xFFFF);
+        assert_eq!(SegGeom::new(1, 2, 96, 8).sat_mask, (1u64 << 32) - 1);
+        assert!(SegGeom::new(1, 1, 64, usize::MAX).single_group());
+        assert!(!SegGeom::new(1, 2, 96, 8).single_group());
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = KernelStats {
+            mac_lanes: 1,
+            sat_group_exits: 2,
+            sat_lanes_skipped: 3,
+            zero_seg_skips: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.mac_lanes, 2);
+        assert_eq!(a.sat_group_exits, 4);
+        assert_eq!(a.sat_lanes_skipped, 6);
+        assert_eq!(a.zero_seg_skips, 8);
+    }
+}

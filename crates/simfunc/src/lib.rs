@@ -36,12 +36,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod banks;
 mod engine;
 mod expected;
+pub mod kernels;
 mod sim_error;
 
-pub use engine::{LayerTrace, PreparedNetwork, RunTrace, ScSimulator, SimScratch, StepTiming};
+pub use banks::SimScratch;
+pub use engine::{LayerTrace, PreparedNetwork, RunTrace, ScSimulator, StepTiming};
 pub use expected::{expected_accuracy, expected_logits};
+pub use kernels::{active_kernel, KernelChoice, KernelKind, KernelStats, FORCE_SCALAR_ENV};
 pub use sim_error::SimError;
 
 /// Configuration of a stochastic functional simulation.
@@ -76,6 +80,11 @@ pub struct SimConfig {
     /// correlation problem"). Disabling reuses the same sequences in every
     /// layer — the ablation showing why regeneration matters.
     pub regenerate_streams: bool,
+    /// MAC kernel preference. [`KernelChoice::Auto`] (the default) picks the
+    /// fastest kernel the host supports at run time; every kernel is
+    /// bit-identical, so this never changes results. The
+    /// [`FORCE_SCALAR_ENV`] environment variable overrides any choice.
+    pub kernel: KernelChoice,
 }
 
 impl SimConfig {
@@ -99,6 +108,7 @@ impl SimConfig {
             skip_pooling: true,
             shared_act_rng: false,
             regenerate_streams: true,
+            kernel: KernelChoice::Auto,
         })
     }
 

@@ -1,0 +1,255 @@
+//! Kernel-equivalence suite: every dispatchable MAC kernel and every
+//! execution shape must produce bit-identical logits.
+//!
+//! Three axes are exercised against the portable scalar reference:
+//!
+//! * **Kernel** — `KernelChoice::Auto` (AVX2 where the host has it) vs
+//!   `KernelChoice::Scalar`, across seeds, OR-group widths, datapath
+//!   variants, and stream lengths spanning single-word and multi-word
+//!   segments.
+//! * **Tiling** — `run_prepared_tile*` for tile sizes 1/2/4/8 vs the solo
+//!   per-image path, including an all-zero image (every lane gated) and a
+//!   shortened stream-length prefix.
+//! * **Override** — the `ACOUSTIC_FORCE_SCALAR` environment variable, which
+//!   must pin `Auto` dispatch to the scalar kernel (checked in a
+//!   subprocess: the variable is read once per process).
+
+use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic_nn::Tensor;
+use acoustic_simfunc::{
+    active_kernel, KernelChoice, KernelKind, ScSimulator, SimConfig, SimScratch, FORCE_SCALAR_ENV,
+};
+
+/// Small conv+pool+dense net with mixed-sign, partly-zero weights.
+fn build_net() -> Network {
+    let mut net = Network::new();
+    let mut conv = Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap();
+    for (i, w) in conv.weights_mut().iter_mut().enumerate() {
+        *w = match i % 5 {
+            0 => 0.0,
+            1 => 0.9,
+            2 => -0.6,
+            3 => 0.35,
+            _ => -0.15,
+        };
+    }
+    net.push_conv(conv);
+    net.push_avg_pool(AvgPool2d::new(2).unwrap());
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    let mut fc = Dense::new(2 * 4 * 4, 4, AccumMode::OrApprox).unwrap();
+    for (i, w) in fc.weights_mut().iter_mut().enumerate() {
+        *w = ((i as f32 * 0.19).sin()) * if i % 6 == 0 { 0.0 } else { 0.8 };
+    }
+    net.push_dense(fc);
+    net
+}
+
+/// Inputs covering gated lanes (zeros), saturating ones, and a ramp; image
+/// `i` is a distinct rotation so every tile member differs.
+fn test_inputs(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            let v: Vec<f32> = (0..64)
+                .map(|j| match (i + j) % 6 {
+                    0 => 0.0,
+                    1 => 1.0,
+                    _ => ((i + j) % 64) as f32 / 63.0,
+                })
+                .collect();
+            Tensor::from_vec(&[1, 8, 8], v).unwrap()
+        })
+        .collect()
+}
+
+fn cfg(stream_len: usize, kernel: KernelChoice) -> SimConfig {
+    SimConfig {
+        kernel,
+        ..SimConfig::with_stream_len(stream_len).unwrap()
+    }
+}
+
+/// `Auto` dispatch (AVX2 on capable hosts) is bit-identical to the scalar
+/// reference across seeds, OR-group widths, datapath variants, and stream
+/// lengths from single-word up to 4-word segments (the AVX2 multi-word
+/// threshold).
+#[test]
+fn auto_kernel_matches_scalar_across_config_matrix() {
+    let net = build_net();
+    let input = &test_inputs(1)[0];
+    let mut scratch = SimScratch::default();
+    let mut checked = 0usize;
+    for (act_seed, wgt_seed) in [(0xACE1, 0x1234), (0xBEEF, 0x0F0D)] {
+        for or_group in [None, Some(3)] {
+            for skip_pooling in [true, false] {
+                for shared_act_rng in [true, false] {
+                    for stream_len in [64, 128, 192, 320, 512] {
+                        let base = SimConfig {
+                            act_seed,
+                            wgt_seed,
+                            or_group,
+                            skip_pooling,
+                            shared_act_rng,
+                            ..cfg(stream_len, KernelChoice::Scalar)
+                        };
+                        let scalar_sim = ScSimulator::new(base);
+                        let auto_sim = ScSimulator::new(SimConfig {
+                            kernel: KernelChoice::Auto,
+                            ..base
+                        });
+                        let prepared = scalar_sim.prepare(&net).unwrap();
+                        let want = scalar_sim
+                            .run_prepared_with(&prepared, input, &mut scratch)
+                            .unwrap();
+                        let got = auto_sim
+                            .run_prepared_with(&prepared, input, &mut scratch)
+                            .unwrap();
+                        assert_eq!(
+                            got.as_slice(),
+                            want.as_slice(),
+                            "auto kernel diverged: act_seed={act_seed:#x} \
+                             or_group={or_group:?} skip_pooling={skip_pooling} \
+                             shared_act_rng={shared_act_rng} stream_len={stream_len}"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 80);
+}
+
+/// Tiled execution is bit-identical to the solo path for every tile size
+/// and both kernel choices — including an all-zero image whose lanes are
+/// all gated.
+#[test]
+fn tiled_matches_solo_across_tile_sizes_and_kernels() {
+    let net = build_net();
+    let mut inputs = test_inputs(8);
+    inputs[3] = Tensor::zeros(&[1, 8, 8]); // fully gated image mid-tile
+    let seeds: Vec<u32> = (0..8).map(|i| 0x5EED + 31 * i).collect();
+    let mut scratch = SimScratch::default();
+    for kernel in [KernelChoice::Scalar, KernelChoice::Auto] {
+        let base = cfg(128, kernel);
+        let sim = ScSimulator::new(base);
+        let prepared = sim.prepare(&net).unwrap();
+        let solo: Vec<Tensor> = inputs
+            .iter()
+            .zip(&seeds)
+            .map(|(x, &s)| {
+                ScSimulator::new(SimConfig {
+                    act_seed: s,
+                    ..base
+                })
+                .run_prepared_with(&prepared, x, &mut scratch)
+                .unwrap()
+            })
+            .collect();
+        for tile in [1usize, 2, 4, 8] {
+            for (lo, (xs, ss)) in inputs
+                .chunks(tile)
+                .zip(seeds.chunks(tile))
+                .enumerate()
+                .map(|(t, c)| (t * tile, c))
+            {
+                let refs: Vec<&Tensor> = xs.iter().collect();
+                let got = sim
+                    .run_prepared_tile_with(&prepared, &refs, ss, &mut scratch)
+                    .unwrap();
+                for (off, g) in got.iter().enumerate() {
+                    assert_eq!(
+                        g.as_slice(),
+                        solo[lo + off].as_slice(),
+                        "tiled logits diverged: kernel={kernel:?} tile={tile} image={}",
+                        lo + off
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Tiled prefix execution (`run_prepared_tile_at_with`) matches the solo
+/// prefix path at a shortened stream length.
+#[test]
+fn tiled_prefix_matches_solo_prefix() {
+    let net = build_net();
+    let inputs = test_inputs(4);
+    let seeds = [7u32, 8, 9, 10];
+    let mut scratch = SimScratch::default();
+    let base = cfg(128, KernelChoice::Auto);
+    let sim = ScSimulator::new(base);
+    let prepared = sim.prepare(&net).unwrap();
+    let refs: Vec<&Tensor> = inputs.iter().collect();
+    let got = sim
+        .run_prepared_tile_at_with(&prepared, &refs, &seeds, 64, &mut scratch)
+        .unwrap();
+    for (i, (x, &s)) in inputs.iter().zip(&seeds).enumerate() {
+        let want = ScSimulator::new(SimConfig {
+            act_seed: s,
+            ..base
+        })
+        .run_prepared_at_with(&prepared, x, 64, &mut scratch)
+        .unwrap();
+        assert_eq!(
+            got[i].as_slice(),
+            want.as_slice(),
+            "tiled prefix logits diverged at image {i}"
+        );
+    }
+}
+
+/// Child body for [`force_scalar_env_pins_auto_dispatch`]; only meaningful
+/// with `ACOUSTIC_FORCE_SCALAR=1` in the environment, hence ignored in
+/// normal runs.
+#[test]
+#[ignore = "spawned as a subprocess by force_scalar_env_pins_auto_dispatch"]
+fn forced_scalar_child() {
+    assert_eq!(
+        std::env::var(FORCE_SCALAR_ENV).as_deref(),
+        Ok("1"),
+        "child must run with the override set"
+    );
+    assert_eq!(active_kernel(KernelChoice::Auto), KernelKind::Scalar);
+    // And the forced dispatch still computes correct (scalar-identical)
+    // logits through both the solo and tiled paths.
+    let net = build_net();
+    let inputs = test_inputs(4);
+    let seeds = [3u32, 4, 5, 6];
+    let mut scratch = SimScratch::default();
+    let base = cfg(128, KernelChoice::Auto);
+    let sim = ScSimulator::new(base);
+    let prepared = sim.prepare(&net).unwrap();
+    let refs: Vec<&Tensor> = inputs.iter().collect();
+    let tiled = sim
+        .run_prepared_tile_with(&prepared, &refs, &seeds, &mut scratch)
+        .unwrap();
+    for (i, (x, &s)) in inputs.iter().zip(&seeds).enumerate() {
+        let solo = ScSimulator::new(SimConfig {
+            act_seed: s,
+            ..base
+        })
+        .run_prepared_with(&prepared, x, &mut scratch)
+        .unwrap();
+        assert_eq!(tiled[i].as_slice(), solo.as_slice(), "image {i}");
+    }
+}
+
+/// The `ACOUSTIC_FORCE_SCALAR` override is read once per process, so the
+/// assertion runs in a subprocess with the variable set.
+#[test]
+fn force_scalar_env_pins_auto_dispatch() {
+    let exe = std::env::current_exe().unwrap();
+    let out = std::process::Command::new(exe)
+        .args(["--exact", "forced_scalar_child", "--ignored", "--nocapture"])
+        .env(FORCE_SCALAR_ENV, "1")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "forced-scalar child failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
