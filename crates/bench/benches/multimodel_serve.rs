@@ -1,0 +1,299 @@
+//! Multi-model serving under a cache memory budget.
+//!
+//! Trains the three zoo models (LeNet-5, CIFAR-10 CNN, SVHN CNN) through
+//! the acoustic-train pipeline, writes them into `results/zoo/`, serves
+//! all of them from one server process whose `ModelCache` byte budget is
+//! deliberately too small for the whole zoo, and replays mixed Poisson
+//! traffic against it. The budget forces LRU evictions mid-run; evicted
+//! models recompile on demand, so every accepted response must still be
+//! bit-identical to direct engine evaluation — any mismatch or silently
+//! dropped reply aborts the bench.
+//!
+//! Records per-model offered/completed/rejected counts, p50/p99 latency,
+//! goodput and eviction counts into `results/BENCH_multimodel.json` in the
+//! shared `{name, config, metrics}` shape (see `results/README.md`). Pass
+//! `--quick` (or set `ACOUSTIC_BENCH_QUICK`) for a CI-sized run.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acoustic_bench::harness::json_string;
+use acoustic_runtime::{BatchEngine, ModelCache, PreparedModel};
+use acoustic_serve::{
+    run_load_mix, summarize_mix, validate_responses_mix, LoadGenConfig, ModelLoadReport,
+    ModelRegistry, ModelTraffic, ServeConfig, Server,
+};
+use acoustic_train::{save_zoo, train_model, PipelineConfig, ZooEntry, ZooModel};
+
+struct Setup {
+    steps: usize,
+    batch_size: usize,
+    val_size: usize,
+    stream_len: usize,
+    requests: u64,
+    qps: f64,
+}
+
+const MODELS: [ZooModel; 3] = [ZooModel::Lenet5, ZooModel::Cifar10Cnn, ZooModel::SvhnCnn];
+const MIX_WEIGHTS: [u32; 3] = [3, 2, 1];
+const QUEUE_CAPACITY: usize = 8;
+const DEADLINE: Duration = Duration::from_secs(2);
+const TEST_IMAGES: usize = 16;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("ACOUSTIC_BENCH_QUICK").is_some();
+    let setup = if quick {
+        Setup {
+            steps: 10,
+            batch_size: 10,
+            val_size: 20,
+            stream_len: 64,
+            requests: 90,
+            qps: 40.0,
+        }
+    } else {
+        // Stream 64 keeps a cold-model recompile ~1-2 s, safely inside the
+        // load generator's reply-grace window even when several requests
+        // queue behind two consecutive recompiles.
+        Setup {
+            steps: 48,
+            batch_size: 16,
+            val_size: 40,
+            stream_len: 64,
+            requests: 300,
+            qps: 40.0,
+        }
+    };
+
+    // --- train the zoo through the producer/consumer pipeline ------------
+    let pipe = PipelineConfig {
+        producers: 2,
+        channel_capacity: 4,
+        batch_size: setup.batch_size,
+        steps: setup.steps,
+        val_size: setup.val_size,
+        seed: 17,
+    };
+    let train_start = Instant::now();
+    let trained: Vec<(ZooEntry, acoustic_nn::layers::Network)> = std::thread::scope(|scope| {
+        let joins: Vec<_> = MODELS
+            .iter()
+            .map(|&model| {
+                scope.spawn(move || {
+                    let out = train_model(model, &pipe).expect("pipeline trains");
+                    let entry = ZooEntry::from_outcome(model, &pipe, setup.stream_len, &out);
+                    println!(
+                        "trained {}: {} steps, train acc {:.2}, val acc {:.2} ({:.1}s)",
+                        model.slug(),
+                        out.steps,
+                        out.train_acc,
+                        out.val_acc,
+                        out.seconds
+                    );
+                    (entry, out.network)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    println!(
+        "zoo trained in {:.1}s wall-clock",
+        train_start.elapsed().as_secs_f64()
+    );
+
+    let zoo_dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/zoo"));
+    let refs: Vec<_> = trained.iter().map(|(e, n)| (e.clone(), n)).collect();
+    save_zoo(zoo_dir, &refs).expect("zoo saves");
+    println!("wrote {}", zoo_dir.display());
+
+    // --- golden copies (never evicted) + a budget too small for the zoo --
+    let sim = acoustic_simfunc::SimConfig::with_stream_len(setup.stream_len).unwrap();
+    let golden_cache = Arc::new(ModelCache::new());
+    let goldens: Vec<(u32, Arc<PreparedModel>)> = trained
+        .iter()
+        .map(|(e, net)| {
+            (
+                e.model.id(),
+                golden_cache
+                    .get_or_compile(sim, net)
+                    .expect("golden compiles"),
+            )
+        })
+        .collect();
+    let total_bytes: usize = goldens.iter().map(|(_, m)| m.approx_bytes()).sum();
+    let budget = (total_bytes * 2 / 3).max(1);
+
+    // --- serve the zoo under that budget ---------------------------------
+    let cache = Arc::new(ModelCache::with_limits(8, Some(budget)).unwrap());
+    let registry = ModelRegistry::from_zoo_dir(zoo_dir, &cache).expect("zoo loads");
+    let handle = Server::start(
+        "127.0.0.1:0",
+        registry,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: QUEUE_CAPACITY,
+            batch_max: 4,
+            default_deadline: DEADLINE,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let traffic: Vec<ModelTraffic> = trained
+        .iter()
+        .zip(MIX_WEIGHTS)
+        .map(|((e, _), weight)| ModelTraffic {
+            model_id: e.model.id(),
+            weight,
+            images: e
+                .model
+                .data_kind()
+                .generate(0, TEST_IMAGES, 11)
+                .test
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect(),
+        })
+        .collect();
+    let load = LoadGenConfig {
+        qps: setup.qps,
+        requests: setup.requests,
+        connections: 3,
+        seed: 13,
+        ..LoadGenConfig::default()
+    };
+    let outcome = run_load_mix(handle.addr(), &traffic, &load).expect("load run completes");
+    let engine = BatchEngine::new(1).unwrap();
+    let mismatches = validate_responses_mix(&outcome, &goldens, &engine, &traffic, &load)
+        .expect("validation runs");
+    let reports = summarize_mix(&outcome, &traffic, &load);
+    let stats = handle.shutdown();
+
+    // Hard contract: bit-identical responses, nothing silently dropped.
+    assert_eq!(mismatches, 0, "server responses diverged from the engine");
+    for r in &reports {
+        assert_eq!(r.dropped, 0, "model {}: unanswered requests", r.model_id);
+        assert_eq!(r.other_errors, 0, "model {}: unexpected errors", r.model_id);
+        assert!(r.completed > 0, "model {}: nothing completed", r.model_id);
+    }
+
+    let evictions: Vec<(u32, u64)> = goldens
+        .iter()
+        .map(|(id, m)| (*id, cache.evictions_of(m.fingerprint())))
+        .collect();
+    for (r, model) in reports.iter().zip(MODELS) {
+        let ev = evictions
+            .iter()
+            .find(|(id, _)| *id == r.model_id)
+            .unwrap()
+            .1;
+        println!(
+            "{} (id {}): offered {} completed {} rejected {} | p50/p99 {}/{} us | \
+             goodput {:.1} QPS | evictions {}",
+            model.slug(),
+            r.model_id,
+            r.offered,
+            r.completed,
+            r.rejected_overload,
+            r.p50_us,
+            r.p99_us,
+            r.goodput_qps,
+            ev
+        );
+    }
+    println!(
+        "cache: budget {} / zoo {} bytes, {} total evictions, {} model-budget rejections",
+        budget,
+        total_bytes,
+        cache.evictions(),
+        stats.rejected_model_budget
+    );
+
+    let json = to_json(
+        &setup,
+        quick,
+        budget,
+        total_bytes,
+        cache.evictions(),
+        stats.rejected_model_budget,
+        &reports,
+        &evictions,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_multimodel.json"
+    );
+    std::fs::write(path, json).unwrap();
+    println!("wrote {path}");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    setup: &Setup,
+    quick: bool,
+    budget: usize,
+    zoo_bytes: usize,
+    total_evictions: u64,
+    model_budget_rejections: u64,
+    reports: &[ModelLoadReport],
+    evictions: &[(u32, u64)],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"name\": {},", json_string("multimodel_serve"));
+    out.push_str("  \"config\": {\n");
+    let slugs: Vec<String> = MODELS.iter().map(|m| json_string(m.slug())).collect();
+    let _ = writeln!(out, "    \"models\": [{}],", slugs.join(", "));
+    let mix: Vec<String> = MODELS
+        .iter()
+        .zip(MIX_WEIGHTS)
+        .map(|(m, w)| format!("\"{}:{w}\"", m.id()))
+        .collect();
+    let _ = writeln!(out, "    \"mix\": [{}],", mix.join(", "));
+    let _ = writeln!(out, "    \"train_steps\": {},", setup.steps);
+    let _ = writeln!(out, "    \"batch_size\": {},", setup.batch_size);
+    let _ = writeln!(out, "    \"stream_len\": {},", setup.stream_len);
+    let _ = writeln!(out, "    \"requests\": {},", setup.requests);
+    let _ = writeln!(out, "    \"offered_qps\": {:.1},", setup.qps);
+    let _ = writeln!(out, "    \"workers\": 1,");
+    let _ = writeln!(out, "    \"queue_capacity\": {QUEUE_CAPACITY},");
+    let _ = writeln!(out, "    \"deadline_ms\": {},", DEADLINE.as_millis());
+    let _ = writeln!(out, "    \"cache_budget_bytes\": {budget},");
+    let _ = writeln!(out, "    \"zoo_bytes\": {zoo_bytes},");
+    let _ = writeln!(out, "    \"quick\": {quick}");
+    out.push_str("  },\n");
+    out.push_str("  \"metrics\": {\n");
+    let _ = writeln!(out, "    \"total_evictions\": {total_evictions},");
+    let _ = writeln!(
+        out,
+        "    \"model_budget_rejections\": {model_budget_rejections},"
+    );
+    let _ = writeln!(out, "    \"mismatches\": 0,");
+    out.push_str("    \"per_model\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let ev = evictions
+            .iter()
+            .find(|(id, _)| *id == r.model_id)
+            .map_or(0, |(_, e)| *e);
+        let _ = write!(
+            out,
+            "      {{\"model_id\": {}, \"offered\": {}, \"completed\": {}, \
+             \"rejected_overload\": {}, \"deadline_exceeded\": {}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"goodput_qps\": {:.2}, \"evictions\": {}, \"dropped\": 0}}",
+            r.model_id,
+            r.offered,
+            r.completed,
+            r.rejected_overload,
+            r.deadline_exceeded,
+            r.p50_us,
+            r.p99_us,
+            r.goodput_qps,
+            ev
+        );
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]\n  }\n}\n");
+    out
+}

@@ -14,6 +14,7 @@
 //! `ACOUSTIC_BENCH_QUICK`) for a CI-sized run.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acoustic_bench::harness::json_string;
@@ -81,7 +82,7 @@ fn main() {
     );
 
     let sim = SimConfig::with_stream_len(setup.stream_len).expect("valid stream length");
-    let cache = ModelCache::new();
+    let cache = Arc::new(ModelCache::new());
     let golden = cache
         .get_or_compile(sim, &network)
         .expect("model preparation succeeds");

@@ -51,6 +51,59 @@ impl Dataset {
     }
 }
 
+/// The synthetic dataset families, nameable so manifests and checkpoints
+/// can round-trip "which generator made this data" as a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataKind {
+    /// [`mnist_like`] — 28×28×1 digit glyphs.
+    MnistLike,
+    /// [`svhn_like`] — 32×32×3 digits over cluttered backgrounds.
+    SvhnLike,
+    /// [`cifar_like`] — 32×32×3 texture/shape compositions.
+    CifarLike,
+}
+
+impl DataKind {
+    /// Every dataset family.
+    pub const ALL: [DataKind; 3] = [DataKind::MnistLike, DataKind::SvhnLike, DataKind::CifarLike];
+
+    /// Stable name, identical to the generated [`Dataset::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            DataKind::MnistLike => "mnist-like",
+            DataKind::SvhnLike => "svhn-like",
+            DataKind::CifarLike => "cifar-like",
+        }
+    }
+
+    /// Parses a [`DataKind::name`] back into the kind.
+    pub fn from_name(name: &str) -> Option<DataKind> {
+        DataKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Runs the family's generator (see [`mnist_like`] and friends).
+    pub fn generate(self, train: usize, test: usize, seed: u64) -> Dataset {
+        match self {
+            DataKind::MnistLike => mnist_like(train, test, seed),
+            DataKind::SvhnLike => svhn_like(train, test, seed),
+            DataKind::CifarLike => cifar_like(train, test, seed),
+        }
+    }
+
+    /// Sample tensor shape, `[channels, height, width]`.
+    pub fn input_shape(self) -> [usize; 3] {
+        match self {
+            DataKind::MnistLike => [1, 28, 28],
+            DataKind::SvhnLike | DataKind::CifarLike => [3, 32, 32],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(self) -> usize {
+        10
+    }
+}
+
 /// Generates an MNIST-like dataset: 28×28×1 digit glyphs, classes 0–9.
 ///
 /// Each sample renders the class digit at 3× scale with translation jitter,
@@ -355,5 +408,21 @@ mod tests {
     fn empty_dataset_shape_is_empty() {
         let ds = mnist_like(0, 0, 1);
         assert!(ds.input_shape().is_empty());
+    }
+
+    #[test]
+    fn data_kind_round_trips_names_and_matches_generators() {
+        for kind in DataKind::ALL {
+            assert_eq!(DataKind::from_name(kind.name()), Some(kind));
+            let ds = kind.generate(4, 2, 3);
+            assert_eq!(ds.name, kind.name());
+            assert_eq!(ds.input_shape(), kind.input_shape().to_vec());
+            assert_eq!(ds.classes, kind.classes());
+        }
+        assert_eq!(DataKind::from_name("imagenet"), None);
+        // Kind-routed generation is the direct generator, bit for bit.
+        let a = DataKind::CifarLike.generate(6, 2, 17);
+        let b = cifar_like(6, 2, 17);
+        assert_eq!(a.train[5].0, b.train[5].0);
     }
 }

@@ -90,6 +90,13 @@ impl PreparedModel {
         self.prepared.supported_lengths()
     }
 
+    /// Approximate resident size of the prepared weight banks, in bytes
+    /// (see [`PreparedNetwork::approx_bytes`]). [`ModelCache`] memory
+    /// budgets are enforced against this figure.
+    pub fn approx_bytes(&self) -> usize {
+        self.prepared.approx_bytes()
+    }
+
     /// A simulator whose activation seed is derived for `image_index`.
     fn image_sim(&self, image_index: u64) -> ScSimulator {
         let mut cfg = self.cfg;
@@ -391,12 +398,19 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 32;
 /// Capacity-bounded with least-recently-used eviction: at most
 /// `capacity` models are retained (default
 /// [`DEFAULT_CACHE_CAPACITY`]), and inserting into a full cache evicts the
-/// entry whose last hit is oldest. Eviction only drops the cache's `Arc` —
-/// callers still holding the model keep it alive.
+/// entry whose last hit is oldest. An optional **memory budget**
+/// ([`ModelCache::with_limits`]) additionally bounds the summed
+/// [`PreparedModel::approx_bytes`] of resident models, evicting LRU-first
+/// until the budget holds (the most recent insert is always retained, so a
+/// single over-budget model still serves). Eviction only drops the cache's
+/// `Arc` — callers still holding the model keep it alive — and every
+/// eviction is counted, globally and per model fingerprint, for serving
+/// observability.
 #[derive(Debug)]
 pub struct ModelCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    memory_budget: Option<usize>,
 }
 
 #[derive(Debug, Default)]
@@ -405,6 +419,36 @@ struct CacheInner {
     map: HashMap<(u64, SimConfig), (u64, Arc<PreparedModel>)>,
     /// Monotonic logical clock, bumped on every hit or insert.
     tick: u64,
+    /// Summed `approx_bytes` of every resident model.
+    bytes: usize,
+    /// Total evictions since creation.
+    evictions: u64,
+    /// Evictions per evicted model's [`PreparedModel::fingerprint`].
+    evicted_by_model: HashMap<u64, u64>,
+}
+
+impl CacheInner {
+    /// Evicts the least-recently-used entry (skipping nothing — the caller
+    /// guarantees the entry that must survive holds the newest tick).
+    fn evict_lru(&mut self) {
+        if let Some(oldest) = self
+            .map
+            .iter()
+            .min_by_key(|(_, (stamp, _))| *stamp)
+            .map(|(k, _)| *k)
+        {
+            if let Some((_, gone)) = self.map.remove(&oldest) {
+                self.bytes = self.bytes.saturating_sub(gone.approx_bytes());
+                self.evictions += 1;
+                *self.evicted_by_model.entry(gone.fingerprint()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Whether limits require another eviction (never below one entry).
+    fn over_limits(&self, capacity: usize, budget: Option<usize>) -> bool {
+        self.map.len() > 1 && (self.map.len() > capacity || budget.is_some_and(|b| self.bytes > b))
+    }
 }
 
 impl Default for ModelCache {
@@ -412,6 +456,7 @@ impl Default for ModelCache {
         ModelCache {
             inner: Mutex::default(),
             capacity: DEFAULT_CACHE_CAPACITY,
+            memory_budget: None,
         }
     }
 }
@@ -428,20 +473,72 @@ impl ModelCache {
     ///
     /// [`RuntimeError::InvalidConfig`] if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Result<Self, RuntimeError> {
+        ModelCache::with_limits(capacity, None)
+    }
+
+    /// Creates an empty cache retaining at most `capacity` models whose
+    /// summed [`PreparedModel::approx_bytes`] stays within
+    /// `memory_budget` bytes (when given). The budget is enforced
+    /// LRU-first on insert; the most recent insert always survives, so one
+    /// over-budget model still serves (and is evicted by the next insert).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] if `capacity` or the budget is zero.
+    pub fn with_limits(
+        capacity: usize,
+        memory_budget: Option<usize>,
+    ) -> Result<Self, RuntimeError> {
         if capacity == 0 {
             return Err(RuntimeError::InvalidConfig(
                 "model cache capacity must be at least 1".into(),
             ));
         }
+        if memory_budget == Some(0) {
+            return Err(RuntimeError::InvalidConfig(
+                "model cache memory budget must be at least 1 byte".into(),
+            ));
+        }
         Ok(ModelCache {
             inner: Mutex::default(),
             capacity,
+            memory_budget,
         })
     }
 
     /// Maximum number of retained models.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The configured memory budget in bytes, if any.
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
+    /// Summed [`PreparedModel::approx_bytes`] of every resident model.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().expect("model cache lock poisoned").bytes
+    }
+
+    /// Total evictions since creation (capacity- and budget-driven).
+    pub fn evictions(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("model cache lock poisoned")
+            .evictions
+    }
+
+    /// Evictions of models whose [`PreparedModel::fingerprint`] equals
+    /// `model_fingerprint`.
+    pub fn evictions_of(&self, model_fingerprint: u64) -> u64 {
+        self.inner
+            .lock()
+            .expect("model cache lock poisoned")
+            .evicted_by_model
+            .get(&model_fingerprint)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Returns the cached prepared model for `(network, cfg)`, compiling
@@ -479,17 +576,13 @@ impl ModelCache {
             *stamp = tick;
             return Ok(Arc::clone(racer));
         }
-        if inner.map.len() >= self.capacity {
-            if let Some(oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (stamp, _))| *stamp)
-                .map(|(k, _)| *k)
-            {
-                inner.map.remove(&oldest);
-            }
-        }
+        inner.bytes += model.approx_bytes();
         inner.map.insert(key, (tick, Arc::clone(&model)));
+        // The fresh insert holds the newest tick, so LRU eviction can never
+        // select it — at least the requested model is always resident.
+        while inner.over_limits(self.capacity, self.memory_budget) {
+            inner.evict_lru();
+        }
         Ok(model)
     }
 
@@ -517,13 +610,12 @@ impl ModelCache {
         self.len() == 0
     }
 
-    /// Drops every cached model.
+    /// Drops every cached model (eviction counters are preserved; cleared
+    /// models are not counted as evictions).
     pub fn clear(&self) {
-        self.inner
-            .lock()
-            .expect("model cache lock poisoned")
-            .map
-            .clear();
+        let mut inner = self.inner.lock().expect("model cache lock poisoned");
+        inner.map.clear();
+        inner.bytes = 0;
     }
 }
 
@@ -624,6 +716,64 @@ mod tests {
         let again = cache.get_or_compile(cfg(128), &net).unwrap();
         assert_eq!(again.config().stream_len, 128);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn approx_bytes_reflects_prepared_banks() {
+        let small = PreparedModel::compile(cfg(64), &small_net()).unwrap();
+        let big = PreparedModel::compile(cfg(512), &small_net()).unwrap();
+        assert!(small.approx_bytes() > 0);
+        assert!(
+            big.approx_bytes() > small.approx_bytes(),
+            "longer streams must occupy more bank bytes ({} vs {})",
+            big.approx_bytes(),
+            small.approx_bytes()
+        );
+    }
+
+    #[test]
+    fn memory_budget_evicts_lru_and_counts() {
+        let net = small_net();
+        let one = PreparedModel::compile(cfg(64), &net)
+            .unwrap()
+            .approx_bytes();
+        // Budget fits two stream-64 preparations but not three.
+        let cache = ModelCache::with_limits(8, Some(2 * one + one / 2)).unwrap();
+        let a = cache.get_or_compile(cfg(64), &net).unwrap();
+        cache.get_or_compile(cfg(128), &net).unwrap();
+        assert_eq!(cache.evictions(), 0);
+
+        // stream-128 banks are bigger, so inserting a third model must
+        // push the cache over budget and evict the LRU entry (cfg 64,
+        // untouched since insert is older than 128's).
+        let c = cache.get_or_compile(cfg(256), &net).unwrap();
+        assert!(cache.evictions() > 0, "budget must force evictions");
+        assert!(!cache.contains(&cfg(64), &net), "LRU entry evicted first");
+        assert!(cache.resident_bytes() <= 2 * one + one / 2 || cache.len() == 1);
+        assert_eq!(cache.evictions_of(a.fingerprint()), 1);
+        assert_eq!(cache.evictions_of(c.fingerprint()), 0);
+
+        // Eviction dropped only the cache's Arc; ours still works.
+        let x = Tensor::from_vec(&[1, 4, 4], vec![0.5; 16]).unwrap();
+        assert_eq!(a.logits(0, &x).unwrap(), {
+            let again = cache.get_or_compile(cfg(64), &net).unwrap();
+            again.logits(0, &x).unwrap()
+        });
+    }
+
+    #[test]
+    fn single_over_budget_model_survives_until_next_insert() {
+        let net = small_net();
+        let cache = ModelCache::with_limits(8, Some(1)).unwrap();
+        let a = cache.get_or_compile(cfg(64), &net).unwrap();
+        assert_eq!(cache.len(), 1, "most recent insert always survives");
+        assert!(cache.resident_bytes() > 1);
+        cache.get_or_compile(cfg(128), &net).unwrap();
+        assert_eq!(cache.len(), 1, "over-budget predecessor evicted");
+        assert!(!cache.contains(&cfg(64), &net));
+        assert_eq!(cache.evictions_of(a.fingerprint()), 1);
+        assert!(ModelCache::with_limits(4, Some(0)).is_err());
+        assert!(ModelCache::new().memory_budget().is_none());
     }
 
     #[test]

@@ -4,17 +4,24 @@
 //! serve [--addr 127.0.0.1:7171] [--stream-len 128] [--workers 2]
 //!       [--queue-capacity 64] [--batch-max 8] [--batch-wait-us 500]
 //!       [--deadline-ms 250] [--train 128] [--test 32] [--epochs 2]
-//!       [--duration-secs 0]
+//!       [--duration-secs 0] [--zoo-dir DIR] [--cache-budget-mb M]
+//!       [--model-queue-share N]
 //! ```
 //!
-//! Trains the demo digit CNN (deterministically — a load generator using
-//! the same training parameters holds bit-identical weights), registers it
-//! under model id 1, and serves until `--duration-secs` elapses (0 = run
-//! until the process is killed).
+//! By default trains the demo digit CNN (deterministically — a load
+//! generator using the same training parameters holds bit-identical
+//! weights) and registers it under model id 1. With `--zoo-dir` it
+//! instead serves every checkpoint of a `train-zoo` artifact directory
+//! under the manifest's model ids. `--cache-budget-mb` bounds the
+//! prepared-model cache (cold models are recompiled on demand);
+//! `--model-queue-share` caps each model's share of the admission queue.
+//! Serves until `--duration-secs` elapses (0 = run until killed).
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
-use acoustic_runtime::ModelCache;
+use acoustic_runtime::{ModelCache, DEFAULT_CACHE_CAPACITY};
 use acoustic_serve::{ModelRegistry, ModelSpec, ServeConfig, Server, DEMO_MODEL_ID};
 use acoustic_simfunc::SimConfig;
 
@@ -25,6 +32,8 @@ struct Args {
     test: usize,
     epochs: usize,
     duration_secs: u64,
+    zoo_dir: Option<PathBuf>,
+    cache_budget_mb: Option<usize>,
     cfg: ServeConfig,
 }
 
@@ -36,6 +45,8 @@ fn parse_args() -> Args {
         test: 32,
         epochs: 2,
         duration_secs: 0,
+        zoo_dir: None,
+        cache_budget_mb: None,
         cfg: ServeConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -66,11 +77,20 @@ fn parse_args() -> Args {
                 args.cfg.default_deadline =
                     Duration::from_millis(val("--deadline-ms").parse().expect("u64"));
             }
+            "--zoo-dir" => args.zoo_dir = Some(PathBuf::from(val("--zoo-dir"))),
+            "--cache-budget-mb" => {
+                args.cache_budget_mb = Some(val("--cache-budget-mb").parse().expect("usize"));
+            }
+            "--model-queue-share" => {
+                args.cfg.model_queue_share =
+                    Some(val("--model-queue-share").parse().expect("usize"));
+            }
             "--help" | "-h" => {
                 println!(
                     "serve [--addr A] [--stream-len N] [--workers W] [--queue-capacity Q]\n      \
                      [--batch-max B] [--batch-wait-us T] [--deadline-ms D]\n      \
-                     [--train N] [--test N] [--epochs E] [--duration-secs S]"
+                     [--train N] [--test N] [--epochs E] [--duration-secs S]\n      \
+                     [--zoo-dir DIR] [--cache-budget-mb M] [--model-queue-share N]"
                 );
                 std::process::exit(0);
             }
@@ -82,29 +102,48 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    eprintln!(
-        "training demo model ({} train / {} test images, {} epochs)…",
-        args.train, args.test, args.epochs
+    let cache = Arc::new(
+        ModelCache::with_limits(
+            DEFAULT_CACHE_CAPACITY,
+            args.cache_budget_mb.map(|mb| mb * 1024 * 1024),
+        )
+        .expect("valid cache limits"),
     );
-    let (network, _data) =
-        acoustic_serve::demo_model(args.train, args.test, args.epochs).expect("training succeeds");
-    let cache = ModelCache::new();
-    let registry = ModelRegistry::build(
-        vec![ModelSpec {
-            id: DEMO_MODEL_ID,
-            network,
-            cfg: SimConfig::with_stream_len(args.stream_len).expect("valid stream length"),
-        }],
-        &cache,
-    )
-    .expect("model preparation succeeds");
+
+    let registry = match &args.zoo_dir {
+        Some(dir) => {
+            eprintln!("loading model zoo from {}…", dir.display());
+            ModelRegistry::from_zoo_dir(dir, &cache).expect("zoo loads")
+        }
+        None => {
+            eprintln!(
+                "training demo model ({} train / {} test images, {} epochs)…",
+                args.train, args.test, args.epochs
+            );
+            let (network, _data) = acoustic_serve::demo_model(args.train, args.test, args.epochs)
+                .expect("training succeeds");
+            ModelRegistry::build(
+                vec![ModelSpec {
+                    id: DEMO_MODEL_ID,
+                    network,
+                    cfg: SimConfig::with_stream_len(args.stream_len).expect("valid stream length"),
+                }],
+                &cache,
+            )
+            .expect("model preparation succeeds")
+        }
+    };
+    let model_ids = registry.ids();
 
     let handle = Server::start(args.addr.as_str(), registry, args.cfg).expect("server starts");
     println!("listening on {}", handle.addr());
-    println!(
-        "model {DEMO_MODEL_ID}: demo digit CNN @ stream length {}",
-        args.stream_len
-    );
+    match &args.zoo_dir {
+        Some(dir) => println!("models {model_ids:?} from zoo {}", dir.display()),
+        None => println!(
+            "model {DEMO_MODEL_ID}: demo digit CNN @ stream length {}",
+            args.stream_len
+        ),
+    }
 
     if args.duration_secs == 0 {
         // Serve until killed.

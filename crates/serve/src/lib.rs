@@ -26,13 +26,15 @@
 //! ## Quickstart
 //!
 //! ```no_run
+//! use std::sync::Arc;
+//!
 //! use acoustic_runtime::ModelCache;
 //! use acoustic_serve::registry::{demo_model, ModelRegistry, ModelSpec, DEMO_MODEL_ID};
 //! use acoustic_serve::server::{ServeConfig, Server};
 //! use acoustic_simfunc::SimConfig;
 //!
 //! let (network, _data) = demo_model(64, 16, 2).unwrap();
-//! let cache = ModelCache::new();
+//! let cache = Arc::new(ModelCache::new());
 //! let registry = ModelRegistry::build(
 //!     vec![ModelSpec { id: DEMO_MODEL_ID, network, cfg: SimConfig::with_stream_len(128).unwrap() }],
 //!     &cache,
@@ -57,8 +59,13 @@ pub mod server;
 pub mod stats;
 
 pub use client::{Client, InferReply};
-pub use loadgen::{run_load, summarize, validate_responses, LoadGenConfig, LoadReport};
+pub use loadgen::{
+    parse_mix, run_load, run_load_mix, summarize, summarize_mix, validate_responses,
+    validate_responses_mix, LoadGenConfig, LoadReport, ModelLoadReport, ModelTraffic,
+};
 pub use protocol::{ErrorCode, Frame, InferRequest, InferResponse, StatsSnapshot};
-pub use registry::{demo_model, demo_network, ModelRegistry, ModelSpec, DEMO_MODEL_ID};
+pub use registry::{
+    demo_model, demo_network, ModelRegistry, ModelSpec, RegistryError, DEMO_MODEL_ID,
+};
 pub use serve_error::ServeError;
 pub use server::{ServeConfig, Server, ServerHandle};

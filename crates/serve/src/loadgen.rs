@@ -16,8 +16,10 @@
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use acoustic_core::prng::splitmix64;
 use acoustic_core::DetRng;
 use acoustic_nn::Tensor;
 use acoustic_runtime::{BatchEngine, PreparedModel, ReadyRequest};
@@ -117,6 +119,91 @@ pub struct LoadReport {
     pub elapsed: Duration,
 }
 
+/// One model's share of mixed-model traffic.
+#[derive(Debug, Clone)]
+pub struct ModelTraffic {
+    /// Model id to request.
+    pub model_id: u32,
+    /// Relative traffic weight (must be ≥ 1).
+    pub weight: u32,
+    /// Input images for this model (request `id` sends image
+    /// `id % images.len()`), matching the model's input shape.
+    pub images: Vec<Tensor>,
+}
+
+/// Parses a `--mix`-style spec: `model_id:weight` pairs separated by
+/// commas, e.g. `1:3,2:1`. Image sets are attached by the caller.
+///
+/// # Errors
+///
+/// [`ServeError::InvalidConfig`] on malformed pairs, zero weights or
+/// duplicate ids.
+pub fn parse_mix(spec: &str) -> Result<Vec<(u32, u32)>, ServeError> {
+    let bad = |msg: String| ServeError::InvalidConfig(msg);
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for part in spec.split(',') {
+        let (id_str, w_str) = part
+            .split_once(':')
+            .ok_or_else(|| bad(format!("mix entry `{part}` is not model_id:weight")))?;
+        let id: u32 = id_str
+            .trim()
+            .parse()
+            .map_err(|_| bad(format!("bad model id `{id_str}` in mix")))?;
+        let weight: u32 = w_str
+            .trim()
+            .parse()
+            .map_err(|_| bad(format!("bad weight `{w_str}` in mix")))?;
+        if weight == 0 {
+            return Err(bad(format!("model {id} has zero weight in mix")));
+        }
+        if pairs.iter().any(|&(i, _)| i == id) {
+            return Err(bad(format!("model {id} appears twice in mix")));
+        }
+        pairs.push((id, weight));
+    }
+    if pairs.is_empty() {
+        return Err(bad("mix spec is empty".into()));
+    }
+    Ok(pairs)
+}
+
+/// The model a given schedule slot requests — a pure function of
+/// `(seed, request id, mix weights)`, shared between the sender,
+/// [`summarize_mix`] and [`validate_responses_mix`] so they cannot drift
+/// apart.
+pub fn model_for(seed: u64, request_id: u64, traffic: &[ModelTraffic]) -> u32 {
+    let total: u64 = traffic.iter().map(|t| u64::from(t.weight)).sum();
+    let mut state = seed ^ request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x4D1C_5EED_0000_00AB;
+    let mut r = splitmix64(&mut state) % total.max(1);
+    for t in traffic {
+        let w = u64::from(t.weight);
+        if r < w {
+            return t.model_id;
+        }
+        r -= w;
+    }
+    traffic.last().map_or(0, |t| t.model_id)
+}
+
+/// Builds the mixed-traffic request a given schedule slot sends.
+fn request_for_mix(id: u64, traffic: &[ModelTraffic], cfg: &LoadGenConfig) -> InferRequest {
+    let model_id = model_for(cfg.seed, id, traffic);
+    let entry = traffic
+        .iter()
+        .find(|t| t.model_id == model_id)
+        .expect("model_for only returns ids from the traffic set");
+    let img = &entry.images[(id % entry.images.len() as u64) as usize];
+    InferRequest {
+        request_id: id,
+        model_id,
+        deadline_micros: cfg.deadline_micros,
+        stream_len: cfg.stream_len,
+        margin: cfg.margin,
+        shape: img.shape().iter().map(|&d| d as u32).collect(),
+        values: img.as_slice().to_vec(),
+    }
+}
+
 /// Builds the request a given schedule slot sends — shared between the
 /// sender and [`validate_responses`] so they cannot drift apart.
 fn request_for(id: u64, images: &[Tensor], cfg: &LoadGenConfig) -> InferRequest {
@@ -157,14 +244,46 @@ pub fn run_load(
     images: &[Tensor],
     cfg: &LoadGenConfig,
 ) -> Result<LoadOutcome, ServeError> {
-    if cfg.requests == 0
-        || cfg.connections == 0
-        || cfg.qps <= 0.0
-        || !cfg.qps.is_finite()
-        || images.is_empty()
-    {
+    if images.is_empty() {
         return Err(ServeError::InvalidConfig(
-            "load generation needs requests ≥ 1, connections ≥ 1, qps > 0 and images".into(),
+            "load generation needs at least one image".into(),
+        ));
+    }
+    run_load_with(addr, cfg, |id| request_for(id, images, cfg))
+}
+
+/// Replays the schedule with mixed-model traffic: each slot's model is
+/// drawn from the weighted `traffic` set (deterministically in
+/// `cfg.seed`; `cfg.model_id` is ignored).
+///
+/// # Errors
+///
+/// As [`run_load`]; additionally rejects an empty traffic set or traffic
+/// entries without images.
+pub fn run_load_mix(
+    addr: SocketAddr,
+    traffic: &[ModelTraffic],
+    cfg: &LoadGenConfig,
+) -> Result<LoadOutcome, ServeError> {
+    if traffic.is_empty() || traffic.iter().any(|t| t.images.is_empty() || t.weight == 0) {
+        return Err(ServeError::InvalidConfig(
+            "mixed load generation needs a non-empty traffic set with images and weights ≥ 1"
+                .into(),
+        ));
+    }
+    run_load_with(addr, cfg, |id| request_for_mix(id, traffic, cfg))
+}
+
+/// Shared open-loop replay core: `build` maps a schedule slot to the
+/// request it sends.
+fn run_load_with(
+    addr: SocketAddr,
+    cfg: &LoadGenConfig,
+    build: impl Fn(u64) -> InferRequest + Sync,
+) -> Result<LoadOutcome, ServeError> {
+    if cfg.requests == 0 || cfg.connections == 0 || cfg.qps <= 0.0 || !cfg.qps.is_finite() {
+        return Err(ServeError::InvalidConfig(
+            "load generation needs requests ≥ 1, connections ≥ 1 and qps > 0".into(),
         ));
     }
     let schedule = arrival_schedule(cfg);
@@ -197,6 +316,7 @@ pub fn run_load(
         let mut senders = Vec::with_capacity(conns);
         for (c, mut client) in streams.into_iter().enumerate() {
             let schedule = &schedule;
+            let build = &build;
             senders.push(scope.spawn(move || -> Client {
                 for id in ((c as u64)..cfg.requests).step_by(conns) {
                     let target = start + schedule[id as usize];
@@ -204,7 +324,7 @@ pub fn run_load(
                     if target > now {
                         std::thread::sleep(target - now);
                     }
-                    let req = request_for(id, images, cfg);
+                    let req = build(id);
                     if client
                         .send(&crate::protocol::Frame::InferRequest(req))
                         .is_err()
@@ -389,6 +509,158 @@ pub fn validate_responses(
     Ok(mismatches)
 }
 
+/// Per-model slice of a mixed-traffic load report.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelLoadReport {
+    /// The model id.
+    pub model_id: u32,
+    /// Schedule slots assigned to this model.
+    pub offered: u64,
+    /// Requests answered with logits.
+    pub completed: u64,
+    /// `Overloaded` rejections (shared queue or this model's admission
+    /// sub-budget — the wire code is the same).
+    pub rejected_overload: u64,
+    /// `DeadlineExceeded` replies.
+    pub deadline_exceeded: u64,
+    /// Any other error reply.
+    pub other_errors: u64,
+    /// Requests with no reply at all.
+    pub dropped: u64,
+    /// p50 latency of completed requests, µs.
+    pub p50_us: u64,
+    /// p99 latency of completed requests, µs.
+    pub p99_us: u64,
+    /// Completed requests per second of wall-clock.
+    pub goodput_qps: f64,
+}
+
+/// Splits a mixed-traffic outcome into per-model reports (in `traffic`
+/// order), recomputing each slot's model with [`model_for`].
+pub fn summarize_mix(
+    outcome: &LoadOutcome,
+    traffic: &[ModelTraffic],
+    cfg: &LoadGenConfig,
+) -> Vec<ModelLoadReport> {
+    let secs = outcome.elapsed.as_secs_f64();
+    traffic
+        .iter()
+        .map(|t| {
+            let offered = (0..cfg.requests)
+                .filter(|&id| model_for(cfg.seed, id, traffic) == t.model_id)
+                .count() as u64;
+            let mut lat: Vec<Duration> = Vec::new();
+            let mut rejected_overload = 0u64;
+            let mut deadline_exceeded = 0u64;
+            let mut other_errors = 0u64;
+            let mut answered = 0u64;
+            for r in &outcome.replies {
+                if model_for(cfg.seed, r.id, traffic) != t.model_id {
+                    continue;
+                }
+                answered += 1;
+                match &r.reply {
+                    InferReply::Ok(_) => lat.push(r.latency),
+                    InferReply::Err(e) if e.code == ErrorCode::Overloaded => {
+                        rejected_overload += 1;
+                    }
+                    InferReply::Err(e) if e.code == ErrorCode::DeadlineExceeded => {
+                        deadline_exceeded += 1;
+                    }
+                    InferReply::Err(_) => other_errors += 1,
+                }
+            }
+            lat.sort_unstable();
+            let completed = lat.len() as u64;
+            ModelLoadReport {
+                model_id: t.model_id,
+                offered,
+                completed,
+                rejected_overload,
+                deadline_exceeded,
+                other_errors,
+                dropped: offered.saturating_sub(answered),
+                p50_us: percentile_us(&lat, 50.0),
+                p99_us: percentile_us(&lat, 99.0),
+                goodput_qps: if secs > 0.0 {
+                    completed as f64 / secs
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Mixed-traffic golden validation: recomputes every completed reply
+/// against the prepared model its id deterministically maps to and counts
+/// responses that are not bit-identical.
+///
+/// `models` pairs each traffic model id with the prepared model the server
+/// holds for it (same weights, same sim config).
+///
+/// # Errors
+///
+/// [`ServeError::InvalidConfig`] when a traffic model id has no prepared
+/// model; engine validation errors as in [`validate_responses`].
+pub fn validate_responses_mix(
+    outcome: &LoadOutcome,
+    models: &[(u32, Arc<PreparedModel>)],
+    engine: &BatchEngine,
+    traffic: &[ModelTraffic],
+    cfg: &LoadGenConfig,
+) -> Result<u64, ServeError> {
+    let mut mismatches = 0u64;
+    for t in traffic {
+        let (_, model) = models
+            .iter()
+            .find(|(id, _)| *id == t.model_id)
+            .ok_or_else(|| {
+                ServeError::InvalidConfig(format!("no prepared model for mix id {}", t.model_id))
+            })?;
+        let completed: Vec<_> = outcome
+            .replies
+            .iter()
+            .filter(|r| model_for(cfg.seed, r.id, traffic) == t.model_id)
+            .filter_map(|r| match &r.reply {
+                InferReply::Ok(resp) => Some(resp),
+                InferReply::Err(_) => None,
+            })
+            .collect();
+        if completed.is_empty() {
+            continue;
+        }
+        let requests: Vec<ReadyRequest<'_>> = completed
+            .iter()
+            .map(|resp| ReadyRequest {
+                image_index: resp.request_id,
+                input: &t.images[(resp.request_id % t.images.len() as u64) as usize],
+                stream_len: cfg.stream_len.map(|l| l as usize),
+                margin: cfg.margin,
+            })
+            .collect();
+        let golden = engine.run_ready(model, &requests)?;
+        for (resp, gold) in completed.iter().zip(golden) {
+            let ok = match gold {
+                Ok(g) => {
+                    g.effective_len as u32 == resp.effective_len
+                        && g.logits.as_slice().len() == resp.logits.len()
+                        && g.logits
+                            .as_slice()
+                            .iter()
+                            .zip(&resp.logits)
+                            .all(|(a, b)| a.to_bits() == b.to_bits())
+                }
+                Err(_) => false,
+            };
+            if !ok {
+                mismatches += 1;
+            }
+        }
+    }
+    Ok(mismatches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +680,40 @@ mod tests {
         // Mean gap should be in the right ballpark for 100 QPS.
         let mean = a.last().unwrap().as_secs_f64() / a.len() as f64;
         assert!(mean > 0.001 && mean < 0.1, "mean gap {mean}");
+    }
+
+    #[test]
+    fn mix_parsing_accepts_pairs_and_rejects_garbage() {
+        assert_eq!(parse_mix("1:3,2:1").unwrap(), vec![(1, 3), (2, 1)]);
+        assert_eq!(parse_mix(" 7 : 2 ").unwrap(), vec![(7, 2)]);
+        assert!(parse_mix("").is_err());
+        assert!(parse_mix("1").is_err());
+        assert!(parse_mix("1:0").is_err());
+        assert!(parse_mix("1:x").is_err());
+        assert!(parse_mix("1:2,1:3").is_err());
+    }
+
+    #[test]
+    fn model_for_is_deterministic_and_weight_proportional() {
+        let traffic = vec![
+            ModelTraffic {
+                model_id: 1,
+                weight: 3,
+                images: Vec::new(),
+            },
+            ModelTraffic {
+                model_id: 2,
+                weight: 1,
+                images: Vec::new(),
+            },
+        ];
+        let picks: Vec<u32> = (0..4000).map(|id| model_for(42, id, &traffic)).collect();
+        let again: Vec<u32> = (0..4000).map(|id| model_for(42, id, &traffic)).collect();
+        assert_eq!(picks, again);
+        let ones = picks.iter().filter(|&&m| m == 1).count() as f64 / picks.len() as f64;
+        // 3:1 weights ⇒ ~75% model 1; allow generous slack for a 4k draw.
+        assert!((0.70..0.80).contains(&ones), "model-1 share {ones}");
+        assert!(picks.iter().all(|&m| m == 1 || m == 2));
     }
 
     #[test]

@@ -145,10 +145,10 @@ pub struct ErrorFrame {
 }
 
 /// Number of `u64` words in a [`StatsSnapshot`] wire payload.
-const STATS_WORDS: usize = 19;
+const STATS_WORDS: usize = 20;
 
 /// A point-in-time server statistics snapshot, servable over the wire.
-/// Payload: 19 × `u64` in field order.
+/// Payload: 20 × `u64` in field order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Frames received that parsed as inference requests.
@@ -163,6 +163,10 @@ pub struct StatsSnapshot {
     pub rejected_malformed: u64,
     /// Requests answered with `UnknownModel`.
     pub rejected_unknown_model: u64,
+    /// Requests rejected because their model's admission sub-budget was
+    /// exhausted (counted inside `rejected_overload` on the wire errors,
+    /// broken out here).
+    pub rejected_model_budget: u64,
     /// Requests whose deadline expired before execution.
     pub expired: u64,
     /// Requests answered with `BadInput` (per-request simulation failure).
@@ -253,6 +257,7 @@ impl StatsSnapshot {
             self.zero_seg_skips,
             self.tiles,
             self.tiled_requests,
+            self.rejected_model_budget,
         ]
     }
 
@@ -277,6 +282,7 @@ impl StatsSnapshot {
             zero_seg_skips: w[16],
             tiles: w[17],
             tiled_requests: w[18],
+            rejected_model_budget: w[19],
         }
     }
 }

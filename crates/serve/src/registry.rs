@@ -1,10 +1,18 @@
 //! The server's model registry and the shared demo model.
 //!
 //! Models are registered at startup under small integer ids and prepared
-//! once through the runtime's [`ModelCache`]; request admission then only
-//! does an id lookup — no preparation, no locking beyond the cache's own.
+//! through the runtime's shared [`ModelCache`]. The registry keeps the
+//! *source* of every model (network + sim config), not just the prepared
+//! instance: when the cache runs under a memory budget, a rarely-used
+//! model's prepared stream banks may be evicted, and [`resolve`] simply
+//! recompiles it on the next request — models are **warm** (resident in
+//! the cache) or **cold** (recompiled on demand), never unavailable.
+//!
+//! [`resolve`]: ModelRegistry::resolve
 
 use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 use acoustic_datasets::Dataset;
@@ -12,6 +20,7 @@ use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
 use acoustic_nn::train::{train, SgdConfig};
 use acoustic_runtime::{ModelCache, PreparedModel, RuntimeError};
 use acoustic_simfunc::SimConfig;
+use acoustic_train::TrainError;
 
 /// One model to serve: an id, the trained network and its sim config.
 #[derive(Debug)]
@@ -24,47 +33,170 @@ pub struct ModelSpec {
     pub cfg: SimConfig,
 }
 
-/// An immutable id → prepared-model map shared by all workers.
+/// Typed registry construction/lookup errors.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Two specs claimed the same wire-visible model id.
+    DuplicateModelId(u32),
+    /// No model is registered under the requested id.
+    UnknownModel(u32),
+    /// Loading a model zoo directory failed (missing or malformed
+    /// manifest, missing checkpoint artifact, undeserializable weights).
+    Zoo(TrainError),
+    /// Preparing a model through the cache failed.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateModelId(id) => write!(f, "duplicate model id {id}"),
+            RegistryError::UnknownModel(id) => write!(f, "unknown model id {id}"),
+            RegistryError::Zoo(e) => write!(f, "model zoo error: {e}"),
+            RegistryError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Zoo(e) => Some(e),
+            RegistryError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrainError> for RegistryError {
+    fn from(e: TrainError) -> Self {
+        RegistryError::Zoo(e)
+    }
+}
+
+impl From<RuntimeError> for RegistryError {
+    fn from(e: RuntimeError) -> Self {
+        RegistryError::Runtime(e)
+    }
+}
+
+/// What the registry keeps per model: enough to re-prepare it at any time.
+#[derive(Debug)]
+struct RegEntry {
+    network: Network,
+    cfg: SimConfig,
+}
+
+/// An id → model map shared by all workers, backed by a [`ModelCache`].
 #[derive(Debug)]
 pub struct ModelRegistry {
-    models: HashMap<u32, Arc<PreparedModel>>,
+    entries: HashMap<u32, RegEntry>,
+    cache: Arc<ModelCache>,
 }
 
 impl ModelRegistry {
-    /// Prepares every spec through `cache` (deduplicating identical
-    /// `(network, config)` pairs) and builds the registry.
+    /// Builds the registry and warm-prepares every spec through `cache`
+    /// (deduplicating identical `(network, config)` pairs). Under a cache
+    /// memory budget the warm-up itself may evict earlier models; they
+    /// stay registered and are recompiled by [`resolve`] on demand.
+    ///
+    /// [`resolve`]: ModelRegistry::resolve
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::InvalidConfig`] on a duplicate id; otherwise
+    /// [`RegistryError::DuplicateModelId`] on a duplicate id; otherwise
     /// propagates preparation errors.
-    pub fn build(specs: Vec<ModelSpec>, cache: &ModelCache) -> Result<Self, RuntimeError> {
-        let mut models = HashMap::with_capacity(specs.len());
+    pub fn build(specs: Vec<ModelSpec>, cache: &Arc<ModelCache>) -> Result<Self, RegistryError> {
+        let mut entries = HashMap::with_capacity(specs.len());
         for spec in specs {
-            let prepared = cache.get_or_compile(spec.cfg, &spec.network)?;
-            if models.insert(spec.id, prepared).is_some() {
-                return Err(RuntimeError::InvalidConfig(format!(
-                    "duplicate model id {}",
-                    spec.id
-                )));
+            cache.get_or_compile(spec.cfg, &spec.network)?;
+            if entries
+                .insert(
+                    spec.id,
+                    RegEntry {
+                        network: spec.network,
+                        cfg: spec.cfg,
+                    },
+                )
+                .is_some()
+            {
+                return Err(RegistryError::DuplicateModelId(spec.id));
             }
         }
-        Ok(ModelRegistry { models })
+        Ok(ModelRegistry {
+            entries,
+            cache: Arc::clone(cache),
+        })
     }
 
-    /// The prepared model registered under `id`.
-    pub fn get(&self, id: u32) -> Option<&Arc<PreparedModel>> {
-        self.models.get(&id)
+    /// Loads every checkpoint of an `acoustic-zoo v1` directory (written
+    /// by `train-zoo`) and registers each under its manifest id, prepared
+    /// at the stream length recorded in the manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Zoo`] for manifest/artifact problems (including
+    /// [`TrainError::MissingArtifact`] when a weight file referenced by
+    /// the manifest is gone); preparation errors as in [`Self::build`].
+    pub fn from_zoo_dir(dir: &Path, cache: &Arc<ModelCache>) -> Result<Self, RegistryError> {
+        let mut specs = Vec::new();
+        for (entry, network) in acoustic_train::load_zoo(dir)? {
+            let cfg = SimConfig::with_stream_len(entry.stream_len)
+                .map_err(|e| RegistryError::Runtime(RuntimeError::Sim(e)))?;
+            specs.push(ModelSpec {
+                id: entry.model.id(),
+                network,
+                cfg,
+            });
+        }
+        ModelRegistry::build(specs, cache)
+    }
+
+    /// The prepared model registered under `id` — a cache hit when warm,
+    /// a recompile when the cache evicted it.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] for unregistered ids; preparation
+    /// errors when a cold model fails to recompile.
+    pub fn resolve(&self, id: u32) -> Result<Arc<PreparedModel>, RegistryError> {
+        let entry = self
+            .entries
+            .get(&id)
+            .ok_or(RegistryError::UnknownModel(id))?;
+        Ok(self.cache.get_or_compile(entry.cfg, &entry.network)?)
+    }
+
+    /// Whether `id` is registered.
+    pub fn contains(&self, id: u32) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Every registered id, ascending.
+    pub fn ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The sim config `id` was registered with.
+    pub fn sim_config(&self, id: u32) -> Option<SimConfig> {
+        self.entries.get(&id).map(|e| e.cfg)
+    }
+
+    /// The cache backing this registry.
+    pub fn cache(&self) -> &Arc<ModelCache> {
+        &self.cache
     }
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.entries.len()
     }
 
     /// Whether no models are registered.
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.entries.is_empty()
     }
 }
 
@@ -121,7 +253,7 @@ mod tests {
 
     #[test]
     fn registry_builds_and_rejects_duplicates() {
-        let cache = ModelCache::new();
+        let cache = Arc::new(ModelCache::new());
         let cfg = SimConfig::with_stream_len(64).unwrap();
         let specs = vec![
             ModelSpec {
@@ -137,10 +269,17 @@ mod tests {
         ];
         let reg = ModelRegistry::build(specs, &cache).unwrap();
         assert_eq!(reg.len(), 2);
-        assert!(reg.get(1).is_some());
-        assert!(reg.get(9).is_none());
+        assert_eq!(reg.ids(), vec![1, 2]);
+        assert!(reg.contains(1));
+        assert!(matches!(
+            reg.resolve(9),
+            Err(RegistryError::UnknownModel(9))
+        ));
         // Identical (network, cfg) pairs share one prepared model.
-        assert!(Arc::ptr_eq(reg.get(1).unwrap(), reg.get(2).unwrap()));
+        assert!(Arc::ptr_eq(
+            &reg.resolve(1).unwrap(),
+            &reg.resolve(2).unwrap()
+        ));
 
         let dup = vec![
             ModelSpec {
@@ -154,7 +293,31 @@ mod tests {
                 cfg,
             },
         ];
-        assert!(ModelRegistry::build(dup, &cache).is_err());
+        assert!(matches!(
+            ModelRegistry::build(dup, &cache),
+            Err(RegistryError::DuplicateModelId(1))
+        ));
+    }
+
+    #[test]
+    fn resolve_recompiles_after_cache_eviction() {
+        let cache = Arc::new(ModelCache::new());
+        let cfg = SimConfig::with_stream_len(64).unwrap();
+        let reg = ModelRegistry::build(
+            vec![ModelSpec {
+                id: 1,
+                network: demo_network().unwrap(),
+                cfg,
+            }],
+            &cache,
+        )
+        .unwrap();
+        let warm = reg.resolve(1).unwrap();
+        cache.clear();
+        // Cold resolve recompiles to an equivalent (new) prepared model.
+        let cold = reg.resolve(1).unwrap();
+        assert!(!Arc::ptr_eq(&warm, &cold));
+        assert_eq!(warm.fingerprint(), cold.fingerprint());
     }
 
     #[test]

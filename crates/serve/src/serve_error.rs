@@ -6,6 +6,7 @@ use std::io;
 use acoustic_runtime::RuntimeError;
 
 use crate::protocol::WireError;
+use crate::registry::RegistryError;
 
 /// Errors produced by the server, client and load generator.
 #[derive(Debug)]
@@ -16,6 +17,8 @@ pub enum ServeError {
     Wire(WireError),
     /// Model preparation or batch execution failed.
     Runtime(RuntimeError),
+    /// Registry construction or model resolution failed.
+    Registry(RegistryError),
     /// A configuration parameter is invalid.
     InvalidConfig(String),
     /// The server answered with an unexpected frame.
@@ -28,6 +31,7 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::Wire(e) => write!(f, "wire error: {e}"),
             ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+            ServeError::Registry(e) => write!(f, "registry error: {e}"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
             ServeError::UnexpectedFrame(msg) => write!(f, "unexpected frame: {msg}"),
         }
@@ -40,6 +44,7 @@ impl std::error::Error for ServeError {
             ServeError::Io(e) => Some(e),
             ServeError::Wire(e) => Some(e),
             ServeError::Runtime(e) => Some(e),
+            ServeError::Registry(e) => Some(e),
             _ => None,
         }
     }
@@ -60,6 +65,12 @@ impl From<WireError> for ServeError {
 impl From<RuntimeError> for ServeError {
     fn from(e: RuntimeError) -> Self {
         ServeError::Runtime(e)
+    }
+}
+
+impl From<RegistryError> for ServeError {
+    fn from(e: RegistryError) -> Self {
+        ServeError::Registry(e)
     }
 }
 

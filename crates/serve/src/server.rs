@@ -27,6 +27,7 @@
 //! * **Graceful shutdown** — new work is refused, queued work is drained
 //!   and answered, then threads are joined.
 
+use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -42,7 +43,7 @@ use crate::protocol::{
     InferResponse, StatsSnapshot, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
 };
 use crate::queue::{BoundedQueue, PopResult, PushError};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, RegistryError};
 use crate::serve_error::ServeError;
 use crate::stats::Stats;
 
@@ -75,6 +76,14 @@ pub struct ServeConfig {
     /// Optional adaptive early-exit policy applied to requests without
     /// per-request overrides.
     pub exit_policy: Option<ExitPolicy>,
+    /// Per-model admission sub-budget: how many **queued** requests one
+    /// model id may hold at once, so a hot model cannot starve the others
+    /// out of the shared queue. `None` derives
+    /// `max(1, 2·queue_capacity / models)` — deliberately over-subscribed
+    /// (sub-budgets sum to ~2× the queue) so a lone active model can
+    /// still fill the whole queue; with a single registered model it
+    /// never binds (its budget 2·capacity exceeds the queue itself).
+    pub model_queue_share: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +97,7 @@ impl Default for ServeConfig {
             default_deadline: Duration::from_millis(250),
             max_payload: DEFAULT_MAX_PAYLOAD,
             exit_policy: None,
+            model_queue_share: None,
         }
     }
 }
@@ -113,6 +123,11 @@ impl ServeConfig {
         if self.default_deadline.is_zero() {
             return Err(ServeError::InvalidConfig(
                 "default_deadline must be positive".into(),
+            ));
+        }
+        if self.model_queue_share == Some(0) {
+            return Err(ServeError::InvalidConfig(
+                "model_queue_share must be ≥ 1 when set".into(),
             ));
         }
         Ok(())
@@ -150,6 +165,7 @@ impl ConnShared {
 #[derive(Debug)]
 struct Pending {
     id: u64,
+    model_id: u32,
     model: Arc<PreparedModel>,
     input: Tensor,
     stream_len: Option<usize>,
@@ -166,6 +182,24 @@ struct Shared {
     queue: BoundedQueue<Pending>,
     stats: Stats,
     shutdown: AtomicBool,
+    /// Queued requests per model id, bounded by `model_share` — one model
+    /// cannot monopolize the shared queue. Incremented at admission,
+    /// decremented at dequeue (the gate bounds queue occupancy, not
+    /// in-service work, which `workers · batch_max` already caps).
+    gates: HashMap<u32, AtomicUsize>,
+    /// The per-model admission sub-budget every gate is checked against.
+    model_share: usize,
+}
+
+impl Shared {
+    /// Releases the queue slot a request's model gate held; called once
+    /// per admitted request, when it leaves the queue (or bounces off a
+    /// full/closed queue at admission).
+    fn release_gate(&self, model_id: u32) {
+        if let Some(gate) = self.gates.get(&model_id) {
+            gate.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
 }
 
 /// The running server: bind with [`Server::start`], stop with
@@ -198,12 +232,22 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        let model_share = cfg
+            .model_queue_share
+            .unwrap_or_else(|| (2 * cfg.queue_capacity / registry.len()).max(1));
+        let gates = registry
+            .ids()
+            .into_iter()
+            .map(|id| (id, AtomicUsize::new(0)))
+            .collect();
         let shared = Arc::new(Shared {
             registry,
             cfg,
             queue: BoundedQueue::new(cfg.queue_capacity),
             stats: Stats::default(),
             shutdown: AtomicBool::new(false),
+            gates,
+            model_share,
         });
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -467,15 +511,22 @@ fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
     Stats::bump(&shared.stats.received);
     let id = req.request_id;
 
-    let model = match shared.registry.get(req.model_id) {
-        Some(m) => Arc::clone(m),
-        None => {
+    let model = match shared.registry.resolve(req.model_id) {
+        Ok(m) => m,
+        Err(RegistryError::UnknownModel(_)) => {
             Stats::bump(&shared.stats.rejected_unknown_model);
             conn.send_error(
                 id,
                 ErrorCode::UnknownModel,
                 format!("model {}", req.model_id),
             );
+            return;
+        }
+        Err(e) => {
+            // A registered model failed to (re)compile — an internal
+            // fault, not a client mistake.
+            Stats::bump(&shared.stats.failed);
+            conn.send_error(id, ErrorCode::Internal, e.to_string());
             return;
         }
     };
@@ -518,6 +569,7 @@ fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
     };
     let pending = Pending {
         id,
+        model_id: req.model_id,
         model,
         input,
         stream_len,
@@ -527,17 +579,36 @@ fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
         conn: Arc::clone(conn),
     };
 
+    // Per-model admission sub-budget, checked before the shared queue so
+    // one model's burst is rejected while other models still get slots.
+    let gate = shared
+        .gates
+        .get(&req.model_id)
+        .expect("gate exists for every registered model");
+    if gate.fetch_add(1, Ordering::SeqCst) >= shared.model_share {
+        gate.fetch_sub(1, Ordering::SeqCst);
+        Stats::bump(&shared.stats.rejected_model_budget);
+        conn.send_error(
+            id,
+            ErrorCode::Overloaded,
+            format!("model {} admission budget exhausted", req.model_id),
+        );
+        return;
+    }
+
     // The reply (wherever it comes from) decrements `outstanding`, so the
     // increment must precede the push.
     conn.outstanding.fetch_add(1, Ordering::SeqCst);
     match shared.queue.try_push(pending) {
         Ok(()) => Stats::bump(&shared.stats.accepted),
-        Err(PushError::Full(_)) => {
+        Err(PushError::Full(p)) => {
+            shared.release_gate(p.model_id);
             conn.outstanding.fetch_sub(1, Ordering::SeqCst);
             Stats::bump(&shared.stats.rejected_overload);
             conn.send_error(id, ErrorCode::Overloaded, "request queue full");
         }
-        Err(PushError::Closed(_)) => {
+        Err(PushError::Closed(p)) => {
+            shared.release_gate(p.model_id);
             conn.outstanding.fetch_sub(1, Ordering::SeqCst);
             conn.send_error(id, ErrorCode::ShuttingDown, "server shutting down");
         }
@@ -583,6 +654,11 @@ fn collect_batch(first: Pending, shared: &Arc<Shared>) -> Vec<Pending> {
 
 fn execute_batch(batch: Vec<Pending>, engine: &BatchEngine, shared: &Arc<Shared>) {
     let dequeued = Instant::now();
+
+    // The batch has left the queue; free its models' admission budgets.
+    for p in &batch {
+        shared.release_gate(p.model_id);
+    }
 
     // Deadline enforcement happens here — an expired request is answered
     // without touching the simulator.

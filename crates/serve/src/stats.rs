@@ -24,6 +24,9 @@ pub struct Stats {
     pub rejected_malformed: AtomicU64,
     /// `UnknownModel` replies.
     pub rejected_unknown_model: AtomicU64,
+    /// Rejections because one model's admission sub-budget was exhausted
+    /// (the shared queue still had room).
+    pub rejected_model_budget: AtomicU64,
     /// Deadline expiries at dequeue.
     pub expired: AtomicU64,
     /// `BadInput` execution failures.
@@ -71,6 +74,7 @@ impl Stats {
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             rejected_malformed: self.rejected_malformed.load(Ordering::Relaxed),
             rejected_unknown_model: self.rejected_unknown_model.load(Ordering::Relaxed),
+            rejected_model_budget: self.rejected_model_budget.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             queue_depth_hwm,

@@ -44,7 +44,7 @@ fn tiny_images(n: usize) -> Vec<Tensor> {
 /// the same model for golden evaluation.
 fn start(stream_len: usize, cfg: ServeConfig) -> (ServerHandle, Arc<PreparedModel>) {
     let sim = SimConfig::with_stream_len(stream_len).unwrap();
-    let cache = ModelCache::new();
+    let cache = Arc::new(ModelCache::new());
     let golden = cache.get_or_compile(sim, &tiny_network()).unwrap();
     let registry = ModelRegistry::build(
         vec![ModelSpec {
@@ -264,6 +264,85 @@ fn overload_rejects_with_typed_error_and_no_hangs() {
         stats.queue_depth_hwm <= 1,
         "admission limit exceeded: {stats:?}"
     );
+}
+
+#[test]
+fn model_budget_rejections_do_not_starve_other_models() {
+    // Two models share a roomy queue, but each gets a queued-share of one.
+    // A burst on model 1 must bounce off its own budget (never the shared
+    // queue) while model 2 sails through untouched.
+    let sim = SimConfig::with_stream_len(4096).unwrap();
+    let cache = Arc::new(ModelCache::new());
+    let registry = ModelRegistry::build(
+        vec![
+            ModelSpec {
+                id: MODEL_ID,
+                network: tiny_network(),
+                cfg: sim,
+            },
+            ModelSpec {
+                id: MODEL_ID + 1,
+                network: tiny_network(),
+                cfg: sim,
+            },
+        ],
+        &cache,
+    )
+    .unwrap();
+    let handle = Server::start(
+        "127.0.0.1:0",
+        registry,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            batch_max: 1,
+            model_queue_share: Some(1),
+            default_deadline: Duration::from_secs(60),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let images = tiny_images(1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    const N: u64 = 6;
+    for id in 0..N {
+        client
+            .send(&Frame::InferRequest(request(id, &images[0])))
+            .unwrap();
+    }
+    let mut other = request(N, &images[0]);
+    other.model_id = MODEL_ID + 1;
+    client.send(&Frame::InferRequest(other)).unwrap();
+
+    let mut completed = 0u64;
+    let mut overloaded = 0u64;
+    let mut other_completed = false;
+    for _ in 0..=N {
+        match client.recv().unwrap() {
+            Frame::InferResponse(r) => {
+                if r.request_id == N {
+                    other_completed = true;
+                }
+                completed += 1;
+            }
+            Frame::Error(e) if e.code == ErrorCode::Overloaded => {
+                assert!(e.message.contains("admission budget"), "{}", e.message);
+                overloaded += 1;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(completed + overloaded, N + 1, "every request answered");
+    assert!(overloaded >= 1, "share of 1 must reject under a burst of 6");
+    assert!(other_completed, "the second model must not be starved");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejected_model_budget, overloaded);
+    // Queue occupancy stays bounded by the per-model shares, so the
+    // shared queue itself never fills.
+    assert_eq!(stats.rejected_overload, 0);
+    assert!(stats.queue_depth_hwm <= 2, "{stats:?}");
 }
 
 #[test]

@@ -97,6 +97,7 @@ fn stats_frames_roundtrip() {
         zero_seg_skips: 17,
         tiles: 18,
         tiled_requests: 19,
+        rejected_model_budget: 20,
     };
     let resp = Frame::StatsResponse(55, snap);
     assert_eq!(roundtrip(&resp), resp);

@@ -29,6 +29,11 @@ impl PhaseBank {
             present: vec![false; weights],
         }
     }
+
+    /// Resident size of this bank's backing storage, in bytes.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>() + self.present.len()
+    }
 }
 
 /// Split-unipolar weight streams of one MAC layer at one stream length,
@@ -56,9 +61,21 @@ pub(crate) struct LeveledWeights {
     pub(crate) levels: Vec<WeightStreams>,
 }
 
+impl WeightStreams {
+    /// Resident size of both phase banks, in bytes.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.pos.approx_bytes() + self.neg.approx_bytes()
+    }
+}
+
 impl LeveledWeights {
     pub(crate) fn level(&self, k: usize) -> &WeightStreams {
         &self.levels[k]
+    }
+
+    /// Resident size of every level's banks, in bytes.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.levels.iter().map(WeightStreams::approx_bytes).sum()
     }
 }
 

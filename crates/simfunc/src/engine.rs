@@ -171,6 +171,28 @@ impl PreparedNetwork {
     fn level_of(&self, stream_len: usize) -> Option<usize> {
         self.lengths.iter().position(|&l| l == stream_len)
     }
+
+    /// Approximate resident size of the prepared weight banks, in bytes.
+    ///
+    /// Counts the dominant cost of a prepared network — every MAC layer's
+    /// split-unipolar weight streams at every supported prefix length —
+    /// and ignores small fixed overheads (labels, shape metadata). Serving
+    /// layers use this to enforce memory budgets on prepared-model caches.
+    pub fn approx_bytes(&self) -> usize {
+        steps_bytes(&self.steps)
+    }
+}
+
+fn steps_bytes(steps: &[Step]) -> usize {
+    steps
+        .iter()
+        .map(|s| match &s.op {
+            StepOp::Conv(c) => c.weights.approx_bytes(),
+            StepOp::Dense(d) => d.weights.approx_bytes(),
+            StepOp::Residual(inner) => steps_bytes(inner),
+            _ => 0,
+        })
+        .sum()
 }
 
 /// Executable prefix lengths of a prepared network: the configured maximum,

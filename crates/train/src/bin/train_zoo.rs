@@ -1,0 +1,138 @@
+//! Train the serveable model zoo through the datagen/training pipeline.
+//!
+//! ```text
+//! train-zoo [--out results/zoo] [--models lenet5,cifar10-cnn,svhn-cnn]
+//!           [--producers 2] [--steps 48] [--batch-size 16] [--val 40]
+//!           [--seed 17] [--stream-len 64] [--quick]
+//! ```
+//!
+//! Each requested model trains on its own thread (the per-model pipelines
+//! are independent); inside a pipeline, `--producers` datagen threads feed
+//! one trainer. `--quick` drops to a smoke-test scale (fewer, smaller
+//! steps) for CI. The trained checkpoints and the `acoustic-zoo v1`
+//! manifest land in `--out`, ready for `serve --zoo-dir`.
+
+use std::path::PathBuf;
+
+use acoustic_train::checkpoint::{save_zoo, ZooEntry};
+use acoustic_train::pipeline::{train_model, PipelineConfig};
+use acoustic_train::zoo::ZooModel;
+
+struct Args {
+    out: PathBuf,
+    models: Vec<ZooModel>,
+    cfg: PipelineConfig,
+    stream_len: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: PathBuf::from("results/zoo"),
+        models: ZooModel::ALL.to_vec(),
+        cfg: PipelineConfig::default(),
+        stream_len: 64,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--out" => args.out = PathBuf::from(val("--out")),
+            "--models" => {
+                args.models = val("--models")
+                    .split(',')
+                    .map(|slug| {
+                        ZooModel::from_slug(slug.trim())
+                            .unwrap_or_else(|| panic!("unknown model `{slug}`; try --help"))
+                    })
+                    .collect();
+            }
+            "--producers" => args.cfg.producers = val("--producers").parse().expect("usize"),
+            "--steps" => args.cfg.steps = val("--steps").parse().expect("usize"),
+            "--batch-size" => args.cfg.batch_size = val("--batch-size").parse().expect("usize"),
+            "--val" => args.cfg.val_size = val("--val").parse().expect("usize"),
+            "--seed" => args.cfg.seed = val("--seed").parse().expect("u64"),
+            "--stream-len" => args.stream_len = val("--stream-len").parse().expect("usize"),
+            "--quick" => {
+                args.cfg.steps = 12;
+                args.cfg.batch_size = 10;
+                args.cfg.val_size = 20;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "train-zoo [--out DIR] [--models a,b,c] [--producers P] [--steps N]\n          \
+                     [--batch-size B] [--val V] [--seed S] [--stream-len L] [--quick]\n\n\
+                     models: {}",
+                    ZooModel::ALL
+                        .iter()
+                        .map(|m| m.slug())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    if args.models.is_empty() {
+        panic!("--models must name at least one model");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = args.cfg;
+
+    println!(
+        "training {} model(s): {} producer(s), {} steps x batch {}, seed {}",
+        args.models.len(),
+        cfg.producers,
+        cfg.steps,
+        cfg.batch_size,
+        cfg.seed
+    );
+
+    // The per-model pipelines share nothing, so train them concurrently.
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = args
+            .models
+            .iter()
+            .map(|&model| scope.spawn(move || (model, train_model(model, &cfg))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut trained = Vec::new();
+    for (model, outcome) in &outcomes {
+        match outcome {
+            Ok(out) => {
+                println!(
+                    "  {:<12} {} steps in {:.1}s  train-acc {:.3}  val-acc {:.3}  loss {:.4}",
+                    model.slug(),
+                    out.steps,
+                    out.seconds,
+                    out.train_acc,
+                    out.val_acc,
+                    out.mean_loss
+                );
+                trained.push((
+                    ZooEntry::from_outcome(*model, &cfg, args.stream_len, out),
+                    &out.network,
+                ));
+            }
+            Err(e) => {
+                eprintln!("training {} failed: {e}", model.slug());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Err(e) = save_zoo(&args.out, &trained) {
+        eprintln!("saving zoo to {} failed: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    println!("zoo saved to {}", args.out.display());
+}

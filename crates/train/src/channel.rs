@@ -1,0 +1,174 @@
+//! A bounded blocking MPMC channel for the datagen → trainer hand-off.
+//!
+//! Unlike the serving layer's *rejecting* queue (admission control wants a
+//! full queue to fail fast), the training pipeline wants **backpressure**:
+//! a producer that gets ahead of the trainer should block, not drop or
+//! buffer unboundedly, so the channel capacity directly caps how many
+//! synthesized batches exist at once. Closing wakes every blocked side;
+//! consumers drain the backlog, producers observe the rejection and exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC channel with blocking push (backpressure) and blocking
+/// pop, built on `Mutex` + `Condvar` (std-only).
+#[derive(Debug)]
+pub struct BlockingQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BlockingQueue<T> {
+    /// Creates a channel holding at most `capacity` items (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        BlockingQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Hands the item back once the channel is closed (including while
+    /// blocked waiting for space).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("channel lock poisoned");
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).expect("channel lock poisoned");
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues one item, blocking while the channel is empty. Returns
+    /// `None` only when the channel is closed **and** fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("channel lock poisoned");
+        }
+    }
+
+    /// Closes the channel: blocked producers fail their push, consumers
+    /// drain the backlog then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("channel lock poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("channel lock poisoned")
+            .items
+            .len()
+    }
+
+    /// Whether the channel is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BlockingQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_channel_blocks_until_pop() {
+        let q = Arc::new(BlockingQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2).is_ok());
+        // The producer is (or will be) blocked; popping must unblock it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains_pops() {
+        let q = BlockingQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(8));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = Arc::new(BlockingQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(2));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q: Arc<BlockingQueue<u32>> = Arc::new(BlockingQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let q = BlockingQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(1).unwrap();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,356 @@
+//! The zoo artifact directory: trained checkpoints plus a manifest.
+//!
+//! A zoo directory contains one `acoustic-net v1` weight file per trained
+//! model (via `nn::serialize`) and a `manifest.txt` describing them in the
+//! same line-oriented, dependency-free style:
+//!
+//! ```text
+//! acoustic-zoo v1
+//! model 1
+//! name lenet5
+//! file lenet5.net
+//! dataset mnist-like
+//! seed 17
+//! steps 48
+//! batch-size 16
+//! stream-len 64
+//! train-acc 0.8125
+//! val-acc 0.75
+//! end
+//! model 2
+//! …
+//! ```
+//!
+//! The serving registry loads this manifest to discover which model ids
+//! exist, where their weights live, and which stream length they were
+//! validated at.
+
+use std::fs;
+use std::path::Path;
+
+use acoustic_nn::layers::Network;
+use acoustic_nn::serialize;
+
+use crate::pipeline::{PipelineConfig, TrainOutcome};
+use crate::train_error::TrainError;
+use crate::zoo::ZooModel;
+
+const MAGIC: &str = "acoustic-zoo v1";
+
+/// Manifest file name inside a zoo directory.
+pub const MANIFEST_FILE: &str = "manifest.txt";
+
+/// One trained model as recorded in the zoo manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZooEntry {
+    /// Which zoo model this checkpoint is (fixes id, slug and dataset).
+    pub model: ZooModel,
+    /// Weight-file name relative to the zoo directory.
+    pub file: String,
+    /// Pipeline base seed the checkpoint was trained with.
+    pub seed: u64,
+    /// SGD steps applied.
+    pub steps: usize,
+    /// Samples per synthesized batch.
+    pub batch_size: usize,
+    /// Stochastic stream length the checkpoint is meant to be served at.
+    pub stream_len: usize,
+    /// Training accuracy over all steps.
+    pub train_acc: f64,
+    /// Held-out validation accuracy.
+    pub val_acc: f64,
+}
+
+impl ZooEntry {
+    /// Builds the manifest entry for one finished training run.
+    pub fn from_outcome(
+        model: ZooModel,
+        cfg: &PipelineConfig,
+        stream_len: usize,
+        outcome: &TrainOutcome,
+    ) -> ZooEntry {
+        ZooEntry {
+            model,
+            file: format!("{}.net", model.slug()),
+            seed: cfg.seed,
+            steps: outcome.steps,
+            batch_size: cfg.batch_size,
+            stream_len,
+            train_acc: outcome.train_acc,
+            val_acc: outcome.val_acc,
+        }
+    }
+}
+
+/// The parsed manifest of a zoo directory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Manifest {
+    /// Entries in training order.
+    pub entries: Vec<ZooEntry>,
+}
+
+impl Manifest {
+    /// Serialises the manifest to its text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        for e in &self.entries {
+            out.push_str(&format!("model {}\n", e.model.id()));
+            out.push_str(&format!("name {}\n", e.model.slug()));
+            out.push_str(&format!("file {}\n", e.file));
+            out.push_str(&format!("dataset {}\n", e.model.data_kind().name()));
+            out.push_str(&format!("seed {}\n", e.seed));
+            out.push_str(&format!("steps {}\n", e.steps));
+            out.push_str(&format!("batch-size {}\n", e.batch_size));
+            out.push_str(&format!("stream-len {}\n", e.stream_len));
+            out.push_str(&format!("train-acc {:?}\n", e.train_acc));
+            out.push_str(&format!("val-acc {:?}\n", e.val_acc));
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Parses a manifest from its text format.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Manifest`] on bad magic, unknown keys or model ids,
+    /// missing fields, duplicate ids, or name/dataset lines that disagree
+    /// with the model id.
+    pub fn from_text(text: &str) -> Result<Manifest, TrainError> {
+        let bad = |msg: String| TrainError::Manifest(msg);
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(MAGIC) {
+            return Err(bad(format!("expected header `{MAGIC}`")));
+        }
+        let mut entries: Vec<ZooEntry> = Vec::new();
+        while let Some(line) = lines.next() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let id_str = line
+                .strip_prefix("model ")
+                .ok_or_else(|| bad(format!("expected `model <id>`, got `{line}`")))?;
+            let id: u32 = id_str
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("bad model id `{id_str}`")))?;
+            let model = ZooModel::from_id(id)
+                .ok_or_else(|| bad(format!("id {id} is not a trainable zoo model")))?;
+            if entries.iter().any(|e| e.model == model) {
+                return Err(bad(format!("duplicate entry for model id {id}")));
+            }
+
+            let mut file = None;
+            let mut seed = None;
+            let mut steps = None;
+            let mut batch_size = None;
+            let mut stream_len = None;
+            let mut train_acc = None;
+            let mut val_acc = None;
+            loop {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| bad(format!("model {id}: unterminated entry (no `end`)")))?
+                    .trim();
+                if line == "end" {
+                    break;
+                }
+                let (key, value) = line
+                    .split_once(' ')
+                    .ok_or_else(|| bad(format!("model {id}: bad line `{line}`")))?;
+                let value = value.trim();
+                match key {
+                    "name" => {
+                        if value != model.slug() {
+                            return Err(bad(format!(
+                                "model {id}: name `{value}` does not match slug `{}`",
+                                model.slug()
+                            )));
+                        }
+                    }
+                    "dataset" => {
+                        if value != model.data_kind().name() {
+                            return Err(bad(format!(
+                                "model {id}: dataset `{value}` does not match `{}`",
+                                model.data_kind().name()
+                            )));
+                        }
+                    }
+                    "file" => file = Some(value.to_string()),
+                    "seed" => seed = Some(parse_num::<u64>(id, key, value)?),
+                    "steps" => steps = Some(parse_num::<usize>(id, key, value)?),
+                    "batch-size" => batch_size = Some(parse_num::<usize>(id, key, value)?),
+                    "stream-len" => stream_len = Some(parse_num::<usize>(id, key, value)?),
+                    "train-acc" => train_acc = Some(parse_num::<f64>(id, key, value)?),
+                    "val-acc" => val_acc = Some(parse_num::<f64>(id, key, value)?),
+                    _ => return Err(bad(format!("model {id}: unknown key `{key}`"))),
+                }
+            }
+            let missing = |k: &str| bad(format!("model {id}: missing `{k}`"));
+            entries.push(ZooEntry {
+                model,
+                file: file.ok_or_else(|| missing("file"))?,
+                seed: seed.ok_or_else(|| missing("seed"))?,
+                steps: steps.ok_or_else(|| missing("steps"))?,
+                batch_size: batch_size.ok_or_else(|| missing("batch-size"))?,
+                stream_len: stream_len.ok_or_else(|| missing("stream-len"))?,
+                train_acc: train_acc.ok_or_else(|| missing("train-acc"))?,
+                val_acc: val_acc.ok_or_else(|| missing("val-acc"))?,
+            });
+        }
+        Ok(Manifest { entries })
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(id: u32, key: &str, value: &str) -> Result<T, TrainError> {
+    value
+        .parse()
+        .map_err(|_| TrainError::Manifest(format!("model {id}: bad {key} `{value}`")))
+}
+
+/// Writes checkpoints and the manifest into `dir` (created if needed).
+///
+/// # Errors
+///
+/// Filesystem errors.
+pub fn save_zoo(dir: &Path, trained: &[(ZooEntry, &Network)]) -> Result<(), TrainError> {
+    fs::create_dir_all(dir)?;
+    let mut manifest = Manifest::default();
+    for (entry, net) in trained {
+        fs::write(dir.join(&entry.file), serialize::to_text(net))?;
+        manifest.entries.push(entry.clone());
+    }
+    fs::write(dir.join(MANIFEST_FILE), manifest.to_text())?;
+    Ok(())
+}
+
+/// Reads and parses `dir`'s manifest.
+///
+/// # Errors
+///
+/// [`TrainError::MissingArtifact`] when there is no manifest, otherwise
+/// parse errors.
+pub fn load_manifest(dir: &Path) -> Result<Manifest, TrainError> {
+    let path = dir.join(MANIFEST_FILE);
+    if !path.is_file() {
+        return Err(TrainError::MissingArtifact(path.display().to_string()));
+    }
+    Manifest::from_text(&fs::read_to_string(path)?)
+}
+
+/// Loads one entry's trained network from its checkpoint file.
+///
+/// # Errors
+///
+/// [`TrainError::MissingArtifact`] when the manifest points at a file that
+/// does not exist; deserialization errors otherwise.
+pub fn load_network(dir: &Path, entry: &ZooEntry) -> Result<Network, TrainError> {
+    let path = dir.join(&entry.file);
+    if !path.is_file() {
+        return Err(TrainError::MissingArtifact(path.display().to_string()));
+    }
+    Ok(serialize::from_text(&fs::read_to_string(path)?)?)
+}
+
+/// Loads every model of a zoo directory: manifest plus trained weights.
+///
+/// # Errors
+///
+/// Manifest and checkpoint errors as above.
+pub fn load_zoo(dir: &Path) -> Result<Vec<(ZooEntry, Network)>, TrainError> {
+    let manifest = load_manifest(dir)?;
+    let mut out = Vec::with_capacity(manifest.entries.len());
+    for entry in manifest.entries {
+        let net = load_network(dir, &entry)?;
+        out.push((entry, net));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(model: ZooModel) -> ZooEntry {
+        ZooEntry {
+            model,
+            file: format!("{}.net", model.slug()),
+            seed: 17,
+            steps: 48,
+            batch_size: 16,
+            stream_len: 64,
+            train_acc: 0.8125,
+            val_acc: 0.75,
+        }
+    }
+
+    #[test]
+    fn manifest_text_round_trips() {
+        let manifest = Manifest {
+            entries: vec![
+                sample_entry(ZooModel::Lenet5),
+                sample_entry(ZooModel::Cifar10Cnn),
+            ],
+        };
+        let back = Manifest::from_text(&manifest.to_text()).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn manifest_rejects_garbage() {
+        assert!(Manifest::from_text("nope").is_err());
+        assert!(Manifest::from_text("acoustic-zoo v1\nmodel 99\nend\n").is_err());
+        assert!(Manifest::from_text("acoustic-zoo v1\nmodel 1\n").is_err());
+        assert!(Manifest::from_text("acoustic-zoo v1\nmodel 1\nwat 3\nend\n").is_err());
+        // Missing required fields.
+        assert!(Manifest::from_text("acoustic-zoo v1\nmodel 1\nend\n").is_err());
+        // Name that disagrees with the id.
+        assert!(Manifest::from_text("acoustic-zoo v1\nmodel 1\nname cifar10-cnn\nend\n").is_err());
+        // Duplicate ids.
+        let manifest = Manifest {
+            entries: vec![sample_entry(ZooModel::Lenet5)],
+        };
+        let doubled = format!(
+            "{}{}",
+            manifest.to_text(),
+            manifest.to_text().trim_start_matches("acoustic-zoo v1\n")
+        );
+        assert!(Manifest::from_text(&doubled).is_err());
+    }
+
+    #[test]
+    fn save_and_load_zoo_round_trip() {
+        let dir = std::env::temp_dir().join(format!("acoustic-zoo-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let net = ZooModel::Lenet5.network().unwrap();
+        let entry = sample_entry(ZooModel::Lenet5);
+        save_zoo(&dir, &[(entry.clone(), &net)]).unwrap();
+
+        let loaded = load_zoo(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, entry);
+        assert_eq!(loaded[0].1.fingerprint(), net.fingerprint());
+
+        // A manifest entry whose weight file vanished is a typed error.
+        fs::remove_file(dir.join(&entry.file)).unwrap();
+        assert!(matches!(
+            load_zoo(&dir),
+            Err(TrainError::MissingArtifact(_))
+        ));
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_a_missing_artifact() {
+        let dir = std::env::temp_dir().join("acoustic-zoo-test-none");
+        assert!(matches!(
+            load_manifest(&dir),
+            Err(TrainError::MissingArtifact(_))
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! # acoustic-train
+//!
+//! Threaded datagen/training pipeline producing the serveable ACOUSTIC
+//! model zoo.
+//!
+//! The ACOUSTIC accuracy results (Table II of the paper) depend on
+//! networks **trained against the OR-unipolar forward model** — serving a
+//! conventionally-trained network over the `1−e^{−Σa}` OR-sum datapath is
+//! the classic stochastic-computing accuracy trap. This crate closes the
+//! loop from synthetic data to served model:
+//!
+//! * [`zoo`] — trainable constructors for the small zoo models (LeNet-5
+//!   and the Table II CIFAR-10/SVHN CNNs), every MAC layer accumulating
+//!   with `AccumMode::OrApprox` and shapes pinned against the
+//!   `acoustic_nn::zoo` descriptors.
+//! * [`channel`] — a bounded **blocking** MPMC channel (backpressure), the
+//!   deliberate counterpart to the serving layer's rejecting admission
+//!   queue.
+//! * [`pipeline`] — producer threads synthesize labelled batches from
+//!   `acoustic_datasets` into the channel; a trainer consumes them through
+//!   a reorder buffer and applies OR-aware SGD strictly in batch-index
+//!   order, so the checkpoint is **bit-identical for any producer count**
+//!   (test-enforced).
+//! * [`checkpoint`] — the `results/zoo/` artifact format: one
+//!   `acoustic-net v1` weight file per model plus an `acoustic-zoo v1`
+//!   manifest (id, seed, steps, stream length, train/val accuracy) the
+//!   serving registry loads models from.
+//!
+//! The `train-zoo` binary ties it together:
+//!
+//! ```text
+//! train-zoo --out results/zoo --models lenet5,cifar10-cnn,svhn-cnn --quick
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod checkpoint;
+pub mod pipeline;
+mod train_error;
+pub mod zoo;
+
+pub use channel::BlockingQueue;
+pub use checkpoint::{
+    load_manifest, load_network, load_zoo, save_zoo, Manifest, ZooEntry, MANIFEST_FILE,
+};
+pub use pipeline::{
+    derive_batch_seed, synthesize_batch, train_model, PipelineConfig, TrainOutcome,
+};
+pub use train_error::TrainError;
+pub use zoo::ZooModel;

@@ -1,0 +1,333 @@
+//! The deterministic producer/consumer training pipeline.
+//!
+//! Datagen **producer** threads synthesize labelled batches from
+//! `acoustic_datasets` into a bounded [`BlockingQueue`]; one **trainer**
+//! consumes them and runs OR-aware SGD (`nn::train` over layers whose wide
+//! adds use the `1−e^{−Σa}` OR-sum of `nn::orsum`).
+//!
+//! ## Worker-count invariance
+//!
+//! The trained weights are a pure function of the pipeline seed:
+//!
+//! * batch **content** is a pure function of `(seed, model, batch index)` —
+//!   producers claim indices from a shared atomic cursor and synthesize
+//!   [`synthesize_batch`] for whatever index they claimed, so *which*
+//!   thread makes a batch never changes the batch;
+//! * batch **order** is restored on the consumer side: the trainer holds
+//!   out-of-order batches in a reorder buffer and applies SGD strictly in
+//!   index order.
+//!
+//! Any producer count therefore yields a bit-identical checkpoint
+//! (test-enforced, like the batch engine's worker invariance), and the
+//! bounded channel gives backpressure: at most `channel_capacity` batches
+//! are ever buffered.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use acoustic_core::prng::splitmix64;
+use acoustic_datasets::DataKind;
+use acoustic_nn::layers::Network;
+use acoustic_nn::train::{evaluate, train_epoch, Sample, SgdConfig};
+
+use crate::channel::BlockingQueue;
+use crate::train_error::TrainError;
+use crate::zoo::ZooModel;
+
+/// Training-pipeline parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Datagen threads synthesizing batches.
+    pub producers: usize,
+    /// Bounded-channel capacity (batches buffered between datagen and
+    /// SGD).
+    pub channel_capacity: usize,
+    /// Samples per synthesized batch; each batch is one SGD step.
+    pub batch_size: usize,
+    /// Total SGD steps (= batches synthesized and consumed).
+    pub steps: usize,
+    /// Held-out validation samples generated after training.
+    pub val_size: usize,
+    /// Base seed; every batch and the validation split derive from it.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            producers: 2,
+            channel_capacity: 4,
+            batch_size: 16,
+            steps: 48,
+            val_size: 40,
+            seed: 17,
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn validate(&self) -> Result<(), TrainError> {
+        if self.producers == 0 {
+            return Err(TrainError::InvalidConfig("producers must be ≥ 1".into()));
+        }
+        if self.channel_capacity == 0 {
+            return Err(TrainError::InvalidConfig(
+                "channel_capacity must be ≥ 1".into(),
+            ));
+        }
+        if self.batch_size == 0 {
+            return Err(TrainError::InvalidConfig("batch_size must be ≥ 1".into()));
+        }
+        if self.steps == 0 {
+            return Err(TrainError::InvalidConfig("steps must be ≥ 1".into()));
+        }
+        if self.val_size == 0 {
+            return Err(TrainError::InvalidConfig("val_size must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Everything one pipeline run produced.
+#[derive(Debug)]
+pub struct TrainOutcome {
+    /// The trained network.
+    pub network: Network,
+    /// SGD steps applied.
+    pub steps: usize,
+    /// Fraction of training samples classified correctly (measured on the
+    /// pre-update forward pass of each step, like `nn::train`).
+    pub train_acc: f64,
+    /// Mean cross-entropy loss over all steps.
+    pub mean_loss: f32,
+    /// Accuracy on the held-out validation split.
+    pub val_acc: f64,
+    /// Wall-clock seconds spent in the pipeline (datagen + SGD).
+    pub seconds: f64,
+}
+
+/// Derives the dataset seed of one batch from the pipeline base seed.
+///
+/// A pure function of `(base_seed, model id, batch_index)` — independent of
+/// producer count and claim order — scrambled so neighbouring batches draw
+/// unrelated sample noise.
+pub fn derive_batch_seed(base_seed: u64, model_id: u32, batch_index: u64) -> u64 {
+    let mut state = base_seed
+        ^ (u64::from(model_id) << 48)
+        ^ batch_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ 0xAC00_571C_7241_0001;
+    splitmix64(&mut state)
+}
+
+/// Synthesizes the labelled batch `batch_index` of a training run — a pure
+/// function of its arguments, shared by every producer thread.
+///
+/// Labels cycle through the classes with a per-batch offset so class
+/// balance holds across batches even when `batch_size` is not a multiple
+/// of the class count.
+pub fn synthesize_batch(
+    kind: DataKind,
+    base_seed: u64,
+    model_id: u32,
+    batch_index: u64,
+    batch_size: usize,
+) -> Vec<Sample> {
+    let seed = derive_batch_seed(base_seed, model_id, batch_index);
+    let offset = (batch_index as usize * batch_size) % kind.classes();
+    let ds = kind.generate(offset + batch_size, 0, seed);
+    ds.train.into_iter().skip(offset).collect()
+}
+
+/// The validation split of a training run (disjoint seed domain from every
+/// training batch).
+pub fn validation_split(kind: DataKind, base_seed: u64, model_id: u32, size: usize) -> Vec<Sample> {
+    let mut state = base_seed ^ (u64::from(model_id) << 16) ^ 0x5EED_0FF0_DA7A_0001;
+    kind.generate(0, size, splitmix64(&mut state)).test
+}
+
+/// Trains one zoo model through the producer/consumer pipeline.
+///
+/// # Errors
+///
+/// Config validation and propagated network errors.
+pub fn train_model(model: ZooModel, cfg: &PipelineConfig) -> Result<TrainOutcome, TrainError> {
+    cfg.validate()?;
+    let start = std::time::Instant::now();
+    let kind = model.data_kind();
+    let mut net = model.network()?;
+    let sgd = model.sgd();
+
+    let queue: BlockingQueue<(u64, Vec<Sample>)> = BlockingQueue::new(cfg.channel_capacity);
+    let cursor = AtomicU64::new(0);
+    let total = cfg.steps as u64;
+
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    let mut loss_sum = 0.0f64;
+
+    let trained: Result<(), TrainError> = std::thread::scope(|scope| {
+        for _ in 0..cfg.producers {
+            let queue = &queue;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::SeqCst);
+                if index >= total {
+                    break;
+                }
+                let batch = synthesize_batch(kind, cfg.seed, model.id(), index, cfg.batch_size);
+                if queue.push((index, batch)).is_err() {
+                    break; // channel closed: the trainer bailed out early
+                }
+            });
+        }
+
+        // The single trainer: restore index order with a reorder buffer,
+        // then apply one SGD step per batch.
+        let result = (|| -> Result<(), TrainError> {
+            let mut holdback: BTreeMap<u64, Vec<Sample>> = BTreeMap::new();
+            for next in 0..total {
+                let batch = loop {
+                    if let Some(b) = holdback.remove(&next) {
+                        break b;
+                    }
+                    match queue.pop() {
+                        Some((i, b)) if i == next => break b,
+                        Some((i, b)) => {
+                            holdback.insert(i, b);
+                        }
+                        None => {
+                            return Err(TrainError::InvalidConfig(
+                                "training channel closed before all batches arrived".into(),
+                            ))
+                        }
+                    }
+                };
+                let step_cfg = SgdConfig {
+                    batch_size: batch.len(),
+                    ..sgd
+                };
+                let stats = train_epoch(&mut net, &batch, &step_cfg)?;
+                correct += (stats.accuracy * batch.len() as f64).round() as usize;
+                seen += batch.len();
+                loss_sum += f64::from(stats.mean_loss);
+            }
+            Ok(())
+        })();
+        // Unblock any producer still waiting for channel space (error
+        // paths; a clean run has drained everything already).
+        queue.close();
+        result
+    });
+    trained?;
+
+    let val = validation_split(kind, cfg.seed, model.id(), cfg.val_size);
+    let val_acc = evaluate(&mut net, &val)?;
+
+    Ok(TrainOutcome {
+        network: net,
+        steps: cfg.steps,
+        train_acc: correct as f64 / seen.max(1) as f64,
+        mean_loss: (loss_sum / cfg.steps as f64) as f32,
+        val_acc,
+        seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acoustic_nn::serialize::to_text;
+
+    fn quick_cfg(producers: usize) -> PipelineConfig {
+        PipelineConfig {
+            producers,
+            channel_capacity: 2,
+            batch_size: 10,
+            steps: 4,
+            val_size: 10,
+            seed: 23,
+        }
+    }
+
+    #[test]
+    fn batches_are_pure_functions_of_their_index() {
+        let a = synthesize_batch(DataKind::MnistLike, 7, 1, 3, 10);
+        let b = synthesize_batch(DataKind::MnistLike, 7, 1, 3, 10);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a[4].0, b[4].0);
+        assert_eq!(a[4].1, b[4].1);
+        let c = synthesize_batch(DataKind::MnistLike, 7, 1, 4, 10);
+        assert_ne!(a[4].0, c[4].0, "distinct batches must differ");
+    }
+
+    #[test]
+    fn batch_labels_rotate_for_class_balance() {
+        // batch_size 16 is not a multiple of 10 classes; the offset keeps
+        // labels rotating instead of always starting at 0.
+        let b0 = synthesize_batch(DataKind::MnistLike, 7, 1, 0, 16);
+        let b1 = synthesize_batch(DataKind::MnistLike, 7, 1, 1, 16);
+        assert_eq!(b0[0].1, 0);
+        assert_eq!(b1[0].1, 6);
+        assert_eq!(b1.len(), 16);
+    }
+
+    #[test]
+    fn checkpoint_is_invariant_in_producer_count() {
+        // Same seed, different datagen-thread counts ⇒ bit-identical
+        // checkpoint bytes (the satellite determinism guarantee).
+        let solo = train_model(ZooModel::Lenet5, &quick_cfg(1)).unwrap();
+        let trio = train_model(ZooModel::Lenet5, &quick_cfg(3)).unwrap();
+        assert_eq!(to_text(&solo.network), to_text(&trio.network));
+        assert_eq!(solo.steps, trio.steps);
+        assert!((solo.train_acc - trio.train_acc).abs() < 1e-12);
+        assert!((solo.val_acc - trio.val_acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_seeds_change_the_checkpoint() {
+        let a = train_model(ZooModel::Lenet5, &quick_cfg(2)).unwrap();
+        let other = PipelineConfig {
+            seed: 24,
+            ..quick_cfg(2)
+        };
+        let b = train_model(ZooModel::Lenet5, &other).unwrap();
+        assert_ne!(to_text(&a.network), to_text(&b.network));
+    }
+
+    #[test]
+    fn outcome_fields_are_sane() {
+        let out = train_model(ZooModel::Lenet5, &quick_cfg(2)).unwrap();
+        assert!((0.0..=1.0).contains(&out.train_acc));
+        assert!((0.0..=1.0).contains(&out.val_acc));
+        assert!(out.mean_loss.is_finite() && out.mean_loss > 0.0);
+        assert!(out.seconds >= 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        for cfg in [
+            PipelineConfig {
+                producers: 0,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                batch_size: 0,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                steps: 0,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                channel_capacity: 0,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                val_size: 0,
+                ..PipelineConfig::default()
+            },
+        ] {
+            assert!(train_model(ZooModel::Lenet5, &cfg).is_err());
+        }
+    }
+}

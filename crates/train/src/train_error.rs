@@ -1,0 +1,77 @@
+//! Error type of the training subsystem.
+
+use std::fmt;
+use std::io;
+
+use acoustic_nn::NnError;
+
+/// Errors produced by the training pipeline and the zoo checkpoint store.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A filesystem operation on the zoo directory failed.
+    Io(io::Error),
+    /// A network/layer operation failed (construction, forward, backward).
+    Nn(NnError),
+    /// A pipeline parameter is invalid (zero producers, empty batches, …).
+    InvalidConfig(String),
+    /// The zoo manifest is malformed.
+    Manifest(String),
+    /// The manifest references a checkpoint file that does not exist.
+    MissingArtifact(String),
+    /// A model name or id is not part of the trainable zoo.
+    UnknownModel(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Io(e) => write!(f, "i/o error: {e}"),
+            TrainError::Nn(e) => write!(f, "network error: {e}"),
+            TrainError::InvalidConfig(msg) => write!(f, "invalid train config: {msg}"),
+            TrainError::Manifest(msg) => write!(f, "malformed zoo manifest: {msg}"),
+            TrainError::MissingArtifact(path) => {
+                write!(f, "missing checkpoint artifact: {path}")
+            }
+            TrainError::UnknownModel(name) => write!(f, "unknown zoo model: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Io(e) => Some(e),
+            TrainError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TrainError {
+    fn from(e: io::Error) -> Self {
+        TrainError::Io(e)
+    }
+}
+
+impl From<NnError> for TrainError {
+    fn from(e: NnError) -> Self {
+        TrainError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(TrainError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(TrainError::MissingArtifact("zoo/x.net".into())
+            .to_string()
+            .contains("x.net"));
+        let e: TrainError = io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

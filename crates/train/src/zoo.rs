@@ -1,0 +1,206 @@
+//! Trainable constructors for the small end of the ACOUSTIC model zoo.
+//!
+//! `acoustic_nn::zoo` describes the paper's networks as *shapes* (for MAC
+//! and memory accounting); this module builds the matching **trainable**
+//! [`Network`]s for the models small enough to train here: LeNet-5 and the
+//! CIFAR-10/SVHN CNNs of Table II. Every MAC layer accumulates with
+//! [`AccumMode::OrApprox`] — the paper's `1−e^{−Σa}` OR-sum approximation —
+//! so the trained weights anticipate the stochastic OR datapath they will
+//! be served on (§II-D; training against the wrong forward model is the
+//! classic SC accuracy trap).
+//!
+//! Layer construction is deterministic, so two processes building the same
+//! zoo model start from bit-identical weights — the property the serving
+//! layer's golden-response validation builds on.
+
+use acoustic_datasets::DataKind;
+use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic_nn::train::SgdConfig;
+use acoustic_nn::NnError;
+
+/// The trainable zoo models, each with a stable wire id and checkpoint
+/// slug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZooModel {
+    /// LeNet-5 on the MNIST-like digits (id 1).
+    Lenet5,
+    /// The Table II CIFAR-10 CNN on the CIFAR-like dataset (id 2).
+    Cifar10Cnn,
+    /// The Table II SVHN CNN (same topology) on the SVHN-like dataset
+    /// (id 3).
+    SvhnCnn,
+}
+
+impl ZooModel {
+    /// Every trainable zoo model.
+    pub const ALL: [ZooModel; 3] = [ZooModel::Lenet5, ZooModel::Cifar10Cnn, ZooModel::SvhnCnn];
+
+    /// Wire-visible model id the serving registry uses.
+    pub fn id(self) -> u32 {
+        match self {
+            ZooModel::Lenet5 => 1,
+            ZooModel::Cifar10Cnn => 2,
+            ZooModel::SvhnCnn => 3,
+        }
+    }
+
+    /// Checkpoint slug (manifest `name`, weight file stem).
+    pub fn slug(self) -> &'static str {
+        match self {
+            ZooModel::Lenet5 => "lenet5",
+            ZooModel::Cifar10Cnn => "cifar10-cnn",
+            ZooModel::SvhnCnn => "svhn-cnn",
+        }
+    }
+
+    /// Looks a model up by its [`ZooModel::slug`].
+    pub fn from_slug(slug: &str) -> Option<ZooModel> {
+        ZooModel::ALL.into_iter().find(|m| m.slug() == slug)
+    }
+
+    /// Looks a model up by its [`ZooModel::id`].
+    pub fn from_id(id: u32) -> Option<ZooModel> {
+        ZooModel::ALL.into_iter().find(|m| m.id() == id)
+    }
+
+    /// The synthetic dataset family the model trains on.
+    pub fn data_kind(self) -> DataKind {
+        match self {
+            ZooModel::Lenet5 => DataKind::MnistLike,
+            ZooModel::Cifar10Cnn => DataKind::CifarLike,
+            ZooModel::SvhnCnn => DataKind::SvhnLike,
+        }
+    }
+
+    /// Per-model SGD hyper-parameters (batch size comes from the
+    /// pipeline's synthesized-batch size).
+    pub fn sgd(self) -> SgdConfig {
+        match self {
+            ZooModel::Lenet5 => SgdConfig {
+                lr: 0.08,
+                momentum: 0.9,
+                batch_size: 16,
+            },
+            // The deeper RGB CNNs want a gentler step.
+            ZooModel::Cifar10Cnn | ZooModel::SvhnCnn => SgdConfig {
+                lr: 0.05,
+                momentum: 0.9,
+                batch_size: 16,
+            },
+        }
+    }
+
+    /// Builds the untrained network with OR-approximate accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer-construction errors (none for these fixed shapes).
+    pub fn network(self) -> Result<Network, NnError> {
+        match self {
+            ZooModel::Lenet5 => lenet5(),
+            ZooModel::Cifar10Cnn | ZooModel::SvhnCnn => cifar10_cnn(),
+        }
+    }
+}
+
+/// Trainable LeNet-5 (28×28×1, padded first conv, 6-16-120-84-10), with
+/// clamped ReLUs so every activation stays split-unipolar representable.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn lenet5() -> Result<Network, NnError> {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 6, 5, 1, 2, AccumMode::OrApprox)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(6, 16, 5, 1, 0, AccumMode::OrApprox)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(16 * 5 * 5, 120, AccumMode::OrApprox)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(120, 84, AccumMode::OrApprox)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(84, 10, AccumMode::OrApprox)?);
+    Ok(net)
+}
+
+/// Trainable Table II CIFAR-10/SVHN CNN (32×32×3): three 3×3 conv blocks
+/// with 2×2 average pooling, one hidden FC layer.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn cifar10_cnn() -> Result<Network, NnError> {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(3, 32, 3, 1, 1, AccumMode::OrApprox)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(32, 64, 3, 1, 1, AccumMode::OrApprox)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(64, 64, 3, 1, 1, AccumMode::OrApprox)?);
+    net.push_avg_pool(AvgPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(64 * 4 * 4, 64, AccumMode::OrApprox)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(64, 10, AccumMode::OrApprox)?);
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_slugs_round_trip() {
+        for m in ZooModel::ALL {
+            assert_eq!(ZooModel::from_id(m.id()), Some(m));
+            assert_eq!(ZooModel::from_slug(m.slug()), Some(m));
+        }
+        assert_eq!(ZooModel::from_id(99), None);
+        assert_eq!(ZooModel::from_slug("vgg16"), None);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        for m in ZooModel::ALL {
+            let a = m.network().unwrap();
+            let b = m.network().unwrap();
+            assert_eq!(a.fingerprint(), b.fingerprint(), "{}", m.slug());
+        }
+    }
+
+    #[test]
+    fn trainable_networks_match_zoo_shape_descriptors() {
+        // The shape-only descriptors in `acoustic_nn::zoo` are the source
+        // of truth for the paper's architectures; the trainable builds must
+        // carry exactly the same weight counts.
+        let pairs = [
+            (ZooModel::Lenet5, acoustic_nn::zoo::lenet5()),
+            (ZooModel::Cifar10Cnn, acoustic_nn::zoo::cifar10_cnn()),
+            (ZooModel::SvhnCnn, acoustic_nn::zoo::svhn_cnn()),
+        ];
+        for (model, shape) in pairs {
+            let net = model.network().unwrap();
+            assert_eq!(
+                net.param_count() as u64,
+                shape.total_weights(),
+                "{} weight count drifted from its shape descriptor",
+                model.slug()
+            );
+        }
+    }
+
+    #[test]
+    fn forward_pass_runs_on_dataset_shapes() {
+        for m in ZooModel::ALL {
+            let mut net = m.network().unwrap();
+            let ds = m.data_kind().generate(1, 0, 5);
+            let logits = net.forward(&ds.train[0].0).unwrap();
+            assert_eq!(logits.as_slice().len(), 10, "{}", m.slug());
+        }
+    }
+}

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let images: Vec<_> = data.test.iter().map(|(t, _)| t.clone()).collect();
 
     // 2. Prepare once through the serving cache and register under an id.
-    let cache = ModelCache::new();
+    let cache = std::sync::Arc::new(ModelCache::new());
     let sim = SimConfig::with_stream_len(128)?;
     let golden = cache.get_or_compile(sim, &network)?;
     let registry = ModelRegistry::build(
