@@ -151,6 +151,7 @@ fn main() {
             images: e
                 .model
                 .data_kind()
+                .expect("mix models are trainable and carry a dataset")
                 .generate(0, TEST_IMAGES, 11)
                 .test
                 .into_iter()

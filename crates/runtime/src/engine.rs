@@ -546,6 +546,7 @@ impl BatchEngine {
             effective_lengths,
             mean_effective_len,
             kernel: tally.counters(&stats),
+            dedup: model.dedup_stats(),
         })
     }
 

@@ -15,7 +15,9 @@ use std::sync::{Arc, Mutex};
 use acoustic_core::prng::splitmix64;
 use acoustic_nn::layers::Network;
 use acoustic_nn::Tensor;
-use acoustic_simfunc::{PreparedNetwork, ScSimulator, SimConfig, SimError, SimScratch, StepTiming};
+use acoustic_simfunc::{
+    DedupStats, PreparedNetwork, ScSimulator, SimConfig, SimError, SimScratch, StepTiming,
+};
 
 use crate::{ExitPolicy, RuntimeError};
 
@@ -92,9 +94,20 @@ impl PreparedModel {
 
     /// Approximate resident size of the prepared weight banks, in bytes
     /// (see [`PreparedNetwork::approx_bytes`]). [`ModelCache`] memory
-    /// budgets are enforced against this figure.
+    /// budgets are enforced against this figure, which reflects the actual
+    /// allocations of the configured weight-storage layout — shared pool
+    /// words plus per-lane indices when deduplication is on, full per-lane
+    /// banks when it is not.
     pub fn approx_bytes(&self) -> usize {
         self.prepared.approx_bytes()
+    }
+
+    /// Weight-storage accounting of the prepared banks (see
+    /// [`PreparedNetwork::dedup_stats`]): lanes, distinct canonical
+    /// streams, pool/index/resident bytes, and the materialized-layout
+    /// cost of the same shapes.
+    pub fn dedup_stats(&self) -> DedupStats {
+        self.prepared.dedup_stats()
     }
 
     /// A simulator whose activation seed is derived for `image_index`.
@@ -521,6 +534,18 @@ impl ModelCache {
         self.inner.lock().expect("model cache lock poisoned").bytes
     }
 
+    /// Summed [`PreparedModel::dedup_stats`] over every resident model —
+    /// the cache-wide view of how much the weight-stream pool is saving
+    /// versus materialized banks.
+    pub fn dedup_totals(&self) -> DedupStats {
+        let inner = self.inner.lock().expect("model cache lock poisoned");
+        let mut total = DedupStats::default();
+        for (_, model) in inner.map.values() {
+            total.merge(&model.dedup_stats());
+        }
+        total
+    }
+
     /// Total evictions since creation (capacity- and budget-driven).
     pub fn evictions(&self) -> u64 {
         self.inner
@@ -774,6 +799,56 @@ mod tests {
         assert_eq!(cache.evictions_of(a.fingerprint()), 1);
         assert!(ModelCache::with_limits(4, Some(0)).is_err());
         assert!(ModelCache::new().memory_budget().is_none());
+    }
+
+    /// A dense-only net whose nonzero weight count is controlled: same
+    /// lane count as its dense sibling, very different bank allocations
+    /// under the pooled layout (zero weights own no pool slot or stream
+    /// words, only their 4-byte index).
+    fn dense_net(nonzero: usize, value: f32) -> Network {
+        let mut d = Dense::new(96, 64, AccumMode::OrApprox).unwrap();
+        for (i, w) in d.weights_mut().iter_mut().enumerate() {
+            *w = if i < nonzero { value } else { 0.0 };
+        }
+        let mut net = Network::new();
+        net.push_dense(d);
+        net
+    }
+
+    #[test]
+    fn resident_bytes_track_actual_allocations_and_change_eviction_order() {
+        let sim = cfg(64);
+        let full = PreparedModel::compile(sim, &dense_net(96 * 64, 0.4)).unwrap();
+        let sparse = PreparedModel::compile(sim, &dense_net(64, 0.4)).unwrap();
+
+        // Identical lane counts — a lane-count formula would weigh them
+        // equally — but the sparse model's banks are actually far smaller.
+        assert_eq!(full.dedup_stats().lanes, sparse.dedup_stats().lanes);
+        let big = full.approx_bytes();
+        let small = sparse.approx_bytes();
+        assert!(
+            small * 2 < big,
+            "sparse banks must be much smaller ({small} vs {big})"
+        );
+        // And the accounting is exact: pool words + indices + presence.
+        let s = sparse.dedup_stats();
+        assert_eq!(s.resident_bytes, (s.pool_bytes + s.index_bytes));
+        assert_eq!(small as u64, s.resident_bytes);
+
+        // A budget that holds two sparse models but not one full model:
+        // under byte-accurate accounting the full model is evicted the
+        // moment a sparse one lands, and the two sparse models then
+        // coexist — an order impossible under equal-weight accounting.
+        let budget = 2 * small + small / 2;
+        assert!(budget < big, "budget must not fit the full model");
+        let cache = ModelCache::with_limits(8, Some(budget)).unwrap();
+        cache.get_or_compile(sim, &dense_net(96 * 64, 0.4)).unwrap();
+        cache.get_or_compile(sim, &dense_net(64, 0.4)).unwrap();
+        assert_eq!(cache.evictions_of(full.fingerprint()), 1);
+        cache.get_or_compile(sim, &dense_net(64, 0.7)).unwrap();
+        assert_eq!(cache.len(), 2, "two sparse models fit the byte budget");
+        assert_eq!(cache.evictions(), 1, "no further evictions needed");
+        assert_eq!(cache.resident_bytes(), 2 * small);
     }
 
     #[test]

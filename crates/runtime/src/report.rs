@@ -4,7 +4,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use acoustic_simfunc::KernelStats;
+use acoustic_simfunc::{DedupStats, KernelStats};
 
 /// Aggregated wall-clock cost of one layer/step across a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +119,11 @@ pub struct BatchReport {
     pub mean_effective_len: f64,
     /// Kernel skip/tile counters accumulated across the batch.
     pub kernel: KernelCounters,
+    /// Weight-storage accounting of the model the batch ran on: lanes,
+    /// distinct canonical streams, pool/index/resident bytes and the
+    /// materialized-layout equivalent. A property of the prepared model,
+    /// not of the batch — constant across batches on the same model.
+    pub dedup: DedupStats,
 }
 
 impl BatchReport {
@@ -167,6 +172,17 @@ impl fmt::Display for BatchReport {
             self.kernel.zero_seg_skips,
             self.kernel.tiled_images,
             self.kernel.tiles
+        )?;
+        writeln!(
+            f,
+            "banks: {} lanes over {} distinct streams, {:.1} KiB resident \
+             ({:.1} KiB pool + {:.1} KiB indices), {:.1}x dedup",
+            self.dedup.lanes,
+            self.dedup.distinct_streams,
+            self.dedup.resident_bytes as f64 / 1024.0,
+            self.dedup.pool_bytes as f64 / 1024.0,
+            self.dedup.index_bytes as f64 / 1024.0,
+            self.dedup.dedup_ratio()
         )?;
         if !self.layer_timings.is_empty() {
             writeln!(f, "per-layer totals:")?;
@@ -217,6 +233,14 @@ mod tests {
                 tiles: 1,
                 tiled_images: 4,
             },
+            dedup: DedupStats {
+                lanes: 100,
+                distinct_streams: 25,
+                pool_bytes: 2048,
+                index_bytes: 1024,
+                resident_bytes: 3072,
+                materialized_bytes: 12288,
+            },
         };
         assert!((r.confusion_rate(0, 0) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(r.confusion_rate(1, 1), 1.0);
@@ -226,6 +250,8 @@ mod tests {
         assert!(text.contains("112.0 bits/image"));
         assert!(text.contains("40.0% skipped"));
         assert!(text.contains("4 images tiled in 1 tiles"));
+        assert!(text.contains("100 lanes over 25 distinct streams"));
+        assert!(text.contains("4.0x dedup"));
         assert_eq!(r.layer_timings[0].mean(), Duration::from_millis(1));
     }
 

@@ -284,6 +284,7 @@ fn run_zoo_mode(args: &Args, dir: PathBuf) -> ! {
         // recompute see the same tensors by construction.
         let images: Vec<_> = model
             .data_kind()
+            .expect("mix models are trainable and carry a dataset")
             .generate(0, args.test.max(1), 11)
             .test
             .into_iter()

@@ -145,10 +145,10 @@ pub struct ErrorFrame {
 }
 
 /// Number of `u64` words in a [`StatsSnapshot`] wire payload.
-const STATS_WORDS: usize = 20;
+const STATS_WORDS: usize = 25;
 
 /// A point-in-time server statistics snapshot, servable over the wire.
-/// Payload: 20 × `u64` in field order.
+/// Payload: 25 × `u64` in field order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Frames received that parsed as inference requests.
@@ -194,6 +194,18 @@ pub struct StatsSnapshot {
     pub tiles: u64,
     /// Requests executed inside those tiles (the rest ran solo).
     pub tiled_requests: u64,
+    /// Distinct canonical weight streams across resident cached models
+    /// (gauge sampled at snapshot time, not a counter).
+    pub distinct_streams: u64,
+    /// Bytes of shared weight-stream pool words across resident models.
+    pub pool_bytes: u64,
+    /// Bytes of per-lane pool indices across resident models.
+    pub index_bytes: u64,
+    /// Bytes the materialized per-lane layout would need for the same
+    /// resident models.
+    pub materialized_bytes: u64,
+    /// Weight-bank bytes actually resident across cached models.
+    pub resident_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -258,6 +270,11 @@ impl StatsSnapshot {
             self.tiles,
             self.tiled_requests,
             self.rejected_model_budget,
+            self.distinct_streams,
+            self.pool_bytes,
+            self.index_bytes,
+            self.materialized_bytes,
+            self.resident_bytes,
         ]
     }
 
@@ -283,6 +300,11 @@ impl StatsSnapshot {
             tiles: w[17],
             tiled_requests: w[18],
             rejected_model_budget: w[19],
+            distinct_streams: w[20],
+            pool_bytes: w[21],
+            index_bytes: w[22],
+            materialized_bytes: w[23],
+            resident_bytes: w[24],
         }
     }
 }

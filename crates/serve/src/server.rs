@@ -307,9 +307,10 @@ impl ServerHandle {
 
     /// A point-in-time statistics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared
-            .stats
-            .snapshot(self.shared.queue.high_water_mark() as u64)
+        self.shared.stats.snapshot(
+            self.shared.queue.high_water_mark() as u64,
+            self.shared.registry.cache().dedup_totals(),
+        )
     }
 
     /// Current request-queue depth.
@@ -471,7 +472,10 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             Ok(None) => break,
             Ok(Some(Frame::InferRequest(req))) => admit(req, &conn, shared),
             Ok(Some(Frame::StatsRequest(id))) => {
-                let snap = shared.stats.snapshot(shared.queue.high_water_mark() as u64);
+                let snap = shared.stats.snapshot(
+                    shared.queue.high_water_mark() as u64,
+                    shared.registry.cache().dedup_totals(),
+                );
                 conn.send(&Frame::StatsResponse(id, snap));
             }
             Ok(Some(other)) => {

@@ -7,6 +7,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use acoustic_runtime::DedupStats;
+
 use crate::protocol::StatsSnapshot;
 
 /// Shared mutable statistics, updated by acceptor/reader/worker threads.
@@ -64,9 +66,10 @@ impl Stats {
         counter.fetch_add(v, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy; `queue_depth_hwm` is owned by the queue, so
-    /// the caller passes it in.
-    pub fn snapshot(&self, queue_depth_hwm: u64) -> StatsSnapshot {
+    /// A point-in-time copy; `queue_depth_hwm` is owned by the queue and
+    /// `dedup` by the model cache (both gauges, sampled by the caller at
+    /// snapshot time), so they are passed in.
+    pub fn snapshot(&self, queue_depth_hwm: u64, dedup: DedupStats) -> StatsSnapshot {
         StatsSnapshot {
             received: self.received.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
@@ -88,6 +91,11 @@ impl Stats {
             zero_seg_skips: self.zero_seg_skips.load(Ordering::Relaxed),
             tiles: self.tiles.load(Ordering::Relaxed),
             tiled_requests: self.tiled_requests.load(Ordering::Relaxed),
+            distinct_streams: dedup.distinct_streams,
+            pool_bytes: dedup.pool_bytes,
+            index_bytes: dedup.index_bytes,
+            materialized_bytes: dedup.materialized_bytes,
+            resident_bytes: dedup.resident_bytes,
         }
     }
 
@@ -112,11 +120,24 @@ mod tests {
         Stats::bump(&s.received);
         Stats::bump(&s.accepted);
         Stats::add(&s.queue_wait_ns, 250);
-        let snap = s.snapshot(5);
+        let dedup = DedupStats {
+            lanes: 10,
+            distinct_streams: 4,
+            pool_bytes: 512,
+            index_bytes: 64,
+            resident_bytes: 576,
+            materialized_bytes: 2048,
+        };
+        let snap = s.snapshot(5, dedup);
         assert_eq!(snap.received, 1);
         assert_eq!(snap.accepted, 1);
         assert_eq!(snap.queue_wait_ns, 250);
         assert_eq!(snap.queue_depth_hwm, 5);
+        assert_eq!(snap.distinct_streams, 4);
+        assert_eq!(snap.pool_bytes, 512);
+        assert_eq!(snap.index_bytes, 64);
+        assert_eq!(snap.materialized_bytes, 2048);
+        assert_eq!(snap.resident_bytes, 576);
     }
 
     #[test]
@@ -132,7 +153,7 @@ mod tests {
         };
         s.absorb_kernel(&k);
         s.absorb_kernel(&k);
-        let snap = s.snapshot(0);
+        let snap = s.snapshot(0, DedupStats::default());
         assert_eq!(snap.mac_lanes, 200);
         assert_eq!(snap.sat_group_exits, 8);
         assert_eq!(snap.sat_lanes_skipped, 40);

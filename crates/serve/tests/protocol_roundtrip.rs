@@ -98,6 +98,11 @@ fn stats_frames_roundtrip() {
         tiles: 18,
         tiled_requests: 19,
         rejected_model_budget: 20,
+        distinct_streams: 21,
+        pool_bytes: 22,
+        index_bytes: 23,
+        materialized_bytes: 24,
+        resident_bytes: 25,
     };
     let resp = Frame::StatsResponse(55, snap);
     assert_eq!(roundtrip(&resp), resp);

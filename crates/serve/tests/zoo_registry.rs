@@ -10,7 +10,9 @@ use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
 use acoustic_runtime::ModelCache;
 use acoustic_serve::{ModelRegistry, ModelSpec, RegistryError};
 use acoustic_simfunc::SimConfig;
-use acoustic_train::{save_zoo, train_model, PipelineConfig, TrainError, ZooEntry, ZooModel};
+use acoustic_train::{
+    add_builtin_models, save_zoo, train_model, PipelineConfig, TrainError, ZooEntry, ZooModel,
+};
 
 /// A fresh per-test temp dir (tests run concurrently in one process).
 fn temp_zoo(tag: &str) -> PathBuf {
@@ -132,4 +134,68 @@ fn memory_budget_evicts_lru_and_registry_recompiles() {
     let back = reg.resolve(2).unwrap();
     assert_eq!(back.fingerprint(), fp_b);
     assert_eq!(cache.evictions(), 3);
+}
+
+#[test]
+fn builtin_manifest_entries_load_through_the_registry() {
+    // A zoo directory holding only a `file builtin` entry: no weight file
+    // on disk, the registry rebuilds the deterministic constructor network
+    // at load time. LeNet keeps the always-run test cheap; the ignored
+    // test below exercises the same path at ImageNet scale.
+    let dir = temp_zoo("builtin");
+    add_builtin_models(&dir, &[(ZooModel::Lenet5, 32)]).unwrap();
+
+    let cache = Arc::new(ModelCache::new());
+    let reg = ModelRegistry::from_zoo_dir(&dir, &cache).unwrap();
+    assert_eq!(reg.ids(), vec![ZooModel::Lenet5.id()]);
+
+    let prepared = reg.resolve(ZooModel::Lenet5.id()).unwrap();
+    let golden = acoustic_runtime::PreparedModel::compile(
+        SimConfig::with_stream_len(32).unwrap(),
+        &ZooModel::Lenet5.network().unwrap(),
+    )
+    .unwrap();
+    assert_eq!(prepared.fingerprint(), golden.fingerprint());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+#[ignore = "prepares ImageNet-scale models (GBs of bank memory, minutes in release); run with --ignored"]
+fn imagenet_scale_builtin_zoo_resolves_evicts_and_recompiles() {
+    let dir = temp_zoo("imagenet");
+    add_builtin_models(&dir, &[(ZooModel::Alexnet, 32), (ZooModel::Vgg16, 32)]).unwrap();
+
+    // Budget sized to hold either model alone but never both: AlexNet's
+    // pooled banks are a few hundred MB at stream 32, VGG-16's under a
+    // GB — so warming VGG during registration must evict AlexNet, and
+    // resolving AlexNet again must recompile it and evict VGG.
+    let budget = 1_200_000_000;
+    let cache = Arc::new(ModelCache::with_limits(8, Some(budget)).unwrap());
+    let reg = ModelRegistry::from_zoo_dir(&dir, &cache).unwrap();
+
+    assert_eq!(cache.len(), 1, "budget holds only one resident model");
+    assert_eq!(cache.evictions(), 1);
+    assert!(cache.resident_bytes() <= budget);
+
+    let alex = reg.resolve(ZooModel::Alexnet.id()).unwrap();
+    let stats = alex.dedup_stats();
+    assert!(
+        stats.dedup_ratio() >= 5.0,
+        "AlexNet dedup ratio {:.2} below the 5x bar",
+        stats.dedup_ratio()
+    );
+    assert_eq!(cache.evictions(), 2, "recompiling AlexNet evicted VGG-16");
+    assert!(cache.resident_bytes() <= budget);
+
+    let vgg = reg.resolve(ZooModel::Vgg16.id()).unwrap();
+    let stats = vgg.dedup_stats();
+    assert!(
+        stats.dedup_ratio() >= 5.0,
+        "VGG-16 dedup ratio {:.2} below the 5x bar",
+        stats.dedup_ratio()
+    );
+    assert_eq!(cache.evictions(), 3);
+
+    std::fs::remove_dir_all(&dir).unwrap();
 }

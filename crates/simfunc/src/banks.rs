@@ -79,6 +79,313 @@ impl LeveledWeights {
     }
 }
 
+/// Lane marker for weights with no stream at all (quantized to zero).
+/// Kernels never dereference it: a zero weight is absent from **both**
+/// phase `present` lists, and every weight read is behind a `present`
+/// check.
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
+/// One prefix level's canonical stream words, slot-major: slot `s`,
+/// segment `e` occupies `words[(s * segments + e) * seg_words ..
+/// +seg_words]`. Slots are phase-agnostic — a stream is a pure function
+/// of its (seed, threshold), so a positive-phase lane and a
+/// negative-phase lane with the same key share one slot.
+#[derive(Debug, Clone)]
+pub(crate) struct PoolLevel {
+    pub(crate) words: Vec<u64>,
+    pub(crate) seg_words: usize,
+}
+
+/// Deduplicated weight storage of one MAC layer: one canonical stream per
+/// distinct (SNG seed, quantized threshold) pair, with every lane holding
+/// a compact `u32` slot index into the shared pool instead of owning its
+/// stream words.
+///
+/// Prefix reusability is preserved by construction: slot ids are assigned
+/// once (first sight of a key, in a phase-major lane scan so each phase
+/// pass reads a dense ascending slot range) and every [`PoolLevel`] lays
+/// its words out in the same slot order, sliced from the same single SNG
+/// walk that the materialized layout uses — so one `index` vector serves
+/// all levels and level `k` stays bit-identical to a direct prepare at
+/// that length.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamPool {
+    /// Per-lane pool slot; [`NO_SLOT`] for zero weights.
+    pub(crate) index: Vec<u32>,
+    /// Whether lane `j` has a positive-phase component.
+    pub(crate) pos_present: Vec<bool>,
+    /// Whether lane `j` has a negative-phase component.
+    pub(crate) neg_present: Vec<bool>,
+    /// Per-level canonical words, longest level first (same order as
+    /// [`LeveledWeights::levels`]).
+    pub(crate) levels: Vec<PoolLevel>,
+    /// Number of distinct canonical streams.
+    pub(crate) distinct: usize,
+    /// Pooling segments per stream (layout constant shared by all levels).
+    pub(crate) segments: usize,
+}
+
+impl StreamPool {
+    /// Resident size of the pool plus the per-lane indices, in bytes.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.pool_bytes() + self.index_bytes()
+    }
+
+    /// Bytes spent on canonical stream words (all levels).
+    pub(crate) fn pool_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.words.len() * std::mem::size_of::<u64>())
+            .sum()
+    }
+
+    /// Bytes spent on per-lane indices and phase presence.
+    pub(crate) fn index_bytes(&self) -> usize {
+        self.index.len() * std::mem::size_of::<u32>()
+            + self.pos_present.len()
+            + self.neg_present.len()
+    }
+}
+
+/// Borrowed, `Copy` view of one phase of one level, as the kernels read
+/// it. `windex` is the pooled layout's per-lane slot indirection; `None`
+/// means the direct layout where lane `j` owns its own word range.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PhaseView<'a> {
+    pub(crate) words: &'a [u64],
+    pub(crate) present: &'a [bool],
+    pub(crate) windex: Option<&'a [u32]>,
+}
+
+/// Borrowed view of one prefix level of one layer's weights.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LevelView<'a> {
+    pub(crate) pos: PhaseView<'a>,
+    pub(crate) neg: PhaseView<'a>,
+    pub(crate) seg_words: usize,
+}
+
+/// One MAC layer's weight banks in either storage layout.
+#[derive(Debug, Clone)]
+pub(crate) enum LayerWeights {
+    /// Every lane owns full stream words (the seed-state layout).
+    Materialized(LeveledWeights),
+    /// Lanes hold indices into a shared canonical-stream pool.
+    Pooled(StreamPool),
+}
+
+impl LayerWeights {
+    pub(crate) fn level(&self, k: usize) -> LevelView<'_> {
+        match self {
+            LayerWeights::Materialized(lw) => {
+                let ws = lw.level(k);
+                LevelView {
+                    pos: PhaseView {
+                        words: &ws.pos.words,
+                        present: &ws.pos.present,
+                        windex: None,
+                    },
+                    neg: PhaseView {
+                        words: &ws.neg.words,
+                        present: &ws.neg.present,
+                        windex: None,
+                    },
+                    seg_words: ws.seg_words,
+                }
+            }
+            LayerWeights::Pooled(p) => {
+                let l = &p.levels[k];
+                LevelView {
+                    pos: PhaseView {
+                        words: &l.words,
+                        present: &p.pos_present,
+                        windex: Some(&p.index),
+                    },
+                    neg: PhaseView {
+                        words: &l.words,
+                        present: &p.neg_present,
+                        windex: Some(&p.index),
+                    },
+                    seg_words: l.seg_words,
+                }
+            }
+        }
+    }
+
+    /// Resident size of this layer's weight storage, in bytes — actual
+    /// allocations, not a formula over lane count.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        match self {
+            LayerWeights::Materialized(lw) => lw.approx_bytes(),
+            LayerWeights::Pooled(p) => p.approx_bytes(),
+        }
+    }
+
+    /// Storage accounting of this layer (see [`DedupStats`]).
+    pub(crate) fn dedup_stats(&self) -> DedupStats {
+        match self {
+            LayerWeights::Materialized(lw) => {
+                let lanes = lw
+                    .levels
+                    .first()
+                    .map_or(0, |ws| ws.pos.present.len() as u64);
+                let distinct = lw.levels.first().map_or(0, |ws| {
+                    ws.pos
+                        .present
+                        .iter()
+                        .zip(&ws.neg.present)
+                        .filter(|(p, n)| **p || **n)
+                        .count() as u64
+                });
+                let resident = lw.approx_bytes() as u64;
+                DedupStats {
+                    lanes,
+                    distinct_streams: distinct,
+                    pool_bytes: 0,
+                    index_bytes: 0,
+                    resident_bytes: resident,
+                    materialized_bytes: resident,
+                }
+            }
+            LayerWeights::Pooled(p) => {
+                let lanes = p.index.len();
+                // What PhaseBank::zeros would have allocated for the same
+                // layer: both phases hold full words + presence per level.
+                let materialized: usize = p
+                    .levels
+                    .iter()
+                    .map(|l| {
+                        2 * (lanes * p.segments * l.seg_words * std::mem::size_of::<u64>() + lanes)
+                    })
+                    .sum();
+                DedupStats {
+                    lanes: lanes as u64,
+                    distinct_streams: p.distinct as u64,
+                    pool_bytes: p.pool_bytes() as u64,
+                    index_bytes: p.index_bytes() as u64,
+                    resident_bytes: p.approx_bytes() as u64,
+                    materialized_bytes: materialized as u64,
+                }
+            }
+        }
+    }
+}
+
+/// Weight-storage accounting of one layer or one whole prepared network.
+///
+/// `resident_bytes` is what the chosen layout actually allocates (and what
+/// `ModelCache` byte budgets are charged); `materialized_bytes` is what
+/// the undeduplicated per-lane layout would allocate for the same shapes —
+/// measured when that layout is the one in use, computed analytically
+/// otherwise (an ImageNet-scale materialized prepare cannot be allocated
+/// just to weigh it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Weight lanes across MAC layers (conv fan-in × out-channels + dense).
+    pub lanes: u64,
+    /// Distinct canonical streams backing those lanes.
+    pub distinct_streams: u64,
+    /// Bytes of shared canonical stream words (0 for materialized layout).
+    pub pool_bytes: u64,
+    /// Bytes of per-lane slot indices + phase presence (0 for materialized).
+    pub index_bytes: u64,
+    /// Bytes actually resident for weight banks.
+    pub resident_bytes: u64,
+    /// Bytes the materialized per-lane layout needs for the same layers.
+    pub materialized_bytes: u64,
+}
+
+impl DedupStats {
+    /// Accumulates another layer's (or model's) accounting into this one.
+    pub fn merge(&mut self, other: &DedupStats) {
+        self.lanes += other.lanes;
+        self.distinct_streams += other.distinct_streams;
+        self.pool_bytes += other.pool_bytes;
+        self.index_bytes += other.index_bytes;
+        self.resident_bytes += other.resident_bytes;
+        self.materialized_bytes += other.materialized_bytes;
+    }
+
+    /// Memory saved by deduplication: materialized over resident bytes.
+    pub fn dedup_ratio(&self) -> f64 {
+        self.materialized_bytes as f64 / self.resident_bytes.max(1) as f64
+    }
+}
+
+/// Minimal open-addressing map from packed nonzero `(seed, threshold)`
+/// keys to pool slots, used only at prepare time. `mix_seed` never yields
+/// seed 0, so a zero key marks an empty bucket and no tombstones are
+/// needed (keys are only ever inserted). The std `HashMap`'s SipHash is a
+/// measurable drag at the ~10⁸ probes an ImageNet-scale prepare performs;
+/// a splitmix-style finalizer over the packed key is plenty for keys that
+/// are already LFSR-mixed.
+pub(crate) struct PoolMap {
+    keys: Vec<u64>,
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl PoolMap {
+    pub(crate) fn new() -> Self {
+        PoolMap {
+            keys: vec![0; 1024],
+            slots: vec![0; 1024],
+            len: 0,
+        }
+    }
+
+    fn hash(key: u64) -> u64 {
+        let mut h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h
+    }
+
+    /// Bucket holding `key`, or the empty bucket where it would go.
+    fn bucket(&self, key: u64) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut i = (Self::hash(key) as usize) & mask;
+        while self.keys[i] != 0 && self.keys[i] != key {
+            i = (i + 1) & mask;
+        }
+        i
+    }
+
+    pub(crate) fn get(&self, key: u64) -> Option<u32> {
+        debug_assert_ne!(key, 0, "zero marks empty buckets");
+        let i = self.bucket(key);
+        (self.keys[i] == key).then(|| self.slots[i])
+    }
+
+    pub(crate) fn insert(&mut self, key: u64, slot: u32) {
+        debug_assert_ne!(key, 0, "zero marks empty buckets");
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let i = self.bucket(key);
+        if self.keys[i] != key {
+            self.len += 1;
+        }
+        self.keys[i] = key;
+        self.slots[i] = slot;
+    }
+
+    fn grow(&mut self) {
+        let keys = std::mem::replace(&mut self.keys, vec![0; 0]);
+        let slots = std::mem::take(&mut self.slots);
+        self.keys = vec![0; keys.len() * 2];
+        self.slots = vec![0; slots.len() * 2];
+        for (k, s) in keys.into_iter().zip(slots) {
+            if k != 0 {
+                let i = self.bucket(k);
+                self.keys[i] = k;
+                self.slots[i] = s;
+            }
+        }
+    }
+}
+
 /// Activation streams of one layer, stored segment-major and word-aligned:
 /// segment `e` of activation `j` occupies the word range
 /// `[(j * segments + e) * seg_words, +seg_words)`, tail bits zero. Segment
@@ -211,5 +518,59 @@ impl SimScratch {
     /// Returns and resets the accumulated kernel skip counters.
     pub fn take_kernel_stats(&mut self) -> KernelStats {
         std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_map_inserts_probes_and_grows() {
+        let mut map = PoolMap::new();
+        // Enough keys to force several doublings past the 1024 seed size.
+        for k in 1..=10_000u64 {
+            assert_eq!(map.get(k), None);
+            map.insert(k, (k * 3) as u32);
+        }
+        for k in 1..=10_000u64 {
+            assert_eq!(map.get(k), Some((k * 3) as u32), "key {k}");
+        }
+        assert_eq!(map.get(10_001), None);
+    }
+
+    #[test]
+    fn pool_map_overwrite_keeps_len_consistent() {
+        let mut map = PoolMap::new();
+        map.insert(7, 1);
+        map.insert(7, 2);
+        assert_eq!(map.get(7), Some(2));
+    }
+
+    #[test]
+    fn dedup_stats_merge_and_ratio() {
+        let mut a = DedupStats {
+            lanes: 10,
+            distinct_streams: 2,
+            pool_bytes: 100,
+            index_bytes: 50,
+            resident_bytes: 150,
+            materialized_bytes: 600,
+        };
+        let b = DedupStats {
+            lanes: 5,
+            distinct_streams: 1,
+            pool_bytes: 20,
+            index_bytes: 30,
+            resident_bytes: 50,
+            materialized_bytes: 200,
+        };
+        a.merge(&b);
+        assert_eq!(a.lanes, 15);
+        assert_eq!(a.distinct_streams, 3);
+        assert_eq!(a.resident_bytes, 200);
+        assert_eq!(a.materialized_bytes, 800);
+        assert!((a.dedup_ratio() - 4.0).abs() < 1e-12);
+        assert_eq!(DedupStats::default().dedup_ratio(), 0.0);
     }
 }

@@ -16,9 +16,12 @@ use acoustic_nn::layers::{NetLayer, Network};
 use acoustic_nn::train::Sample;
 use acoustic_nn::Tensor;
 
-use crate::banks::{ActBank, LeveledWeights, PhaseBank, SimScratch, WeightStreams};
+use crate::banks::{
+    ActBank, DedupStats, LayerWeights, LeveledWeights, PhaseBank, PoolLevel, PoolMap, SimScratch,
+    StreamPool, WeightStreams, NO_SLOT,
+};
 use crate::kernels::{self, active_kernel, KernelKind, SegGeom, TileState};
-use crate::{SimConfig, SimError};
+use crate::{SimConfig, SimError, WeightStorage};
 
 /// Comparator width of every SNG in the datapath (16-bit LFSRs).
 const SNG_WIDTH: u32 = 16;
@@ -73,7 +76,7 @@ struct PreparedConv {
     pad: usize,
     /// Pooling window fused into this conv (computation skipping), if any.
     pool: Option<usize>,
-    weights: LeveledWeights,
+    weights: LayerWeights,
     ordinal: usize,
 }
 
@@ -81,7 +84,7 @@ struct PreparedConv {
 struct PreparedDense {
     in_n: usize,
     out_n: usize,
-    weights: LeveledWeights,
+    weights: LayerWeights,
     ordinal: usize,
 }
 
@@ -181,6 +184,13 @@ impl PreparedNetwork {
     pub fn approx_bytes(&self) -> usize {
         steps_bytes(&self.steps)
     }
+
+    /// Weight-storage accounting aggregated over every MAC layer: lanes,
+    /// distinct canonical streams, pool/index/resident bytes, and what the
+    /// undeduplicated materialized layout would cost for the same shapes.
+    pub fn dedup_stats(&self) -> DedupStats {
+        steps_dedup(&self.steps)
+    }
 }
 
 fn steps_bytes(steps: &[Step]) -> usize {
@@ -193,6 +203,19 @@ fn steps_bytes(steps: &[Step]) -> usize {
             _ => 0,
         })
         .sum()
+}
+
+fn steps_dedup(steps: &[Step]) -> DedupStats {
+    let mut total = DedupStats::default();
+    for s in steps {
+        match &s.op {
+            StepOp::Conv(c) => total.merge(&c.weights.dedup_stats()),
+            StepOp::Dense(d) => total.merge(&d.weights.dedup_stats()),
+            StepOp::Residual(inner) => total.merge(&steps_dedup(inner)),
+            _ => {}
+        }
+    }
+    total
 }
 
 /// Executable prefix lengths of a prepared network: the configured maximum,
@@ -784,13 +807,32 @@ impl ScSimulator {
         ordinal: usize,
         segments: usize,
         lengths: &[usize],
-    ) -> Result<LeveledWeights, SimError> {
+    ) -> Result<LayerWeights, SimError> {
         let m = self.cfg.per_phase_len();
         if !m.is_multiple_of(segments) {
             return Err(SimError::UnsupportedLayer(format!(
                 "pooling window {segments}-way does not divide per-phase length {m}"
             )));
         }
+        match self.cfg.weight_storage {
+            WeightStorage::Materialized => self
+                .weight_streams_materialized(wvals, ordinal, segments, lengths)
+                .map(LayerWeights::Materialized),
+            WeightStorage::Pooled => self
+                .weight_streams_pooled(wvals, ordinal, segments, lengths)
+                .map(LayerWeights::Pooled),
+        }
+    }
+
+    /// The direct layout: every lane owns full per-level stream words.
+    fn weight_streams_materialized(
+        &self,
+        wvals: &[f32],
+        ordinal: usize,
+        segments: usize,
+        lengths: &[usize],
+    ) -> Result<LeveledWeights, SimError> {
+        let m = self.cfg.per_phase_len();
         let mut levels: Vec<WeightStreams> = lengths
             .iter()
             .map(|&l| {
@@ -836,6 +878,110 @@ impl ScSimulator {
             }
         }
         Ok(LeveledWeights { levels })
+    }
+
+    /// The deduplicated layout: one canonical stream per distinct
+    /// (mixed 16-bit SNG seed, quantized threshold) key, with every lane
+    /// holding a compact slot index into the shared pool.
+    ///
+    /// A stream is a pure function of that key — two lanes with the same
+    /// mixed seed and quantized magnitude receive bit-identical words in
+    /// the materialized layout, so sharing one copy cannot change logits.
+    /// The seed space is 16 bits wide and the 8-bit quantizer emits a few
+    /// hundred magnitudes, so distinct keys are bounded per layer while
+    /// lane counts grow with the model — the bigger the layer, the bigger
+    /// the win (ImageNet-scale dense layers dedup ~10×).
+    ///
+    /// Slot ids are assigned at first sight in a phase-major scan
+    /// (positive lanes, then negative) and every prefix level lays its
+    /// words out in slot order from the same single SNG walk, so one
+    /// index vector serves all levels and prefix execution stays
+    /// bit-identical to a direct prepare at the shorter length. The
+    /// phase-major order keeps each kernel phase pass on a dense
+    /// ascending slot range, matching the materialized layout's cache
+    /// behaviour.
+    fn weight_streams_pooled(
+        &self,
+        wvals: &[f32],
+        ordinal: usize,
+        segments: usize,
+        lengths: &[usize],
+    ) -> Result<StreamPool, SimError> {
+        let m = self.cfg.per_phase_len();
+        let mut pool = StreamPool {
+            index: vec![NO_SLOT; wvals.len()],
+            pos_present: vec![false; wvals.len()],
+            neg_present: vec![false; wvals.len()],
+            levels: lengths
+                .iter()
+                .map(|&l| PoolLevel {
+                    words: Vec::new(),
+                    seg_words: (l / 2 / segments).div_ceil(64),
+                })
+                .collect(),
+            distinct: 0,
+            segments,
+        };
+        let mut map = PoolMap::new();
+        let mut full = vec![0u64; m.div_ceil(64)];
+        // Phase-major slot assignment: every positive lane is interned
+        // before any negative lane, so each kernel phase pass reads a
+        // dense ascending slot range instead of skipping every other
+        // cache line of pool words.
+        for pass_positive in [true, false] {
+            for (j, &w) in wvals.iter().enumerate() {
+                let (component, phase) = if w > 0.0 && pass_positive {
+                    (f64::from(w), 0)
+                } else if w < 0.0 && !pass_positive {
+                    (f64::from(-w), 1)
+                } else {
+                    continue;
+                };
+                let seed = mix_seed(self.cfg.wgt_seed, ordinal as u32, j as u32, phase);
+                let threshold = quantize_probability(component, SNG_WIDTH)?;
+                // `mix_seed` never yields 0, so the packed key is nonzero —
+                // the PoolMap's empty-bucket marker stays unambiguous.
+                let key = (u64::from(seed) << 32) | u64::from(threshold);
+                let slot = match map.get(key) {
+                    Some(s) => s,
+                    None => {
+                        if pool.distinct as u32 == NO_SLOT {
+                            return Err(SimError::UnsupportedLayer(
+                                "weight-stream pool exceeds u32 slot space".into(),
+                            ));
+                        }
+                        let s = pool.distinct as u32;
+                        let mut sng = Sng::new(Lfsr::maximal(SNG_WIDTH, seed)?, SNG_WIDTH);
+                        sng.fill_quantized(threshold, m, &mut full);
+                        for (level, &len) in pool.levels.iter_mut().zip(lengths) {
+                            let seg_len = len / 2 / segments;
+                            let sw = level.seg_words;
+                            let base = level.words.len();
+                            level.words.resize(base + segments * sw, 0);
+                            for e in 0..segments {
+                                let off = base + e * sw;
+                                copy_bit_range(
+                                    &full,
+                                    e * seg_len,
+                                    seg_len,
+                                    &mut level.words[off..off + sw],
+                                );
+                            }
+                        }
+                        pool.distinct += 1;
+                        map.insert(key, s);
+                        s
+                    }
+                };
+                pool.index[j] = slot;
+                if pass_positive {
+                    pool.pos_present[j] = true;
+                } else {
+                    pool.neg_present[j] = true;
+                }
+            }
+        }
+        Ok(pool)
     }
 
     /// Generates activation streams for a whole layer input into the
@@ -1038,8 +1184,8 @@ impl ScSimulator {
                             &geom,
                             acts.words(),
                             &acts.seg_zero,
-                            (&weights.pos.words, &weights.pos.present),
-                            (&weights.neg.words, &weights.neg.present),
+                            weights.pos,
+                            weights.neg,
                             lanes,
                             oc * fan_in,
                             e,
@@ -1114,8 +1260,8 @@ impl ScSimulator {
                 &geom,
                 acts.words(),
                 &acts.seg_zero,
-                (&weights.pos.words, &weights.pos.present),
-                (&weights.neg.words, &weights.neg.present),
+                weights.pos,
+                weights.neg,
                 lanes,
                 o * d.in_n,
                 0,
@@ -1369,8 +1515,8 @@ impl ScSimulator {
                             run.kernel,
                             &geom,
                             banks,
-                            (&weights.pos.words, &weights.pos.present),
-                            (&weights.neg.words, &weights.neg.present),
+                            weights.pos,
+                            weights.neg,
                             lanes,
                             oc * fan_in,
                             e,
@@ -1450,8 +1596,8 @@ impl ScSimulator {
                 run.kernel,
                 &geom,
                 banks,
-                (&weights.pos.words, &weights.pos.present),
-                (&weights.neg.words, &weights.neg.present),
+                weights.pos,
+                weights.neg,
                 lanes,
                 o * d.in_n,
                 0,

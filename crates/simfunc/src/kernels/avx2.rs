@@ -82,7 +82,7 @@ unsafe fn mac_phase_tile_word_single(
             if !args.present[w_idx] {
                 continue;
             }
-            let w = args.bank_words[w_idx * geom.segments + args.segment];
+            let w = args.bank_words[args.w_slot(w_idx) * geom.segments + args.segment];
             let seg_idx = a_idx * geom.segments + args.segment;
             let wv = _mm256_set1_epi64x(w as i64);
             let av = _mm256_set_epi64x(
@@ -159,7 +159,7 @@ unsafe fn mac_phase_words(args: &PhaseArgs<'_>, acc: &mut [u64], stats: &mut Ker
         } else {
             stats.mac_lanes += 1;
             let a_base = seg_idx * sw;
-            let wb = (w_idx * geom.segments + args.segment) * sw;
+            let wb = (args.w_slot(w_idx) * geom.segments + args.segment) * sw;
             // SAFETY: caller guarantees AVX2 (target_feature contract).
             unsafe {
                 merge(
@@ -225,7 +225,7 @@ unsafe fn mac_phase_tile_words(
         }
         let seg_idx = a_idx * geom.segments + args.segment;
         let a_base = seg_idx * sw;
-        let wb = (w_idx * geom.segments + args.segment) * sw;
+        let wb = (args.w_slot(w_idx) * geom.segments + args.segment) * sw;
         for (t, bank) in args.banks.iter().enumerate() {
             if bank.gated[a_idx] {
                 continue;

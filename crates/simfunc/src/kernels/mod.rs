@@ -33,7 +33,7 @@ pub(crate) mod avx2;
 
 use std::sync::OnceLock;
 
-use crate::banks::ActBank;
+use crate::banks::{ActBank, PhaseView};
 
 /// Configured kernel preference of a simulation (see
 /// [`SimConfig::kernel`](crate::SimConfig::kernel)).
@@ -167,10 +167,15 @@ pub(crate) struct PhaseArgs<'a> {
     pub act_words: &'a [u64],
     /// Per-segment zero flags of the activation bank (`seg_idx`-indexed).
     pub seg_zero: &'a [bool],
-    /// The phase's weight word bank.
+    /// The phase's weight word bank (pool words when `windex` is set).
     pub bank_words: &'a [u64],
     /// Whether each weight has a component in this phase.
     pub present: &'a [bool],
+    /// Pooled layout's per-lane slot indices into `bank_words`; `None`
+    /// for the direct layout where lane `j` owns its own word range.
+    /// Only valid for `present` lanes — kernels must check `present`
+    /// before resolving a slot.
+    pub windex: Option<&'a [u32]>,
     /// Receptive-field lanes `(segment_index, weight_base)`, pre-filtered
     /// of gated activations.
     pub lanes: &'a [(usize, usize)],
@@ -180,22 +185,48 @@ pub(crate) struct PhaseArgs<'a> {
     pub segment: usize,
 }
 
+impl PhaseArgs<'_> {
+    /// Resolves lane `w_idx` to its word-bank slot (identity without a
+    /// pool). Callers must have checked `present[w_idx]` first.
+    #[inline(always)]
+    pub(crate) fn w_slot(&self, w_idx: usize) -> usize {
+        match self.windex {
+            None => w_idx,
+            Some(ix) => ix[w_idx] as usize,
+        }
+    }
+}
+
 /// Borrowed operands of one tiled MAC phase over one segment: the same
 /// weight walk shared by every image of the tile.
 pub(crate) struct TilePhaseArgs<'a> {
     pub geom: &'a SegGeom,
     /// Per-image activation banks (identical layout).
     pub banks: &'a [ActBank],
-    /// The phase's weight word bank.
+    /// The phase's weight word bank (pool words when `windex` is set).
     pub bank_words: &'a [u64],
     /// Whether each weight has a component in this phase.
     pub present: &'a [bool],
+    /// Pooled layout's per-lane slot indices; see [`PhaseArgs::windex`].
+    pub windex: Option<&'a [u32]>,
     /// Receptive-field lanes `(activation_index, weight_base)`, *not*
     /// filtered of per-image gating (gating is applied per image inside
     /// the kernel; lanes gated in every image are dropped by the caller).
     pub lanes: &'a [(usize, usize)],
     pub w_off: usize,
     pub segment: usize,
+}
+
+impl TilePhaseArgs<'_> {
+    /// Resolves lane `w_idx` to its word-bank slot (identity without a
+    /// pool). Callers must have checked `present[w_idx]` first.
+    #[inline(always)]
+    pub(crate) fn w_slot(&self, w_idx: usize) -> usize {
+        match self.windex {
+            None => w_idx,
+            Some(ix) => ix[w_idx] as usize,
+        }
+    }
 }
 
 /// Mutable per-image state of a tiled MAC phase, borrowed out of
@@ -223,8 +254,8 @@ pub(crate) fn mac_segment(
     geom: &SegGeom,
     act_words: &[u64],
     seg_zero: &[bool],
-    pos: (&[u64], &[bool]),
-    neg: (&[u64], &[bool]),
+    pos: PhaseView<'_>,
+    neg: PhaseView<'_>,
     lanes: &[(usize, usize)],
     w_off: usize,
     segment: usize,
@@ -232,13 +263,14 @@ pub(crate) fn mac_segment(
     stats: &mut KernelStats,
 ) -> i64 {
     let mut count = 0i64;
-    for (sign, (bank_words, present)) in [(1i64, pos), (-1i64, neg)] {
+    for (sign, view) in [(1i64, pos), (-1i64, neg)] {
         let args = PhaseArgs {
             geom,
             act_words,
             seg_zero,
-            bank_words,
-            present,
+            bank_words: view.words,
+            present: view.present,
+            windex: view.windex,
             lanes,
             w_off,
             segment,
@@ -271,8 +303,8 @@ pub(crate) fn mac_segment_tile(
     kind: KernelKind,
     geom: &SegGeom,
     banks: &[ActBank],
-    pos: (&[u64], &[bool]),
-    neg: (&[u64], &[bool]),
+    pos: PhaseView<'_>,
+    neg: PhaseView<'_>,
     lanes: &[(usize, usize)],
     w_off: usize,
     segment: usize,
@@ -282,12 +314,13 @@ pub(crate) fn mac_segment_tile(
     offset: usize,
     stats: &mut KernelStats,
 ) {
-    for (sign, (bank_words, present)) in [(1i64, pos), (-1i64, neg)] {
+    for (sign, view) in [(1i64, pos), (-1i64, neg)] {
         let args = TilePhaseArgs {
             geom,
             banks,
-            bank_words,
-            present,
+            bank_words: view.words,
+            present: view.present,
+            windex: view.windex,
             lanes,
             w_off,
             segment,

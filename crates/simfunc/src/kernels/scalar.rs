@@ -44,7 +44,8 @@ fn mac_phase_word(args: &PhaseArgs<'_>, stats: &mut KernelStats) -> u64 {
                 stats.zero_seg_skips += 1;
             } else {
                 stats.mac_lanes += 1;
-                acc_w |= act & args.bank_words[w_idx * geom.segments + args.segment];
+                let slot = args.w_slot(w_idx);
+                acc_w |= act & args.bank_words[slot * geom.segments + args.segment];
                 if acc_w == geom.sat_mask {
                     saturated = true;
                     stats.sat_group_exits += 1;
@@ -114,7 +115,7 @@ fn mac_phase_words(args: &PhaseArgs<'_>, acc: &mut [u64], stats: &mut KernelStat
         } else {
             stats.mac_lanes += 1;
             let a_base = seg_idx * sw;
-            let wb = (w_idx * geom.segments + args.segment) * sw;
+            let wb = (args.w_slot(w_idx) * geom.segments + args.segment) * sw;
             let act = &args.act_words[a_base..a_base + sw];
             let wgt = &args.bank_words[wb..wb + sw];
             for ((acc_w, &aw), &ww) in acc.iter_mut().zip(act).zip(wgt) {
@@ -208,7 +209,7 @@ pub(super) fn mac_phase_tile_word_single_from(
         if !args.present[w_idx] {
             continue;
         }
-        let w = args.bank_words[w_idx * geom.segments + args.segment];
+        let w = args.bank_words[args.w_slot(w_idx) * geom.segments + args.segment];
         let seg_idx = a_idx * geom.segments + args.segment;
         // Accumulator words never exceed `sat_mask` (bank tail-bit
         // invariant), so the AND chain equals the mask exactly when every
@@ -252,7 +253,7 @@ fn mac_phase_tile_general(
         }
         let seg_idx = a_idx * geom.segments + args.segment;
         let a_base = seg_idx * sw;
-        let wb = (w_idx * geom.segments + args.segment) * sw;
+        let wb = (args.w_slot(w_idx) * geom.segments + args.segment) * sw;
         for (t, bank) in args.banks.iter().enumerate() {
             if bank.gated[a_idx] {
                 continue; // gated lanes never consume an OR-group slot

@@ -17,7 +17,8 @@
 use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
 use acoustic_nn::Tensor;
 use acoustic_simfunc::{
-    active_kernel, KernelChoice, KernelKind, ScSimulator, SimConfig, SimScratch, FORCE_SCALAR_ENV,
+    active_kernel, KernelChoice, KernelKind, ScSimulator, SimConfig, SimScratch, WeightStorage,
+    FORCE_SCALAR_ENV,
 };
 
 /// Small conv+pool+dense net with mixed-sign, partly-zero weights.
@@ -84,40 +85,44 @@ fn auto_kernel_matches_scalar_across_config_matrix() {
             for skip_pooling in [true, false] {
                 for shared_act_rng in [true, false] {
                     for stream_len in [64, 128, 192, 320, 512] {
-                        let base = SimConfig {
-                            act_seed,
-                            wgt_seed,
-                            or_group,
-                            skip_pooling,
-                            shared_act_rng,
-                            ..cfg(stream_len, KernelChoice::Scalar)
-                        };
-                        let scalar_sim = ScSimulator::new(base);
-                        let auto_sim = ScSimulator::new(SimConfig {
-                            kernel: KernelChoice::Auto,
-                            ..base
-                        });
-                        let prepared = scalar_sim.prepare(&net).unwrap();
-                        let want = scalar_sim
-                            .run_prepared_with(&prepared, input, &mut scratch)
-                            .unwrap();
-                        let got = auto_sim
-                            .run_prepared_with(&prepared, input, &mut scratch)
-                            .unwrap();
-                        assert_eq!(
-                            got.as_slice(),
-                            want.as_slice(),
-                            "auto kernel diverged: act_seed={act_seed:#x} \
-                             or_group={or_group:?} skip_pooling={skip_pooling} \
-                             shared_act_rng={shared_act_rng} stream_len={stream_len}"
-                        );
-                        checked += 1;
+                        for weight_storage in [WeightStorage::Pooled, WeightStorage::Materialized] {
+                            let base = SimConfig {
+                                act_seed,
+                                wgt_seed,
+                                or_group,
+                                skip_pooling,
+                                shared_act_rng,
+                                weight_storage,
+                                ..cfg(stream_len, KernelChoice::Scalar)
+                            };
+                            let scalar_sim = ScSimulator::new(base);
+                            let auto_sim = ScSimulator::new(SimConfig {
+                                kernel: KernelChoice::Auto,
+                                ..base
+                            });
+                            let prepared = scalar_sim.prepare(&net).unwrap();
+                            let want = scalar_sim
+                                .run_prepared_with(&prepared, input, &mut scratch)
+                                .unwrap();
+                            let got = auto_sim
+                                .run_prepared_with(&prepared, input, &mut scratch)
+                                .unwrap();
+                            assert_eq!(
+                                got.as_slice(),
+                                want.as_slice(),
+                                "auto kernel diverged: act_seed={act_seed:#x} \
+                                 or_group={or_group:?} skip_pooling={skip_pooling} \
+                                 shared_act_rng={shared_act_rng} stream_len={stream_len} \
+                                 weight_storage={weight_storage:?}"
+                            );
+                            checked += 1;
+                        }
                     }
                 }
             }
         }
     }
-    assert_eq!(checked, 80);
+    assert_eq!(checked, 160);
 }
 
 /// Tiled execution is bit-identical to the solo path for every tile size
@@ -233,6 +238,26 @@ fn forced_scalar_child() {
         .run_prepared_with(&prepared, x, &mut scratch)
         .unwrap();
         assert_eq!(tiled[i].as_slice(), solo.as_slice(), "image {i}");
+    }
+    // Under forced-scalar dispatch, pooled and materialized weight banks
+    // must still agree bit for bit — the indirection read path of the
+    // scalar kernel is only reachable with the override set when AVX2
+    // would otherwise win dispatch.
+    let mat_sim = ScSimulator::new(SimConfig {
+        weight_storage: WeightStorage::Materialized,
+        ..base
+    });
+    let mat_prepared = mat_sim.prepare(&net).unwrap();
+    for (i, x) in inputs.iter().enumerate() {
+        let pooled = sim.run_prepared_with(&prepared, x, &mut scratch).unwrap();
+        let materialized = mat_sim
+            .run_prepared_with(&mat_prepared, x, &mut scratch)
+            .unwrap();
+        assert_eq!(
+            pooled.as_slice(),
+            materialized.as_slice(),
+            "forced-scalar pooled vs materialized diverged at image {i}"
+        );
     }
 }
 

@@ -28,7 +28,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         out: PathBuf::from("results/zoo"),
-        models: ZooModel::ALL.to_vec(),
+        models: ZooModel::TRAINABLE.to_vec(),
         cfg: PipelineConfig::default(),
         stream_len: 64,
     };
@@ -65,7 +65,7 @@ fn parse_args() -> Args {
                     "train-zoo [--out DIR] [--models a,b,c] [--producers P] [--steps N]\n          \
                      [--batch-size B] [--val V] [--seed S] [--stream-len L] [--quick]\n\n\
                      models: {}",
-                    ZooModel::ALL
+                    ZooModel::TRAINABLE
                         .iter()
                         .map(|m| m.slug())
                         .collect::<Vec<_>>()

@@ -24,6 +24,12 @@
 //! The serving registry loads this manifest to discover which model ids
 //! exist, where their weights live, and which stream length they were
 //! validated at.
+//!
+//! Prepare-only models (AlexNet, VGG-16) carry `file builtin` instead of
+//! a weight file: loading rebuilds the deterministic untrained network
+//! from [`ZooModel::network`] — layer construction is seed-pinned, so two
+//! processes agree bit for bit without a multi-hundred-MB checkpoint on
+//! disk.
 
 use std::fs;
 use std::path::Path;
@@ -39,6 +45,10 @@ const MAGIC: &str = "acoustic-zoo v1";
 
 /// Manifest file name inside a zoo directory.
 pub const MANIFEST_FILE: &str = "manifest.txt";
+
+/// Sentinel `file` value of a prepare-only entry: no weight file exists;
+/// the network is rebuilt deterministically from [`ZooModel::network`].
+pub const BUILTIN_FILE: &str = "builtin";
 
 /// One trained model as recorded in the zoo manifest.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +90,27 @@ impl ZooEntry {
             val_acc: outcome.val_acc,
         }
     }
+
+    /// Builds a prepare-only manifest entry: `file builtin`, no training
+    /// provenance (seed/steps/accuracies zero).
+    pub fn builtin(model: ZooModel, stream_len: usize) -> ZooEntry {
+        ZooEntry {
+            model,
+            file: BUILTIN_FILE.to_string(),
+            seed: 0,
+            steps: 0,
+            batch_size: 0,
+            stream_len,
+            train_acc: 0.0,
+            val_acc: 0.0,
+        }
+    }
+
+    /// Whether this entry is rebuilt from the builtin constructor rather
+    /// than loaded from a weight file.
+    pub fn is_builtin(&self) -> bool {
+        self.file == BUILTIN_FILE
+    }
 }
 
 /// The parsed manifest of a zoo directory.
@@ -99,7 +130,7 @@ impl Manifest {
             out.push_str(&format!("model {}\n", e.model.id()));
             out.push_str(&format!("name {}\n", e.model.slug()));
             out.push_str(&format!("file {}\n", e.file));
-            out.push_str(&format!("dataset {}\n", e.model.data_kind().name()));
+            out.push_str(&format!("dataset {}\n", e.model.dataset_name()));
             out.push_str(&format!("seed {}\n", e.seed));
             out.push_str(&format!("steps {}\n", e.steps));
             out.push_str(&format!("batch-size {}\n", e.batch_size));
@@ -172,10 +203,10 @@ impl Manifest {
                         }
                     }
                     "dataset" => {
-                        if value != model.data_kind().name() {
+                        if value != model.dataset_name() {
                             return Err(bad(format!(
                                 "model {id}: dataset `{value}` does not match `{}`",
-                                model.data_kind().name()
+                                model.dataset_name()
                             )));
                         }
                     }
@@ -220,8 +251,40 @@ pub fn save_zoo(dir: &Path, trained: &[(ZooEntry, &Network)]) -> Result<(), Trai
     fs::create_dir_all(dir)?;
     let mut manifest = Manifest::default();
     for (entry, net) in trained {
-        fs::write(dir.join(&entry.file), serialize::to_text(net))?;
+        if !entry.is_builtin() {
+            fs::write(dir.join(&entry.file), serialize::to_text(net))?;
+        }
         manifest.entries.push(entry.clone());
+    }
+    fs::write(dir.join(MANIFEST_FILE), manifest.to_text())?;
+    Ok(())
+}
+
+/// Appends prepare-only `file builtin` entries to a zoo directory's
+/// manifest (creating directory and manifest if needed) without writing
+/// any weight files — the whole point of builtin entries is that an
+/// ImageNet-scale network need not be serialized (or even constructed)
+/// to be registered.
+///
+/// # Errors
+///
+/// [`TrainError::Manifest`] on a duplicate model id; filesystem and parse
+/// errors otherwise.
+pub fn add_builtin_models(dir: &Path, models: &[(ZooModel, usize)]) -> Result<(), TrainError> {
+    fs::create_dir_all(dir)?;
+    let mut manifest = if dir.join(MANIFEST_FILE).is_file() {
+        load_manifest(dir)?
+    } else {
+        Manifest::default()
+    };
+    for &(model, stream_len) in models {
+        if manifest.entries.iter().any(|e| e.model == model) {
+            return Err(TrainError::Manifest(format!(
+                "duplicate entry for model id {}",
+                model.id()
+            )));
+        }
+        manifest.entries.push(ZooEntry::builtin(model, stream_len));
     }
     fs::write(dir.join(MANIFEST_FILE), manifest.to_text())?;
     Ok(())
@@ -248,6 +311,9 @@ pub fn load_manifest(dir: &Path) -> Result<Manifest, TrainError> {
 /// [`TrainError::MissingArtifact`] when the manifest points at a file that
 /// does not exist; deserialization errors otherwise.
 pub fn load_network(dir: &Path, entry: &ZooEntry) -> Result<Network, TrainError> {
+    if entry.is_builtin() {
+        return Ok(entry.model.network()?);
+    }
     let path = dir.join(&entry.file);
     if !path.is_file() {
         return Err(TrainError::MissingArtifact(path.display().to_string()));
@@ -352,5 +418,57 @@ mod tests {
             load_manifest(&dir),
             Err(TrainError::MissingArtifact(_))
         ));
+    }
+
+    #[test]
+    fn builtin_entries_round_trip_without_weight_files() {
+        let dir =
+            std::env::temp_dir().join(format!("acoustic-zoo-test-builtin-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        // Seed the zoo with one trained model, then append builtin entries
+        // the way a serving deployment would: no weight files written, no
+        // network ever constructed.
+        let net = ZooModel::Lenet5.network().unwrap();
+        save_zoo(&dir, &[(sample_entry(ZooModel::Lenet5), &net)]).unwrap();
+        add_builtin_models(&dir, &[(ZooModel::Alexnet, 64), (ZooModel::Vgg16, 64)]).unwrap();
+
+        let manifest = load_manifest(&dir).unwrap();
+        assert_eq!(manifest.entries.len(), 3);
+        let alex = manifest
+            .entries
+            .iter()
+            .find(|e| e.model == ZooModel::Alexnet)
+            .unwrap();
+        assert!(alex.is_builtin());
+        assert_eq!(alex.stream_len, 64);
+        assert!(!dir.join(BUILTIN_FILE).exists());
+
+        // Duplicates are refused.
+        assert!(matches!(
+            add_builtin_models(&dir, &[(ZooModel::Vgg16, 32)]),
+            Err(TrainError::Manifest(_))
+        ));
+
+        // Builtin LeNet loads the deterministic constructor network. Use
+        // LeNet rather than the ImageNet-scale entries so the test stays
+        // cheap; load_network takes the same code path either way.
+        let lenet_builtin = ZooEntry::builtin(ZooModel::Lenet5, 64);
+        let rebuilt = load_network(&dir, &lenet_builtin).unwrap();
+        assert_eq!(
+            rebuilt.fingerprint(),
+            ZooModel::Lenet5.network().unwrap().fingerprint()
+        );
+
+        // save_zoo with a builtin entry also skips the weight file.
+        let dir2 = dir.join("resave");
+        let entry = ZooEntry::builtin(ZooModel::Lenet5, 64);
+        save_zoo(&dir2, &[(entry.clone(), &net)]).unwrap();
+        assert!(!dir2.join(BUILTIN_FILE).exists());
+        let loaded = load_zoo(&dir2).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1.fingerprint(), net.fingerprint());
+
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -43,7 +43,8 @@ pub mod zoo;
 
 pub use channel::BlockingQueue;
 pub use checkpoint::{
-    load_manifest, load_network, load_zoo, save_zoo, Manifest, ZooEntry, MANIFEST_FILE,
+    add_builtin_models, load_manifest, load_network, load_zoo, save_zoo, Manifest, ZooEntry,
+    BUILTIN_FILE, MANIFEST_FILE,
 };
 pub use pipeline::{
     derive_batch_seed, synthesize_batch, train_model, PipelineConfig, TrainOutcome,

@@ -153,7 +153,12 @@ pub fn validation_split(kind: DataKind, base_seed: u64, model_id: u32, size: usi
 pub fn train_model(model: ZooModel, cfg: &PipelineConfig) -> Result<TrainOutcome, TrainError> {
     cfg.validate()?;
     let start = std::time::Instant::now();
-    let kind = model.data_kind();
+    let kind = model.data_kind().ok_or_else(|| {
+        TrainError::InvalidConfig(format!(
+            "model {} is prepare-only and cannot be trained",
+            model.slug()
+        ))
+    })?;
     let mut net = model.network()?;
     let sgd = model.sgd();
 

@@ -14,12 +14,17 @@
 //! layer's golden-response validation builds on.
 
 use acoustic_datasets::DataKind;
-use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, MaxPool2d, Network, Relu};
 use acoustic_nn::train::SgdConfig;
 use acoustic_nn::NnError;
 
-/// The trainable zoo models, each with a stable wire id and checkpoint
-/// slug.
+/// The zoo models, each with a stable wire id and checkpoint slug.
+///
+/// The small models ([`ZooModel::TRAINABLE`]) train end to end on the
+/// synthetic datasets; the ImageNet-scale descriptors (AlexNet, VGG-16)
+/// are *prepare-only* — deterministic untrained weights, no dataset, no
+/// SGD — and exist to exercise the serving registry, the prepared-model
+/// cache and the deduplicated weight banks at real scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ZooModel {
     /// LeNet-5 on the MNIST-like digits (id 1).
@@ -29,11 +34,25 @@ pub enum ZooModel {
     /// The Table II SVHN CNN (same topology) on the SVHN-like dataset
     /// (id 3).
     SvhnCnn,
+    /// AlexNet-shaped ImageNet model, prepare-only (id 4).
+    Alexnet,
+    /// VGG-16-shaped ImageNet model, prepare-only (id 5).
+    Vgg16,
 }
 
 impl ZooModel {
-    /// Every trainable zoo model.
-    pub const ALL: [ZooModel; 3] = [ZooModel::Lenet5, ZooModel::Cifar10Cnn, ZooModel::SvhnCnn];
+    /// Every zoo model, trainable or prepare-only.
+    pub const ALL: [ZooModel; 5] = [
+        ZooModel::Lenet5,
+        ZooModel::Cifar10Cnn,
+        ZooModel::SvhnCnn,
+        ZooModel::Alexnet,
+        ZooModel::Vgg16,
+    ];
+
+    /// The models that train end to end on a synthetic dataset.
+    pub const TRAINABLE: [ZooModel; 3] =
+        [ZooModel::Lenet5, ZooModel::Cifar10Cnn, ZooModel::SvhnCnn];
 
     /// Wire-visible model id the serving registry uses.
     pub fn id(self) -> u32 {
@@ -41,6 +60,8 @@ impl ZooModel {
             ZooModel::Lenet5 => 1,
             ZooModel::Cifar10Cnn => 2,
             ZooModel::SvhnCnn => 3,
+            ZooModel::Alexnet => 4,
+            ZooModel::Vgg16 => 5,
         }
     }
 
@@ -50,7 +71,14 @@ impl ZooModel {
             ZooModel::Lenet5 => "lenet5",
             ZooModel::Cifar10Cnn => "cifar10-cnn",
             ZooModel::SvhnCnn => "svhn-cnn",
+            ZooModel::Alexnet => "alexnet",
+            ZooModel::Vgg16 => "vgg16",
         }
+    }
+
+    /// Whether the model trains end to end (false = prepare-only).
+    pub fn trainable(self) -> bool {
+        ZooModel::TRAINABLE.contains(&self)
     }
 
     /// Looks a model up by its [`ZooModel::slug`].
@@ -63,17 +91,30 @@ impl ZooModel {
         ZooModel::ALL.into_iter().find(|m| m.id() == id)
     }
 
-    /// The synthetic dataset family the model trains on.
-    pub fn data_kind(self) -> DataKind {
+    /// The synthetic dataset family the model trains on; `None` for the
+    /// prepare-only ImageNet-scale descriptors (no synthetic ImageNet).
+    pub fn data_kind(self) -> Option<DataKind> {
         match self {
-            ZooModel::Lenet5 => DataKind::MnistLike,
-            ZooModel::Cifar10Cnn => DataKind::CifarLike,
-            ZooModel::SvhnCnn => DataKind::SvhnLike,
+            ZooModel::Lenet5 => Some(DataKind::MnistLike),
+            ZooModel::Cifar10Cnn => Some(DataKind::CifarLike),
+            ZooModel::SvhnCnn => Some(DataKind::SvhnLike),
+            ZooModel::Alexnet | ZooModel::Vgg16 => None,
+        }
+    }
+
+    /// Manifest `dataset` field: the dataset name for trainable models,
+    /// a fixed marker for the prepare-only ones.
+    pub fn dataset_name(self) -> &'static str {
+        match self.data_kind() {
+            Some(kind) => kind.name(),
+            None => "imagenet-shaped",
         }
     }
 
     /// Per-model SGD hyper-parameters (batch size comes from the
-    /// pipeline's synthesized-batch size).
+    /// pipeline's synthesized-batch size). Prepare-only models share the
+    /// deep-CNN defaults, but the pipeline refuses to train them before
+    /// these are ever read.
     pub fn sgd(self) -> SgdConfig {
         match self {
             ZooModel::Lenet5 => SgdConfig {
@@ -82,11 +123,13 @@ impl ZooModel {
                 batch_size: 16,
             },
             // The deeper RGB CNNs want a gentler step.
-            ZooModel::Cifar10Cnn | ZooModel::SvhnCnn => SgdConfig {
-                lr: 0.05,
-                momentum: 0.9,
-                batch_size: 16,
-            },
+            ZooModel::Cifar10Cnn | ZooModel::SvhnCnn | ZooModel::Alexnet | ZooModel::Vgg16 => {
+                SgdConfig {
+                    lr: 0.05,
+                    momentum: 0.9,
+                    batch_size: 16,
+                }
+            }
         }
     }
 
@@ -99,6 +142,8 @@ impl ZooModel {
         match self {
             ZooModel::Lenet5 => lenet5(),
             ZooModel::Cifar10Cnn | ZooModel::SvhnCnn => cifar10_cnn(),
+            ZooModel::Alexnet => alexnet(),
+            ZooModel::Vgg16 => vgg16(),
         }
     }
 }
@@ -150,6 +195,63 @@ pub fn cifar10_cnn() -> Result<Network, NnError> {
     Ok(net)
 }
 
+/// AlexNet-shaped network (227×227×3, torchvision-style ungrouped convs),
+/// **prepare-only**: weight lanes mirror `acoustic_nn::zoo::alexnet()`
+/// exactly (test-enforced), which is all stream preparation reads. The
+/// descriptor's overlapping 3/2 max pools are stood in for by window-2 max
+/// pools — pooling has no weights and max pooling never fuses into the
+/// stochastic conv, so the prepared banks are unaffected; a *forward*
+/// pass, however, would hit the odd 55×55 conv1 output and fail, which is
+/// fine for a model that is never trained or executed, only prepared.
+pub fn alexnet() -> Result<Network, NnError> {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(3, 96, 11, 4, 0, AccumMode::OrApprox)?);
+    net.push_max_pool(MaxPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(96, 256, 5, 1, 2, AccumMode::OrApprox)?);
+    net.push_max_pool(MaxPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(256, 384, 3, 1, 1, AccumMode::OrApprox)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(384, 384, 3, 1, 1, AccumMode::OrApprox)?);
+    net.push_relu(Relu::clamped());
+    net.push_conv(Conv2d::new(384, 256, 3, 1, 1, AccumMode::OrApprox)?);
+    net.push_max_pool(MaxPool2d::new(2)?);
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(256 * 6 * 6, 4096, AccumMode::OrApprox)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(4096, 4096, AccumMode::OrApprox)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(4096, 1000, AccumMode::OrApprox)?);
+    Ok(net)
+}
+
+/// VGG-16 (224×224×3): five 3×3 conv blocks with 2×2 max pooling, then
+/// the classic 25088-4096-4096-1000 classifier. Prepare-only like
+/// [`alexnet`], but dimensionally exact throughout (every pool input is
+/// even), so weight lanes match `acoustic_nn::zoo::vgg16()` one for one.
+pub fn vgg16() -> Result<Network, NnError> {
+    let blocks: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let mut net = Network::new();
+    let mut in_c = 3;
+    for &(ch, reps) in blocks {
+        for _ in 0..reps {
+            net.push_conv(Conv2d::new(in_c, ch, 3, 1, 1, AccumMode::OrApprox)?);
+            net.push_relu(Relu::clamped());
+            in_c = ch;
+        }
+        net.push_max_pool(MaxPool2d::new(2)?);
+    }
+    net.push_flatten();
+    net.push_dense(Dense::new(512 * 7 * 7, 4096, AccumMode::OrApprox)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(4096, 4096, AccumMode::OrApprox)?);
+    net.push_relu(Relu::clamped());
+    net.push_dense(Dense::new(4096, 1000, AccumMode::OrApprox)?);
+    Ok(net)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,12 +263,28 @@ mod tests {
             assert_eq!(ZooModel::from_slug(m.slug()), Some(m));
         }
         assert_eq!(ZooModel::from_id(99), None);
-        assert_eq!(ZooModel::from_slug("vgg16"), None);
+        assert_eq!(ZooModel::from_slug("resnet18"), None);
+        assert_eq!(ZooModel::from_slug("vgg16"), Some(ZooModel::Vgg16));
+        assert_eq!(ZooModel::from_slug("alexnet"), Some(ZooModel::Alexnet));
+    }
+
+    #[test]
+    fn trainable_models_have_datasets_prepare_only_do_not() {
+        for m in ZooModel::ALL {
+            assert_eq!(m.trainable(), m.data_kind().is_some(), "{}", m.slug());
+        }
+        assert!(!ZooModel::Alexnet.trainable());
+        assert!(!ZooModel::Vgg16.trainable());
+        assert_eq!(ZooModel::Lenet5.dataset_name(), "mnist-like");
+        assert_eq!(ZooModel::Vgg16.dataset_name(), "imagenet-shaped");
     }
 
     #[test]
     fn construction_is_deterministic() {
-        for m in ZooModel::ALL {
+        // ImageNet-scale builds allocate hundreds of MB; the trainable
+        // subset covers the determinism property at test speed, and the
+        // ignored descriptor test covers the big builds.
+        for m in ZooModel::TRAINABLE {
             let a = m.network().unwrap();
             let b = m.network().unwrap();
             assert_eq!(a.fingerprint(), b.fingerprint(), "{}", m.slug());
@@ -195,10 +313,28 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "builds ImageNet-scale networks (hundreds of MB); run with --ignored in release"]
+    fn prepare_only_networks_match_zoo_shape_descriptors() {
+        let pairs = [
+            (ZooModel::Alexnet, acoustic_nn::zoo::alexnet()),
+            (ZooModel::Vgg16, acoustic_nn::zoo::vgg16()),
+        ];
+        for (model, shape) in pairs {
+            let net = model.network().unwrap();
+            assert_eq!(
+                net.param_count() as u64,
+                shape.total_weights(),
+                "{} weight count drifted from its shape descriptor",
+                model.slug()
+            );
+        }
+    }
+
+    #[test]
     fn forward_pass_runs_on_dataset_shapes() {
-        for m in ZooModel::ALL {
+        for m in ZooModel::TRAINABLE {
             let mut net = m.network().unwrap();
-            let ds = m.data_kind().generate(1, 0, 5);
+            let ds = m.data_kind().unwrap().generate(1, 0, 5);
             let logits = net.forward(&ds.train[0].0).unwrap();
             assert_eq!(logits.as_slice().len(), 10, "{}", m.slug());
         }
