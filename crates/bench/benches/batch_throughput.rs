@@ -105,11 +105,22 @@ fn to_json(
 ) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"name\": {},", json_string("batch_throughput"));
+    let _ = writeln!(
+        out,
+        "  \"host\": {},",
+        acoustic_simfunc::HostFingerprint::detect().json()
+    );
     out.push_str("  \"config\": {\n");
     let _ = writeln!(out, "    \"network\": {},", json_string("lenet5/or_approx"));
     let _ = writeln!(out, "    \"batch\": {batch},");
     let _ = writeln!(out, "    \"stream_len\": {stream_len},");
-    let _ = writeln!(out, "    \"model_fingerprint\": {}", model.fingerprint());
+    let _ = writeln!(out, "    \"model_fingerprint\": {},", model.fingerprint());
+    let _ = writeln!(
+        out,
+        "    \"plan\": {{\"kernel\": {}, \"tile\": {}}}",
+        json_string(model.plan().kernel.name()),
+        model.plan().tile
+    );
     out.push_str("  },\n");
     out.push_str("  \"metrics\": {\n");
     let _ = writeln!(out, "    \"prepare_secs\": {prepare_secs:.6},");

@@ -425,6 +425,14 @@ pub mod x86 {
         *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
     }
 
+    /// Whether the AVX-512 kernels are usable on this host (cpuid, cached).
+    /// Requires both `avx512f` (the 512-bit ALU ops) and AVX2 (the popcount
+    /// tail shared with the 256-bit kernels).
+    pub fn avx512_available() -> bool {
+        static AVX512: OnceLock<bool> = OnceLock::new();
+        *AVX512.get_or_init(|| std::is_x86_feature_detected!("avx512f") && avx2_available())
+    }
+
     /// Popcount of a packed word buffer via the Mula/Harley-Seal vectorized
     /// nibble lookup: each 256-bit lane is split into low/high nibbles,
     /// `vpshufb` maps every nibble to its ones count, and `vpsadbw`

@@ -20,13 +20,12 @@ use crate::{BatchReport, ExitPolicy, KernelCounters, LayerTiming, PreparedModel,
 /// Default number of images a worker claims per queue access.
 const DEFAULT_CHUNK: usize = 8;
 
-/// Default tile width: how many images share one weight-bank walk on the
-/// fixed-length (non-adaptive) paths. 1 disables tiling. Wider tiles
-/// amortize lane-list building and weight loads over more images (gains
-/// keep growing past 8 on LeNet-5) but cost per-image activation banks in
-/// cache and reduce cross-worker parallelism for small batches; 16 is the
-/// measured sweet spot on the benchmark configuration.
-const DEFAULT_TILE: usize = 16;
+// Tile width — how many images share one weight-bank walk on the
+// fixed-length (non-adaptive) paths — is no longer a fixed constant: each
+// `PreparedModel` carries an autotuned `TilePlan` chosen by a prepare-time
+// calibration sweep over candidate tiles × available kernels on the model's
+// real bank geometry (`acoustic_simfunc::autotune`). The engine follows the
+// model's plan unless `with_tile_size` pins an explicit width.
 
 /// One admitted serving request, ready for batch execution.
 ///
@@ -96,7 +95,9 @@ const MARGIN_OVERRIDE_TEMPLATE: ExitPolicy = ExitPolicy {
 pub struct BatchEngine {
     workers: usize,
     chunk_size: usize,
-    tile_size: usize,
+    /// Explicit tile-width override; `None` follows each model's autotuned
+    /// [`TilePlan`](acoustic_simfunc::TilePlan).
+    tile_size: Option<usize>,
     exit_policy: Option<ExitPolicy>,
 }
 
@@ -115,7 +116,7 @@ impl BatchEngine {
         Ok(BatchEngine {
             workers,
             chunk_size: DEFAULT_CHUNK,
-            tile_size: DEFAULT_TILE,
+            tile_size: None,
             exit_policy: None,
         })
     }
@@ -139,9 +140,10 @@ impl BatchEngine {
         Ok(self)
     }
 
-    /// Overrides how many images share one weight-bank walk on the
-    /// fixed-length paths ([`BatchEngine::run`], [`BatchEngine::evaluate`],
-    /// and tileable [`BatchEngine::run_ready`] requests). `1` disables
+    /// Pins how many images share one weight-bank walk on the fixed-length
+    /// paths ([`BatchEngine::run`], [`BatchEngine::evaluate`], and tileable
+    /// [`BatchEngine::run_ready`] requests), overriding each model's
+    /// autotuned [`TilePlan`](acoustic_simfunc::TilePlan). `1` disables
     /// tiling.
     ///
     /// Tiling never affects results: tiled execution is bit-identical to
@@ -158,13 +160,21 @@ impl BatchEngine {
                 "tile size must be at least 1".into(),
             ));
         }
-        self.tile_size = tile_size;
+        self.tile_size = Some(tile_size);
         Ok(self)
     }
 
-    /// Images per weight-bank walk on the fixed-length paths.
-    pub fn tile_size(&self) -> usize {
+    /// The explicit tile-width override, if one was pinned with
+    /// [`BatchEngine::with_tile_size`]; `None` follows each model's
+    /// autotuned plan.
+    pub fn tile_size(&self) -> Option<usize> {
         self.tile_size
+    }
+
+    /// The tile width used for `model`: the explicit override when pinned,
+    /// the model's autotuned plan otherwise.
+    pub fn effective_tile(&self, model: &PreparedModel) -> usize {
+        self.tile_size.unwrap_or_else(|| model.plan().tile)
     }
 
     /// Attaches an early-exit policy; the engine runs each image at the
@@ -224,7 +234,7 @@ impl BatchEngine {
                 Ok(pairs.into_iter().map(|(logits, _)| logits).collect())
             }
             None => {
-                let tiles = consecutive_tiles(inputs.len(), self.tile_size);
+                let tiles = consecutive_tiles(inputs.len(), self.effective_tile(model));
                 let (per_tile, _, _) = self.dispatch(model, tiles.len(), |ti, scratch| {
                     let (lo, hi) = tiles[ti];
                     Ok(run_tile_or_solo(model, inputs, lo, hi, scratch, None))
@@ -313,7 +323,7 @@ impl BatchEngine {
         }
         let policy = self.exit_policy;
         let full_len = model.max_stream_len();
-        let units = ready_units(requests, &policy, self.tile_size);
+        let units = ready_units(requests, &policy, self.effective_tile(model));
         let tally = TileTally::default();
 
         // One solo request, exactly as the pre-tiling engine ran it.
@@ -436,7 +446,11 @@ impl BatchEngine {
         let full_len = model.config().stream_len;
         // The adaptive path escalates per image, so it cannot tile; the
         // fixed-length path tiles consecutive samples.
-        let tile = if policy.is_some() { 1 } else { self.tile_size };
+        let tile = if policy.is_some() {
+            1
+        } else {
+            self.effective_tile(model)
+        };
         let tiles = consecutive_tiles(samples.len(), tile);
         let tally = TileTally::default();
         let (per_tile, cpu_busy, stats) = self.dispatch(model, tiles.len(), |ti, scratch| {
@@ -546,6 +560,7 @@ impl BatchEngine {
             effective_lengths,
             mean_effective_len,
             kernel: tally.counters(&stats),
+            plan: model.plan(),
             dedup: model.dedup_stats(),
         })
     }
@@ -809,7 +824,17 @@ mod tests {
         assert!(BatchEngine::new(0).is_err());
         assert!(BatchEngine::new(2).unwrap().with_chunk_size(0).is_err());
         assert!(BatchEngine::new(2).unwrap().with_tile_size(0).is_err());
-        assert_eq!(BatchEngine::new(2).unwrap().tile_size(), DEFAULT_TILE);
+        // No explicit override by default — the engine follows each model's
+        // autotuned plan.
+        assert_eq!(BatchEngine::new(2).unwrap().tile_size(), None);
+        assert_eq!(
+            BatchEngine::new(2)
+                .unwrap()
+                .with_tile_size(4)
+                .unwrap()
+                .tile_size(),
+            Some(4)
+        );
     }
 
     #[test]
@@ -875,8 +900,8 @@ mod tests {
         // Prepared net with clamped relu folded: conv, relu, flatten, dense.
         assert_eq!(report.layer_timings.len(), model.prepared().step_count());
         // Fixed-length evaluation tiles consecutive samples: one call per
-        // tile (6 samples at the default tile width of 4 → 2 tiles).
-        let tiles = 6usize.div_ceil(DEFAULT_TILE) as u64;
+        // tile, at the model's autotuned tile width.
+        let tiles = 6usize.div_ceil(model.plan().tile) as u64;
         assert!(report.layer_timings.iter().all(|t| t.calls == tiles));
         assert_eq!(report.kernel.tiles, tiles);
         assert_eq!(report.kernel.tiled_images, 6);

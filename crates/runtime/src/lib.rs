@@ -54,7 +54,7 @@ pub mod prepared;
 pub mod report;
 pub mod rt_error;
 
-pub use acoustic_simfunc::DedupStats;
+pub use acoustic_simfunc::{DedupStats, HostFingerprint, KernelKind, TilePlan};
 pub use engine::{BatchEngine, ReadyOutcome, ReadyRequest};
 pub use policy::{logit_margin, ExitPolicy};
 pub use prepared::{derive_image_seed, ModelCache, PreparedModel, DEFAULT_CACHE_CAPACITY};

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use acoustic_simfunc::{DedupStats, KernelStats};
+use acoustic_simfunc::{DedupStats, KernelStats, TilePlan};
 
 /// Aggregated wall-clock cost of one layer/step across a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +119,12 @@ pub struct BatchReport {
     pub mean_effective_len: f64,
     /// Kernel skip/tile counters accumulated across the batch.
     pub kernel: KernelCounters,
+    /// The autotuned `(kernel, tile)` execution plan of the model the batch
+    /// ran on (prepare-time calibration; see `acoustic_simfunc::autotune`).
+    /// A property of the prepared model, constant across batches on it.
+    /// Note an engine-level `with_tile_size` override supersedes the plan's
+    /// tile width at execution time without changing this field.
+    pub plan: TilePlan,
     /// Weight-storage accounting of the model the batch ran on: lanes,
     /// distinct canonical streams, pool/index/resident bytes and the
     /// materialized-layout equivalent. A property of the prepared model,
@@ -172,6 +178,13 @@ impl fmt::Display for BatchReport {
             self.kernel.zero_seg_skips,
             self.kernel.tiled_images,
             self.kernel.tiles
+        )?;
+        writeln!(
+            f,
+            "plan:  {} kernel, tile {} (calibrated in {:.2} ms)",
+            self.plan.kernel.name(),
+            self.plan.tile,
+            self.plan.calibration_ns as f64 / 1e6
         )?;
         writeln!(
             f,
@@ -233,6 +246,11 @@ mod tests {
                 tiles: 1,
                 tiled_images: 4,
             },
+            plan: acoustic_simfunc::TilePlan {
+                kernel: acoustic_simfunc::KernelKind::Autovec,
+                tile: 32,
+                calibration_ns: 2_000_000,
+            },
             dedup: DedupStats {
                 lanes: 100,
                 distinct_streams: 25,
@@ -250,6 +268,7 @@ mod tests {
         assert!(text.contains("112.0 bits/image"));
         assert!(text.contains("40.0% skipped"));
         assert!(text.contains("4 images tiled in 1 tiles"));
+        assert!(text.contains("autovec kernel, tile 32"));
         assert!(text.contains("100 lanes over 25 distinct streams"));
         assert!(text.contains("4.0x dedup"));
         assert_eq!(r.layer_timings[0].mean(), Duration::from_millis(1));

@@ -145,10 +145,10 @@ pub struct ErrorFrame {
 }
 
 /// Number of `u64` words in a [`StatsSnapshot`] wire payload.
-const STATS_WORDS: usize = 25;
+const STATS_WORDS: usize = 27;
 
 /// A point-in-time server statistics snapshot, servable over the wire.
-/// Payload: 25 × `u64` in field order.
+/// Payload: 27 × `u64` in field order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Frames received that parsed as inference requests.
@@ -206,6 +206,12 @@ pub struct StatsSnapshot {
     pub materialized_bytes: u64,
     /// Weight-bank bytes actually resident across cached models.
     pub resident_bytes: u64,
+    /// Kernel-tier code (`KernelKind::code`) of the autotuned plan of the
+    /// most recently executed model — a gauge; 0 (`scalar`) until the
+    /// first micro-batch runs.
+    pub plan_kernel: u64,
+    /// Tile width of that plan (0 until the first micro-batch runs).
+    pub plan_tile: u64,
 }
 
 impl StatsSnapshot {
@@ -275,6 +281,8 @@ impl StatsSnapshot {
             self.index_bytes,
             self.materialized_bytes,
             self.resident_bytes,
+            self.plan_kernel,
+            self.plan_tile,
         ]
     }
 
@@ -305,6 +313,8 @@ impl StatsSnapshot {
             index_bytes: w[22],
             materialized_bytes: w[23],
             resident_bytes: w[24],
+            plan_kernel: w[25],
+            plan_tile: w[26],
         }
     }
 }

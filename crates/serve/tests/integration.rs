@@ -417,6 +417,10 @@ fn stats_travel_over_the_wire() {
     assert_eq!(snap.completed, 3);
     assert!(snap.batches >= 1);
     assert!(snap.mean_batch_size() >= 1.0);
+    // After at least one micro-batch, the plan gauges reflect the executed
+    // model's autotuned plan: a decodable kernel code and a non-zero tile.
+    assert!(acoustic_runtime::KernelKind::from_code(snap.plan_kernel).is_some());
+    assert!(snap.plan_tile > 0);
     handle.shutdown();
 }
 

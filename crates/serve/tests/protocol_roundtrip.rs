@@ -103,6 +103,8 @@ fn stats_frames_roundtrip() {
         index_bytes: 23,
         materialized_bytes: 24,
         resident_bytes: 25,
+        plan_kernel: 3,
+        plan_tile: 32,
     };
     let resp = Frame::StatsResponse(55, snap);
     assert_eq!(roundtrip(&resp), resp);

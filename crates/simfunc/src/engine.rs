@@ -191,6 +191,45 @@ impl PreparedNetwork {
     pub fn dedup_stats(&self) -> DedupStats {
         steps_dedup(&self.steps)
     }
+
+    /// The most expensive MAC step's full-length bank shape — the
+    /// calibration workload of the prepare-time tile autotuner. Cost proxy:
+    /// `outputs × fan_in × seg_words` (the tiled weight walk's word work).
+    pub(crate) fn heaviest_mac(&self) -> Option<crate::autotune::MacShape<'_>> {
+        fn walk<'a>(steps: &'a [Step], best: &mut Option<(usize, crate::autotune::MacShape<'a>)>) {
+            for s in steps {
+                let shape = match &s.op {
+                    StepOp::Conv(c) => {
+                        let fan_in = c.in_c * c.k * c.k;
+                        crate::autotune::MacShape {
+                            view: c.weights.level(0),
+                            fan_in,
+                            outs: c.out_c,
+                            segments: c.pool.map_or(1, |k| k * k),
+                        }
+                    }
+                    StepOp::Dense(d) => crate::autotune::MacShape {
+                        view: d.weights.level(0),
+                        fan_in: d.in_n,
+                        outs: d.out_n,
+                        segments: 1,
+                    },
+                    StepOp::Residual(inner) => {
+                        walk(inner, best);
+                        continue;
+                    }
+                    _ => continue,
+                };
+                let cost = shape.outs * shape.fan_in * shape.view.seg_words;
+                if best.as_ref().is_none_or(|&(b, _)| cost > b) {
+                    *best = Some((cost, shape));
+                }
+            }
+        }
+        let mut best = None;
+        walk(&self.steps, &mut best);
+        best.map(|(_, s)| s)
+    }
 }
 
 fn steps_bytes(steps: &[Step]) -> usize {
@@ -441,6 +480,14 @@ impl ScSimulator {
     /// ACOUSTIC fabric default).
     fn or_group(&self) -> usize {
         self.cfg.or_group.unwrap_or(usize::MAX).max(1)
+    }
+
+    /// Runs the prepare-time calibration sweep for `prepared` and returns
+    /// the winning (kernel, tile) plan (see [`crate::autotune`]). Callers
+    /// cache the result per (model, host); the plan never changes logits —
+    /// every kernel × tile combination is bit-identical (test-enforced).
+    pub fn calibrate_plan(&self, prepared: &PreparedNetwork) -> crate::autotune::TilePlan {
+        crate::autotune::calibrate(&self.cfg, self.or_group(), prepared)
     }
 
     /// Runs one inference at a shorter stream-length prefix of the prepared

@@ -1,0 +1,249 @@
+//! Portable auto-vectorized MAC kernel — the default fallback tier.
+//!
+//! No intrinsics: the merge loops are shaped as fixed-width blocks
+//! (`BLOCK_WORDS` words, `BLOCK_IMAGES` images) so LLVM auto-vectorizes the
+//! `acc |= act & weight` pattern with whatever ALU width the target has —
+//! NEON on aarch64, SSE2 on baseline x86-64, plain unrolling elsewhere.
+//! Semantics (grouping, saturation short-circuit, zero-segment skipping,
+//! counter attribution) are identical to [`scalar`]; equivalence is
+//! test-enforced. Shapes too small for a block delegate to the scalar
+//! kernel, whose register accumulator wins there.
+
+use acoustic_core::bitstream::count_ones_words;
+
+use super::scalar::{self, is_saturated};
+use super::{KernelStats, PhaseArgs, TilePhaseArgs, TileState};
+
+/// Words per merge block. One 256-bit vector's worth: wide enough for the
+/// vectorizer, small enough that the scalar remainder stays cheap.
+const BLOCK_WORDS: usize = 4;
+
+/// Images per lockstep block in the tiled walk (one accumulator array that
+/// fits the widest common vector register file).
+const BLOCK_IMAGES: usize = 8;
+
+/// One MAC phase over one segment (see [`scalar::mac_phase`]).
+pub(crate) fn mac_phase(args: &PhaseArgs<'_>, acc: &mut [u64], stats: &mut KernelStats) -> u64 {
+    if args.geom.seg_words < BLOCK_WORDS {
+        return scalar::mac_phase(args, acc, stats);
+    }
+    mac_phase_words(args, acc, stats)
+}
+
+/// One tiled MAC phase (see [`scalar::mac_phase_tile`]).
+pub(crate) fn mac_phase_tile(
+    args: &TilePhaseArgs<'_>,
+    state: &mut TileState<'_>,
+    stats: &mut KernelStats,
+) {
+    let geom = args.geom;
+    if geom.single_group() && geom.seg_words == 1 && args.banks.len() >= BLOCK_IMAGES {
+        let tile = args.banks.len();
+        state.phase[..tile].fill(0);
+        state.in_group[..tile].fill(0);
+        state.sat[..tile].fill(false);
+        state.accs[..tile * geom.seg_words].fill(0);
+        mac_phase_tile_word_single(args, state, stats);
+        return;
+    }
+    if geom.seg_words < BLOCK_WORDS {
+        return scalar::mac_phase_tile(args, state, stats);
+    }
+    mac_phase_tile_words(args, state, stats)
+}
+
+/// Fused `acc |= act & wgt` over equal-length word slices in fixed blocks.
+/// The inner block loop has no bounds checks or data dependences across
+/// iterations, so LLVM emits vector and/or for it on any SIMD target.
+#[inline]
+fn merge(acc: &mut [u64], act: &[u64], wgt: &[u64]) {
+    let n = acc.len();
+    let blocks = n / BLOCK_WORDS * BLOCK_WORDS;
+    for ((acc_b, act_b), wgt_b) in acc[..blocks]
+        .chunks_exact_mut(BLOCK_WORDS)
+        .zip(act[..blocks].chunks_exact(BLOCK_WORDS))
+        .zip(wgt[..blocks].chunks_exact(BLOCK_WORDS))
+    {
+        for i in 0..BLOCK_WORDS {
+            acc_b[i] |= act_b[i] & wgt_b[i];
+        }
+    }
+    for i in blocks..n {
+        acc[i] |= act[i] & wgt[i];
+    }
+}
+
+/// Multi-word solo phase; structure mirrors `scalar::mac_phase_words` with
+/// the merge blocked for the vectorizer.
+fn mac_phase_words(args: &PhaseArgs<'_>, acc: &mut [u64], stats: &mut KernelStats) -> u64 {
+    let geom = args.geom;
+    let sw = geom.seg_words;
+    debug_assert_eq!(acc.len(), sw);
+    let single = geom.single_group();
+    let mut phase = 0u64;
+    let mut in_group = 0usize;
+    let mut saturated = false;
+    for (n, &(seg_idx, w_base)) in args.lanes.iter().enumerate() {
+        let w_idx = args.w_off + w_base;
+        if !args.present[w_idx] {
+            continue;
+        }
+        if saturated {
+            stats.sat_lanes_skipped += 1;
+        } else if args.seg_zero[seg_idx] {
+            stats.zero_seg_skips += 1;
+        } else {
+            stats.mac_lanes += 1;
+            let a_base = seg_idx * sw;
+            let wb = (args.w_slot(w_idx) * geom.segments + args.segment) * sw;
+            merge(
+                acc,
+                &args.act_words[a_base..a_base + sw],
+                &args.bank_words[wb..wb + sw],
+            );
+            if is_saturated(acc, geom.sat_mask) {
+                saturated = true;
+                stats.sat_group_exits += 1;
+                if single {
+                    stats.sat_lanes_skipped += (args.lanes.len() - n - 1) as u64;
+                    acc.fill(0);
+                    return phase + geom.seg_len as u64;
+                }
+            }
+        }
+        in_group += 1;
+        if in_group == geom.group {
+            phase += if saturated {
+                geom.seg_len as u64
+            } else {
+                count_ones_words(acc)
+            };
+            acc.fill(0);
+            in_group = 0;
+            saturated = false;
+        }
+    }
+    if in_group > 0 {
+        phase += if saturated {
+            geom.seg_len as u64
+        } else {
+            count_ones_words(acc)
+        };
+        acc.fill(0);
+    }
+    phase
+}
+
+/// Lockstep tile walk blocked `BLOCK_IMAGES` at a time: one fixed-size
+/// accumulator array per block, unconditional OR per image, running AND for
+/// the all-saturated early exit — the same de-branched shape as the scalar
+/// lockstep walk, with the per-image loop bounded so the vectorizer packs
+/// it. Scalar tail for the final `tile % BLOCK_IMAGES` images.
+fn mac_phase_tile_word_single(
+    args: &TilePhaseArgs<'_>,
+    state: &mut TileState<'_>,
+    stats: &mut KernelStats,
+) {
+    let geom = args.geom;
+    let tile = args.banks.len();
+    let lanes = args.lanes;
+    let mut base = 0usize;
+    while base + BLOCK_IMAGES <= tile {
+        let banks = &args.banks[base..base + BLOCK_IMAGES];
+        let mut acc = [0u64; BLOCK_IMAGES];
+        for (n, &(a_idx, w_base)) in lanes.iter().enumerate() {
+            let w_idx = args.w_off + w_base;
+            if !args.present[w_idx] {
+                continue;
+            }
+            let w = args.bank_words[args.w_slot(w_idx) * geom.segments + args.segment];
+            let seg_idx = a_idx * geom.segments + args.segment;
+            let mut all = geom.sat_mask;
+            for (t, bank) in banks.iter().enumerate() {
+                acc[t] |= bank.words[seg_idx] & w;
+                all &= acc[t];
+            }
+            stats.mac_lanes += BLOCK_IMAGES as u64;
+            if all == geom.sat_mask {
+                stats.sat_lanes_skipped += ((lanes.len() - n - 1) * BLOCK_IMAGES) as u64;
+                break;
+            }
+        }
+        for (t, &acc_w) in acc.iter().enumerate() {
+            state.phase[base + t] = u64::from(acc_w.count_ones());
+            if acc_w == geom.sat_mask {
+                stats.sat_group_exits += 1;
+            }
+        }
+        base += BLOCK_IMAGES;
+    }
+    scalar::mac_phase_tile_word_single_from(args, state, stats, base);
+}
+
+/// Multi-word tiled phase; structure mirrors `scalar::mac_phase_tile_general`
+/// with the merge blocked for the vectorizer.
+fn mac_phase_tile_words(
+    args: &TilePhaseArgs<'_>,
+    state: &mut TileState<'_>,
+    stats: &mut KernelStats,
+) {
+    let geom = args.geom;
+    let sw = geom.seg_words;
+    let tile = args.banks.len();
+    state.phase[..tile].fill(0);
+    state.in_group[..tile].fill(0);
+    state.sat[..tile].fill(false);
+    state.accs[..tile * sw].fill(0);
+    for &(a_idx, w_base) in args.lanes {
+        let w_idx = args.w_off + w_base;
+        if !args.present[w_idx] {
+            continue;
+        }
+        let seg_idx = a_idx * geom.segments + args.segment;
+        let a_base = seg_idx * sw;
+        let wb = (args.w_slot(w_idx) * geom.segments + args.segment) * sw;
+        for (t, bank) in args.banks.iter().enumerate() {
+            if bank.gated[a_idx] {
+                continue;
+            }
+            let acc = &mut state.accs[t * sw..(t + 1) * sw];
+            if state.sat[t] {
+                stats.sat_lanes_skipped += 1;
+            } else if bank.seg_zero[seg_idx] {
+                stats.zero_seg_skips += 1;
+            } else {
+                stats.mac_lanes += 1;
+                merge(
+                    acc,
+                    &bank.words[a_base..a_base + sw],
+                    &args.bank_words[wb..wb + sw],
+                );
+                if is_saturated(acc, geom.sat_mask) {
+                    state.sat[t] = true;
+                    stats.sat_group_exits += 1;
+                }
+            }
+            state.in_group[t] += 1;
+            if state.in_group[t] as usize == geom.group {
+                state.phase[t] += if state.sat[t] {
+                    geom.seg_len as u64
+                } else {
+                    count_ones_words(acc)
+                };
+                acc.fill(0);
+                state.in_group[t] = 0;
+                state.sat[t] = false;
+            }
+        }
+    }
+    for t in 0..tile {
+        if state.in_group[t] > 0 {
+            let acc = &state.accs[t * sw..(t + 1) * sw];
+            state.phase[t] += if state.sat[t] {
+                geom.seg_len as u64
+            } else {
+                count_ones_words(acc)
+            };
+        }
+    }
+}

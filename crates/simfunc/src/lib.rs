@@ -36,16 +36,21 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod autotune;
 mod banks;
 mod engine;
 mod expected;
 pub mod kernels;
 mod sim_error;
 
+pub use autotune::{TilePlan, DEFAULT_TILE, TILE_CANDIDATES};
 pub use banks::{DedupStats, SimScratch};
 pub use engine::{LayerTrace, PreparedNetwork, RunTrace, ScSimulator, StepTiming};
 pub use expected::{expected_accuracy, expected_logits};
-pub use kernels::{active_kernel, KernelChoice, KernelKind, KernelStats, FORCE_SCALAR_ENV};
+pub use kernels::{
+    active_kernel, candidate_kernels, forced_kernel, HostFingerprint, KernelChoice, KernelKind,
+    KernelStats, FORCE_KERNEL_ENV, FORCE_SCALAR_ENV,
+};
 pub use sim_error::SimError;
 
 /// Weight-bank storage layout of a prepared network.
