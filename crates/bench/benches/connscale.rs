@@ -1,0 +1,385 @@
+//! Connection-scaling capacity: reactor vs thread-per-connection.
+//!
+//! Drives the acoustic-serve server through both I/O models with a large
+//! pool of *persistent* connections (the regime the readiness reactor was
+//! built for) and an open-loop Poisson offered-load ladder. For each
+//! model the bench records goodput and latency percentiles at every
+//! ladder point and derives a single capacity figure: the highest
+//! sustained goodput among points whose p99 stays inside the deadline
+//! with zero drops and zero bit-validation mismatches. The headline
+//! metric is the capacity ratio reactor / threaded, reported as measured
+//! — the JSON is the evidence, not the claim.
+//!
+//! The served model is deliberately tiny (a 2-channel 3x3 conv head over
+//! 8x8 inputs at a short stream length) so the I/O path — wakeups, frame
+//! parsing, reply writes — is a visible fraction of each request rather
+//! than noise behind milliseconds of simulation.
+//!
+//! Writes `results/BENCH_connscale.json` with the probed host topology
+//! embedded (see `results/README.md`). Pass `--quick` (or set
+//! `ACOUSTIC_BENCH_QUICK`) for a CI-sized run. On hosts without
+//! readiness support the reactor column is omitted and the ratio is
+//! `null`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acoustic_bench::harness::json_string;
+use acoustic_core::DetRng;
+use acoustic_net::{Poller, Topology};
+use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
+use acoustic_nn::Tensor;
+use acoustic_runtime::{BatchEngine, ModelCache, ReadyRequest};
+use acoustic_serve::{
+    run_load, summarize, validate_responses, IoModel, LoadGenConfig, LoadReport, ModelRegistry,
+    ModelSpec, ServeConfig, Server,
+};
+use acoustic_simfunc::SimConfig;
+
+const MODEL_ID: u32 = 1;
+const DEADLINE: Duration = Duration::from_millis(250);
+const QUEUE_CAPACITY: usize = 64;
+
+struct Setup {
+    stream_len: usize,
+    connections: usize,
+    requests_per_point: u64,
+    ratios: &'static [f64],
+    capacity_probe_rounds: usize,
+    repeats: usize,
+}
+
+struct Point {
+    ratio: f64,
+    offered_qps: f64,
+    report: LoadReport,
+    within_deadline: bool,
+}
+
+struct ModeRun {
+    io: IoModel,
+    label: &'static str,
+    capacity_qps: f64,
+    points: Vec<Point>,
+}
+
+fn tiny_network() -> Network {
+    let mut net = Network::new();
+    net.push_conv(Conv2d::new(1, 2, 3, 1, 1, AccumMode::OrApprox).unwrap());
+    net.push_avg_pool(AvgPool2d::new(2).unwrap());
+    net.push_relu(Relu::clamped());
+    net.push_flatten();
+    net.push_dense(Dense::new(2 * 4 * 4, 4, AccumMode::OrApprox).unwrap());
+    net
+}
+
+fn tiny_images(n: usize) -> Vec<Tensor> {
+    let mut rng = DetRng::seed_from_u64(91);
+    (0..n)
+        .map(|_| {
+            let vals: Vec<f32> = (0..64).map(|_| rng.next_f32()).collect();
+            Tensor::from_vec(&[1, 8, 8], vals).unwrap()
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("ACOUSTIC_BENCH_QUICK").is_some();
+    let setup = if quick {
+        Setup {
+            stream_len: 32,
+            connections: 64,
+            requests_per_point: 300,
+            ratios: &[0.5, 1.0, 2.0],
+            capacity_probe_rounds: 2,
+            repeats: 2,
+        }
+    } else {
+        Setup {
+            stream_len: 32,
+            connections: 256,
+            requests_per_point: 6000,
+            ratios: &[0.5, 1.0, 2.0, 3.0],
+            capacity_probe_rounds: 4,
+            repeats: 3,
+        }
+    };
+
+    let topology = Topology::detect();
+    println!("host topology: {}", topology.json());
+
+    let network = tiny_network();
+    let images = tiny_images(16);
+    let sim = SimConfig::with_stream_len(setup.stream_len).expect("valid stream length");
+    let cache = Arc::new(ModelCache::new());
+    let golden = cache
+        .get_or_compile(sim, &network)
+        .expect("model preparation succeeds");
+
+    // Engine-only capacity probe to anchor the offered-load ladder; the
+    // per-mode capacities below include the I/O path and sit under this.
+    let engine = BatchEngine::new(1).expect("engine builds");
+    let requests: Vec<ReadyRequest<'_>> = images
+        .iter()
+        .enumerate()
+        .map(|(i, img)| ReadyRequest::plain(i as u64, img))
+        .collect();
+    let mut best_per_image = f64::INFINITY;
+    for _ in 0..setup.capacity_probe_rounds {
+        let t = Instant::now();
+        let outs = engine.run_ready(&golden, &requests).expect("probe runs");
+        assert!(outs.iter().all(|o| o.is_ok()));
+        best_per_image = best_per_image.min(t.elapsed().as_secs_f64() / images.len() as f64);
+    }
+    let engine_qps = 1.0 / best_per_image;
+    println!(
+        "engine capacity: {engine_qps:.0} QPS ({:.1} µs/image @ stream {})",
+        1e6 * best_per_image,
+        setup.stream_len
+    );
+
+    let reactor_ok = Poller::supported();
+    if !reactor_ok {
+        println!("readiness polling unsupported on this host; benching threaded only");
+    }
+    let mut modes = Vec::new();
+    for (io, label) in [
+        (IoModel::Threaded, "threaded"),
+        (IoModel::Reactor, "reactor"),
+    ] {
+        if io == IoModel::Reactor && !reactor_ok {
+            continue;
+        }
+        modes.push(run_mode(
+            io, label, &setup, engine_qps, &network, &cache, &images, &golden, &engine, sim,
+        ));
+    }
+
+    let threaded_cap = modes
+        .iter()
+        .find(|m| m.io == IoModel::Threaded)
+        .map(|m| m.capacity_qps)
+        .expect("threaded baseline ran");
+    let ratio = modes
+        .iter()
+        .find(|m| m.io == IoModel::Reactor)
+        .map(|m| m.capacity_qps / threaded_cap);
+    match ratio {
+        Some(r) => println!(
+            "capacity @ {} connections: reactor/threaded = {r:.2}x",
+            setup.connections
+        ),
+        None => println!("capacity ratio: n/a (no reactor on this host)"),
+    }
+
+    let json = to_json(&setup, quick, engine_qps, &topology, &modes, ratio);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_connscale.json"
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    std::fs::write(path, json).unwrap();
+    println!("wrote {path}");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    io: IoModel,
+    label: &'static str,
+    setup: &Setup,
+    engine_qps: f64,
+    network: &Network,
+    cache: &Arc<ModelCache>,
+    images: &[Tensor],
+    golden: &Arc<acoustic_runtime::PreparedModel>,
+    engine: &BatchEngine,
+    sim: SimConfig,
+) -> ModeRun {
+    let mut points = Vec::new();
+    for (i, &ratio) in setup.ratios.iter().enumerate() {
+        let offered_qps = engine_qps * ratio;
+        // Best-of-N to shed scheduler noise: loadgen and server share this
+        // host, so any single run can be blown off course by a descheduled
+        // sender thread. The hard contracts are asserted on every run; only
+        // the best (highest-goodput) run is recorded.
+        let mut best: Option<Point> = None;
+        for rep in 0..setup.repeats {
+            let registry = ModelRegistry::build(
+                vec![ModelSpec {
+                    id: MODEL_ID,
+                    network: network.clone(),
+                    cfg: sim,
+                }],
+                cache,
+            )
+            .expect("registry builds");
+            let serve_cfg = ServeConfig {
+                workers: 1,
+                io,
+                queue_capacity: QUEUE_CAPACITY,
+                batch_max: 8,
+                default_deadline: DEADLINE,
+                max_connections: setup.connections + 16,
+                ..ServeConfig::default()
+            };
+            let handle = Server::start("127.0.0.1:0", registry, serve_cfg).expect("server starts");
+            assert_eq!(
+                handle.reactor_active(),
+                io == IoModel::Reactor,
+                "server did not honour the requested I/O model"
+            );
+
+            let load = LoadGenConfig {
+                qps: offered_qps,
+                requests: setup.requests_per_point,
+                connections: setup.connections,
+                model_id: MODEL_ID,
+                seed: 11 + (i * 16 + rep) as u64,
+                ..LoadGenConfig::default()
+            };
+            let outcome = run_load(handle.addr(), images, &load).expect("load run completes");
+            let mismatches = validate_responses(&outcome, golden, engine, images, &load)
+                .expect("validation runs");
+            let report = summarize(&outcome, load.requests);
+            handle.shutdown();
+
+            // Hard contracts, identical for both I/O models: every accepted
+            // response bit-identical, every request answered.
+            assert_eq!(mismatches, 0, "{label} {ratio}x: server response diverged");
+            assert_eq!(
+                report.dropped, 0,
+                "{label} {ratio}x: {} responses dropped",
+                report.dropped
+            );
+            assert_eq!(
+                report.other_errors, 0,
+                "{label} {ratio}x: unexpected error replies"
+            );
+
+            let within_deadline = report.p99_us <= DEADLINE.as_micros() as u64;
+            if best
+                .as_ref()
+                .is_none_or(|b| report.goodput_qps > b.report.goodput_qps)
+            {
+                best = Some(Point {
+                    ratio,
+                    offered_qps,
+                    report,
+                    within_deadline,
+                });
+            }
+        }
+        let point = best.expect("at least one repeat ran");
+        println!(
+            "{label} {ratio:.1}x ({offered_qps:.0} QPS offered, {} conns): goodput {:.0} QPS | \
+             p50/p99 {}/{} us | rejected {} | within-deadline {} (best of {})",
+            setup.connections,
+            point.report.goodput_qps,
+            point.report.p50_us,
+            point.report.p99_us,
+            point.report.rejected_overload,
+            point.within_deadline,
+            setup.repeats,
+        );
+        points.push(point);
+    }
+
+    let capacity_qps = points
+        .iter()
+        .filter(|p| p.within_deadline)
+        .map(|p| p.report.goodput_qps)
+        .fold(0.0f64, f64::max);
+    println!("{label}: capacity {capacity_qps:.0} QPS (p99 inside deadline, zero drops)");
+    ModeRun {
+        io,
+        label,
+        capacity_qps,
+        points,
+    }
+}
+
+fn to_json(
+    setup: &Setup,
+    quick: bool,
+    engine_qps: f64,
+    topology: &Topology,
+    modes: &[ModeRun],
+    ratio: Option<f64>,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"name\": {},", json_string("connscale"));
+    out.push_str("  \"config\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"network\": {},",
+        json_string("tiny_cnn/or_approx")
+    );
+    let _ = writeln!(out, "    \"stream_len\": {},", setup.stream_len);
+    let _ = writeln!(out, "    \"connections\": {},", setup.connections);
+    let _ = writeln!(
+        out,
+        "    \"requests_per_point\": {},",
+        setup.requests_per_point
+    );
+    let _ = writeln!(out, "    \"workers\": 1,");
+    let _ = writeln!(out, "    \"queue_capacity\": {QUEUE_CAPACITY},");
+    let _ = writeln!(out, "    \"batch_max\": 8,");
+    let _ = writeln!(out, "    \"deadline_ms\": {},", DEADLINE.as_millis());
+    let _ = writeln!(out, "    \"repeats\": {},", setup.repeats);
+    let _ = writeln!(out, "    \"quick\": {quick}");
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"host\": {{");
+    let _ = writeln!(out, "    \"topology\": {},", topology.json());
+    let _ = writeln!(out, "    \"topology_id\": \"{:#018x}\"", topology.id());
+    out.push_str("  },\n");
+    out.push_str("  \"metrics\": {\n");
+    let _ = writeln!(out, "    \"engine_capacity_qps\": {engine_qps:.2},");
+    let _ = writeln!(
+        out,
+        "    \"capacity_ratio\": {},",
+        ratio
+            .map(|r| format!("{r:.3}"))
+            .unwrap_or_else(|| "null".into())
+    );
+    out.push_str("    \"modes\": [\n");
+    for (mi, m) in modes.iter().enumerate() {
+        let _ = writeln!(out, "      {{");
+        let _ = writeln!(out, "        \"io\": {},", json_string(m.label));
+        let _ = writeln!(out, "        \"capacity_qps\": {:.2},", m.capacity_qps);
+        out.push_str("        \"points\": [\n");
+        for (i, p) in m.points.iter().enumerate() {
+            let r = &p.report;
+            let _ = write!(
+                out,
+                "          {{\"offered_ratio\": {:.2}, \"offered_qps\": {:.2}, \"offered\": {}, \
+                 \"completed\": {}, \"rejected_overload\": {}, \"deadline_exceeded\": {}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"goodput_qps\": {:.2}, \
+                 \"within_deadline\": {}, \"mismatches\": 0, \"dropped\": 0}}",
+                p.ratio,
+                p.offered_qps,
+                r.offered,
+                r.completed,
+                r.rejected_overload,
+                r.deadline_exceeded,
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+                r.goodput_qps,
+                p.within_deadline
+            );
+            out.push_str(if i + 1 < m.points.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("        ]\n");
+        out.push_str(if mi + 1 < modes.len() {
+            "      },\n"
+        } else {
+            "      }\n"
+        });
+    }
+    out.push_str("    ]\n  }\n}\n");
+    out
+}

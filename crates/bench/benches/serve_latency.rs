@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acoustic_bench::harness::json_string;
+use acoustic_net::Topology;
 use acoustic_runtime::{BatchEngine, ModelCache, ReadyRequest};
 use acoustic_serve::{
     demo_model, run_load, summarize, validate_responses, LoadGenConfig, LoadReport, ModelRegistry,
@@ -241,6 +242,11 @@ fn to_json(
     let _ = writeln!(out, "    \"deadline_ms\": {},", DEADLINE.as_millis());
     let _ = writeln!(out, "    \"connections\": 2,");
     let _ = writeln!(out, "    \"quick\": {quick}");
+    out.push_str("  },\n");
+    let topology = Topology::detect();
+    let _ = writeln!(out, "  \"host\": {{");
+    let _ = writeln!(out, "    \"topology\": {},", topology.json());
+    let _ = writeln!(out, "    \"topology_id\": \"{:#018x}\"", topology.id());
     out.push_str("  },\n");
     out.push_str("  \"metrics\": {\n");
     let _ = writeln!(out, "    \"capacity_qps\": {capacity_qps:.2},");

@@ -1,0 +1,315 @@
+//! Per-connection byte buffers for non-blocking streams.
+//!
+//! A reactor-owned connection needs exactly two pieces of elastic state:
+//! an inbound accumulator that survives partial header/body reads
+//! ([`FrameBuf`]) and an outbound spool that survives short writes under
+//! backpressure ([`WriteBuf`]). Both are protocol-agnostic — framing
+//! (header parsing, length validation) stays with the caller, which keeps
+//! this crate reusable and the wire format in one place.
+
+use std::io::{self, Read, Write};
+
+/// Result of one non-blocking read pass into a [`FrameBuf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// `n` new bytes were appended (n > 0).
+    Data(usize),
+    /// The socket had nothing to give right now.
+    WouldBlock,
+    /// Orderly end of stream — the peer will send no more bytes.
+    Eof,
+}
+
+/// Inbound accumulation buffer: bytes arrive in arbitrary fragments and
+/// are consumed in whole-frame units by the caller.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    // Consumed prefix; compacted lazily so per-frame consumption is O(1)
+    // amortized instead of a memmove per frame.
+    start: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The unconsumed bytes, in arrival order.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Number of unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends bytes directly (test helper and non-socket ingestion).
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Marks the first `n` unconsumed bytes as processed.
+    ///
+    /// # Panics
+    ///
+    /// If `n` exceeds [`FrameBuf::len`].
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.len(), "consumed past the buffered bytes");
+        self.start += n;
+        // Compact once the dead prefix dominates, so the buffer does not
+        // grow without bound across a long-lived connection.
+        if self.start >= 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+    }
+
+    /// One read pass from a non-blocking stream. Reads at most one chunk
+    /// (up to 64 KiB) so a firehose connection cannot starve its siblings
+    /// on the same reactor tick; level-triggered polling re-delivers the
+    /// readable event if more is pending.
+    ///
+    /// # Errors
+    ///
+    /// Hard socket errors (connection reset, etc.); `WouldBlock` and
+    /// `Interrupted` are folded into [`ReadOutcome`] / retried.
+    pub fn read_from<R: Read>(&mut self, stream: &mut R) -> io::Result<ReadOutcome> {
+        let mut chunk = [0u8; 65536];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(ReadOutcome::Data(n));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(ReadOutcome::WouldBlock)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Outbound spool: frames are queued whole and flushed in as many short
+/// writes as the socket's send buffer demands.
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl WriteBuf {
+    /// An empty spool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes still awaiting the socket.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether everything queued has been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Queues `data` after whatever is already pending.
+    pub fn queue(&mut self, data: &[u8]) {
+        if self.is_empty() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Writes as much as the socket will take right now. Returns `true`
+    /// when the spool drained completely, `false` if bytes remain (the
+    /// caller should keep write interest registered).
+    ///
+    /// # Errors
+    ///
+    /// Hard socket errors; `WouldBlock` simply returns `false` and
+    /// `Interrupted` is retried.
+    pub fn flush_to<W: Write>(&mut self, stream: &mut W) -> io::Result<bool> {
+        while self.start < self.buf.len() {
+            match stream.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.start += n;
+                    // Reclaim a large flushed prefix mid-stream.
+                    if self.start >= 65536 && self.start * 2 >= self.buf.len() {
+                        self.buf.drain(..self.start);
+                        self.start = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.start = 0;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framebuf_accumulates_and_consumes() {
+        let mut fb = FrameBuf::new();
+        assert!(fb.is_empty());
+        fb.extend(b"hel");
+        fb.extend(b"lo world");
+        assert_eq!(fb.bytes(), b"hello world");
+        fb.consume(6);
+        assert_eq!(fb.bytes(), b"world");
+        fb.consume(5);
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "consumed past")]
+    fn framebuf_overconsume_panics() {
+        let mut fb = FrameBuf::new();
+        fb.extend(b"ab");
+        fb.consume(3);
+    }
+
+    #[test]
+    fn framebuf_compaction_preserves_tail() {
+        let mut fb = FrameBuf::new();
+        // Push enough that the compaction threshold trips mid-run, and
+        // verify byte identity end to end.
+        let frame: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut seen = Vec::new();
+        for _ in 0..64 {
+            fb.extend(&frame);
+            // Consume in awkward 7-byte units to exercise partial frames.
+            while fb.len() >= 7 {
+                seen.extend_from_slice(&fb.bytes()[..7]);
+                fb.consume(7);
+            }
+        }
+        seen.extend_from_slice(fb.bytes());
+        let n = fb.len();
+        fb.consume(n);
+        let expect: Vec<u8> = (0..64).flat_map(|_| frame.clone()).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn framebuf_reads_nonblocking_stream() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let mut fb = FrameBuf::new();
+        assert_eq!(fb.read_from(&mut rx).unwrap(), ReadOutcome::WouldBlock);
+
+        tx.write_all(b"abc").unwrap();
+        // Wait for delivery without a poller: retry briefly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match fb.read_from(&mut rx).unwrap() {
+                ReadOutcome::Data(_) => break,
+                ReadOutcome::WouldBlock if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(1))
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        assert_eq!(fb.bytes(), b"abc");
+
+        drop(tx);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match fb.read_from(&mut rx).unwrap() {
+                ReadOutcome::Eof => break,
+                ReadOutcome::WouldBlock if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(1))
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn writebuf_survives_short_writes() {
+        // A Write impl that accepts at most 3 bytes per call, and refuses
+        // every other call, emulating a congested socket.
+        struct Dribble {
+            sink: Vec<u8>,
+            turn: bool,
+        }
+        impl Write for Dribble {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.turn = !self.turn;
+                if !self.turn {
+                    return Err(io::Error::from(io::ErrorKind::WouldBlock));
+                }
+                let n = data.len().min(3);
+                self.sink.extend_from_slice(&data[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut wb = WriteBuf::new();
+        let mut sock = Dribble {
+            sink: Vec::new(),
+            turn: false,
+        };
+        wb.queue(b"the quick brown fox");
+        wb.queue(b" jumps over");
+        let mut drained = false;
+        for _ in 0..64 {
+            if wb.flush_to(&mut sock).unwrap() {
+                drained = true;
+                break;
+            }
+        }
+        assert!(drained);
+        assert!(wb.is_empty());
+        assert_eq!(sock.sink, b"the quick brown fox jumps over");
+    }
+
+    #[test]
+    fn writebuf_queue_after_drain_reuses_storage() {
+        let mut wb = WriteBuf::new();
+        wb.queue(b"abc");
+        let mut out = Vec::new();
+        assert!(wb.flush_to(&mut out).unwrap());
+        wb.queue(b"def");
+        assert_eq!(wb.pending(), 3);
+        assert!(wb.flush_to(&mut out).unwrap());
+        assert_eq!(out, b"abcdef");
+    }
+}

@@ -6,6 +6,7 @@
 //!         [--deadline-ms 0] [--stream-len-override N] [--margin-override M]
 //!         [--train 128] [--test 32] [--epochs 2] [--stream-len 128]
 //!         [--zoo-dir DIR] [--mix 1:3,2:1] [--no-validate]
+//!         [--io auto|reactor|threaded] [--conn-report]
 //! ```
 //!
 //! In demo mode, trains the same demo model as the `serve` binary
@@ -31,9 +32,9 @@ use std::time::Duration;
 
 use acoustic_runtime::{BatchEngine, ModelCache, PreparedModel};
 use acoustic_serve::{
-    parse_mix, run_load, run_load_mix, summarize, summarize_mix, validate_responses,
-    validate_responses_mix, LoadGenConfig, ModelRegistry, ModelSpec, ModelTraffic, ServeConfig,
-    Server, DEMO_MODEL_ID,
+    parse_mix, run_load, run_load_mix, summarize, summarize_connections, summarize_mix,
+    validate_responses, validate_responses_mix, LoadGenConfig, ModelRegistry, ModelSpec,
+    ModelTraffic, ServeConfig, Server, DEMO_MODEL_ID,
 };
 use acoustic_simfunc::SimConfig;
 use acoustic_train::ZooModel;
@@ -49,6 +50,7 @@ struct Args {
     zoo_dir: Option<PathBuf>,
     mix: Option<String>,
     validate: bool,
+    conn_report: bool,
     serve_cfg: ServeConfig,
 }
 
@@ -64,6 +66,7 @@ fn parse_args() -> Args {
         zoo_dir: None,
         mix: None,
         validate: true,
+        conn_report: false,
         serve_cfg: ServeConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -104,6 +107,10 @@ fn parse_args() -> Args {
                 args.serve_cfg.model_queue_share =
                     Some(val("--model-queue-share").parse().expect("usize"));
             }
+            "--io" => {
+                args.serve_cfg.io = val("--io").parse().expect("auto|reactor|threaded");
+            }
+            "--conn-report" => args.conn_report = true,
             "--help" | "-h" => {
                 println!(
                     "loadgen [--self-host | --addr HOST:PORT] [--qps Q] [--requests N]\n        \
@@ -111,7 +118,8 @@ fn parse_args() -> Args {
                      [--stream-len-override N] [--margin-override M]\n        \
                      [--train N] [--test N] [--epochs E] [--stream-len L]\n        \
                      [--zoo-dir DIR] [--mix 1:3,2:1] [--queue-capacity Q]\n        \
-                     [--workers W] [--model-queue-share N] [--no-validate]"
+                     [--workers W] [--model-queue-share N] [--no-validate]\n        \
+                     [--io auto|reactor|threaded] [--conn-report]"
                 );
                 std::process::exit(0);
             }
@@ -131,6 +139,7 @@ fn parse_args() -> Args {
 fn report_and_exit(
     report: acoustic_serve::LoadReport,
     per_model: &[acoustic_serve::ModelLoadReport],
+    per_conn: &[acoustic_serve::ConnectionReport],
     mismatches: u64,
     validated: bool,
     server: Option<acoustic_serve::ServerHandle>,
@@ -164,6 +173,13 @@ fn report_and_exit(
             m.goodput_qps
         );
     }
+    for c in per_conn {
+        println!(
+            "conn {:<4} offered {:<5} completed {:<5} errors {:<4} dropped {:<4} \
+             p50 {} µs p99 {} µs",
+            c.connection, c.offered, c.completed, c.errors, c.dropped, c.p50_us, c.p99_us
+        );
+    }
     if validated {
         println!("golden mismatches  {mismatches}");
     }
@@ -179,6 +195,21 @@ fn report_and_exit(
             stats.batches,
             stats.mean_batch_size(),
             stats.rejected_model_budget
+        );
+        println!(
+            "server io: {} shards {} shard-hwm {} steals {} conns {} (peak active {}) \
+             idle-reaped {}",
+            if stats.reactor_mode == 1 {
+                "reactor"
+            } else {
+                "threaded"
+            },
+            stats.shards,
+            stats.shard_depth_hwm,
+            stats.queue_steals,
+            stats.conns_opened,
+            stats.active_connections_hwm,
+            stats.idle_reaped
         );
     }
 
@@ -252,6 +283,11 @@ fn run_demo_mode(args: &Args) -> ! {
     );
     let outcome = run_load(addr, &images, &args.load).expect("load run completes");
     let report = summarize(&outcome, args.load.requests);
+    let per_conn = if args.conn_report {
+        summarize_connections(&outcome, &args.load)
+    } else {
+        Vec::new()
+    };
 
     let mismatches = if args.validate {
         let engine = BatchEngine::new(1).expect("engine builds");
@@ -260,7 +296,7 @@ fn run_demo_mode(args: &Args) -> ! {
     } else {
         0
     };
-    report_and_exit(report, &[], mismatches, args.validate, server)
+    report_and_exit(report, &[], &per_conn, mismatches, args.validate, server)
 }
 
 fn run_zoo_mode(args: &Args, dir: PathBuf) -> ! {
@@ -320,6 +356,11 @@ fn run_zoo_mode(args: &Args, dir: PathBuf) -> ! {
     let outcome = run_load_mix(addr, &traffic, &args.load).expect("load run completes");
     let report = summarize(&outcome, args.load.requests);
     let per_model = summarize_mix(&outcome, &traffic, &args.load);
+    let per_conn = if args.conn_report {
+        summarize_connections(&outcome, &args.load)
+    } else {
+        Vec::new()
+    };
 
     let mismatches = if args.validate {
         let engine = BatchEngine::new(1).expect("engine builds");
@@ -328,5 +369,12 @@ fn run_zoo_mode(args: &Args, dir: PathBuf) -> ! {
     } else {
         0
     };
-    report_and_exit(report, &per_model, mismatches, args.validate, server)
+    report_and_exit(
+        report,
+        &per_model,
+        &per_conn,
+        mismatches,
+        args.validate,
+        server,
+    )
 }

@@ -5,7 +5,8 @@
 //!       [--queue-capacity 64] [--batch-max 8] [--batch-wait-us 500]
 //!       [--deadline-ms 250] [--train 128] [--test 32] [--epochs 2]
 //!       [--duration-secs 0] [--zoo-dir DIR] [--cache-budget-mb M]
-//!       [--model-queue-share N]
+//!       [--model-queue-share N] [--io auto|reactor|threaded] [--shards N]
+//!       [--idle-timeout-ms T] [--max-connections N] [--pin]
 //! ```
 //!
 //! By default trains the demo digit CNN (deterministically — a load
@@ -85,12 +86,27 @@ fn parse_args() -> Args {
                 args.cfg.model_queue_share =
                     Some(val("--model-queue-share").parse().expect("usize"));
             }
+            "--io" => {
+                args.cfg.io = val("--io").parse().expect("auto|reactor|threaded");
+            }
+            "--shards" => args.cfg.shards = val("--shards").parse().expect("usize"),
+            "--idle-timeout-ms" => {
+                args.cfg.idle_timeout = Some(Duration::from_millis(
+                    val("--idle-timeout-ms").parse().expect("u64"),
+                ));
+            }
+            "--max-connections" => {
+                args.cfg.max_connections = val("--max-connections").parse().expect("usize");
+            }
+            "--pin" => args.cfg.pin_workers = true,
             "--help" | "-h" => {
                 println!(
                     "serve [--addr A] [--stream-len N] [--workers W] [--queue-capacity Q]\n      \
                      [--batch-max B] [--batch-wait-us T] [--deadline-ms D]\n      \
                      [--train N] [--test N] [--epochs E] [--duration-secs S]\n      \
-                     [--zoo-dir DIR] [--cache-budget-mb M] [--model-queue-share N]"
+                     [--zoo-dir DIR] [--cache-budget-mb M] [--model-queue-share N]\n      \
+                     [--io auto|reactor|threaded] [--shards N] [--idle-timeout-ms T]\n      \
+                     [--max-connections N] [--pin]"
                 );
                 std::process::exit(0);
             }
@@ -137,6 +153,16 @@ fn main() {
 
     let handle = Server::start(args.addr.as_str(), registry, args.cfg).expect("server starts");
     println!("listening on {}", handle.addr());
+    println!(
+        "io: {} ({} queue shard(s), {} worker(s))",
+        if handle.reactor_active() {
+            "reactor"
+        } else {
+            "threaded"
+        },
+        args.cfg.effective_shards(),
+        args.cfg.workers
+    );
     match &args.zoo_dir {
         Some(dir) => println!("models {model_ids:?} from zoo {}", dir.display()),
         None => println!(

@@ -103,6 +103,18 @@ impl Client {
         let _ = self.stream.shutdown(std::net::Shutdown::Read);
     }
 
+    /// Sets a read timeout on the underlying socket (`None` blocks
+    /// forever). While set, [`Client::recv`] returns a `WouldBlock`/
+    /// `TimedOut` I/O error when the server stays silent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option error.
+    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> Result<(), ServeError> {
+        self.stream.set_read_timeout(dur)?;
+        Ok(())
+    }
+
     /// Sends `req` and blocks for its reply. Replies to other request ids
     /// arriving in between are a protocol violation for a synchronous
     /// client and are reported as [`ServeError::UnexpectedFrame`].

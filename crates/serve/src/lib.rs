@@ -8,9 +8,16 @@
 //!   a versioned header; inference requests carry an optional per-request
 //!   stream-length or early-exit-margin override, and every failure mode
 //!   is a typed error frame, never a dropped connection mid-request.
-//! * **Admission control** ([`queue`], [`server`]) — one bounded queue is
-//!   the only buffer in the server; when it fills, requests are rejected
-//!   immediately with `Overloaded`. Deadlines are enforced at dequeue so
+//! * **Non-blocking I/O** ([`server`]) — by default a single reactor
+//!   thread drives every client connection through acoustic-net's
+//!   readiness poller (per-connection state machines, bounded buffers,
+//!   write backpressure, optional idle reaping); hosts without the
+//!   polling syscall shim degrade to the original thread-per-connection
+//!   path. Both paths produce bit-identical responses.
+//! * **Admission control** ([`server`]) — one bounded, sharded queue is
+//!   the only buffer in the server; when every shard fills, requests are
+//!   rejected immediately with `Overloaded`. Workers pop from a home
+//!   shard and steal from the rest. Deadlines are enforced at dequeue so
 //!   an expired request never burns simulation time.
 //! * **Micro-batching** — workers drain up to `batch_max` requests or wait
 //!   `batch_wait`, whichever comes first, and evaluate them through
@@ -53,6 +60,7 @@ pub mod client;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
+mod reactor;
 pub mod registry;
 mod serve_error;
 pub mod server;
@@ -60,12 +68,14 @@ pub mod stats;
 
 pub use client::{Client, InferReply};
 pub use loadgen::{
-    parse_mix, run_load, run_load_mix, summarize, summarize_mix, validate_responses,
-    validate_responses_mix, LoadGenConfig, LoadReport, ModelLoadReport, ModelTraffic,
+    parse_mix, run_load, run_load_mix, summarize, summarize_connections, summarize_mix,
+    validate_responses, validate_responses_mix, ConnectionReport, LoadGenConfig, LoadReport,
+    ModelLoadReport, ModelTraffic,
 };
 pub use protocol::{ErrorCode, Frame, InferRequest, InferResponse, StatsSnapshot};
 pub use registry::{
     demo_model, demo_network, ModelRegistry, ModelSpec, RegistryError, DEMO_MODEL_ID,
 };
 pub use serve_error::ServeError;
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{IoModel, ServeConfig, Server, ServerHandle};
+pub use stats::QueueGauges;

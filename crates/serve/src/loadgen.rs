@@ -509,6 +509,61 @@ pub fn validate_responses(
     Ok(mismatches)
 }
 
+/// Per-connection slice of a load report (persistent-connection mode).
+#[derive(Debug, Clone, Copy)]
+pub struct ConnectionReport {
+    /// Connection index (requests are assigned round-robin by
+    /// `id % connections`).
+    pub connection: usize,
+    /// Schedule slots sent on this connection.
+    pub offered: u64,
+    /// Requests answered with logits.
+    pub completed: u64,
+    /// Error replies of any code.
+    pub errors: u64,
+    /// Requests with no reply at all.
+    pub dropped: u64,
+    /// p50 latency of completed requests, µs.
+    pub p50_us: u64,
+    /// p99 latency of completed requests, µs.
+    pub p99_us: u64,
+}
+
+/// Splits an outcome into per-connection reports using the same
+/// round-robin assignment the sender used (`id % effective_connections`,
+/// where the effective count is `connections.min(requests)`).
+pub fn summarize_connections(outcome: &LoadOutcome, cfg: &LoadGenConfig) -> Vec<ConnectionReport> {
+    let conns = cfg.connections.min(cfg.requests as usize).max(1);
+    let mut lat: Vec<Vec<Duration>> = vec![Vec::new(); conns];
+    let mut errors = vec![0u64; conns];
+    let mut answered = vec![0u64; conns];
+    for r in &outcome.replies {
+        let c = (r.id % conns as u64) as usize;
+        answered[c] += 1;
+        match &r.reply {
+            InferReply::Ok(_) => lat[c].push(r.latency),
+            InferReply::Err(_) => errors[c] += 1,
+        }
+    }
+    (0..conns)
+        .map(|c| {
+            // Round-robin share of the schedule: connection c sends ids
+            // c, c+conns, c+2·conns, …
+            let offered = (cfg.requests + conns as u64 - 1 - c as u64) / conns as u64;
+            lat[c].sort_unstable();
+            ConnectionReport {
+                connection: c,
+                offered,
+                completed: lat[c].len() as u64,
+                errors: errors[c],
+                dropped: offered.saturating_sub(answered[c]),
+                p50_us: percentile_us(&lat[c], 50.0),
+                p99_us: percentile_us(&lat[c], 99.0),
+            }
+        })
+        .collect()
+}
+
 /// Per-model slice of a mixed-traffic load report.
 #[derive(Debug, Clone, Copy)]
 pub struct ModelLoadReport {
@@ -714,6 +769,61 @@ mod tests {
         // 3:1 weights ⇒ ~75% model 1; allow generous slack for a 4k draw.
         assert!((0.70..0.80).contains(&ones), "model-1 share {ones}");
         assert!(picks.iter().all(|&m| m == 1 || m == 2));
+    }
+
+    #[test]
+    fn connection_breakdown_accounts_for_every_slot() {
+        use crate::protocol::InferResponse;
+        let cfg = LoadGenConfig {
+            requests: 10,
+            connections: 3,
+            ..LoadGenConfig::default()
+        };
+        // Ids 0..10 round-robin over 3 connections; leave ids 7 and 9
+        // unanswered and make id 4 an error reply.
+        let replies = (0..10u64)
+            .filter(|id| *id != 7 && *id != 9)
+            .map(|id| ReplyRecord {
+                id,
+                reply: if id == 4 {
+                    InferReply::Err(crate::protocol::ErrorFrame {
+                        request_id: id,
+                        code: ErrorCode::Overloaded,
+                        message: String::new(),
+                    })
+                } else {
+                    InferReply::Ok(InferResponse {
+                        request_id: id,
+                        effective_len: 64,
+                        logits: vec![0.0],
+                    })
+                },
+                latency: Duration::from_micros(100 + id),
+            })
+            .collect();
+        let outcome = LoadOutcome {
+            replies,
+            dropped: 2,
+            elapsed: Duration::from_millis(10),
+        };
+        let per_conn = summarize_connections(&outcome, &cfg);
+        assert_eq!(per_conn.len(), 3);
+        // Connection 0 owns ids 0,3,6,9; id 9 dropped.
+        assert_eq!(per_conn[0].offered, 4);
+        assert_eq!(per_conn[0].completed, 3);
+        assert_eq!(per_conn[0].dropped, 1);
+        // Connection 1 owns ids 1,4,7; id 4 errored, id 7 dropped.
+        assert_eq!(per_conn[1].offered, 3);
+        assert_eq!(per_conn[1].completed, 1);
+        assert_eq!(per_conn[1].errors, 1);
+        assert_eq!(per_conn[1].dropped, 1);
+        // Connection 2 owns ids 2,5,8 — all completed.
+        assert_eq!(per_conn[2].offered, 3);
+        assert_eq!(per_conn[2].completed, 3);
+        assert_eq!(per_conn[2].dropped, 0);
+        let offered: u64 = per_conn.iter().map(|c| c.offered).sum();
+        assert_eq!(offered, cfg.requests);
+        assert!(per_conn[2].p50_us >= 100);
     }
 
     #[test]

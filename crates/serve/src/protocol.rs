@@ -145,10 +145,10 @@ pub struct ErrorFrame {
 }
 
 /// Number of `u64` words in a [`StatsSnapshot`] wire payload.
-const STATS_WORDS: usize = 27;
+const STATS_WORDS: usize = 36;
 
 /// A point-in-time server statistics snapshot, servable over the wire.
-/// Payload: 27 × `u64` in field order.
+/// Payload: 35 × `u64` in field order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Frames received that parsed as inference requests.
@@ -212,6 +212,27 @@ pub struct StatsSnapshot {
     pub plan_kernel: u64,
     /// Tile width of that plan (0 until the first micro-batch runs).
     pub plan_tile: u64,
+    /// Requests answered with `ShuttingDown` (arrived after the admission
+    /// queue closed for shutdown).
+    pub rejected_shutdown: u64,
+    /// Admission-queue shard count (gauge; 1 = unsharded).
+    pub shards: u64,
+    /// Highest single-shard queue depth observed (`queue_depth_hwm` stays
+    /// the global high-water mark across all shards).
+    pub shard_depth_hwm: u64,
+    /// Requests a worker took from a shard other than its own.
+    pub queue_steals: u64,
+    /// Currently open client connections (gauge sampled at snapshot time).
+    pub active_connections: u64,
+    /// Highest concurrent open-connection count observed since startup.
+    pub active_connections_hwm: u64,
+    /// Client connections accepted since startup.
+    pub conns_opened: u64,
+    /// Idle connections closed by the reactor's idle timeout.
+    pub idle_reaped: u64,
+    /// 1 when the readiness-reactor I/O path is active, 0 for the
+    /// thread-per-connection fallback (gauge).
+    pub reactor_mode: u64,
 }
 
 impl StatsSnapshot {
@@ -283,6 +304,15 @@ impl StatsSnapshot {
             self.resident_bytes,
             self.plan_kernel,
             self.plan_tile,
+            self.rejected_shutdown,
+            self.shards,
+            self.shard_depth_hwm,
+            self.queue_steals,
+            self.active_connections,
+            self.conns_opened,
+            self.idle_reaped,
+            self.reactor_mode,
+            self.active_connections_hwm,
         ]
     }
 
@@ -315,11 +345,24 @@ impl StatsSnapshot {
             resident_bytes: w[24],
             plan_kernel: w[25],
             plan_tile: w[26],
+            rejected_shutdown: w[27],
+            shards: w[28],
+            shard_depth_hwm: w[29],
+            queue_steals: w[30],
+            active_connections: w[31],
+            conns_opened: w[32],
+            idle_reaped: w[33],
+            reactor_mode: w[34],
+            active_connections_hwm: w[35],
         }
     }
 }
 
 /// A decoded protocol frame.
+// The stats variant dominates the enum size (36 gauge words), but stats
+// frames are rare one-off exchanges — boxing would cost every match site
+// for a path that is never hot.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Client → server: classify one image.

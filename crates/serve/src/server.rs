@@ -1,31 +1,41 @@
 //! The TCP inference server.
 //!
-//! Thread anatomy (all `std::thread`, no external runtime):
+//! Two I/O paths share one execution core (all `std::thread`, no external
+//! runtime):
 //!
 //! ```text
-//! acceptor ──spawns──▶ one reader per connection
-//!                          │  decode + validate + admission control
-//!                          ▼
-//!                 BoundedQueue (capacity = admission limit)
-//!                          │  pop + micro-batch (≤ B requests or T µs)
-//!                          ▼
-//!                 worker pool ──▶ BatchEngine::run_ready_counted ──▶ reply
+//! reactor (default) ── non-blocking accept + per-connection state machines
+//!        │               driven by acoustic-net's readiness poller
+//!        │  decode + validate + admission control
+//!        ▼
+//!   ShardedQueue (one shard per worker group, work-stealing,
+//!        │         global capacity = admission limit)
+//!        │  pop + micro-batch (≤ B requests or T µs)
+//!        ▼
+//!   worker pool ──▶ BatchEngine::run_ready_counted ──▶ reply bytes
+//!        │                                              (reactor outbox /
+//!        ▼                                               blocking write)
+//!  threaded fallback ── thread-per-connection readers, as before, on
+//!                       targets without the readiness syscall shim
 //! ```
 //!
-//! Guarantees:
+//! Guarantees (identical across both paths, test-enforced):
 //!
-//! * **Admission control** — the queue is the only buffer; when it is
-//!   full, requests are rejected immediately with `Overloaded`. Nothing
-//!   in the server buffers an unbounded number of requests.
+//! * **Admission control** — the sharded queue is the only buffer; when
+//!   every shard is full, requests are rejected immediately with
+//!   `Overloaded`. Nothing in the server buffers an unbounded number of
+//!   requests.
 //! * **Deadlines** — each request's deadline (its own, or the server
 //!   default) is enforced when a worker dequeues it: an expired request is
 //!   answered with `DeadlineExceeded` without burning simulation time.
 //! * **Determinism** — the request id doubles as the seed index, so a
 //!   response is bit-identical to `BatchEngine::run` evaluating the same
-//!   image at the same index, whatever the micro-batch composition,
-//!   worker count or arrival order.
-//! * **Graceful shutdown** — new work is refused, queued work is drained
-//!   and answered, then threads are joined.
+//!   image at the same index, whatever the I/O path, micro-batch
+//!   composition, worker count, shard layout or arrival order.
+//! * **Graceful shutdown** — new work is refused (`ShuttingDown`), queued
+//!   work is drained and answered, then threads are joined. The drain
+//!   invariant `completed + rejected + expired + failed == received`
+//!   survives both paths.
 
 use std::collections::HashMap;
 use std::io::{self, Read};
@@ -35,6 +45,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use acoustic_net::{Poller, ShardPop, ShardPush, ShardedQueue, Topology, Waker};
 use acoustic_nn::Tensor;
 use acoustic_runtime::{BatchEngine, ExitPolicy, PreparedModel, ReadyRequest};
 
@@ -42,17 +53,45 @@ use crate::protocol::{
     decode_frame, write_frame, ErrorCode, ErrorFrame, Frame, FrameHeader, InferRequest,
     InferResponse, StatsSnapshot, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
 };
-use crate::queue::{BoundedQueue, PopResult, PushError};
 use crate::registry::{ModelRegistry, RegistryError};
 use crate::serve_error::ServeError;
-use crate::stats::Stats;
+use crate::stats::{QueueGauges, Stats};
 
-/// How long blocked reads and queue pops wait before re-checking the
-/// shutdown flag.
-const POLL: Duration = Duration::from_millis(25);
+/// How long blocked reads, queue pops and reactor ticks wait before
+/// re-checking the shutdown flag.
+pub(crate) const POLL: Duration = Duration::from_millis(25);
 
 /// Hard cap on how long shutdown waits for in-flight requests to drain.
-const DRAIN_CAP: Duration = Duration::from_secs(10);
+pub(crate) const DRAIN_CAP: Duration = Duration::from_secs(10);
+
+/// Which I/O path drives client connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// Use the readiness reactor when the host supports it, the threaded
+    /// path otherwise. The default.
+    #[default]
+    Auto,
+    /// Require the non-blocking readiness reactor; startup fails on hosts
+    /// without the polling syscall shim instead of silently degrading.
+    Reactor,
+    /// Force the thread-per-connection fallback path.
+    Threaded,
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(IoModel::Auto),
+            "reactor" => Ok(IoModel::Reactor),
+            "threaded" => Ok(IoModel::Threaded),
+            other => Err(format!(
+                "unknown io model `{other}` (expected auto|reactor|threaded)"
+            )),
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -62,7 +101,8 @@ pub struct ServeConfig {
     /// `BatchEngine` threads inside each worker (1 = each worker is a
     /// serial lane; the worker pool itself is the parallelism).
     pub engine_workers: usize,
-    /// Request-queue capacity — the admission limit.
+    /// Request-queue capacity — the admission limit (global across all
+    /// shards).
     pub queue_capacity: usize,
     /// Micro-batch size cap (collect up to this many requests…).
     pub batch_max: usize,
@@ -84,6 +124,21 @@ pub struct ServeConfig {
     /// still fill the whole queue; with a single registered model it
     /// never binds (its budget 2·capacity exceeds the queue itself).
     pub model_queue_share: Option<usize>,
+    /// Which I/O path drives connections.
+    pub io: IoModel,
+    /// Admission-queue shards; 0 derives one shard per worker. Clamped to
+    /// `queue_capacity` so no shard ends up empty.
+    pub shards: usize,
+    /// Reactor-only: close a connection with no outstanding work, no
+    /// buffered bytes and no traffic for this long. `None` keeps idle
+    /// connections open indefinitely (the threaded path always does).
+    pub idle_timeout: Option<Duration>,
+    /// Reactor-only: cap on simultaneously open client connections;
+    /// accepts beyond it are dropped immediately.
+    pub max_connections: usize,
+    /// Pin worker threads to CPUs in the detected topology's cores-first
+    /// order (best-effort; a no-op where affinity is unavailable).
+    pub pin_workers: bool,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +153,11 @@ impl Default for ServeConfig {
             max_payload: DEFAULT_MAX_PAYLOAD,
             exit_policy: None,
             model_queue_share: None,
+            io: IoModel::Auto,
+            shards: 0,
+            idle_timeout: None,
+            max_connections: 4096,
+            pin_workers: false,
         }
     }
 }
@@ -130,12 +190,59 @@ impl ServeConfig {
                 "model_queue_share must be ≥ 1 when set".into(),
             ));
         }
+        if self.max_connections == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_connections must be ≥ 1".into(),
+            ));
+        }
+        if self.idle_timeout == Some(Duration::ZERO) {
+            return Err(ServeError::InvalidConfig(
+                "idle_timeout must be positive when set".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// The shard count this config resolves to: explicit, or one shard
+    /// per worker, capped by capacity.
+    pub fn effective_shards(&self) -> usize {
+        let requested = if self.shards == 0 {
+            self.workers
+        } else {
+            self.shards
+        };
+        requested.clamp(1, self.queue_capacity.max(1))
     }
 }
 
-/// Per-connection state shared between its reader and the workers that
-/// answer its requests.
+/// Where a reply goes. Implemented by the threaded path's per-connection
+/// writer and the reactor's outbox, so admission and workers are I/O-path
+/// agnostic.
+pub(crate) trait ReplyTo: Send + Sync {
+    /// Delivers (or spools) one frame; errors mean the client is gone and
+    /// are swallowed — per-request bookkeeping still runs.
+    fn send(&self, frame: &Frame);
+    /// Admitted-but-unanswered requests on this connection. Every reply
+    /// decrements it **after** the frame was handed to `send`.
+    fn outstanding(&self) -> &AtomicUsize;
+}
+
+/// Sends a typed error frame through any reply path.
+pub(crate) fn send_error(
+    conn: &dyn ReplyTo,
+    request_id: u64,
+    code: ErrorCode,
+    message: impl Into<String>,
+) {
+    conn.send(&Frame::Error(ErrorFrame {
+        request_id,
+        code,
+        message: message.into(),
+    }));
+}
+
+/// Per-connection state shared between a threaded reader and the workers
+/// that answer its requests.
 #[derive(Debug)]
 struct ConnShared {
     /// Write half; a mutex serializes replies from concurrent workers.
@@ -144,44 +251,37 @@ struct ConnShared {
     outstanding: AtomicUsize,
 }
 
-impl ConnShared {
-    /// Sends a frame; write errors mean the client is gone and are
-    /// swallowed (the per-request bookkeeping still runs).
+impl ReplyTo for ConnShared {
     fn send(&self, frame: &Frame) {
         let mut w = self.writer.lock().expect("connection writer poisoned");
         let _ = write_frame(&mut *w, frame);
     }
 
-    fn send_error(&self, request_id: u64, code: ErrorCode, message: impl Into<String>) {
-        self.send(&Frame::Error(ErrorFrame {
-            request_id,
-            code,
-            message: message.into(),
-        }));
+    fn outstanding(&self) -> &AtomicUsize {
+        &self.outstanding
     }
 }
 
 /// An admitted request waiting in the queue.
-#[derive(Debug)]
-struct Pending {
-    id: u64,
-    model_id: u32,
-    model: Arc<PreparedModel>,
-    input: Tensor,
-    stream_len: Option<usize>,
-    margin: Option<f32>,
-    admitted: Instant,
-    deadline: Instant,
-    conn: Arc<ConnShared>,
+pub(crate) struct Pending {
+    pub(crate) id: u64,
+    pub(crate) model_id: u32,
+    pub(crate) model: Arc<PreparedModel>,
+    pub(crate) input: Tensor,
+    pub(crate) stream_len: Option<usize>,
+    pub(crate) margin: Option<f32>,
+    pub(crate) admitted: Instant,
+    pub(crate) deadline: Instant,
+    pub(crate) conn: Arc<dyn ReplyTo>,
 }
 
-/// Everything the acceptor/reader/worker threads share.
-struct Shared {
-    registry: ModelRegistry,
-    cfg: ServeConfig,
-    queue: BoundedQueue<Pending>,
-    stats: Stats,
-    shutdown: AtomicBool,
+/// Everything the I/O and worker threads share.
+pub(crate) struct Shared {
+    pub(crate) registry: ModelRegistry,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) queue: ShardedQueue<Pending>,
+    pub(crate) stats: Stats,
+    pub(crate) shutdown: AtomicBool,
     /// Queued requests per model id, bounded by `model_share` — one model
     /// cannot monopolize the shared queue. Incremented at admission,
     /// decremented at dequeue (the gate bounds queue occupancy, not
@@ -189,6 +289,10 @@ struct Shared {
     gates: HashMap<u32, AtomicUsize>,
     /// The per-model admission sub-budget every gate is checked against.
     model_share: usize,
+    /// Round-robin counter assigning each new connection a home shard.
+    conn_rr: AtomicUsize,
+    /// Whether the reactor path is driving I/O (for the stats gauge).
+    reactor_mode: bool,
 }
 
 impl Shared {
@@ -200,6 +304,25 @@ impl Shared {
             gate.fetch_sub(1, Ordering::SeqCst);
         }
     }
+
+    /// Home shard for a newly accepted connection (round-robin so the
+    /// parse-order FIFO of a single connection maps to a single shard).
+    pub(crate) fn next_home_shard(&self) -> usize {
+        self.conn_rr.fetch_add(1, Ordering::Relaxed) % self.queue.shards()
+    }
+
+    /// A point-in-time statistics snapshot with all gauges sampled.
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let gauges = QueueGauges {
+            queue_depth_hwm: self.queue.depth_hwm(),
+            shards: self.queue.shards() as u64,
+            shard_depth_hwm: self.queue.shard_depth_hwm(),
+            queue_steals: self.queue.steals(),
+            reactor_mode: u64::from(self.reactor_mode),
+        };
+        self.stats
+            .snapshot(gauges, self.registry.cache().dedup_totals())
+    }
 }
 
 /// The running server: bind with [`Server::start`], stop with
@@ -208,13 +331,14 @@ impl Shared {
 pub struct Server;
 
 impl Server {
-    /// Binds `addr`, spawns the acceptor and worker pool, and returns a
+    /// Binds `addr`, spawns the I/O path and worker pool, and returns a
     /// handle. Pass port 0 to let the OS pick (see
     /// [`ServerHandle::addr`]).
     ///
     /// # Errors
     ///
-    /// Config validation and socket errors.
+    /// Config validation and socket errors; `IoModel::Reactor` on a host
+    /// without readiness-polling support.
     pub fn start(
         addr: impl ToSocketAddrs,
         registry: ModelRegistry,
@@ -232,6 +356,26 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        let use_reactor = match cfg.io {
+            IoModel::Auto => Poller::supported(),
+            IoModel::Reactor => {
+                if !Poller::supported() {
+                    return Err(ServeError::InvalidConfig(
+                        "io=reactor requires readiness-polling support on this host \
+                         (use io=auto or io=threaded)"
+                            .into(),
+                    ));
+                }
+                true
+            }
+            IoModel::Threaded => false,
+        };
+        let waker = if use_reactor {
+            Some(Arc::new(Waker::new().map_err(ServeError::Io)?))
+        } else {
+            None
+        };
+
         let model_share = cfg
             .model_queue_share
             .unwrap_or_else(|| (2 * cfg.queue_capacity / registry.len()).max(1));
@@ -243,29 +387,50 @@ impl Server {
         let shared = Arc::new(Shared {
             registry,
             cfg,
-            queue: BoundedQueue::new(cfg.queue_capacity),
+            queue: ShardedQueue::new(cfg.queue_capacity, cfg.effective_shards()),
             stats: Stats::default(),
             shutdown: AtomicBool::new(false),
             gates,
             model_share,
+            conn_rr: AtomicUsize::new(0),
+            reactor_mode: use_reactor,
         });
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let acceptor = {
+        let (acceptor, reactor) = if let Some(waker) = waker.clone() {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("acoustic-serve-reactor".into())
+                .spawn(move || crate::reactor::reactor_loop(listener, &shared, &waker))
+                .map_err(ServeError::Io)?;
+            (None, Some(handle))
+        } else {
             let shared = Arc::clone(&shared);
             let readers = Arc::clone(&readers);
-            std::thread::Builder::new()
+            let handle = std::thread::Builder::new()
                 .name("acoustic-serve-acceptor".into())
                 .spawn(move || acceptor_loop(&listener, &shared, &readers))
-                .map_err(ServeError::Io)?
+                .map_err(ServeError::Io)?;
+            (Some(handle), None)
         };
 
+        let pin_order = if cfg.pin_workers {
+            Topology::detect().pin_order()
+        } else {
+            Vec::new()
+        };
         let workers = (0..cfg.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let cpu = (!pin_order.is_empty()).then(|| pin_order[i % pin_order.len()]);
                 std::thread::Builder::new()
                     .name(format!("acoustic-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || {
+                        if let Some(cpu) = cpu {
+                            let _ = Topology::pin_current_thread(cpu);
+                        }
+                        worker_loop(&shared, i);
+                    })
                     .map_err(ServeError::Io)
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -273,7 +438,9 @@ impl Server {
         Ok(ServerHandle {
             addr: local_addr,
             shared,
-            acceptor: Some(acceptor),
+            acceptor,
+            reactor,
+            waker,
             workers,
             readers,
         })
@@ -286,6 +453,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    waker: Option<Arc<Waker>>,
     workers: Vec<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -294,7 +463,8 @@ impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shared")
             .field("cfg", &self.cfg)
-            .field("queue_len", &self.queue.len())
+            .field("queue_depth", &self.queue.depth())
+            .field("reactor_mode", &self.reactor_mode)
             .finish_non_exhaustive()
     }
 }
@@ -307,15 +477,18 @@ impl ServerHandle {
 
     /// A point-in-time statistics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot(
-            self.shared.queue.high_water_mark() as u64,
-            self.shared.registry.cache().dedup_totals(),
-        )
+        self.shared.snapshot()
     }
 
-    /// Current request-queue depth.
+    /// Current request-queue depth (summed across shards).
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.queue.depth()
+    }
+
+    /// Whether the readiness reactor (rather than the threaded fallback)
+    /// is driving connection I/O.
+    pub fn reactor_active(&self) -> bool {
+        self.shared.reactor_mode
     }
 
     /// Gracefully stops the server: refuse new work, answer everything
@@ -327,11 +500,20 @@ impl ServerHandle {
 
     fn shutdown_impl(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+        // The reactor keeps flushing replies (produced by still-running
+        // workers) until nothing is outstanding, so it must be joined
+        // before the queue closes and the workers exit.
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        // Readers wait for their connections' outstanding replies, so they
-        // must be joined while the workers are still draining the queue.
+        // Threaded readers wait for their connections' outstanding
+        // replies, so they too are joined while workers still drain.
         let readers = std::mem::take(&mut *self.readers.lock().expect("reader list poisoned"));
         for r in readers {
             let _ = r.join();
@@ -345,7 +527,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if self.acceptor.is_some() || self.reactor.is_some() || !self.workers.is_empty() {
             self.shutdown_impl();
         }
     }
@@ -359,7 +541,7 @@ fn build_engine(cfg: &ServeConfig) -> Result<BatchEngine, ServeError> {
     })
 }
 
-// --- acceptor -------------------------------------------------------------
+// --- threaded fallback: acceptor ------------------------------------------
 
 fn acceptor_loop(
     listener: &TcpListener,
@@ -389,7 +571,7 @@ fn acceptor_loop(
     }
 }
 
-// --- connection reader ----------------------------------------------------
+// --- threaded fallback: connection reader ---------------------------------
 
 /// Outcome of an interruptible exact read.
 enum ReadExact {
@@ -459,10 +641,12 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         Ok(w) => w,
         Err(_) => return,
     };
-    let conn = Arc::new(ConnShared {
+    let conn: Arc<dyn ReplyTo> = Arc::new(ConnShared {
         writer: Mutex::new(writer),
         outstanding: AtomicUsize::new(0),
     });
+    let home = shared.next_home_shard();
+    shared.stats.connection_opened();
 
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -470,18 +654,15 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         }
         match read_frame_interruptible(&mut stream, shared.cfg.max_payload, &shared.shutdown) {
             Ok(None) => break,
-            Ok(Some(Frame::InferRequest(req))) => admit(req, &conn, shared),
+            Ok(Some(Frame::InferRequest(req))) => admit(req, &conn, home, shared),
             Ok(Some(Frame::StatsRequest(id))) => {
-                let snap = shared.stats.snapshot(
-                    shared.queue.high_water_mark() as u64,
-                    shared.registry.cache().dedup_totals(),
-                );
-                conn.send(&Frame::StatsResponse(id, snap));
+                conn.send(&Frame::StatsResponse(id, shared.snapshot()));
             }
             Ok(Some(other)) => {
                 // Server-bound streams carry requests only.
                 Stats::bump(&shared.stats.rejected_malformed);
-                conn.send_error(
+                send_error(
+                    &*conn,
                     other.request_id(),
                     ErrorCode::Malformed,
                     "unexpected frame type from client",
@@ -493,7 +674,7 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 reason,
             }) => {
                 Stats::bump(&shared.stats.rejected_malformed);
-                conn.send_error(request_id, ErrorCode::Malformed, reason);
+                send_error(&*conn, request_id, ErrorCode::Malformed, reason);
                 if !recoverable {
                     break;
                 }
@@ -505,13 +686,18 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     // Drain: answered requests may still be in flight; give workers a
     // bounded window to finish before the connection closes.
     let drain_start = Instant::now();
-    while conn.outstanding.load(Ordering::SeqCst) > 0 && drain_start.elapsed() < DRAIN_CAP {
+    while conn.outstanding().load(Ordering::SeqCst) > 0 && drain_start.elapsed() < DRAIN_CAP {
         std::thread::sleep(Duration::from_millis(1));
     }
+    shared
+        .stats
+        .active_connections
+        .fetch_sub(1, Ordering::Relaxed);
 }
 
-/// Validates a decoded request and runs admission control.
-fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
+/// Validates a decoded request and runs admission control; shared by both
+/// I/O paths. `home` is the connection's home shard.
+pub(crate) fn admit(req: InferRequest, conn: &Arc<dyn ReplyTo>, home: usize, shared: &Shared) {
     Stats::bump(&shared.stats.received);
     let id = req.request_id;
 
@@ -519,7 +705,8 @@ fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
         Ok(m) => m,
         Err(RegistryError::UnknownModel(_)) => {
             Stats::bump(&shared.stats.rejected_unknown_model);
-            conn.send_error(
+            send_error(
+                &**conn,
                 id,
                 ErrorCode::UnknownModel,
                 format!("model {}", req.model_id),
@@ -530,13 +717,13 @@ fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
             // A registered model failed to (re)compile — an internal
             // fault, not a client mistake.
             Stats::bump(&shared.stats.failed);
-            conn.send_error(id, ErrorCode::Internal, e.to_string());
+            send_error(&**conn, id, ErrorCode::Internal, e.to_string());
             return;
         }
     };
     if req.values.iter().any(|v| !v.is_finite()) {
         Stats::bump(&shared.stats.failed);
-        conn.send_error(id, ErrorCode::BadInput, "non-finite input values");
+        send_error(&**conn, id, ErrorCode::BadInput, "non-finite input values");
         return;
     }
     let shape: Vec<usize> = req.shape.iter().map(|&d| d as usize).collect();
@@ -544,7 +731,7 @@ fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
         Ok(t) => t,
         Err(e) => {
             Stats::bump(&shared.stats.failed);
-            conn.send_error(id, ErrorCode::BadInput, e.to_string());
+            send_error(&**conn, id, ErrorCode::BadInput, e.to_string());
             return;
         }
     };
@@ -553,7 +740,8 @@ fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
         // Fail fast instead of burning a queue slot on a doomed request.
         if !model.supported_lengths().contains(&len) {
             Stats::bump(&shared.stats.failed);
-            conn.send_error(
+            send_error(
+                &**conn,
                 id,
                 ErrorCode::BadInput,
                 format!(
@@ -571,9 +759,10 @@ fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
     } else {
         Duration::from_micros(u64::from(req.deadline_micros))
     };
+    let model_id = req.model_id;
     let pending = Pending {
         id,
-        model_id: req.model_id,
+        model_id,
         model,
         input,
         stream_len,
@@ -587,48 +776,51 @@ fn admit(req: InferRequest, conn: &Arc<ConnShared>, shared: &Arc<Shared>) {
     // one model's burst is rejected while other models still get slots.
     let gate = shared
         .gates
-        .get(&req.model_id)
+        .get(&model_id)
         .expect("gate exists for every registered model");
     if gate.fetch_add(1, Ordering::SeqCst) >= shared.model_share {
         gate.fetch_sub(1, Ordering::SeqCst);
         Stats::bump(&shared.stats.rejected_model_budget);
-        conn.send_error(
+        send_error(
+            &**conn,
             id,
             ErrorCode::Overloaded,
-            format!("model {} admission budget exhausted", req.model_id),
+            format!("model {model_id} admission budget exhausted"),
         );
         return;
     }
 
     // The reply (wherever it comes from) decrements `outstanding`, so the
     // increment must precede the push.
-    conn.outstanding.fetch_add(1, Ordering::SeqCst);
-    match shared.queue.try_push(pending) {
+    conn.outstanding().fetch_add(1, Ordering::SeqCst);
+    match shared.queue.try_push(pending, home) {
         Ok(()) => Stats::bump(&shared.stats.accepted),
-        Err(PushError::Full(p)) => {
-            shared.release_gate(p.model_id);
-            conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+        Err(ShardPush::Full) => {
+            shared.release_gate(model_id);
+            conn.outstanding().fetch_sub(1, Ordering::SeqCst);
             Stats::bump(&shared.stats.rejected_overload);
-            conn.send_error(id, ErrorCode::Overloaded, "request queue full");
+            send_error(&**conn, id, ErrorCode::Overloaded, "request queue full");
         }
-        Err(PushError::Closed(p)) => {
-            shared.release_gate(p.model_id);
-            conn.outstanding.fetch_sub(1, Ordering::SeqCst);
-            conn.send_error(id, ErrorCode::ShuttingDown, "server shutting down");
+        Err(ShardPush::Closed) => {
+            shared.release_gate(model_id);
+            conn.outstanding().fetch_sub(1, Ordering::SeqCst);
+            Stats::bump(&shared.stats.rejected_shutdown);
+            send_error(&**conn, id, ErrorCode::ShuttingDown, "server shutting down");
         }
     }
 }
 
 // --- workers --------------------------------------------------------------
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
     let engine = build_engine(&shared.cfg).expect("config validated at startup");
+    let home = index % shared.queue.shards();
     loop {
-        match shared.queue.pop_timeout(POLL) {
-            PopResult::Drained => break,
-            PopResult::TimedOut => continue,
-            PopResult::Item(first) => {
-                let batch = collect_batch(first, shared);
+        match shared.queue.pop(home, POLL) {
+            ShardPop::Drained => break,
+            ShardPop::TimedOut => continue,
+            ShardPop::Item(first) => {
+                let batch = collect_batch(first, home, shared);
                 execute_batch(batch, &engine, shared);
             }
         }
@@ -637,7 +829,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 /// Collects up to `batch_max` requests, waiting at most `batch_wait` past
 /// the first one.
-fn collect_batch(first: Pending, shared: &Arc<Shared>) -> Vec<Pending> {
+fn collect_batch(first: Pending, home: usize, shared: &Arc<Shared>) -> Vec<Pending> {
     let cfg = &shared.cfg;
     let mut batch = vec![first];
     if cfg.batch_max > 1 {
@@ -647,9 +839,9 @@ fn collect_batch(first: Pending, shared: &Arc<Shared>) -> Vec<Pending> {
             if now >= horizon {
                 break;
             }
-            match shared.queue.pop_timeout(horizon - now) {
-                PopResult::Item(r) => batch.push(r),
-                PopResult::TimedOut | PopResult::Drained => break,
+            match shared.queue.pop(home, horizon - now) {
+                ShardPop::Item(r) => batch.push(r),
+                ShardPop::TimedOut | ShardPop::Drained => break,
             }
         }
     }
@@ -670,12 +862,13 @@ fn execute_batch(batch: Vec<Pending>, engine: &BatchEngine, shared: &Arc<Shared>
     for p in batch {
         if dequeued > p.deadline {
             Stats::bump(&shared.stats.expired);
-            p.conn.send_error(
+            send_error(
+                &*p.conn,
                 p.id,
                 ErrorCode::DeadlineExceeded,
                 "deadline expired in queue",
             );
-            p.conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+            p.conn.outstanding().fetch_sub(1, Ordering::SeqCst);
         } else {
             live.push(p);
         }
@@ -739,10 +932,10 @@ fn execute_batch(batch: Vec<Pending>, engine: &BatchEngine, shared: &Arc<Shared>
                         }
                         Err(e) => {
                             Stats::bump(&shared.stats.failed);
-                            p.conn.send_error(p.id, ErrorCode::BadInput, e.to_string());
+                            send_error(&*p.conn, p.id, ErrorCode::BadInput, e.to_string());
                         }
                     }
-                    p.conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+                    p.conn.outstanding().fetch_sub(1, Ordering::SeqCst);
                 }
             }
             Err(e) => {
@@ -751,8 +944,8 @@ fn execute_batch(batch: Vec<Pending>, engine: &BatchEngine, shared: &Arc<Shared>
                 let msg = e.to_string();
                 for p in &group {
                     Stats::bump(&shared.stats.failed);
-                    p.conn.send_error(p.id, ErrorCode::Internal, msg.clone());
-                    p.conn.outstanding.fetch_sub(1, Ordering::SeqCst);
+                    send_error(&*p.conn, p.id, ErrorCode::Internal, msg.clone());
+                    p.conn.outstanding().fetch_sub(1, Ordering::SeqCst);
                 }
             }
         }

@@ -59,6 +59,33 @@ pub struct Stats {
     pub plan_kernel: AtomicU64,
     /// Tile width of that plan (0 until the first micro-batch runs).
     pub plan_tile: AtomicU64,
+    /// `ShuttingDown` rejections (request arrived after the queue closed).
+    pub rejected_shutdown: AtomicU64,
+    /// Currently open client connections (gauge: incremented on accept,
+    /// decremented on close).
+    pub active_connections: AtomicU64,
+    /// Highest concurrent open-connection count observed.
+    pub active_connections_hwm: AtomicU64,
+    /// Connections accepted since startup.
+    pub conns_opened: AtomicU64,
+    /// Idle connections closed by the reactor's idle timeout.
+    pub idle_reaped: AtomicU64,
+}
+
+/// Queue- and I/O-layer gauges owned by the queue/reactor rather than the
+/// [`Stats`] atomics, sampled by the caller at snapshot time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueGauges {
+    /// Highest total queue depth observed.
+    pub queue_depth_hwm: u64,
+    /// Admission-queue shard count.
+    pub shards: u64,
+    /// Highest single-shard depth observed.
+    pub shard_depth_hwm: u64,
+    /// Cross-shard steals performed by workers.
+    pub queue_steals: u64,
+    /// 1 when the readiness reactor drives I/O, 0 for the threaded path.
+    pub reactor_mode: u64,
 }
 
 impl Stats {
@@ -72,10 +99,19 @@ impl Stats {
         counter.fetch_add(v, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy; `queue_depth_hwm` is owned by the queue and
-    /// `dedup` by the model cache (both gauges, sampled by the caller at
-    /// snapshot time), so they are passed in.
-    pub fn snapshot(&self, queue_depth_hwm: u64, dedup: DedupStats) -> StatsSnapshot {
+    /// Records a newly accepted connection: bumps the open/total counters
+    /// and advances the concurrent-connection high-water mark.
+    pub fn connection_opened(&self) {
+        Stats::bump(&self.conns_opened);
+        let now = self.active_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.active_connections_hwm
+            .fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy; queue/reactor gauges are owned by the queue
+    /// and `dedup` by the model cache (sampled by the caller at snapshot
+    /// time), so they are passed in.
+    pub fn snapshot(&self, gauges: QueueGauges, dedup: DedupStats) -> StatsSnapshot {
         StatsSnapshot {
             received: self.received.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
@@ -86,7 +122,7 @@ impl Stats {
             rejected_model_budget: self.rejected_model_budget.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
-            queue_depth_hwm,
+            queue_depth_hwm: gauges.queue_depth_hwm,
             queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
             service_ns: self.service_ns.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -104,6 +140,15 @@ impl Stats {
             index_bytes: dedup.index_bytes,
             materialized_bytes: dedup.materialized_bytes,
             resident_bytes: dedup.resident_bytes,
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            shards: gauges.shards,
+            shard_depth_hwm: gauges.shard_depth_hwm,
+            queue_steals: gauges.queue_steals,
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            active_connections_hwm: self.active_connections_hwm.load(Ordering::Relaxed),
+            conns_opened: self.conns_opened.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+            reactor_mode: gauges.reactor_mode,
         }
     }
 
@@ -144,11 +189,28 @@ mod tests {
             resident_bytes: 576,
             materialized_bytes: 2048,
         };
-        let snap = s.snapshot(5, dedup);
+        Stats::bump(&s.rejected_shutdown);
+        s.connection_opened();
+        let gauges = QueueGauges {
+            queue_depth_hwm: 5,
+            shards: 2,
+            shard_depth_hwm: 3,
+            queue_steals: 4,
+            reactor_mode: 1,
+        };
+        let snap = s.snapshot(gauges, dedup);
         assert_eq!(snap.received, 1);
         assert_eq!(snap.accepted, 1);
         assert_eq!(snap.queue_wait_ns, 250);
         assert_eq!(snap.queue_depth_hwm, 5);
+        assert_eq!(snap.shards, 2);
+        assert_eq!(snap.shard_depth_hwm, 3);
+        assert_eq!(snap.queue_steals, 4);
+        assert_eq!(snap.reactor_mode, 1);
+        assert_eq!(snap.rejected_shutdown, 1);
+        assert_eq!(snap.conns_opened, 1);
+        assert_eq!(snap.active_connections, 1);
+        assert_eq!(snap.active_connections_hwm, 1);
         assert_eq!(snap.distinct_streams, 4);
         assert_eq!(snap.pool_bytes, 512);
         assert_eq!(snap.index_bytes, 64);
@@ -169,7 +231,7 @@ mod tests {
         };
         s.absorb_kernel(&k);
         s.absorb_kernel(&k);
-        let snap = s.snapshot(0, DedupStats::default());
+        let snap = s.snapshot(QueueGauges::default(), DedupStats::default());
         assert_eq!(snap.mac_lanes, 200);
         assert_eq!(snap.sat_group_exits, 8);
         assert_eq!(snap.sat_lanes_skipped, 40);

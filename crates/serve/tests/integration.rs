@@ -14,7 +14,7 @@ use acoustic_nn::Tensor;
 use acoustic_runtime::{BatchEngine, ModelCache, PreparedModel, ReadyRequest};
 use acoustic_serve::protocol::{ErrorCode, Frame, InferRequest, StatsSnapshot};
 use acoustic_serve::{
-    Client, InferReply, ModelRegistry, ModelSpec, ServeConfig, Server, ServerHandle,
+    Client, InferReply, IoModel, ModelRegistry, ModelSpec, ServeConfig, Server, ServerHandle,
 };
 use acoustic_simfunc::SimConfig;
 
@@ -57,6 +57,18 @@ fn start(stream_len: usize, cfg: ServeConfig) -> (ServerHandle, Arc<PreparedMode
     .unwrap();
     let handle = Server::start("127.0.0.1:0", registry, cfg).unwrap();
     (handle, golden)
+}
+
+/// Every way a received request can leave the server. The drain invariant
+/// is `drain_accounted(stats) == stats.received` once all I/O has settled.
+fn drain_accounted(stats: &StatsSnapshot) -> u64 {
+    stats.completed
+        + stats.rejected_overload
+        + stats.rejected_model_budget
+        + stats.rejected_unknown_model
+        + stats.rejected_shutdown
+        + stats.expired
+        + stats.failed
 }
 
 fn request(id: u64, img: &Tensor) -> InferRequest {
@@ -449,11 +461,7 @@ fn graceful_shutdown_answers_everything_admitted() {
     // worked; the contract is that every admitted request is answered.
     std::thread::sleep(Duration::from_millis(100));
     let stats = handle.shutdown();
-    assert_eq!(
-        stats.completed + stats.rejected_overload + stats.expired,
-        stats.received,
-        "{stats:?}"
-    );
+    assert_eq!(drain_accounted(&stats), stats.received, "{stats:?}");
 
     let mut answered = 0u64;
     while answered < stats.received {
@@ -466,4 +474,183 @@ fn graceful_shutdown_answers_everything_admitted() {
             ),
         }
     }
+}
+
+#[test]
+fn reactor_and_threaded_paths_are_bit_identical() {
+    // The same request stream through both I/O paths must produce the
+    // same bytes — and both must match direct engine evaluation.
+    let images = tiny_images(4);
+    let engine = BatchEngine::new(1).unwrap();
+    let mut per_path: Vec<Vec<Vec<u32>>> = Vec::new();
+
+    for io in [IoModel::Reactor, IoModel::Threaded] {
+        if io == IoModel::Reactor && !acoustic_net::Poller::supported() {
+            return; // no readiness support on this host; nothing to compare
+        }
+        let (handle, golden) = start(
+            128,
+            ServeConfig {
+                workers: 2,
+                io,
+                default_deadline: Duration::from_secs(30),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(handle.reactor_active(), io == IoModel::Reactor);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let mut bits: Vec<Vec<u32>> = Vec::new();
+        for id in 0..8u64 {
+            match client
+                .infer(request(id, &images[(id % 4) as usize]))
+                .unwrap()
+            {
+                InferReply::Ok(r) => {
+                    let gold = engine
+                        .run_ready(
+                            &golden,
+                            &[ReadyRequest {
+                                image_index: id,
+                                input: &images[(id % 4) as usize],
+                                stream_len: None,
+                                margin: None,
+                            }],
+                        )
+                        .unwrap()
+                        .remove(0)
+                        .unwrap();
+                    let gold_bits: Vec<u32> =
+                        gold.logits.as_slice().iter().map(|v| v.to_bits()).collect();
+                    let got_bits: Vec<u32> = r.logits.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(gold_bits, got_bits, "io {io:?} id {id}");
+                    bits.push(got_bits);
+                }
+                InferReply::Err(e) => panic!("io {io:?} id {id} failed: {e:?}"),
+            }
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.reactor_mode, u64::from(io == IoModel::Reactor));
+        assert_eq!(drain_accounted(&stats), stats.received, "{stats:?}");
+        per_path.push(bits);
+    }
+    assert_eq!(per_path[0], per_path[1], "I/O paths disagree bit-for-bit");
+}
+
+#[test]
+fn many_persistent_connections_share_one_reactor() {
+    if !acoustic_net::Poller::supported() {
+        return;
+    }
+    const CONNS: usize = 64;
+    const PER_CONN: u64 = 3;
+    let (handle, golden) = start(
+        64,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 256,
+            io: IoModel::Reactor,
+            default_deadline: Duration::from_secs(60),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let images = tiny_images(4);
+
+    let replies: Vec<(u64, Vec<u32>)> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..CONNS as u64 {
+            let images = &images;
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut got = Vec::new();
+                for k in 0..PER_CONN {
+                    let id = c + CONNS as u64 * k;
+                    match client
+                        .infer(request(id, &images[(id % 4) as usize]))
+                        .unwrap()
+                    {
+                        InferReply::Ok(r) => {
+                            got.push((id, r.logits.iter().map(|v| v.to_bits()).collect()))
+                        }
+                        InferReply::Err(e) => panic!("conn {c} id {id}: {e:?}"),
+                    }
+                }
+                got
+            }));
+        }
+        joins.into_iter().flat_map(|j| j.join().unwrap()).collect()
+    });
+    assert_eq!(replies.len(), CONNS * PER_CONN as usize);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, (CONNS as u64) * PER_CONN);
+    assert!(stats.conns_opened >= CONNS as u64, "{stats:?}");
+    assert!(stats.active_connections_hwm >= CONNS as u64, "{stats:?}");
+    assert_eq!(stats.reactor_mode, 1);
+    assert_eq!(drain_accounted(&stats), stats.received, "{stats:?}");
+
+    // Spot-check bit-exactness on a sample of the replies.
+    let engine = BatchEngine::new(1).unwrap();
+    for (id, got_bits) in replies.iter().filter(|(id, _)| id % 37 == 0) {
+        let gold = engine
+            .run_ready(
+                &golden,
+                &[ReadyRequest {
+                    image_index: *id,
+                    input: &images[(id % 4) as usize],
+                    stream_len: None,
+                    margin: None,
+                }],
+            )
+            .unwrap()
+            .remove(0)
+            .unwrap();
+        let gold_bits: Vec<u32> = gold.logits.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(&gold_bits, got_bits, "id {id}");
+    }
+}
+
+#[test]
+fn shard_and_connection_gauges_travel_over_the_wire() {
+    let (handle, _golden) = start(
+        64,
+        ServeConfig {
+            workers: 3,
+            shards: 3,
+            default_deadline: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    );
+    let images = tiny_images(2);
+
+    // Two sequential connections, a handful of requests each.
+    for _ in 0..2 {
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for id in 0..4u64 {
+            match client
+                .infer(request(id, &images[(id % 2) as usize]))
+                .unwrap()
+            {
+                InferReply::Ok(_) => {}
+                InferReply::Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+    }
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let snap: StatsSnapshot = client.stats(500).unwrap();
+    assert_eq!(snap.shards, 3);
+    assert_eq!(snap.completed, 8);
+    assert!(snap.conns_opened >= 3, "{snap:?}");
+    assert!(snap.active_connections >= 1, "{snap:?}");
+    assert!(
+        snap.shard_depth_hwm <= snap.queue_depth_hwm.max(1),
+        "{snap:?}"
+    );
+    assert_eq!(
+        snap.reactor_mode,
+        u64::from(handle.reactor_active()),
+        "{snap:?}"
+    );
+    handle.shutdown();
 }

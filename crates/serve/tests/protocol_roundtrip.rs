@@ -105,6 +105,15 @@ fn stats_frames_roundtrip() {
         resident_bytes: 25,
         plan_kernel: 3,
         plan_tile: 32,
+        rejected_shutdown: 33,
+        shards: 34,
+        shard_depth_hwm: 35,
+        queue_steals: 36,
+        active_connections: 37,
+        active_connections_hwm: 40,
+        conns_opened: 38,
+        idle_reaped: 39,
+        reactor_mode: 1,
     };
     let resp = Frame::StatsResponse(55, snap);
     assert_eq!(roundtrip(&resp), resp);

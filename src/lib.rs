@@ -13,6 +13,7 @@
 //! | [`arch`] | `acoustic-arch` | ISA, assembler, compiler, performance simulator, area/power models |
 //! | [`baselines`] | `acoustic-baselines` | Eyeriss / SCOPE / MDL-CNN / Conv-RAM and MUX/APC comparators |
 //! | [`runtime`] | `acoustic-runtime` | Deterministic parallel batch-inference engine: prepared-model cache, worker pool, throughput reports |
+//! | [`net`] | `acoustic-net` | Std-only non-blocking I/O substrate: readiness polling, sharded work-stealing queues, CPU topology probing |
 //! | [`serve`] | `acoustic-serve` | Std-only TCP inference server: binary wire protocol, admission control, deadlines, micro-batching, load generator |
 //!
 //! # Quickstart: one stochastic dot product, two ways
@@ -55,6 +56,7 @@ pub use acoustic_arch as arch;
 pub use acoustic_baselines as baselines;
 pub use acoustic_core as core;
 pub use acoustic_datasets as datasets;
+pub use acoustic_net as net;
 pub use acoustic_nn as nn;
 pub use acoustic_runtime as runtime;
 pub use acoustic_serve as serve;
