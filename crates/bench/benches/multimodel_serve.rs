@@ -4,10 +4,11 @@
 //! the acoustic-train pipeline, writes them into `results/zoo/`, serves
 //! all of them from one server process whose `ModelCache` byte budget is
 //! deliberately too small for the whole zoo, and replays mixed Poisson
-//! traffic against it. The budget forces LRU evictions mid-run; evicted
-//! models recompile on demand, so every accepted response must still be
-//! bit-identical to direct engine evaluation — any mismatch or silently
-//! dropped reply aborts the bench.
+//! traffic against it. The budget forces LRU evictions mid-run; requests
+//! for an evicted model bounce with a typed `Warming` reply while the
+//! background prepare thread recompiles it, and every accepted response
+//! must still be bit-identical to direct engine evaluation — any mismatch
+//! or silently dropped reply aborts the bench.
 //!
 //! Records per-model offered/completed/rejected counts, p50/p99 latency,
 //! goodput and eviction counts into `results/BENCH_multimodel.json` in the
@@ -20,7 +21,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acoustic_bench::harness::json_string;
-use acoustic_runtime::{BatchEngine, ModelCache, PreparedModel};
+use acoustic_net::Topology;
+use acoustic_runtime::{BatchEngine, HostFingerprint, ModelCache, PreparedModel};
+use acoustic_serve::protocol::StatsSnapshot;
 use acoustic_serve::{
     run_load_mix, summarize_mix, validate_responses_mix, LoadGenConfig, ModelLoadReport,
     ModelRegistry, ModelTraffic, ServeConfig, Server,
@@ -192,13 +195,14 @@ fn main() {
             .unwrap()
             .1;
         println!(
-            "{} (id {}): offered {} completed {} rejected {} | p50/p99 {}/{} us | \
+            "{} (id {}): offered {} completed {} rejected {} warming {} | p50/p99 {}/{} us | \
              goodput {:.1} QPS | evictions {}",
             model.slug(),
             r.model_id,
             r.offered,
             r.completed,
             r.rejected_overload,
+            r.warming,
             r.p50_us,
             r.p99_us,
             r.goodput_qps,
@@ -206,11 +210,15 @@ fn main() {
         );
     }
     println!(
-        "cache: budget {} / zoo {} bytes, {} total evictions, {} model-budget rejections",
+        "cache: budget {} / zoo {} bytes, {} total evictions, {} model-budget rejections, \
+         {} warming bounces, {} background prepares ({} ms)",
         budget,
         total_bytes,
         cache.evictions(),
-        stats.rejected_model_budget
+        stats.rejected_model_budget,
+        stats.rejected_warming,
+        stats.prepares_completed,
+        stats.prepare_ms_total
     );
 
     let json = to_json(
@@ -219,7 +227,7 @@ fn main() {
         budget,
         total_bytes,
         cache.evictions(),
-        stats.rejected_model_budget,
+        &stats,
         &reports,
         &evictions,
     );
@@ -238,7 +246,7 @@ fn to_json(
     budget: usize,
     zoo_bytes: usize,
     total_evictions: u64,
-    model_budget_rejections: u64,
+    stats: &StatsSnapshot,
     reports: &[ModelLoadReport],
     evictions: &[(u32, u64)],
 ) -> String {
@@ -265,12 +273,30 @@ fn to_json(
     let _ = writeln!(out, "    \"zoo_bytes\": {zoo_bytes},");
     let _ = writeln!(out, "    \"quick\": {quick}");
     out.push_str("  },\n");
+    let topology = Topology::detect();
+    out.push_str("  \"host\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"fingerprint\": {},",
+        HostFingerprint::detect().json()
+    );
+    let _ = writeln!(out, "    \"topology\": {},", topology.json());
+    let _ = writeln!(out, "    \"topology_id\": \"{:#018x}\"", topology.id());
+    out.push_str("  },\n");
     out.push_str("  \"metrics\": {\n");
     let _ = writeln!(out, "    \"total_evictions\": {total_evictions},");
     let _ = writeln!(
         out,
-        "    \"model_budget_rejections\": {model_budget_rejections},"
+        "    \"model_budget_rejections\": {},",
+        stats.rejected_model_budget
     );
+    let _ = writeln!(out, "    \"rejected_warming\": {},", stats.rejected_warming);
+    let _ = writeln!(
+        out,
+        "    \"prepares_completed\": {},",
+        stats.prepares_completed
+    );
+    let _ = writeln!(out, "    \"prepare_ms_total\": {},", stats.prepare_ms_total);
     let _ = writeln!(out, "    \"mismatches\": 0,");
     out.push_str("    \"per_model\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -281,13 +307,15 @@ fn to_json(
         let _ = write!(
             out,
             "      {{\"model_id\": {}, \"offered\": {}, \"completed\": {}, \
-             \"rejected_overload\": {}, \"deadline_exceeded\": {}, \"p50_us\": {}, \
-             \"p99_us\": {}, \"goodput_qps\": {:.2}, \"evictions\": {}, \"dropped\": 0}}",
+             \"rejected_overload\": {}, \"deadline_exceeded\": {}, \"warming\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"goodput_qps\": {:.2}, \"evictions\": {}, \
+             \"dropped\": 0}}",
             r.model_id,
             r.offered,
             r.completed,
             r.rejected_overload,
             r.deadline_exceeded,
+            r.warming,
             r.p50_us,
             r.p99_us,
             r.goodput_qps,

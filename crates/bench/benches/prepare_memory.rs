@@ -23,10 +23,15 @@
 //! Writes `results/BENCH_prepare.json`.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use acoustic_bench::harness::json_string;
-use acoustic_simfunc::{DedupStats, ScSimulator, SimConfig, WeightStorage};
+use acoustic_net::Topology;
+use acoustic_simfunc::{
+    DedupStats, HostFingerprint, PrepareOptions, ScSimulator, SharedStreamPool, SimConfig,
+    WeightStorage,
+};
 use acoustic_train::ZooModel;
 
 struct ModelPoint {
@@ -37,6 +42,28 @@ struct ModelPoint {
     /// Actual materialized allocation when it was prepared for real;
     /// `None` when the materialized side is analytic only.
     measured_materialized: Option<u64>,
+}
+
+/// One thread count of the parallel-prepare sweep.
+struct SweepPoint {
+    threads: usize,
+    prepare_secs: f64,
+}
+
+/// The `prepare_parallel` section: a threads sweep plus a shared-pool
+/// cold/warm re-prepare pair, all on the heaviest model of the run and
+/// all bit-identity-checked against the serial prepare before any timing
+/// is reported.
+struct ParallelSection {
+    model: &'static str,
+    stream_len: usize,
+    digest: u64,
+    sweep: Vec<SweepPoint>,
+    shared_cold_secs: f64,
+    shared_warm_secs: f64,
+    warm_speedup: f64,
+    layer_hits: u64,
+    stream_hits: u64,
 }
 
 struct Args {
@@ -177,7 +204,18 @@ fn main() {
         });
     }
 
-    let json = to_json(args.quick, &points);
+    // Parallel-prepare sweep on the heaviest model of the run: the
+    // models[] numbers above keep their single-compile (auto-thread)
+    // semantics, while this section isolates the threads axis and the
+    // shared-pool warm-re-prepare win.
+    let rep = points
+        .iter()
+        .max_by(|a, b| a.prepare_secs.total_cmp(&b.prepare_secs))
+        .map(|p| ZooModel::from_slug(p.slug).expect("point slug is a zoo slug"))
+        .expect("at least one model");
+    let parallel = parallel_section(rep, args.stream_len, args.quick);
+
+    let json = to_json(args.quick, &points, &parallel);
     if args.quick {
         println!("--quick run: skipping results file\n{json}");
     } else {
@@ -190,11 +228,116 @@ fn main() {
     }
 }
 
-fn to_json(quick: bool, points: &[ModelPoint]) -> String {
+/// Runs the threads sweep and the shared-pool cold/warm pair on `model`,
+/// asserting bit-identity of every prepare against the serial one before
+/// any timing is reported. Outside `--quick`, the warm re-prepare must be
+/// at least 1.5x faster than the cold one (the layer tier's whole point).
+fn parallel_section(model: ZooModel, stream_len: usize, quick: bool) -> ParallelSection {
+    let net = model.network().expect("zoo network builds");
+    let base = SimConfig::with_stream_len(stream_len).expect("valid stream length");
+    let sim = ScSimulator::new(SimConfig {
+        weight_storage: WeightStorage::Pooled,
+        ..base
+    });
+
+    let mut digest = None;
+    let mut sweep = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let opts = PrepareOptions {
+            threads,
+            ..PrepareOptions::default()
+        };
+        let t = Instant::now();
+        let prepared = sim.prepare_with(&net, &opts).expect("parallel prepare");
+        let prepare_secs = t.elapsed().as_secs_f64();
+        let d = prepared.content_digest();
+        assert_eq!(
+            *digest.get_or_insert(d),
+            d,
+            "{}: threads={threads} prepare diverged from serial",
+            model.slug()
+        );
+        println!(
+            "{:<12} parallel threads {}: prepared in {:.2}s (digest {:#018x})",
+            model.slug(),
+            threads,
+            prepare_secs,
+            d,
+        );
+        sweep.push(SweepPoint {
+            threads,
+            prepare_secs,
+        });
+    }
+    let digest = digest.expect("sweep ran");
+
+    let pool = Arc::new(SharedStreamPool::new());
+    let opts = PrepareOptions {
+        threads: 1,
+        shared_pool: Some(Arc::clone(&pool)),
+    };
+    let t = Instant::now();
+    let cold = sim
+        .prepare_with(&net, &opts)
+        .expect("shared-pool cold prepare");
+    let shared_cold_secs = t.elapsed().as_secs_f64();
+    assert_eq!(cold.content_digest(), digest, "shared-pool cold diverged");
+    drop(cold);
+    let t = Instant::now();
+    let warm = sim
+        .prepare_with(&net, &opts)
+        .expect("shared-pool warm prepare");
+    let shared_warm_secs = t.elapsed().as_secs_f64();
+    assert_eq!(warm.content_digest(), digest, "shared-pool warm diverged");
+    drop(warm);
+
+    let stats = pool.stats();
+    let warm_speedup = shared_cold_secs / shared_warm_secs.max(1e-9);
+    println!(
+        "{:<12} shared pool: cold {:.2}s, warm {:.2}s ({:.1}x, {} layer hits, {} stream hits)",
+        model.slug(),
+        shared_cold_secs,
+        shared_warm_secs,
+        warm_speedup,
+        stats.layer_hits,
+        stats.stream_hits,
+    );
+    if !quick {
+        assert!(
+            warm_speedup >= 1.5,
+            "{}: warm re-prepare only {warm_speedup:.2}x faster than cold",
+            model.slug()
+        );
+    }
+
+    ParallelSection {
+        model: model.slug(),
+        stream_len,
+        digest,
+        sweep,
+        shared_cold_secs,
+        shared_warm_secs,
+        warm_speedup,
+        layer_hits: stats.layer_hits,
+        stream_hits: stats.stream_hits,
+    }
+}
+
+fn to_json(quick: bool, points: &[ModelPoint], parallel: &ParallelSection) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"name\": {},", json_string("prepare_memory"));
     out.push_str("  \"config\": {\n");
     let _ = writeln!(out, "    \"quick\": {quick}");
+    out.push_str("  },\n");
+    let topology = Topology::detect();
+    out.push_str("  \"host\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"fingerprint\": {},",
+        HostFingerprint::detect().json()
+    );
+    let _ = writeln!(out, "    \"topology\": {},", topology.json());
+    let _ = writeln!(out, "    \"topology_id\": \"{:#018x}\"", topology.id());
     out.push_str("  },\n");
     out.push_str("  \"metrics\": {\n    \"models\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -221,6 +364,37 @@ fn to_json(quick: bool, points: &[ModelPoint]) -> String {
         );
         out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
-    out.push_str("    ]\n  }\n}\n");
+    out.push_str("    ],\n");
+    out.push_str("    \"prepare_parallel\": {\n");
+    let _ = writeln!(out, "      \"model\": {},", json_string(parallel.model));
+    let _ = writeln!(out, "      \"stream_len\": {},", parallel.stream_len);
+    let _ = writeln!(out, "      \"digest\": \"{:#018x}\",", parallel.digest);
+    out.push_str("      \"sweep\": [\n");
+    for (i, s) in parallel.sweep.iter().enumerate() {
+        let _ = write!(
+            out,
+            "        {{\"threads\": {}, \"prepare_secs\": {:.6}}}",
+            s.threads, s.prepare_secs
+        );
+        out.push_str(if i + 1 < parallel.sweep.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("      ],\n");
+    out.push_str("      \"shared_pool\": {\n");
+    let _ = writeln!(
+        out,
+        "        \"cold_secs\": {:.6}, \"warm_secs\": {:.6}, \"warm_speedup\": {:.4},",
+        parallel.shared_cold_secs, parallel.shared_warm_secs, parallel.warm_speedup
+    );
+    let _ = writeln!(
+        out,
+        "        \"layer_hits\": {}, \"stream_hits\": {}",
+        parallel.layer_hits, parallel.stream_hits
+    );
+    out.push_str("      }\n");
+    out.push_str("    }\n  }\n}\n");
     out
 }

@@ -54,10 +54,15 @@ pub mod prepared;
 pub mod report;
 pub mod rt_error;
 
-pub use acoustic_simfunc::{DedupStats, HostFingerprint, KernelKind, TilePlan};
+pub use acoustic_simfunc::{
+    DedupStats, HostFingerprint, KernelKind, PrepareOptions, SharedPoolStats, SharedStreamPool,
+    TilePlan, PREPARE_THREADS_ENV,
+};
 pub use engine::{BatchEngine, ReadyOutcome, ReadyRequest};
 pub use policy::{logit_margin, ExitPolicy};
-pub use prepared::{derive_image_seed, ModelCache, PreparedModel, DEFAULT_CACHE_CAPACITY};
+pub use prepared::{
+    derive_image_seed, ModelCache, PrepareStats, PreparedModel, DEFAULT_CACHE_CAPACITY,
+};
 pub use report::{BatchReport, KernelCounters, LayerTiming};
 pub use rt_error::RuntimeError;
 

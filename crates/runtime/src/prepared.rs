@@ -10,14 +10,15 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use acoustic_core::prng::splitmix64;
 use acoustic_nn::layers::Network;
 use acoustic_nn::Tensor;
 use acoustic_simfunc::{
-    DedupStats, HostFingerprint, KernelChoice, PreparedNetwork, ScSimulator, SimConfig, SimError,
-    SimScratch, StepTiming, TilePlan,
+    DedupStats, HostFingerprint, KernelChoice, PrepareOptions, PreparedNetwork, ScSimulator,
+    SharedStreamPool, SimConfig, SimError, SimScratch, StepTiming, TilePlan,
 };
 
 use crate::{ExitPolicy, RuntimeError};
@@ -49,6 +50,9 @@ pub struct PreparedModel {
     prepared: PreparedNetwork,
     fingerprint: u64,
     plan: TilePlan,
+    /// Wall-clock cost of the bank preparation (quantize + stream
+    /// generation; excludes the autotune sweep), in nanoseconds.
+    prepare_ns: u64,
 }
 
 /// The autotuned plan for `(model fingerprint, host fingerprint)`, computed
@@ -81,8 +85,26 @@ impl PreparedModel {
     /// Propagates [`SimError`] for layer arrangements the SC datapath
     /// cannot execute.
     pub fn compile(cfg: SimConfig, network: &Network) -> Result<Self, RuntimeError> {
+        PreparedModel::compile_with(cfg, network, &PrepareOptions::default())
+    }
+
+    /// [`PreparedModel::compile`] with explicit prepare parallelism and
+    /// shared-pool knobs. The result is bit-identical to `compile` for
+    /// every option value (prepare options never affect banks or logits —
+    /// test-enforced in `acoustic-simfunc`); only wall-clock changes.
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedModel::compile`].
+    pub fn compile_with(
+        cfg: SimConfig,
+        network: &Network,
+        opts: &PrepareOptions,
+    ) -> Result<Self, RuntimeError> {
         let sim = ScSimulator::new(cfg);
-        let prepared = sim.prepare(network)?;
+        let started = std::time::Instant::now();
+        let prepared = sim.prepare_with(network, opts)?;
+        let prepare_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let fingerprint = cache_key(network, &cfg);
         let plan = cached_plan(fingerprint, &sim, &prepared);
         Ok(PreparedModel {
@@ -90,7 +112,16 @@ impl PreparedModel {
             prepared,
             fingerprint,
             plan,
+            prepare_ns,
         })
+    }
+
+    /// Wall-clock nanoseconds the bank preparation took (quantization plus
+    /// weight-stream generation; the autotune sweep is excluded). A warm
+    /// re-prepare against a shared pool shows up here as a sharply smaller
+    /// figure — the number the serve stats and the prepare bench surface.
+    pub fn prepare_ns(&self) -> u64 {
+        self.prepare_ns
     }
 
     /// The autotuned (kernel, tile) execution plan chosen at prepare time.
@@ -475,6 +506,32 @@ pub struct ModelCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
     memory_budget: Option<usize>,
+    /// Opt-in process-wide prepare cache shared with every compile this
+    /// cache issues (see [`SharedStreamPool`]): a recompile after eviction
+    /// reuses canonical streams and whole layer artifacts instead of
+    /// regenerating them. Never affects results — banks are bit-identical
+    /// with or without it.
+    shared_pool: Option<Arc<SharedStreamPool>>,
+    /// Prepares finished through this cache (misses that compiled).
+    prepares_completed: AtomicU64,
+    /// Summed [`PreparedModel::prepare_ns`] of those compiles.
+    prepare_ns_total: AtomicU64,
+    /// Compiles currently executing (misses between lock release and
+    /// insert).
+    prepares_in_flight: AtomicU64,
+}
+
+/// Point-in-time prepare accounting of a [`ModelCache`] — the
+/// compile-side twin of [`DedupStats`], surfaced through the serve stats
+/// frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepareStats {
+    /// Prepares finished through the cache since creation.
+    pub prepares_completed: u64,
+    /// Summed wall-clock nanoseconds of those prepares.
+    pub prepare_ns_total: u64,
+    /// Prepares currently executing.
+    pub prepares_in_flight: u64,
 }
 
 #[derive(Debug, Default)]
@@ -521,6 +578,10 @@ impl Default for ModelCache {
             inner: Mutex::default(),
             capacity: DEFAULT_CACHE_CAPACITY,
             memory_budget: None,
+            shared_pool: None,
+            prepares_completed: AtomicU64::new(0),
+            prepare_ns_total: AtomicU64::new(0),
+            prepares_in_flight: AtomicU64::new(0),
         }
     }
 }
@@ -564,10 +625,36 @@ impl ModelCache {
             ));
         }
         Ok(ModelCache {
-            inner: Mutex::default(),
             capacity,
             memory_budget,
+            ..ModelCache::default()
         })
+    }
+
+    /// Attaches a process-wide [`SharedStreamPool`] to every compile this
+    /// cache issues, so recompiles after eviction (and other caches
+    /// sharing the same pool) reuse canonical streams and layer artifacts.
+    /// Results are bit-identical with or without the pool; only prepare
+    /// wall-clock changes.
+    #[must_use]
+    pub fn with_shared_pool(mut self, pool: Arc<SharedStreamPool>) -> Self {
+        self.shared_pool = Some(pool);
+        self
+    }
+
+    /// The attached shared prepare pool, if any.
+    pub fn shared_pool(&self) -> Option<&Arc<SharedStreamPool>> {
+        self.shared_pool.as_ref()
+    }
+
+    /// Point-in-time prepare accounting (completions, summed wall-clock,
+    /// in-flight compiles).
+    pub fn prepare_stats(&self) -> PrepareStats {
+        PrepareStats {
+            prepares_completed: self.prepares_completed.load(Ordering::Relaxed),
+            prepare_ns_total: self.prepare_ns_total.load(Ordering::Relaxed),
+            prepares_in_flight: self.prepares_in_flight.load(Ordering::Relaxed),
+        }
     }
 
     /// Maximum number of retained models.
@@ -633,17 +720,21 @@ impl ModelCache {
         cfg: SimConfig,
         network: &Network,
     ) -> Result<Arc<PreparedModel>, RuntimeError> {
-        let key = (network.fingerprint(), cfg);
-        {
-            let mut inner = self.inner.lock().expect("model cache lock poisoned");
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some((stamp, hit)) = inner.map.get_mut(&key) {
-                *stamp = tick;
-                return Ok(Arc::clone(hit));
-            }
+        if let Some(hit) = self.get_if_cached(&cfg, network) {
+            return Ok(hit);
         }
-        let model = Arc::new(PreparedModel::compile(cfg, network)?);
+        let key = (network.fingerprint(), cfg);
+        let opts = PrepareOptions {
+            threads: 0,
+            shared_pool: self.shared_pool.clone(),
+        };
+        self.prepares_in_flight.fetch_add(1, Ordering::Relaxed);
+        let compiled = PreparedModel::compile_with(cfg, network, &opts);
+        self.prepares_in_flight.fetch_sub(1, Ordering::Relaxed);
+        let model = Arc::new(compiled?);
+        self.prepares_completed.fetch_add(1, Ordering::Relaxed);
+        self.prepare_ns_total
+            .fetch_add(model.prepare_ns(), Ordering::Relaxed);
         let mut inner = self.inner.lock().expect("model cache lock poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -660,6 +751,21 @@ impl ModelCache {
             inner.evict_lru();
         }
         Ok(model)
+    }
+
+    /// The cached prepared model for `(network, cfg)` — refreshing its
+    /// recency — or `None` without compiling anything. Serving layers use
+    /// this peek to answer from warm models instantly while routing cold
+    /// compiles off the request path.
+    pub fn get_if_cached(&self, cfg: &SimConfig, network: &Network) -> Option<Arc<PreparedModel>> {
+        let key = (network.fingerprint(), *cfg);
+        let mut inner = self.inner.lock().expect("model cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(&key).map(|(stamp, hit)| {
+            *stamp = tick;
+            Arc::clone(hit)
+        })
     }
 
     /// Whether `(network, cfg)` is currently cached (does not refresh its
@@ -953,5 +1059,47 @@ mod tests {
         assert!(passes
             .iter()
             .all(|p| p.len() == model.prepared().step_count()));
+    }
+
+    #[test]
+    fn cache_counts_prepares_and_peeks_without_compiling() {
+        let cache = ModelCache::new();
+        let net = small_net();
+        let c = cfg(64);
+        assert!(cache.get_if_cached(&c, &net).is_none());
+        assert_eq!(cache.prepare_stats(), PrepareStats::default());
+
+        let model = cache.get_or_compile(c, &net).unwrap();
+        let stats = cache.prepare_stats();
+        assert_eq!(stats.prepares_completed, 1);
+        assert!(stats.prepare_ns_total > 0);
+        assert_eq!(stats.prepares_in_flight, 0);
+        assert!(model.prepare_ns() > 0);
+
+        // A hit neither compiles nor bumps the counters; the peek sees it.
+        let again = cache.get_or_compile(c, &net).unwrap();
+        assert!(Arc::ptr_eq(&model, &again));
+        assert_eq!(cache.prepare_stats().prepares_completed, 1);
+        assert!(Arc::ptr_eq(&model, &cache.get_if_cached(&c, &net).unwrap()));
+    }
+
+    #[test]
+    fn shared_pool_recompile_is_bit_identical_and_reuses_layers() {
+        let shared = Arc::new(SharedStreamPool::new());
+        let cache = ModelCache::new().with_shared_pool(Arc::clone(&shared));
+        let net = small_net();
+        let c = cfg(64);
+        let first = cache.get_or_compile(c, &net).unwrap();
+        let cold_digest = first.prepared().content_digest();
+        assert_eq!(shared.stats().layer_hits, 0);
+
+        // Evict (clear) and recompile: the layer tier serves every MAC
+        // layer, and the result is bit-identical to the cold compile.
+        cache.clear();
+        let second = cache.get_or_compile(c, &net).unwrap();
+        assert_eq!(second.prepared().content_digest(), cold_digest);
+        assert_eq!(second.dedup_stats(), first.dedup_stats());
+        assert_eq!(shared.stats().layer_hits, 2);
+        assert_eq!(cache.prepare_stats().prepares_completed, 2);
     }
 }

@@ -148,6 +148,7 @@ fn report_and_exit(
     println!("completed          {}", report.completed);
     println!("rejected overload  {}", report.rejected_overload);
     println!("deadline exceeded  {}", report.deadline_exceeded);
+    println!("warming            {}", report.warming);
     println!("other errors       {}", report.other_errors);
     println!("dropped            {}", report.dropped);
     println!(

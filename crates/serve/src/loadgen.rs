@@ -101,6 +101,8 @@ pub struct LoadReport {
     pub rejected_overload: u64,
     /// `DeadlineExceeded` replies.
     pub deadline_exceeded: u64,
+    /// `Warming` bounces (cold model compiling in the background).
+    pub warming: u64,
     /// Any other error reply.
     pub other_errors: u64,
     /// Requests with no reply at all.
@@ -414,12 +416,14 @@ pub fn summarize(outcome: &LoadOutcome, offered: u64) -> LoadReport {
     let mut completed_lat: Vec<Duration> = Vec::new();
     let mut rejected_overload = 0u64;
     let mut deadline_exceeded = 0u64;
+    let mut warming = 0u64;
     let mut other_errors = 0u64;
     for r in &outcome.replies {
         match &r.reply {
             InferReply::Ok(_) => completed_lat.push(r.latency),
             InferReply::Err(e) if e.code == ErrorCode::Overloaded => rejected_overload += 1,
             InferReply::Err(e) if e.code == ErrorCode::DeadlineExceeded => deadline_exceeded += 1,
+            InferReply::Err(e) if e.code == ErrorCode::Warming => warming += 1,
             InferReply::Err(_) => other_errors += 1,
         }
     }
@@ -431,6 +435,7 @@ pub fn summarize(outcome: &LoadOutcome, offered: u64) -> LoadReport {
         completed,
         rejected_overload,
         deadline_exceeded,
+        warming,
         other_errors,
         dropped: outcome.dropped,
         p50_us: percentile_us(&completed_lat, 50.0),
@@ -578,6 +583,8 @@ pub struct ModelLoadReport {
     pub rejected_overload: u64,
     /// `DeadlineExceeded` replies.
     pub deadline_exceeded: u64,
+    /// `Warming` bounces (cold model compiling in the background).
+    pub warming: u64,
     /// Any other error reply.
     pub other_errors: u64,
     /// Requests with no reply at all.
@@ -607,6 +614,7 @@ pub fn summarize_mix(
             let mut lat: Vec<Duration> = Vec::new();
             let mut rejected_overload = 0u64;
             let mut deadline_exceeded = 0u64;
+            let mut warming = 0u64;
             let mut other_errors = 0u64;
             let mut answered = 0u64;
             for r in &outcome.replies {
@@ -622,6 +630,7 @@ pub fn summarize_mix(
                     InferReply::Err(e) if e.code == ErrorCode::DeadlineExceeded => {
                         deadline_exceeded += 1;
                     }
+                    InferReply::Err(e) if e.code == ErrorCode::Warming => warming += 1,
                     InferReply::Err(_) => other_errors += 1,
                 }
             }
@@ -633,6 +642,7 @@ pub fn summarize_mix(
                 completed,
                 rejected_overload,
                 deadline_exceeded,
+                warming,
                 other_errors,
                 dropped: offered.saturating_sub(answered),
                 p50_us: percentile_us(&lat, 50.0),

@@ -63,6 +63,10 @@ pub enum ErrorCode {
     ShuttingDown = 6,
     /// An internal server failure (worker panic, response write error).
     Internal = 7,
+    /// The requested model is registered but cold: its prepare is running
+    /// on the background compile thread, and the request was not queued.
+    /// Retry shortly; warm-model traffic is unaffected.
+    Warming = 8,
 }
 
 impl ErrorCode {
@@ -75,6 +79,7 @@ impl ErrorCode {
             5 => ErrorCode::BadInput,
             6 => ErrorCode::ShuttingDown,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::Warming,
             _ => return None,
         })
     }
@@ -90,6 +95,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::BadInput => "BadInput",
             ErrorCode::ShuttingDown => "ShuttingDown",
             ErrorCode::Internal => "Internal",
+            ErrorCode::Warming => "Warming",
         };
         f.write_str(s)
     }
@@ -145,10 +151,10 @@ pub struct ErrorFrame {
 }
 
 /// Number of `u64` words in a [`StatsSnapshot`] wire payload.
-const STATS_WORDS: usize = 36;
+const STATS_WORDS: usize = 40;
 
 /// A point-in-time server statistics snapshot, servable over the wire.
-/// Payload: 35 × `u64` in field order.
+/// Payload: `STATS_WORDS` × `u64` in field order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Frames received that parsed as inference requests.
@@ -233,6 +239,17 @@ pub struct StatsSnapshot {
     /// 1 when the readiness-reactor I/O path is active, 0 for the
     /// thread-per-connection fallback (gauge).
     pub reactor_mode: u64,
+    /// Requests answered with `Warming` (their model's prepare was still
+    /// running on the background compile thread).
+    pub rejected_warming: u64,
+    /// Model prepares completed by the serving process (warm-up plus
+    /// background recompiles after eviction).
+    pub prepares_completed: u64,
+    /// Summed wall-clock milliseconds of those prepares.
+    pub prepare_ms_total: u64,
+    /// Prepares currently executing on the background compile thread
+    /// (gauge).
+    pub prepares_in_flight: u64,
 }
 
 impl StatsSnapshot {
@@ -313,6 +330,10 @@ impl StatsSnapshot {
             self.idle_reaped,
             self.reactor_mode,
             self.active_connections_hwm,
+            self.rejected_warming,
+            self.prepares_completed,
+            self.prepare_ms_total,
+            self.prepares_in_flight,
         ]
     }
 
@@ -354,12 +375,16 @@ impl StatsSnapshot {
             idle_reaped: w[33],
             reactor_mode: w[34],
             active_connections_hwm: w[35],
+            rejected_warming: w[36],
+            prepares_completed: w[37],
+            prepare_ms_total: w[38],
+            prepares_in_flight: w[39],
         }
     }
 }
 
 /// A decoded protocol frame.
-// The stats variant dominates the enum size (36 gauge words), but stats
+// The stats variant dominates the enum size (40 gauge words), but stats
 // frames are rare one-off exchanges — boxing would cost every match site
 // for a path that is never hot.
 #[allow(clippy::large_enum_variant)]

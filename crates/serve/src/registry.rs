@@ -167,6 +167,24 @@ impl ModelRegistry {
         Ok(self.cache.get_or_compile(entry.cfg, &entry.network)?)
     }
 
+    /// The prepared model registered under `id` when it is warm in the
+    /// cache, `Ok(None)` when it is registered but cold. Never compiles —
+    /// the admission path uses this so a request worker can answer from
+    /// warm models instantly and route cold compiles to the background
+    /// prepare thread instead of stalling on tens of seconds of stream
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] for unregistered ids.
+    pub fn resolve_warm(&self, id: u32) -> Result<Option<Arc<PreparedModel>>, RegistryError> {
+        let entry = self
+            .entries
+            .get(&id)
+            .ok_or(RegistryError::UnknownModel(id))?;
+        Ok(self.cache.get_if_cached(&entry.cfg, &entry.network))
+    }
+
     /// Whether `id` is registered.
     pub fn contains(&self, id: u32) -> bool {
         self.entries.contains_key(&id)

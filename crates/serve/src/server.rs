@@ -37,11 +37,11 @@
 //!   invariant `completed + rejected + expired + failed == received`
 //!   survives both paths.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -293,6 +293,13 @@ pub(crate) struct Shared {
     conn_rr: AtomicUsize,
     /// Whether the reactor path is driving I/O (for the stats gauge).
     reactor_mode: bool,
+    /// Model ids with a background prepare in flight (single-flight dedup:
+    /// the first cold request enqueues the compile, later ones only get
+    /// the `Warming` reply).
+    warming: Mutex<HashSet<u32>>,
+    /// Work channel feeding the background prepare thread. Taken (set to
+    /// `None`) at shutdown so the thread's `recv` disconnects and it exits.
+    prepare_tx: Mutex<Option<mpsc::Sender<u32>>>,
 }
 
 impl Shared {
@@ -320,8 +327,49 @@ impl Shared {
             queue_steals: self.queue.steals(),
             reactor_mode: u64::from(self.reactor_mode),
         };
-        self.stats
-            .snapshot(gauges, self.registry.cache().dedup_totals())
+        self.stats.snapshot(
+            gauges,
+            self.registry.cache().dedup_totals(),
+            self.registry.cache().prepare_stats(),
+        )
+    }
+
+    /// Schedules a background prepare for a cold model, deduplicating
+    /// in-flight compiles per model id. Returns whether the model is (now)
+    /// known to be warming; `false` only when the prepare thread is gone
+    /// (shutdown), in which case the caller falls back to the shutdown
+    /// reject path.
+    fn request_prepare(&self, model_id: u32) -> bool {
+        let mut warming = self.warming.lock().expect("warming set poisoned");
+        if warming.contains(&model_id) {
+            return true;
+        }
+        let tx = self.prepare_tx.lock().expect("prepare channel poisoned");
+        let Some(tx) = tx.as_ref() else {
+            return false;
+        };
+        if tx.send(model_id).is_err() {
+            return false;
+        }
+        warming.insert(model_id);
+        true
+    }
+}
+
+/// Background prepare loop: compiles cold models off the request workers.
+/// One job per distinct model id is in flight at a time (`Shared::warming`
+/// holds the dedup set); the loop exits when the sender side is dropped at
+/// shutdown. A failed compile is dropped from the warming set too, so the
+/// next request for that model re-triggers it (and keeps getting `Warming`
+/// rather than a misleading success).
+fn prepare_loop(shared: &Shared, jobs: &mpsc::Receiver<u32>) {
+    while let Ok(model_id) = jobs.recv() {
+        let _ = shared.registry.resolve(model_id);
+        shared
+            .warming
+            .lock()
+            .expect("warming set poisoned")
+            .remove(&model_id);
     }
 }
 
@@ -384,6 +432,7 @@ impl Server {
             .into_iter()
             .map(|id| (id, AtomicUsize::new(0)))
             .collect();
+        let (prepare_tx, prepare_rx) = mpsc::channel();
         let shared = Arc::new(Shared {
             registry,
             cfg,
@@ -394,8 +443,18 @@ impl Server {
             model_share,
             conn_rr: AtomicUsize::new(0),
             reactor_mode: use_reactor,
+            warming: Mutex::new(HashSet::new()),
+            prepare_tx: Mutex::new(Some(prepare_tx)),
         });
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let preparer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("acoustic-serve-prepare".into())
+                .spawn(move || prepare_loop(&shared, &prepare_rx))
+                .map_err(ServeError::Io)?
+        };
 
         let (acceptor, reactor) = if let Some(waker) = waker.clone() {
             let shared = Arc::clone(&shared);
@@ -443,6 +502,7 @@ impl Server {
             waker,
             workers,
             readers,
+            preparer: Some(preparer),
         })
     }
 }
@@ -457,6 +517,7 @@ pub struct ServerHandle {
     waker: Option<Arc<Waker>>,
     workers: Vec<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    preparer: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -500,6 +561,16 @@ impl ServerHandle {
 
     fn shutdown_impl(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the job sender first lets the background prepare thread
+        // finish its current compile (if any) and exit while the I/O
+        // threads drain; it is joined last.
+        drop(
+            self.shared
+                .prepare_tx
+                .lock()
+                .expect("prepare channel poisoned")
+                .take(),
+        );
         if let Some(waker) = &self.waker {
             waker.wake();
         }
@@ -522,12 +593,19 @@ impl ServerHandle {
         for w in std::mem::take(&mut self.workers) {
             let _ = w.join();
         }
+        if let Some(p) = self.preparer.take() {
+            let _ = p.join();
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || self.reactor.is_some() || !self.workers.is_empty() {
+        if self.acceptor.is_some()
+            || self.reactor.is_some()
+            || !self.workers.is_empty()
+            || self.preparer.is_some()
+        {
             self.shutdown_impl();
         }
     }
@@ -701,8 +779,29 @@ pub(crate) fn admit(req: InferRequest, conn: &Arc<dyn ReplyTo>, home: usize, sha
     Stats::bump(&shared.stats.received);
     let id = req.request_id;
 
-    let model = match shared.registry.resolve(req.model_id) {
-        Ok(m) => m,
+    let model = match shared.registry.resolve_warm(req.model_id) {
+        Ok(Some(m)) => m,
+        Ok(None) => {
+            // Registered but evicted from the cache. Recompiling here
+            // would stall this worker (and, behind it, the connection's
+            // whole parse FIFO) for the full prepare time, so the compile
+            // is handed to the background prepare thread and the client
+            // told to retry.
+            if shared.request_prepare(req.model_id) {
+                Stats::bump(&shared.stats.rejected_warming);
+                send_error(
+                    &**conn,
+                    id,
+                    ErrorCode::Warming,
+                    format!("model {} is warming, retry", req.model_id),
+                );
+            } else {
+                // Prepare thread already gone: shutdown is in progress.
+                Stats::bump(&shared.stats.rejected_shutdown);
+                send_error(&**conn, id, ErrorCode::ShuttingDown, "server shutting down");
+            }
+            return;
+        }
         Err(RegistryError::UnknownModel(_)) => {
             Stats::bump(&shared.stats.rejected_unknown_model);
             send_error(
@@ -714,8 +813,7 @@ pub(crate) fn admit(req: InferRequest, conn: &Arc<dyn ReplyTo>, home: usize, sha
             return;
         }
         Err(e) => {
-            // A registered model failed to (re)compile — an internal
-            // fault, not a client mistake.
+            // Registry faults other than "unknown id" are internal.
             Stats::bump(&shared.stats.failed);
             send_error(&**conn, id, ErrorCode::Internal, e.to_string());
             return;

@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use acoustic_runtime::DedupStats;
+use acoustic_runtime::{DedupStats, PrepareStats};
 
 use crate::protocol::StatsSnapshot;
 
@@ -70,6 +70,9 @@ pub struct Stats {
     pub conns_opened: AtomicU64,
     /// Idle connections closed by the reactor's idle timeout.
     pub idle_reaped: AtomicU64,
+    /// `Warming` rejections (the model's prepare was still running on the
+    /// background compile thread).
+    pub rejected_warming: AtomicU64,
 }
 
 /// Queue- and I/O-layer gauges owned by the queue/reactor rather than the
@@ -109,9 +112,14 @@ impl Stats {
     }
 
     /// A point-in-time copy; queue/reactor gauges are owned by the queue
-    /// and `dedup` by the model cache (sampled by the caller at snapshot
-    /// time), so they are passed in.
-    pub fn snapshot(&self, gauges: QueueGauges, dedup: DedupStats) -> StatsSnapshot {
+    /// and `dedup`/`prepare` by the model cache (sampled by the caller at
+    /// snapshot time), so they are passed in.
+    pub fn snapshot(
+        &self,
+        gauges: QueueGauges,
+        dedup: DedupStats,
+        prepare: PrepareStats,
+    ) -> StatsSnapshot {
         StatsSnapshot {
             received: self.received.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
@@ -149,6 +157,10 @@ impl Stats {
             conns_opened: self.conns_opened.load(Ordering::Relaxed),
             idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
             reactor_mode: gauges.reactor_mode,
+            rejected_warming: self.rejected_warming.load(Ordering::Relaxed),
+            prepares_completed: prepare.prepares_completed,
+            prepare_ms_total: prepare.prepare_ns_total / 1_000_000,
+            prepares_in_flight: prepare.prepares_in_flight,
         }
     }
 
@@ -198,7 +210,13 @@ mod tests {
             queue_steals: 4,
             reactor_mode: 1,
         };
-        let snap = s.snapshot(gauges, dedup);
+        let prepare = PrepareStats {
+            prepares_completed: 3,
+            prepare_ns_total: 7_000_000,
+            prepares_in_flight: 1,
+        };
+        Stats::bump(&s.rejected_warming);
+        let snap = s.snapshot(gauges, dedup, prepare);
         assert_eq!(snap.received, 1);
         assert_eq!(snap.accepted, 1);
         assert_eq!(snap.queue_wait_ns, 250);
@@ -216,6 +234,10 @@ mod tests {
         assert_eq!(snap.index_bytes, 64);
         assert_eq!(snap.materialized_bytes, 2048);
         assert_eq!(snap.resident_bytes, 576);
+        assert_eq!(snap.rejected_warming, 1);
+        assert_eq!(snap.prepares_completed, 3);
+        assert_eq!(snap.prepare_ms_total, 7);
+        assert_eq!(snap.prepares_in_flight, 1);
     }
 
     #[test]
@@ -231,7 +253,11 @@ mod tests {
         };
         s.absorb_kernel(&k);
         s.absorb_kernel(&k);
-        let snap = s.snapshot(QueueGauges::default(), DedupStats::default());
+        let snap = s.snapshot(
+            QueueGauges::default(),
+            DedupStats::default(),
+            PrepareStats::default(),
+        );
         assert_eq!(snap.mac_lanes, 200);
         assert_eq!(snap.sat_group_exits, 8);
         assert_eq!(snap.sat_lanes_skipped, 40);

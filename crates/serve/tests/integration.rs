@@ -67,6 +67,7 @@ fn drain_accounted(stats: &StatsSnapshot) -> u64 {
         + stats.rejected_model_budget
         + stats.rejected_unknown_model
         + stats.rejected_shutdown
+        + stats.rejected_warming
         + stats.expired
         + stats.failed
 }

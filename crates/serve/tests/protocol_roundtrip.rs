@@ -62,6 +62,7 @@ fn error_frame_roundtrips_every_code() {
         ErrorCode::BadInput,
         ErrorCode::ShuttingDown,
         ErrorCode::Internal,
+        ErrorCode::Warming,
     ] {
         let f = Frame::Error(ErrorFrame {
             request_id: 9,
@@ -114,6 +115,10 @@ fn stats_frames_roundtrip() {
         conns_opened: 38,
         idle_reaped: 39,
         reactor_mode: 1,
+        rejected_warming: 41,
+        prepares_completed: 42,
+        prepare_ms_total: 43,
+        prepares_in_flight: 44,
     };
     let resp = Frame::StatsResponse(55, snap);
     assert_eq!(roundtrip(&resp), resp);

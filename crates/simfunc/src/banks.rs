@@ -8,6 +8,12 @@
 
 use crate::kernels::KernelStats;
 
+/// One FNV-1a step over a 64-bit word — the mixing primitive behind every
+/// content digest in the prepare path (bank digests, layer content keys).
+pub(crate) fn fnv1a(h: &mut u64, word: u64) {
+    *h = (*h ^ word).wrapping_mul(0x0000_0100_0000_01b3);
+}
+
 /// One phase's weight streams, stored flat and word-aligned: weight `j`,
 /// segment `e` occupies `words[(j * segments + e) * seg_words .. +seg_words]`
 /// (all-zero when the weight has no component in this phase). The MAC inner
@@ -170,8 +176,11 @@ pub(crate) struct LevelView<'a> {
 pub(crate) enum LayerWeights {
     /// Every lane owns full stream words (the seed-state layout).
     Materialized(LeveledWeights),
-    /// Lanes hold indices into a shared canonical-stream pool.
-    Pooled(StreamPool),
+    /// Lanes hold indices into a shared canonical-stream pool. The pool
+    /// sits behind an `Arc` so a process-wide `SharedStreamPool` can hand
+    /// the same immutable layer artifact to every re-prepare of identical
+    /// weights (warm re-prepare is a reference-count bump per layer).
+    Pooled(std::sync::Arc<StreamPool>),
 }
 
 impl LayerWeights {
@@ -218,6 +227,53 @@ impl LayerWeights {
         match self {
             LayerWeights::Materialized(lw) => lw.approx_bytes(),
             LayerWeights::Pooled(p) => p.approx_bytes(),
+        }
+    }
+
+    /// Folds this layer's complete bank content into an FNV-1a digest:
+    /// every level's words plus presence flags (and slot indices for the
+    /// pooled layout). Feeds [`PreparedNetwork::content_digest`].
+    ///
+    /// [`PreparedNetwork::content_digest`]: crate::PreparedNetwork::content_digest
+    pub(crate) fn digest(&self, h: &mut u64) {
+        fn digest_flags(h: &mut u64, flags: &[bool]) {
+            fnv1a(h, flags.len() as u64);
+            for &f in flags {
+                fnv1a(h, u64::from(f));
+            }
+        }
+        fn digest_words(h: &mut u64, words: &[u64]) {
+            fnv1a(h, words.len() as u64);
+            for &w in words {
+                fnv1a(h, w);
+            }
+        }
+        match self {
+            LayerWeights::Materialized(lw) => {
+                fnv1a(h, 11);
+                for ws in &lw.levels {
+                    fnv1a(h, ws.seg_words as u64);
+                    digest_words(h, &ws.pos.words);
+                    digest_flags(h, &ws.pos.present);
+                    digest_words(h, &ws.neg.words);
+                    digest_flags(h, &ws.neg.present);
+                }
+            }
+            LayerWeights::Pooled(p) => {
+                fnv1a(h, 12);
+                fnv1a(h, p.distinct as u64);
+                fnv1a(h, p.segments as u64);
+                fnv1a(h, p.index.len() as u64);
+                for &slot in &p.index {
+                    fnv1a(h, u64::from(slot));
+                }
+                digest_flags(h, &p.pos_present);
+                digest_flags(h, &p.neg_present);
+                for l in &p.levels {
+                    fnv1a(h, l.seg_words as u64);
+                    digest_words(h, &l.words);
+                }
+            }
         }
     }
 

@@ -17,14 +17,71 @@ use acoustic_nn::train::Sample;
 use acoustic_nn::Tensor;
 
 use crate::banks::{
-    ActBank, DedupStats, LayerWeights, LeveledWeights, PhaseBank, PoolLevel, PoolMap, SimScratch,
-    StreamPool, WeightStreams, NO_SLOT,
+    fnv1a, ActBank, DedupStats, LayerWeights, LeveledWeights, PhaseBank, PoolLevel, PoolMap,
+    SimScratch, StreamPool, WeightStreams, NO_SLOT,
 };
 use crate::kernels::{self, active_kernel, KernelKind, SegGeom, TileState};
+use crate::pool::{layer_content_key, SharedStreamPool};
 use crate::{SimConfig, SimError, WeightStorage};
 
 /// Comparator width of every SNG in the datapath (16-bit LFSRs).
 const SNG_WIDTH: u32 = 16;
+
+/// Environment variable overriding the prepare-time worker-thread count
+/// (parallel to `ACOUSTIC_FORCE_KERNEL` for kernel dispatch). Any positive
+/// integer; ignored when unset, unparsable or zero, and always overridden
+/// by an explicit [`PrepareOptions::threads`]. Thread count never affects
+/// results — prepared banks are bit-identical for any value
+/// (test-enforced), so this is purely a wall-clock knob.
+pub const PREPARE_THREADS_ENV: &str = "ACOUSTIC_PREPARE_THREADS";
+
+/// Per-call knobs for [`ScSimulator::prepare_with`]. Nothing here changes
+/// the prepared result — banks are bit-identical for every thread count
+/// and with or without a shared pool — so these deliberately live outside
+/// [`SimConfig`] (which keys prepared-model caches by *result* identity).
+#[derive(Debug, Clone, Default)]
+pub struct PrepareOptions {
+    /// Worker threads for bank preparation. `0` (the default) resolves to
+    /// the [`PREPARE_THREADS_ENV`] override when set, otherwise the
+    /// host's available parallelism.
+    pub threads: usize,
+    /// Opt-in process-wide pool sharing canonical streams and whole layer
+    /// artifacts across prepares (see [`SharedStreamPool`]).
+    pub shared_pool: Option<Arc<SharedStreamPool>>,
+}
+
+impl PrepareOptions {
+    /// A copy with `threads` resolved to a concrete positive count.
+    fn resolved(&self) -> PrepareOptions {
+        PrepareOptions {
+            threads: resolve_prepare_threads(self.threads),
+            shared_pool: self.shared_pool.clone(),
+        }
+    }
+}
+
+/// Resolves a requested prepare-thread count: explicit > env override >
+/// available parallelism.
+fn resolve_prepare_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var(PREPARE_THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Minimum weight lanes per phase-A/materialized worker; below this the
+/// per-thread spawn cost exceeds the work.
+const MIN_LANES_PER_THREAD: usize = 8192;
+
+/// Minimum pool slots per phase-C worker.
+const MIN_SLOTS_PER_THREAD: usize = 1024;
 
 /// Per-layer decoded outputs of a traced run.
 #[derive(Debug, Clone)]
@@ -192,6 +249,23 @@ impl PreparedNetwork {
         steps_dedup(&self.steps)
     }
 
+    /// A 64-bit FNV-1a digest over the complete prepared content: prefix
+    /// lengths, step structure, and every weight bank's words, presence
+    /// flags and slot indices.
+    ///
+    /// Two prepares digest equal exactly when their banks are
+    /// byte-identical — what the parallel-prepare determinism tests and
+    /// the prepare bench's bit-identity gate assert across thread counts,
+    /// storage layouts and shared-pool attachment.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &l in &self.lengths {
+            fnv1a(&mut h, l as u64);
+        }
+        digest_steps(&self.steps, &mut h);
+        h
+    }
+
     /// The most expensive MAC step's full-length bank shape — the
     /// calibration workload of the prepare-time tile autotuner. Cost proxy:
     /// `outputs × fan_in × seg_words` (the tiled weight walk's word work).
@@ -242,6 +316,56 @@ fn steps_bytes(steps: &[Step]) -> usize {
             _ => 0,
         })
         .sum()
+}
+
+fn digest_steps(steps: &[Step], h: &mut u64) {
+    for s in steps {
+        for &b in s.label.as_bytes() {
+            fnv1a(h, u64::from(b));
+        }
+        match &s.op {
+            StepOp::Conv(c) => {
+                fnv1a(h, 1);
+                for v in [
+                    c.in_c,
+                    c.out_c,
+                    c.k,
+                    c.stride,
+                    c.pad,
+                    c.pool.map_or(0, |p| p + 1),
+                    c.ordinal,
+                ] {
+                    fnv1a(h, v as u64);
+                }
+                c.weights.digest(h);
+            }
+            StepOp::Dense(d) => {
+                fnv1a(h, 2);
+                for v in [d.in_n, d.out_n, d.ordinal] {
+                    fnv1a(h, v as u64);
+                }
+                d.weights.digest(h);
+            }
+            StepOp::BinaryAvgPool(k) => {
+                fnv1a(h, 3);
+                fnv1a(h, *k as u64);
+            }
+            StepOp::MaxPool(k) => {
+                fnv1a(h, 4);
+                fnv1a(h, *k as u64);
+            }
+            StepOp::Relu(max) => {
+                fnv1a(h, 5);
+                fnv1a(h, max.map_or(0, |v| u64::from(v.to_bits()) | (1 << 32)));
+            }
+            StepOp::Flatten => fnv1a(h, 6),
+            StepOp::Residual(inner) => {
+                fnv1a(h, 7);
+                digest_steps(inner, h);
+                fnv1a(h, 8);
+            }
+        }
+    }
 }
 
 fn steps_dedup(steps: &[Step]) -> DedupStats {
@@ -300,11 +424,32 @@ impl ScSimulator {
     /// Returns [`SimError::UnsupportedLayer`] for layer arrangements the SC
     /// datapath cannot execute.
     pub fn prepare(&self, net: &Network) -> Result<PreparedNetwork, SimError> {
+        self.prepare_with(net, &PrepareOptions::default())
+    }
+
+    /// [`ScSimulator::prepare`] with explicit parallelism/sharing knobs.
+    ///
+    /// The result is bit-identical to `prepare` for every thread count and
+    /// with or without a shared pool (test-enforced via
+    /// [`PreparedNetwork::content_digest`]): slot assignment happens in a
+    /// serial canonical pass over per-lane keys, so parallelism only
+    /// changes who computes each immutable artifact, never its position
+    /// or contents.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScSimulator::prepare`].
+    pub fn prepare_with(
+        &self,
+        net: &Network,
+        opts: &PrepareOptions,
+    ) -> Result<PreparedNetwork, SimError> {
+        let opts = opts.resolved();
         let mut segments = Vec::new();
         self.scan_segments(net.layers(), &mut segments);
         let lengths = supported_prefix_lengths(self.cfg.stream_len, &segments);
         let mut ordinal = 0usize;
-        let steps = self.prepare_layers(net.layers(), &mut ordinal, &lengths)?;
+        let steps = self.prepare_layers(net.layers(), &mut ordinal, &lengths, &opts)?;
         Ok(PreparedNetwork { steps, lengths })
     }
 
@@ -341,6 +486,7 @@ impl ScSimulator {
         layers: &[NetLayer],
         ordinal: &mut usize,
         lengths: &[usize],
+        opts: &PrepareOptions,
     ) -> Result<Vec<Step>, SimError> {
         let wq = Quantizer::signed_unit(self.cfg.quant_bits)?;
         let mut steps = Vec::new();
@@ -353,11 +499,6 @@ impl ScSimulator {
                         Some(NetLayer::AvgPool(p)) if self.cfg.skip_pooling => Some(p.window()),
                         _ => None,
                     };
-                    let wvals: Vec<f32> = conv
-                        .weights()
-                        .iter()
-                        .map(|&w| wq.quantize_value(w))
-                        .collect();
                     let segments = pool.map_or(1, |k| k * k);
                     if !self.cfg.per_phase_len().is_multiple_of(segments) {
                         return Err(SimError::UnsupportedLayer(format!(
@@ -365,7 +506,14 @@ impl ScSimulator {
                             self.cfg.per_phase_len()
                         )));
                     }
-                    let weights = self.weight_streams(&wvals, *ordinal, segments, lengths)?;
+                    let weights = self.weight_streams(
+                        conv.weights(),
+                        &wq,
+                        *ordinal,
+                        segments,
+                        lengths,
+                        opts,
+                    )?;
                     steps.push(Step::new(
                         format!("conv{ordinal}"),
                         StepOp::Conv(PreparedConv {
@@ -383,9 +531,8 @@ impl ScSimulator {
                     i += if pool.is_some() { 2 } else { 1 };
                 }
                 NetLayer::Dense(d) => {
-                    let wvals: Vec<f32> =
-                        d.weights().iter().map(|&w| wq.quantize_value(w)).collect();
-                    let weights = self.weight_streams(&wvals, *ordinal, 1, lengths)?;
+                    let weights =
+                        self.weight_streams(d.weights(), &wq, *ordinal, 1, lengths, opts)?;
                     steps.push(Step::new(
                         format!("dense{ordinal}"),
                         StepOp::Dense(PreparedDense {
@@ -415,7 +562,7 @@ impl ScSimulator {
                     i += 1;
                 }
                 NetLayer::Residual(r) => {
-                    let inner = self.prepare_layers(r.inner().layers(), ordinal, lengths)?;
+                    let inner = self.prepare_layers(r.inner().layers(), ordinal, lengths, opts)?;
                     steps.push(Step::new("residual", StepOp::Residual(inner)));
                     i += 1;
                 }
@@ -848,12 +995,20 @@ impl ScSimulator {
     /// shorter level is re-segmented out of that same full-length stream
     /// (its length-`L` prefix), which is bit-identical to generating the
     /// level directly because the LFSR emits bits sequentially.
+    ///
+    /// Quantization happens through a per-code lookup table
+    /// ([`threshold_lut`]): the 8-bit code fully determines the quantized
+    /// component (`quantize_value` = `decode ∘ encode`), so the hot loop
+    /// over up to 10⁸ lanes is integer-only and bit-exact versus the
+    /// historical per-lane float path.
     fn weight_streams(
         &self,
-        wvals: &[f32],
+        weights: &[f32],
+        wq: &Quantizer,
         ordinal: usize,
         segments: usize,
         lengths: &[usize],
+        opts: &PrepareOptions,
     ) -> Result<LayerWeights, SimError> {
         let m = self.cfg.per_phase_len();
         if !m.is_multiple_of(segments) {
@@ -861,23 +1016,62 @@ impl ScSimulator {
                 "pooling window {segments}-way does not divide per-phase length {m}"
             )));
         }
+        let lut = threshold_lut(wq)?;
         match self.cfg.weight_storage {
             WeightStorage::Materialized => self
-                .weight_streams_materialized(wvals, ordinal, segments, lengths)
+                .weight_streams_materialized(weights, wq, &lut, ordinal, segments, lengths, opts)
                 .map(LayerWeights::Materialized),
-            WeightStorage::Pooled => self
-                .weight_streams_pooled(wvals, ordinal, segments, lengths)
-                .map(LayerWeights::Pooled),
+            WeightStorage::Pooled => {
+                // Layer tier: a warm re-prepare of an unchanged layer is a
+                // reference-count bump. The key covers every input that
+                // shapes the banks (weights, seed, quantization,
+                // segmentation, prefix lengths), so a hit is bit-identical
+                // by construction. Key computation is gated on pool
+                // presence — hashing an ImageNet-scale layer is not free.
+                let key = opts.shared_pool.as_ref().map(|_| {
+                    layer_content_key(
+                        weights,
+                        self.cfg.wgt_seed,
+                        ordinal,
+                        self.cfg.quant_bits,
+                        segments,
+                        lengths,
+                    )
+                });
+                if let (Some(shared), Some(key)) = (opts.shared_pool.as_deref(), key) {
+                    if let Some(hit) = shared.layer(key) {
+                        return Ok(LayerWeights::Pooled(hit));
+                    }
+                }
+                let pool =
+                    Arc::new(self.weight_streams_pooled(
+                        weights, wq, &lut, ordinal, segments, lengths, opts,
+                    )?);
+                if let (Some(shared), Some(key)) = (opts.shared_pool.as_deref(), key) {
+                    shared.insert_layer(key, &pool);
+                }
+                Ok(LayerWeights::Pooled(pool))
+            }
         }
     }
 
     /// The direct layout: every lane owns full per-level stream words.
+    ///
+    /// Lanes are independent — each writes only its own presence flag and
+    /// its own word ranges — so the lane axis splits across scoped workers
+    /// in contiguous chunks. The artifact is bit-identical for every worker
+    /// count because each lane's bytes are a pure function of (global lane
+    /// index, weight code, layer ordinal).
+    #[allow(clippy::too_many_arguments)]
     fn weight_streams_materialized(
         &self,
-        wvals: &[f32],
+        weights: &[f32],
+        wq: &Quantizer,
+        lut: &[(u8, u32)],
         ordinal: usize,
         segments: usize,
         lengths: &[usize],
+        opts: &PrepareOptions,
     ) -> Result<LeveledWeights, SimError> {
         let m = self.cfg.per_phase_len();
         let mut levels: Vec<WeightStreams> = lengths
@@ -885,44 +1079,79 @@ impl ScSimulator {
             .map(|&l| {
                 let seg_words = (l / 2 / segments).div_ceil(64);
                 WeightStreams {
-                    pos: PhaseBank::zeros(wvals.len(), segments, seg_words),
-                    neg: PhaseBank::zeros(wvals.len(), segments, seg_words),
+                    pos: PhaseBank::zeros(weights.len(), segments, seg_words),
+                    neg: PhaseBank::zeros(weights.len(), segments, seg_words),
                     seg_words,
                 }
             })
             .collect();
-        let mut full = vec![0u64; m.div_ceil(64)];
-        for (j, &w) in wvals.iter().enumerate() {
-            let (positive, component, phase) = if w > 0.0 {
-                (true, f64::from(w), 0)
-            } else if w < 0.0 {
-                (false, f64::from(-w), 1)
-            } else {
-                continue;
-            };
-            let seed = mix_seed(self.cfg.wgt_seed, ordinal as u32, j as u32, phase);
-            let mut sng = Sng::new(Lfsr::maximal(SNG_WIDTH, seed)?, SNG_WIDTH);
-            let threshold = quantize_probability(component, SNG_WIDTH)?;
-            sng.fill_quantized(threshold, m, &mut full);
-            for (level, &len) in levels.iter_mut().zip(lengths) {
-                let seg_len = len / 2 / segments;
-                let seg_words = level.seg_words;
-                let bank = if positive {
-                    &mut level.pos
-                } else {
-                    &mut level.neg
-                };
-                bank.present[j] = true;
-                for e in 0..segments {
-                    let base = (j * segments + e) * seg_words;
-                    copy_bit_range(
-                        &full,
-                        e * seg_len,
-                        seg_len,
-                        &mut bank.words[base..base + seg_words],
-                    );
+        let threads = effective_threads(opts.threads, weights.len(), MIN_LANES_PER_THREAD);
+        let wgt_seed = self.cfg.wgt_seed;
+        if threads == 1 {
+            let views: Vec<LaneShard<'_>> = levels
+                .iter_mut()
+                .map(|level| LaneShard {
+                    pos_words: &mut level.pos.words,
+                    pos_present: &mut level.pos.present,
+                    neg_words: &mut level.neg.words,
+                    neg_present: &mut level.neg.present,
+                    seg_words: level.seg_words,
+                })
+                .collect();
+            fill_lane_chunk(
+                weights, wq, lut, wgt_seed, ordinal, 0, segments, lengths, m, views,
+            )?;
+        } else {
+            let chunk = weights.len().div_ceil(threads);
+            // Transpose per-level chunk iterators into per-worker shard
+            // lists: worker `w` owns lanes [w·chunk, (w+1)·chunk) of every
+            // level, as disjoint `&mut` ranges.
+            let mut iters: Vec<_> = levels
+                .iter_mut()
+                .map(|level| {
+                    let per = segments * level.seg_words;
+                    (
+                        level.seg_words,
+                        level.pos.words.chunks_mut(chunk * per),
+                        level.pos.present.chunks_mut(chunk),
+                        level.neg.words.chunks_mut(chunk * per),
+                        level.neg.present.chunks_mut(chunk),
+                    )
+                })
+                .collect();
+            std::thread::scope(|s| -> Result<(), SimError> {
+                let mut handles = Vec::new();
+                for (w, lane_chunk) in weights.chunks(chunk).enumerate() {
+                    let views: Vec<LaneShard<'_>> = iters
+                        .iter_mut()
+                        .map(|(sw, pw, pp, nw, np)| LaneShard {
+                            pos_words: pw.next().unwrap_or_default(),
+                            pos_present: pp.next().unwrap_or_default(),
+                            neg_words: nw.next().unwrap_or_default(),
+                            neg_present: np.next().unwrap_or_default(),
+                            seg_words: *sw,
+                        })
+                        .collect();
+                    handles.push(s.spawn(move || {
+                        fill_lane_chunk(
+                            lane_chunk,
+                            wq,
+                            lut,
+                            wgt_seed,
+                            ordinal,
+                            w * chunk,
+                            segments,
+                            lengths,
+                            m,
+                            views,
+                        )
+                    }));
                 }
-            }
+                for h in handles {
+                    h.join().expect("prepare worker panicked")?;
+                }
+                Ok(())
+            })?;
         }
         Ok(LeveledWeights { levels })
     }
@@ -939,26 +1168,79 @@ impl ScSimulator {
     /// lane counts grow with the model — the bigger the layer, the bigger
     /// the win (ImageNet-scale dense layers dedup ~10×).
     ///
-    /// Slot ids are assigned at first sight in a phase-major scan
-    /// (positive lanes, then negative) and every prefix level lays its
-    /// words out in slot order from the same single SNG walk, so one
-    /// index vector serves all levels and prefix execution stays
-    /// bit-identical to a direct prepare at the shorter length. The
-    /// phase-major order keeps each kernel phase pass on a dense
-    /// ascending slot range, matching the materialized layout's cache
-    /// behaviour.
+    /// The build runs in three phases so it can parallelise without
+    /// changing a single bit of the artifact:
+    ///
+    /// * **Phase A (parallel)** — collect every lane's packed key; pure
+    ///   per-lane integer work with no ordering component.
+    /// * **Phase B (serial)** — assign slot ids at first sight in a
+    ///   phase-major scan (positive lanes, then negative), exactly the
+    ///   order the historical single-threaded build used. This is the only
+    ///   order-sensitive step and it never runs in parallel, which is why
+    ///   banks are bit-identical for every thread count. The phase-major
+    ///   order keeps each kernel phase pass on a dense ascending slot
+    ///   range, matching the materialized layout's cache behaviour.
+    /// * **Phase C (parallel)** — materialize each slot's words into
+    ///   pre-sized level buffers; slot positions were fixed in phase B, so
+    ///   slot ranges fill independently. With a shared pool attached, the
+    ///   canonical full-length words come from the process-wide stream
+    ///   tier (one SNG walk per key per process).
+    ///
+    /// Every prefix level lays its words out in slot order from the same
+    /// single SNG walk, so one index vector serves all levels and prefix
+    /// execution stays bit-identical to a direct prepare at the shorter
+    /// length.
+    #[allow(clippy::too_many_arguments)]
     fn weight_streams_pooled(
         &self,
-        wvals: &[f32],
+        weights: &[f32],
+        wq: &Quantizer,
+        lut: &[(u8, u32)],
         ordinal: usize,
         segments: usize,
         lengths: &[usize],
+        opts: &PrepareOptions,
     ) -> Result<StreamPool, SimError> {
         let m = self.cfg.per_phase_len();
+        let lanes = weights.len();
+        let wgt_seed = self.cfg.wgt_seed;
+
+        // Phase A — parallel key collect.
+        let mut keys = vec![0u64; lanes];
+        let mut pos = vec![false; lanes];
+        let a_threads = effective_threads(opts.threads, lanes, MIN_LANES_PER_THREAD);
+        if a_threads == 1 {
+            collect_key_chunk(weights, wq, lut, wgt_seed, ordinal, 0, &mut keys, &mut pos);
+        } else {
+            let chunk = lanes.div_ceil(a_threads);
+            std::thread::scope(|s| {
+                for ((w, wchunk), (kchunk, pchunk)) in weights
+                    .chunks(chunk)
+                    .enumerate()
+                    .zip(keys.chunks_mut(chunk).zip(pos.chunks_mut(chunk)))
+                {
+                    s.spawn(move || {
+                        collect_key_chunk(
+                            wchunk,
+                            wq,
+                            lut,
+                            wgt_seed,
+                            ordinal,
+                            w * chunk,
+                            kchunk,
+                            pchunk,
+                        );
+                    });
+                }
+            });
+        }
+
+        // Phase B — serial canonical slot assignment over the collected
+        // keys (phase-major, first sight).
         let mut pool = StreamPool {
-            index: vec![NO_SLOT; wvals.len()],
-            pos_present: vec![false; wvals.len()],
-            neg_present: vec![false; wvals.len()],
+            index: vec![NO_SLOT; lanes],
+            pos_present: vec![false; lanes],
+            neg_present: vec![false; lanes],
             levels: lengths
                 .iter()
                 .map(|&l| PoolLevel {
@@ -970,52 +1252,25 @@ impl ScSimulator {
             segments,
         };
         let mut map = PoolMap::new();
-        let mut full = vec![0u64; m.div_ceil(64)];
-        // Phase-major slot assignment: every positive lane is interned
-        // before any negative lane, so each kernel phase pass reads a
-        // dense ascending slot range instead of skipping every other
-        // cache line of pool words.
+        let mut slot_keys: Vec<u64> = Vec::new();
         for pass_positive in [true, false] {
-            for (j, &w) in wvals.iter().enumerate() {
-                let (component, phase) = if w > 0.0 && pass_positive {
-                    (f64::from(w), 0)
-                } else if w < 0.0 && !pass_positive {
-                    (f64::from(-w), 1)
-                } else {
+            for j in 0..lanes {
+                // `mix_seed` never yields 0, so key 0 unambiguously marks a
+                // zero-quantized (skipped) lane.
+                let key = keys[j];
+                if key == 0 || pos[j] != pass_positive {
                     continue;
-                };
-                let seed = mix_seed(self.cfg.wgt_seed, ordinal as u32, j as u32, phase);
-                let threshold = quantize_probability(component, SNG_WIDTH)?;
-                // `mix_seed` never yields 0, so the packed key is nonzero —
-                // the PoolMap's empty-bucket marker stays unambiguous.
-                let key = (u64::from(seed) << 32) | u64::from(threshold);
+                }
                 let slot = match map.get(key) {
                     Some(s) => s,
                     None => {
-                        if pool.distinct as u32 == NO_SLOT {
+                        if slot_keys.len() >= NO_SLOT as usize {
                             return Err(SimError::UnsupportedLayer(
                                 "weight-stream pool exceeds u32 slot space".into(),
                             ));
                         }
-                        let s = pool.distinct as u32;
-                        let mut sng = Sng::new(Lfsr::maximal(SNG_WIDTH, seed)?, SNG_WIDTH);
-                        sng.fill_quantized(threshold, m, &mut full);
-                        for (level, &len) in pool.levels.iter_mut().zip(lengths) {
-                            let seg_len = len / 2 / segments;
-                            let sw = level.seg_words;
-                            let base = level.words.len();
-                            level.words.resize(base + segments * sw, 0);
-                            for e in 0..segments {
-                                let off = base + e * sw;
-                                copy_bit_range(
-                                    &full,
-                                    e * seg_len,
-                                    seg_len,
-                                    &mut level.words[off..off + sw],
-                                );
-                            }
-                        }
-                        pool.distinct += 1;
+                        let s = slot_keys.len() as u32;
+                        slot_keys.push(key);
                         map.insert(key, s);
                         s
                     }
@@ -1027,6 +1282,48 @@ impl ScSimulator {
                     pool.neg_present[j] = true;
                 }
             }
+        }
+        pool.distinct = slot_keys.len();
+
+        // Phase C — parallel slot materialize into pre-sized buffers.
+        for level in pool.levels.iter_mut() {
+            level.words = vec![0u64; slot_keys.len() * segments * level.seg_words];
+        }
+        let shared = opts.shared_pool.as_deref();
+        let c_threads = effective_threads(opts.threads, slot_keys.len(), MIN_SLOTS_PER_THREAD);
+        if c_threads == 1 {
+            let views: Vec<(&mut [u64], usize)> = pool
+                .levels
+                .iter_mut()
+                .map(|lv| (lv.words.as_mut_slice(), lv.seg_words))
+                .collect();
+            materialize_slot_chunk(&slot_keys, segments, lengths, m, shared, views)?;
+        } else {
+            let chunk = slot_keys.len().div_ceil(c_threads);
+            let mut iters: Vec<_> = pool
+                .levels
+                .iter_mut()
+                .map(|lv| {
+                    let per = segments * lv.seg_words;
+                    (lv.seg_words, lv.words.chunks_mut(chunk * per))
+                })
+                .collect();
+            std::thread::scope(|s| -> Result<(), SimError> {
+                let mut handles = Vec::new();
+                for key_chunk in slot_keys.chunks(chunk) {
+                    let views: Vec<(&mut [u64], usize)> = iters
+                        .iter_mut()
+                        .map(|(sw, it)| (it.next().unwrap_or_default(), *sw))
+                        .collect();
+                    handles.push(s.spawn(move || {
+                        materialize_slot_chunk(key_chunk, segments, lengths, m, shared, views)
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("prepare worker panicked")?;
+                }
+                Ok(())
+            })?;
         }
         Ok(pool)
     }
@@ -1683,6 +1980,169 @@ fn binary_max_pool(x: &Tensor, k: usize) -> Result<Tensor, SimError> {
     Ok(pool.forward(x)?)
 }
 
+/// Weight-code tags of a [`threshold_lut`] entry.
+const TAG_SKIP: u8 = 0;
+const TAG_POS: u8 = 1;
+const TAG_NEG: u8 = 2;
+
+/// Per-code SNG lookup: (phase tag, quantized comparator threshold),
+/// precomputed once per layer so the per-lane hot loop is integer-only.
+///
+/// Bit-exact versus the historical per-lane float path because
+/// `quantize_value(w)` = `decode(encode(w))` — the code fully determines
+/// the quantized component, its sign and therefore its threshold.
+fn threshold_lut(wq: &Quantizer) -> Result<Vec<(u8, u32)>, SimError> {
+    (0..wq.levels())
+        .map(|code| {
+            let v = wq.decode(code);
+            if v > 0.0 {
+                Ok((TAG_POS, quantize_probability(f64::from(v), SNG_WIDTH)?))
+            } else if v < 0.0 {
+                Ok((TAG_NEG, quantize_probability(f64::from(-v), SNG_WIDTH)?))
+            } else {
+                Ok((TAG_SKIP, 0))
+            }
+        })
+        .collect()
+}
+
+/// Clamps a resolved thread count to the useful degree of parallelism for
+/// `work` items at `min_per_thread` granularity (spawning a thread for a
+/// few hundred lanes costs more than the lanes).
+fn effective_threads(threads: usize, work: usize, min_per_thread: usize) -> usize {
+    threads.clamp(1, work.div_ceil(min_per_thread).max(1))
+}
+
+/// One worker's mutable view into every level of a materialized bank: the
+/// lane-chunk's word and presence ranges.
+struct LaneShard<'a> {
+    pos_words: &'a mut [u64],
+    pos_present: &'a mut [bool],
+    neg_words: &'a mut [u64],
+    neg_present: &'a mut [bool],
+    seg_words: usize,
+}
+
+/// Fills one contiguous lane chunk of a materialized bank at every level.
+/// `start` is the chunk's first global lane index — seeds mix the global
+/// index, so chunk boundaries never affect stream contents.
+#[allow(clippy::too_many_arguments)]
+fn fill_lane_chunk(
+    weights: &[f32],
+    wq: &Quantizer,
+    lut: &[(u8, u32)],
+    wgt_seed: u32,
+    ordinal: usize,
+    start: usize,
+    segments: usize,
+    lengths: &[usize],
+    m: usize,
+    mut views: Vec<LaneShard<'_>>,
+) -> Result<(), SimError> {
+    let mut full = vec![0u64; m.div_ceil(64)];
+    for (local, &w) in weights.iter().enumerate() {
+        let (tag, threshold) = lut[wq.encode(w) as usize];
+        if tag == TAG_SKIP {
+            continue;
+        }
+        let positive = tag == TAG_POS;
+        let j = start + local;
+        let seed = mix_seed(wgt_seed, ordinal as u32, j as u32, u32::from(!positive));
+        let mut sng = Sng::new(Lfsr::maximal(SNG_WIDTH, seed)?, SNG_WIDTH);
+        sng.fill_quantized(threshold, m, &mut full);
+        for (view, &len) in views.iter_mut().zip(lengths) {
+            let seg_len = len / 2 / segments;
+            let sw = view.seg_words;
+            let (words, present) = if positive {
+                (&mut *view.pos_words, &mut *view.pos_present)
+            } else {
+                (&mut *view.neg_words, &mut *view.neg_present)
+            };
+            present[local] = true;
+            for e in 0..segments {
+                let base = (local * segments + e) * sw;
+                copy_bit_range(&full, e * seg_len, seg_len, &mut words[base..base + sw]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collects one lane chunk's packed stream keys (pooled phase A). A lane's
+/// key is `(mixed seed << 32) | threshold` — nonzero, since `mix_seed`
+/// never yields 0 — or 0 for a zero-quantized (skipped) lane.
+#[allow(clippy::too_many_arguments)]
+fn collect_key_chunk(
+    weights: &[f32],
+    wq: &Quantizer,
+    lut: &[(u8, u32)],
+    wgt_seed: u32,
+    ordinal: usize,
+    start: usize,
+    keys: &mut [u64],
+    pos: &mut [bool],
+) {
+    for (local, &w) in weights.iter().enumerate() {
+        let (tag, threshold) = lut[wq.encode(w) as usize];
+        if tag == TAG_SKIP {
+            continue;
+        }
+        let positive = tag == TAG_POS;
+        let j = start + local;
+        let seed = mix_seed(wgt_seed, ordinal as u32, j as u32, u32::from(!positive));
+        keys[local] = (u64::from(seed) << 32) | u64::from(threshold);
+        pos[local] = positive;
+    }
+}
+
+/// Materializes one contiguous slot-range chunk of a stream pool (pooled
+/// phase C): walks (or fetches from the shared stream tier) each slot's
+/// canonical full-length words and lays its per-segment prefix slices into
+/// every level at the slot's pre-assigned position.
+fn materialize_slot_chunk(
+    slot_keys: &[u64],
+    segments: usize,
+    lengths: &[usize],
+    m: usize,
+    shared: Option<&SharedStreamPool>,
+    mut views: Vec<(&mut [u64], usize)>,
+) -> Result<(), SimError> {
+    let full_words = m.div_ceil(64);
+    let mut local = vec![0u64; full_words];
+    for (slot_local, &key) in slot_keys.iter().enumerate() {
+        let seed = (key >> 32) as u32;
+        let threshold = (key & 0xFFFF_FFFF) as u32;
+        let generate = |buf: &mut [u64]| -> Result<(), SimError> {
+            let mut sng = Sng::new(Lfsr::maximal(SNG_WIDTH, seed)?, SNG_WIDTH);
+            sng.fill_quantized(threshold, m, buf);
+            Ok(())
+        };
+        let arc_words;
+        let full: &[u64] = match shared {
+            Some(pool) => {
+                arc_words = pool.stream(seed, threshold, m, || {
+                    let mut buf = vec![0u64; full_words];
+                    generate(&mut buf)?;
+                    Ok(buf)
+                })?;
+                &arc_words
+            }
+            None => {
+                generate(&mut local)?;
+                &local
+            }
+        };
+        for ((words, sw), &len) in views.iter_mut().zip(lengths) {
+            let seg_len = len / 2 / segments;
+            for e in 0..segments {
+                let off = (slot_local * segments + e) * *sw;
+                copy_bit_range(full, e * seg_len, seg_len, &mut words[off..off + *sw]);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Mixes seed components into a non-zero 16-bit LFSR seed.
 fn mix_seed(base: u32, a: u32, b: u32, c: u32) -> u32 {
     let mut s = base
@@ -2106,7 +2566,7 @@ mod tests {
 mod residual_tests {
     use super::*;
     use crate::SimConfig;
-    use acoustic_nn::layers::{AccumMode, Conv2d, Network, Relu};
+    use acoustic_nn::layers::{AccumMode, AvgPool2d, Conv2d, Dense, Network, Relu};
 
     fn cfg(n: usize) -> SimConfig {
         SimConfig::with_stream_len(n).unwrap()
@@ -2190,5 +2650,137 @@ mod residual_tests {
         let trace = sim.run_traced(&net, &Tensor::zeros(&[1, 4, 4])).unwrap();
         let names: Vec<&str> = trace.layers.iter().map(|l| l.name.as_str()).collect();
         assert_eq!(names, vec!["conv0", "conv1", "residual"]);
+    }
+
+    /// A network large enough that prepare-time chunking actually engages:
+    /// the dense layer alone has 256 × 96 = 24 576 lanes
+    /// (> [`MIN_LANES_PER_THREAD`]) and several thousand distinct streams
+    /// (> [`MIN_SLOTS_PER_THREAD`]).
+    fn chunky_network() -> Network {
+        let mut net = Network::new();
+        net.push_conv(Conv2d::new(1, 4, 3, 1, 1, AccumMode::OrApprox).unwrap());
+        net.push_avg_pool(AvgPool2d::new(2).unwrap());
+        net.push_relu(Relu::clamped());
+        net.push_flatten();
+        net.push_dense(Dense::new(4 * 8 * 8, 96, AccumMode::OrApprox).unwrap());
+        net
+    }
+
+    #[test]
+    fn parallel_prepare_is_bit_identical_across_threads_and_storage() {
+        let net = chunky_network();
+        for storage in [WeightStorage::Pooled, WeightStorage::Materialized] {
+            let mut c = cfg(128);
+            c.weight_storage = storage;
+            let sim = ScSimulator::new(c);
+            let baseline = sim
+                .prepare_with(
+                    &net,
+                    &PrepareOptions {
+                        threads: 1,
+                        shared_pool: None,
+                    },
+                )
+                .unwrap();
+            let digest = baseline.content_digest();
+            let stats = baseline.dedup_stats();
+            for threads in [2, 4] {
+                let p = sim
+                    .prepare_with(
+                        &net,
+                        &PrepareOptions {
+                            threads,
+                            shared_pool: None,
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(
+                    p.content_digest(),
+                    digest,
+                    "banks differ at threads={threads}, storage={storage:?}"
+                );
+                assert_eq!(p.dedup_stats(), stats, "dedup stats differ at {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_prepare_prefix_levels_match_direct_prepare() {
+        // Every prefix level of a multi-threaded prepare must equal a
+        // direct single-threaded prepare at that shorter length.
+        let net = chunky_network();
+        let sim = ScSimulator::new(cfg(256));
+        let wide = sim
+            .prepare_with(
+                &net,
+                &PrepareOptions {
+                    threads: 4,
+                    shared_pool: None,
+                },
+            )
+            .unwrap();
+        let input = Tensor::from_vec(
+            &[1, 16, 16],
+            (0..256).map(|i| (i % 11) as f32 / 11.0).collect(),
+        )
+        .unwrap();
+        for &len in wide.supported_lengths() {
+            let direct = ScSimulator::new(cfg(len)).run(&net, &input).unwrap();
+            let at = sim.run_prepared_at(&wide, &input, len).unwrap();
+            assert_eq!(direct.as_slice(), at.as_slice(), "prefix {len} differs");
+        }
+    }
+
+    #[test]
+    fn shared_pool_prepare_is_bit_identical_and_hits_layer_tier() {
+        let net = chunky_network();
+        let sim = ScSimulator::new(cfg(128));
+        let cold = sim.prepare(&net).unwrap();
+        let shared = Arc::new(SharedStreamPool::new());
+        for threads in [1, 4] {
+            let opts = PrepareOptions {
+                threads,
+                shared_pool: Some(Arc::clone(&shared)),
+            };
+            let p = sim.prepare_with(&net, &opts).unwrap();
+            assert_eq!(
+                p.content_digest(),
+                cold.content_digest(),
+                "shared-pool prepare differs at threads={threads}"
+            );
+            assert_eq!(p.dedup_stats(), cold.dedup_stats());
+        }
+        let stats = shared.stats();
+        // First shared prepare misses both layers, second hits both.
+        assert_eq!(stats.layer_misses, 2);
+        assert_eq!(stats.layer_hits, 2);
+        assert!(stats.stream_misses > 0);
+        assert_eq!(stats.layer_entries, 2);
+    }
+
+    #[test]
+    fn content_digest_distinguishes_different_banks() {
+        let net = chunky_network();
+        let a = ScSimulator::new(cfg(128)).prepare(&net).unwrap();
+        let b = ScSimulator::new(cfg(256)).prepare(&net).unwrap();
+        assert_ne!(a.content_digest(), b.content_digest());
+        let mut c = cfg(128);
+        c.wgt_seed ^= 1;
+        let d = ScSimulator::new(c).prepare(&net).unwrap();
+        assert_ne!(a.content_digest(), d.content_digest());
+    }
+
+    #[test]
+    fn prepare_threads_env_override_is_bit_identical() {
+        // The env knob must be a pure wall-clock lever. Serializes on the
+        // env var via a process-wide lock-free convention: this is the only
+        // test touching PREPARE_THREADS_ENV.
+        let net = chunky_network();
+        let sim = ScSimulator::new(cfg(128));
+        let baseline = sim.prepare(&net).unwrap().content_digest();
+        std::env::set_var(PREPARE_THREADS_ENV, "3");
+        let overridden = sim.prepare(&net).unwrap().content_digest();
+        std::env::remove_var(PREPARE_THREADS_ENV);
+        assert_eq!(baseline, overridden);
     }
 }

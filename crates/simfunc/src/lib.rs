@@ -41,16 +41,21 @@ mod banks;
 mod engine;
 mod expected;
 pub mod kernels;
+mod pool;
 mod sim_error;
 
 pub use autotune::{TilePlan, DEFAULT_TILE, TILE_CANDIDATES};
 pub use banks::{DedupStats, SimScratch};
-pub use engine::{LayerTrace, PreparedNetwork, RunTrace, ScSimulator, StepTiming};
+pub use engine::{
+    LayerTrace, PrepareOptions, PreparedNetwork, RunTrace, ScSimulator, StepTiming,
+    PREPARE_THREADS_ENV,
+};
 pub use expected::{expected_accuracy, expected_logits};
 pub use kernels::{
     active_kernel, candidate_kernels, forced_kernel, HostFingerprint, KernelChoice, KernelKind,
     KernelStats, FORCE_KERNEL_ENV, FORCE_SCALAR_ENV,
 };
+pub use pool::{SharedPoolStats, SharedStreamPool};
 pub use sim_error::SimError;
 
 /// Weight-bank storage layout of a prepared network.

@@ -1,0 +1,318 @@
+//! A process-wide, opt-in cache for prepare-time weight-stream artifacts.
+//!
+//! ACOUSTIC weight streams are pure functions of model-independent keys —
+//! a stream is fully determined by its (mixed 16-bit SNG seed, quantized
+//! threshold, per-phase length) triple, and a whole layer's `StreamPool`
+//! by the layer's raw weights plus the seed/quantization/segmentation
+//! configuration. Both facts make prepare work *shareable across models
+//! and across time*: the second and every later prepare (recompiles after
+//! LRU eviction, zoo warm-up, bench reruns) can reuse canonical artifacts
+//! instead of regenerating and re-probing ~10⁸ keys.
+//!
+//! The pool therefore has two tiers:
+//!
+//! * **Stream tier** — canonical full-length stream words keyed by
+//!   (mixed seed, threshold, per-phase length). Model-architecture
+//!   independent, so distinct models share entries. Sharded mutex maps
+//!   keep parallel prepare workers off one lock.
+//! * **Layer tier** — whole immutable [`StreamPool`] layer artifacts
+//!   behind `Arc`, keyed by a 128-bit content hash of the layer's raw
+//!   weights and every prepare input that shapes the banks. A warm
+//!   re-prepare of an unchanged layer is a reference-count bump instead
+//!   of a key-collect/probe/materialize pass — this tier is what makes a
+//!   recompile after cache eviction cheap. Bounded by an LRU byte budget.
+//!
+//! Sharing is bit-exact by construction: a hit returns the same immutable
+//! words a fresh prepare would regenerate (test-enforced), so attaching a
+//! shared pool can never change logits, `dedup_stats` or bank digests.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::banks::StreamPool;
+use crate::SimError;
+
+/// Stream-tier shard count (power of two; seeds spread well under the
+/// splitmix-style mix below).
+const STREAM_SHARDS: usize = 16;
+
+/// One stream-tier shard.
+type StreamShard = Mutex<HashMap<u64, Arc<Vec<u64>>>>;
+
+/// Counters describing how much prepare work a [`SharedStreamPool`] has
+/// absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedPoolStats {
+    /// Stream-tier lookups that found an existing canonical stream.
+    pub stream_hits: u64,
+    /// Stream-tier lookups that had to generate (and insert) the stream.
+    pub stream_misses: u64,
+    /// Layer-tier lookups that reused a whole layer artifact.
+    pub layer_hits: u64,
+    /// Layer-tier lookups that had to build the layer from scratch.
+    pub layer_misses: u64,
+    /// Resident bytes across the layer tier's retained artifacts.
+    pub layer_bytes: u64,
+    /// Layer artifacts currently retained.
+    pub layer_entries: u64,
+}
+
+/// Layer-tier state under one lock: the artifact map with LRU ticks and
+/// running byte total.
+#[derive(Debug, Default)]
+struct LayerTier {
+    map: HashMap<u128, (u64, Arc<StreamPool>)>,
+    tick: u64,
+    bytes: usize,
+}
+
+/// The process-wide prepare cache. Create one, wrap it in an `Arc`, and
+/// pass it to every prepare that should share artifacts (via
+/// `PrepareOptions::shared_pool` or `ModelCache::with_shared_pool`).
+#[derive(Debug)]
+pub struct SharedStreamPool {
+    streams: Vec<StreamShard>,
+    layers: Mutex<LayerTier>,
+    /// Byte budget for the layer tier (`usize::MAX` = unbounded).
+    layer_budget: usize,
+    stream_hits: AtomicU64,
+    stream_misses: AtomicU64,
+    layer_hits: AtomicU64,
+    layer_misses: AtomicU64,
+}
+
+impl Default for SharedStreamPool {
+    fn default() -> Self {
+        SharedStreamPool::new()
+    }
+}
+
+impl SharedStreamPool {
+    /// An unbounded pool (the layer tier retains every artifact).
+    pub fn new() -> SharedStreamPool {
+        SharedStreamPool::with_layer_budget(usize::MAX)
+    }
+
+    /// A pool whose layer tier evicts least-recently-used artifacts once
+    /// their resident bytes exceed `budget`. The stream tier is always
+    /// unbounded — it is two orders of magnitude smaller than one layer
+    /// artifact (≤ 2¹⁶ seeds × a few hundred thresholds actually occur).
+    pub fn with_layer_budget(budget: usize) -> SharedStreamPool {
+        SharedStreamPool {
+            streams: (0..STREAM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            layers: Mutex::new(LayerTier::default()),
+            layer_budget: budget,
+            stream_hits: AtomicU64::new(0),
+            stream_misses: AtomicU64::new(0),
+            layer_hits: AtomicU64::new(0),
+            layer_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The canonical full-length stream words for `(seed, threshold)` at
+    /// per-phase length `m` bits, generating them through `fill` exactly
+    /// once per key for the life of the pool. A `fill` error is returned
+    /// without caching anything.
+    pub(crate) fn stream(
+        &self,
+        seed: u32,
+        threshold: u32,
+        m: usize,
+        fill: impl FnOnce() -> Result<Vec<u64>, SimError>,
+    ) -> Result<Arc<Vec<u64>>, SimError> {
+        // seed is 16 significant bits (mix_seed masks), threshold ≤ 2¹⁶−1
+        // (a 16-bit comparator), m < 2³² — the packed key is collision-free.
+        debug_assert!(seed <= 0xFFFF && threshold <= 0xFFFF);
+        let key = ((m as u64) << 32) | (u64::from(seed) << 16) | u64::from(threshold);
+        let shard = &self.streams[Self::shard_of(key)];
+        if let Some(words) = shard.lock().expect("stream shard poisoned").get(&key) {
+            self.stream_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(words));
+        }
+        // Generate outside the lock; a racing generator of the same key
+        // produces bit-identical words, so either insert is canonical.
+        let words = Arc::new(fill()?);
+        self.stream_misses.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::clone(
+            shard
+                .lock()
+                .expect("stream shard poisoned")
+                .entry(key)
+                .or_insert(words),
+        ))
+    }
+
+    fn shard_of(key: u64) -> usize {
+        let mut h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        (h as usize) % STREAM_SHARDS
+    }
+
+    /// The retained layer artifact under `key`, refreshing its LRU tick.
+    pub(crate) fn layer(&self, key: u128) -> Option<Arc<StreamPool>> {
+        let mut tier = self.layers.lock().expect("layer tier poisoned");
+        tier.tick += 1;
+        let tick = tier.tick;
+        match tier.map.get_mut(&key) {
+            Some((t, pool)) => {
+                *t = tick;
+                let pool = Arc::clone(pool);
+                self.layer_hits.fetch_add(1, Ordering::Relaxed);
+                Some(pool)
+            }
+            None => {
+                self.layer_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Retains a freshly built layer artifact, evicting least-recently
+    /// used entries while the tier exceeds its byte budget (the new entry
+    /// itself is always admitted).
+    pub(crate) fn insert_layer(&self, key: u128, pool: &Arc<StreamPool>) {
+        let mut tier = self.layers.lock().expect("layer tier poisoned");
+        tier.tick += 1;
+        let tick = tier.tick;
+        let bytes = pool.approx_bytes();
+        if tier.map.insert(key, (tick, Arc::clone(pool))).is_none() {
+            tier.bytes += bytes;
+        }
+        while tier.bytes > self.layer_budget && tier.map.len() > 1 {
+            let oldest = tier
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| *k);
+            match oldest {
+                Some(k) => {
+                    if let Some((_, evicted)) = tier.map.remove(&k) {
+                        tier.bytes -= evicted.approx_bytes();
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> SharedPoolStats {
+        let tier = self.layers.lock().expect("layer tier poisoned");
+        SharedPoolStats {
+            stream_hits: self.stream_hits.load(Ordering::Relaxed),
+            stream_misses: self.stream_misses.load(Ordering::Relaxed),
+            layer_hits: self.layer_hits.load(Ordering::Relaxed),
+            layer_misses: self.layer_misses.load(Ordering::Relaxed),
+            layer_bytes: tier.bytes as u64,
+            layer_entries: tier.map.len() as u64,
+        }
+    }
+}
+
+/// 128-bit content hash of everything that shapes one layer's banks: two
+/// independent FNV-1a passes (different offset bases and an extra lane
+/// mix) over the raw weight bits and the scalar prepare inputs. 128 bits
+/// over ≤ a few hundred layer keys per process makes an accidental
+/// collision (~2⁻¹²⁸) never; a collision would require identical weights
+/// *and* config anyway for either 64-bit half.
+pub(crate) fn layer_content_key(
+    weights: &[f32],
+    wgt_seed: u32,
+    ordinal: usize,
+    quant_bits: u32,
+    segments: usize,
+    lengths: &[usize],
+) -> u128 {
+    let mut a = 0xcbf2_9ce4_8422_2325u64;
+    let mut b = 0x6c62_272e_07bb_0142u64;
+    let mix = |word: u64, a: &mut u64, b: &mut u64| {
+        *a = (*a ^ word).wrapping_mul(0x0000_0100_0000_01b3);
+        *b = (*b ^ word.rotate_left(17)).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(u64::from(wgt_seed), &mut a, &mut b);
+    mix(ordinal as u64, &mut a, &mut b);
+    mix(u64::from(quant_bits), &mut a, &mut b);
+    mix(segments as u64, &mut a, &mut b);
+    mix(lengths.len() as u64, &mut a, &mut b);
+    for &l in lengths {
+        mix(l as u64, &mut a, &mut b);
+    }
+    mix(weights.len() as u64, &mut a, &mut b);
+    for &w in weights {
+        mix(u64::from(w.to_bits()), &mut a, &mut b);
+    }
+    (u128::from(a) << 64) | u128::from(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banks::{PoolLevel, StreamPool};
+
+    fn dummy_pool(words: usize) -> Arc<StreamPool> {
+        Arc::new(StreamPool {
+            index: vec![0; 4],
+            pos_present: vec![true; 4],
+            neg_present: vec![false; 4],
+            levels: vec![PoolLevel {
+                words: vec![0u64; words],
+                seg_words: 1,
+            }],
+            distinct: 1,
+            segments: 1,
+        })
+    }
+
+    #[test]
+    fn stream_tier_generates_once_per_key() {
+        let pool = SharedStreamPool::new();
+        let a = pool.stream(0x5EED, 100, 128, || Ok(vec![1, 2])).unwrap();
+        let b = pool
+            .stream(0x5EED, 100, 128, || panic!("must not regenerate"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // Same (seed, threshold) at another length is a distinct stream.
+        let c = pool
+            .stream(0x5EED, 100, 256, || Ok(vec![3, 4, 5, 6]))
+            .unwrap();
+        assert_eq!(c.len(), 4);
+        let s = pool.stats();
+        assert_eq!(s.stream_hits, 1);
+        assert_eq!(s.stream_misses, 2);
+    }
+
+    #[test]
+    fn layer_tier_lru_respects_budget() {
+        let one = dummy_pool(16).approx_bytes();
+        let pool = SharedStreamPool::with_layer_budget(2 * one);
+        for key in 0u128..3 {
+            assert!(pool.layer(key).is_none());
+            pool.insert_layer(key, &dummy_pool(16));
+        }
+        // Budget holds two artifacts; key 0 was least recently used.
+        assert!(pool.layer(0).is_none());
+        assert!(pool.layer(1).is_some());
+        assert!(pool.layer(2).is_some());
+        let s = pool.stats();
+        assert_eq!(s.layer_entries, 2);
+        assert!(s.layer_bytes <= 2 * one as u64);
+    }
+
+    #[test]
+    fn layer_content_key_separates_inputs() {
+        let w = [0.5f32, -0.25, 0.0];
+        let base = layer_content_key(&w, 7, 0, 8, 4, &[128, 64]);
+        assert_ne!(base, layer_content_key(&w, 8, 0, 8, 4, &[128, 64]));
+        assert_ne!(base, layer_content_key(&w, 7, 1, 8, 4, &[128, 64]));
+        assert_ne!(base, layer_content_key(&w, 7, 0, 6, 4, &[128, 64]));
+        assert_ne!(base, layer_content_key(&w, 7, 0, 8, 1, &[128, 64]));
+        assert_ne!(base, layer_content_key(&w, 7, 0, 8, 4, &[128]));
+        let w2 = [0.5f32, -0.25, 0.1];
+        assert_ne!(base, layer_content_key(&w2, 7, 0, 8, 4, &[128, 64]));
+        assert_eq!(base, layer_content_key(&w, 7, 0, 8, 4, &[128, 64]));
+    }
+}
